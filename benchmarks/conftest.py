@@ -1,0 +1,101 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+``pytest benchmarks/ --benchmark-only`` regenerates every table and
+figure of the paper's evaluation: each module prints its figure's rows
+(run with ``-s`` to see them live) and records them under
+``benchmarks/out/`` so EXPERIMENTS.md can cite the measured values.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core.flow import ScratchFlow
+from repro.kernels.suite import evaluation_benchmarks
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def out_dir():
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def write_json(out_dir, name, payload):
+    path = out_dir / name
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1, default=str)
+    return path
+
+
+@pytest.fixture(scope="session")
+def suite_results():
+    """Full evaluation-suite measurement, shared across figure modules.
+
+    Maps benchmark name -> {config label: RunMetrics} for the six
+    configurations of Figure 7 (original, dcd, baseline, trimmed,
+    multicore, multithread).
+    """
+    results = {}
+    for bench, max_groups in evaluation_benchmarks():
+        flow = ScratchFlow(bench, max_groups=max_groups)
+        results[bench.name] = flow.evaluate(verify=False)
+    return results
+
+
+@pytest.fixture(scope="session")
+def suite_flows():
+    """Trim/plan results for the suite (no simulation -- fast)."""
+    flows = {}
+    for bench, _ in evaluation_benchmarks():
+        flows[bench.name] = ScratchFlow(bench)
+    return flows
+
+
+#: Figure 7 parameter sweeps (scaled-down x-axes of the paper's plots).
+SWEEPS = {
+    "matrix_add_i32": [(dict(n=32), None), (dict(n=64), 8),
+                       (dict(n=128), 8)],
+    "matrix_mul_i32": [(dict(n=16), None), (dict(n=32), None)],
+    "matrix_mul_f32": [(dict(n=16), None), (dict(n=32), None)],
+    "matrix_transpose_i32": [(dict(n=32), None), (dict(n=64), 8),
+                             (dict(n=128), 8)],
+    "conv2d_i32": [(dict(n=32, k=3), 8), (dict(n=32, k=5), 8),
+                   (dict(n=32, k=7), 8)],
+    "conv2d_f32": [(dict(n=32, k=5), 8), (dict(n=64, k=5), 8)],
+    "bitonic_sort_i32": [(dict(n=256), None), (dict(n=1024), None),
+                         (dict(n=2048), None)],
+    "max_pooling_i32": [(dict(n=64), 8), (dict(n=128), 8)],
+    "average_pooling_i32": [(dict(n=128), 8)],
+    "median_pooling_i32": [(dict(n=128), 8)],
+    "kmeans_f32": [(dict(points=1024, clusters=5, iterations=2), None),
+                   (dict(points=1024, clusters=10, iterations=2), None)],
+    "gaussian_elimination_f32": [(dict(n=16), None), (dict(n=32), None)],
+    "cnn_i32": [(dict(n=16, channels=(1, 4, 4)), None),
+                (dict(n=32, channels=(3, 8, 8)), None)],
+    "cnn_f32": [(dict(n=32, channels=(3, 8, 8)), None)],
+    "nin_i32": [(dict(n=32, channels=(3, 8)), None)],
+    "nin_i8": [(dict(n=32, channels=(3, 8)), None)],
+}
+
+
+@pytest.fixture(scope="session")
+def sweep_results():
+    """Figure 7 sweep: benchmark -> [(params, {label: RunMetrics})].
+
+    Shared between the multi-core (7A) and multi-thread (7B) modules so
+    each point is simulated once across all six configurations.
+    """
+    from repro.kernels import KERNELS
+
+    results = {}
+    for name, points in SWEEPS.items():
+        series = []
+        for params, max_groups in points:
+            flow = ScratchFlow(KERNELS[name](**params),
+                               max_groups=max_groups)
+            series.append((params, flow.evaluate(verify=False)))
+        results[name] = series
+    return results

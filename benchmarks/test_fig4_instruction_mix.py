@@ -1,0 +1,116 @@
+"""FIG4 -- instruction-mix characterisation of the 25 APP SDK kernels.
+
+Regenerates Figure 4: for every benchmark, the fraction of executed
+instructions in each lettered group (A binary/logic/shift, B INT
+arithmetic, C SP-FP arithmetic, D DP-FP arithmetic, E conversions,
+F control, G memory), from dynamic execution on the simulator -- the
+role Multi2Sim played for the paper.
+"""
+
+import pytest
+
+from repro.core.config import ArchConfig
+from repro.core.histogram import InstructionMix
+from repro.kernels import APPSDK_SUITE
+from repro.runtime import SoftGpu
+
+from conftest import write_json
+
+_FAST = {
+    "floyd_warshall": dict(nv=8),
+    "histogram": dict(n=1024),
+    "black_scholes": dict(n=128),
+    "fft": dict(n=64),
+    "monte_carlo_asian": dict(paths=64, steps=6),
+    "binomial_options": dict(options=64, steps=6),
+    "recursive_gaussian": dict(n=32, rows=32),
+    "box_filter": dict(n=16),
+    "sobel_filter": dict(n=16),
+    "simple_convolution": dict(n=16),
+}
+
+
+def _dynamic_mix(cls):
+    bench = cls(**_FAST.get(cls.name, {}))
+    device = SoftGpu(ArchConfig.baseline())
+    bench.run_on(device, verify=False)
+    per_name = {}
+    for launch in device.gpu.launches:
+        for name, count in launch.stats.per_name.items():
+            per_name[name] = per_name.get(name, 0) + count
+    return InstructionMix.from_counts(bench.name, per_name)
+
+
+@pytest.fixture(scope="module")
+def mixes():
+    return [_dynamic_mix(cls) for cls in APPSDK_SUITE]
+
+
+def test_fig4_instruction_mix(benchmark, mixes, out_dir):
+    """Regenerate the 25-benchmark characterisation table."""
+
+    def build_table():
+        rows = []
+        for mix in mixes:
+            fractions = mix.group_fractions()
+            rows.append({
+                "benchmark": mix.benchmark,
+                "instructions": mix.total,
+                **{g: round(f, 4) for g, f in fractions.items()},
+                "scalar_only": mix.uses_scalar_only,
+                "uses_sp_fp": mix.uses_float,
+                "uses_dp_fp": mix.uses_double,
+            })
+        return rows
+
+    rows = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    write_json(out_dir, "fig4_instruction_mix.json", rows)
+
+    header = "{:<26} {:>6}  A      B      C      D      E      F      G".format(
+        "benchmark", "#inst")
+    print("\n" + header)
+    for row in rows:
+        print("{:<26} {:>6} {:>6.1%} {:>6.1%} {:>6.1%} {:>6.1%} {:>6.1%} "
+              "{:>6.1%} {:>6.1%}".format(
+                  row["benchmark"], row["instructions"], row["A"], row["B"],
+                  row["C"], row["D"], row["E"], row["F"], row["G"]))
+
+    # -- shape assertions from Section 3.1's discussion -----------------
+    by_name = {r["benchmark"]: r for r in rows}
+    # Every benchmark uses group A (mov/logic/shift) instructions.
+    assert all(r["A"] > 0 for r in rows)
+    # No benchmark in the suite uses double precision (the paper notes
+    # even the arithmetic-hungry ones avoid DP).
+    assert all(not r["uses_dp_fp"] for r in rows)
+    # Black-Scholes and Monte Carlo need a large range of FP arithmetic.
+    assert by_name["black_scholes"]["C"] > 0.3
+    assert by_name["monte_carlo_asian"]["C"] > 0.3
+    # Integer-only workloads show zero SP-FP arithmetic.
+    for name in ("mersenne_twister", "histogram", "floyd_warshall",
+                 "sdk_matrix_transpose", "uniform_random_noise"):
+        assert by_name[name]["C"] == 0.0, name
+    # Memory traffic exists everywhere (group G).
+    assert all(r["G"] > 0 for r in rows)
+
+
+def test_fig4_arithmetic_split(benchmark, mixes, out_dir):
+    """The B/C/D detail: add/mul/div/trans split per numeric type."""
+
+    def build():
+        out = {}
+        for mix in mixes:
+            out[mix.benchmark] = {
+                "{}:{}".format(dtype.value, cat.value): round(frac, 4)
+                for (dtype, cat), frac in mix.arithmetic_profile().items()
+            }
+        return out
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    write_json(out_dir, "fig4_arithmetic_split.json", table)
+    # 12 of the paper's 25 benchmarks need only add+mul arithmetic; our
+    # suite reproduces a similarly large simple-arithmetic majority.
+    simple = sum(
+        1 for profile in table.values()
+        if not any(key.endswith((":div", ":trans")) for key in profile)
+    )
+    assert simple >= 10

@@ -1,0 +1,138 @@
+"""FIG6 -- resource/instruction utilisation, power, and parallelism.
+
+Regenerates every panel of Figure 6:
+
+* the three fixed configurations' utilisation and power (Original,
+  DCD, DCD+PM),
+* per benchmark: instruction usage per functional unit, resource
+  savings over the baseline, trimmed power, and the multi-core /
+  multi-thread configurations built into the freed area.
+"""
+
+import pytest
+
+from repro.core.config import ArchConfig
+from repro.core.report import figure6_row, render_figure6
+from repro.fpga import Synthesizer
+
+from conftest import write_json
+
+
+@pytest.fixture(scope="module")
+def synth():
+    return Synthesizer()
+
+
+def test_fig6_fixed_configurations(benchmark, synth, out_dir):
+    """The Original / DCD / DCD+PM utilisation + power block."""
+
+    def build():
+        rows = {}
+        for config in (ArchConfig.original(), ArchConfig.dcd(),
+                       ArchConfig.baseline()):
+            report = synth.synthesize(config)
+            rows[config.label] = {
+                "ff": report.total.ff, "lut": report.total.lut,
+                "dsp": report.total.dsp, "bram": report.total.bram,
+                "static_w": round(report.power.static, 3),
+                "dynamic_w": round(report.power.dynamic, 3),
+            }
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    write_json(out_dir, "fig6_fixed_configs.json", rows)
+    print()
+    for label, row in rows.items():
+        print("{:<10} FF={ff:>8.0f} LUT={lut:>8.0f} DSP={dsp:>4.0f} "
+              "BRAM={bram:>5.0f}  {static_w:.2f}W + {dynamic_w:.2f}W"
+              .format(label, **row))
+
+    # Paper pins (Figure 6 annotations).
+    assert rows["original"]["ff"] == 129_232
+    assert rows["original"]["lut"] == 214_318
+    assert rows["baseline"]["bram"] == 1_151
+    assert rows["original"] ["dynamic_w"] == pytest.approx(3.20, abs=0.05)
+    assert rows["dcd"]["dynamic_w"] == pytest.approx(3.27, abs=0.05)
+    assert rows["baseline"]["dynamic_w"] == pytest.approx(3.49, abs=0.05)
+
+
+def test_fig6_per_benchmark_panels(benchmark, suite_flows, out_dir):
+    """Usage, savings, power and parallel shapes for every benchmark."""
+
+    def build():
+        rows = []
+        for name, flow in suite_flows.items():
+            rows.append(figure6_row(
+                name, flow.trim(),
+                multicore=flow.plan("multicore"),
+                multithread=flow.plan("multithread"),
+            ))
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    write_json(out_dir, "fig6_per_benchmark.json", rows)
+    print("\n" + render_figure6(rows))
+
+    by_name = {r["benchmark"]: r for r in rows}
+    int_rows = [r for r in rows if r["usage"]["fpVALU"] == 0]
+    fp_rows = [r for r in rows if r["usage"]["fpVALU"] > 0]
+    assert len(int_rows) >= 9 and len(fp_rows) >= 6
+
+    # -- savings shape (Section 4.1.1) ------------------------------------
+    # FF savings exceed LUT savings on average; both substantial.
+    avg_ff = sum(r["savings"]["ff"] for r in rows) / len(rows)
+    avg_lut = sum(r["savings"]["lut"] for r in rows) / len(rows)
+    assert 0.35 <= avg_ff <= 0.60   # paper: 41%
+    assert 0.30 <= avg_lut <= 0.55  # paper: 36%
+    assert avg_ff > avg_lut
+    # Integer kernels (whole SIMF removed) save far more than FP ones.
+    assert min(r["savings"]["ff"] for r in int_rows) > \
+        max(r["savings"]["ff"] for r in fp_rows)
+    # Transpose and pooling sit at the top of the ranking.
+    top = sorted(rows, key=lambda r: -r["savings"]["ff"])[:5]
+    top_names = {r["benchmark"] for r in top}
+    assert {"matrix_transpose_i32", "max_pooling_i32",
+            "average_pooling_i32"} & top_names
+    # DSP and BRAM savings are limited.
+    assert all(r["savings"]["dsp"] < 0.40 for r in rows)
+    assert all(r["savings"]["bram"] < 0.15 for r in rows)
+
+    # -- trimmed power band (Figure 6: 2.77..3.29 W dynamic) ---------------
+    for r in rows:
+        assert 2.7 <= r["power_dynamic_w"] <= 3.35, r["benchmark"]
+
+    # -- parallelism shapes (Figure 6's last two columns) -------------------
+    for r in int_rows:
+        assert r["multithread"]["int_valus"] == 4
+        assert r["multithread"]["fp_valus"] == 0
+    for r in fp_rows:
+        assert r["multithread"]["int_valus"] == 1
+        assert r["multithread"]["fp_valus"] == 3
+    assert by_name["nin_i8"]["multicore"]["cus"] == 4     # INT8 bonus CU
+    assert by_name["matrix_mul_i32"]["multicore"]["cus"] == 3
+    assert by_name["conv2d_f32"]["multicore"]["cus"] == 2
+
+
+def test_fig6_instruction_usage_levels(benchmark, suite_flows, out_dir):
+    """Instruction usage stays low -- the motivation for trimming."""
+
+    def build():
+        table = {}
+        for name, flow in suite_flows.items():
+            table[name] = {
+                unit.value: round(frac, 4)
+                for unit, frac in flow.trim().usage.items()
+            }
+        return table
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    write_json(out_dir, "fig6_instruction_usage.json", table)
+    # "many of the benchmarks use only a rather reduced number of
+    # instructions" -- every benchmark uses under half of every unit.
+    for name, usage in table.items():
+        for unit, frac in usage.items():
+            assert frac <= 0.5, (name, unit, frac)
+    # FP instruction usage is low even for FP apps (paper: conv2d SP FP
+    # peaks at ~15%).
+    fp_usages = [u["simf"] for u in table.values() if u["simf"] > 0]
+    assert max(fp_usages) <= 0.30

@@ -1,0 +1,95 @@
+"""FIG7A -- multi-core parallelism: several CUs, one VALU each.
+
+Regenerates Figure 7A: per benchmark and sweep point, the speedup and
+energy-efficiency (instructions-per-Joule) gain of the multi-core
+re-invested architecture versus both the original MIAOW system and the
+DCD+PM baseline.
+"""
+
+import pytest
+
+from conftest import write_json
+
+
+def series_rows(sweep_results, mode):
+    rows = []
+    for name, series in sweep_results.items():
+        for params, metrics in series:
+            original = metrics["original"]
+            baseline = metrics["baseline"]
+            parallel = metrics[mode]
+            rows.append({
+                "benchmark": name,
+                "params": params,
+                "speedup_vs_original":
+                    round(original.seconds / parallel.seconds, 2),
+                "speedup_vs_baseline":
+                    round(baseline.seconds / parallel.seconds, 3),
+                "ipj_vs_original": round(parallel.ipj / original.ipj, 2),
+                "ipj_vs_baseline": round(parallel.ipj / baseline.ipj, 3),
+            })
+    return rows
+
+
+def print_rows(rows, mode):
+    print("\n{:<26} {:<28} {:>9} {:>9} {:>9} {:>9}".format(
+        "benchmark ({})".format(mode), "params",
+        "vs orig", "vs base", "IPJ/orig", "IPJ/base"))
+    for row in rows:
+        print("{:<26} {:<28} {:>8.1f}x {:>8.2f}x {:>8.1f}x {:>8.2f}x".format(
+            row["benchmark"], str(row["params"]),
+            row["speedup_vs_original"], row["speedup_vs_baseline"],
+            row["ipj_vs_original"], row["ipj_vs_baseline"]))
+
+
+def test_fig7a_multicore(benchmark, sweep_results, out_dir):
+    rows = benchmark.pedantic(
+        lambda: series_rows(sweep_results, "multicore"),
+        rounds=1, iterations=1)
+    write_json(out_dir, "fig7a_multicore.json", rows)
+    print_rows(rows, "multicore")
+
+    by_bench = {}
+    for row in rows:
+        by_bench.setdefault(row["benchmark"], []).append(row)
+
+    # -- Figure 7A shape constraints ---------------------------------------
+    # Speedups vs baseline stay within the paper's 1..3x envelope.
+    assert all(0.95 <= r["speedup_vs_baseline"] <= 3.2 for r in rows)
+    # Every point beats the original system by a large factor.
+    assert all(r["speedup_vs_original"] > 5 for r in rows)
+    # Compute-heavy kernels (conv, matmul, CNN/NIN) gain the most from
+    # extra CUs; the INT8 NIN with 4 CUs is the peak (paper: up to 3.0x).
+    best = max(rows, key=lambda r: r["speedup_vs_baseline"])
+    assert best["benchmark"] in {"nin_i8", "conv2d_i32", "cnn_i32",
+                                 "matrix_mul_i32", "bitonic_sort_i32"}
+    assert best["speedup_vs_baseline"] >= 2.0
+    # Host-phase-bound benchmarks sit near the bottom (paper: Gaussian
+    # elimination is the 1.5x minimum).
+    host_bound = min(max(r["speedup_vs_baseline"]
+                         for r in by_bench[name])
+                     for name in ("kmeans_f32",
+                                  "gaussian_elimination_f32"))
+    assert host_bound <= best["speedup_vs_baseline"] / 1.3
+
+    # -- energy efficiency ---------------------------------------------------
+    # IPJ gains vs original are in the hundreds for the best cases
+    # (paper: up to 220x for CNN-class kernels).
+    assert max(r["ipj_vs_original"] for r in rows) > 60
+
+
+def test_fig7a_int8_beats_int32(benchmark, sweep_results, out_dir):
+    """The NIN INT8 series outgains INT32 (Section 4.2)."""
+
+    def gains():
+        def best(name):
+            return max(
+                metrics["baseline"].seconds / metrics["multicore"].seconds
+                for _, metrics in sweep_results[name])
+        return {"int32": best("nin_i32"), "int8": best("nin_i8")}
+
+    result = benchmark.pedantic(gains, rounds=1, iterations=1)
+    write_json(out_dir, "fig7a_nin_precision.json", result)
+    print("\nNIN multicore speedup vs baseline: int32 {:.2f}x, int8 {:.2f}x"
+          .format(result["int32"], result["int8"]))
+    assert result["int8"] > result["int32"]

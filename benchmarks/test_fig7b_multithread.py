@@ -1,0 +1,71 @@
+"""FIG7B -- multi-thread parallelism: one CU, multiple VALUs.
+
+Regenerates Figure 7B: the same sweep as 7A, with the freed area spent
+on extra vector ALUs inside a single compute unit (4 integer VALUs for
+integer kernels, 1 integer + 3 FP VALUs for floating-point ones).
+"""
+
+import pytest
+
+from test_fig7a_multicore import print_rows, series_rows
+
+from conftest import write_json
+
+
+def test_fig7b_multithread(benchmark, sweep_results, out_dir):
+    rows = benchmark.pedantic(
+        lambda: series_rows(sweep_results, "multithread"),
+        rounds=1, iterations=1)
+    write_json(out_dir, "fig7b_multithread.json", rows)
+    print_rows(rows, "multithread")
+
+    # -- Figure 7B shape constraints ---------------------------------------
+    # Multithreading never hurts and stays under the paper's 3.5x cap.
+    assert all(0.95 <= r["speedup_vs_baseline"] <= 3.6 for r in rows)
+    assert all(r["speedup_vs_original"] > 5 for r in rows)
+
+    # VALU-dense kernels benefit; pure streaming kernels barely move.
+    by_bench = {}
+    for row in rows:
+        by_bench.setdefault(row["benchmark"], []).append(
+            row["speedup_vs_baseline"])
+    valu_dense = max(max(by_bench[name]) for name in
+                     ("matrix_mul_i32", "conv2d_i32", "cnn_i32",
+                      "bitonic_sort_i32"))
+    streaming = max(by_bench["matrix_add_i32"])
+    assert valu_dense > streaming
+
+    # Energy efficiency improves alongside (paper: up to ~250x vs
+    # the original for the best case).
+    assert max(r["ipj_vs_original"] for r in rows) > 50
+
+
+def test_fig7_mode_comparison(benchmark, sweep_results, out_dir):
+    """Paper Section 4.2: both modes help; their winners differ."""
+
+    def compare():
+        table = {}
+        for name, series in sweep_results.items():
+            mc = max(m["baseline"].seconds / m["multicore"].seconds
+                     for _, m in series)
+            mt = max(m["baseline"].seconds / m["multithread"].seconds
+                     for _, m in series)
+            table[name] = {"multicore": round(mc, 3),
+                           "multithread": round(mt, 3)}
+        return table
+
+    table = benchmark.pedantic(compare, rounds=1, iterations=1)
+    write_json(out_dir, "fig7_mode_comparison.json", table)
+    print("\n{:<26} {:>10} {:>11}".format("benchmark", "multicore",
+                                          "multithread"))
+    for name, row in table.items():
+        print("{:<26} {:>9.2f}x {:>10.2f}x".format(
+            name, row["multicore"], row["multithread"]))
+
+    # At least some benchmarks prefer each mode.
+    prefers_mc = [n for n, r in table.items()
+                  if r["multicore"] > r["multithread"] * 1.02]
+    assert prefers_mc, "multicore should win somewhere"
+    # And neither mode is uniformly useless.
+    assert max(r["multicore"] for r in table.values()) > 1.5
+    assert max(r["multithread"] for r in table.values()) > 1.3

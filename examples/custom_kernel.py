@@ -1,0 +1,114 @@
+"""Bring your own kernel: write SI assembly, verify it, trim for it.
+
+Shows the full author-side workflow for a kernel that is *not* in the
+benchmark suite: a fused "saxpy + clamp" (y = clamp(a*x + y, 0, limit))
+written directly in Southern Islands assembly, validated against
+NumPy, then given its own trimmed architecture.  Also demonstrates the
+safety property: the saxpy architecture refuses a kernel that needs
+instructions it dropped.
+
+Run with::
+
+    python examples/custom_kernel.py
+"""
+
+import numpy as np
+
+from repro.asm import assemble
+from repro.core import ArchConfig, TrimmingTool
+from repro.errors import TrimmedInstructionError
+from repro.runtime import SoftGpu
+
+SAXPY_CLAMP = """
+.kernel saxpy_clamp
+.arg x buffer
+.arg y buffer
+.arg a scalar
+.arg limit scalar
+  s_buffer_load_dword s19, s[8:11], 3
+  s_buffer_load_dword s20, s[12:15], 0    ; x
+  s_buffer_load_dword s21, s[12:15], 1    ; y (in/out)
+  s_buffer_load_dword s23, s[12:15], 2    ; a      (f32 bits)
+  s_buffer_load_dword s24, s[12:15], 3    ; limit  (f32 bits)
+  s_waitcnt lgkmcnt(0)
+  s_mul_i32 s1, s16, s19
+  v_add_i32 v3, vcc, s1, v0
+  v_lshlrev_b32 v3, 2, v3
+  v_add_i32 v4, vcc, s20, v3
+  v_add_i32 v5, vcc, s21, v3
+  tbuffer_load_format_x v6, v4, s[4:7], 0 offen     ; x[i]
+  tbuffer_load_format_x v7, v5, s[4:7], 0 offen     ; y[i]
+  s_waitcnt vmcnt(0)
+  v_mov_b32 v8, s23
+  v_mac_f32 v7, v8, v6                    ; y += a*x
+  v_mov_b32 v9, 0
+  v_max_f32 v7, v7, v9                    ; clamp low
+  v_mov_b32 v10, s24
+  v_min_f32 v7, v7, v10                   ; clamp high
+  tbuffer_store_format_x v7, v5, s[4:7], 0 offen
+  s_endpgm
+"""
+
+# A kernel the saxpy architecture cannot run: it needs v_sqrt_f32.
+NORM_KERNEL = """
+.kernel norm
+  s_buffer_load_dword s19, s[8:11], 3
+  s_buffer_load_dword s20, s[12:15], 0
+  s_waitcnt lgkmcnt(0)
+  s_mul_i32 s1, s16, s19
+  v_add_i32 v3, vcc, s1, v0
+  v_lshlrev_b32 v3, 2, v3
+  v_add_i32 v4, vcc, s20, v3
+  tbuffer_load_format_x v6, v4, s[4:7], 0 offen
+  s_waitcnt vmcnt(0)
+  v_sqrt_f32 v6, v6
+  tbuffer_store_format_x v6, v4, s[4:7], 0 offen
+  s_endpgm
+"""
+
+
+def main():
+    program = assemble(SAXPY_CLAMP)
+    n, a, limit = 512, 0.5, 20.0
+    rng = np.random.default_rng(7)
+    x = rng.uniform(-40, 40, n).astype(np.float32)
+    y = rng.uniform(-40, 40, n).astype(np.float32)
+
+    # -- run + verify on the full baseline ----------------------------------
+    device = SoftGpu(ArchConfig.baseline())
+    buf_x = device.upload("x", x)
+    buf_y = device.upload("y", y)
+    device.preload_all()
+    device.run(program, (n,), (256,), args=[buf_x, buf_y, a, limit])
+    got = device.read(buf_y)
+    want = np.clip(y + np.float32(a) * x, np.float32(0), np.float32(limit))
+    assert np.allclose(got, want, rtol=1e-6)
+    print("saxpy_clamp verified against NumPy on the full ISA")
+
+    # -- trim an architecture for it ------------------------------------------
+    result = TrimmingTool().trim(program)
+    print("\n" + result.summary())
+
+    device = SoftGpu(result.config)
+    buf_x = device.upload("x", x)
+    buf_y = device.upload("y", y)
+    device.preload_all()
+    device.run(program, (n,), (256,), args=[buf_x, buf_y, a, limit])
+    assert np.allclose(device.read(buf_y), want, rtol=1e-6)
+    print("\nsaxpy_clamp verified on its own trimmed architecture")
+
+    # -- the safety property ----------------------------------------------------
+    norm = assemble(NORM_KERNEL)
+    device = SoftGpu(result.config)
+    buf = device.upload("data", np.abs(x))
+    device.preload_all()
+    try:
+        device.run(norm, (n,), (256,), args=[buf])
+    except TrimmedInstructionError as exc:
+        print("\nnorm kernel correctly refused: {}".format(exc))
+    else:
+        raise AssertionError("the trimmed architecture should have trapped")
+
+
+if __name__ == "__main__":
+    main()

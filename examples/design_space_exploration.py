@@ -1,0 +1,66 @@
+"""Design-space exploration: one benchmark across every configuration.
+
+Walks a benchmark through the whole Figure 6 + Figure 7 story in one
+table: original MIAOW -> dual clock domain -> prefetch memory ->
+trimmed -> multi-core / multi-thread re-investment.  Useful to see
+where each generation's gain comes from (memory latency, then idle
+logic, then parallel width).
+
+Run with::
+
+    python examples/design_space_exploration.py [benchmark-name]
+"""
+
+import sys
+
+from repro.core import ScratchFlow
+from repro.kernels import KERNELS
+
+DEFAULT = "matrix_mul_i32"
+SIZES = {
+    "matrix_mul_i32": dict(n=32),
+    "matrix_mul_f32": dict(n=32),
+    "conv2d_i32": dict(n=32, k=5),
+    "bitonic_sort_i32": dict(n=1024),
+    "cnn_i32": dict(n=16, channels=(1, 4, 4)),
+}
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else DEFAULT
+    bench = KERNELS[name](**SIZES.get(name, {}))
+    flow = ScratchFlow(bench)
+
+    print("exploring {} ...".format(bench.describe()))
+    results = flow.evaluate(verify=False)
+    original = results["original"]
+    baseline = results["baseline"]
+
+    trim = flow.trim()
+    shapes = {
+        "original": "1 CU, full 156-instruction ISA, single 50 MHz clock",
+        "dcd": "1 CU, full ISA, MicroBlaze/MIG at 200 MHz",
+        "baseline": "1 CU, full ISA, + in-FPGA prefetch memory",
+        "trimmed": "1 CU, {} instructions kept".format(
+            trim.instructions_kept),
+        "multicore": flow.plan("multicore").describe(),
+        "multithread": flow.plan("multithread").describe(),
+    }
+
+    print("\n{:<12} {:>12} {:>9} {:>9} {:>8} {:>12}".format(
+        "config", "time", "vs orig", "vs base", "power", "inst/J"))
+    for label, metrics in results.items():
+        print("{:<12} {:>10.3f}ms {:>8.1f}x {:>8.2f}x {:>7.2f}W {:>12.3e}"
+              .format(label, metrics.seconds * 1e3,
+                      original.seconds / metrics.seconds,
+                      baseline.seconds / metrics.seconds,
+                      metrics.power.total, metrics.ipj))
+    print()
+    for label, shape in shapes.items():
+        print("  {:<12} {}".format(label, shape))
+
+    print("\ntrim report:\n" + trim.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Per-kernel vs application-level trimming (the Section 4.3 trade).
+
+Runs the CNN benchmark, captures its real launch trace (conv and pool
+kernels alternating per layer), and asks the reconfiguration planner
+which trimming granularity minimises energy.  Then scales the kernel
+runtimes up to find the break-even point where per-kernel trimming
+with partial reconfiguration starts to win -- the paper's "ratio
+between kernel execution time and architecture reconfiguration time".
+
+Run with::
+
+    python examples/reconfiguration_planning.py
+"""
+
+from repro.core import ArchConfig
+from repro.core.reconfig import LaunchEvent, ReconfigurationPlanner
+from repro.kernels import CnnI32
+from repro.runtime import SoftGpu
+
+
+def main():
+    bench = CnnI32(n=16, channels=(1, 4, 4))
+    device = SoftGpu(ArchConfig.baseline())
+    bench.run_on(device, verify=True)
+
+    conv, pool = bench.programs()
+    programs = {conv.name: conv, pool.name: pool}
+    trace = [LaunchEvent(l.kernel, l.cu_cycles)
+             for l in device.gpu.launches]
+    print("captured {} launches ({} kernel switches)".format(
+        len(trace), sum(1 for a, b in zip(trace, trace[1:])
+                        if a.kernel != b.kernel)))
+
+    planner = ReconfigurationPlanner()
+    plan = planner.plan(trace, programs)
+    print("\n" + plan.summary())
+
+    scale = planner.breakeven_cycles(trace, programs)
+    print("\nbreak-even: kernels would need to run ~{:.0f}x longer before "
+          "per-kernel trimming pays for its reconfigurations".format(scale))
+
+    scaled = [LaunchEvent(e.kernel, e.cu_cycles * scale * 4) for e in trace]
+    long_plan = planner.plan(scaled, programs)
+    print("\nat 4x past break-even:\n" + long_plan.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Shim for environments without the `wheel` package (offline install).
+
+`pip install -e . --no-build-isolation` works through this legacy path;
+all real metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""SCRATCH: application-aware soft-GPGPU architecture + trimming tool.
+
+A full-system Python reproduction of "SCRATCH: An End-to-End
+Application-Aware Soft-GPGPU Architecture and Trimming Tool"
+(Duarte, Tomás, Falcão -- MICRO-50, 2017): the MIAOW2.0 compute-unit
+and SoC model, a Southern Islands assembler, FPGA area/power models,
+the SCRATCH trimming tool, and the paper's benchmark suite.
+
+Quickstart::
+
+    from repro import ArchConfig, ScratchFlow
+    from repro.kernels import KERNELS
+
+    flow = ScratchFlow(KERNELS["matrix_add_i32"](n=64))
+    report = flow.trim()                  # Algorithm 1
+    print(report.summary())
+    metrics = flow.run(flow.plan("multicore"))
+    base = flow.run(ArchConfig.original(), verify=False)
+    print("speedup:", metrics.speedup_vs(base))
+"""
+
+__version__ = "1.0.0"
+
+from .core.config import ArchConfig, Generation
+from .core.flow import ScratchFlow
+from .core.trimmer import TrimmingTool, TrimResult
+from .errors import ReproError, TrimmedInstructionError
+from .fpga.synthesis import Synthesizer
+from .runtime.device import SoftGpu
+
+__all__ = [
+    "ArchConfig", "Generation", "ScratchFlow", "TrimmingTool", "TrimResult",
+    "Synthesizer", "SoftGpu", "ReproError", "TrimmedInstructionError",
+    "__version__",
+]

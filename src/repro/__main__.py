@@ -1,0 +1,7 @@
+"""``python -m repro`` entry point for the SCRATCH CLI."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

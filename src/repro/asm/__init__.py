@@ -1,0 +1,10 @@
+"""Assembler toolchain: SI assembly text <-> machine code programs."""
+
+from .assembler import Assembler, assemble
+from .disassembler import disassemble, disassemble_instruction
+from .program import KernelArg, Program
+
+__all__ = [
+    "Assembler", "assemble", "disassemble", "disassemble_instruction",
+    "KernelArg", "Program",
+]

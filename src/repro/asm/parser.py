@@ -1,0 +1,204 @@
+"""Lexing and parsing of Southern Islands assembly source.
+
+The accepted syntax is the AMD disassembly dialect the paper's Figure 5
+shows (``V_ADD_I32 v11, vcc, s0, v8`` ... ``S_BRANCH label_006F``),
+lower- or upper-case, with:
+
+* ``label:`` definitions and label references as branch targets,
+* ``s0`` / ``s[4:7]`` / ``v3`` / ``v[2:3]`` register syntax,
+* ``vcc``, ``exec``, ``scc``, ``m0`` special registers,
+* decimal, hexadecimal (``0x..``) and float (``1.0``) immediates,
+* ``s_waitcnt vmcnt(0) lgkmcnt(0)`` count expressions,
+* trailing modifiers: bare flags (``offen``, ``idxen``, ``glc``) and
+  ``key:value`` pairs (``offset:16``),
+* directives: ``.kernel NAME``, ``.arg NAME buffer|scalar``,
+  ``.lds BYTES``, ``.sgprs N``, ``.vgprs N``,
+* comments introduced by ``;``, ``//`` or ``#``.
+
+Parsing is deliberately a plain two-phase affair (tokenise each line,
+then shape tokens into one statement) -- there is no grammar engine to
+fight when extending the dialect.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import AssemblyError
+from ..isa import registers as regs
+
+_COMMENT_RE = re.compile(r"(;|//|#).*$")
+_LABEL_RE = re.compile(r"^([A-Za-z_][\w.$]*):\s*(.*)$")
+_SREG_RANGE_RE = re.compile(r"^s\[(\d+):(\d+)\]$", re.IGNORECASE)
+_VREG_RANGE_RE = re.compile(r"^v\[(\d+):(\d+)\]$", re.IGNORECASE)
+_SREG_RE = re.compile(r"^s(\d+)$", re.IGNORECASE)
+_VREG_RE = re.compile(r"^v(\d+)$", re.IGNORECASE)
+_HEX_RE = re.compile(r"^[+-]?0x[0-9a-f]+$", re.IGNORECASE)
+_INT_RE = re.compile(r"^[+-]?\d+$")
+_FLOAT_RE = re.compile(r"^[+-]?(\d+\.\d*|\.\d+|\d+\.)([eE][+-]?\d+)?$")
+_COUNT_RE = re.compile(r"^(vmcnt|lgkmcnt|expcnt)\((\d+)\)$", re.IGNORECASE)
+_KV_RE = re.compile(r"^([A-Za-z_]\w*):([+-]?\w+)$")
+_IDENT_RE = re.compile(r"^[A-Za-z_][\w.$]*$")
+
+#: Bare modifier flags the memory formats accept.
+FLAG_TOKENS = frozenset({"offen", "idxen", "glc", "slc", "tfe", "gds"})
+
+
+@dataclass
+class WaitCount:
+    """A ``vmcnt(n)`` style operand of ``s_waitcnt``."""
+
+    counter: str
+    value: int
+
+
+@dataclass
+class LabelRef:
+    """A reference to a label, resolved during the assembler's 2nd pass."""
+
+    name: str
+
+
+@dataclass
+class Statement:
+    """One parsed instruction line."""
+
+    mnemonic: str
+    operands: list
+    flags: set
+    modifiers: dict  # key:value modifiers, e.g. {"offset": 16}
+    line: int
+    label_defs: list = field(default_factory=list)
+
+
+@dataclass
+class Directive:
+    """One parsed ``.directive`` line."""
+
+    name: str
+    args: list
+    line: int
+    label_defs: list = field(default_factory=list)
+
+
+def parse_operand_token(token, line):
+    """Turn one operand token into an Operand / WaitCount / LabelRef."""
+    m = _SREG_RANGE_RE.match(token)
+    if m:
+        lo, hi = int(m.group(1)), int(m.group(2))
+        if hi < lo:
+            raise AssemblyError("reversed register range {!r}".format(token), line)
+        return regs.sgpr(lo, hi - lo + 1)
+    m = _VREG_RANGE_RE.match(token)
+    if m:
+        lo, hi = int(m.group(1)), int(m.group(2))
+        if hi < lo:
+            raise AssemblyError("reversed register range {!r}".format(token), line)
+        return regs.vgpr(lo, hi - lo + 1)
+    m = _SREG_RE.match(token)
+    if m:
+        return regs.sgpr(int(m.group(1)))
+    m = _VREG_RE.match(token)
+    if m:
+        return regs.vgpr(int(m.group(1)))
+    lowered = token.lower()
+    if lowered in ("vcc", "exec") or lowered in regs.SPECIAL_NAMES:
+        return regs.special(lowered)
+    if _HEX_RE.match(token):
+        return regs.imm(int(token, 16))
+    if _INT_RE.match(token):
+        return regs.imm(int(token, 10))
+    if _FLOAT_RE.match(token):
+        return regs.imm(float(token))
+    m = _COUNT_RE.match(token)
+    if m:
+        return WaitCount(m.group(1).lower(), int(m.group(2)))
+    if _IDENT_RE.match(token):
+        return LabelRef(token)
+    raise AssemblyError("cannot parse operand {!r}".format(token), line)
+
+
+def _split_operand_field(text):
+    """Split the operand field on commas that are not inside brackets."""
+    parts, depth, cur = [], 0, []
+    for ch in text:
+        if ch in "[(":
+            depth += 1
+        elif ch in "])":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(cur).strip())
+            cur = []
+        else:
+            cur.append(ch)
+    tail = "".join(cur).strip()
+    if tail:
+        parts.append(tail)
+    return [p for p in parts if p]
+
+
+def parse_line(raw, line_no):
+    """Parse one source line into 0+ label defs and 0/1 statement.
+
+    Returns ``None`` for blank/comment lines, or a :class:`Statement` /
+    :class:`Directive` carrying any labels defined on the same line.
+    """
+    text = _COMMENT_RE.sub("", raw).strip()
+    labels = []
+    while True:
+        m = _LABEL_RE.match(text)
+        # Avoid eating "key:value" modifiers on instruction-less lines.
+        if m and not _KV_RE.match(text.split()[0] if text.split() else ""):
+            labels.append(m.group(1))
+            text = m.group(2).strip()
+        else:
+            break
+    if not text:
+        if labels:
+            return Directive(name="", args=[], line=line_no, label_defs=labels)
+        return None
+
+    head, _, rest = text.partition(" ")
+    head = head.strip()
+    rest = rest.strip()
+
+    if head.startswith("."):
+        return Directive(name=head[1:].lower(), args=rest.split(), line=line_no,
+                         label_defs=labels)
+
+    mnemonic = head.lower()
+    operands, flags, modifiers = [], set(), {}
+    if rest:
+        for token in _split_operand_field(rest):
+            # A single comma-free field may still hold trailing
+            # space-separated modifiers: "v0 offen offset:16".
+            subtokens = token.split()
+            for sub in subtokens:
+                low = sub.lower()
+                kv = _KV_RE.match(sub)
+                if low in FLAG_TOKENS:
+                    flags.add(low)
+                elif kv and not _COUNT_RE.match(sub):
+                    key, value = kv.group(1).lower(), kv.group(2)
+                    try:
+                        modifiers[key] = int(value, 0)
+                    except ValueError:
+                        raise AssemblyError(
+                            "modifier {!r} needs an integer value".format(sub), line_no
+                        )
+                else:
+                    operands.append(parse_operand_token(sub, line_no))
+    return Statement(mnemonic=mnemonic, operands=operands, flags=flags,
+                     modifiers=modifiers, line=line_no, label_defs=labels)
+
+
+def parse_source(source):
+    """Parse full assembly source into a statement/directive list."""
+    parsed = []
+    for i, raw in enumerate(source.splitlines(), start=1):
+        item = parse_line(raw, i)
+        if item is not None:
+            parsed.append(item)
+    return parsed

@@ -1,0 +1,290 @@
+"""Command-line interface: the SCRATCH toolchain as a standalone tool.
+
+Mirrors how the paper ships its framework (github.com/scratch-gpu's
+``Trimming-Tool`` repository is a command-line Python tool).  The
+subcommands walk the Figure 3 pipeline:
+
+================  ====================================================
+``asm``           assemble a ``.s`` file to a Southern Islands binary
+``disasm``        disassemble a binary (or re-render a ``.s``)
+``trim``          run Algorithm 1 on one or more kernels and print the
+                  trim report (optionally JSON)
+``synth``         synthesise a configuration and print utilisation/power
+``characterize``  print the Figure 4 instruction-mix histogram of a
+                  kernel binary
+``run``           execute a benchmark from the built-in suite across
+                  architecture configurations
+``validate``      run the Section 2.3 per-instruction microbenchmark
+                  sweep over the 156-instruction set
+``netlist``       emit the trimmed compute unit as a structural netlist
+================  ====================================================
+
+Usage::
+
+    python -m repro trim kernel.s --multicore
+    python -m repro characterize kernel.s
+    python -m repro run matrix_mul_i32 --configs original baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import struct
+import sys
+
+from .asm.assembler import assemble
+from .asm.disassembler import disassemble
+from .core.config import ArchConfig
+from .core.flow import ScratchFlow
+from .core.histogram import InstructionMix
+from .core.parallelize import plan as plan_parallelism
+from .core.trimmer import TrimmingTool
+from .errors import ReproError
+from .fpga.synthesis import Synthesizer
+
+
+def _read_source(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+def _load_programs(paths):
+    return [assemble(_read_source(p)) for p in paths]
+
+
+# ---------------------------------------------------------------------------
+# Subcommands.
+# ---------------------------------------------------------------------------
+
+def cmd_asm(args):
+    program = assemble(_read_source(args.source))
+    raw = struct.pack("<{}I".format(len(program.words)), *program.words)
+    if args.output:
+        with open(args.output, "wb") as handle:
+            handle.write(raw)
+        print("{}: {} instructions, {} bytes -> {}".format(
+            program.name, len(program), len(raw), args.output))
+    else:
+        for i in range(0, len(program.words), 4):
+            chunk = program.words[i:i + 4]
+            print(" ".join("{:08x}".format(w) for w in chunk))
+    return 0
+
+
+def cmd_disasm(args):
+    if args.binary.endswith(".s"):
+        program = assemble(_read_source(args.binary))
+        print(disassemble(program), end="")
+        return 0
+    with open(args.binary, "rb") as handle:
+        raw = handle.read()
+    words = list(struct.unpack("<{}I".format(len(raw) // 4),
+                               raw[: len(raw) // 4 * 4]))
+    print(disassemble(words), end="")
+    return 0
+
+
+def cmd_trim(args):
+    programs = _load_programs(args.sources)
+    tool = TrimmingTool()
+    result = tool.trim(programs, datapath_bits=args.datapath)
+    if args.json:
+        payload = {
+            "kernels": result.requirements.kernels,
+            "instructions_kept": result.instructions_kept,
+            "instructions_removed": result.instructions_removed,
+            "removed_units": [u.value for u in result.removed_units],
+            "usage": {u.value: f for u, f in result.usage.items()},
+            "savings": result.savings,
+            "power_w": {
+                "baseline": result.baseline_report.power.total,
+                "trimmed": result.report.power.total,
+            },
+        }
+        if args.multicore or args.multithread:
+            mode = "multicore" if args.multicore else "multithread"
+            grown = plan_parallelism(result.config, mode,
+                                     synthesizer=tool.synthesizer)
+            payload["parallel"] = {
+                "mode": mode, "cus": grown.num_cus,
+                "int_valus": grown.num_simd, "fp_valus": grown.num_simf,
+            }
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(result.summary())
+    for flag, mode in ((args.multicore, "multicore"),
+                       (args.multithread, "multithread")):
+        if flag:
+            grown = plan_parallelism(result.config, mode,
+                                     synthesizer=tool.synthesizer)
+            report = tool.synthesizer.synthesize(grown)
+            print("\n{} re-investment: {}".format(mode, grown.describe()))
+            print("  power: {}".format(report.power))
+    return 0
+
+
+def cmd_synth(args):
+    config = {
+        "original": ArchConfig.original,
+        "dcd": ArchConfig.dcd,
+        "baseline": ArchConfig.baseline,
+    }[args.config]()
+    if args.cus != 1 or args.int_valus != 1 or args.fp_valus != 1:
+        config = config.with_parallelism(num_cus=args.cus,
+                                         num_simd=args.int_valus,
+                                         num_simf=args.fp_valus)
+    report = Synthesizer().synthesize(config)
+    print(report.summary())
+    print("  fits device: {}".format(report.fits()))
+    return 0
+
+
+def cmd_characterize(args):
+    program = assemble(_read_source(args.source))
+    mix = InstructionMix.from_program(program)
+    print(mix.render())
+    return 0
+
+
+def cmd_run(args):
+    from .kernels import KERNELS
+
+    if args.benchmark not in KERNELS:
+        print("unknown benchmark {!r}; available: {}".format(
+            args.benchmark, ", ".join(sorted(KERNELS))), file=sys.stderr)
+        return 2
+    bench = KERNELS[args.benchmark]()
+    if args.trace:
+        from .core.config import ArchConfig
+        from .cu.trace import ExecutionTracer
+        from .runtime.device import SoftGpu
+
+        tracer = ExecutionTracer()
+        device = SoftGpu(ArchConfig.baseline())
+        device.attach_tracer(tracer)
+        bench.run_on(device, verify=not args.no_verify)
+        print(tracer.render(limit=args.trace))
+        print("\nunit utilisation: {}".format(tracer.unit_utilisation()))
+        return 0
+    flow = ScratchFlow(bench, max_groups=args.max_groups)
+    wanted = args.configs or ["original", "baseline", "trimmed", "multicore"]
+    results = flow.evaluate(verify=not args.no_verify)
+    original = results["original"]
+    print("{:<12} {:>12} {:>10} {:>9} {:>12}".format(
+        "config", "seconds", "vs orig", "power", "inst/J"))
+    for label in wanted:
+        metrics = results[label]
+        print("{:<12} {:>12.6f} {:>9.1f}x {:>8.2f}W {:>12.3e}".format(
+            label, metrics.seconds, original.seconds / metrics.seconds,
+            metrics.power.total, metrics.ipj))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser.
+# ---------------------------------------------------------------------------
+
+def cmd_netlist(args):
+    from .core.netlist import emit_netlist
+
+    programs = _load_programs(args.sources)
+    result = TrimmingTool().trim(programs, datapath_bits=args.datapath)
+    text = emit_netlist(result.config)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print("netlist written to {}".format(args.output))
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_validate(args):
+    from .validation import report, validate_all
+
+    records = validate_all(args.instructions or None)
+    print(report(records))
+    return 0 if all(r.passed for r in records) else 1
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SCRATCH soft-GPGPU toolchain (MICRO-50 2017 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("asm", help="assemble SI assembly to binary")
+    p.add_argument("source")
+    p.add_argument("-o", "--output", help="write raw little-endian dwords")
+    p.set_defaults(func=cmd_asm)
+
+    p = sub.add_parser("disasm", help="disassemble a binary or .s file")
+    p.add_argument("binary")
+    p.set_defaults(func=cmd_disasm)
+
+    p = sub.add_parser("trim", help="run the trimming tool on kernel(s)")
+    p.add_argument("sources", nargs="+")
+    p.add_argument("--datapath", type=int, default=32, choices=(8, 16, 32))
+    p.add_argument("--multicore", action="store_true",
+                   help="also plan a multi-core re-investment")
+    p.add_argument("--multithread", action="store_true",
+                   help="also plan a multi-thread re-investment")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_trim)
+
+    p = sub.add_parser("synth", help="synthesise a configuration")
+    p.add_argument("config", choices=("original", "dcd", "baseline"))
+    p.add_argument("--cus", type=int, default=1)
+    p.add_argument("--int-valus", type=int, default=1)
+    p.add_argument("--fp-valus", type=int, default=1)
+    p.set_defaults(func=cmd_synth)
+
+    p = sub.add_parser("characterize",
+                       help="Figure 4 instruction-mix histogram")
+    p.add_argument("source")
+    p.set_defaults(func=cmd_characterize)
+
+    p = sub.add_parser("netlist",
+                       help="emit the trimmed CU as a structural netlist")
+    p.add_argument("sources", nargs="+")
+    p.add_argument("--datapath", type=int, default=32, choices=(8, 16, 32))
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=cmd_netlist)
+
+    p = sub.add_parser("validate",
+                       help="per-instruction validation sweep")
+    p.add_argument("instructions", nargs="*",
+                   help="specific mnemonics (default: all 156)")
+    p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser("run", help="run a built-in benchmark")
+    p.add_argument("benchmark")
+    p.add_argument("--configs", nargs="*",
+                   choices=("original", "dcd", "baseline", "trimmed",
+                            "multicore", "multithread"))
+    p.add_argument("--max-groups", type=int, default=None)
+    p.add_argument("--no-verify", action="store_true")
+    p.add_argument("--trace", type=int, metavar="N", default=0,
+                   help="trace execution on the baseline and print the "
+                        "first N events instead of benchmarking")
+    p.set_defaults(func=cmd_run)
+
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print("error: {}".format(exc), file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print("error: {}".format(exc), file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

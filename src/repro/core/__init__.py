@@ -1,0 +1,21 @@
+"""SCRATCH core: configs, kernel analysis, trimming, parallelism, flow."""
+
+from .analyzer import KernelRequirements, analyze_application, analyze_program
+from .config import ArchConfig, Generation
+from .flow import ScratchFlow
+from .histogram import InstructionMix
+from .parallelize import MAX_VALUS_PER_CU, plan_multicore, plan_multithread
+from .netlist import emit_netlist, grounded_signals, removed_instructions
+from .reconfig import LaunchEvent, ReconfigPlan, ReconfigurationPlanner
+from .report import figure6_row, figure7_row, render_figure6, render_figure7
+from .trimmer import TrimmingTool, TrimResult
+
+__all__ = [
+    "ArchConfig", "Generation", "ScratchFlow",
+    "KernelRequirements", "analyze_program", "analyze_application",
+    "InstructionMix", "TrimmingTool", "TrimResult",
+    "plan_multicore", "plan_multithread", "MAX_VALUS_PER_CU",
+    "figure6_row", "figure7_row", "render_figure6", "render_figure7",
+    "LaunchEvent", "ReconfigPlan", "ReconfigurationPlanner",
+    "emit_netlist", "grounded_signals", "removed_instructions",
+]

@@ -1,0 +1,110 @@
+"""ScratchFlow: the end-to-end SCRATCH pipeline (Figure 3).
+
+One object that walks an application through the whole toolchain:
+
+1. **compile** -- the benchmark's kernels are assembled to Southern
+   Islands binaries (our stand-in for AMD CodeXL),
+2. **analyse** -- Algorithm 1 step one builds the per-functional-unit
+   required-instruction dictionary,
+3. **trim** -- Algorithm 1 step two prunes the architecture; the
+   synthesis model prices the result (our stand-in for Vivado),
+4. **re-invest** -- the parallelism planner grows CUs or VALUs into
+   the freed area,
+5. **run** -- the benchmark executes on the simulated board and the
+   metrics layer reports time, power, energy and instructions/Joule.
+
+Example::
+
+    flow = ScratchFlow(MatrixAddI32(n=64))
+    result = flow.trim()                      # TrimResult
+    arch = flow.plan("multicore")             # e.g. 3 CUs
+    metrics = flow.run(arch)                  # RunMetrics
+    base = flow.run(ArchConfig.original())
+    print(metrics.speedup_vs(base))
+"""
+
+from __future__ import annotations
+
+from ..fpga.resources import XC7VX690T
+from ..fpga.synthesis import Synthesizer
+from ..runtime.device import SoftGpu
+from ..runtime.metrics import RunMetrics, measure
+from .config import ArchConfig
+from .parallelize import plan as plan_parallelism
+from .trimmer import TrimmingTool, TrimResult
+
+
+class ScratchFlow:
+    """Drives one benchmark through compile/trim/plan/run."""
+
+    def __init__(self, benchmark, baseline=None, device=XC7VX690T,
+                 max_groups=None):
+        self.benchmark = benchmark
+        self.baseline = baseline or ArchConfig.baseline()
+        self.device = device
+        self.synthesizer = Synthesizer(device=device)
+        self.tool = TrimmingTool(synthesizer=self.synthesizer)
+        self.max_groups = max_groups
+        self._trim_result = None
+
+    # -- pipeline steps ------------------------------------------------------
+
+    @property
+    def programs(self):
+        """The application's assembled kernels (the CodeXL step)."""
+        return self.benchmark.programs()
+
+    def trim(self) -> TrimResult:
+        """Analyse + trim (cached -- the result is deterministic)."""
+        if self._trim_result is None:
+            self._trim_result = self.tool.trim(
+                self.programs, baseline=self.baseline,
+                datapath_bits=self.benchmark.datapath_bits)
+        return self._trim_result
+
+    def plan(self, mode) -> ArchConfig:
+        """Re-invest freed area: ``"multicore"`` or ``"multithread"``."""
+        return plan_parallelism(self.trim().config, mode,
+                                synthesizer=self.synthesizer,
+                                device=self.device)
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, arch=None, verify=True, max_groups=None) -> RunMetrics:
+        """Execute the benchmark on ``arch`` and measure it.
+
+        ``arch=None`` runs the (trimmed, single-CU) architecture.  The
+        synthesis report of the architecture supplies the power figures
+        for the energy metrics.
+        """
+        arch = arch or self.trim().config
+        report = self.synthesizer.synthesize(arch)
+        device = SoftGpu(arch,
+                         max_groups=max_groups if max_groups is not None
+                         else self.max_groups)
+        self.benchmark.run_on(device, verify=verify)
+        return measure(device, report,
+                       label="{}@{}".format(self.benchmark.name,
+                                            arch.describe()))
+
+    def evaluate(self, modes=("multicore", "multithread"), verify=True,
+                 max_groups=None):
+        """Run the full Figure 7 comparison set for this benchmark.
+
+        Returns ``{label: RunMetrics}`` for original, dcd, baseline,
+        trimmed, and each requested parallelism mode.
+        """
+        results = {}
+        results["original"] = self.run(ArchConfig.original(), verify,
+                                       max_groups)
+        results["dcd"] = self.run(ArchConfig.dcd(), verify, max_groups)
+        results["baseline"] = self.run(self.baseline, verify, max_groups)
+        results["trimmed"] = self.run(self.trim().config, verify, max_groups)
+        for mode in modes:
+            results[mode] = self.run(self.plan(mode), verify, max_groups)
+        return results
+
+    @staticmethod
+    def for_kernel(benchmark_cls, **params):
+        """Convenience: build a flow from a benchmark class."""
+        return ScratchFlow(benchmark_cls(**params))

@@ -1,0 +1,136 @@
+"""Structural netlist emission: Algorithm 1's actual output artefact.
+
+The paper's Trimming-Tool takes "MIAOW's hardware description files as
+input" and writes back modified Verilog: unused functional units have
+their *instantiations removed and output signals grounded* (Algorithm 1
+lines 15-17), and surviving units lose the decode legs of unused
+instructions (lines 23-25).
+
+This module emits the same artefact at a structural level: a
+synthesizable-looking description of the trimmed compute unit --
+which module instances exist, which instruction decode legs each
+carries, which output signals were grounded.  It is what a user would
+diff against the full CU to review a trim, and what a downstream
+Verilog generator would consume.
+
+The rendering is deterministic: same architecture in, byte-identical
+netlist out (tested), so netlists can be content-hashed to identify
+architecture variants.
+"""
+
+from __future__ import annotations
+
+from ..isa.categories import FunctionalUnit
+from ..isa.tables import ISA
+
+#: Output signals grounded when a whole unit is removed (the signal
+#: names follow MIAOW's CU top-level port list).
+UNIT_OUTPUT_SIGNALS = {
+    FunctionalUnit.SALU: ("salu_result", "salu_scc", "salu_busy"),
+    FunctionalUnit.SIMD: ("simd_result", "simd_vcc", "simd_busy"),
+    FunctionalUnit.SIMF: ("simf_result", "simf_vcc", "simf_busy"),
+    FunctionalUnit.LSU: ("lsu_result", "lsu_ack", "lsu_busy"),
+}
+
+_MODULE_OF_UNIT = {
+    FunctionalUnit.SALU: "salu",
+    FunctionalUnit.SIMD: "simd_alu",
+    FunctionalUnit.SIMF: "simf_alu",
+    FunctionalUnit.LSU: "lsu",
+}
+
+
+def _unit_instances(config, unit):
+    if unit is FunctionalUnit.SIMD:
+        return config.num_simd
+    if unit is FunctionalUnit.SIMF:
+        return config.num_simf
+    return 1
+
+
+def _supported_names(config):
+    if config.supported is None:
+        return {s.name for s in ISA.implemented()}
+    return set(config.supported)
+
+
+def emit_netlist(config):
+    """Render the trimmed compute unit as a structural netlist string."""
+    supported = _supported_names(config)
+    lines = [
+        "// SCRATCH trimmed compute unit",
+        "// generation: {}".format(config.generation.value),
+        "// datapath: {} bits".format(config.datapath_bits),
+        "// instructions: {} of {}".format(
+            len(supported & {s.name for s in ISA.implemented()}),
+            len(ISA.implemented())),
+        "",
+        "module compute_unit (",
+        "  input clk_cu, input rst,",
+        "  // AXI interconnect + dispatcher interface elided",
+        ");",
+        "",
+        "  fetch_unit fetch0 (.clk(clk_cu));",
+        "  wavepool #(.DEPTH(40)) wavepool0 (.clk(clk_cu));",
+        "  issue_unit issue0 (.clk(clk_cu));",
+        "  sgpr_file sgpr0 (.clk(clk_cu));",
+        "  vgpr_file #(.WIDTH({})) vgpr0 (.clk(clk_cu));".format(
+            64 * config.datapath_bits),
+    ]
+
+    # Decode unit: one case-leg per surviving instruction.
+    lines.append("")
+    lines.append("  decode_unit decode0 (.clk(clk_cu));")
+    for spec in sorted(ISA.implemented(), key=lambda s: s.name):
+        keep = spec.name in supported
+        lines.append("  {} decode_leg [{}] {};".format(
+            "  " if keep else "//",
+            spec.fmt.value.upper(), spec.name))
+
+    # Execution units.
+    for unit in (FunctionalUnit.SALU, FunctionalUnit.SIMD,
+                 FunctionalUnit.SIMF, FunctionalUnit.LSU):
+        unit_insts = sorted(
+            s.name for s in ISA.for_unit(unit) if s.name in supported)
+        instances = _unit_instances(config, unit)
+        lines.append("")
+        if not unit_insts or instances == 0:
+            lines.append("  // {} removed by SCRATCH".format(
+                _MODULE_OF_UNIT[unit]))
+            for signal in UNIT_OUTPUT_SIGNALS[unit]:
+                lines.append("  assign {} = '0;  // grounded".format(signal))
+            continue
+        for index in range(instances):
+            lines.append("  {module} {module}{i} (.clk(clk_cu));".format(
+                module=_MODULE_OF_UNIT[unit], i=index))
+        for name in unit_insts:
+            lines.append("    // op: {}".format(name))
+
+    if config.has_prefetch:
+        lines.append("")
+        lines.append("  prefetch_buffer #(.BRAMS(928)) pm0 (.clk(clk_cu));")
+    lines.append("")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def removed_instructions(config):
+    """The decode legs Algorithm 1 deleted, sorted."""
+    supported = _supported_names(config)
+    return sorted(s.name for s in ISA.implemented()
+                  if s.name not in supported)
+
+
+def grounded_signals(config):
+    """Output signals grounded by whole-unit removal."""
+    supported = _supported_names(config)
+    grounded = []
+    for unit, signals in UNIT_OUTPUT_SIGNALS.items():
+        present = any(s.name in supported for s in ISA.for_unit(unit))
+        if unit is FunctionalUnit.SIMD and config.num_simd == 0:
+            present = False
+        if unit is FunctionalUnit.SIMF and config.num_simf == 0:
+            present = False
+        if not present:
+            grounded.extend(signals)
+    return sorted(grounded)

@@ -1,0 +1,86 @@
+"""Parallelism re-investment: spend freed area on more compute.
+
+After trimming, "the released hardware resources can then be
+reallocated for replicating dedicated compute or functional units"
+(Section 3.2).  The paper explores two directions (Section 4.2):
+
+* **multi-core** -- replicate whole compute units, each with a single
+  VALU of every needed type (Figure 7A's "several CUs, but only 1 VALU
+  per CU"),
+* **multi-thread** -- keep one CU and replicate its vector ALUs
+  (Figure 7B's "1 CU, but multiple VALUs").  MIAOW's compute unit
+  supports **up to four** VALUs (Section 2.1), so four is the hard
+  architectural cap regardless of area.
+
+Both planners greedily grow the configuration while the synthesis
+model says it still fits the device (with its routing ceiling), which
+is what limits the paper's designs to 3 CUs at 32-bit -- and lets the
+INT8 NIN variant reach 4 (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from ..errors import TrimError
+from ..fpga.resources import XC7VX690T
+from ..fpga.synthesis import Synthesizer
+
+#: Architectural VALU limit of the MIAOW compute unit (Section 2.1).
+MAX_VALUS_PER_CU = 4
+
+#: Practical cap on CU count: the single ultra-threaded dispatcher and
+#: the AXI interconnect fan-out stop scaling usefully beyond this.
+MAX_CUS = 8
+
+
+def plan_multicore(config, synthesizer=None, device=XC7VX690T):
+    """Grow the CU count while the design still fits the device."""
+    synthesizer = synthesizer or Synthesizer(device=device)
+    best = config.with_parallelism(num_cus=1)
+    if not synthesizer.synthesize(best).fits():
+        raise TrimError(
+            "even a single CU of {} does not fit {}".format(
+                config.describe(), device.name))
+    for n in range(2, MAX_CUS + 1):
+        candidate = config.with_parallelism(num_cus=n)
+        if not synthesizer.synthesize(candidate).fits():
+            break
+        best = candidate
+    return best
+
+
+def plan_multithread(config, synthesizer=None, device=XC7VX690T):
+    """Grow per-CU VALU counts (single CU) while the design fits.
+
+    Replicates the unit the application actually stresses: the SIMF
+    when the kernel uses floating point, otherwise the SIMD -- matching
+    the paper's per-benchmark configurations (``1 CU / 4 INT VALUs``
+    for integer kernels, ``1 CU / 1 INT + 3 FP VALUs`` for FP ones).
+    """
+    synthesizer = synthesizer or Synthesizer(device=device)
+    best = config.with_parallelism(num_cus=1)
+    if not synthesizer.synthesize(best).fits():
+        raise TrimError(
+            "even a single CU of {} does not fit {}".format(
+                config.describe(), device.name))
+    grow_simf = config.num_simf > 0
+    while True:
+        total = best.num_simd + best.num_simf
+        if total >= MAX_VALUS_PER_CU:
+            break
+        if grow_simf:
+            candidate = best.with_parallelism(num_simf=best.num_simf + 1)
+        else:
+            candidate = best.with_parallelism(num_simd=best.num_simd + 1)
+        if not synthesizer.synthesize(candidate).fits():
+            break
+        best = candidate
+    return best
+
+
+def plan(config, mode, synthesizer=None, device=XC7VX690T):
+    """Dispatch on ``mode``: ``"multicore"`` or ``"multithread"``."""
+    if mode == "multicore":
+        return plan_multicore(config, synthesizer, device)
+    if mode == "multithread":
+        return plan_multithread(config, synthesizer, device)
+    raise TrimError("unknown parallelism mode {!r}".format(mode))

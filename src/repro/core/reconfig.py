@@ -1,0 +1,186 @@
+"""Per-kernel trimming with FPGA reconfiguration (the Section 4.3 study).
+
+The paper's discussion: instead of one application-level architecture,
+"trimming could be applied at a per-kernel level, with reconfiguration
+occurring between kernel calls", mitigated by partial reconfiguration
+of just the vector-unit region; whether that wins "depends on the
+ratio between kernel execution time and architecture reconfiguration
+time".
+
+This module turns that discussion into a planner.  Given an observed
+launch trace (which kernel ran when, for how long) and per-kernel trim
+results, it prices both strategies in energy:
+
+* **application-level** -- one union architecture, no reconfiguration,
+  every kernel pays the union's power;
+* **per-kernel** -- each kernel runs on its own (smaller, cooler)
+  architecture, but every switch between *different* kernels costs a
+  partial reconfiguration (time at full board power).
+
+and recommends the cheaper one.  The paper's qualitative conclusions
+fall out: applications that alternate kernels quickly (CNN conv/pool)
+should trim at application level; long-running single-kernel phases
+can afford per-kernel architectures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import TrimError
+from ..soc.clocks import CU_CLOCK_HZ
+from .trimmer import TrimmingTool
+
+#: Cycles for partial reconfiguration of the vector-unit region
+#: (ZyCAP-class controller, few-hundred-KiB partial bitstream at
+#: ~380 MB/s -> high hundreds of microseconds at the 50 MHz CU clock).
+PARTIAL_RECONFIG_CYCLES = 40_000
+#: Cycles for a full-bitstream reconfiguration (tens of milliseconds).
+FULL_RECONFIG_CYCLES = 2_500_000
+#: Board power while reconfiguring (configuration logic + static).
+RECONFIG_POWER_W = 2.5
+
+
+@dataclass(frozen=True)
+class LaunchEvent:
+    """One kernel launch in the observed trace."""
+
+    kernel: str
+    cu_cycles: float
+
+
+@dataclass
+class StrategyCost:
+    """Time/energy of one trimming strategy over a trace."""
+
+    label: str
+    exec_seconds: float
+    reconfig_seconds: float
+    energy_joules: float
+
+    @property
+    def total_seconds(self):
+        return self.exec_seconds + self.reconfig_seconds
+
+
+@dataclass
+class ReconfigPlan:
+    """The planner's verdict for one application trace."""
+
+    application: StrategyCost
+    per_kernel: StrategyCost
+    switches: int
+    recommendation: str = ""
+
+    def __post_init__(self):
+        if not self.recommendation:
+            self.recommendation = (
+                "per_kernel"
+                if self.per_kernel.energy_joules
+                < self.application.energy_joules
+                else "application")
+
+    @property
+    def energy_ratio(self):
+        """per-kernel energy / application energy (<1 favours per-kernel)."""
+        return (self.per_kernel.energy_joules
+                / self.application.energy_joules)
+
+    def summary(self):
+        lines = ["reconfiguration plan ({} switches):".format(self.switches)]
+        for cost in (self.application, self.per_kernel):
+            lines.append(
+                "  {:<12} exec {:.6f}s + reconfig {:.6f}s = {:.6f}s, "
+                "{:.6f} J".format(cost.label, cost.exec_seconds,
+                                  cost.reconfig_seconds, cost.total_seconds,
+                                  cost.energy_joules))
+        lines.append("  recommendation: {} trimming".format(
+            self.recommendation.replace("_", "-")))
+        return "\n".join(lines)
+
+
+class ReconfigurationPlanner:
+    """Prices application-level vs per-kernel trimming for a trace."""
+
+    def __init__(self, tool=None, reconfig_cycles=PARTIAL_RECONFIG_CYCLES,
+                 reconfig_power_w=RECONFIG_POWER_W):
+        self.tool = tool or TrimmingTool()
+        self.reconfig_cycles = reconfig_cycles
+        self.reconfig_power_w = reconfig_power_w
+
+    # ------------------------------------------------------------------
+
+    def plan(self, trace: Sequence[LaunchEvent],
+             programs_by_kernel: Dict[str, object]) -> ReconfigPlan:
+        """Price both strategies over ``trace``.
+
+        ``programs_by_kernel`` maps each kernel name in the trace to its
+        assembled :class:`~repro.asm.program.Program`.
+        """
+        if not trace:
+            raise TrimError("empty launch trace")
+        missing = {e.kernel for e in trace} - set(programs_by_kernel)
+        if missing:
+            raise TrimError(
+                "trace mentions kernels without programs: {}".format(
+                    sorted(missing)))
+
+        union = self.tool.trim(list(programs_by_kernel.values()))
+        per_kernel = {
+            name: self.tool.trim(program)
+            for name, program in programs_by_kernel.items()
+        }
+
+        union_power = union.report.power.total
+        app_exec = sum(e.cu_cycles for e in trace) / CU_CLOCK_HZ
+        app = StrategyCost(
+            label="application",
+            exec_seconds=app_exec,
+            reconfig_seconds=0.0,
+            energy_joules=union_power * app_exec,
+        )
+
+        switches = sum(1 for a, b in zip(trace, trace[1:])
+                       if a.kernel != b.kernel)
+        reconfig_seconds = switches * self.reconfig_cycles / CU_CLOCK_HZ
+        exec_energy = sum(
+            per_kernel[e.kernel].report.power.total
+            * (e.cu_cycles / CU_CLOCK_HZ)
+            for e in trace)
+        pk = StrategyCost(
+            label="per_kernel",
+            exec_seconds=app_exec,  # trimming never changes cycles
+            reconfig_seconds=reconfig_seconds,
+            energy_joules=exec_energy
+            + self.reconfig_power_w * reconfig_seconds,
+        )
+        return ReconfigPlan(application=app, per_kernel=pk,
+                            switches=switches)
+
+    def plan_from_device(self, device, programs_by_kernel):
+        """Build the trace from a device's recorded launches."""
+        trace = [LaunchEvent(l.kernel, l.cu_cycles)
+                 for l in device.gpu.launches]
+        return self.plan(trace, programs_by_kernel)
+
+    # ------------------------------------------------------------------
+
+    def breakeven_cycles(self, trace, programs_by_kernel):
+        """Kernel-runtime scale at which per-kernel trimming breaks even.
+
+        Returns the multiplier ``m`` such that scaling every launch's
+        runtime by ``m`` makes the two strategies cost equal energy
+        (None if per-kernel never wins -- e.g. a single-kernel trace
+        where it always wins at any scale, or identical power).
+        """
+        base = self.plan(trace, programs_by_kernel)
+        exec_saving = (base.application.energy_joules
+                       - (base.per_kernel.energy_joules
+                          - self.reconfig_power_w
+                          * base.per_kernel.reconfig_seconds))
+        if exec_saving <= 0:
+            return None
+        overhead = (self.reconfig_power_w
+                    * base.per_kernel.reconfig_seconds)
+        return overhead / exec_saving

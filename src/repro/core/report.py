@@ -1,0 +1,138 @@
+"""Human-readable reports: the Figure 6 panel and Figure 7 series.
+
+These renderers produce the same rows the paper's figures plot, as
+plain text tables -- the benchmark harness prints them so a run of
+``pytest benchmarks/`` regenerates every figure's content.
+"""
+
+from __future__ import annotations
+
+from ..isa.categories import FunctionalUnit
+from ..isa.tables import ISA
+
+_UNITS = (FunctionalUnit.SALU, FunctionalUnit.SIMD, FunctionalUnit.SIMF,
+          FunctionalUnit.LSU)
+_UNIT_LABEL = {
+    FunctionalUnit.SALU: "SALU",
+    FunctionalUnit.SIMD: "iVALU",
+    FunctionalUnit.SIMF: "fpVALU",
+    FunctionalUnit.LSU: "LSU",
+}
+
+
+def figure6_row(name, trim_result, multicore=None, multithread=None):
+    """One benchmark column of Figure 6, as a dict of plain values."""
+    usage = {
+        _UNIT_LABEL[u]: trim_result.usage.get(u, 0.0) for u in _UNITS
+    }
+    row = {
+        "benchmark": name,
+        "usage": usage,
+        "savings": trim_result.savings,
+        "power_static_w": trim_result.report.power.static,
+        "power_dynamic_w": trim_result.report.power.dynamic,
+    }
+    if multicore is not None:
+        row["multicore"] = {
+            "cus": multicore.num_cus,
+            "int_valus": multicore.num_simd,
+            "fp_valus": multicore.num_simf,
+        }
+    if multithread is not None:
+        row["multithread"] = {
+            "cus": multithread.num_cus,
+            "int_valus": multithread.num_simd,
+            "fp_valus": multithread.num_simf,
+        }
+    return row
+
+
+def render_figure6(rows):
+    """Render Figure 6's per-benchmark panels as a text table."""
+    header = ("{:<26} {:>5} {:>6} {:>7} {:>5} | {:>5} {:>5} {:>5} {:>6} | "
+              "{:>6} {:>6} | {:>8} {:>8}").format(
+        "benchmark", "SALU", "iVALU", "fpVALU", "LSU",
+        "FF", "LUT", "DSP", "BRAM", "stat W", "dyn W", "mcore", "mthread")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        mc = row.get("multicore", {})
+        mt = row.get("multithread", {})
+        lines.append(
+            ("{:<26} {:>5.0%} {:>6.0%} {:>7.0%} {:>5.0%} | "
+             "{:>5.0%} {:>5.0%} {:>5.0%} {:>6.0%} | {:>6.2f} {:>6.2f} | "
+             "{:>8} {:>8}").format(
+                row["benchmark"],
+                row["usage"]["SALU"], row["usage"]["iVALU"],
+                row["usage"]["fpVALU"], row["usage"]["LSU"],
+                row["savings"]["ff"], row["savings"]["lut"],
+                row["savings"]["dsp"], row["savings"]["bram"],
+                row["power_static_w"], row["power_dynamic_w"],
+                "{}c/{}i/{}f".format(mc.get("cus", "-"),
+                                     mc.get("int_valus", "-"),
+                                     mc.get("fp_valus", "-")),
+                "{}c/{}i/{}f".format(mt.get("cus", "-"),
+                                     mt.get("int_valus", "-"),
+                                     mt.get("fp_valus", "-")),
+            ))
+    return "\n".join(lines)
+
+
+def render_figure5(trim_result, columns=3):
+    """Render a trim the way the paper's Figure 5 draws it: per
+    functional unit, the supported instruction list with the removed
+    ones shadowed (here: struck through with ``x``)."""
+    supported = trim_result.config.supported or frozenset(
+        s.name for s in ISA.implemented())
+    blocks = []
+    for unit in _UNITS:
+        specs = sorted(ISA.for_unit(unit), key=lambda s: (s.fmt.value, s.name))
+        lines = ["{} ({})".format(_UNIT_LABEL[unit],
+                                  "kept" if any(s.name in supported
+                                                for s in specs)
+                                  else "REMOVED")]
+        current_fmt = None
+        for spec in specs:
+            if spec.fmt is not current_fmt:
+                current_fmt = spec.fmt
+                lines.append("  [{}]".format(spec.fmt.value.upper()))
+            marker = "  " if spec.name in supported else "x "
+            lines.append("   {} {}".format(marker, spec.name))
+        blocks.append("\n".join(lines))
+    return ("\n" + "-" * 40 + "\n").join(blocks)
+
+
+def figure7_row(name, metrics):
+    """One benchmark group of Figure 7: speedups + IPJ gains.
+
+    ``metrics`` maps config label -> RunMetrics and must contain at
+    least ``original`` and ``baseline``.
+    """
+    original = metrics["original"]
+    baseline = metrics["baseline"]
+    row = {"benchmark": name}
+    for label, m in metrics.items():
+        row[label] = {
+            "seconds": m.seconds,
+            "speedup_vs_original": original.seconds / m.seconds,
+            "speedup_vs_baseline": baseline.seconds / m.seconds,
+            "ipj_gain_vs_original": m.ipj / original.ipj,
+            "ipj_gain_vs_baseline": m.ipj / baseline.ipj,
+        }
+    return row
+
+
+def render_figure7(rows, mode_label):
+    """Render one half of Figure 7 (A: multicore, B: multithread)."""
+    header = "{:<28} {:>12} {:>12} {:>12} {:>12}".format(
+        "benchmark ({})".format(mode_label),
+        "vs orig", "vs baseline", "IPJ vs orig", "IPJ vs base")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        m = row[mode_label]
+        lines.append("{:<28} {:>11.1f}x {:>11.2f}x {:>11.1f}x {:>11.2f}x"
+                     .format(row["benchmark"],
+                             m["speedup_vs_original"],
+                             m["speedup_vs_baseline"],
+                             m["ipj_gain_vs_original"],
+                             m["ipj_gain_vs_baseline"]))
+    return "\n".join(lines)

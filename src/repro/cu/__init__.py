@@ -1,0 +1,12 @@
+"""MIAOW2.0 compute-unit simulator."""
+
+from .lsu import AccessInfo, make_buffer_descriptor
+from .pipeline import ComputeUnit, CuRunStats
+from .timing import DEFAULT_TIMING, CuTimingParams
+from .wavefront import Wavefront
+from .workgroup import Workgroup
+
+__all__ = [
+    "ComputeUnit", "CuRunStats", "Wavefront", "Workgroup",
+    "CuTimingParams", "DEFAULT_TIMING", "AccessInfo", "make_buffer_descriptor",
+]

@@ -1,0 +1,245 @@
+"""Load/store unit: functional semantics of the memory instructions.
+
+The LSU performs the address calculation before issuing the access
+(Section 2.1.1) and is the gateway to three storage spaces:
+
+* **global memory** through buffer resource descriptors (MUBUF/MTBUF)
+  and scalar reads (SMRD) -- serviced by the prefetch buffer or the
+  MicroBlaze relay depending on the architecture generation,
+* **LDS** local memory (DS format) -- banked BRAM inside the CU,
+* scalar constant data (``s_buffer_load``) through the same global
+  path.
+
+Functions return an :class:`AccessInfo` describing the access class and
+footprint; the pipeline uses it to query the memory system for timing.
+Functional data movement completes here, immediately -- the simulator
+is functional-first, and ``s_waitcnt`` ordering is enforced purely in
+the timing domain.
+
+Buffer resource descriptors follow a simplified Southern Islands
+layout, produced by :func:`make_buffer_descriptor`: word0 = 32-bit base
+byte address, word1 = reserved (high address bits, always 0 here),
+word2 = size in bytes (num_records), word3 = flags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..isa.formats import Format
+
+
+def make_buffer_descriptor(base, size, flags=0):
+    """Build the four dwords of a buffer resource descriptor."""
+    return [base & 0xFFFFFFFF, 0, size & 0xFFFFFFFF, flags & 0xFFFFFFFF]
+
+
+@dataclass
+class AccessInfo:
+    """What the pipeline needs to time one memory instruction."""
+
+    space: str            # "global" | "lds"
+    counter: str          # "vm" | "lgkm" (which s_waitcnt class it joins)
+    is_write: bool
+    addrs: object = None  # scalar int, or (64,) lane addresses
+    lane_mask: object = None
+    transactions: int = 1
+
+
+def _descriptor(wf, first_reg):
+    base = int(wf.sgprs[first_reg])
+    size = int(wf.sgprs[first_reg + 2])
+    return base, size
+
+
+def _check_records(addrs, lane_mask, base, size, name):
+    if size == 0:
+        return
+    active = np.flatnonzero(lane_mask)
+    if active.size == 0:
+        return
+    hi = int(np.asarray(addrs)[active].max())
+    if hi >= base + size:
+        raise SimulationError(
+            "{}: access at 0x{:x} beyond buffer records [0x{:x}, 0x{:x})".format(
+                name, hi, base, base + size
+            )
+        )
+
+
+# ---------------------------------------------------------------------------
+# SMRD.
+# ---------------------------------------------------------------------------
+
+def _exec_smrd(wf, inst, memory):
+    f = inst.fields
+    name = inst.spec.name
+    count = {"dword": 1, "dwordx2": 2, "dwordx4": 4}[name.rsplit("_", 1)[-1]]
+    base_reg = f["sbase"] << 1
+    if "buffer" in name:
+        base, _size = _descriptor(wf, base_reg)
+    else:
+        base = int(wf.sgprs[base_reg])  # low dword of the 64-bit address
+    if f["imm"]:
+        addr = base + 4 * f["offset"]
+    else:
+        addr = base + wf.read_scalar(f["offset"])
+    for i in range(count):
+        wf.write_scalar(f["sdst"] + i, memory.global_mem.read_u32(addr + 4 * i))
+    return AccessInfo(space="global", counter="lgkm", is_write=False,
+                      addrs=addr, transactions=1)
+
+
+# ---------------------------------------------------------------------------
+# MUBUF / MTBUF.
+# ---------------------------------------------------------------------------
+
+_BUFFER_DWORDS = {
+    "buffer_load_dword": 1, "buffer_store_dword": 1,
+    "tbuffer_load_format_x": 1, "tbuffer_store_format_x": 1,
+    "tbuffer_load_format_xy": 2, "tbuffer_store_format_xy": 2,
+}
+
+_BYTE_OPS = {"buffer_load_ubyte", "buffer_load_sbyte", "buffer_store_byte"}
+
+
+def _exec_buffer(wf, inst, memory):
+    f = inst.fields
+    name = inst.spec.name
+    base, size = _descriptor(wf, f["srsrc"] << 2)
+    soffset = wf.read_scalar(f["soffset"])
+    lane_mask = wf.active_lane_mask()
+
+    offset = base + soffset + f["offset"]
+    if f["offen"] and f["idxen"]:
+        raise SimulationError("offen+idxen addressing is not supported")
+    if f["offen"]:
+        addrs = wf.read_vgpr(f["vaddr"]).astype(np.int64) + offset
+    elif f["idxen"]:
+        stride = 4
+        addrs = wf.read_vgpr(f["vaddr"]).astype(np.int64) * stride + offset
+    else:
+        addrs = np.full(64, offset, dtype=np.int64)
+    _check_records(addrs, lane_mask, base, size, name)
+
+    is_write = "store" in name
+    gm = memory.global_mem
+    if name in _BYTE_OPS:
+        if is_write:
+            gm.scatter_u8(addrs, wf.read_vgpr(f["vdata"]), lane_mask)
+        else:
+            signed = name == "buffer_load_sbyte"
+            wf.write_vgpr(f["vdata"], gm.gather_u8(addrs, lane_mask, signed),
+                          lane_mask)
+    else:
+        dwords = _BUFFER_DWORDS[name]
+        for i in range(dwords):
+            lane_addrs = addrs + 4 * i
+            if is_write:
+                gm.scatter_u32(lane_addrs, wf.read_vgpr(f["vdata"] + i), lane_mask)
+            else:
+                wf.write_vgpr(f["vdata"] + i, gm.gather_u32(lane_addrs, lane_mask),
+                              lane_mask)
+    return AccessInfo(space="global", counter="vm", is_write=is_write,
+                      addrs=addrs, lane_mask=lane_mask,
+                      transactions=_BUFFER_DWORDS.get(name, 1))
+
+
+# ---------------------------------------------------------------------------
+# DS (LDS).
+# ---------------------------------------------------------------------------
+
+def _lds_array(wf):
+    wg = wf.workgroup
+    if wg is None or wg.lds is None:
+        raise SimulationError("kernel uses LDS but the workgroup has none "
+                              "(missing .lds directive?)")
+    return wg.lds
+
+
+def _lds_index(lds, byte_addrs, name):
+    idx = np.asarray(byte_addrs, dtype=np.int64) >> 2
+    if (np.asarray(byte_addrs) & 3).any():
+        raise SimulationError("{}: unaligned LDS access".format(name))
+    if idx.size and (int(idx.max()) >= lds.size or int(idx.min()) < 0):
+        raise SimulationError(
+            "{}: LDS access out of range (size {} dwords)".format(name, lds.size)
+        )
+    return idx
+
+
+def _exec_ds(wf, inst, memory):
+    f = inst.fields
+    name = inst.spec.name
+    lds = _lds_array(wf)
+    lane_mask = wf.active_lane_mask()
+    active = np.flatnonzero(lane_mask)
+    vaddr = wf.read_vgpr(f["addr"]).astype(np.int64)
+
+    if name in ("ds_read_b32", "ds_write_b32", "ds_add_u32"):
+        offset = f["offset0"] | (f["offset1"] << 8)
+        addrs = vaddr + offset
+        if active.size:
+            idx = _lds_index(lds, addrs[active], name)
+        else:
+            idx = np.empty(0, dtype=np.int64)
+        if name == "ds_read_b32":
+            out = np.zeros(64, dtype=np.uint32)
+            if active.size:
+                out[active] = lds[idx]
+            wf.write_vgpr(f["vdst"], out, lane_mask)
+        elif name == "ds_write_b32":
+            data = wf.read_vgpr(f["data0"])
+            # Sequential per-lane writes: colliding addresses resolve in
+            # lane order, like the banked hardware serialises conflicts.
+            for pos, lane in enumerate(active):
+                lds[idx[pos]] = data[lane]
+        else:  # ds_add_u32 -- atomic add, serialise colliding lanes
+            data = wf.read_vgpr(f["data0"])
+            for pos, lane in enumerate(active):
+                lds[idx[pos]] = np.uint32(
+                    (int(lds[idx[pos]]) + int(data[lane])) & 0xFFFFFFFF)
+        return AccessInfo(space="lds", counter="lgkm",
+                          is_write=name != "ds_read_b32", addrs=addrs)
+
+    # read2/write2: offset0/offset1 are independent dword-element offsets.
+    off0, off1 = 4 * f["offset0"], 4 * f["offset1"]
+    addrs0, addrs1 = vaddr + off0, vaddr + off1
+    if active.size:
+        idx0 = _lds_index(lds, addrs0[active], name)
+        idx1 = _lds_index(lds, addrs1[active], name)
+    else:
+        idx0 = idx1 = np.empty(0, dtype=np.int64)
+    if name == "ds_read2_b32":
+        out0 = np.zeros(64, dtype=np.uint32)
+        out1 = np.zeros(64, dtype=np.uint32)
+        if active.size:
+            out0[active] = lds[idx0]
+            out1[active] = lds[idx1]
+        wf.write_vgpr(f["vdst"], out0, lane_mask)
+        wf.write_vgpr(f["vdst"] + 1, out1, lane_mask)
+        return AccessInfo(space="lds", counter="lgkm", is_write=False,
+                          addrs=addrs0, transactions=2)
+    if name == "ds_write2_b32":
+        d0 = wf.read_vgpr(f["data0"])
+        d1 = wf.read_vgpr(f["data1"])
+        for pos, lane in enumerate(active):
+            lds[idx0[pos]] = d0[lane]
+            lds[idx1[pos]] = d1[lane]
+        return AccessInfo(space="lds", counter="lgkm", is_write=True,
+                          addrs=addrs0, transactions=2)
+    raise SimulationError("unhandled DS op {}".format(name))
+
+
+def execute_memory(wf, inst, memory):
+    """Execute a memory instruction; returns its :class:`AccessInfo`."""
+    if inst.fmt is Format.SMRD:
+        return _exec_smrd(wf, inst, memory)
+    if inst.fmt in (Format.MUBUF, Format.MTBUF):
+        return _exec_buffer(wf, inst, memory)
+    if inst.fmt is Format.DS:
+        return _exec_ds(wf, inst, memory)
+    raise SimulationError("{} is not a memory instruction".format(inst.name))

@@ -1,0 +1,605 @@
+"""Functional semantics of the 156 MIAOW2.0 instructions.
+
+Non-memory semantics live here as small pure-ish functions over
+wavefront state; the load/store unit semantics (which need the memory
+system) live in :mod:`repro.cu.lsu`.  The execute stage of the
+pipeline dispatches through :func:`execute` after the Decode stage has
+classified the instruction.
+
+Conventions
+-----------
+* Scalar values are Python ints masked to 32/64 bits.
+* Vector values are ``(64,) uint32`` NumPy arrays; float operations
+  reinterpret them as ``float32`` (the SIMF lanes are single-precision,
+  Section 2.1.3).
+* Vector compares and carry-outs produce 64-bit lane masks; bits of
+  inactive lanes (per EXEC) are written as zero.
+* ``v_exp_f32`` / ``v_log_f32`` are base-2, as in the SI reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..isa import registers as regs
+from ..isa.formats import Format
+from .wavefront import MASK32, MASK64
+
+_LANES = np.arange(64, dtype=np.uint64)
+_POW2 = np.uint64(1) << _LANES
+
+
+def _s32(x):
+    """Reinterpret a 32-bit unsigned int as signed."""
+    x &= MASK32
+    return x - 0x100000000 if x & 0x80000000 else x
+
+
+def _u32(x):
+    return int(x) & MASK32
+
+
+def _sv(a):
+    """Signed view of a uint32 vector."""
+    return a.view(np.int32)
+
+
+def _fv(a):
+    """Float32 view of a uint32 vector."""
+    return a.view(np.float32)
+
+
+def _from_f(f):
+    """Pack a float32 array back into uint32 bit patterns."""
+    return np.asarray(f, dtype=np.float32).view(np.uint32)
+
+
+def _mask_from_bools(bools, lane_mask):
+    """Build a 64-bit mask from per-lane booleans, zeroing inactive lanes."""
+    return int(_POW2[np.logical_and(bools, lane_mask)].sum())
+
+
+def _bools_from_mask(mask64):
+    return ((np.uint64(mask64) >> _LANES) & np.uint64(1)).astype(bool)
+
+
+# ---------------------------------------------------------------------------
+# Scalar ALU: SOP2 / SOPK / SOP1 / SOPC.
+# ---------------------------------------------------------------------------
+
+def _add_i32(a, b):
+    result = (a + b) & MASK32
+    overflow = ((~(a ^ b)) & (a ^ result) & 0x80000000) != 0
+    return result, int(overflow)
+
+
+def _sub_i32(a, b):
+    result = (a - b) & MASK32
+    overflow = (((a ^ b)) & (a ^ result) & 0x80000000) != 0
+    return result, int(overflow)
+
+
+def _bfe_u32(value, spec):
+    offset = spec & 0x1F
+    width = (spec >> 16) & 0x7F
+    if width == 0:
+        return 0
+    field = (value >> offset) & ((1 << width) - 1)
+    return field & MASK32
+
+
+def _bfe_i32(value, spec):
+    offset = spec & 0x1F
+    width = (spec >> 16) & 0x7F
+    if width == 0:
+        return 0
+    field = (value >> offset) & ((1 << width) - 1)
+    if field & (1 << (width - 1)):
+        field -= 1 << width
+    return field & MASK32
+
+
+#: SOP2 32-bit cores: name -> f(a, b, scc_in) -> (result, scc_out|None).
+SOP2_IMPL = {
+    "s_add_u32": lambda a, b, c: ((a + b) & MASK32, int(a + b > MASK32)),
+    "s_sub_u32": lambda a, b, c: ((a - b) & MASK32, int(b > a)),
+    "s_add_i32": lambda a, b, c: _add_i32(a, b),
+    "s_sub_i32": lambda a, b, c: _sub_i32(a, b),
+    "s_addc_u32": lambda a, b, c: ((a + b + c) & MASK32, int(a + b + c > MASK32)),
+    "s_subb_u32": lambda a, b, c: ((a - b - c) & MASK32, int(b + c > a)),
+    "s_min_i32": lambda a, b, c: (
+        (a if _s32(a) < _s32(b) else b), int(_s32(a) < _s32(b))),
+    "s_min_u32": lambda a, b, c: ((a if a < b else b), int(a < b)),
+    "s_max_i32": lambda a, b, c: (
+        (a if _s32(a) > _s32(b) else b), int(_s32(a) > _s32(b))),
+    "s_max_u32": lambda a, b, c: ((a if a > b else b), int(a > b)),
+    "s_cselect_b32": lambda a, b, c: ((a if c else b), None),
+    "s_and_b32": lambda a, b, c: (a & b, int((a & b) != 0)),
+    "s_or_b32": lambda a, b, c: (a | b, int((a | b) != 0)),
+    "s_xor_b32": lambda a, b, c: (a ^ b, int((a ^ b) != 0)),
+    "s_lshl_b32": lambda a, b, c: (
+        (a << (b & 31)) & MASK32, int(((a << (b & 31)) & MASK32) != 0)),
+    "s_lshr_b32": lambda a, b, c: (a >> (b & 31), int((a >> (b & 31)) != 0)),
+    "s_ashr_i32": lambda a, b, c: (
+        (_s32(a) >> (b & 31)) & MASK32, int(((_s32(a) >> (b & 31)) & MASK32) != 0)),
+    "s_mul_i32": lambda a, b, c: ((_s32(a) * _s32(b)) & MASK32, None),
+    "s_bfe_u32": lambda a, b, c: (_bfe_u32(a, b), int(_bfe_u32(a, b) != 0)),
+    "s_bfe_i32": lambda a, b, c: (_bfe_i32(a, b), int(_bfe_i32(a, b) != 0)),
+}
+
+#: SOP2 64-bit cores: name -> f(a64, b64) -> (result64, scc_out).
+SOP2_IMPL64 = {
+    "s_and_b64": lambda a, b: (a & b, int((a & b) != 0)),
+    "s_or_b64": lambda a, b: (a | b, int((a | b) != 0)),
+    "s_xor_b64": lambda a, b: (a ^ b, int((a ^ b) != 0)),
+}
+
+
+def _popcount(x):
+    return bin(x & MASK32).count("1")
+
+
+def _ff1(x):
+    x &= MASK32
+    if x == 0:
+        return MASK32  # -1
+    return (x & -x).bit_length() - 1
+
+
+def _flbit(x):
+    x &= MASK32
+    if x == 0:
+        return MASK32  # -1
+    return 32 - x.bit_length()
+
+
+def _brev32(x):
+    return int("{:032b}".format(x & MASK32)[::-1], 2)
+
+
+def _sext(x, bits):
+    x &= (1 << bits) - 1
+    if x & (1 << (bits - 1)):
+        x -= 1 << bits
+    return x & MASK32
+
+
+#: SOP1 32-bit cores: name -> f(a) -> (result, scc_out|None).
+SOP1_IMPL = {
+    "s_mov_b32": lambda a: (a, None),
+    "s_not_b32": lambda a: ((~a) & MASK32, int(((~a) & MASK32) != 0)),
+    "s_brev_b32": lambda a: (_brev32(a), None),
+    "s_bcnt1_i32_b32": lambda a: (_popcount(a), int(_popcount(a) != 0)),
+    "s_ff1_i32_b32": lambda a: (_ff1(a), None),
+    "s_flbit_i32_b32": lambda a: (_flbit(a), None),
+    "s_sext_i32_i8": lambda a: (_sext(a, 8), None),
+    "s_sext_i32_i16": lambda a: (_sext(a, 16), None),
+}
+
+_SCMP = {
+    "eq": lambda a, b: a == b,
+    "lg": lambda a, b: a != b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+}
+
+
+def _exec_sop2(wf, inst):
+    sp, f = inst.spec, inst.fields
+    if sp.op64:
+        a = wf.read_scalar64(f["ssrc0"])
+        b = wf.read_scalar64(f["ssrc1"])
+        result, scc = SOP2_IMPL64[sp.name](a, b)
+        wf.write_scalar64(f["sdst"], result)
+    else:
+        a = wf.read_scalar(f["ssrc0"], inst.literal)
+        b = wf.read_scalar(f["ssrc1"], inst.literal)
+        result, scc = SOP2_IMPL[sp.name](a, b, wf.scc)
+        wf.write_scalar(f["sdst"], result)
+    if sp.writes_scc and scc is not None:
+        wf.scc = scc
+
+
+def _exec_sopk(wf, inst):
+    sp, f = inst.spec, inst.fields
+    simm = f["simm16"]
+    if simm >= 0x8000:
+        simm -= 0x10000
+    if sp.name == "s_movk_i32":
+        wf.write_scalar(f["sdst"], simm & MASK32)
+    elif sp.name == "s_addk_i32":
+        current = wf.read_scalar(f["sdst"])
+        result, scc = _add_i32(current, simm & MASK32)
+        wf.write_scalar(f["sdst"], result)
+        wf.scc = scc
+    elif sp.name == "s_mulk_i32":
+        current = wf.read_scalar(f["sdst"])
+        wf.write_scalar(f["sdst"], (_s32(current) * simm) & MASK32)
+    else:
+        raise SimulationError("unhandled SOPK op {}".format(sp.name))
+
+
+def _exec_sop1(wf, inst):
+    sp, f = inst.spec, inst.fields
+    if sp.name == "s_mov_b64":
+        wf.write_scalar64(f["sdst"], wf.read_scalar64(f["ssrc0"]))
+        return
+    if sp.name == "s_not_b64":
+        result = (~wf.read_scalar64(f["ssrc0"])) & MASK64
+        wf.write_scalar64(f["sdst"], result)
+        wf.scc = int(result != 0)
+        return
+    if sp.name in ("s_and_saveexec_b64", "s_or_saveexec_b64"):
+        src = wf.read_scalar64(f["ssrc0"])
+        old_exec = wf.exec_mask
+        wf.write_scalar64(f["sdst"], old_exec)
+        if sp.name.startswith("s_and"):
+            wf.exec_mask = src & old_exec
+        else:
+            wf.exec_mask = src | old_exec
+        wf.scc = int(wf.exec_mask != 0)
+        return
+    a = wf.read_scalar(f["ssrc0"], inst.literal)
+    result, scc = SOP1_IMPL[sp.name](a)
+    wf.write_scalar(f["sdst"], result)
+    if sp.writes_scc and scc is not None:
+        wf.scc = scc
+
+
+def _exec_sopc(wf, inst):
+    sp, f = inst.spec, inst.fields
+    a = wf.read_scalar(f["ssrc0"], inst.literal)
+    b = wf.read_scalar(f["ssrc1"], inst.literal)
+    _, _, cmp_name, ty = sp.name.split("_")
+    if ty == "i32":
+        a, b = _s32(a), _s32(b)
+    wf.scc = int(_SCMP[cmp_name](a, b))
+
+
+# ---------------------------------------------------------------------------
+# Program control: SOPP.
+# ---------------------------------------------------------------------------
+
+def _exec_sopp(wf, inst):
+    """Execute a SOPP op.  Returns ``True`` when it ends the wavefront.
+
+    ``s_waitcnt`` and ``s_barrier`` have timing-only semantics handled
+    by the Issue stage model in the pipeline; functionally they are
+    no-ops here.
+    """
+    sp, f = inst.spec, inst.fields
+    name = sp.name
+    if name == "s_endpgm":
+        wf.done = True
+        return True
+    if name in ("s_nop", "s_waitcnt", "s_barrier"):
+        return False
+    simm = f["simm16"]
+    if simm >= 0x8000:
+        simm -= 0x10000
+    target = inst.address + 4 + 4 * simm
+    taken = False
+    if name == "s_branch":
+        taken = True
+    elif name == "s_cbranch_scc0":
+        taken = wf.scc == 0
+    elif name == "s_cbranch_scc1":
+        taken = wf.scc == 1
+    elif name == "s_cbranch_vccz":
+        taken = wf.vccz == 1
+    elif name == "s_cbranch_vccnz":
+        taken = wf.vccz == 0
+    elif name == "s_cbranch_execz":
+        taken = wf.execz == 1
+    elif name == "s_cbranch_execnz":
+        taken = wf.execz == 0
+    else:
+        raise SimulationError("unhandled SOPP op {}".format(name))
+    if taken:
+        wf.pc = target
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Vector ALU: VOP1 / VOP2 / VOPC / VOP3.
+# ---------------------------------------------------------------------------
+
+def _shift_amounts(a):
+    return (a & np.uint32(31)).astype(np.uint32)
+
+
+#: Two-source vector cores: name -> f(a, b) -> uint32 array.
+VBIN_IMPL = {
+    "v_add_f32": lambda a, b: _from_f(_fv(a) + _fv(b)),
+    "v_sub_f32": lambda a, b: _from_f(_fv(a) - _fv(b)),
+    "v_subrev_f32": lambda a, b: _from_f(_fv(b) - _fv(a)),
+    "v_mul_f32": lambda a, b: _from_f(_fv(a) * _fv(b)),
+    "v_min_f32": lambda a, b: _from_f(np.minimum(_fv(a), _fv(b))),
+    "v_max_f32": lambda a, b: _from_f(np.maximum(_fv(a), _fv(b))),
+    "v_mul_i32_i24": lambda a, b: (
+        (_sext24(a) * _sext24(b)) & np.int64(MASK32)).astype(np.uint32),
+    "v_min_i32": lambda a, b: np.minimum(_sv(a), _sv(b)).view(np.uint32),
+    "v_max_i32": lambda a, b: np.maximum(_sv(a), _sv(b)).view(np.uint32),
+    "v_min_u32": lambda a, b: np.minimum(a, b),
+    "v_max_u32": lambda a, b: np.maximum(a, b),
+    "v_lshr_b32": lambda a, b: a >> _shift_amounts(b),
+    "v_lshrrev_b32": lambda a, b: b >> _shift_amounts(a),
+    "v_ashr_i32": lambda a, b: (_sv(a) >> _shift_amounts(b).astype(np.int32))
+    .view(np.uint32),
+    "v_ashrrev_i32": lambda a, b: (_sv(b) >> _shift_amounts(a).astype(np.int32))
+    .view(np.uint32),
+    "v_lshl_b32": lambda a, b: a << _shift_amounts(b),
+    "v_lshlrev_b32": lambda a, b: b << _shift_amounts(a),
+    "v_and_b32": lambda a, b: a & b,
+    "v_or_b32": lambda a, b: a | b,
+    "v_xor_b32": lambda a, b: a ^ b,
+}
+
+
+def _sext24(a):
+    v = (a & np.uint32(0xFFFFFF)).astype(np.int64)
+    return np.where(v & 0x800000, v - 0x1000000, v)
+
+
+def _cvt_u32_f32(a):
+    f = _fv(a).astype(np.float64)
+    f = np.nan_to_num(f, nan=0.0)
+    return np.clip(np.trunc(f), 0, 4294967295).astype(np.uint32)
+
+
+def _cvt_i32_f32(a):
+    f = _fv(a).astype(np.float64)
+    f = np.nan_to_num(f, nan=0.0)
+    return np.clip(np.trunc(f), -2147483648, 2147483647) \
+        .astype(np.int32).view(np.uint32)
+
+
+def _rndne(a):
+    # IEEE round-to-nearest-even, which is what numpy's rint does.
+    return _from_f(np.rint(_fv(a)))
+
+
+def _safe_unary(fn):
+    """Wrap a transcendental so invalid inputs follow IEEE (inf/nan)."""
+    def wrapped(a):
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            return _from_f(fn(_fv(a).astype(np.float64)).astype(np.float32))
+    return wrapped
+
+
+#: One-source vector cores: name -> f(a) -> uint32 array.
+VUN_IMPL = {
+    "v_mov_b32": lambda a: a.copy(),
+    "v_not_b32": lambda a: ~a,
+    "v_bfrev_b32": lambda a: _bfrev_vec(a),
+    "v_cvt_f32_i32": lambda a: _from_f(_sv(a).astype(np.float32)),
+    "v_cvt_f32_u32": lambda a: _from_f(a.astype(np.float32)),
+    "v_cvt_u32_f32": _cvt_u32_f32,
+    "v_cvt_i32_f32": _cvt_i32_f32,
+    "v_fract_f32": lambda a: _from_f(_fv(a) - np.floor(_fv(a))),
+    "v_trunc_f32": lambda a: _from_f(np.trunc(_fv(a))),
+    "v_ceil_f32": lambda a: _from_f(np.ceil(_fv(a))),
+    "v_rndne_f32": _rndne,
+    "v_floor_f32": lambda a: _from_f(np.floor(_fv(a))),
+    "v_exp_f32": _safe_unary(np.exp2),
+    "v_log_f32": _safe_unary(np.log2),
+    "v_rcp_f32": _safe_unary(lambda x: 1.0 / x),
+    "v_rsq_f32": _safe_unary(lambda x: 1.0 / np.sqrt(x)),
+    "v_sqrt_f32": _safe_unary(np.sqrt),
+    "v_sin_f32": _safe_unary(np.sin),
+    "v_cos_f32": _safe_unary(np.cos),
+}
+
+
+def _bfrev_vec(a):
+    v = a.copy()
+    v = ((v >> np.uint32(1)) & np.uint32(0x55555555)) | \
+        ((v & np.uint32(0x55555555)) << np.uint32(1))
+    v = ((v >> np.uint32(2)) & np.uint32(0x33333333)) | \
+        ((v & np.uint32(0x33333333)) << np.uint32(2))
+    v = ((v >> np.uint32(4)) & np.uint32(0x0F0F0F0F)) | \
+        ((v & np.uint32(0x0F0F0F0F)) << np.uint32(4))
+    v = ((v >> np.uint32(8)) & np.uint32(0x00FF00FF)) | \
+        ((v & np.uint32(0x00FF00FF)) << np.uint32(8))
+    return (v >> np.uint32(16)) | (v << np.uint32(16))
+
+
+#: Three-source (VOP3-native) cores: name -> f(a, b, c) -> uint32 array.
+def _mul_hi_u32(a, b):
+    wide = a.astype(np.uint64) * b.astype(np.uint64)
+    return (wide >> np.uint64(32)).astype(np.uint32)
+
+
+def _mul_hi_i32(a, b):
+    wide = _sv(a).astype(np.int64) * _sv(b).astype(np.int64)
+    return ((wide >> np.int64(32)) & np.int64(MASK32)).astype(np.uint32)
+
+
+def _mul_lo(a, b):
+    wide = a.astype(np.uint64) * b.astype(np.uint64)
+    return (wide & np.uint64(MASK32)).astype(np.uint32)
+
+
+def _v_bfe_u32(a, b, c):
+    offset = (b & np.uint32(31)).astype(np.uint32)
+    width = (c & np.uint32(31)).astype(np.uint32)
+    mask = np.where(width == 0, np.uint32(0),
+                    ((np.uint64(1) << width.astype(np.uint64)) - np.uint64(1))
+                    .astype(np.uint32))
+    return (a >> offset) & mask
+
+
+def _v_bfe_i32(a, b, c):
+    u = _v_bfe_u32(a, b, c)
+    width = (c & np.uint32(31)).astype(np.uint32)
+    sign_bit = np.where(width == 0, np.uint32(0),
+                        np.uint32(1) << np.maximum(width, np.uint32(1)) - np.uint32(1))
+    extended = np.where((width != 0) & ((u & sign_bit) != 0),
+                        u | (~(sign_bit - np.uint32(1)) & ~sign_bit), u)
+    return extended
+
+
+def _v_alignbit(a, b, c):
+    wide = (a.astype(np.uint64) << np.uint64(32)) | b.astype(np.uint64)
+    return ((wide >> (c & np.uint32(31)).astype(np.uint64)) &
+            np.uint64(MASK32)).astype(np.uint32)
+
+
+VTRI_IMPL = {
+    "v_mad_f32": lambda a, b, c: _from_f(_fv(a) * _fv(b) + _fv(c)),
+    "v_fma_f32": lambda a, b, c: _from_f(
+        np.float32(1) * (_fv(a).astype(np.float64) * _fv(b).astype(np.float64)
+                         + _fv(c).astype(np.float64)).astype(np.float32)),
+    "v_mad_i32_i24": lambda a, b, c: (
+        (_sext24(a) * _sext24(b) + _sv(c).astype(np.int64)) & np.int64(MASK32)
+    ).astype(np.uint32),
+    "v_bfe_u32": _v_bfe_u32,
+    "v_bfe_i32": _v_bfe_i32,
+    "v_bfi_b32": lambda a, b, c: (a & b) | (~a & c),
+    "v_alignbit_b32": _v_alignbit,
+    "v_mul_lo_u32": _mul_lo,
+    "v_mul_hi_u32": _mul_hi_u32,
+    "v_mul_lo_i32": _mul_lo,  # low 32 bits are sign-agnostic
+    "v_mul_hi_i32": _mul_hi_i32,
+}
+
+#: Vector compare cores: comparison name -> predicate.
+_VCMP = {
+    "lt": np.less, "eq": np.equal, "le": np.less_equal,
+    "gt": np.greater, "lg": np.not_equal, "ge": np.greater_equal,
+}
+
+
+def _vector_sources(wf, inst):
+    """Read src0/src1/(src2) for any vector encoding."""
+    f = inst.fields
+    srcs = [wf.read_vector(f["src0"], inst.literal)]
+    if inst.fmt in (Format.VOP2, Format.VOPC):
+        srcs.append(wf.read_vgpr(f["vsrc1"]))
+    elif inst.fmt is Format.VOP3:
+        srcs.append(wf.read_vector(f["src1"], inst.literal))
+        if inst.spec.num_srcs >= 3 or inst.spec.name == "v_mac_f32":
+            srcs.append(wf.read_vector(f["src2"], inst.literal))
+    return srcs
+
+
+def _exec_vcmp(wf, inst, srcs):
+    sp = inst.spec
+    _, _, cmp_name, ty = sp.name.split("_")
+    a, b = srcs[0], srcs[1]
+    if ty == "f32":
+        bools = _VCMP[cmp_name](_fv(a), _fv(b))
+    elif ty == "i32":
+        bools = _VCMP[cmp_name](_sv(a), _sv(b))
+    else:
+        bools = _VCMP[cmp_name](a, b)
+    result = _mask_from_bools(bools, wf.active_lane_mask())
+    sdst = inst.fields.get("sdst")
+    if sdst is None or sdst == regs.VCC_LO:
+        wf.vcc = result
+    else:
+        wf.write_scalar64(sdst, result)
+
+
+def _exec_vector(wf, inst):
+    sp = inst.spec
+    name = sp.name
+    f = inst.fields
+    srcs = _vector_sources(wf, inst)
+    lane_mask = wf.active_lane_mask()
+
+    if name.startswith("v_cmp_"):
+        _exec_vcmp(wf, inst, srcs)
+        return
+
+    if name == "v_cndmask_b32":
+        if inst.fmt is Format.VOP3:
+            selector = _bools_from_mask(wf.read_scalar64(f["src2"]))
+            a, b = srcs[0], srcs[1]
+        else:
+            selector = _bools_from_mask(wf.vcc)
+            a, b = srcs[0], srcs[1]
+        wf.write_vgpr(f["vdst"], np.where(selector, b, a), lane_mask)
+        return
+
+    if name in ("v_add_i32", "v_sub_i32", "v_subrev_i32",
+                "v_addc_u32", "v_subb_u32"):
+        a, b = srcs[0].astype(np.uint64), srcs[1].astype(np.uint64)
+        if name in ("v_addc_u32", "v_subb_u32"):
+            carry_src = f.get("sdst", regs.VCC_LO) if inst.fmt is Format.VOP3 \
+                else regs.VCC_LO
+            cin = _bools_from_mask(
+                wf.read_scalar64(f["src2"]) if inst.fmt is Format.VOP3
+                else wf.vcc).astype(np.uint64)
+        else:
+            cin = np.zeros(64, dtype=np.uint64)
+        if name == "v_add_i32":
+            wide = a + b
+        elif name == "v_addc_u32":
+            wide = a + b + cin
+        elif name == "v_sub_i32":
+            wide = a - b
+        elif name == "v_subrev_i32":
+            wide = b - a
+        else:  # v_subb_u32
+            wide = a - b - cin
+        result = (wide & np.uint64(MASK32)).astype(np.uint32)
+        carry = (wide >> np.uint64(32)) != 0  # carry or borrow (wraps)
+        carry_mask = _mask_from_bools(carry, lane_mask)
+        sdst = f.get("sdst", regs.VCC_LO) if inst.fmt is Format.VOP3 else regs.VCC_LO
+        if sdst == regs.VCC_LO:
+            wf.vcc = carry_mask
+        else:
+            wf.write_scalar64(sdst, carry_mask)
+        wf.write_vgpr(f["vdst"], result, lane_mask)
+        return
+
+    if name == "v_mac_f32":
+        acc = wf.read_vgpr(f["vdst"])
+        result = _from_f(_fv(srcs[0]) * _fv(srcs[1]) + _fv(acc))
+        wf.write_vgpr(f["vdst"], result, lane_mask)
+        return
+
+    if name in VBIN_IMPL:
+        wf.write_vgpr(f["vdst"], VBIN_IMPL[name](srcs[0], srcs[1]), lane_mask)
+        return
+    if name in VUN_IMPL:
+        wf.write_vgpr(f["vdst"], VUN_IMPL[name](srcs[0]), lane_mask)
+        return
+    if name in VTRI_IMPL:
+        wf.write_vgpr(f["vdst"], VTRI_IMPL[name](*srcs[:3]), lane_mask)
+        return
+    raise SimulationError("no semantics for vector op {}".format(name))
+
+
+# ---------------------------------------------------------------------------
+# Dispatcher.
+# ---------------------------------------------------------------------------
+
+def execute(wf, inst):
+    """Execute a non-memory instruction on a wavefront.
+
+    The caller (pipeline) has already advanced ``wf.pc`` past the
+    instruction; branches overwrite it.  Memory instructions must go
+    through :mod:`repro.cu.lsu` instead.
+    """
+    fmt = inst.fmt
+    if fmt is Format.SOP2:
+        _exec_sop2(wf, inst)
+    elif fmt is Format.SOPK:
+        _exec_sopk(wf, inst)
+    elif fmt is Format.SOP1:
+        _exec_sop1(wf, inst)
+    elif fmt is Format.SOPC:
+        _exec_sopc(wf, inst)
+    elif fmt is Format.SOPP:
+        _exec_sopp(wf, inst)
+    elif fmt in (Format.VOP1, Format.VOP2, Format.VOPC, Format.VOP3):
+        _exec_vector(wf, inst)
+    else:
+        raise SimulationError(
+            "memory instruction {} routed to the ALU dispatcher".format(inst.name)
+        )

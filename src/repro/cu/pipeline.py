@@ -1,0 +1,281 @@
+"""The MIAOW2.0 compute-unit pipeline simulator.
+
+Implements the seven-stage pipeline of Figure 2 as an event-timed
+model: Fetch (round-robin over resident wavefronts), Decode (classify
++ register translation, one instruction per cycle, two fetches for
+64-bit encodings), Issue (scoreboard: in-order per wavefront,
+barrier/halt handled immediately), Schedule/Execute (SALU, SIMD and
+SIMF pools, LSU) and Write-back.
+
+Trimming enforcement lives here: a :class:`ComputeUnit` built from a
+trimmed architecture carries the surviving instruction set and raises
+:class:`~repro.errors.TrimmedInstructionError` if a kernel executes
+anything that was scratched -- the safety property that makes
+"removal of unused resources does not affect execution" (Section 3.2)
+checkable rather than assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError, TrimmedInstructionError
+from ..isa.categories import FunctionalUnit
+from ..isa.formats import Format
+from ..isa.registers import MAX_WAVEFRONTS
+from . import lsu, operations
+from .timing import DEFAULT_TIMING, frontend_cost, unit_occupancy
+
+_WAITCNT_VM_MASK = 0xF
+_WAITCNT_LGKM_SHIFT = 8
+_WAITCNT_LGKM_MASK = 0x1F
+
+
+@dataclass
+class CuRunStats:
+    """Cycle and instruction accounting for one workgroup execution."""
+
+    cycles: float = 0.0
+    instructions: int = 0
+    per_unit: dict = field(default_factory=dict)
+    per_name: dict = field(default_factory=dict)
+    memory_accesses: int = 0
+    wavefronts: int = 0
+
+    def merge(self, other):
+        self.cycles += other.cycles
+        self.instructions += other.instructions
+        self.memory_accesses += other.memory_accesses
+        self.wavefronts += other.wavefronts
+        for key, value in other.per_unit.items():
+            self.per_unit[key] = self.per_unit.get(key, 0) + value
+        for key, value in other.per_name.items():
+            self.per_name[key] = self.per_name.get(key, 0) + value
+
+
+class _UnitPool:
+    """N interchangeable instances of one functional-unit type."""
+
+    def __init__(self, count):
+        self.busy_until = [0.0] * max(0, count)
+        self.busy_cycles = 0.0
+
+    @property
+    def count(self):
+        return len(self.busy_until)
+
+    def acquire(self, now, occupancy):
+        """Schedule on the earliest-free instance; returns completion."""
+        if not self.busy_until:
+            raise SimulationError("no instance of this functional unit exists")
+        idx = min(range(len(self.busy_until)), key=self.busy_until.__getitem__)
+        start = max(now, self.busy_until[idx])
+        done = start + occupancy
+        self.busy_until[idx] = done
+        self.busy_cycles += occupancy
+        return done
+
+
+class ComputeUnit:
+    """One MIAOW2.0 compute unit.
+
+    Parameters
+    ----------
+    memory:
+        The shared :class:`~repro.mem.system.MemorySystem`.
+    cu_index:
+        Index into the memory system's per-CU prefetch buffers.
+    num_simd / num_simf:
+        Integer and floating-point VALU block counts.  The baseline CU
+        has one of each; trimming may remove the SIMF entirely and the
+        parallelism planner may replicate either (Figure 6's last two
+        columns).
+    supported:
+        ``None`` for the full 156-instruction decode, or the surviving
+        mnemonic set of a trimmed architecture.
+    max_instructions:
+        Safety valve against runaway kernels.
+    """
+
+    def __init__(self, memory, cu_index=0, num_simd=1, num_simf=1,
+                 supported=None, timing=DEFAULT_TIMING,
+                 max_wavefronts=MAX_WAVEFRONTS, max_instructions=200_000_000):
+        self.memory = memory
+        self.cu_index = cu_index
+        self.supported = frozenset(supported) if supported is not None else None
+        self.timing = timing
+        self.max_wavefronts = max_wavefronts
+        self.max_instructions = max_instructions
+        self.pools = {
+            FunctionalUnit.SALU: _UnitPool(1),
+            FunctionalUnit.BRANCH: _UnitPool(1),
+            FunctionalUnit.SIMD: _UnitPool(num_simd),
+            FunctionalUnit.SIMF: _UnitPool(num_simf),
+            FunctionalUnit.LSU: _UnitPool(1),
+        }
+        self.num_simd = num_simd
+        self.num_simf = num_simf
+        #: Optional callable(cu, wavefront, instruction, issue_cycle),
+        #: invoked once per issued instruction (see repro.cu.trace).
+        self.tracer = None
+
+    # ------------------------------------------------------------------
+
+    def _check_supported(self, inst):
+        sp = inst.spec
+        if not sp.implemented:
+            raise TrimmedInstructionError(
+                sp.name, "not implemented in MIAOW2.0 (characterisation superset)"
+            )
+        if self.supported is not None and sp.name not in self.supported:
+            raise TrimmedInstructionError(sp.name, sp.unit.value)
+        if sp.unit is FunctionalUnit.SIMF and self.num_simf == 0:
+            raise TrimmedInstructionError(sp.name, "SIMF removed")
+        if sp.unit is FunctionalUnit.SIMD and self.num_simd == 0:
+            raise TrimmedInstructionError(sp.name, "SIMD removed")
+
+    @staticmethod
+    def _waitcnt_target(wf, simm16, now):
+        """Earliest time the waitcnt's count conditions are satisfied."""
+
+        def settle(outstanding, allowed):
+            if len(outstanding) <= allowed:
+                return 0.0
+            ordered = sorted(outstanding)
+            return ordered[len(outstanding) - allowed - 1]
+
+        vm_allowed = simm16 & _WAITCNT_VM_MASK
+        lgkm_allowed = (simm16 >> _WAITCNT_LGKM_SHIFT) & _WAITCNT_LGKM_MASK
+        ready = max(now, settle(wf.outstanding_vm, vm_allowed),
+                    settle(wf.outstanding_lgkm, lgkm_allowed))
+        wf.outstanding_vm = [t for t in wf.outstanding_vm if t > ready]
+        wf.outstanding_lgkm = [t for t in wf.outstanding_lgkm if t > ready]
+        return ready
+
+    # ------------------------------------------------------------------
+
+    def run_workgroup(self, workgroup, start_time=0.0):
+        """Execute one workgroup's wavefronts to completion.
+
+        Returns ``(end_time, CuRunStats)``.  The wavefronts must already
+        be register-initialised by the ultra-threaded dispatcher.
+        """
+        wavefronts = [wf for wf in workgroup.wavefronts if not wf.done]
+        if len(wavefronts) > self.max_wavefronts:
+            raise SimulationError(
+                "workgroup needs {} wavefronts; the CU supports {}".format(
+                    len(wavefronts), self.max_wavefronts
+                )
+            )
+        stats = CuRunStats(wavefronts=len(wavefronts))
+        for wf in wavefronts:
+            wf.ready_at = start_time
+        decode_free = start_time
+        finish_time = start_time
+        barrier_waiters = []
+        issued = 0
+        rr = 0  # round-robin tie-break rotation
+
+        live = list(wavefronts)
+        while live:
+            # -- pick the next wavefront: earliest-ready, round-robin ties
+            candidates = [wf for wf in live if not wf.at_barrier]
+            if not candidates:
+                raise SimulationError(
+                    "barrier deadlock: every live wavefront is waiting"
+                )
+            best, best_key = None, None
+            n = len(candidates)
+            for j in range(n):
+                wf = candidates[(rr + j) % n]
+                key = wf.ready_at
+                if best is None or key < best_key:
+                    best, best_key = wf, key
+            rr += 1
+            wf = best
+
+            inst = wf.program.instructions[wf.program.index_of_address(wf.pc)]
+            self._check_supported(inst)
+
+            issued += 1
+            if issued > self.max_instructions:
+                raise SimulationError(
+                    "instruction budget exceeded (kernel stuck in a loop?)"
+                )
+            start = max(wf.ready_at, decode_free)
+            if self.tracer is not None:
+                self.tracer(self, wf, inst, start)
+            fe_done = start + frontend_cost(inst, self.timing)
+            decode_free = fe_done
+            wf.pc += inst.words * 4
+            wf.instructions_executed += 1
+            stats.instructions += 1
+            unit_name = inst.spec.unit.value
+            stats.per_unit[unit_name] = stats.per_unit.get(unit_name, 0) + 1
+            stats.per_name[inst.spec.name] = stats.per_name.get(inst.spec.name, 0) + 1
+
+            name = inst.spec.name
+            if name == "s_endpgm":
+                wf.done = True
+                end = fe_done + self.timing.endpgm_cycles
+                finish_time = max(finish_time, end,
+                                  *(wf.outstanding_vm or [0.0]),
+                                  *(wf.outstanding_lgkm or [0.0]))
+                live.remove(wf)
+                # A barrier can now be releasable if this wavefront
+                # exited before reaching it.
+                self._try_release_barrier(workgroup, barrier_waiters)
+                continue
+            if name == "s_barrier":
+                wf.at_barrier = True
+                wf.ready_at = fe_done
+                barrier_waiters.append(wf)
+                if workgroup.arrive_at_barrier():
+                    self._release(workgroup, barrier_waiters)
+                continue
+            if name == "s_waitcnt":
+                wf.ready_at = self._waitcnt_target(
+                    wf, inst.fields["simm16"], fe_done)
+                continue
+
+            if inst.spec.is_memory:
+                pool = self.pools[FunctionalUnit.LSU]
+                info = lsu.execute_memory(wf, inst, self.memory)
+                setattr(inst, "transactions", info.transactions)
+                lsu_done = pool.acquire(fe_done, unit_occupancy(inst, self.timing))
+                if info.space == "lds":
+                    complete = self.memory.lds_access_time(lsu_done)
+                elif info.addrs is not None and info.lane_mask is not None:
+                    complete = self.memory.access_time(
+                        self.cu_index, lsu_done, info.addrs, info.lane_mask)
+                else:
+                    complete = self.memory.scalar_access_time(
+                        self.cu_index, lsu_done, info.addrs)
+                getattr(wf, "outstanding_" + info.counter).append(complete)
+                stats.memory_accesses += 1
+                wf.ready_at = lsu_done
+                continue
+
+            # ALU / branch path.
+            pool = self.pools[inst.spec.unit]
+            done = pool.acquire(fe_done, unit_occupancy(inst, self.timing))
+            operations.execute(wf, inst)
+            wf.ready_at = done
+            finish_time = max(finish_time, done)
+
+        return max(finish_time, decode_free), stats
+
+    def _release(self, workgroup, barrier_waiters):
+        release_time = max(wf.ready_at for wf in barrier_waiters)
+        for wf in barrier_waiters:
+            wf.at_barrier = False
+            wf.ready_at = release_time + 1
+        barrier_waiters.clear()
+        workgroup.release_barrier()
+
+    def _try_release_barrier(self, workgroup, barrier_waiters):
+        if not barrier_waiters:
+            return
+        live = [wf for wf in workgroup.wavefronts if not wf.done]
+        if live and all(wf.at_barrier for wf in live):
+            self._release(workgroup, barrier_waiters)

@@ -1,0 +1,71 @@
+"""Register-file capacity and wavefront-occupancy model.
+
+The MIAOW compute unit owns a shared scalar register file (2048
+SGPRs) and a shared vector register file (1024 VGPRs, each a 2048-bit
+row = 64 lanes x 32 bits).  Each resident wavefront receives a base
+address into both files (Section 2.1.1: a wavefront arrives with "the
+base address for both scalar and vector registers"), so how many
+wavefronts can be resident at once is bounded by
+
+``min(40, SGPRS / per-wavefront sgprs, VGPRS / per-wavefront vgprs)``
+
+-- the 40 coming from the wavepool depth.  Register-hungry kernels
+therefore lose latency-hiding capacity, which is why the paper lists
+the register files among the "interesting optimization points in
+future architecture revision" (Section 3.2) even though SCRATCH does
+not trim them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import LaunchError
+from ..isa.registers import MAX_WAVEFRONTS
+
+#: MIAOW register-file capacities.
+SGPR_FILE_SIZE = 2048
+VGPR_FILE_SIZE = 1024
+
+
+@dataclass(frozen=True)
+class RegisterFileModel:
+    """Capacity model of one compute unit's register files."""
+
+    sgprs: int = SGPR_FILE_SIZE
+    vgprs: int = VGPR_FILE_SIZE
+    max_wavefronts: int = MAX_WAVEFRONTS
+
+    def occupancy(self, program):
+        """Maximum resident wavefronts for ``program``.
+
+        Raises :class:`LaunchError` when even a single wavefront's
+        allocation does not fit -- a kernel that cannot run at all.
+        """
+        sgpr_need = max(1, program.sgpr_count)
+        vgpr_need = max(1, program.vgpr_count)
+        if sgpr_need > self.sgprs or vgpr_need > self.vgprs:
+            raise LaunchError(
+                "kernel {!r} needs {} SGPRs / {} VGPRs per wavefront; the "
+                "register files hold {} / {}".format(
+                    program.name, sgpr_need, vgpr_need,
+                    self.sgprs, self.vgprs))
+        return min(self.max_wavefronts,
+                   self.sgprs // sgpr_need,
+                   self.vgprs // vgpr_need)
+
+    def check_workgroup(self, program, wavefronts):
+        """Validate that a workgroup's wavefronts fit concurrently.
+
+        All wavefronts of a workgroup must be resident together (they
+        may rendezvous at an ``s_barrier``), so the workgroup size is
+        bounded by the occupancy, not just the wavepool depth.
+        """
+        limit = self.occupancy(program)
+        if wavefronts > limit:
+            raise LaunchError(
+                "workgroup needs {} concurrent wavefronts of {!r} but the "
+                "register files only sustain {} ({} SGPRs + {} VGPRs per "
+                "wavefront)".format(wavefronts, program.name, limit,
+                                    program.sgpr_count, program.vgpr_count))
+        return limit

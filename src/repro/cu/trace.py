@@ -1,0 +1,95 @@
+"""Execution tracing: per-instruction event capture for kernel debugging.
+
+Attach an :class:`ExecutionTracer` to a device and every issued
+instruction is recorded with its issue cycle, wavefront and executing
+unit -- the software equivalent of watching MIAOW2.0's internal cycle
+counter and per-stage activity on the FPGA (the paper's debugging
+setup of Section 2.2.1, JTAG + memory-mapped state reads).
+
+Usage::
+
+    from repro.cu.trace import ExecutionTracer
+    tracer = ExecutionTracer()
+    device = SoftGpu(ArchConfig.baseline())
+    device.attach_tracer(tracer)
+    bench.run_on(device)
+    print(tracer.render(limit=40))
+    print(tracer.histogram())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One issued instruction."""
+
+    cycle: float
+    cu_index: int
+    wf_id: int
+    address: int
+    name: str
+    unit: str
+
+    def __str__(self):
+        return "[{:>10.1f}] cu{} wf{} 0x{:04x} {:<6} {}".format(
+            self.cycle, self.cu_index, self.wf_id, self.address,
+            self.unit, self.name)
+
+
+class ExecutionTracer:
+    """Collects :class:`TraceEvent` records from compute units."""
+
+    def __init__(self, max_events=1_000_000):
+        self.events: List[TraceEvent] = []
+        self.max_events = max_events
+        self.dropped = 0
+
+    def __call__(self, cu, wf, inst, cycle):
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(
+            cycle=cycle, cu_index=cu.cu_index, wf_id=wf.wf_id,
+            address=inst.address, name=inst.spec.name,
+            unit=inst.spec.unit.value))
+
+    def __len__(self):
+        return len(self.events)
+
+    def clear(self):
+        self.events = []
+        self.dropped = 0
+
+    # -- views ---------------------------------------------------------------
+
+    def for_wavefront(self, wf_id, cu_index=None):
+        return [e for e in self.events
+                if e.wf_id == wf_id
+                and (cu_index is None or e.cu_index == cu_index)]
+
+    def histogram(self):
+        """Issue counts per mnemonic, most frequent first."""
+        counts = {}
+        for event in self.events:
+            counts[event.name] = counts.get(event.name, 0) + 1
+        return dict(sorted(counts.items(), key=lambda kv: -kv[1]))
+
+    def unit_utilisation(self):
+        """Issue counts per functional unit."""
+        counts = {}
+        for event in self.events:
+            counts[event.unit] = counts.get(event.unit, 0) + 1
+        return counts
+
+    def render(self, limit=50):
+        """The first ``limit`` events as a readable timeline."""
+        shown = self.events[:limit]
+        lines = [str(e) for e in shown]
+        remaining = len(self.events) - len(shown) + self.dropped
+        if remaining > 0:
+            lines.append("... {} more events".format(remaining))
+        return "\n".join(lines)

@@ -1,0 +1,192 @@
+"""Wavefront state for the MIAOW2.0 compute unit.
+
+A wavefront is "a collection of 64 work-items, which share the same
+program counter" (Section 2.1.1).  Each wavefront carries its program
+counter, identifier, and private views of the scalar and vector
+register files, plus the architectural status bits (EXEC, VCC, SCC,
+M0) that the Southern Islands ISA exposes.
+
+The vector registers are held as a ``(vgpr_count, 64) uint32`` NumPy
+array -- one row per VGPR, one column per work-item -- so the execute
+units can operate on whole wavefronts at once, exactly like the
+16-lane SIMD/SIMF blocks sweep the 64 work-items in four passes.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..isa import registers as regs
+
+MASK32 = 0xFFFFFFFF
+MASK64 = 0xFFFFFFFFFFFFFFFF
+FULL_EXEC = MASK64
+
+
+class Wavefront:
+    """Architectural + scheduling state of one wavefront."""
+
+    def __init__(self, wf_id, program, workgroup=None, lane_count=64):
+        self.wf_id = wf_id
+        self.program = program
+        self.workgroup = workgroup
+        self.lane_count = lane_count
+
+        self.pc = 0
+        self._exec_mask = FULL_EXEC if lane_count == 64 else (1 << lane_count) - 1
+        self._lane_mask_cache = None
+        self.vcc = 0
+        self.scc = 0
+        self.m0 = 0
+        self.done = False
+
+        self.sgprs = np.zeros(regs.NUM_SGPRS, dtype=np.uint32)
+        self.vgprs = np.zeros((max(4, program.vgpr_count), 64), dtype=np.uint32)
+
+        # -- scheduling state (written by the CU pipeline) ------------------
+        self.ready_at = 0.0
+        self.at_barrier = False
+        self.outstanding_vm = []    # completion times of vector-memory ops
+        self.outstanding_lgkm = []  # completion times of LDS/scalar-memory ops
+        self.instructions_executed = 0
+
+    # ------------------------------------------------------------------
+    # Lane helpers.
+    # ------------------------------------------------------------------
+
+    @property
+    def exec_mask(self):
+        return self._exec_mask
+
+    @exec_mask.setter
+    def exec_mask(self, value):
+        self._exec_mask = value & MASK64
+        self._lane_mask_cache = None
+
+    def active_lane_mask(self):
+        """Boolean (64,) array of lanes enabled by EXEC (cached)."""
+        if self._lane_mask_cache is None:
+            bits = np.uint64(self._exec_mask)
+            lanes = np.arange(64, dtype=np.uint64)
+            self._lane_mask_cache = ((bits >> lanes) & np.uint64(1)).astype(bool)
+        return self._lane_mask_cache
+
+    @property
+    def execz(self):
+        return int(self.exec_mask == 0)
+
+    @property
+    def vccz(self):
+        return int(self.vcc == 0)
+
+    # ------------------------------------------------------------------
+    # Scalar operand access.
+    # ------------------------------------------------------------------
+
+    def read_scalar(self, code, literal=None, as_float=False):
+        """Read a 32-bit scalar operand by its SI source code."""
+        if regs.SGPR_FIRST <= code <= regs.SGPR_LAST:
+            return int(self.sgprs[code])
+        if code == regs.VCC_LO:
+            return self.vcc & MASK32
+        if code == regs.VCC_HI:
+            return (self.vcc >> 32) & MASK32
+        if code == regs.M0:
+            return self.m0
+        if code == regs.EXEC_LO:
+            return self.exec_mask & MASK32
+        if code == regs.EXEC_HI:
+            return (self.exec_mask >> 32) & MASK32
+        if code == regs.VCCZ:
+            return self.vccz
+        if code == regs.EXECZ:
+            return self.execz
+        if code == regs.SCC:
+            return self.scc
+        if code == regs.LITERAL:
+            if literal is None:
+                raise SimulationError("literal operand without literal dword")
+            return literal & MASK32
+        return regs.inline_value(code, as_float=False) & MASK32
+
+    def read_scalar64(self, code):
+        """Read a 64-bit scalar operand (an SGPR pair or VCC/EXEC)."""
+        if code == regs.VCC_LO:
+            return self.vcc
+        if code == regs.EXEC_LO:
+            return self.exec_mask
+        if regs.SGPR_FIRST <= code <= regs.SGPR_LAST - 1:
+            return int(self.sgprs[code]) | (int(self.sgprs[code + 1]) << 32)
+        if code == regs.CONST_ZERO:
+            return 0
+        if regs.INT_POS_FIRST <= code <= regs.INT_NEG_LAST:
+            return regs.inline_value(code) & MASK64
+        raise SimulationError("invalid 64-bit scalar operand code {}".format(code))
+
+    def write_scalar(self, code, value):
+        value &= MASK32
+        if regs.SGPR_FIRST <= code <= regs.SGPR_LAST:
+            self.sgprs[code] = np.uint32(value)
+        elif code == regs.VCC_LO:
+            self.vcc = (self.vcc & ~MASK32) | value
+        elif code == regs.VCC_HI:
+            self.vcc = (self.vcc & MASK32) | (value << 32)
+        elif code == regs.M0:
+            self.m0 = value
+        elif code == regs.EXEC_LO:
+            self.exec_mask = (self.exec_mask & ~MASK32) | value
+        elif code == regs.EXEC_HI:
+            self.exec_mask = (self.exec_mask & MASK32) | (value << 32)
+        else:
+            raise SimulationError("invalid scalar destination code {}".format(code))
+
+    def write_scalar64(self, code, value):
+        value &= MASK64
+        if code == regs.VCC_LO:
+            self.vcc = value
+        elif code == regs.EXEC_LO:
+            self.exec_mask = value
+        elif regs.SGPR_FIRST <= code <= regs.SGPR_LAST - 1:
+            self.sgprs[code] = np.uint32(value & MASK32)
+            self.sgprs[code + 1] = np.uint32(value >> 32)
+        else:
+            raise SimulationError(
+                "invalid 64-bit scalar destination code {}".format(code)
+            )
+
+    # ------------------------------------------------------------------
+    # Vector operand access.
+    # ------------------------------------------------------------------
+
+    def read_vector(self, code, literal=None):
+        """Read a 9-bit vector source: a VGPR row or broadcast scalar."""
+        if code >= regs.VGPR_BASE:
+            return self.vgprs[code - regs.VGPR_BASE]
+        scalar = self.read_scalar(code, literal)
+        return np.full(64, scalar, dtype=np.uint32)
+
+    def read_vgpr(self, index):
+        return self.vgprs[index]
+
+    def write_vgpr(self, index, values, lane_mask=None):
+        """Write a VGPR row, honouring EXEC (or an explicit lane mask)."""
+        if lane_mask is None:
+            lane_mask = self.active_lane_mask()
+        row = self.vgprs[index]
+        np.copyto(row, np.asarray(values, dtype=np.uint32), where=lane_mask)
+
+    # ------------------------------------------------------------------
+    # Introspection / debugging.
+    # ------------------------------------------------------------------
+
+    def sgpr_f32(self, index):
+        """Read an SGPR reinterpreted as float32 (debug helper)."""
+        return struct.unpack("<f", struct.pack("<I", int(self.sgprs[index])))[0]
+
+    def __repr__(self):
+        return "Wavefront(id={}, pc=0x{:x}, done={})".format(
+            self.wf_id, self.pc, self.done
+        )

@@ -1,0 +1,57 @@
+"""Workgroup container: wavefronts + shared LDS + barrier bookkeeping."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa.registers import WAVEFRONT_SIZE
+from .wavefront import Wavefront
+
+
+class Workgroup:
+    """One OpenCL workgroup instantiated on a compute unit.
+
+    Carries the group's identifier (3-D), its wavefronts, the shared
+    LDS allocation, and the barrier rendezvous state used by
+    ``s_barrier`` ("if the instruction happens to be a barrier or a
+    halt, the Issue unit will handle it immediately", Section 2.1.1).
+    """
+
+    def __init__(self, group_id, program, local_size):
+        self.group_id = tuple(group_id)
+        self.program = program
+        self.local_size = tuple(local_size)
+        self.lds = (np.zeros(max(1, program.lds_size // 4), dtype=np.uint32)
+                    if program.lds_size else None)
+        self.wavefronts = []
+        self._at_barrier = 0
+
+    @property
+    def work_items(self):
+        n = 1
+        for dim in self.local_size:
+            n *= dim
+        return n
+
+    @property
+    def wavefront_count(self):
+        return (self.work_items + WAVEFRONT_SIZE - 1) // WAVEFRONT_SIZE
+
+    def add_wavefront(self, wf):
+        wf.workgroup = self
+        self.wavefronts.append(wf)
+
+    # -- barrier protocol ----------------------------------------------------
+
+    def arrive_at_barrier(self):
+        """One wavefront arrived; returns True when all have."""
+        self._at_barrier += 1
+        live = sum(1 for wf in self.wavefronts if not wf.done)
+        return self._at_barrier >= live
+
+    def release_barrier(self):
+        self._at_barrier = 0
+
+    @property
+    def done(self):
+        return all(wf.done for wf in self.wavefronts)

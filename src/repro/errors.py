@@ -1,0 +1,72 @@
+"""Exception hierarchy shared by every subsystem of the reproduction.
+
+Each subpackage raises the most specific subclass that applies so that
+callers can catch at the granularity they care about (``ReproError``
+for "anything this library raised", or e.g. ``AssemblyError`` for
+toolchain problems only).
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class IsaError(ReproError):
+    """A problem with instruction definitions, encodings or operands."""
+
+
+class EncodingError(IsaError):
+    """An instruction could not be encoded into Southern Islands binary."""
+
+
+class DecodingError(IsaError):
+    """A binary word sequence is not a valid Southern Islands instruction."""
+
+
+class AssemblyError(ReproError):
+    """The assembler rejected a source program."""
+
+    def __init__(self, message, line=None):
+        if line is not None:
+            message = "line {}: {}".format(line, message)
+        super().__init__(message)
+        self.line = line
+
+
+class SimulationError(ReproError):
+    """The compute-unit simulator reached an invalid state."""
+
+
+class TrapError(SimulationError):
+    """A kernel executed an operation that the hardware would trap on."""
+
+
+class TrimError(ReproError):
+    """The trimming tool was asked to produce an unusable architecture."""
+
+
+class TrimmedInstructionError(SimulationError):
+    """A kernel executed an instruction removed by the trimming tool.
+
+    This is the safety property of SCRATCH: running a binary on an
+    architecture trimmed for a *different* binary must fail loudly, not
+    silently compute garbage.
+    """
+
+    def __init__(self, instruction_name, unit=None):
+        detail = "instruction '{}' was trimmed from the architecture".format(
+            instruction_name
+        )
+        if unit is not None:
+            detail += " (functional unit {})".format(unit)
+        super().__init__(detail)
+        self.instruction_name = instruction_name
+        self.unit = unit
+
+
+class ResourceError(ReproError):
+    """A synthesis/fit step exceeded the FPGA device resources."""
+
+
+class LaunchError(ReproError):
+    """The runtime was given an invalid kernel launch configuration."""

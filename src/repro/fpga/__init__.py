@@ -1,0 +1,12 @@
+"""FPGA substrate: resource vectors, area model, power model, synthesis."""
+
+from .area_model import AreaModel, CuAreaBreakdown
+from .power_model import PowerEstimate, PowerModel
+from .resources import XC7VX690T, FpgaDevice, ResourceVector
+from .synthesis import SynthesisReport, Synthesizer
+
+__all__ = [
+    "AreaModel", "CuAreaBreakdown", "PowerEstimate", "PowerModel",
+    "ResourceVector", "FpgaDevice", "XC7VX690T",
+    "SynthesisReport", "Synthesizer",
+]

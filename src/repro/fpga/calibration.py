@@ -1,0 +1,153 @@
+"""Calibration constants of the area and power models.
+
+The per-component resource costs below decompose the Figure 6 baseline
+utilisation (one full MIAOW2.0 CU with dual clock domain + prefetch
+memory on the XC7VX690T):
+
+=========  =========  =========  =====  =====
+component  FF         LUT        DSP    BRAM
+=========  =========  =========  =====  =====
+SoC        6,000      10,000     6      15
+frontend   7,000      14,000     0      24
+regfile    9,000      40,865     0      96
+decode     9,500      15,500     0      0
+SALU       6,500      11,500     30     0
+SIMD       24,000     31,000     88     0
+SIMF       48,000     62,000     22     64
+LSU        11,806     26,500     52     24
+PM ctrl    1,500      2,000      0      928
+total      123,306    213,365    198    1,151
+=========  =========  =========  =====  =====
+
+which reproduces the paper's baseline numbers exactly (123,306 slice
+FFs / 213,365 LUTs / 198 DSP48 / 1,151 BRAM).  The original/DCD design
+swaps the prefetch controller for the MicroBlaze relay datapath, giving
+the paper's 129,232 / 214,318 / 203 / 223.
+
+Notes on the shape of the decomposition, all from the paper:
+
+* the SIMF "uses almost twice the resources of an integer VALU,
+  becoming the single largest unit in the design" (Section 3.2),
+* execution units are >30% of resources and >50% of power, while
+  Fetch/Issue are limited (<6% area / <11% power),
+* DSP48s concentrate in the always-kept scalar/addressing datapaths, so
+  trimming saves only ~10% of them (Section 4.1.1),
+* BRAM savings come almost exclusively from dropping the SIMF's
+  transcendental lookup tables (~6% -- the "6% vs 0%" pattern of the
+  per-benchmark panels).
+"""
+
+from __future__ import annotations
+
+from ..isa.categories import FunctionalUnit, OpCategory
+from .resources import ResourceVector
+
+# ---------------------------------------------------------------------------
+# Component areas (one compute unit + system, full 156-instruction ISA).
+# ---------------------------------------------------------------------------
+
+SOC_AREA = ResourceVector(ff=6_000, lut=10_000, dsp=6, bram=15)
+
+#: Extra SoC logic of the original/DCD design: the MicroBlaze-relay
+#: datapath that the prefetch system replaces.
+RELAY_DATAPATH_AREA = ResourceVector(ff=7_426, lut=2_953, dsp=5, bram=0)
+
+FRONTEND_AREA = ResourceVector(ff=7_000, lut=14_000, dsp=0, bram=24)
+REGFILE_AREA = ResourceVector(ff=15_500, lut=40_865, dsp=0, bram=96)
+DECODE_AREA = ResourceVector(ff=7_000, lut=15_500, dsp=0, bram=0)
+LDS_AREA = ResourceVector(ff=0, lut=0, dsp=0, bram=0)  # folded into LSU below
+
+FU_AREA = {
+    FunctionalUnit.SALU: ResourceVector(ff=6_500, lut=11_500, dsp=30, bram=0),
+    FunctionalUnit.SIMD: ResourceVector(ff=24_000, lut=31_000, dsp=88, bram=0),
+    FunctionalUnit.SIMF: ResourceVector(ff=44_000, lut=62_000, dsp=22, bram=64),
+    FunctionalUnit.LSU: ResourceVector(ff=11_806, lut=26_500, dsp=52, bram=24),
+}
+
+#: Sensitivity of DSP48 usage to instruction-level trimming.  DSPs sit
+#: in the shared add/multiply datapaths that *every* kernel's control
+#: flow exercises, so removing decoder legs barely releases them
+#: (Section 4.1.1: "only a limited reduction ... is attained"); they go
+#: away only when a whole unit is removed.
+DSP_TRIM_SENSITIVITY = 0.05
+#: BRAMs (transcendental tables, LDS, queues) are fixed-size blocks --
+#: instruction-level trimming cannot shrink them at all.
+BRAM_TRIM_SENSITIVITY = 0.0
+
+PREFETCH_CTRL_AREA = ResourceVector(ff=1_500, lut=2_000, dsp=0, bram=0)
+#: BRAM blocks devoted to the prefetch buffer in the single-CU baseline.
+PREFETCH_BASELINE_BRAMS = 928
+
+#: Structural base fraction of each FU: operand routing, result buses
+#: and pipeline registers that only disappear when the *whole* unit is
+#: removed.  The remaining (1 - base) is apportioned to the unit's
+#: instructions by category weight and trimmed per instruction.
+FU_BASE_FRACTION = {
+    FunctionalUnit.SALU: 0.50,
+    FunctionalUnit.SIMD: 0.35,
+    # A retained floating-point VALU is nearly monolithic: the shared
+    # normalisation/rounding pipeline dwarfs per-operation decoders.
+    FunctionalUnit.SIMF: 0.70,
+    FunctionalUnit.LSU: 0.60,
+    FunctionalUnit.BRANCH: 1.0,  # never trimmed
+}
+
+#: Decode structural base (format classifiers, PC/literal join logic).
+DECODE_BASE_FRACTION = 0.20
+
+#: Register-file crossbar share tied to each vector ALU's read/write
+#: ports; freed when the unit is removed outright.
+REGFILE_PORT_SHARE = {
+    FunctionalUnit.SIMD: 0.18,
+    FunctionalUnit.SIMF: 0.30,
+}
+
+#: Relative hardware cost of one instruction's decode+execute logic,
+#: by computational category (divides and transcendentals are iterative
+#: multi-stage units; moves are wires and a mux leg).
+CATEGORY_WEIGHT = {
+    OpCategory.MOV: 0.5,
+    OpCategory.LOGIC: 0.7,
+    OpCategory.SHIFT: 0.9,
+    OpCategory.BITWISE: 1.0,
+    OpCategory.CONVERT: 1.3,
+    OpCategory.CONTROL: 0.6,
+    OpCategory.ADD: 1.0,
+    OpCategory.MUL: 2.2,
+    OpCategory.DIV: 3.0,
+    OpCategory.TRANS: 3.5,
+    OpCategory.MEMORY: 1.0,
+}
+
+#: Narrow-datapath scaling: fraction of a 32-bit vector datapath that
+#: remains at each width (Section 4.2's INT8 NIN experiment).  Control
+#: does not shrink, hence the floor.
+def datapath_scale(bits):
+    if bits >= 32:
+        return 1.0
+    return 0.35 + 0.65 * (bits / 32.0)
+
+
+# ---------------------------------------------------------------------------
+# Power model coefficients (Watts).  Fit against Figure 6:
+# original 0.39+3.20, DCD 0.39+3.27, DCD+PM 0.46+3.49; trimmed dynamic
+# 2.77..3.29; see repro.fpga.power_model for the model form.
+# ---------------------------------------------------------------------------
+
+#: DDR3 interface + MIG dynamic power.
+P_DDR_DYNAMIC = 0.80
+#: MicroBlaze + AXI dynamic power at the CU clock (scales with ratio).
+P_SOC_DYNAMIC_AT_CU_CLOCK = 0.02325
+#: Prefetch BRAM dynamic power per RAMB36 block.
+P_PM_BRAM_DYNAMIC = 0.22 / PREFETCH_BASELINE_BRAMS
+#: Datapath switching power of the busy instruction stream (activity
+#: follows the workload, not the instantiated copies -- replicated CUs
+#: mostly add clock-tree load).
+P_ACTIVE_DYNAMIC = 1.377
+#: Clock-tree + idle-logic dynamic power of one full CU's logic.
+P_CLOCK_TREE_PER_CU = 1.00
+
+#: Static power: die leakage + per-resource leakage.
+P_STATIC_BASE = 0.283
+P_STATIC_PER_DESIGN = 0.09  # leakage of one full original design's logic
+P_STATIC_PER_BRAM = 7.54e-5

@@ -1,0 +1,99 @@
+"""FPGA power model: static + dynamic, per architecture configuration.
+
+Model form (fit against the Figure 6 power annotations -- original
+0.39 W static + 3.20 W dynamic, DCD 0.39+3.27, DCD+PM 0.46+3.49,
+trimmed single-CU dynamics between 2.77 and 3.29 W):
+
+``P_dynamic = P_ddr + P_soc(ratio) + P_pm(brams) + P_active
+              + P_clock x (instantiated CU logic, in full-CU units)``
+
+The *active* term is the switching power of the instruction stream in
+flight; it follows the workload, which the system feeds at a roughly
+configuration-independent rate, so replicated CUs mostly add
+clock-tree and idle-logic load (the ``P_clock`` term).  Trimming
+attacks exactly that term: the removed logic was idle -- it burned
+clock-tree and leakage power, not useful switching -- which is why the
+paper's savings in *power* track savings in *area* rather than
+activity (Section 3.2: "this core requires less power since there are
+fewer hardware components to feed").
+
+``P_static = base die leakage + per-logic leakage + per-BRAM leakage``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import calibration as cal
+from .resources import ResourceVector
+
+
+@dataclass(frozen=True)
+class PowerEstimate:
+    """Static/dynamic split, in Watts."""
+
+    static: float
+    dynamic: float
+
+    @property
+    def total(self):
+        return self.static + self.dynamic
+
+    def __str__(self):
+        return "{:.2f}W ({:.2f} static + {:.2f} dynamic)".format(
+            self.total, self.static, self.dynamic)
+
+
+#: Logic size of one full (untrimmed, 32-bit) compute unit, used as the
+#: normalisation unit of the clock-tree term.
+def _full_cu_logic():
+    full = cal.FRONTEND_AREA + cal.REGFILE_AREA + cal.DECODE_AREA
+    for vec in cal.FU_AREA.values():
+        full = full + vec
+    return full
+
+
+_FULL_CU = _full_cu_logic()
+_FULL_CU_LOGIC_UNITS = _FULL_CU.ff + _FULL_CU.lut
+
+#: Logic size of one full original design, normalising static leakage.
+_FULL_DESIGN_UNITS = (
+    _FULL_CU_LOGIC_UNITS
+    + cal.SOC_AREA.ff + cal.SOC_AREA.lut
+    + cal.RELAY_DATAPATH_AREA.ff + cal.RELAY_DATAPATH_AREA.lut
+)
+
+
+class PowerModel:
+    """Estimates board power for a synthesised configuration."""
+
+    def estimate(self, total_area, cu_logic_area, clock_ratio,
+                 prefetch_brams=0):
+        """Power of a configuration.
+
+        Parameters
+        ----------
+        total_area:
+            Whole-design :class:`ResourceVector` (from synthesis).
+        cu_logic_area:
+            Summed CU logic (all CUs, excluding prefetch BRAMs).
+        clock_ratio:
+            MicroBlaze-domain over CU-domain clock ratio (1 or 4).
+        prefetch_brams:
+            RAMB36 blocks devoted to prefetch buffers.
+        """
+        cu_units = (cu_logic_area.ff + cu_logic_area.lut) / _FULL_CU_LOGIC_UNITS
+        dynamic = (
+            cal.P_DDR_DYNAMIC
+            + cal.P_SOC_DYNAMIC_AT_CU_CLOCK * clock_ratio
+            + cal.P_PM_BRAM_DYNAMIC * prefetch_brams
+            + cal.P_ACTIVE_DYNAMIC
+            + cal.P_CLOCK_TREE_PER_CU * cu_units
+        )
+        design_units = (total_area.ff + total_area.lut) / _FULL_DESIGN_UNITS
+        static = (
+            cal.P_STATIC_BASE
+            + cal.P_STATIC_PER_DESIGN * design_units
+            + cal.P_STATIC_PER_BRAM * total_area.bram
+        )
+        return PowerEstimate(static=static, dynamic=dynamic)

@@ -1,0 +1,113 @@
+"""FPGA resource vectors and the Virtex-7 device model.
+
+Everything the SCRATCH area model reasons about is a
+:class:`ResourceVector` over the four resource classes Figure 6
+reports: slice flip-flops, slice LUTs, DSP48 slices and block RAMs.
+The evaluation board is an AlphaData ADM-PCIE-7V3 carrying a Xilinx
+Virtex-7 XC7VX690T (Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ResourceError
+
+RESOURCE_KINDS = ("ff", "lut", "dsp", "bram")
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """Counts of the four FPGA resource classes."""
+
+    ff: float = 0.0
+    lut: float = 0.0
+    dsp: float = 0.0
+    bram: float = 0.0
+
+    def __add__(self, other):
+        return ResourceVector(self.ff + other.ff, self.lut + other.lut,
+                              self.dsp + other.dsp, self.bram + other.bram)
+
+    def __sub__(self, other):
+        return ResourceVector(self.ff - other.ff, self.lut - other.lut,
+                              self.dsp - other.dsp, self.bram - other.bram)
+
+    def scale(self, factor):
+        return ResourceVector(self.ff * factor, self.lut * factor,
+                              self.dsp * factor, self.bram * factor)
+
+    def scale_each(self, ff=1.0, lut=1.0, dsp=1.0, bram=1.0):
+        return ResourceVector(self.ff * ff, self.lut * lut,
+                              self.dsp * dsp, self.bram * bram)
+
+    def fits_in(self, other, margin=1.0):
+        """Whether this vector fits in ``other`` scaled by ``margin``."""
+        return (self.ff <= other.ff * margin and self.lut <= other.lut * margin
+                and self.dsp <= other.dsp * margin
+                and self.bram <= other.bram * margin)
+
+    def fraction_of(self, other):
+        """Per-class utilisation fractions relative to ``other``."""
+        def frac(a, b):
+            return a / b if b else 0.0
+        return {
+            "ff": frac(self.ff, other.ff),
+            "lut": frac(self.lut, other.lut),
+            "dsp": frac(self.dsp, other.dsp),
+            "bram": frac(self.bram, other.bram),
+        }
+
+    def rounded(self):
+        return ResourceVector(round(self.ff), round(self.lut),
+                              round(self.dsp), round(self.bram))
+
+    def as_dict(self):
+        return {"ff": self.ff, "lut": self.lut, "dsp": self.dsp, "bram": self.bram}
+
+    def __str__(self):
+        return "FF={:.0f} LUT={:.0f} DSP={:.0f} BRAM={:.0f}".format(
+            self.ff, self.lut, self.dsp, self.bram)
+
+
+ZERO = ResourceVector()
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """An FPGA part: capacity plus a routing-utilisation ceiling.
+
+    ``routing_ceiling`` models that designs stop meeting timing or
+    routing well before 100% utilisation; the fit checks of the
+    parallelism planner use capacity x ceiling, which is what limits
+    the paper's designs to 3 CUs (Section 4.3).
+    """
+
+    name: str
+    capacity: ResourceVector
+    routing_ceiling: float = 0.72
+
+    @property
+    def usable(self):
+        return ResourceVector(
+            ff=self.capacity.ff * self.routing_ceiling,
+            lut=self.capacity.lut * self.routing_ceiling,
+            dsp=self.capacity.dsp * self.routing_ceiling,
+            # BRAM placement is regular; it routes closer to capacity.
+            bram=self.capacity.bram * min(1.0, self.routing_ceiling + 0.24),
+        )
+
+    def check_fits(self, used, what="design"):
+        if not used.fits_in(self.usable):
+            raise ResourceError(
+                "{} does not fit on {}: needs {}, usable {}".format(
+                    what, self.name, used.rounded(), self.usable.rounded()
+                )
+            )
+
+
+#: The evaluation device (Virtex-7 XC7VX690T).
+XC7VX690T = FpgaDevice(
+    name="xc7vx690t",
+    capacity=ResourceVector(ff=866_400, lut=433_200, dsp=3_600, bram=1_470),
+)

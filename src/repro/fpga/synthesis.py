@@ -1,0 +1,120 @@
+"""'Synthesis': turn an architecture configuration into a utilisation
+and power report, and check device fit.
+
+This is the model stand-in for the Vivado implementation step of the
+SCRATCH flow (Figure 3, step iii).  It composes the area model over the
+configuration's compute units (distributing the prefetch BRAM across
+them, as the paper's multi-CU designs do -- Section 4.1.1) and runs the
+power model on the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..core.config import ArchConfig
+from ..errors import ResourceError
+from .area_model import AreaModel
+from .calibration import PREFETCH_BASELINE_BRAMS
+from .power_model import PowerEstimate, PowerModel
+from .resources import XC7VX690T, FpgaDevice, ResourceVector, ZERO
+
+
+@dataclass
+class SynthesisReport:
+    """Utilisation + power of one configuration on one device."""
+
+    config: ArchConfig
+    device: FpgaDevice
+    soc: ResourceVector
+    per_cu: ResourceVector
+    cu_components: Dict[str, ResourceVector]
+    prefetch_brams: int
+    power: PowerEstimate
+
+    @property
+    def total(self):
+        return self.soc + self.per_cu.scale(self.config.num_cus)
+
+    @property
+    def cu_logic_total(self):
+        """All-CU logic excluding the prefetch storage BRAM."""
+        logic = self.per_cu - ResourceVector(bram=self.prefetch_brams)
+        return logic.scale(self.config.num_cus)
+
+    def utilisation(self):
+        return self.total.fraction_of(self.device.capacity)
+
+    def fits(self):
+        return self.total.fits_in(self.device.usable)
+
+    def savings_vs(self, other):
+        """Per-class fractional resource savings relative to ``other``.
+
+        This is Figure 6's "Resource Savings (percentage over
+        Baseline)" when ``other`` is the untrimmed baseline report.
+        """
+        mine, theirs = self.total, other.total
+
+        def save(a, b):
+            return (b - a) / b if b else 0.0
+
+        return {
+            "ff": save(mine.ff, theirs.ff),
+            "lut": save(mine.lut, theirs.lut),
+            "dsp": save(mine.dsp, theirs.dsp),
+            "bram": save(mine.bram, theirs.bram),
+        }
+
+    def summary(self):
+        lines = ["{}".format(self.config.describe())]
+        lines.append("  total: {}".format(self.total.rounded()))
+        for name, frac in sorted(self.utilisation().items()):
+            lines.append("  {:>5}: {:5.1%}".format(name, frac))
+        lines.append("  power: {}".format(self.power))
+        return "\n".join(lines)
+
+
+class Synthesizer:
+    """Builds :class:`SynthesisReport` objects for configurations."""
+
+    def __init__(self, device=XC7VX690T, area_model=None, power_model=None):
+        self.device = device
+        self.area = area_model or AreaModel()
+        self.power = power_model or PowerModel()
+
+    def prefetch_brams_per_cu(self, config):
+        """The fixed prefetch BRAM pool split across the CUs."""
+        if not config.has_prefetch:
+            return 0
+        return PREFETCH_BASELINE_BRAMS // config.num_cus
+
+    def synthesize(self, config, check_fit=False):
+        pm_brams = self.prefetch_brams_per_cu(config)
+        breakdown = self.area.cu_area_for_config(config, prefetch_brams=pm_brams)
+        per_cu = breakdown.total
+        soc = self.area.soc_area(prefetch=config.has_prefetch)
+        report = SynthesisReport(
+            config=config,
+            device=self.device,
+            soc=soc,
+            per_cu=per_cu,
+            cu_components=dict(breakdown.components),
+            prefetch_brams=pm_brams,
+            power=PowerEstimate(0.0, 0.0),
+        )
+        report.power = self.power.estimate(
+            total_area=report.total,
+            cu_logic_area=report.cu_logic_total,
+            clock_ratio=config.generation.clock_ratio,
+            prefetch_brams=pm_brams * config.num_cus,
+        )
+        if check_fit and not report.fits():
+            raise ResourceError(
+                "{} does not fit: {} vs usable {}".format(
+                    config.describe(), report.total.rounded(),
+                    self.device.usable.rounded()
+                )
+            )
+        return report

@@ -1,0 +1,32 @@
+"""Southern Islands ISA model: formats, registers, the 156-instruction set."""
+
+from .categories import DataType, FunctionalUnit, OpCategory
+from .decode import DecodedInstruction, decode_one, decode_program
+from .formats import Format, classify_word
+from .instructions import (
+    InstructionSpec,
+    MIAOW2_INSTRUCTION_COUNT,
+    ORIGINAL_MIAOW_INSTRUCTION_COUNT,
+    Registry,
+)
+from .registers import (
+    MAX_WAVEFRONTS,
+    NUM_SGPRS,
+    NUM_VGPRS,
+    WAVEFRONT_SIZE,
+    Operand,
+    imm,
+    sgpr,
+    special,
+    vgpr,
+)
+from .tables import ISA, spec
+
+__all__ = [
+    "DataType", "FunctionalUnit", "OpCategory", "Format", "classify_word",
+    "DecodedInstruction", "decode_one", "decode_program",
+    "InstructionSpec", "Registry", "ISA", "spec",
+    "MIAOW2_INSTRUCTION_COUNT", "ORIGINAL_MIAOW_INSTRUCTION_COUNT",
+    "MAX_WAVEFRONTS", "NUM_SGPRS", "NUM_VGPRS", "WAVEFRONT_SIZE",
+    "Operand", "imm", "sgpr", "special", "vgpr",
+]

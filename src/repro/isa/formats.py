@@ -1,0 +1,431 @@
+"""Southern Islands instruction encoding formats.
+
+MIAOW2.0 consumes real Southern Islands machine code (Section 2.3: the
+validation microbenchmarks are written directly in SI machine code), so
+this module implements the actual bit-level layouts from the *Southern
+Islands Series Instruction Set Architecture Reference Guide* for every
+format the 156-instruction set touches:
+
+=========  ======  =====================================================
+format     words   purpose
+=========  ======  =====================================================
+SOP2       1       scalar, two sources
+SOPK       1       scalar, 16-bit inline constant
+SOP1       1       scalar, one source
+SOPC       1       scalar compare (writes SCC)
+SOPP       1       program control (branches, barrier, waitcnt, endpgm)
+SMRD       1       scalar memory read
+VOP2       1       vector, two sources
+VOP1       1       vector, one source
+VOPC       1       vector compare (writes VCC)
+VOP3       2       vector, three sources / explicit scalar destination
+DS         2       local data share (LDS) access
+MUBUF      2       untyped buffer memory access
+MTBUF      2       typed buffer memory access
+=========  ======  =====================================================
+
+A literal constant appends one extra dword to any single-word format;
+the Fetch stage then performs two fetches and joins the halves before
+decoding (Section 2.1.1) -- the fetch timing model charges for this.
+
+Every ``pack_*`` function returns a list of 32-bit words; ``unpack_*``
+functions return a dict of field values.  The identifier bit patterns
+live in :data:`FORMAT_MAGIC` so the decoder can classify a word.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..errors import DecodingError, EncodingError
+
+WORD_MASK = 0xFFFFFFFF
+
+
+class Format(enum.Enum):
+    SOP2 = "sop2"
+    SOPK = "sopk"
+    SOP1 = "sop1"
+    SOPC = "sopc"
+    SOPP = "sopp"
+    SMRD = "smrd"
+    VOP2 = "vop2"
+    VOP1 = "vop1"
+    VOPC = "vopc"
+    VOP3 = "vop3"
+    DS = "ds"
+    MUBUF = "mubuf"
+    MTBUF = "mtbuf"
+
+    @property
+    def is_scalar(self):
+        return self in (Format.SOP2, Format.SOPK, Format.SOP1, Format.SOPC, Format.SOPP)
+
+    @property
+    def is_vector(self):
+        return self in (Format.VOP2, Format.VOP1, Format.VOPC, Format.VOP3)
+
+    @property
+    def is_memory(self):
+        return self in (Format.SMRD, Format.DS, Format.MUBUF, Format.MTBUF)
+
+    @property
+    def base_words(self):
+        """Instruction size in dwords, excluding any literal constant."""
+        return 2 if self in (Format.VOP3, Format.DS, Format.MUBUF, Format.MTBUF) else 1
+
+
+def _field(value, width, name):
+    value = int(value)
+    if value < 0 or value >= (1 << width):
+        raise EncodingError(
+            "field {} value {} does not fit in {} bits".format(name, value, width)
+        )
+    return value
+
+
+def _bits(word, hi, lo):
+    return (word >> lo) & ((1 << (hi - lo + 1)) - 1)
+
+
+# ---------------------------------------------------------------------------
+# Scalar formats.
+# ---------------------------------------------------------------------------
+
+def pack_sop2(op, sdst, ssrc0, ssrc1):
+    # Opcodes >= 96 collide with the SOPK/SOP1/SOPC/SOPP carve-outs of
+    # the scalar encoding space.
+    if not 0 <= op < 96:
+        raise EncodingError("SOP2 opcode out of range: {}".format(op))
+    word = (0b10 << 30) | (_field(op, 7, "op") << 23)
+    word |= _field(sdst, 7, "sdst") << 16
+    word |= _field(ssrc1, 8, "ssrc1") << 8
+    word |= _field(ssrc0, 8, "ssrc0")
+    return [word & WORD_MASK]
+
+
+def unpack_sop2(word):
+    return {
+        "op": _bits(word, 29, 23),
+        "sdst": _bits(word, 22, 16),
+        "ssrc1": _bits(word, 15, 8),
+        "ssrc0": _bits(word, 7, 0),
+    }
+
+
+def pack_sopk(op, sdst, simm16):
+    # Opcodes 29..31 are the SOP1/SOPC/SOPP identifiers.
+    if not 0 <= op < 29:
+        raise EncodingError("SOPK opcode out of range: {}".format(op))
+    word = (0b1011 << 28) | (_field(op, 5, "op") << 23)
+    word |= _field(sdst, 7, "sdst") << 16
+    word |= _field(simm16 & 0xFFFF, 16, "simm16")
+    return [word & WORD_MASK]
+
+
+def unpack_sopk(word):
+    return {
+        "op": _bits(word, 27, 23),
+        "sdst": _bits(word, 22, 16),
+        "simm16": _bits(word, 15, 0),
+    }
+
+
+def pack_sop1(op, sdst, ssrc0):
+    word = (0b101111101 << 23)
+    word |= _field(sdst, 7, "sdst") << 16
+    word |= _field(op, 8, "op") << 8
+    word |= _field(ssrc0, 8, "ssrc0")
+    return [word & WORD_MASK]
+
+
+def unpack_sop1(word):
+    return {
+        "op": _bits(word, 15, 8),
+        "sdst": _bits(word, 22, 16),
+        "ssrc0": _bits(word, 7, 0),
+    }
+
+
+def pack_sopc(op, ssrc0, ssrc1):
+    word = (0b101111110 << 23)
+    word |= _field(op, 7, "op") << 16
+    word |= _field(ssrc1, 8, "ssrc1") << 8
+    word |= _field(ssrc0, 8, "ssrc0")
+    return [word & WORD_MASK]
+
+
+def unpack_sopc(word):
+    return {
+        "op": _bits(word, 22, 16),
+        "ssrc1": _bits(word, 15, 8),
+        "ssrc0": _bits(word, 7, 0),
+    }
+
+
+def pack_sopp(op, simm16=0):
+    word = (0b101111111 << 23)
+    word |= _field(op, 7, "op") << 16
+    word |= _field(simm16 & 0xFFFF, 16, "simm16")
+    return [word & WORD_MASK]
+
+
+def unpack_sopp(word):
+    return {"op": _bits(word, 22, 16), "simm16": _bits(word, 15, 0)}
+
+
+def pack_smrd(op, sdst, sbase, offset, imm):
+    """``sbase`` is the register-pair index (register number >> 1)."""
+    word = (0b11000 << 27) | (_field(op, 5, "op") << 22)
+    word |= _field(sdst, 7, "sdst") << 15
+    word |= _field(sbase, 6, "sbase") << 9
+    word |= _field(1 if imm else 0, 1, "imm") << 8
+    word |= _field(offset, 8, "offset")
+    return [word & WORD_MASK]
+
+
+def unpack_smrd(word):
+    return {
+        "op": _bits(word, 26, 22),
+        "sdst": _bits(word, 21, 15),
+        "sbase": _bits(word, 14, 9),
+        "imm": _bits(word, 8, 8),
+        "offset": _bits(word, 7, 0),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Vector formats.
+# ---------------------------------------------------------------------------
+
+def pack_vop2(op, vdst, src0, vsrc1):
+    # Opcodes 62/63 are the VOPC/VOP1 identifiers.
+    if not 0 <= op < 62:
+        raise EncodingError("VOP2 opcode out of range: {}".format(op))
+    word = _field(op, 6, "op") << 25
+    word |= _field(vdst, 8, "vdst") << 17
+    word |= _field(vsrc1, 8, "vsrc1") << 9
+    word |= _field(src0, 9, "src0")
+    return [word & WORD_MASK]
+
+
+def unpack_vop2(word):
+    return {
+        "op": _bits(word, 30, 25),
+        "vdst": _bits(word, 24, 17),
+        "vsrc1": _bits(word, 16, 9),
+        "src0": _bits(word, 8, 0),
+    }
+
+
+def pack_vop1(op, vdst, src0):
+    word = (0b0111111 << 25)
+    word |= _field(vdst, 8, "vdst") << 17
+    word |= _field(op, 8, "op") << 9
+    word |= _field(src0, 9, "src0")
+    return [word & WORD_MASK]
+
+
+def unpack_vop1(word):
+    return {
+        "op": _bits(word, 16, 9),
+        "vdst": _bits(word, 24, 17),
+        "src0": _bits(word, 8, 0),
+    }
+
+
+def pack_vopc(op, src0, vsrc1):
+    word = (0b0111110 << 25)
+    word |= _field(op, 8, "op") << 17
+    word |= _field(vsrc1, 8, "vsrc1") << 9
+    word |= _field(src0, 9, "src0")
+    return [word & WORD_MASK]
+
+
+def unpack_vopc(word):
+    return {
+        "op": _bits(word, 24, 17),
+        "vsrc1": _bits(word, 16, 9),
+        "src0": _bits(word, 8, 0),
+    }
+
+
+def pack_vop3(op, vdst, src0, src1, src2=0, sdst=None, abs_=0, clamp=0, neg=0, omod=0):
+    """VOP3a (``sdst is None``) or VOP3b (explicit scalar destination).
+
+    VOP3 is also the promotion target for VOP2/VOPC instructions whose
+    operands do not fit the compact encodings (e.g. a compare writing an
+    SGPR pair as in Figure 5's ``V_CMP_GT_U32 s[14:15], v13, v4``); the
+    assembler performs that promotion automatically via the opcode
+    offsets in :data:`VOP3_VOP2_OFFSET` / :data:`VOP3_VOPC_OFFSET`.
+    """
+    word0 = (0b110100 << 26) | (_field(op, 9, "op") << 17)
+    if sdst is None:
+        word0 |= _field(clamp, 1, "clamp") << 11
+        word0 |= _field(abs_, 3, "abs") << 8
+    else:
+        word0 |= _field(sdst, 7, "sdst") << 8
+    word0 |= _field(vdst, 8, "vdst")
+    word1 = _field(neg, 3, "neg") << 29
+    word1 |= _field(omod, 2, "omod") << 27
+    word1 |= _field(src2, 9, "src2") << 18
+    word1 |= _field(src1, 9, "src1") << 9
+    word1 |= _field(src0, 9, "src0")
+    return [word0 & WORD_MASK, word1 & WORD_MASK]
+
+
+def unpack_vop3(word0, word1, has_sdst=False):
+    fields = {
+        "op": _bits(word0, 25, 17),
+        "vdst": _bits(word0, 7, 0),
+        "src2": _bits(word1, 26, 18),
+        "src1": _bits(word1, 17, 9),
+        "src0": _bits(word1, 8, 0),
+        "neg": _bits(word1, 31, 29),
+        "omod": _bits(word1, 28, 27),
+    }
+    if has_sdst:
+        fields["sdst"] = _bits(word0, 14, 8)
+    else:
+        fields["clamp"] = _bits(word0, 11, 11)
+        fields["abs"] = _bits(word0, 10, 8)
+    return fields
+
+
+#: VOP2/VOPC opcodes are reachable through VOP3 at fixed offsets.
+VOP3_VOPC_OFFSET = 0
+VOP3_VOP2_OFFSET = 256
+VOP3_VOP1_OFFSET = 384
+VOP3_NATIVE_FIRST = 320  # opcodes >= 320 (and < 384) exist only as VOP3
+
+
+# ---------------------------------------------------------------------------
+# Memory formats (two words each).
+# ---------------------------------------------------------------------------
+
+def pack_ds(op, vdst, addr, data0=0, data1=0, offset0=0, offset1=0, gds=0):
+    word0 = (0b110110 << 26) | (_field(op, 8, "op") << 18)
+    word0 |= _field(gds, 1, "gds") << 17
+    word0 |= _field(offset1, 8, "offset1") << 8
+    word0 |= _field(offset0, 8, "offset0")
+    word1 = _field(vdst, 8, "vdst") << 24
+    word1 |= _field(data1, 8, "data1") << 16
+    word1 |= _field(data0, 8, "data0") << 8
+    word1 |= _field(addr, 8, "addr")
+    return [word0 & WORD_MASK, word1 & WORD_MASK]
+
+
+def unpack_ds(word0, word1):
+    return {
+        "op": _bits(word0, 25, 18),
+        "gds": _bits(word0, 17, 17),
+        "offset1": _bits(word0, 15, 8),
+        "offset0": _bits(word0, 7, 0),
+        "vdst": _bits(word1, 31, 24),
+        "data1": _bits(word1, 23, 16),
+        "data0": _bits(word1, 15, 8),
+        "addr": _bits(word1, 7, 0),
+    }
+
+
+def pack_mubuf(op, vdata, vaddr, srsrc, soffset, offset=0, offen=0, idxen=0, glc=0):
+    """``srsrc`` is the quad-register index (register number >> 2)."""
+    word0 = (0b111000 << 26) | (_field(op, 7, "op") << 18)
+    word0 |= _field(glc, 1, "glc") << 14
+    word0 |= _field(idxen, 1, "idxen") << 13
+    word0 |= _field(offen, 1, "offen") << 12
+    word0 |= _field(offset, 12, "offset")
+    word1 = _field(soffset, 8, "soffset") << 24
+    word1 |= _field(srsrc, 5, "srsrc") << 16
+    word1 |= _field(vdata, 8, "vdata") << 8
+    word1 |= _field(vaddr, 8, "vaddr")
+    return [word0 & WORD_MASK, word1 & WORD_MASK]
+
+
+def unpack_mubuf(word0, word1):
+    return {
+        "op": _bits(word0, 24, 18),
+        "glc": _bits(word0, 14, 14),
+        "idxen": _bits(word0, 13, 13),
+        "offen": _bits(word0, 12, 12),
+        "offset": _bits(word0, 11, 0),
+        "soffset": _bits(word1, 31, 24),
+        "srsrc": _bits(word1, 20, 16),
+        "vdata": _bits(word1, 15, 8),
+        "vaddr": _bits(word1, 7, 0),
+    }
+
+
+def pack_mtbuf(op, vdata, vaddr, srsrc, soffset, offset=0, offen=0, idxen=0,
+               dfmt=4, nfmt=4):
+    """Typed buffer access; ``dfmt=4`` (32) ``nfmt=4`` (uint) by default."""
+    word0 = (0b111010 << 26) | (_field(nfmt, 3, "nfmt") << 23)
+    word0 |= _field(dfmt, 4, "dfmt") << 19
+    word0 |= _field(op, 3, "op") << 16
+    word0 |= _field(idxen, 1, "idxen") << 13
+    word0 |= _field(offen, 1, "offen") << 12
+    word0 |= _field(offset, 12, "offset")
+    word1 = _field(soffset, 8, "soffset") << 24
+    word1 |= _field(srsrc, 5, "srsrc") << 16
+    word1 |= _field(vdata, 8, "vdata") << 8
+    word1 |= _field(vaddr, 8, "vaddr")
+    return [word0 & WORD_MASK, word1 & WORD_MASK]
+
+
+def unpack_mtbuf(word0, word1):
+    return {
+        "op": _bits(word0, 18, 16),
+        "nfmt": _bits(word0, 25, 23),
+        "dfmt": _bits(word0, 22, 19),
+        "idxen": _bits(word0, 13, 13),
+        "offen": _bits(word0, 12, 12),
+        "offset": _bits(word0, 11, 0),
+        "soffset": _bits(word1, 31, 24),
+        "srsrc": _bits(word1, 20, 16),
+        "vdata": _bits(word1, 15, 8),
+        "vaddr": _bits(word1, 7, 0),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Format classification of a fetched word.
+# ---------------------------------------------------------------------------
+
+def classify_word(word):
+    """Identify which encoding format a 32-bit instruction word uses.
+
+    Resolution order follows the SI identifier-bit hierarchy: 9-bit
+    scalar identifiers are checked before the wider families that they
+    specialise.
+    """
+    word &= WORD_MASK
+    top9 = word >> 23
+    if top9 == 0b101111101:
+        return Format.SOP1
+    if top9 == 0b101111110:
+        return Format.SOPC
+    if top9 == 0b101111111:
+        return Format.SOPP
+    if (word >> 28) == 0b1011:
+        return Format.SOPK
+    if (word >> 30) == 0b10:
+        return Format.SOP2
+    if (word >> 27) == 0b11000:
+        return Format.SMRD
+    top6 = word >> 26
+    if top6 == 0b110100:
+        return Format.VOP3
+    if top6 == 0b110110:
+        return Format.DS
+    if top6 == 0b111000:
+        return Format.MUBUF
+    if top6 == 0b111010:
+        return Format.MTBUF
+    if (word >> 31) == 0:
+        top7 = word >> 25
+        if top7 == 0b0111111:
+            return Format.VOP1
+        if top7 == 0b0111110:
+            return Format.VOPC
+        return Format.VOP2
+    raise DecodingError("word 0x{:08x} matches no Southern Islands format".format(word))

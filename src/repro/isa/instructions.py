@@ -1,0 +1,161 @@
+"""The MIAOW2.0 instruction registry.
+
+MIAOW2.0 extends the original MIAOW synthesizable design from 42 to a
+set of **156 fully usable instructions** of the AMD Southern Islands
+ISA (paper abstract and Section 2.1.3).  This module defines the
+:class:`InstructionSpec` metadata record and the :class:`Registry` that
+holds the full set; the actual tables live in :mod:`repro.isa.tables`.
+
+Every downstream consumer keys off this registry:
+
+* the assembler/disassembler use the (format, opcode) mapping,
+* the compute-unit decode stage selects the functional unit,
+* the SCRATCH trimming tool builds its per-unit instruction histograms
+  from the ``unit``/``category``/``dtype`` attributes (Algorithm 1),
+* the FPGA area model prices each instruction's decode+execute logic
+  from its ``category`` and ``dtype``.
+
+The registry also carries a small *characterisation superset* of
+instructions (double-precision arithmetic among them) that MIAOW2.0
+does **not** implement.  The paper needed Multi2Sim for exactly this
+reason when producing Figure 4 ("used to guarantee full support to all
+instructions including double-precision floating-point"); here the
+superset entries are decodable and classifiable but flagged
+``implemented=False`` and will trap if executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import IsaError
+from .categories import DataType, FunctionalUnit, OpCategory
+from .formats import (
+    Format,
+    VOP3_NATIVE_FIRST,
+    VOP3_VOP2_OFFSET,
+    VOP3_VOPC_OFFSET,
+)
+
+#: Number of Southern Islands instructions MIAOW2.0 implements.
+MIAOW2_INSTRUCTION_COUNT = 156
+#: Number of instructions the original synthesizable MIAOW supported.
+ORIGINAL_MIAOW_INSTRUCTION_COUNT = 42
+
+
+@dataclass(frozen=True)
+class InstructionSpec:
+    """Static description of one ISA instruction.
+
+    ``op64`` marks instructions whose register operands are 64-bit
+    pairs (``s_mov_b64`` and friends).  ``reads_vcc``/``writes_vcc``
+    cover the implicit VCC traffic of the VOP2 carry/borrow and compare
+    instructions.  ``trans_rate`` marks quarter-rate transcendental and
+    divide operations, which occupy a vector ALU for four times as many
+    passes as a simple op (the execute-stage timing model uses this).
+    """
+
+    name: str
+    fmt: Format
+    opcode: int
+    unit: FunctionalUnit
+    category: OpCategory
+    dtype: DataType = DataType.INT
+    num_srcs: int = 2
+    op64: bool = False
+    reads_scc: bool = False
+    writes_scc: bool = False
+    reads_vcc: bool = False
+    writes_vcc: bool = False
+    sdst_width: int = 0  # explicit scalar destination width (VOP3b / saveexec)
+    trans_rate: bool = False
+    implemented: bool = True
+    notes: str = ""
+
+    @property
+    def is_memory(self):
+        return self.category is OpCategory.MEMORY
+
+    @property
+    def is_branch(self):
+        return self.unit is FunctionalUnit.BRANCH
+
+    @property
+    def is_vector(self):
+        return self.unit.is_vector
+
+    def __str__(self):
+        return self.name
+
+
+class Registry:
+    """Lookup structure over the instruction set.
+
+    Instructions are addressable by mnemonic and by ``(format,
+    opcode)``.  VOP2/VOPC instructions are *also* reachable through
+    their VOP3 promotion opcodes, mirroring the hardware decode paths.
+    """
+
+    def __init__(self):
+        self._by_name = {}
+        self._by_encoding = {}
+
+    def add(self, spec):
+        if spec.name in self._by_name:
+            raise IsaError("duplicate instruction name: {}".format(spec.name))
+        key = (spec.fmt, spec.opcode)
+        if key in self._by_encoding:
+            raise IsaError("duplicate encoding {}/{}".format(spec.fmt, spec.opcode))
+        self._by_name[spec.name] = spec
+        self._by_encoding[key] = spec
+        # VOP2/VOPC are reachable through VOP3 at fixed opcode offsets.
+        if spec.fmt is Format.VOP2:
+            self._by_encoding[(Format.VOP3, spec.opcode + VOP3_VOP2_OFFSET)] = spec
+        elif spec.fmt is Format.VOPC:
+            self._by_encoding[(Format.VOP3, spec.opcode + VOP3_VOPC_OFFSET)] = spec
+        return spec
+
+    def by_name(self, name):
+        try:
+            return self._by_name[name.lower()]
+        except KeyError:
+            raise IsaError("unknown instruction: {!r}".format(name)) from None
+
+    def __contains__(self, name):
+        return name.lower() in self._by_name
+
+    def by_encoding(self, fmt, opcode):
+        try:
+            return self._by_encoding[(fmt, opcode)]
+        except KeyError:
+            raise IsaError(
+                "no instruction with format {} opcode {}".format(fmt.value, opcode)
+            ) from None
+
+    def __iter__(self):
+        return iter(self._by_name.values())
+
+    def __len__(self):
+        return len(self._by_name)
+
+    def vop3_opcode(self, spec):
+        """The opcode used when a VOP2/VOPC instruction is VOP3-encoded."""
+        if spec.fmt is Format.VOP2:
+            return spec.opcode + VOP3_VOP2_OFFSET
+        if spec.fmt is Format.VOPC:
+            return spec.opcode + VOP3_VOPC_OFFSET
+        if spec.fmt is Format.VOP3:
+            return spec.opcode
+        raise IsaError("{} has no VOP3 encoding".format(spec.name))
+
+    def implemented(self):
+        """The instructions MIAOW2.0 actually implements (the 156)."""
+        return [s for s in self if s.implemented]
+
+    def superset_only(self):
+        """Characterisation-only instructions (Figure 4 analysis)."""
+        return [s for s in self if not s.implemented]
+
+    def for_unit(self, unit):
+        """All implemented instructions dispatched to ``unit``."""
+        return [s for s in self.implemented() if s.unit is unit]

@@ -1,0 +1,320 @@
+"""Instruction tables: the 156 MIAOW2.0 instructions + characterisation superset.
+
+The table is organised by encoding format, mirroring how Section 2.3's
+validation scripts were split into scalar / vector / memory programs.
+Opcode values follow the Southern Islands reference guide.
+
+The module-level :data:`ISA` registry is the single authoritative
+instance used across the library; ``tests/isa/test_registry.py`` pins
+the implemented-instruction count to exactly 156.
+"""
+
+from __future__ import annotations
+
+from .categories import DataType, FunctionalUnit, OpCategory
+from .formats import Format
+from .instructions import InstructionSpec, Registry
+
+ISA = Registry()
+
+_INT = DataType.INT
+_F32 = DataType.FP32
+_F64 = DataType.FP64
+_NONE = DataType.NONE
+
+_SALU = FunctionalUnit.SALU
+_SIMD = FunctionalUnit.SIMD
+_SIMF = FunctionalUnit.SIMF
+_LSU = FunctionalUnit.LSU
+_BR = FunctionalUnit.BRANCH
+
+
+def _add(name, fmt, opcode, unit, category, dtype=_INT, **kw):
+    return ISA.add(
+        InstructionSpec(
+            name=name, fmt=fmt, opcode=opcode, unit=unit, category=category,
+            dtype=dtype, **kw,
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# SOP2 -- scalar, two sources (23 instructions).
+# ---------------------------------------------------------------------------
+
+for _op, _nm, _cat, _k in [
+    (0, "s_add_u32", OpCategory.ADD, dict(writes_scc=True)),
+    (1, "s_sub_u32", OpCategory.ADD, dict(writes_scc=True)),
+    (2, "s_add_i32", OpCategory.ADD, dict(writes_scc=True)),
+    (3, "s_sub_i32", OpCategory.ADD, dict(writes_scc=True)),
+    (4, "s_addc_u32", OpCategory.ADD, dict(writes_scc=True, reads_scc=True)),
+    (5, "s_subb_u32", OpCategory.ADD, dict(writes_scc=True, reads_scc=True)),
+    (6, "s_min_i32", OpCategory.ADD, dict(writes_scc=True)),
+    (7, "s_min_u32", OpCategory.ADD, dict(writes_scc=True)),
+    (8, "s_max_i32", OpCategory.ADD, dict(writes_scc=True)),
+    (9, "s_max_u32", OpCategory.ADD, dict(writes_scc=True)),
+    (10, "s_cselect_b32", OpCategory.MOV, dict(reads_scc=True)),
+    (14, "s_and_b32", OpCategory.LOGIC, dict(writes_scc=True)),
+    (15, "s_and_b64", OpCategory.LOGIC, dict(writes_scc=True, op64=True)),
+    (16, "s_or_b32", OpCategory.LOGIC, dict(writes_scc=True)),
+    (17, "s_or_b64", OpCategory.LOGIC, dict(writes_scc=True, op64=True)),
+    (18, "s_xor_b32", OpCategory.LOGIC, dict(writes_scc=True)),
+    (19, "s_xor_b64", OpCategory.LOGIC, dict(writes_scc=True, op64=True)),
+    (30, "s_lshl_b32", OpCategory.SHIFT, dict(writes_scc=True)),
+    (32, "s_lshr_b32", OpCategory.SHIFT, dict(writes_scc=True)),
+    (34, "s_ashr_i32", OpCategory.SHIFT, dict(writes_scc=True)),
+    (38, "s_mul_i32", OpCategory.MUL, dict()),
+    (39, "s_bfe_u32", OpCategory.SHIFT, dict(writes_scc=True)),
+    (40, "s_bfe_i32", OpCategory.SHIFT, dict(writes_scc=True)),
+]:
+    _add(_nm, Format.SOP2, _op, _SALU, _cat, _INT, **_k)
+
+# ---------------------------------------------------------------------------
+# SOPK -- scalar with 16-bit immediate (3 instructions).
+# ---------------------------------------------------------------------------
+
+_add("s_movk_i32", Format.SOPK, 0, _SALU, OpCategory.MOV, _INT, num_srcs=1)
+_add("s_addk_i32", Format.SOPK, 15, _SALU, OpCategory.ADD, _INT, num_srcs=1,
+     writes_scc=True)
+_add("s_mulk_i32", Format.SOPK, 16, _SALU, OpCategory.MUL, _INT, num_srcs=1)
+
+# ---------------------------------------------------------------------------
+# SOP1 -- scalar, one source (12 instructions).
+# ---------------------------------------------------------------------------
+
+for _op, _nm, _cat, _k in [
+    (3, "s_mov_b32", OpCategory.MOV, dict()),
+    (4, "s_mov_b64", OpCategory.MOV, dict(op64=True)),
+    (7, "s_not_b32", OpCategory.LOGIC, dict(writes_scc=True)),
+    (8, "s_not_b64", OpCategory.LOGIC, dict(writes_scc=True, op64=True)),
+    (11, "s_brev_b32", OpCategory.BITWISE, dict()),
+    (15, "s_bcnt1_i32_b32", OpCategory.BITWISE, dict(writes_scc=True)),
+    (19, "s_ff1_i32_b32", OpCategory.BITWISE, dict()),
+    (21, "s_flbit_i32_b32", OpCategory.BITWISE, dict()),
+    (25, "s_sext_i32_i8", OpCategory.CONVERT, dict()),
+    (26, "s_sext_i32_i16", OpCategory.CONVERT, dict()),
+    (36, "s_and_saveexec_b64", OpCategory.CONTROL,
+     dict(op64=True, writes_scc=True)),
+    (37, "s_or_saveexec_b64", OpCategory.CONTROL,
+     dict(op64=True, writes_scc=True)),
+]:
+    _add(_nm, Format.SOP1, _op, _SALU, _cat, _INT, num_srcs=1, **_k)
+
+# ---------------------------------------------------------------------------
+# SOPC -- scalar compares (12 instructions).  Arithmetic compares fall in
+# the ADD category per the Section 3.1 taxonomy.
+# ---------------------------------------------------------------------------
+
+for _op, _nm in [
+    (0, "s_cmp_eq_i32"), (1, "s_cmp_lg_i32"), (2, "s_cmp_gt_i32"),
+    (3, "s_cmp_ge_i32"), (4, "s_cmp_lt_i32"), (5, "s_cmp_le_i32"),
+    (6, "s_cmp_eq_u32"), (7, "s_cmp_lg_u32"), (8, "s_cmp_gt_u32"),
+    (9, "s_cmp_ge_u32"), (10, "s_cmp_lt_u32"), (11, "s_cmp_le_u32"),
+]:
+    _add(_nm, Format.SOPC, _op, _SALU, OpCategory.ADD, _INT, writes_scc=True)
+
+# ---------------------------------------------------------------------------
+# SOPP -- program control (11 instructions), handled by the Branch &
+# Message decode path (Figure 2); barrier/halt are consumed directly by
+# the Issue stage (Section 2.1.1).
+# ---------------------------------------------------------------------------
+
+for _op, _nm, _k in [
+    (0, "s_nop", {}),
+    (1, "s_endpgm", {}),
+    (2, "s_branch", {}),
+    (4, "s_cbranch_scc0", dict(reads_scc=True)),
+    (5, "s_cbranch_scc1", dict(reads_scc=True)),
+    (6, "s_cbranch_vccz", dict(reads_vcc=True)),
+    (7, "s_cbranch_vccnz", dict(reads_vcc=True)),
+    (8, "s_cbranch_execz", {}),
+    (9, "s_cbranch_execnz", {}),
+    (10, "s_barrier", {}),
+    (12, "s_waitcnt", {}),
+]:
+    _add(_nm, Format.SOPP, _op, _BR, OpCategory.CONTROL, _NONE, num_srcs=0, **_k)
+
+# ---------------------------------------------------------------------------
+# SMRD -- scalar memory reads (6 instructions).
+# ---------------------------------------------------------------------------
+
+for _op, _nm in [
+    (0, "s_load_dword"), (1, "s_load_dwordx2"), (2, "s_load_dwordx4"),
+    (8, "s_buffer_load_dword"), (9, "s_buffer_load_dwordx2"),
+    (10, "s_buffer_load_dwordx4"),
+]:
+    _add(_nm, Format.SMRD, _op, _LSU, OpCategory.MEMORY, _NONE, num_srcs=1)
+
+# ---------------------------------------------------------------------------
+# VOP2 -- vector, two sources (27 instructions).
+# ---------------------------------------------------------------------------
+
+for _op, _nm, _unit, _cat, _dt, _k in [
+    (0, "v_cndmask_b32", _SIMD, OpCategory.LOGIC, _INT, dict(reads_vcc=True)),
+    (3, "v_add_f32", _SIMF, OpCategory.ADD, _F32, {}),
+    (4, "v_sub_f32", _SIMF, OpCategory.ADD, _F32, {}),
+    (5, "v_subrev_f32", _SIMF, OpCategory.ADD, _F32, {}),
+    (8, "v_mul_f32", _SIMF, OpCategory.MUL, _F32, {}),
+    (9, "v_mul_i32_i24", _SIMD, OpCategory.MUL, _INT, {}),
+    (15, "v_min_f32", _SIMF, OpCategory.ADD, _F32, {}),
+    (16, "v_max_f32", _SIMF, OpCategory.ADD, _F32, {}),
+    (17, "v_min_i32", _SIMD, OpCategory.ADD, _INT, {}),
+    (18, "v_max_i32", _SIMD, OpCategory.ADD, _INT, {}),
+    (19, "v_min_u32", _SIMD, OpCategory.ADD, _INT, {}),
+    (20, "v_max_u32", _SIMD, OpCategory.ADD, _INT, {}),
+    (21, "v_lshr_b32", _SIMD, OpCategory.SHIFT, _INT, {}),
+    (22, "v_lshrrev_b32", _SIMD, OpCategory.SHIFT, _INT, {}),
+    (23, "v_ashr_i32", _SIMD, OpCategory.SHIFT, _INT, {}),
+    (24, "v_ashrrev_i32", _SIMD, OpCategory.SHIFT, _INT, {}),
+    (25, "v_lshl_b32", _SIMD, OpCategory.SHIFT, _INT, {}),
+    (26, "v_lshlrev_b32", _SIMD, OpCategory.SHIFT, _INT, {}),
+    (27, "v_and_b32", _SIMD, OpCategory.LOGIC, _INT, {}),
+    (28, "v_or_b32", _SIMD, OpCategory.LOGIC, _INT, {}),
+    (29, "v_xor_b32", _SIMD, OpCategory.LOGIC, _INT, {}),
+    (31, "v_mac_f32", _SIMF, OpCategory.MUL, _F32, {}),
+    (37, "v_add_i32", _SIMD, OpCategory.ADD, _INT, dict(writes_vcc=True)),
+    (38, "v_sub_i32", _SIMD, OpCategory.ADD, _INT, dict(writes_vcc=True)),
+    (39, "v_subrev_i32", _SIMD, OpCategory.ADD, _INT, dict(writes_vcc=True)),
+    (40, "v_addc_u32", _SIMD, OpCategory.ADD, _INT,
+     dict(writes_vcc=True, reads_vcc=True)),
+    (41, "v_subb_u32", _SIMD, OpCategory.ADD, _INT,
+     dict(writes_vcc=True, reads_vcc=True)),
+]:
+    _add(_nm, Format.VOP2, _op, _unit, _cat, _dt, **_k)
+
+# ---------------------------------------------------------------------------
+# VOP1 -- vector, one source (19 instructions).
+# ---------------------------------------------------------------------------
+
+for _op, _nm, _unit, _cat, _dt, _k in [
+    (1, "v_mov_b32", _SIMD, OpCategory.MOV, _INT, {}),
+    (5, "v_cvt_f32_i32", _SIMF, OpCategory.CONVERT, _F32, {}),
+    (6, "v_cvt_f32_u32", _SIMF, OpCategory.CONVERT, _F32, {}),
+    (7, "v_cvt_u32_f32", _SIMF, OpCategory.CONVERT, _F32, {}),
+    (8, "v_cvt_i32_f32", _SIMF, OpCategory.CONVERT, _F32, {}),
+    (32, "v_fract_f32", _SIMF, OpCategory.CONVERT, _F32, {}),
+    (33, "v_trunc_f32", _SIMF, OpCategory.CONVERT, _F32, {}),
+    (34, "v_ceil_f32", _SIMF, OpCategory.CONVERT, _F32, {}),
+    (35, "v_rndne_f32", _SIMF, OpCategory.CONVERT, _F32, {}),
+    (36, "v_floor_f32", _SIMF, OpCategory.CONVERT, _F32, {}),
+    (37, "v_exp_f32", _SIMF, OpCategory.TRANS, _F32, dict(trans_rate=True)),
+    (39, "v_log_f32", _SIMF, OpCategory.TRANS, _F32, dict(trans_rate=True)),
+    (42, "v_rcp_f32", _SIMF, OpCategory.DIV, _F32, dict(trans_rate=True)),
+    (46, "v_rsq_f32", _SIMF, OpCategory.TRANS, _F32, dict(trans_rate=True)),
+    (51, "v_sqrt_f32", _SIMF, OpCategory.TRANS, _F32, dict(trans_rate=True)),
+    (53, "v_sin_f32", _SIMF, OpCategory.TRANS, _F32, dict(trans_rate=True)),
+    (54, "v_cos_f32", _SIMF, OpCategory.TRANS, _F32, dict(trans_rate=True)),
+    (55, "v_not_b32", _SIMD, OpCategory.LOGIC, _INT, {}),
+    (56, "v_bfrev_b32", _SIMD, OpCategory.BITWISE, _INT, {}),
+]:
+    _add(_nm, Format.VOP1, _op, _unit, _cat, _dt, num_srcs=1, **_k)
+
+# ---------------------------------------------------------------------------
+# VOPC -- vector compares (18 instructions).  All write VCC (or an SGPR
+# pair via the VOP3b promotion).  F32 compares execute on the SIMF.
+# ---------------------------------------------------------------------------
+
+_CMP_NAMES = ["lt", "eq", "le", "gt", "lg", "ge"]
+for _i, _cm in enumerate(_CMP_NAMES):
+    _add("v_cmp_{}_f32".format(_cm), Format.VOPC, 1 + _i, _SIMF,
+         OpCategory.ADD, _F32, writes_vcc=True)
+for _i, _cm in enumerate(_CMP_NAMES):
+    _add("v_cmp_{}_i32".format(_cm), Format.VOPC, 0x81 + _i, _SIMD,
+         OpCategory.ADD, _INT, writes_vcc=True)
+for _i, _cm in enumerate(_CMP_NAMES):
+    _add("v_cmp_{}_u32".format(_cm), Format.VOPC, 0xC1 + _i, _SIMD,
+         OpCategory.ADD, _INT, writes_vcc=True)
+
+# ---------------------------------------------------------------------------
+# VOP3-native -- three-source vector ops (11 instructions).
+# ---------------------------------------------------------------------------
+
+for _op, _nm, _unit, _cat, _dt, _ns in [
+    (321, "v_mad_f32", _SIMF, OpCategory.MUL, _F32, 3),
+    (322, "v_mad_i32_i24", _SIMD, OpCategory.MUL, _INT, 3),
+    (328, "v_bfe_u32", _SIMD, OpCategory.SHIFT, _INT, 3),
+    (329, "v_bfe_i32", _SIMD, OpCategory.SHIFT, _INT, 3),
+    (330, "v_bfi_b32", _SIMD, OpCategory.LOGIC, _INT, 3),
+    (331, "v_fma_f32", _SIMF, OpCategory.MUL, _F32, 3),
+    (334, "v_alignbit_b32", _SIMD, OpCategory.SHIFT, _INT, 3),
+    (357, "v_mul_lo_u32", _SIMD, OpCategory.MUL, _INT, 2),
+    (358, "v_mul_hi_u32", _SIMD, OpCategory.MUL, _INT, 2),
+    (359, "v_mul_lo_i32", _SIMD, OpCategory.MUL, _INT, 2),
+    (360, "v_mul_hi_i32", _SIMD, OpCategory.MUL, _INT, 2),
+]:
+    _add(_nm, Format.VOP3, _op, _unit, _cat, _dt, num_srcs=_ns)
+
+# ---------------------------------------------------------------------------
+# DS -- local data share (5 instructions).
+# ---------------------------------------------------------------------------
+
+for _op, _nm in [
+    (0, "ds_add_u32"), (13, "ds_write_b32"), (14, "ds_write2_b32"),
+    (54, "ds_read_b32"), (55, "ds_read2_b32"),
+]:
+    _add(_nm, Format.DS, _op, _LSU, OpCategory.MEMORY, _NONE, num_srcs=1)
+
+# ---------------------------------------------------------------------------
+# MUBUF -- untyped buffer access (5 instructions).  The byte loads and
+# stores are what the INT8 NIN variant leans on (Section 4.2).
+# ---------------------------------------------------------------------------
+
+for _op, _nm in [
+    (8, "buffer_load_ubyte"), (9, "buffer_load_sbyte"),
+    (12, "buffer_load_dword"), (24, "buffer_store_byte"),
+    (28, "buffer_store_dword"),
+]:
+    _add(_nm, Format.MUBUF, _op, _LSU, OpCategory.MEMORY, _NONE, num_srcs=1)
+
+# ---------------------------------------------------------------------------
+# MTBUF -- typed buffer access (4 instructions), the load/store flavour
+# AMD's OpenCL compiler emits for global arrays (Figure 5).
+# ---------------------------------------------------------------------------
+
+for _op, _nm in [
+    (0, "tbuffer_load_format_x"), (1, "tbuffer_load_format_xy"),
+    (4, "tbuffer_store_format_x"), (5, "tbuffer_store_format_xy"),
+]:
+    _add(_nm, Format.MTBUF, _op, _LSU, OpCategory.MEMORY, _NONE, num_srcs=1)
+
+# ---------------------------------------------------------------------------
+# Characterisation superset (implemented=False): instructions the
+# Figure 4 analysis must classify but MIAOW2.0 does not synthesise.
+# Dominated by double-precision arithmetic, exactly the gap the paper
+# worked around with Multi2Sim.
+# ---------------------------------------------------------------------------
+
+for _op, _nm, _cat, _k in [
+    (100, "v_add_f64", OpCategory.ADD, dict(num_srcs=2)),
+    (101, "v_mul_f64", OpCategory.MUL, dict(num_srcs=2)),
+    (102, "v_min_f64", OpCategory.ADD, dict(num_srcs=2)),
+    (103, "v_max_f64", OpCategory.ADD, dict(num_srcs=2)),
+    (104, "v_fma_f64", OpCategory.MUL, dict(num_srcs=3)),
+    (105, "v_rcp_f64", OpCategory.DIV, dict(num_srcs=1, trans_rate=True)),
+    (106, "v_rsq_f64", OpCategory.TRANS, dict(num_srcs=1, trans_rate=True)),
+    (107, "v_sqrt_f64", OpCategory.TRANS, dict(num_srcs=1, trans_rate=True)),
+    (108, "v_cvt_f64_f32", OpCategory.CONVERT, dict(num_srcs=1)),
+    (109, "v_cvt_f32_f64", OpCategory.CONVERT, dict(num_srcs=1)),
+    (110, "v_cvt_f64_i32", OpCategory.CONVERT, dict(num_srcs=1)),
+    (111, "v_cvt_i32_f64", OpCategory.CONVERT, dict(num_srcs=1)),
+]:
+    _add(_nm, Format.VOP3, 384 + _op, _SIMF, _cat, _F64, op64=True,
+         implemented=False, **_k)
+
+for _op, _nm, _unit, _cat, _dt, _k in [
+    (323, "v_mad_u32_u24", _SIMD, OpCategory.MUL, _INT, dict(num_srcs=3)),
+    (345, "v_med3_i32", _SIMD, OpCategory.ADD, _INT, dict(num_srcs=3)),
+]:
+    _add(_nm, Format.VOP3, _op, _unit, _cat, _dt, implemented=False, **_k)
+
+_add("v_ffbh_u32", Format.VOP1, 57, _SIMD, OpCategory.BITWISE, _INT,
+     num_srcs=1, implemented=False)
+_add("v_ffbl_b32", Format.VOP1, 58, _SIMD, OpCategory.BITWISE, _INT,
+     num_srcs=1, implemented=False)
+_add("s_bcnt0_i32_b32", Format.SOP1, 13, _SALU, OpCategory.BITWISE, _INT,
+     num_srcs=1, writes_scc=True, implemented=False)
+
+
+def spec(name):
+    """Shorthand for :meth:`Registry.by_name` on the module registry."""
+    return ISA.by_name(name)

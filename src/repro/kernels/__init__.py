@@ -1,0 +1,70 @@
+"""Benchmark kernels: the paper's 17 evaluated applications + Figure 4 suite.
+
+``EVALUATION_SUITE`` lists the benchmark classes of Section 4's
+evaluation (Figures 6 and 7); ``KERNELS`` maps names to classes for
+both suites.  The Figure 4 characterisation kernels live in
+:mod:`repro.kernels.appsdk_int` / :mod:`repro.kernels.appsdk_fp` and
+register themselves into ``APPSDK_SUITE``.
+"""
+
+from .base import Benchmark, build
+from .conv import Conv2DF32, Conv2DI32
+from .matrix import (
+    MatrixAddF32,
+    MatrixAddI32,
+    MatrixMulF32,
+    MatrixMulI32,
+    MatrixTransposeI32,
+)
+from .nn import CnnF32, CnnI32, NinF32, NinI8, NinI32
+from .pooling import AveragePoolingI32, MaxPoolingI32, MedianPoolingI32
+from .rodinia import GaussianEliminationF32, KMeansF32
+from .sort import BitonicSortI32
+from .tiled import MatrixMulTiledF32
+
+#: The 17 applications of the paper's evaluation (Section 4), plus the
+#: INT8 NIN variant explored in Section 4.2.
+EVALUATION_SUITE = [
+    KMeansF32,
+    GaussianEliminationF32,
+    MatrixAddI32,
+    MatrixAddF32,
+    MatrixMulI32,
+    MatrixMulF32,
+    Conv2DI32,
+    Conv2DF32,
+    BitonicSortI32,
+    MatrixTransposeI32,
+    MaxPoolingI32,
+    MedianPoolingI32,
+    AveragePoolingI32,
+    CnnI32,
+    CnnF32,
+    NinI32,
+    NinF32,
+    NinI8,
+]
+
+KERNELS = {cls.name: cls for cls in EVALUATION_SUITE}
+#: Extra kernels outside the paper's evaluated set (ablation studies).
+KERNELS[MatrixMulTiledF32.name] = MatrixMulTiledF32
+
+
+def get(name, **params):
+    """Instantiate a benchmark by name."""
+    return KERNELS[name](**params)
+
+
+from . import appsdk_int, appsdk_fp  # noqa: E402  (registers APPSDK_SUITE)
+from .appsdk import APPSDK_SUITE  # noqa: E402
+
+KERNELS.update({cls.name: cls for cls in APPSDK_SUITE})
+
+__all__ = [
+    "Benchmark", "build", "EVALUATION_SUITE", "APPSDK_SUITE", "KERNELS", "get",
+    "KMeansF32", "GaussianEliminationF32", "MatrixAddI32", "MatrixAddF32",
+    "MatrixMulI32", "MatrixMulF32", "Conv2DI32", "Conv2DF32",
+    "BitonicSortI32", "MatrixTransposeI32", "MaxPoolingI32",
+    "MedianPoolingI32", "AveragePoolingI32", "CnnI32", "CnnF32",
+    "NinI32", "NinF32", "NinI8", "MatrixMulTiledF32",
+]

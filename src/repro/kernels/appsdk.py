@@ -1,0 +1,31 @@
+"""Registry for the Figure 4 characterisation suite.
+
+The 25 AMD APP SDK v2.5 benchmarks the paper characterises in
+Figure 4.  Implementations live in :mod:`repro.kernels.appsdk_int`
+(integer-dominated) and :mod:`repro.kernels.appsdk_fp` (floating-point
+dominated); several reuse the main evaluation kernels outright, just
+as the SDK's MatrixMultiplication/MatrixTranspose/BitonicSort are the
+same algorithms the paper later evaluates on the FPGA.
+"""
+
+from __future__ import annotations
+
+#: Populated by the appsdk_int / appsdk_fp modules at import time.
+APPSDK_SUITE = []
+
+#: The 25 benchmark display names of Figure 4, in the figure's order.
+FIGURE4_NAMES = [
+    "binary_search", "binomial_options", "bitonic_sort", "black_scholes",
+    "box_filter", "dct", "dwt_haar_1d", "eigenvalue", "fast_walsh_transform",
+    "fft", "floyd_warshall", "matrix_multiplication", "matrix_transpose",
+    "mersenne_twister", "monte_carlo_asian", "histogram", "prefix_sum",
+    "quasi_random_sequence", "radix_sort", "reduction", "scan_large_arrays",
+    "simple_convolution", "uniform_random_noise", "sobel_filter",
+    "recursive_gaussian",
+]
+
+
+def register(cls):
+    """Class decorator: add a benchmark to the Figure 4 suite."""
+    APPSDK_SUITE.append(cls)
+    return cls

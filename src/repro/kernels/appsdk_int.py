@@ -1,0 +1,796 @@
+"""Figure 4 characterisation suite: integer-dominated benchmarks.
+
+Compact-but-real implementations of the integer half of the 25 AMD APP
+SDK v2.5 benchmarks the paper characterises with Multi2Sim
+(Section 3.1 / Figure 4).  Each runs on the simulator and verifies
+against a NumPy reference; the interesting output for Figure 4 is the
+executed-instruction mix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .appsdk import register
+from .base import Benchmark, build
+from .conv import Conv2DI32
+from .matrix import MatrixTransposeI32
+from .sort import BitonicSortI32
+
+# ---------------------------------------------------------------------------
+# Aliases: SDK benchmarks that are literally the evaluated kernels.
+# ---------------------------------------------------------------------------
+
+
+@register
+class BinarySearch(Benchmark):
+    """Branchless binary search: each work-item locates one key."""
+
+    name = "binary_search"
+    uses_float = False
+    defaults = {"m": 256, "n": 128, "seed": 61}
+
+    _SRC = """
+.kernel binary_search
+  s_buffer_load_dword s19, s[8:11], 3
+  s_buffer_load_dword s20, s[12:15], 0    ; sorted data (m, pow2)
+  s_buffer_load_dword s21, s[12:15], 1    ; keys
+  s_buffer_load_dword s22, s[12:15], 2    ; out indices
+  s_buffer_load_dword s23, s[12:15], 3    ; m
+  s_waitcnt lgkmcnt(0)
+  s_mul_i32 s1, s16, s19
+  v_add_i32 v3, vcc, s1, v0
+  v_lshlrev_b32 v4, 2, v3
+  v_add_i32 v4, vcc, s21, v4
+  tbuffer_load_format_x v5, v4, s[4:7], 0 offen     ; key
+  s_waitcnt vmcnt(0)
+  v_mov_b32 v6, 0                         ; pos
+  s_lshr_b32 s2, s23, 1                   ; step
+bsearch_loop:
+  v_add_i32 v7, vcc, s2, v6               ; candidate
+  v_lshlrev_b32 v8, 2, v7
+  v_add_i32 v8, vcc, s20, v8
+  tbuffer_load_format_x v9, v8, s[4:7], 0 offen
+  s_waitcnt vmcnt(0)
+  v_cmp_le_u32 vcc, v9, v5                ; data[cand] <= key?
+  v_cndmask_b32 v6, v6, v7, vcc
+  s_lshr_b32 s2, s2, 1
+  s_cmp_gt_u32 s2, 0
+  s_cbranch_scc1 bsearch_loop
+  v_lshlrev_b32 v10, 2, v3
+  v_add_i32 v10, vcc, s22, v10
+  tbuffer_store_format_x v6, v10, s[4:7], 0 offen
+  s_endpgm
+"""
+
+    def programs(self):
+        return [build(self._SRC)]
+
+    def prepare(self, device):
+        rng = np.random.default_rng(self.seed)
+        data = np.sort(rng.integers(0, 1 << 30, size=self.m)) \
+            .astype(np.uint32)
+        data[0] = 0  # anchor so every key has a floor element
+        keys = rng.integers(0, 1 << 30, size=self.n).astype(np.uint32)
+        return {
+            "data_v": data, "keys_v": keys,
+            "data": device.upload("data", data),
+            "keys": device.upload("keys", keys),
+            "out": device.alloc("out", self.n * 4),
+        }
+
+    def execute(self, device, ctx):
+        device.run(self.programs()[0], (self.n,), (min(64, self.n),),
+                   args=[ctx["data"], ctx["keys"], ctx["out"], self.m])
+
+    def reference(self, ctx):
+        idx = np.searchsorted(ctx["data_v"], ctx["keys_v"], side="right") - 1
+        return {"out": idx.astype(np.uint32)}
+
+
+@register
+class FloydWarshall(Benchmark):
+    """All-pairs shortest paths; one launch per intermediate vertex."""
+
+    name = "floyd_warshall"
+    uses_float = False
+    defaults = {"nv": 16, "seed": 67}
+
+    _SRC = """
+.kernel floyd_warshall
+  s_buffer_load_dword s19, s[8:11], 3
+  s_buffer_load_dword s20, s[12:15], 0    ; dist (nv x nv)
+  s_buffer_load_dword s23, s[12:15], 1    ; k
+  s_buffer_load_dword s24, s[12:15], 2    ; log2nv
+  s_buffer_load_dword s25, s[12:15], 3    ; nv
+  s_waitcnt lgkmcnt(0)
+  s_mul_i32 s1, s16, s19
+  v_add_i32 v3, vcc, s1, v0               ; flat (i, j)
+  v_lshrrev_b32 v4, s24, v3               ; i
+  s_add_u32 s2, s25, -1
+  v_and_b32 v5, s2, v3                    ; j
+  v_lshlrev_b32 v6, 2, v3
+  v_add_i32 v6, vcc, s20, v6              ; &dist[i][j]
+  v_lshlrev_b32 v7, s24, v4
+  v_add_i32 v7, vcc, s23, v7              ; i*nv + k
+  v_lshlrev_b32 v7, 2, v7
+  v_add_i32 v7, vcc, s20, v7
+  s_lshl_b32 s3, s23, s24
+  v_add_i32 v8, vcc, s3, v5               ; k*nv + j
+  v_lshlrev_b32 v8, 2, v8
+  v_add_i32 v8, vcc, s20, v8
+  tbuffer_load_format_x v9, v6, s[4:7], 0 offen
+  tbuffer_load_format_x v10, v7, s[4:7], 0 offen
+  tbuffer_load_format_x v11, v8, s[4:7], 0 offen
+  s_waitcnt vmcnt(0)
+  v_add_i32 v12, vcc, v10, v11
+  v_min_u32 v13, v9, v12
+  tbuffer_store_format_x v13, v6, s[4:7], 0 offen
+  s_endpgm
+"""
+
+    def programs(self):
+        return [build(self._SRC)]
+
+    def prepare(self, device):
+        rng = np.random.default_rng(self.seed)
+        dist = rng.integers(1, 100, size=(self.nv, self.nv)).astype(np.uint32)
+        np.fill_diagonal(dist, 0)
+        return {"dist_v": dist.copy(),
+                "dist": device.upload("dist", dist)}
+
+    def execute(self, device, ctx):
+        log2nv = int(np.log2(self.nv))
+        for k in range(self.nv):
+            device.run(self.programs()[0], (self.nv * self.nv,), (64,),
+                       args=[ctx["dist"], k, log2nv, self.nv])
+
+    def reference(self, ctx):
+        d = ctx["dist_v"].astype(np.uint64)
+        for k in range(self.nv):
+            d = np.minimum(d, d[:, k:k + 1] + d[k:k + 1, :])
+        return {"dist": d.astype(np.uint32)}
+
+
+@register
+class MersenneTwister(Benchmark):
+    """MT19937 tempering over a state array: shifts, xors, masks."""
+
+    name = "mersenne_twister"
+    uses_float = False
+    defaults = {"n": 1024, "seed": 71}
+
+    _SRC = """
+.kernel mersenne_twister
+  s_buffer_load_dword s19, s[8:11], 3
+  s_buffer_load_dword s20, s[12:15], 0    ; state
+  s_buffer_load_dword s21, s[12:15], 1    ; out
+  s_waitcnt lgkmcnt(0)
+  s_mul_i32 s1, s16, s19
+  v_add_i32 v3, vcc, s1, v0
+  v_lshlrev_b32 v4, 2, v3
+  v_add_i32 v5, vcc, s20, v4
+  tbuffer_load_format_x v6, v5, s[4:7], 0 offen
+  s_waitcnt vmcnt(0)
+  v_lshrrev_b32 v7, 11, v6
+  v_xor_b32 v6, v6, v7
+  v_lshlrev_b32 v7, 7, v6
+  v_and_b32 v7, 0x9d2c5680, v7
+  v_xor_b32 v6, v6, v7
+  v_lshlrev_b32 v7, 15, v6
+  v_and_b32 v7, 0xefc60000, v7
+  v_xor_b32 v6, v6, v7
+  v_lshrrev_b32 v7, 18, v6
+  v_xor_b32 v6, v6, v7
+  v_add_i32 v8, vcc, s21, v4
+  tbuffer_store_format_x v6, v8, s[4:7], 0 offen
+  s_endpgm
+"""
+
+    def programs(self):
+        return [build(self._SRC)]
+
+    def prepare(self, device):
+        rng = np.random.default_rng(self.seed)
+        state = rng.integers(0, 1 << 32, size=self.n, dtype=np.uint64) \
+            .astype(np.uint32)
+        return {"state_v": state,
+                "state": device.upload("state", state),
+                "out": device.alloc("out", self.n * 4)}
+
+    def execute(self, device, ctx):
+        device.run(self.programs()[0], (self.n,), (64,),
+                   args=[ctx["state"], ctx["out"]])
+
+    def reference(self, ctx):
+        y = ctx["state_v"].copy()
+        y ^= y >> np.uint32(11)
+        y ^= (y << np.uint32(7)) & np.uint32(0x9D2C5680)
+        y ^= (y << np.uint32(15)) & np.uint32(0xEFC60000)
+        y ^= y >> np.uint32(18)
+        return {"out": y}
+
+
+@register
+class Histogram(Benchmark):
+    """256-bin byte histogram through LDS atomics (one workgroup)."""
+
+    name = "histogram"
+    uses_float = False
+    defaults = {"n": 4096, "seed": 73}
+
+    _SRC = """
+.kernel histogram
+.lds 1024
+  s_buffer_load_dword s20, s[12:15], 0    ; data (bytes)
+  s_buffer_load_dword s21, s[12:15], 1    ; out (256 u32 bins)
+  s_buffer_load_dword s23, s[12:15], 2    ; n
+  s_waitcnt lgkmcnt(0)
+  ; zero the 256 LDS bins: each lane clears bins lid, lid+64, ...
+  v_mov_b32 v4, 0
+  v_lshlrev_b32 v5, 2, v0
+  s_mov_b32 s2, 0
+hist_zero:
+  ds_write_b32 v5, v4
+  v_add_i32 v5, vcc, 0x100, v5
+  s_add_u32 s2, s2, 1
+  s_cmp_lt_u32 s2, 4
+  s_cbranch_scc1 hist_zero
+  s_waitcnt lgkmcnt(0)
+  s_barrier
+  ; count: lanes stride over the data
+  v_add_i32 v6, vcc, s20, v0              ; byte cursor
+  v_mov_b32 v9, 1
+  s_lshr_b32 s2, s23, 6                   ; n / 64 iterations
+  s_mov_b32 s3, 0
+hist_count:
+  buffer_load_ubyte v7, v6, s[4:7], 0 offen
+  s_waitcnt vmcnt(0)
+  v_lshlrev_b32 v8, 2, v7                 ; bin byte address
+  ds_add_u32 v8, v9
+  v_add_i32 v6, vcc, 64, v6
+  s_add_u32 s3, s3, 1
+  s_cmp_lt_u32 s3, s2
+  s_cbranch_scc1 hist_count
+  s_waitcnt lgkmcnt(0)
+  s_barrier
+  ; write back: each lane stores bins lid, lid+64, ...
+  v_lshlrev_b32 v10, 2, v0
+  s_mov_b32 s40, 0
+hist_out:
+  ds_read_b32 v11, v10
+  s_waitcnt lgkmcnt(0)
+  v_add_i32 v12, vcc, s21, v10
+  tbuffer_store_format_x v11, v12, s[4:7], 0 offen
+  v_add_i32 v10, vcc, 0x100, v10
+  s_add_u32 s40, s40, 1
+  s_cmp_lt_u32 s40, 4
+  s_cbranch_scc1 hist_out
+  s_endpgm
+"""
+
+    def programs(self):
+        return [build(self._SRC)]
+
+    def prepare(self, device):
+        rng = np.random.default_rng(self.seed)
+        data = rng.integers(0, 256, size=self.n).astype(np.uint8)
+        return {"data_v": data,
+                "data": device.upload("data", data),
+                "out": device.alloc("out", 256 * 4)}
+
+    def execute(self, device, ctx):
+        device.run(self.programs()[0], (64,), (64,),
+                   args=[ctx["data"], ctx["out"], self.n])
+
+    def reference(self, ctx):
+        return {"out": np.bincount(ctx["data_v"], minlength=256)
+                .astype(np.uint32)}
+
+
+@register
+class RadixSortPass(Benchmark):
+    """Radix sort's digit-counting pass: 16 bins per 4-bit digit."""
+
+    name = "radix_sort"
+    uses_float = False
+    defaults = {"n": 1024, "shift": 8, "seed": 79}
+
+    _SRC = """
+.kernel radix_count
+.lds 64
+  s_buffer_load_dword s20, s[12:15], 0    ; data (u32)
+  s_buffer_load_dword s21, s[12:15], 1    ; out (16 u32 counts)
+  s_buffer_load_dword s23, s[12:15], 2    ; n
+  s_buffer_load_dword s24, s[12:15], 3    ; digit shift
+  s_waitcnt lgkmcnt(0)
+  v_mov_b32 v4, 0
+  v_lshlrev_b32 v5, 2, v0
+  ; zero 16 bins (lanes 0..15)
+  s_mov_b64 s[30:31], exec
+  v_mov_b32 v6, 16
+  v_cmp_gt_u32 vcc, v6, v0
+  s_and_b64 exec, exec, vcc
+  ds_write_b32 v5, v4
+  s_mov_b64 exec, s[30:31]
+  s_waitcnt lgkmcnt(0)
+  s_barrier
+  v_lshlrev_b32 v7, 2, v0
+  v_add_i32 v7, vcc, s20, v7              ; dword cursor
+  v_mov_b32 v12, 1
+  s_lshr_b32 s2, s23, 6
+  s_mov_b32 s3, 0
+radix_loop:
+  tbuffer_load_format_x v8, v7, s[4:7], 0 offen
+  s_waitcnt vmcnt(0)
+  v_lshrrev_b32 v9, s24, v8
+  v_and_b32 v9, 15, v9                    ; digit
+  v_lshlrev_b32 v10, 2, v9
+  ds_add_u32 v10, v12
+  v_add_i32 v7, vcc, 0x100, v7
+  s_add_u32 s3, s3, 1
+  s_cmp_lt_u32 s3, s2
+  s_cbranch_scc1 radix_loop
+  s_waitcnt lgkmcnt(0)
+  s_barrier
+  s_mov_b64 s[30:31], exec
+  v_mov_b32 v6, 16
+  v_cmp_gt_u32 vcc, v6, v0
+  s_and_b64 exec, exec, vcc
+  v_lshlrev_b32 v13, 2, v0
+  ds_read_b32 v14, v13
+  s_waitcnt lgkmcnt(0)
+  v_add_i32 v15, vcc, s21, v13
+  tbuffer_store_format_x v14, v15, s[4:7], 0 offen
+  s_mov_b64 exec, s[30:31]
+  s_endpgm
+"""
+
+    def programs(self):
+        return [build(self._SRC)]
+
+    def prepare(self, device):
+        rng = np.random.default_rng(self.seed)
+        data = rng.integers(0, 1 << 32, size=self.n, dtype=np.uint64) \
+            .astype(np.uint32)
+        return {"data_v": data,
+                "data": device.upload("data", data),
+                "out": device.alloc("out", 16 * 4)}
+
+    def execute(self, device, ctx):
+        device.run(self.programs()[0], (64,), (64,),
+                   args=[ctx["data"], ctx["out"], self.n, self.shift])
+
+    def reference(self, ctx):
+        digits = (ctx["data_v"] >> np.uint32(self.shift)) & np.uint32(15)
+        return {"out": np.bincount(digits, minlength=16).astype(np.uint32)}
+
+
+@register
+class Reduction(Benchmark):
+    """Sum reduction through LDS partials (one workgroup)."""
+
+    name = "reduction"
+    uses_float = False
+    defaults = {"n": 2048, "seed": 83}
+
+    _SRC = """
+.kernel reduction
+.lds 256
+  s_buffer_load_dword s20, s[12:15], 0    ; data
+  s_buffer_load_dword s21, s[12:15], 1    ; out (1 u32)
+  s_buffer_load_dword s23, s[12:15], 2    ; n
+  s_waitcnt lgkmcnt(0)
+  v_mov_b32 v8, 0
+  v_lshlrev_b32 v9, 2, v0
+  v_add_i32 v9, vcc, s20, v9
+  s_lshr_b32 s2, s23, 6
+  s_mov_b32 s3, 0
+red_loop:
+  tbuffer_load_format_x v5, v9, s[4:7], 0 offen
+  s_waitcnt vmcnt(0)
+  v_add_i32 v8, vcc, v8, v5
+  v_add_i32 v9, vcc, 0x100, v9
+  s_add_u32 s3, s3, 1
+  s_cmp_lt_u32 s3, s2
+  s_cbranch_scc1 red_loop
+  v_lshlrev_b32 v6, 2, v0
+  ds_write_b32 v6, v8
+  s_waitcnt lgkmcnt(0)
+  s_barrier
+  v_mov_b32 v10, 0
+  v_cmp_eq_u32 vcc, v0, v10
+  s_and_b64 exec, exec, vcc
+  s_cbranch_execz red_done
+  v_mov_b32 v11, 0
+  v_mov_b32 v12, 0
+  s_mov_b32 s40, 0
+red_reduce:
+  ds_read_b32 v13, v12
+  s_waitcnt lgkmcnt(0)
+  v_add_i32 v11, vcc, v11, v13
+  v_add_i32 v12, vcc, 4, v12
+  s_add_u32 s40, s40, 1
+  s_cmp_lt_u32 s40, 64
+  s_cbranch_scc1 red_reduce
+  v_mov_b32 v15, s21
+  tbuffer_store_format_x v11, v15, s[4:7], 0 offen
+red_done:
+  s_endpgm
+"""
+
+    def programs(self):
+        return [build(self._SRC)]
+
+    def prepare(self, device):
+        rng = np.random.default_rng(self.seed)
+        data = rng.integers(0, 1 << 20, size=self.n).astype(np.uint32)
+        return {"data_v": data,
+                "data": device.upload("data", data),
+                "out": device.alloc("out", 4)}
+
+    def execute(self, device, ctx):
+        device.run(self.programs()[0], (64,), (64,),
+                   args=[ctx["data"], ctx["out"], self.n])
+
+    def reference(self, ctx):
+        total = np.uint32(ctx["data_v"].sum(dtype=np.uint64) & 0xFFFFFFFF)
+        return {"out": np.array([total], dtype=np.uint32)}
+
+
+@register
+class PrefixSum(Benchmark):
+    """Hillis-Steele inclusive scan of 64 elements through the LDS."""
+
+    name = "prefix_sum"
+    uses_float = False
+    defaults = {"seed": 89}
+
+    _SRC = """
+.kernel prefix_sum
+.lds 256
+  s_buffer_load_dword s20, s[12:15], 0    ; data (64 u32)
+  s_buffer_load_dword s21, s[12:15], 1    ; out
+  s_waitcnt lgkmcnt(0)
+  v_lshlrev_b32 v4, 2, v0
+  v_add_i32 v5, vcc, s20, v4
+  tbuffer_load_format_x v8, v5, s[4:7], 0 offen
+  s_waitcnt vmcnt(0)
+  ds_write_b32 v4, v8
+  s_waitcnt lgkmcnt(0)
+  s_barrier
+  s_mov_b32 s2, 1                         ; offset
+scan_step:
+  s_mov_b64 s[30:31], exec
+  v_mov_b32 v9, s2
+  v_cmp_le_u32 vcc, v9, v0                ; lanes lid >= offset
+  s_and_b64 exec, exec, vcc
+  v_sub_i32 v10, vcc, v0, v9
+  v_lshlrev_b32 v10, 2, v10
+  ds_read_b32 v11, v10
+  s_waitcnt lgkmcnt(0)
+  v_add_i32 v8, vcc, v8, v11
+  s_mov_b64 exec, s[30:31]
+  s_barrier
+  ds_write_b32 v4, v8
+  s_waitcnt lgkmcnt(0)
+  s_barrier
+  s_lshl_b32 s2, s2, 1
+  s_cmp_lt_u32 s2, 64
+  s_cbranch_scc1 scan_step
+  v_add_i32 v12, vcc, s21, v4
+  tbuffer_store_format_x v8, v12, s[4:7], 0 offen
+  s_endpgm
+"""
+
+    def programs(self):
+        return [build(self._SRC)]
+
+    def prepare(self, device):
+        rng = np.random.default_rng(self.seed)
+        data = rng.integers(0, 1 << 20, size=64).astype(np.uint32)
+        return {"data_v": data,
+                "data": device.upload("data", data),
+                "out": device.alloc("out", 64 * 4)}
+
+    def execute(self, device, ctx):
+        device.run(self.programs()[0], (64,), (64,),
+                   args=[ctx["data"], ctx["out"]])
+
+    def reference(self, ctx):
+        return {"out": np.cumsum(ctx["data_v"], dtype=np.uint64)
+                .astype(np.uint32)}
+
+
+_BOX_FILTER_SRC = """
+.kernel box_filter
+  s_buffer_load_dword s19, s[8:11], 3
+  s_buffer_load_dword s20, s[12:15], 0    ; img
+  s_buffer_load_dword s22, s[12:15], 1    ; out
+  s_buffer_load_dword s23, s[12:15], 2    ; n
+  s_buffer_load_dword s24, s[12:15], 3    ; log2n
+  s_waitcnt lgkmcnt(0)
+  s_mul_i32 s1, s16, s19
+  v_add_i32 v3, vcc, s1, v0
+  v_lshrrev_b32 v4, s24, v3
+  s_add_u32 s25, s23, -1
+  v_and_b32 v5, s25, v3
+  v_mov_b32 v8, 0
+  s_mov_b32 s28, 1                        ; h = 1 (3x3 box)
+  s_sub_u32 s29, s23, 1
+  s_mov_b64 s[30:31], exec
+  v_cmp_le_u32 vcc, s28, v4
+  s_and_b64 exec, exec, vcc
+  v_cmp_gt_u32 vcc, s29, v4
+  s_and_b64 exec, exec, vcc
+  v_cmp_le_u32 vcc, s28, v5
+  s_and_b64 exec, exec, vcc
+  v_cmp_gt_u32 vcc, s29, v5
+  s_and_b64 exec, exec, vcc
+  s_cbranch_execz box_store
+  v_sub_i32 v6, vcc, v4, s28
+  v_sub_i32 v7, vcc, v5, s28
+  v_lshlrev_b32 v9, s24, v6
+  v_add_i32 v9, vcc, v9, v7
+  v_lshlrev_b32 v9, 2, v9
+  v_add_i32 v9, vcc, s20, v9
+  s_lshl_b32 s26, s23, 2
+  s_mov_b32 s2, 0
+box_dy:
+  v_mov_b32 v10, v9
+  s_mov_b32 s3, 0
+box_dx:
+  tbuffer_load_format_x v11, v10, s[4:7], 0 offen
+  s_waitcnt vmcnt(0)
+  v_add_i32 v8, vcc, v8, v11
+  v_add_i32 v10, vcc, 4, v10
+  s_add_u32 s3, s3, 1
+  s_cmp_lt_u32 s3, 3
+  s_cbranch_scc1 box_dx
+  v_add_i32 v9, vcc, s26, v9
+  s_add_u32 s2, s2, 1
+  s_cmp_lt_u32 s2, 3
+  s_cbranch_scc1 box_dy
+  v_lshrrev_b32 v8, 3, v8                 ; ~mean of 9 (sum >> 3)
+box_store:
+  s_mov_b64 exec, s[30:31]
+  v_lshlrev_b32 v14, 2, v3
+  v_add_i32 v14, vcc, s22, v14
+  tbuffer_store_format_x v8, v14, s[4:7], 0 offen
+  s_endpgm
+"""
+
+
+@register
+class BoxFilter(Benchmark):
+    """3x3 box filter: adds and a shift, no multiplies at all."""
+
+    name = "box_filter"
+    uses_float = False
+    defaults = {"n": 32, "seed": 97}
+
+    def programs(self):
+        return [build(_BOX_FILTER_SRC)]
+
+    def prepare(self, device):
+        rng = np.random.default_rng(self.seed)
+        img = rng.integers(0, 256, size=(self.n, self.n)).astype(np.uint32)
+        return {"img_v": img,
+                "img": device.upload("img", img),
+                "out": device.alloc("out", img.nbytes)}
+
+    def execute(self, device, ctx):
+        device.run(self.programs()[0], (self.n * self.n,), (64,),
+                   args=[ctx["img"], ctx["out"], self.n,
+                         int(np.log2(self.n))])
+
+    def reference(self, ctx):
+        img = ctx["img_v"].astype(np.uint64)
+        n = self.n
+        out = np.zeros_like(img)
+        for dy in range(3):
+            for dx in range(3):
+                out[1:n - 1, 1:n - 1] += img[dy:dy + n - 2, dx:dx + n - 2]
+        out >>= 3
+        out[0], out[-1] = 0, 0
+        out[:, 0], out[:, -1] = 0, 0
+        return {"out": out.astype(np.uint32)}
+
+
+_SOBEL_SRC = """
+.kernel sobel_filter
+  s_buffer_load_dword s19, s[8:11], 3
+  s_buffer_load_dword s20, s[12:15], 0    ; img
+  s_buffer_load_dword s22, s[12:15], 1    ; out
+  s_buffer_load_dword s23, s[12:15], 2    ; n
+  s_buffer_load_dword s24, s[12:15], 3    ; log2n
+  s_waitcnt lgkmcnt(0)
+  s_mul_i32 s1, s16, s19
+  v_add_i32 v3, vcc, s1, v0
+  v_lshrrev_b32 v4, s24, v3
+  s_add_u32 s25, s23, -1
+  v_and_b32 v5, s25, v3
+  v_mov_b32 v20, 0                        ; result
+  s_mov_b32 s28, 1
+  s_sub_u32 s29, s23, 1
+  s_mov_b64 s[30:31], exec
+  v_cmp_le_u32 vcc, s28, v4
+  s_and_b64 exec, exec, vcc
+  v_cmp_gt_u32 vcc, s29, v4
+  s_and_b64 exec, exec, vcc
+  v_cmp_le_u32 vcc, s28, v5
+  s_and_b64 exec, exec, vcc
+  v_cmp_gt_u32 vcc, s29, v5
+  s_and_b64 exec, exec, vcc
+  s_cbranch_execz sobel_store
+  ; window base = &img[row-1][col-1]
+  v_sub_i32 v6, vcc, v4, s28
+  v_sub_i32 v7, vcc, v5, s28
+  v_lshlrev_b32 v9, s24, v6
+  v_add_i32 v9, vcc, v9, v7
+  v_lshlrev_b32 v9, 2, v9
+  v_add_i32 v9, vcc, s20, v9
+  s_lshl_b32 s26, s23, 2
+  ; row 0: p00 p01 p02
+  tbuffer_load_format_x v10, v9, s[4:7], 0 offen
+  tbuffer_load_format_x v11, v9, s[4:7], 0 offen offset:4
+  tbuffer_load_format_x v12, v9, s[4:7], 0 offen offset:8
+  v_add_i32 v9, vcc, s26, v9
+  tbuffer_load_format_x v13, v9, s[4:7], 0 offen          ; p10
+  tbuffer_load_format_x v14, v9, s[4:7], 0 offen offset:8 ; p12
+  v_add_i32 v9, vcc, s26, v9
+  tbuffer_load_format_x v15, v9, s[4:7], 0 offen          ; p20
+  tbuffer_load_format_x v16, v9, s[4:7], 0 offen offset:4 ; p21
+  tbuffer_load_format_x v17, v9, s[4:7], 0 offen offset:8 ; p22
+  s_waitcnt vmcnt(0)
+  ; gx = (p02 + 2 p12 + p22) - (p00 + 2 p10 + p20)
+  v_lshlrev_b32 v18, 1, v14
+  v_add_i32 v18, vcc, v18, v12
+  v_add_i32 v18, vcc, v18, v17
+  v_lshlrev_b32 v19, 1, v13
+  v_add_i32 v19, vcc, v19, v10
+  v_add_i32 v19, vcc, v19, v15
+  v_sub_i32 v18, vcc, v18, v19            ; gx
+  ; gy = (p20 + 2 p21 + p22) - (p00 + 2 p01 + p02)
+  v_lshlrev_b32 v21, 1, v16
+  v_add_i32 v21, vcc, v21, v15
+  v_add_i32 v21, vcc, v21, v17
+  v_lshlrev_b32 v22, 1, v11
+  v_add_i32 v22, vcc, v22, v10
+  v_add_i32 v22, vcc, v22, v12
+  v_sub_i32 v21, vcc, v21, v22            ; gy
+  ; |gx| + |gy|, saturated to 255
+  v_mov_b32 v23, 0
+  v_sub_i32 v24, vcc, v23, v18
+  v_max_i32 v18, v18, v24
+  v_sub_i32 v24, vcc, v23, v21
+  v_max_i32 v21, v21, v24
+  v_add_i32 v20, vcc, v18, v21
+  v_mov_b32 v25, 0x000000ff
+  v_min_u32 v20, v20, v25
+sobel_store:
+  s_mov_b64 exec, s[30:31]
+  v_lshlrev_b32 v26, 2, v3
+  v_add_i32 v26, vcc, s22, v26
+  tbuffer_store_format_x v20, v26, s[4:7], 0 offen
+  s_endpgm
+"""
+
+
+@register
+class SobelFilter(Benchmark):
+    """Sobel edge detector: integer gradient magnitude (|gx| + |gy|)."""
+
+    name = "sobel_filter"
+    uses_float = False
+    defaults = {"n": 32, "seed": 101}
+
+    def programs(self):
+        return [build(_SOBEL_SRC)]
+
+    def prepare(self, device):
+        rng = np.random.default_rng(self.seed)
+        img = rng.integers(0, 256, size=(self.n, self.n)).astype(np.uint32)
+        return {"img_v": img,
+                "img": device.upload("img", img),
+                "out": device.alloc("out", img.nbytes)}
+
+    def execute(self, device, ctx):
+        device.run(self.programs()[0], (self.n * self.n,), (64,),
+                   args=[ctx["img"], ctx["out"], self.n,
+                         int(np.log2(self.n))])
+
+    def reference(self, ctx):
+        img = ctx["img_v"].astype(np.int64)
+        n = self.n
+        out = np.zeros_like(img)
+        p = lambda dy, dx: img[dy:dy + n - 2, dx:dx + n - 2]
+        gx = (p(0, 2) + 2 * p(1, 2) + p(2, 2)) - (p(0, 0) + 2 * p(1, 0) + p(2, 0))
+        gy = (p(2, 0) + 2 * p(2, 1) + p(2, 2)) - (p(0, 0) + 2 * p(0, 1) + p(0, 2))
+        out[1:n - 1, 1:n - 1] = np.minimum(np.abs(gx) + np.abs(gy), 255)
+        return {"out": out.astype(np.uint32)}
+
+
+@register
+class UniformRandomNoise(Benchmark):
+    """Add LCG-derived noise to an image, clamped to [0, 255]."""
+
+    name = "uniform_random_noise"
+    uses_float = False
+    defaults = {"n": 1024, "seed": 103}
+
+    _SRC = """
+.kernel uniform_random_noise
+  s_buffer_load_dword s19, s[8:11], 3
+  s_buffer_load_dword s20, s[12:15], 0    ; img
+  s_buffer_load_dword s21, s[12:15], 1    ; out
+  s_buffer_load_dword s23, s[12:15], 2    ; lcg multiplier
+  s_waitcnt lgkmcnt(0)
+  s_mul_i32 s1, s16, s19
+  v_add_i32 v3, vcc, s1, v0
+  v_lshlrev_b32 v4, 2, v3
+  v_add_i32 v5, vcc, s20, v4
+  tbuffer_load_format_x v6, v5, s[4:7], 0 offen
+  ; noise = ((gid * A + C) >> 16) & 0x3f - 32
+  v_mov_b32 v7, s23
+  v_mul_lo_u32 v8, v3, v7
+  v_add_i32 v8, vcc, 0x3039, v8
+  v_lshrrev_b32 v8, 16, v8
+  v_and_b32 v8, 63, v8
+  v_subrev_i32 v8, vcc, 32, v8            ; v8 - 32
+  s_waitcnt vmcnt(0)
+  v_add_i32 v9, vcc, v6, v8
+  v_mov_b32 v10, 0
+  v_max_i32 v9, v9, v10
+  v_mov_b32 v11, 0x000000ff
+  v_min_i32 v9, v9, v11
+  v_add_i32 v12, vcc, s21, v4
+  tbuffer_store_format_x v9, v12, s[4:7], 0 offen
+  s_endpgm
+"""
+
+    def programs(self):
+        return [build(self._SRC)]
+
+    def prepare(self, device):
+        rng = np.random.default_rng(self.seed)
+        img = rng.integers(0, 256, size=self.n).astype(np.uint32)
+        return {"img_v": img,
+                "img": device.upload("img", img),
+                "out": device.alloc("out", img.nbytes)}
+
+    _A = 1103515245
+
+    def execute(self, device, ctx):
+        device.run(self.programs()[0], (self.n,), (64,),
+                   args=[ctx["img"], ctx["out"], self._A])
+
+    def reference(self, ctx):
+        gid = np.arange(self.n, dtype=np.uint64)
+        x = (gid * self._A + 0x3039) & 0xFFFFFFFF
+        noise = ((x >> 16) & 63).astype(np.int64) - 32
+        out = np.clip(ctx["img_v"].astype(np.int64) + noise, 0, 255)
+        return {"out": out.astype(np.uint32)}
+
+
+# ---------------------------------------------------------------------------
+# SDK entries that are the evaluated kernels under their Figure 4 names.
+# ---------------------------------------------------------------------------
+
+
+@register
+class SdkBitonicSort(BitonicSortI32):
+    name = "sdk_bitonic_sort"
+    defaults = dict(BitonicSortI32.defaults, n=256)
+
+
+@register
+class SdkMatrixTranspose(MatrixTransposeI32):
+    name = "sdk_matrix_transpose"
+    defaults = dict(MatrixTransposeI32.defaults, n=32)
+
+
+@register
+class SimpleConvolution(Conv2DI32):
+    name = "simple_convolution"
+    defaults = dict(Conv2DI32.defaults, n=16, k=3)

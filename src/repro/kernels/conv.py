@@ -1,0 +1,179 @@
+"""2-D convolution benchmarks (INT32 and SP FP).
+
+The paper's conv2D (from the AMD APP SDK's SimpleConvolution family,
+and the running example of Figure 5): each work-item computes one
+output pixel as the weighted sum of a k x k window.  Border pixels
+(where the window would leave the image) are written as zero; the
+kernel masks them off with the classic Southern Islands divergence
+idiom -- ``v_cmp_*`` + ``s_and_b64 exec`` -- exactly the
+``V_CMP_GT_U32 / S_AND_SAVEEXEC_B64`` pattern the paper's Figure 5
+assembly shows.
+
+The inner double loop runs on scalar counters (the window is uniform
+across the wavefront), loading the mask coefficient through a
+broadcast vector load and the pixel through a per-lane gather.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Benchmark, build
+
+_CONV_SRC = """
+.kernel {name}
+  s_buffer_load_dword s19, s[8:11], 3
+  s_buffer_load_dword s20, s[12:15], 0    ; img
+  s_buffer_load_dword s21, s[12:15], 1    ; mask (k*k coefficients)
+  s_buffer_load_dword s22, s[12:15], 2    ; out
+  s_buffer_load_dword s23, s[12:15], 3    ; n (width, power of two)
+  s_buffer_load_dword s24, s[12:15], 4    ; log2n
+  s_buffer_load_dword s27, s[12:15], 5    ; k (odd)
+  s_waitcnt lgkmcnt(0)
+  s_mul_i32 s1, s16, s19
+  v_add_i32 v3, vcc, s1, v0               ; flat id
+  v_lshrrev_b32 v4, s24, v3               ; row
+  s_add_u32 s25, s23, -1
+  v_and_b32 v5, s25, v3                   ; col
+  v_mov_b32 v8, 0                         ; acc = 0 (border lanes keep it)
+  s_lshr_b32 s28, s27, 1                  ; h = k >> 1
+  s_sub_u32 s29, s23, s28                 ; n - h
+  ; interior mask: h <= row < n-h  &&  h <= col < n-h
+  s_mov_b64 s[30:31], exec
+  v_cmp_le_u32 vcc, s28, v4
+  s_and_b64 exec, exec, vcc
+  v_cmp_gt_u32 vcc, s29, v4
+  s_and_b64 exec, exec, vcc
+  v_cmp_le_u32 vcc, s28, v5
+  s_and_b64 exec, exec, vcc
+  v_cmp_gt_u32 vcc, s29, v5
+  s_and_b64 exec, exec, vcc
+  s_cbranch_execz conv_store
+  ; window base address: img + ((row-h)*n + (col-h)) * 4
+  v_sub_i32 v6, vcc, v4, s28              ; wait: subrev needed; see below
+  v_sub_i32 v7, vcc, v5, s28
+  v_lshlrev_b32 v9, s24, v6
+  v_add_i32 v9, vcc, v9, v7
+  v_lshlrev_b32 v9, 2, v9
+  v_add_i32 v9, vcc, s20, v9              ; &img[row-h][col-h]
+  s_lshl_b32 s26, s23, 2                  ; image row stride, bytes
+  s_mov_b32 s2, 0                         ; dy
+  s_mov_b32 s33, s21                      ; mask cursor (byte offset)
+conv_dy:
+  v_mov_b32 v10, v9                       ; row cursor
+  s_mov_b32 s3, 0                         ; dx
+conv_dx:
+  v_mov_b32 v13, s33
+  tbuffer_load_format_x v11, v10, s[4:7], 0 offen   ; pixel
+  tbuffer_load_format_x v12, v13, s[4:7], 0 offen   ; coefficient
+  s_waitcnt vmcnt(0)
+{mac}
+  v_add_i32 v10, vcc, 4, v10
+  s_add_u32 s33, s33, 4
+  s_add_u32 s3, s3, 1
+  s_cmp_lt_u32 s3, s27
+  s_cbranch_scc1 conv_dx
+  v_add_i32 v9, vcc, s26, v9
+  s_add_u32 s2, s2, 1
+  s_cmp_lt_u32 s2, s27
+  s_cbranch_scc1 conv_dy
+conv_store:
+  s_mov_b64 exec, s[30:31]
+  v_lshlrev_b32 v14, 2, v3
+  v_add_i32 v14, vcc, s22, v14
+  tbuffer_store_format_x v8, v14, s[4:7], 0 offen
+  s_endpgm
+"""
+
+_INT_MAC = """\
+  v_mul_lo_i32 v15, v11, v12
+  v_add_i32 v8, vcc, v8, v15
+"""
+
+_FP_MAC = """\
+  v_mac_f32 v8, v11, v12
+"""
+
+
+class Conv2DI32(Benchmark):
+    """k x k integer 2-D convolution with zeroed borders."""
+
+    name = "conv2d_i32"
+    uses_float = False
+    defaults = {"n": 32, "k": 3, "seed": 29}
+    _MAC = _INT_MAC
+
+    def programs(self):
+        return [build(_CONV_SRC.format(name=self.name, mac=self._MAC))]
+
+    def _data(self):
+        rng = np.random.default_rng(self.seed)
+        img = rng.integers(0, 256, size=(self.n, self.n)).astype(np.uint32)
+        mask = rng.integers(-4, 5, size=(self.k, self.k)).astype(np.int32)
+        return img, mask
+
+    def prepare(self, device):
+        img, mask = self._data()
+        return {
+            "img_data": img, "mask_data": mask,
+            "img": device.upload("img", img),
+            "mask": device.upload("mask", mask.view(np.uint32)),
+            "out": device.alloc("out", img.nbytes, img.dtype),
+        }
+
+    def execute(self, device, ctx):
+        log2n = int(np.log2(self.n))
+        device.run(self.programs()[0], (self.n * self.n,),
+                   (min(256, self.n * self.n),),
+                   args=[ctx["img"], ctx["mask"], ctx["out"],
+                         self.n, log2n, self.k])
+
+    def _reference_conv(self, img, mask):
+        n, k, h = self.n, self.k, self.k // 2
+        out = np.zeros((n, n), dtype=np.int64)
+        for dy in range(k):
+            for dx in range(k):
+                out[h:n - h, h:n - h] += (
+                    img[dy:dy + n - 2 * h, dx:dx + n - 2 * h].astype(np.int64)
+                    * int(mask[dy, dx]))
+        return out
+
+    def reference(self, ctx):
+        out = self._reference_conv(ctx["img_data"], ctx["mask_data"])
+        return {"out": (out & 0xFFFFFFFF).astype(np.uint32)}
+
+
+class Conv2DF32(Conv2DI32):
+    """k x k single-precision 2-D convolution with zeroed borders."""
+
+    name = "conv2d_f32"
+    uses_float = True
+    _MAC = _FP_MAC
+
+    def _data(self):
+        rng = np.random.default_rng(self.seed)
+        img = rng.standard_normal((self.n, self.n)).astype(np.float32)
+        mask = (rng.standard_normal((self.k, self.k)) * 0.5).astype(np.float32)
+        return img, mask
+
+    def prepare(self, device):
+        img, mask = self._data()
+        return {
+            "img_data": img, "mask_data": mask,
+            "img": device.upload("img", img),
+            "mask": device.upload("mask", mask),
+            "out": device.alloc("out", img.nbytes, img.dtype),
+        }
+
+    def reference(self, ctx):
+        img, mask = ctx["img_data"], ctx["mask_data"]
+        n, k, h = self.n, self.k, self.k // 2
+        out = np.zeros((n, n), dtype=np.float32)
+        # Accumulate in the kernel's (dy, dx) order to match float32
+        # rounding exactly where possible (tolerances cover the rest).
+        for dy in range(k):
+            for dx in range(k):
+                out[h:n - h, h:n - h] += (
+                    img[dy:dy + n - 2 * h, dx:dx + n - 2 * h]
+                    * mask[dy, dx])
+        return {"out": out}

@@ -1,0 +1,241 @@
+"""Matrix benchmarks: addition, multiplication, transpose (INT32 + SP FP).
+
+Five of the paper's 17 evaluated applications (Section 4: "both
+integer and floating-point matrix addition, multiplication ... and
+matrix transpose" from the AMD OpenCL SDK 2.5).  All operate on square
+power-of-two matrices so row/column extraction uses shifts and masks
+(no integer divide exists in the CU).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Benchmark, build
+
+_MATRIX_ADD_SRC = """
+.kernel matrix_add_{sfx}
+  s_buffer_load_dword s19, s[8:11], 3     ; local_size.x
+  s_buffer_load_dword s20, s[12:15], 0    ; a
+  s_buffer_load_dword s21, s[12:15], 1    ; b
+  s_buffer_load_dword s22, s[12:15], 2    ; out
+  s_waitcnt lgkmcnt(0)
+  s_mul_i32 s1, s16, s19
+  v_add_i32 v3, vcc, s1, v0               ; flat id
+  v_lshlrev_b32 v3, 2, v3                 ; byte offset
+  v_add_i32 v4, vcc, s20, v3
+  v_add_i32 v5, vcc, s21, v3
+  tbuffer_load_format_x v6, v4, s[4:7], 0 offen
+  tbuffer_load_format_x v7, v5, s[4:7], 0 offen
+  s_waitcnt vmcnt(0)
+  {add_op}
+  v_add_i32 v9, vcc, s22, v3
+  tbuffer_store_format_x v8, v9, s[4:7], 0 offen
+  s_endpgm
+"""
+
+
+class MatrixAddI32(Benchmark):
+    """Element-wise C = A + B over INT32 matrices."""
+
+    name = "matrix_add_i32"
+    uses_float = False
+    defaults = {"n": 64, "seed": 11}
+    _ADD = "v_add_i32 v8, vcc, v6, v7"
+
+    def programs(self):
+        sfx = "f32" if self.uses_float else "i32"
+        return [build(_MATRIX_ADD_SRC.format(sfx=sfx, add_op=self._ADD))]
+
+    def _data(self):
+        rng = np.random.default_rng(self.seed)
+        a = rng.integers(0, 1 << 20, size=(self.n, self.n)).astype(np.uint32)
+        b = rng.integers(0, 1 << 20, size=(self.n, self.n)).astype(np.uint32)
+        return a, b
+
+    def prepare(self, device):
+        a, b = self._data()
+        return {
+            "a_data": a, "b_data": b,
+            "a": device.upload("a", a),
+            "b": device.upload("b", b),
+            "out": device.alloc("out", a.nbytes, a.dtype),
+        }
+
+    def execute(self, device, ctx):
+        device.run(self.programs()[0], (self.n * self.n,),
+                   (min(256, self.n * self.n),),
+                   args=[ctx["a"], ctx["b"], ctx["out"]])
+
+    def reference(self, ctx):
+        return {"out": ctx["a_data"] + ctx["b_data"]}
+
+
+class MatrixAddF32(MatrixAddI32):
+    """Element-wise C = A + B over float32 matrices."""
+
+    name = "matrix_add_f32"
+    uses_float = True
+    _ADD = "v_add_f32 v8, v6, v7"
+
+    def _data(self):
+        rng = np.random.default_rng(self.seed)
+        a = rng.standard_normal((self.n, self.n)).astype(np.float32)
+        b = rng.standard_normal((self.n, self.n)).astype(np.float32)
+        return a, b
+
+
+_MATRIX_MUL_SRC = """
+.kernel matrix_mul_{sfx}
+  s_buffer_load_dword s19, s[8:11], 3
+  s_buffer_load_dword s20, s[12:15], 0    ; a
+  s_buffer_load_dword s21, s[12:15], 1    ; b
+  s_buffer_load_dword s22, s[12:15], 2    ; c
+  s_buffer_load_dword s23, s[12:15], 3    ; n
+  s_buffer_load_dword s24, s[12:15], 4    ; log2n
+  s_waitcnt lgkmcnt(0)
+  s_mul_i32 s1, s16, s19
+  v_add_i32 v3, vcc, s1, v0               ; flat id
+  v_lshrrev_b32 v4, s24, v3               ; row = id >> log2n
+  s_add_u32 s25, s23, -1
+  v_and_b32 v5, s25, v3                   ; col = id & (n-1)
+  v_lshlrev_b32 v6, s24, v4
+  v_lshlrev_b32 v6, 2, v6
+  v_add_i32 v6, vcc, s20, v6              ; &A[row][0]
+  v_lshlrev_b32 v7, 2, v5
+  v_add_i32 v7, vcc, s21, v7              ; &B[0][col]
+  v_mov_b32 v8, 0                         ; acc
+  s_mov_b32 s2, 0                         ; k
+  s_lshl_b32 s26, s23, 2                  ; B row stride, bytes
+mm_loop:
+  tbuffer_load_format_x v9, v6, s[4:7], 0 offen
+  tbuffer_load_format_x v10, v7, s[4:7], 0 offen
+  s_waitcnt vmcnt(0)
+  {mac_ops}
+  v_add_i32 v6, vcc, 4, v6
+  v_add_i32 v7, vcc, s26, v7
+  s_add_u32 s2, s2, 1
+  s_cmp_lt_u32 s2, s23
+  s_cbranch_scc1 mm_loop
+  v_lshlrev_b32 v12, 2, v3
+  v_add_i32 v12, vcc, s22, v12
+  tbuffer_store_format_x v8, v12, s[4:7], 0 offen
+  s_endpgm
+"""
+
+
+class MatrixMulI32(Benchmark):
+    """Dense C = A x B over INT32 matrices (wrapping arithmetic)."""
+
+    name = "matrix_mul_i32"
+    uses_float = False
+    defaults = {"n": 16, "seed": 13}
+    _MAC = ("v_mul_lo_i32 v11, v9, v10\n"
+            "  v_add_i32 v8, vcc, v8, v11")
+
+    def programs(self):
+        sfx = "f32" if self.uses_float else "i32"
+        return [build(_MATRIX_MUL_SRC.format(sfx=sfx, mac_ops=self._MAC))]
+
+    def _data(self):
+        rng = np.random.default_rng(self.seed)
+        a = rng.integers(0, 1 << 10, size=(self.n, self.n)).astype(np.uint32)
+        b = rng.integers(0, 1 << 10, size=(self.n, self.n)).astype(np.uint32)
+        return a, b
+
+    def prepare(self, device):
+        a, b = self._data()
+        return {
+            "a_data": a, "b_data": b,
+            "a": device.upload("a", a),
+            "b": device.upload("b", b),
+            "c": device.alloc("c", a.nbytes, a.dtype),
+        }
+
+    def execute(self, device, ctx):
+        log2n = int(np.log2(self.n))
+        device.run(self.programs()[0], (self.n * self.n,),
+                   (min(256, self.n * self.n),),
+                   args=[ctx["a"], ctx["b"], ctx["c"], self.n, log2n])
+
+    def reference(self, ctx):
+        a = ctx["a_data"].astype(np.uint64)
+        b = ctx["b_data"].astype(np.uint64)
+        return {"c": ((a @ b) & 0xFFFFFFFF).astype(np.uint32)}
+
+
+class MatrixMulF32(MatrixMulI32):
+    """Dense C = A x B over float32 matrices."""
+
+    name = "matrix_mul_f32"
+    uses_float = True
+    _MAC = "v_mac_f32 v8, v9, v10"
+
+    def _data(self):
+        rng = np.random.default_rng(self.seed)
+        a = (rng.standard_normal((self.n, self.n)) * 0.5).astype(np.float32)
+        b = (rng.standard_normal((self.n, self.n)) * 0.5).astype(np.float32)
+        return a, b
+
+    def reference(self, ctx):
+        a, b = ctx["a_data"], ctx["b_data"]
+        # Match the kernel's sequential-k accumulation order in float32.
+        out = np.zeros((self.n, self.n), dtype=np.float32)
+        for k in range(self.n):
+            out += a[:, k:k + 1] * b[k:k + 1, :]
+        return {"c": out}
+
+
+_TRANSPOSE_SRC = """
+.kernel matrix_transpose_i32
+  s_buffer_load_dword s19, s[8:11], 3
+  s_buffer_load_dword s20, s[12:15], 0    ; in
+  s_buffer_load_dword s21, s[12:15], 1    ; out
+  s_buffer_load_dword s24, s[12:15], 2    ; log2n
+  s_buffer_load_dword s23, s[12:15], 3    ; n
+  s_waitcnt lgkmcnt(0)
+  s_mul_i32 s1, s16, s19
+  v_add_i32 v3, vcc, s1, v0
+  v_lshrrev_b32 v4, s24, v3               ; row
+  s_add_u32 s25, s23, -1
+  v_and_b32 v5, s25, v3                   ; col
+  v_lshlrev_b32 v6, 2, v3
+  v_add_i32 v6, vcc, s20, v6
+  tbuffer_load_format_x v7, v6, s[4:7], 0 offen
+  v_lshlrev_b32 v8, s24, v5               ; col * n
+  v_add_i32 v8, vcc, v8, v4               ; col * n + row
+  v_lshlrev_b32 v8, 2, v8
+  v_add_i32 v8, vcc, s21, v8
+  s_waitcnt vmcnt(0)
+  tbuffer_store_format_x v7, v8, s[4:7], 0 offen
+  s_endpgm
+"""
+
+
+class MatrixTransposeI32(Benchmark):
+    """Out-of-place transpose of an INT32 matrix."""
+
+    name = "matrix_transpose_i32"
+    uses_float = False
+    defaults = {"n": 64, "seed": 17}
+
+    def programs(self):
+        return [build(_TRANSPOSE_SRC)]
+
+    def prepare(self, device):
+        rng = np.random.default_rng(self.seed)
+        a = rng.integers(0, 1 << 31, size=(self.n, self.n)).astype(np.uint32)
+        return {
+            "in_data": a,
+            "in": device.upload("in", a),
+            "out": device.alloc("out", a.nbytes, a.dtype),
+        }
+
+    def execute(self, device, ctx):
+        log2n = int(np.log2(self.n))
+        device.run(self.programs()[0], (self.n * self.n,),
+                   (min(256, self.n * self.n),),
+                   args=[ctx["in"], ctx["out"], log2n, self.n])
+
+    def reference(self, ctx):
+        return {"out": ctx["in_data"].T.copy()}

@@ -1,0 +1,160 @@
+"""2x2 pooling benchmarks: max, median and average (INT32).
+
+Three of the paper's 17 applications ("three pooling algorithms were
+implemented -- namely max, median and average pooling in a 2x2 matrix
+vector", Section 4).  Each work-item reduces one 2x2 input window to
+one output element:
+
+* max:     ``max(a, b, c, d)``
+* median:  the mean of the two middle values, computed as
+           ``(a+b+c+d - min - max) / 2`` (an add/sub/shift dance --
+           no divider needed),
+* average: ``(a+b+c+d) >> 2``.
+
+These kernels use strikingly few distinct instructions, which is why
+they sit at the top of Figure 6's resource-savings ranking alongside
+the matrix transpose.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Benchmark, build
+
+_POOL_SRC = """
+.kernel {name}
+  s_buffer_load_dword s19, s[8:11], 3
+  s_buffer_load_dword s20, s[12:15], 0    ; in
+  s_buffer_load_dword s21, s[12:15], 1    ; out
+  s_buffer_load_dword s24, s[12:15], 2    ; log2 of output width
+  s_waitcnt lgkmcnt(0)
+  s_mul_i32 s1, s16, s19
+  v_add_i32 v3, vcc, s1, v0               ; output flat id
+  v_lshrrev_b32 v4, s24, v3               ; out row
+  s_mov_b32 s2, 1
+  s_lshl_b32 s3, s2, s24                  ; out width
+  s_add_u32 s3, s3, -1
+  v_and_b32 v5, s3, v3                    ; out col
+  ; input coords: (2*row, 2*col); input width = 2 * out width
+  v_lshlrev_b32 v6, 1, v4                 ; in row
+  v_lshlrev_b32 v7, 1, v5                 ; in col
+  s_add_u32 s25, s24, 1                   ; log2 input width
+  v_lshlrev_b32 v8, s25, v6
+  v_add_i32 v8, vcc, v8, v7               ; in index (row-major)
+  v_lshlrev_b32 v8, 2, v8
+  v_add_i32 v8, vcc, s20, v8              ; &in[2r][2c]
+  s_lshl_b32 s26, s2, s25
+  s_lshl_b32 s26, s26, 2                  ; input row stride, bytes
+  tbuffer_load_format_x v9, v8, s[4:7], 0 offen          ; a
+  tbuffer_load_format_x v10, v8, s[4:7], 0 offen offset:4 ; b
+  v_add_i32 v8, vcc, s26, v8
+  tbuffer_load_format_x v11, v8, s[4:7], 0 offen          ; c
+  tbuffer_load_format_x v12, v8, s[4:7], 0 offen offset:4 ; d
+  s_waitcnt vmcnt(0)
+{reduce}
+  v_lshlrev_b32 v13, 2, v3
+  v_add_i32 v13, vcc, s21, v13
+  tbuffer_store_format_x v15, v13, s[4:7], 0 offen
+  s_endpgm
+"""
+
+_MAX_REDUCE = """\
+  v_max_u32 v14, v9, v10
+  v_max_u32 v14, v14, v11
+  v_max_u32 v15, v14, v12
+"""
+
+_AVG_REDUCE = """\
+  v_add_i32 v14, vcc, v9, v10
+  v_add_i32 v14, vcc, v14, v11
+  v_add_i32 v14, vcc, v14, v12
+  v_lshrrev_b32 v15, 2, v14
+"""
+
+_MEDIAN_REDUCE = """\
+  v_add_i32 v14, vcc, v9, v10
+  v_add_i32 v14, vcc, v14, v11
+  v_add_i32 v14, vcc, v14, v12             ; sum
+  v_min_u32 v16, v9, v10
+  v_min_u32 v16, v16, v11
+  v_min_u32 v16, v16, v12                  ; min
+  v_max_u32 v17, v9, v10
+  v_max_u32 v17, v17, v11
+  v_max_u32 v17, v17, v12                  ; max
+  v_sub_i32 v14, vcc, v14, v16
+  v_sub_i32 v14, vcc, v14, v17
+  v_lshrrev_b32 v15, 1, v14                ; (sum - min - max) / 2
+"""
+
+
+class _PoolingBase(Benchmark):
+    uses_float = False
+    defaults = {"n": 64, "seed": 23}  # n = input width (power of two)
+    _REDUCE = None
+
+    def programs(self):
+        return [build(_POOL_SRC.format(name=self.name, reduce=self._REDUCE))]
+
+    def prepare(self, device):
+        rng = np.random.default_rng(self.seed)
+        # Bounded values keep the median/average sums inside 32 bits.
+        a = rng.integers(0, 1 << 24, size=(self.n, self.n)).astype(np.uint32)
+        out_n = self.n // 2
+        return {
+            "in_data": a,
+            "in": device.upload("in", a),
+            "out": device.alloc("out", out_n * out_n * 4, np.uint32),
+        }
+
+    def execute(self, device, ctx):
+        out_n = self.n // 2
+        log2_out = int(np.log2(out_n))
+        device.run(self.programs()[0], (out_n * out_n,),
+                   (min(256, out_n * out_n),),
+                   args=[ctx["in"], ctx["out"], log2_out])
+
+    def _windows(self, a):
+        return a.reshape(a.shape[0] // 2, 2, a.shape[1] // 2, 2) \
+                .transpose(0, 2, 1, 3).reshape(-1, 4).astype(np.uint64)
+
+    def reference(self, ctx):
+        raise NotImplementedError
+
+
+class MaxPoolingI32(_PoolingBase):
+    """2x2 max pooling."""
+
+    name = "max_pooling_i32"
+    _REDUCE = _MAX_REDUCE
+
+    def reference(self, ctx):
+        w = self._windows(ctx["in_data"])
+        out_n = self.n // 2
+        return {"out": w.max(axis=1).astype(np.uint32).reshape(out_n, out_n)}
+
+
+class AveragePoolingI32(_PoolingBase):
+    """2x2 average pooling (truncating shift)."""
+
+    name = "average_pooling_i32"
+    _REDUCE = _AVG_REDUCE
+
+    def reference(self, ctx):
+        w = self._windows(ctx["in_data"])
+        out_n = self.n // 2
+        return {"out": (w.sum(axis=1) >> 2).astype(np.uint32)
+                .reshape(out_n, out_n)}
+
+
+class MedianPoolingI32(_PoolingBase):
+    """2x2 median pooling: mean of the two middle values."""
+
+    name = "median_pooling_i32"
+    _REDUCE = _MEDIAN_REDUCE
+
+    def reference(self, ctx):
+        w = self._windows(ctx["in_data"])
+        out_n = self.n // 2
+        med = (w.sum(axis=1) - w.min(axis=1) - w.max(axis=1)) >> 1
+        return {"out": med.astype(np.uint32).reshape(out_n, out_n)}

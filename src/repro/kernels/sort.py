@@ -1,0 +1,83 @@
+"""Bitonic sort (INT32), from the AMD OpenCL SDK family.
+
+The host drives ``log2(n) * (log2(n)+1) / 2`` kernel launches -- one
+per (stage, pass) pair, exactly like the OpenCL sample.  Each work-item
+handles the compare-exchange of the pair ``(i, i ^ j)`` (only the
+lower index acts, the rest are masked off through EXEC), with the sort
+direction derived from ``i & k``.
+
+Per Figure 4's characterisation this benchmark is integer-only and
+heavy on logic (xor/and) and compare/select operations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Benchmark, build
+
+_BITONIC_SRC = """
+.kernel bitonic_pass
+  s_buffer_load_dword s19, s[8:11], 3
+  s_buffer_load_dword s20, s[12:15], 0    ; data
+  s_buffer_load_dword s21, s[12:15], 1    ; j
+  s_buffer_load_dword s22, s[12:15], 2    ; k
+  s_waitcnt lgkmcnt(0)
+  s_mul_i32 s1, s16, s19
+  v_add_i32 v3, vcc, s1, v0               ; i
+  v_xor_b32 v4, s21, v3                   ; partner = i ^ j
+  v_cmp_gt_u32 vcc, v4, v3                ; act only when partner > i
+  s_and_b64 exec, exec, vcc
+  s_cbranch_execz bs_done
+  v_lshlrev_b32 v5, 2, v3
+  v_add_i32 v5, vcc, s20, v5              ; &data[i]
+  v_lshlrev_b32 v6, 2, v4
+  v_add_i32 v6, vcc, s20, v6              ; &data[partner]
+  tbuffer_load_format_x v7, v5, s[4:7], 0 offen
+  tbuffer_load_format_x v8, v6, s[4:7], 0 offen
+  v_and_b32 v9, s22, v3                   ; i & k
+  v_mov_b32 v10, 0
+  v_cmp_eq_u32 vcc, v9, v10               ; ascending?
+  s_waitcnt vmcnt(0)
+  v_min_u32 v11, v7, v8
+  v_max_u32 v12, v7, v8
+  v_cndmask_b32 v13, v12, v11, vcc        ; data[i]      <- asc ? min : max
+  v_cndmask_b32 v14, v11, v12, vcc        ; data[partner]<- asc ? max : min
+  tbuffer_store_format_x v13, v5, s[4:7], 0 offen
+  tbuffer_store_format_x v14, v6, s[4:7], 0 offen
+bs_done:
+  s_endpgm
+"""
+
+
+class BitonicSortI32(Benchmark):
+    """In-place ascending bitonic sort of a power-of-two INT32 array."""
+
+    name = "bitonic_sort_i32"
+    uses_float = False
+    defaults = {"n": 512, "seed": 31}
+
+    def programs(self):
+        return [build(_BITONIC_SRC)]
+
+    def prepare(self, device):
+        rng = np.random.default_rng(self.seed)
+        data = rng.integers(0, 1 << 31, size=self.n).astype(np.uint32)
+        return {
+            "in_data": data,
+            "data": device.upload("data", data),
+        }
+
+    def execute(self, device, ctx):
+        program = self.programs()[0]
+        k = 2
+        while k <= self.n:
+            j = k >> 1
+            while j >= 1:
+                device.run(program, (self.n,), (min(256, self.n),),
+                           args=[ctx["data"], j, k])
+                j >>= 1
+            k <<= 1
+
+    def reference(self, ctx):
+        return {"data": np.sort(ctx["in_data"])}

@@ -1,0 +1,48 @@
+"""Standard evaluation configurations for the paper's benchmark suite.
+
+The paper runs its 17 applications on inputs up to 512x512 on the
+FPGA.  The simulator is functional-first Python, so the standard
+evaluation sizes below are scaled down (and large NDRanges use
+workgroup sampling) while keeping every benchmark inside its
+interesting regime -- enough workgroups to exercise multi-core
+dispatch, enough wavefronts per workgroup to exercise multi-thread
+VALU overlap, and data sets large enough that the prefetch-vs-relay
+contrast dominates, exactly as on the board.
+
+``EVAL_CONFIGS`` maps benchmark name to ``(params, max_groups)``;
+``evaluation_benchmarks()`` yields ready instances.
+"""
+
+from __future__ import annotations
+
+from . import KERNELS
+
+#: benchmark name -> (constructor params, workgroup sampling cap).
+EVAL_CONFIGS = {
+    "kmeans_f32": (dict(points=2048, clusters=5, iterations=3), None),
+    "gaussian_elimination_f32": (dict(n=32), None),
+    "matrix_add_i32": (dict(n=128), 16),
+    "matrix_add_f32": (dict(n=128), 16),
+    "matrix_mul_i32": (dict(n=32), None),
+    "matrix_mul_f32": (dict(n=32), None),
+    "conv2d_i32": (dict(n=64, k=5), 8),
+    "conv2d_f32": (dict(n=64, k=5), 8),
+    "bitonic_sort_i32": (dict(n=2048), None),
+    "matrix_transpose_i32": (dict(n=128), 16),
+    "max_pooling_i32": (dict(n=128), 16),
+    "median_pooling_i32": (dict(n=128), 16),
+    "average_pooling_i32": (dict(n=128), 16),
+    "cnn_i32": (dict(n=32, channels=(3, 8, 8)), None),
+    "cnn_f32": (dict(n=32, channels=(3, 8, 8)), None),
+    "nin_i32": (dict(n=32, channels=(3, 8)), None),
+    "nin_f32": (dict(n=32, channels=(3, 8)), None),
+    "nin_i8": (dict(n=32, channels=(3, 8)), None),
+}
+
+
+def evaluation_benchmarks(names=None):
+    """Yield ``(benchmark_instance, max_groups)`` for the suite."""
+    for name, (params, max_groups) in EVAL_CONFIGS.items():
+        if names is not None and name not in names:
+            continue
+        yield KERNELS[name](**params), max_groups

@@ -1,0 +1,117 @@
+"""LDS-tiled matrix multiplication -- the hand-optimised counterpoint.
+
+The classic OpenCL GEMM optimisation: each 8x8 workgroup stages A and
+B tiles through the local data share, cutting global-memory traffic by
+the tile width (8x fewer transactions than the naive kernel).
+
+Its role here is the locality-vs-prefetch ablation
+(`benchmarks/test_ablation_tiling.py`): on the *original* MIAOW
+system, where every global access serialises through the MicroBlaze
+relay, tiling is a huge win -- exactly why GPU programmers write this
+kernel.  On the DCD+PM baseline the prefetch buffer already services
+loads at BRAM latency, so the tiled kernel's barriers and LDS hops buy
+little: the paper's architectural fix subsumes the manual optimisation.
+
+The kernel also exercises parts of the ABI the flat suite does not:
+2-D workgroups (v0/v1 as tile coordinates), `s_barrier` rendezvous
+inside a loop, and `ds_read2_b32`-free strided LDS access.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Benchmark, build
+from .matrix import MatrixMulF32
+
+_TILED_SRC = """
+.kernel matrix_mul_tiled_f32
+.lds 512
+  s_buffer_load_dword s20, s[12:15], 0    ; a
+  s_buffer_load_dword s21, s[12:15], 1    ; b
+  s_buffer_load_dword s22, s[12:15], 2    ; c
+  s_buffer_load_dword s23, s[12:15], 3    ; n
+  s_buffer_load_dword s24, s[12:15], 4    ; log2n
+  s_waitcnt lgkmcnt(0)
+  ; tile coordinates: local (8, 8) workgroups
+  s_lshl_b32 s2, s17, 3                   ; tile row base = group_y * 8
+  v_add_i32 v4, vcc, s2, v1               ; row = base + ly
+  s_lshl_b32 s3, s16, 3
+  v_add_i32 v5, vcc, s3, v0               ; col = base + lx
+  ; LDS addresses: A tile at 0, B tile at 256 (bytes)
+  v_lshlrev_b32 v6, 3, v1
+  v_add_i32 v6, vcc, v6, v0               ; ly*8 + lx
+  v_lshlrev_b32 v6, 2, v6                 ; element slot, bytes
+  v_add_i32 v7, vcc, 0x100, v6            ; B-tile slot
+  v_mov_b32 v8, 0                         ; acc
+  s_lshl_b32 s25, s23, 2                  ; row stride, bytes
+  s_mov_b32 s26, 0                        ; k tile counter
+  s_lshr_b32 s27, s23, 3                  ; n / 8 tiles
+  ; &A[row][0] and &B[0][col] cursors
+  v_lshlrev_b32 v9, s24, v4
+  v_lshlrev_b32 v9, 2, v9
+  v_add_i32 v9, vcc, s20, v9              ; A row base
+  v_lshlrev_b32 v10, 2, v5
+  v_add_i32 v10, vcc, s21, v10            ; B col base
+mt_tile:
+  ; stage one A element and one B element per work-item
+  v_lshlrev_b32 v11, 2, v0
+  v_add_i32 v11, vcc, v9, v11             ; &A[row][t*8 + lx]
+  tbuffer_load_format_x v12, v11, s[4:7], 0 offen
+  v_lshlrev_b32 v13, s24, v1
+  v_lshlrev_b32 v13, 2, v13
+  v_add_i32 v13, vcc, v10, v13            ; &B[t*8 + ly][col]
+  tbuffer_load_format_x v14, v13, s[4:7], 0 offen
+  s_waitcnt vmcnt(0)
+  ds_write_b32 v6, v12
+  ds_write_b32 v7, v14
+  s_waitcnt lgkmcnt(0)
+  s_barrier
+  ; accumulate over the 8-wide tile from the LDS
+  v_lshlrev_b32 v15, 3, v1
+  v_lshlrev_b32 v15, 2, v15               ; A row slot = ly*32
+  v_lshlrev_b32 v16, 2, v0
+  v_add_i32 v16, vcc, 0x100, v16          ; B col slot = 256 + lx*4
+  s_mov_b32 s28, 0
+mt_k:
+  ds_read_b32 v17, v15
+  ds_read_b32 v18, v16
+  s_waitcnt lgkmcnt(0)
+  v_mac_f32 v8, v17, v18
+  v_add_i32 v15, vcc, 4, v15
+  v_add_i32 v16, vcc, 32, v16
+  s_add_u32 s28, s28, 1
+  s_cmp_lt_u32 s28, 8
+  s_cbranch_scc1 mt_k
+  s_barrier
+  ; advance to the next k tile
+  v_add_i32 v9, vcc, 32, v9               ; A: 8 columns = 32 bytes
+  s_lshl_b32 s29, s25, 3                  ; B: 8 rows
+  v_add_i32 v10, vcc, s29, v10
+  s_add_u32 s26, s26, 1
+  s_cmp_lt_u32 s26, s27
+  s_cbranch_scc1 mt_tile
+  ; C[row][col]
+  v_lshlrev_b32 v19, s24, v4
+  v_add_i32 v19, vcc, v19, v5
+  v_lshlrev_b32 v19, 2, v19
+  v_add_i32 v19, vcc, s22, v19
+  tbuffer_store_format_x v8, v19, s[4:7], 0 offen
+  s_endpgm
+"""
+
+
+class MatrixMulTiledF32(MatrixMulF32):
+    """LDS-tiled C = A x B (8x8 tiles, 2-D workgroups)."""
+
+    name = "matrix_mul_tiled_f32"
+    uses_float = True
+    defaults = {"n": 16, "seed": 13}
+
+    def programs(self):
+        return [build(_TILED_SRC)]
+
+    def execute(self, device, ctx):
+        log2n = int(np.log2(self.n))
+        device.run(self.programs()[0], (self.n, self.n), (8, 8),
+                   args=[ctx["a"], ctx["b"], ctx["c"], self.n, log2n])

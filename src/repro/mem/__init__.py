@@ -1,0 +1,11 @@
+"""Memory substrate: DDR3 image, prefetch buffer, access timing."""
+
+from .global_memory import GlobalMemory
+from .params import DCD_PM_TIMING, DCD_TIMING, ORIGINAL_TIMING, MemoryTimingParams
+from .prefetch import BRAM_BYTES, PrefetchBuffer
+from .system import MemorySystem
+
+__all__ = [
+    "GlobalMemory", "MemorySystem", "PrefetchBuffer", "BRAM_BYTES",
+    "MemoryTimingParams", "ORIGINAL_TIMING", "DCD_TIMING", "DCD_PM_TIMING",
+]

@@ -1,0 +1,143 @@
+"""Functional model of the board's DDR3 global memory.
+
+A flat little-endian byte-addressable store backed by a NumPy array.
+The MicroBlaze host, the ultra-threaded dispatcher and the compute
+units all read and write through this object; timing is handled
+separately by :class:`repro.mem.system.MemorySystem` so that the same
+functional state serves every architecture generation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+
+
+class GlobalMemory:
+    """Byte-addressable DDR3 memory image.
+
+    Word accessors operate on aligned 32-bit little-endian dwords, the
+    granularity of every MIAOW2.0 memory instruction; byte accessors
+    back the ``buffer_load_ubyte``-family used by the INT8 kernels.
+    """
+
+    def __init__(self, size=1 << 24):
+        self.size = int(size)
+        self._bytes = np.zeros(self.size, dtype=np.uint8)
+
+    # -- bounds -------------------------------------------------------------
+
+    def _check(self, addr, nbytes):
+        if addr < 0 or addr + nbytes > self.size:
+            raise SimulationError(
+                "global memory access out of range: 0x{:x}+{} (size 0x{:x})".format(
+                    addr, nbytes, self.size
+                )
+            )
+
+    # -- scalar accessors ----------------------------------------------------
+
+    def read_u32(self, addr):
+        self._check(addr, 4)
+        return int(self._bytes[addr:addr + 4].view(np.uint32)[0])
+
+    def write_u32(self, addr, value):
+        self._check(addr, 4)
+        self._bytes[addr:addr + 4].view(np.uint32)[0] = np.uint32(value & 0xFFFFFFFF)
+
+    def read_u8(self, addr):
+        self._check(addr, 1)
+        return int(self._bytes[addr])
+
+    def write_u8(self, addr, value):
+        self._check(addr, 1)
+        self._bytes[addr] = np.uint8(value & 0xFF)
+
+    # -- vectorised accessors (one wavefront's lanes at once) ----------------
+
+    def _check_lanes(self, addrs, active, nbytes):
+        if active.size == 0:
+            return
+        lo = int(addrs[active].min())
+        hi = int(addrs[active].max())
+        if lo < 0 or hi + nbytes > self.size:
+            raise SimulationError(
+                "global memory access out of range: 0x{:x}..0x{:x} (size 0x{:x})".format(
+                    lo, hi + nbytes, self.size
+                )
+            )
+
+    def gather_u32(self, addrs, mask):
+        """Read a uint32 per active lane; inactive lanes return 0.
+
+        Dword-aligned accesses (the only kind our kernels emit) take a
+        vectorised fast path through a uint32 view of the store.
+        """
+        addrs = np.asarray(addrs, dtype=np.int64)
+        out = np.zeros(len(addrs), dtype=np.uint32)
+        active = np.flatnonzero(mask)
+        if active.size == 0:
+            return out
+        self._check_lanes(addrs, active, 4)
+        sel = addrs[active]
+        if not (sel & 3).any():
+            out[active] = self._bytes.view(np.uint32)[sel >> 2]
+            return out
+        for lane in active:
+            out[lane] = self.read_u32(int(addrs[lane]))
+        return out
+
+    def scatter_u32(self, addrs, values, mask):
+        addrs = np.asarray(addrs, dtype=np.int64)
+        values = np.asarray(values, dtype=np.uint32)
+        active = np.flatnonzero(mask)
+        if active.size == 0:
+            return
+        self._check_lanes(addrs, active, 4)
+        sel = addrs[active]
+        if not (sel & 3).any():
+            self._bytes.view(np.uint32)[sel >> 2] = values[active]
+            return
+        for lane in active:
+            self.write_u32(int(addrs[lane]), int(values[lane]))
+
+    def gather_u8(self, addrs, mask, signed=False):
+        addrs = np.asarray(addrs, dtype=np.int64)
+        out = np.zeros(len(addrs), dtype=np.uint32)
+        active = np.flatnonzero(mask)
+        if active.size == 0:
+            return out
+        self._check_lanes(addrs, active, 1)
+        raw = self._bytes[addrs[active]]
+        if signed:
+            out[active] = raw.astype(np.int8).astype(np.int32).astype(np.uint32)
+        else:
+            out[active] = raw.astype(np.uint32)
+        return out
+
+    def scatter_u8(self, addrs, values, mask):
+        addrs = np.asarray(addrs, dtype=np.int64)
+        values = np.asarray(values, dtype=np.uint32)
+        active = np.flatnonzero(mask)
+        if active.size == 0:
+            return
+        self._check_lanes(addrs, active, 1)
+        self._bytes[addrs[active]] = (values[active] & 0xFF).astype(np.uint8)
+
+    # -- bulk transfer (host / dispatcher side) -------------------------------
+
+    def write_block(self, addr, data):
+        """Copy a bytes-like or NumPy array into memory at ``addr``."""
+        raw = np.ascontiguousarray(data).view(np.uint8).ravel()
+        self._check(addr, raw.size)
+        self._bytes[addr:addr + raw.size] = raw
+
+    def read_block(self, addr, nbytes, dtype=np.uint8):
+        self._check(addr, nbytes)
+        out = self._bytes[addr:addr + nbytes].copy()
+        return out.view(dtype)
+
+    def fill(self, addr, nbytes, byte=0):
+        self._check(addr, nbytes)
+        self._bytes[addr:addr + nbytes] = np.uint8(byte)

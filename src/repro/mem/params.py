@@ -1,0 +1,76 @@
+"""Timing parameters of the MIAOW2.0 memory hierarchy.
+
+The three architecture generations of the paper differ almost entirely
+in how a compute-unit memory request is serviced:
+
+* **Original MIAOW** -- a single 50 MHz clock; every global access is
+  relayed by the MicroBlaze (it receives the request over AXI, issues
+  the DDR3 transaction through the MIG and writes the data back into
+  the CU's memory-mapped registers).  The relay is firmware, so it is
+  both slow and strictly serialised: Section 2.2.4 calls this out as
+  "significantly increases the latency for memory accesses".
+* **DCD** -- the MicroBlaze/MIG domain moves to 200 MHz, so the same
+  relay completes in a quarter of the CU-clock cycles.
+* **DCD+PM** -- a BRAM prefetch buffer sits next to the CU; hits are
+  serviced "without direct communication with a programmable
+  processor/controller" (Section 2.1.4), i.e. at BRAM latency and
+  pipelined.
+
+All values are expressed in **CU cycles** (50 MHz, 20 ns).  They are
+calibration constants: tuned so that the reproduced Figure 7 speedup
+bands (DCD >= 1.17x, DCD+PM between ~4.3x and ~96x depending on memory
+intensity) match the paper; see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MemoryTimingParams:
+    """Latency/throughput constants for one architecture configuration.
+
+    The MicroBlaze relay latency splits into two parts:
+
+    * an **AXI handshake** portion clocked with the compute unit -- the
+      CU-side slave interface, the interrupt/polling turnaround and the
+      domain-crossing synchronisers stay at 50 MHz no matter how fast
+      the MicroBlaze runs; and
+    * a **service** portion in the MicroBlaze/MIG domain -- the firmware
+      loop plus the DDR3 transaction, which the 200 MHz domain of the
+      DCD design speeds up by the clock ratio.
+
+    This split is why the paper measures only ~1.17x from the dual
+    clock domain alone but >4x-96x once the prefetch memory bypasses
+    the relay entirely (Section 4.1.2).
+    """
+
+    #: CU-domain cycles of the relay's AXI/handshake portion.
+    axi_fixed_cycles: int = 645
+    #: MicroBlaze-domain cycles of the relay's service portion.
+    mb_service_cycles: int = 155
+    #: Clock ratio between the dispatcher/memory domain and the CU
+    #: domain (1 for the original single-clock design, 4 for DCD's
+    #: 200 MHz / 50 MHz split).
+    clock_ratio: int = 1
+    #: Whether the prefetch memory exists and services covered ranges.
+    prefetch_enabled: bool = False
+    #: CU cycles for a prefetch-buffer (BRAM) hit.
+    prefetch_hit_cycles: int = 4
+    #: Initiation interval of the prefetch port (pipelined, one new
+    #: request per interval); the MicroBlaze relay is not pipelined.
+    prefetch_issue_interval: int = 1
+    #: CU cycles for an LDS access (banked BRAM inside the CU).
+    lds_cycles: int = 2
+
+    @property
+    def relay_cycles(self):
+        """Effective MicroBlaze relay latency in CU cycles."""
+        return self.axi_fixed_cycles + self.mb_service_cycles / self.clock_ratio
+
+
+#: Parameter presets for the paper's three fixed-function generations.
+ORIGINAL_TIMING = MemoryTimingParams(clock_ratio=1, prefetch_enabled=False)
+DCD_TIMING = MemoryTimingParams(clock_ratio=4, prefetch_enabled=False)
+DCD_PM_TIMING = MemoryTimingParams(clock_ratio=4, prefetch_enabled=True)

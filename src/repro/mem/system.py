@@ -1,0 +1,118 @@
+"""Memory system: functional state + per-architecture access timing.
+
+One :class:`MemorySystem` instance is shared by every compute unit of a
+configuration.  It owns:
+
+* the :class:`GlobalMemory` image (functional data),
+* the shared MicroBlaze relay **channel** -- one request at a time, at
+  a latency set by the clock-domain configuration.  This is the
+  serialisation bottleneck the dual-clock domain and prefetch memory
+  attack, and it is what keeps multi-CU scaling sub-linear for
+  memory-hungry kernels in Figure 7A,
+* one :class:`PrefetchBuffer` per compute unit (BRAM is instantiated
+  "near the CU", Section 2.1.4), each with its own pipelined port.
+
+Timing entry points return the **completion time** of a request given
+the requested start time; functional data movement happens separately
+through the ``global_mem`` accessors so the functional result never
+depends on the architecture generation.
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+from .global_memory import GlobalMemory
+from .params import MemoryTimingParams
+from .prefetch import PrefetchBuffer
+
+
+class _Channel:
+    """A resource that admits one request per ``interval`` cycles."""
+
+    def __init__(self, interval_pipelined=None):
+        self.busy_until = 0.0
+        self.interval = interval_pipelined
+        self.requests = 0
+
+    def reset(self):
+        self.busy_until = 0.0
+        self.requests = 0
+
+    def issue(self, now, latency):
+        """Issue a request at >= ``now``; returns its completion time.
+
+        Pipelined channels (``interval`` set) re-admit after the
+        initiation interval; unpipelined ones only after completion.
+        """
+        start = max(now, self.busy_until)
+        done = start + latency
+        self.busy_until = (start + self.interval) if self.interval else done
+        self.requests += 1
+        return done
+
+
+class MemorySystem:
+    """Shared memory hierarchy for one simulated configuration."""
+
+    def __init__(self, params=None, num_cus=1, global_size=1 << 24,
+                 prefetch_brams=928):
+        self.params = params or MemoryTimingParams()
+        self.global_mem = GlobalMemory(global_size)
+        self.relay = _Channel()  # the MicroBlaze/MIG path: serialised
+        per_cu_brams = max(1, prefetch_brams // max(1, num_cus))
+        self.prefetch = [PrefetchBuffer(per_cu_brams) for _ in range(num_cus)]
+        self._prefetch_ports = [
+            _Channel(self.params.prefetch_issue_interval) for _ in range(num_cus)
+        ]
+        self.stats = {"relay_accesses": 0, "prefetch_hits": 0, "lds_accesses": 0}
+
+    # -- preload (MicroBlaze command, Section 2.1.4) -------------------------
+
+    def preload(self, cu_index, start, nbytes):
+        """Preload a range into one CU's prefetch buffer, if present.
+
+        No-op (returns False) when the configuration has no prefetch
+        memory; the host templates call this unconditionally so kernels
+        are identical across generations.
+        """
+        if not self.params.prefetch_enabled:
+            return False
+        return self.prefetch[cu_index].preload(start, nbytes)
+
+    def preload_all(self, start, nbytes):
+        """Preload the same range into every CU's buffer."""
+        return all(self.preload(i, start, nbytes) for i in range(len(self.prefetch)))
+
+    # -- timing ---------------------------------------------------------------
+
+    def access_time(self, cu_index, now, addrs, mask):
+        """Completion time of a vector global access starting at ``now``."""
+        if self.params.prefetch_enabled and \
+                self.prefetch[cu_index].covers_all(addrs, mask):
+            self.stats["prefetch_hits"] += 1
+            return self._prefetch_ports[cu_index].issue(
+                now, self.params.prefetch_hit_cycles)
+        self.stats["relay_accesses"] += 1
+        return self.relay.issue(now, self.params.relay_cycles)
+
+    def scalar_access_time(self, cu_index, now, addr):
+        """Completion time of a scalar (SMRD) read starting at ``now``."""
+        if self.params.prefetch_enabled and self.prefetch[cu_index].covers(addr):
+            self.stats["prefetch_hits"] += 1
+            return self._prefetch_ports[cu_index].issue(
+                now, self.params.prefetch_hit_cycles)
+        self.stats["relay_accesses"] += 1
+        return self.relay.issue(now, self.params.relay_cycles)
+
+    def lds_access_time(self, now):
+        """Completion time of an LDS access (always in-CU BRAM)."""
+        self.stats["lds_accesses"] += 1
+        return now + self.params.lds_cycles
+
+    def reset_timing(self):
+        """Clear channel occupancy and counters between kernel launches."""
+        self.relay.reset()
+        for port in self._prefetch_ports:
+            port.reset()
+        for key in self.stats:
+            self.stats[key] = 0

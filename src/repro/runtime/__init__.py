@@ -1,0 +1,9 @@
+"""Runtime: device facade, buffers, metrics."""
+
+from .buffers import Buffer, HeapAllocator
+from .device import SoftGpu
+from .metrics import RunMetrics, measure
+from .templates import ElementwiseTemplate, elementwise_kernel
+
+__all__ = ["Buffer", "HeapAllocator", "SoftGpu", "RunMetrics", "measure",
+           "ElementwiseTemplate", "elementwise_kernel"]

@@ -1,0 +1,70 @@
+"""Device buffer management.
+
+A bump allocator over the UAV heap (the region the IMM_UAV descriptor
+exposes to kernels).  Buffer offsets are heap-relative because that is
+what the host writes into constant buffer 1 as kernel arguments --
+kernels add them to the UAV base held in the resource descriptor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import LaunchError
+
+
+@dataclass(frozen=True)
+class Buffer:
+    """One device allocation in the UAV heap."""
+
+    name: str
+    offset: int        # heap-relative byte offset (what kernels receive)
+    nbytes: int
+    dtype: object = np.uint32
+
+    @property
+    def end(self):
+        return self.offset + self.nbytes
+
+    def elements(self):
+        return self.nbytes // np.dtype(self.dtype).itemsize
+
+
+class HeapAllocator:
+    """Bump allocator with 64-byte alignment (one wavefront's dwords)."""
+
+    ALIGNMENT = 64
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self._cursor = 0
+        self._buffers = {}
+
+    def alloc(self, name, nbytes, dtype=np.uint32):
+        if name in self._buffers:
+            raise LaunchError("buffer {!r} already allocated".format(name))
+        aligned = (self._cursor + self.ALIGNMENT - 1) & ~(self.ALIGNMENT - 1)
+        if aligned + nbytes > self.capacity:
+            raise LaunchError(
+                "heap exhausted: {!r} needs {} bytes, {} free".format(
+                    name, nbytes, self.capacity - aligned))
+        buf = Buffer(name=name, offset=aligned, nbytes=nbytes, dtype=dtype)
+        self._buffers[name] = buf
+        self._cursor = aligned + nbytes
+        return buf
+
+    def get(self, name):
+        return self._buffers[name]
+
+    def reset(self):
+        self._cursor = 0
+        self._buffers = {}
+
+    @property
+    def used(self):
+        return self._cursor
+
+    def __iter__(self):
+        return iter(self._buffers.values())

@@ -1,0 +1,138 @@
+"""The SoftGpu device facade: an OpenCL-shaped host API over the model.
+
+This is the programming surface a downstream user touches::
+
+    dev = SoftGpu(ArchConfig.baseline())
+    a = dev.upload("a", np.arange(1024, dtype=np.uint32))
+    b = dev.upload("b", np.arange(1024, dtype=np.uint32))
+    out = dev.alloc("out", 1024 * 4)
+    dev.preload_all()                       # fill the prefetch memory
+    dev.run(program, (1024,), (256,), args=[a, b, out])
+    result = dev.read(out)
+
+It owns the buffer heap, writes kernel arguments into constant buffer
+1 (buffers by heap-relative offset, scalars by value -- exactly the
+IMM_CONST_BUFFER1 convention of Section 2.2.2), mirrors the MicroBlaze
+host templates' prefetch preloading, and exposes the board timeline
+for the metrics layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import ArchConfig
+from ..errors import LaunchError
+from ..soc.gpu import CB1_BASE, CB1_SIZE, HEAP_BASE, Gpu
+from .buffers import Buffer, HeapAllocator
+
+
+class SoftGpu:
+    """One simulated board with a host-side runtime."""
+
+    def __init__(self, arch=None, global_mem_size=1 << 24, max_groups=None):
+        self.arch = arch or ArchConfig.baseline()
+        self.gpu = Gpu(self.arch, global_mem_size=global_mem_size)
+        self.heap = HeapAllocator(global_mem_size - HEAP_BASE)
+        self.max_groups = max_groups
+
+    # -- memory ----------------------------------------------------------
+
+    def alloc(self, name, nbytes, dtype=np.uint32):
+        return self.heap.alloc(name, int(nbytes), dtype)
+
+    def upload(self, name, array):
+        """Allocate a buffer sized for ``array`` and copy it in."""
+        array = np.ascontiguousarray(array)
+        buf = self.heap.alloc(name, array.nbytes, array.dtype)
+        self.write(buf, array)
+        return buf
+
+    def write(self, buf, array):
+        array = np.ascontiguousarray(array)
+        if array.nbytes > buf.nbytes:
+            raise LaunchError(
+                "write of {} bytes into {}-byte buffer {!r}".format(
+                    array.nbytes, buf.nbytes, buf.name))
+        self.gpu.memory.global_mem.write_block(HEAP_BASE + buf.offset, array)
+
+    def read(self, buf, dtype=None, count=None):
+        dtype = np.dtype(dtype or buf.dtype)
+        nbytes = buf.nbytes if count is None else count * dtype.itemsize
+        return self.gpu.memory.global_mem.read_block(
+            HEAP_BASE + buf.offset, nbytes, dtype)
+
+    def fill(self, buf, byte=0):
+        self.gpu.memory.global_mem.fill(HEAP_BASE + buf.offset, buf.nbytes, byte)
+
+    # -- prefetch (host-template choreography) -----------------------------
+
+    def preload(self, *buffers):
+        """Preload specific buffers into the prefetch memory."""
+        covered = True
+        for buf in buffers:
+            covered &= self.gpu.preload_prefetch(HEAP_BASE + buf.offset,
+                                                 buf.nbytes)
+        return covered
+
+    def preload_all(self):
+        """Preload the whole allocated heap (the common template)."""
+        if self.heap.used == 0:
+            return True
+        return self.gpu.preload_prefetch(HEAP_BASE, self.heap.used)
+
+    # -- kernel launch -----------------------------------------------------
+
+    def set_args(self, args):
+        """Write the CB1 argument block: buffers as offsets, ints as-is."""
+        dwords = []
+        for arg in args:
+            if isinstance(arg, Buffer):
+                dwords.append(arg.offset)
+            elif isinstance(arg, float):
+                dwords.append(
+                    int(np.float32(arg).view(np.uint32)))
+            else:
+                dwords.append(int(arg) & 0xFFFFFFFF)
+        if 4 * len(dwords) > CB1_SIZE:
+            raise LaunchError("too many kernel arguments")
+        if dwords:
+            self.gpu.memory.global_mem.write_block(
+                CB1_BASE, np.asarray(dwords, dtype=np.uint32))
+
+    def run(self, program, global_size, local_size, args=(), max_groups=None):
+        """Set arguments and launch; returns the :class:`LaunchResult`."""
+        self.set_args(list(args))
+        groups = self.max_groups if max_groups is None else max_groups
+        return self.gpu.launch(program, global_size, local_size,
+                               max_groups=groups)
+
+    # -- host phases --------------------------------------------------------
+
+    def host_phase(self, name, alu_ops=0, fp_ops=0, mem_touches=0):
+        return self.gpu.host_phase(name, alu_ops, fp_ops, mem_touches)
+
+    # -- debugging -------------------------------------------------------------
+
+    def attach_tracer(self, tracer):
+        """Attach an execution tracer to every compute unit."""
+        for cu in self.gpu.cus:
+            cu.tracer = tracer
+        return tracer
+
+    # -- timeline ------------------------------------------------------------
+
+    @property
+    def elapsed_seconds(self):
+        return self.gpu.elapsed_seconds
+
+    @property
+    def elapsed_cu_cycles(self):
+        return self.gpu.now
+
+    @property
+    def instructions(self):
+        return self.gpu.total_instructions
+
+    def reset_timeline(self):
+        self.gpu.reset_timeline()

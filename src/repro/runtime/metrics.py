@@ -1,0 +1,75 @@
+"""Performance and energy metrics.
+
+The paper's figures of merit:
+
+* **execution time** -- measured by the CU-internal cycle counter plus
+  the MicroBlaze timer for host phases (Section 4); here, the board
+  timeline in CU cycles converted at 50 MHz,
+* **speedup** -- time ratio against a reference configuration,
+* **energy** -- ``E = P x t`` with P from the power model
+  (Section 4.1.2 uses exactly this),
+* **energy efficiency** -- instructions-per-Joule (IPJ), the unit of
+  the abstract's "115x higher energy-efficiency levels".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..fpga.power_model import PowerEstimate
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """One benchmark execution on one architecture configuration."""
+
+    label: str
+    seconds: float
+    instructions: int
+    power: PowerEstimate
+
+    @property
+    def energy_joules(self):
+        return self.power.total * self.seconds
+
+    @property
+    def edp(self):
+        """Energy-delay product (J*s) -- lower is better; rewards
+        configurations that save energy without giving up speed."""
+        return self.energy_joules * self.seconds
+
+    @property
+    def ipj(self):
+        """Instructions per Joule -- the paper's efficiency metric."""
+        if self.energy_joules == 0:
+            return float("inf")
+        return self.instructions / self.energy_joules
+
+    def speedup_vs(self, other):
+        return other.seconds / self.seconds
+
+    def ipj_gain_vs(self, other):
+        return self.ipj / other.ipj
+
+    def energy_gain_vs(self, other):
+        """Energy reduction factor (same-work comparisons)."""
+        return other.energy_joules / self.energy_joules
+
+    def __str__(self):
+        return ("{}: {:.6f}s, {} instructions, {:.2f}W, "
+                "{:.3e} inst/J".format(self.label, self.seconds,
+                                       self.instructions, self.power.total,
+                                       self.ipj))
+
+
+def measure(device, report, label=None):
+    """Snapshot a device's timeline into :class:`RunMetrics`.
+
+    ``report`` is the configuration's synthesis report (for power).
+    """
+    return RunMetrics(
+        label=label or device.arch.describe(),
+        seconds=device.elapsed_seconds,
+        instructions=device.instructions,
+        power=report.power,
+    )

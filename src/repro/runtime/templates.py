@@ -1,0 +1,189 @@
+"""Host/kernel templates for basic algebraic functions (Section 2.2.2).
+
+The paper's MicroBlaze host code "can be easily achieved through a set
+of provided templates, which are constructed to implement basic
+algebraic functions" -- covering register initialisation, data
+movement to/from global memory, prefetch preloading and workgroup
+management.  This module is that template library for the simulator:
+
+* :func:`elementwise_kernel` generates a complete, assembled
+  Southern Islands kernel for ``out[i] = f(in0[i][, in1[i]])`` from a
+  few body lines (the loads/ABI prologue/store epilogue are the
+  template),
+* :class:`ElementwiseTemplate` is the matching host choreography:
+  upload inputs, preload the prefetch memory, launch with a sensible
+  workgroup size, read the result back,
+* :data:`BINARY_OPS` / :data:`UNARY_OPS` pre-register the common
+  algebraic functions so ``ElementwiseTemplate("mul_f32")`` just works.
+
+Example::
+
+    from repro.runtime.templates import ElementwiseTemplate
+    import numpy as np
+
+    axpy = ElementwiseTemplate("add_f32")
+    out = axpy(device, np.ones(256, np.float32), np.arange(256, np.float32))
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..asm.assembler import assemble
+from ..errors import LaunchError
+
+_BINARY_TEMPLATE = """
+.kernel {name}
+.arg in0 buffer
+.arg in1 buffer
+.arg out buffer
+  s_buffer_load_dword s19, s[8:11], 3
+  s_buffer_load_dword s20, s[12:15], 0
+  s_buffer_load_dword s21, s[12:15], 1
+  s_buffer_load_dword s22, s[12:15], 2
+  s_waitcnt lgkmcnt(0)
+  s_mul_i32 s1, s16, s19
+  v_add_i32 v3, vcc, s1, v0
+  v_lshlrev_b32 v3, 2, v3
+  v_add_i32 v4, vcc, s20, v3
+  v_add_i32 v5, vcc, s21, v3
+  tbuffer_load_format_x v6, v4, s[4:7], 0 offen
+  tbuffer_load_format_x v7, v5, s[4:7], 0 offen
+  s_waitcnt vmcnt(0)
+{body}
+  v_add_i32 v9, vcc, s22, v3
+  tbuffer_store_format_x v8, v9, s[4:7], 0 offen
+  s_endpgm
+"""
+
+_UNARY_TEMPLATE = """
+.kernel {name}
+.arg in0 buffer
+.arg out buffer
+  s_buffer_load_dword s19, s[8:11], 3
+  s_buffer_load_dword s20, s[12:15], 0
+  s_buffer_load_dword s22, s[12:15], 1
+  s_waitcnt lgkmcnt(0)
+  s_mul_i32 s1, s16, s19
+  v_add_i32 v3, vcc, s1, v0
+  v_lshlrev_b32 v3, 2, v3
+  v_add_i32 v4, vcc, s20, v3
+  tbuffer_load_format_x v6, v4, s[4:7], 0 offen
+  s_waitcnt vmcnt(0)
+{body}
+  v_add_i32 v9, vcc, s22, v3
+  tbuffer_store_format_x v8, v9, s[4:7], 0 offen
+  s_endpgm
+"""
+
+
+def elementwise_kernel(name, body_lines, arity=2):
+    """Assemble an element-wise kernel from its arithmetic body.
+
+    The template supplies the dispatcher-ABI prologue, the input loads
+    (``v6`` and, for binary kernels, ``v7``) and the store of ``v8``;
+    ``body_lines`` compute ``v8`` from those.  Scratch registers
+    ``v10+``/``s25+`` are free.
+    """
+    body = "\n".join("  " + line for line in body_lines)
+    template = _BINARY_TEMPLATE if arity == 2 else _UNARY_TEMPLATE
+    return assemble(template.format(name=name, body=body))
+
+
+#: name -> (body lines, numpy reference) for binary element-wise ops.
+BINARY_OPS = {
+    "add_f32": (["v_add_f32 v8, v6, v7"],
+                lambda a, b: (a + b).astype(np.float32)),
+    "sub_f32": (["v_sub_f32 v8, v6, v7"],
+                lambda a, b: (a - b).astype(np.float32)),
+    "mul_f32": (["v_mul_f32 v8, v6, v7"],
+                lambda a, b: (a * b).astype(np.float32)),
+    "min_f32": (["v_min_f32 v8, v6, v7"],
+                lambda a, b: np.minimum(a, b).astype(np.float32)),
+    "max_f32": (["v_max_f32 v8, v6, v7"],
+                lambda a, b: np.maximum(a, b).astype(np.float32)),
+    "add_u32": (["v_add_i32 v8, vcc, v6, v7"],
+                lambda a, b: a + b),
+    "sub_u32": (["v_sub_i32 v8, vcc, v6, v7"],
+                lambda a, b: a - b),
+    "mul_lo_u32": (["v_mul_lo_u32 v8, v6, v7"],
+                   lambda a, b: a * b),
+    "and_b32": (["v_and_b32 v8, v6, v7"], lambda a, b: a & b),
+    "or_b32": (["v_or_b32 v8, v6, v7"], lambda a, b: a | b),
+    "xor_b32": (["v_xor_b32 v8, v6, v7"], lambda a, b: a ^ b),
+    "hypot2_f32": (["v_mul_f32 v8, v6, v6",
+                    "v_mac_f32 v8, v7, v7",
+                    "v_sqrt_f32 v8, v8"],
+                   lambda a, b: np.sqrt(
+                       (a.astype(np.float64) ** 2
+                        + b.astype(np.float64) ** 2)).astype(np.float32)),
+}
+
+#: name -> (body lines, numpy reference) for unary element-wise ops.
+UNARY_OPS = {
+    "neg_f32": (["v_sub_f32 v8, 0, v6"],
+                lambda a: (-a).astype(np.float32)),
+    "sqrt_f32": (["v_sqrt_f32 v8, v6"],
+                 lambda a: np.sqrt(a.astype(np.float64)).astype(np.float32)),
+    "rcp_f32": (["v_rcp_f32 v8, v6"],
+                lambda a: (1.0 / a.astype(np.float64)).astype(np.float32)),
+    "abs_i32": (["v_mov_b32 v10, 0",
+                 "v_sub_i32 v11, vcc, v10, v6",
+                 "v_max_i32 v8, v6, v11"],
+                lambda a: np.abs(a.view(np.int32)).view(np.uint32)),
+    "not_b32": (["v_not_b32 v8, v6"], lambda a: ~a),
+    "square_f32": (["v_mul_f32 v8, v6, v6"],
+                   lambda a: (a * a).astype(np.float32)),
+}
+
+
+class ElementwiseTemplate:
+    """Host choreography for an element-wise kernel.
+
+    Instances are callable: ``template(device, a[, b])`` uploads the
+    inputs, mirrors the host templates' prefetch preloading, launches
+    over the whole array and returns the result as a NumPy array of
+    the inputs' dtype.
+    """
+
+    def __init__(self, op, body_lines=None, reference=None):
+        if body_lines is not None:
+            self.arity = (2 if reference is None
+                          else reference.__code__.co_argcount)
+            self.body = body_lines
+            self.reference = reference
+        elif op in BINARY_OPS:
+            self.body, self.reference = BINARY_OPS[op]
+            self.arity = 2
+        elif op in UNARY_OPS:
+            self.body, self.reference = UNARY_OPS[op]
+            self.arity = 1
+        else:
+            raise LaunchError("unknown element-wise op {!r}".format(op))
+        self.op = op
+        self.program = elementwise_kernel(op, self.body, self.arity)
+
+    def __call__(self, device, a, b=None):
+        a = np.ascontiguousarray(a)
+        if a.size % 64:
+            raise LaunchError("array length must be a multiple of 64")
+        if (b is None) != (self.arity == 1):
+            raise LaunchError("{} takes {} input(s)".format(self.op,
+                                                            self.arity))
+        prefix = "{}_{}_".format(self.op, device.heap.used)
+        buf_a = device.upload(prefix + "a", a.view(np.uint32))
+        args = [buf_a]
+        if b is not None:
+            b = np.ascontiguousarray(b)
+            if b.shape != a.shape:
+                raise LaunchError("input shapes differ")
+            args.append(device.upload(prefix + "b", b.view(np.uint32)))
+        out = device.alloc(prefix + "out", a.nbytes)
+        args.append(out)
+        device.preload_all()
+        device.run(self.program, (a.size,), (min(256, a.size),), args=args)
+        return device.read(out, dtype=a.dtype, count=a.size).reshape(a.shape)
+
+    def expected(self, a, b=None):
+        """The template's own NumPy reference for its operation."""
+        return self.reference(a) if self.arity == 1 else self.reference(a, b)

@@ -1,0 +1,43 @@
+"""Clock-domain model (Section 2.2.4).
+
+The original MIAOW system ran everything at 50 MHz (the CU's Issue
+stage limits the critical path).  MIAOW2.0 splits the network into two
+domains: the compute units stay at 50 MHz while the MicroBlaze and the
+memory controllers move to 200 MHz -- the highest system clock the MIG
+can derive from the board's 400 MHz input with its minimum 2:1 ratio
+(Section 2.2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+CU_CLOCK_HZ = 50_000_000
+MB_CLOCK_FAST_HZ = 200_000_000
+
+
+@dataclass(frozen=True)
+class ClockDomains:
+    """Operating frequencies of the two clock networks."""
+
+    cu_hz: float = CU_CLOCK_HZ
+    mb_hz: float = CU_CLOCK_HZ  # original design: single domain
+
+    @property
+    def ratio(self):
+        """MicroBlaze-domain cycles per CU-domain cycle."""
+        return int(round(self.mb_hz / self.cu_hz))
+
+    def cu_cycles_to_seconds(self, cycles):
+        return cycles / self.cu_hz
+
+    def mb_cycles_to_seconds(self, cycles):
+        return cycles / self.mb_hz
+
+    def mb_cycles_to_cu_cycles(self, cycles):
+        return cycles / self.ratio
+
+
+#: The paper's two clock configurations.
+SINGLE_DOMAIN = ClockDomains(cu_hz=CU_CLOCK_HZ, mb_hz=CU_CLOCK_HZ)
+DUAL_DOMAIN = ClockDomains(cu_hz=CU_CLOCK_HZ, mb_hz=MB_CLOCK_FAST_HZ)

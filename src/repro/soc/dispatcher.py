@@ -1,0 +1,173 @@
+"""The ultra-threaded dispatcher (MicroBlaze-hosted, Section 2.2.2).
+
+Before a workgroup executes, the dispatcher initialises the compute
+unit's state registers over the AXI interconnect -- including the new
+vector-register direct-access interface of Section 2.1.2.  The paper
+spells out the ABI it loads, reproduced here exactly:
+
+* ``s[4:7]``   -- ``IMM_UAV``: descriptor of the global data buffer,
+* ``s[8:11]``  -- ``IMM_CONST_BUFFER0``: descriptor of the OpenCL call
+  values (global/local sizes, group counts),
+* ``s[12:15]`` -- ``IMM_CONST_BUFFER1``: descriptor of the kernel
+  argument block,
+* ``s16/s17/s18`` -- the workgroup ID in X, Y, Z (only the dimensions
+  the NDRange actually uses are written),
+* ``v0/v1/v2`` -- the work-item's local ID in X, Y, Z.
+
+Constant buffer 0 is populated with the launch geometry in this dword
+layout (all our kernels index it through ``s_buffer_load_dword``):
+
+====== =========================
+dword  value
+====== =========================
+0..2   global size X, Y, Z
+3..5   local size X, Y, Z
+6..8   number of groups X, Y, Z
+====== =========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cu.lsu import make_buffer_descriptor
+from ..cu.regfile import RegisterFileModel
+from ..cu.wavefront import Wavefront
+from ..cu.workgroup import Workgroup
+from ..errors import LaunchError
+from ..isa.registers import WAVEFRONT_SIZE
+
+#: Scalar-register homes of the three descriptor sets (Section 2.2.2).
+UAV_DESCRIPTOR_REG = 4
+CB0_DESCRIPTOR_REG = 8
+CB1_DESCRIPTOR_REG = 12
+GROUP_ID_REG = 16
+
+#: CB0 dword indices.
+CB0_GLOBAL_SIZE = 0
+CB0_LOCAL_SIZE = 3
+CB0_NUM_GROUPS = 6
+CB0_DWORDS = 12
+
+
+@dataclass(frozen=True)
+class LaunchGeometry:
+    """An OpenCL NDRange: 3-D global and local sizes."""
+
+    global_size: tuple
+    local_size: tuple
+
+    @staticmethod
+    def of(global_size, local_size):
+        gs = tuple(global_size) + (1,) * (3 - len(tuple(global_size)))
+        ls = tuple(local_size) + (1,) * (3 - len(tuple(local_size)))
+        for g, l in zip(gs, ls):
+            if l <= 0 or g <= 0:
+                raise LaunchError("sizes must be positive")
+            if g % l:
+                raise LaunchError(
+                    "global size {} not divisible by local size {}".format(gs, ls)
+                )
+        return LaunchGeometry(gs, ls)
+
+    @property
+    def num_groups(self):
+        return tuple(g // l for g, l in zip(self.global_size, self.local_size))
+
+    @property
+    def total_groups(self):
+        nx, ny, nz = self.num_groups
+        return nx * ny * nz
+
+    @property
+    def work_items_per_group(self):
+        lx, ly, lz = self.local_size
+        return lx * ly * lz
+
+    def group_ids(self):
+        """All workgroup IDs in dispatch order (X fastest)."""
+        nx, ny, nz = self.num_groups
+        for z in range(nz):
+            for y in range(ny):
+                for x in range(nx):
+                    yield (x, y, z)
+
+
+@dataclass(frozen=True)
+class DispatchCosts:
+    """MicroBlaze cycles spent launching one workgroup.
+
+    The dispatcher writes the descriptor SGPRs, the group-ID SGPRs and
+    the three ID VGPRs through AXI (the VGPR interface moves a 2048-bit
+    vector as 64 AXI words plus mask/address/commit registers --
+    Section 2.1.2), then sends the start command and later collects
+    completion.  Costs are in MicroBlaze-domain cycles so the dual
+    clock domain speeds dispatch up by the clock ratio.
+    """
+
+    per_workgroup_mb_cycles: int = 150
+    per_wavefront_mb_cycles: int = 50  # burst VGPR writes, HW-assisted IDs
+
+    def workgroup_cycles(self, wavefronts):
+        return self.per_workgroup_mb_cycles + self.per_wavefront_mb_cycles * wavefronts
+
+
+class Dispatcher:
+    """Builds register-initialised workgroups for the compute units."""
+
+    def __init__(self, memory, uav_base, uav_size, cb0_base, cb1_base,
+                 cb1_size, costs=None, regfile=None):
+        self.memory = memory
+        self.uav_descriptor = make_buffer_descriptor(uav_base, uav_size)
+        self.cb0_descriptor = make_buffer_descriptor(cb0_base, 4 * CB0_DWORDS)
+        self.cb1_descriptor = make_buffer_descriptor(cb1_base, cb1_size)
+        self.cb0_base = cb0_base
+        self.costs = costs or DispatchCosts()
+        self.regfile = regfile or RegisterFileModel()
+
+    def write_cb0(self, geometry):
+        """Populate constant buffer 0 with the launch geometry."""
+        values = np.zeros(CB0_DWORDS, dtype=np.uint32)
+        values[CB0_GLOBAL_SIZE:CB0_GLOBAL_SIZE + 3] = geometry.global_size
+        values[CB0_LOCAL_SIZE:CB0_LOCAL_SIZE + 3] = geometry.local_size
+        values[CB0_NUM_GROUPS:CB0_NUM_GROUPS + 3] = geometry.num_groups
+        self.memory.global_mem.write_block(self.cb0_base, values)
+
+    def build_workgroup(self, program, geometry, group_id):
+        """Create one register-initialised workgroup."""
+        wg = Workgroup(group_id, program, geometry.local_size)
+        items = geometry.work_items_per_group
+        lx, ly, _lz = geometry.local_size
+        n_wavefronts = (items + WAVEFRONT_SIZE - 1) // WAVEFRONT_SIZE
+        self.regfile.check_workgroup(program, n_wavefronts)
+        for w in range(n_wavefronts):
+            wf = Wavefront(wf_id=w, program=program)
+            sg = wf.sgprs
+            sg[UAV_DESCRIPTOR_REG:UAV_DESCRIPTOR_REG + 4] = self.uav_descriptor
+            sg[CB0_DESCRIPTOR_REG:CB0_DESCRIPTOR_REG + 4] = self.cb0_descriptor
+            sg[CB1_DESCRIPTOR_REG:CB1_DESCRIPTOR_REG + 4] = self.cb1_descriptor
+            for dim in range(3):
+                if geometry.num_groups[dim] > 1 or dim == 0:
+                    sg[GROUP_ID_REG + dim] = group_id[dim]
+            flat = np.arange(w * WAVEFRONT_SIZE, (w + 1) * WAVEFRONT_SIZE,
+                             dtype=np.uint32)
+            active = flat < items
+            wf.exec_mask = int(
+                np.bitwise_or.reduce(
+                    np.where(active, np.uint64(1), np.uint64(0))
+                    << np.arange(64, dtype=np.uint64)
+                )
+            )
+            wf.vgprs[0] = flat % lx
+            wf.vgprs[1] = (flat // lx) % ly
+            wf.vgprs[2] = flat // (lx * ly)
+            wg.add_wavefront(wf)
+        return wg
+
+    def dispatch_cost_mb_cycles(self, geometry):
+        """MicroBlaze cycles to launch one workgroup of this geometry."""
+        items = geometry.work_items_per_group
+        wavefronts = (items + WAVEFRONT_SIZE - 1) // WAVEFRONT_SIZE
+        return self.costs.workgroup_cycles(wavefronts)

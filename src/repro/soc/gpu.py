@@ -1,0 +1,204 @@
+"""The complete MIAOW2.0 FPGA system: CUs + MicroBlaze + memory.
+
+Mirrors Figure 2's system diagram: N compute units behind an AXI
+interconnect, the MicroBlaze acting as host and ultra-threaded
+dispatcher, the MIG-fronted DDR3 global memory, and (for DCD+PM
+configurations) a BRAM prefetch buffer per CU.
+
+The whole board shares **one timeline**, kept in CU-domain cycles.
+MicroBlaze work (host phases, workgroup dispatch, prefetch preloading)
+is converted through the clock ratio, so moving the MicroBlaze to
+200 MHz (the DCD design) speeds those phases up by 4x on this
+timeline, which is precisely the paper's first optimisation.
+
+Workgroups are distributed to the earliest-free CU, one dispatch at a
+time (the dispatcher is a single soft core).  For large NDRanges the
+``max_groups`` option executes a sample of workgroups and linearly
+extrapolates the makespan -- an SPMD-homogeneity shortcut used by the
+Figure 7 parameter sweeps; correctness-checking runs always execute
+everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.config import ArchConfig
+from ..cu.pipeline import ComputeUnit, CuRunStats
+from ..errors import LaunchError
+from ..mem.system import MemorySystem
+from .clocks import DUAL_DOMAIN, SINGLE_DOMAIN, ClockDomains
+from .dispatcher import Dispatcher, LaunchGeometry
+from .microblaze import MicroBlaze
+
+#: Fixed memory map of the board image.
+CB0_BASE = 0x100
+CB1_BASE = 0x200
+CB1_SIZE = 0x100
+HEAP_BASE = 0x1000
+
+#: MicroBlaze cycles per 32-bit word when preloading the prefetch BRAM.
+PRELOAD_MB_CYCLES_PER_WORD = 2.0
+
+
+@dataclass
+class LaunchResult:
+    """Timing + accounting of one kernel launch."""
+
+    kernel: str
+    cu_cycles: float
+    total_groups: int
+    executed_groups: int
+    stats: CuRunStats
+    sampled: bool = False
+
+    @property
+    def instructions(self):
+        if not self.sampled:
+            return self.stats.instructions
+        scale = self.total_groups / max(1, self.executed_groups)
+        return int(self.stats.instructions * scale)
+
+
+class Gpu:
+    """One simulated board configuration, with a running timeline."""
+
+    def __init__(self, arch=None, global_mem_size=1 << 24, prefetch_brams=928):
+        self.arch = arch or ArchConfig.baseline()
+        self.clocks = (DUAL_DOMAIN if self.arch.generation.clock_ratio > 1
+                       else SINGLE_DOMAIN)
+        self.memory = MemorySystem(
+            params=self.arch.memory_timing,
+            num_cus=self.arch.num_cus,
+            global_size=global_mem_size,
+            prefetch_brams=prefetch_brams,
+        )
+        self.cus = [
+            ComputeUnit(
+                self.memory, cu_index=i,
+                num_simd=self.arch.num_simd, num_simf=self.arch.num_simf,
+                supported=self.arch.supported,
+            )
+            for i in range(self.arch.num_cus)
+        ]
+        self.microblaze = MicroBlaze()
+        self.dispatcher = Dispatcher(
+            self.memory,
+            uav_base=HEAP_BASE,
+            uav_size=global_mem_size - HEAP_BASE,
+            cb0_base=CB0_BASE,
+            cb1_base=CB1_BASE,
+            cb1_size=CB1_SIZE,
+        )
+        self.now = 0.0  # board timeline, CU-domain cycles
+        self.total_instructions = 0
+        self.launches = []
+        # The host templates always mirror the small constant-buffer
+        # region (launch geometry + kernel arguments) into the prefetch
+        # memory right after writing it -- scalar loads of kernel
+        # arguments would otherwise serialise on the MicroBlaze relay.
+        if self.arch.has_prefetch:
+            self.memory.preload_all(0, HEAP_BASE)
+
+    # -- time bookkeeping ---------------------------------------------------
+
+    def _mb_to_cu(self, mb_cycles):
+        return mb_cycles / self.clocks.ratio
+
+    @property
+    def elapsed_seconds(self):
+        return self.clocks.cu_cycles_to_seconds(self.now)
+
+    def reset_timeline(self):
+        self.now = 0.0
+        self.total_instructions = 0
+        self.launches = []
+        self.microblaze.reset()
+        self.memory.reset_timing()
+
+    # -- host-side operations -------------------------------------------------
+
+    def host_phase(self, name, alu_ops=0, fp_ops=0, mem_touches=0):
+        """Run a host-code phase on the MicroBlaze; advances the timeline."""
+        mb = self.microblaze.run_phase(name, alu_ops, fp_ops, mem_touches)
+        self.now += self._mb_to_cu(mb)
+        return mb
+
+    def preload_prefetch(self, start, nbytes):
+        """MicroBlaze command: preload a range into every CU's buffer.
+
+        Charges the copy time on the timeline even when the range does
+        not fit (the firmware still attempts it); returns whether the
+        range is now covered.
+        """
+        if not self.arch.has_prefetch:
+            return False
+        covered = self.memory.preload_all(start, nbytes)
+        mb = PRELOAD_MB_CYCLES_PER_WORD * (nbytes / 4.0)
+        self.microblaze.charge_cycles("preload", mb)
+        self.now += self._mb_to_cu(mb)
+        return covered
+
+    # -- kernel launch ---------------------------------------------------------
+
+    def launch(self, program, global_size, local_size, max_groups=None):
+        """Execute a kernel over an NDRange; returns a :class:`LaunchResult`.
+
+        ``max_groups`` enables workgroup sampling: at most that many
+        workgroups are executed and the makespan is scaled by
+        ``total/executed``.  Functional output is then partial --
+        callers only do this inside timing sweeps.
+        """
+        geometry = LaunchGeometry.of(global_size, local_size)
+        if geometry.work_items_per_group > 64 * 40:
+            raise LaunchError("workgroup exceeds the CU's 40-wavefront capacity")
+        self.dispatcher.write_cb0(geometry)
+
+        total = geometry.total_groups
+        group_ids = list(geometry.group_ids())
+        sampled = False
+        if max_groups is not None and total > max_groups:
+            # Round-robin decimation keeps the sample spread across the
+            # NDRange, which matters for kernels whose edge groups
+            # diverge (e.g. image borders).
+            step = total / float(max_groups)
+            group_ids = [group_ids[int(i * step)] for i in range(max_groups)]
+            sampled = True
+
+        dispatch_cost = self._mb_to_cu(
+            self.dispatcher.dispatch_cost_mb_cycles(geometry))
+        cu_free = [self.now] * len(self.cus)
+        disp_free = self.now
+        stats = CuRunStats()
+        end_time = self.now
+
+        for gid in group_ids:
+            wg = self.dispatcher.build_workgroup(program, geometry, gid)
+            cu_idx = min(range(len(self.cus)), key=cu_free.__getitem__)
+            # The ultra-threaded dispatcher prepares the next workgroup
+            # while CUs execute, so dispatch pipelines ahead; a CU only
+            # waits when dispatch throughput is the bottleneck (which is
+            # what caps multi-core scaling for short kernels).
+            ready = disp_free + dispatch_cost
+            disp_free = ready
+            start = max(cu_free[cu_idx], ready)
+            end, wg_stats = self.cus[cu_idx].run_workgroup(wg, start_time=start)
+            cu_free[cu_idx] = end
+            stats.merge(wg_stats)
+            end_time = max(end_time, end)
+
+        elapsed = end_time - self.now
+        if sampled and group_ids:
+            elapsed *= total / float(len(group_ids))
+        self.now += elapsed
+        result = LaunchResult(
+            kernel=program.name,
+            cu_cycles=elapsed,
+            total_groups=total,
+            executed_groups=len(group_ids),
+            stats=stats,
+            sampled=sampled,
+        )
+        self.total_instructions += result.instructions
+        self.launches.append(result)
+        return result

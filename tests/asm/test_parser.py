@@ -1,0 +1,113 @@
+"""Assembly parser: tokens, labels, modifiers, directives."""
+
+import pytest
+
+from repro.asm.parser import (
+    Directive,
+    LabelRef,
+    Statement,
+    WaitCount,
+    parse_line,
+    parse_operand_token,
+    parse_source,
+)
+from repro.errors import AssemblyError
+from repro.isa.registers import Operand
+
+
+class TestOperandTokens:
+    def test_registers(self):
+        op = parse_operand_token("s12", 1)
+        assert op.kind == Operand.SGPR and op.value == 12
+        op = parse_operand_token("v[4:7]", 1)
+        assert op.kind == Operand.VGPR and op.value == 4 and op.count == 4
+
+    def test_case_insensitive_registers(self):
+        op = parse_operand_token("V3", 1)
+        assert op.kind == Operand.VGPR and op.value == 3
+
+    def test_specials(self):
+        assert parse_operand_token("vcc", 1).count == 2
+        assert parse_operand_token("EXEC", 1).count == 2
+        assert parse_operand_token("m0", 1).value == 124
+
+    def test_immediates(self):
+        assert parse_operand_token("42", 1).kind == Operand.INLINE
+        assert parse_operand_token("0xff", 1).kind == Operand.LITERAL
+        assert parse_operand_token("-5", 1).kind == Operand.INLINE
+        assert parse_operand_token("1.0", 1).kind == Operand.INLINE
+        assert parse_operand_token("3.25", 1).kind == Operand.LITERAL
+
+    def test_waitcnt_expression(self):
+        wc = parse_operand_token("vmcnt(0)", 1)
+        assert isinstance(wc, WaitCount)
+        assert wc.counter == "vmcnt" and wc.value == 0
+
+    def test_label_reference(self):
+        ref = parse_operand_token("loop_42", 1)
+        assert isinstance(ref, LabelRef) and ref.name == "loop_42"
+
+    def test_reversed_range_rejected(self):
+        with pytest.raises(AssemblyError):
+            parse_operand_token("s[7:4]", 3)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(AssemblyError):
+            parse_operand_token("s[1:", 1)
+
+
+class TestLines:
+    def test_blank_and_comment_lines(self):
+        assert parse_line("", 1) is None
+        assert parse_line("   ; just a comment", 2) is None
+        assert parse_line("// C++ style", 3) is None
+        assert parse_line("# hash style", 4) is None
+
+    def test_instruction_with_comment(self):
+        stmt = parse_line("s_add_u32 s0, s1, s2 ; sum", 1)
+        assert isinstance(stmt, Statement)
+        assert stmt.mnemonic == "s_add_u32" and len(stmt.operands) == 3
+
+    def test_label_definition(self):
+        item = parse_line("loop:", 5)
+        assert item.label_defs == ["loop"]
+
+    def test_label_with_instruction(self):
+        stmt = parse_line("loop: s_branch loop", 5)
+        assert stmt.label_defs == ["loop"]
+        assert stmt.mnemonic == "s_branch"
+
+    def test_flags_and_modifiers(self):
+        stmt = parse_line(
+            "buffer_load_dword v1, v0, s[4:7], 0 offen offset:16", 1)
+        assert "offen" in stmt.flags
+        assert stmt.modifiers == {"offset": 16}
+        assert len(stmt.operands) == 4
+
+    def test_directives(self):
+        item = parse_line(".kernel conv2d", 1)
+        assert isinstance(item, Directive)
+        assert item.name == "kernel" and item.args == ["conv2d"]
+
+    def test_bad_modifier_value(self):
+        with pytest.raises(AssemblyError):
+            parse_line("ds_read_b32 v1, v0 offset:abc", 9)
+
+
+class TestSource:
+    def test_statement_stream(self):
+        items = parse_source("""
+          .kernel demo
+          s_mov_b32 s0, 1
+        loop:
+          s_branch loop
+        """)
+        kinds = [type(i).__name__ for i in items]
+        # A bare "label:" line parses as an empty directive that only
+        # carries the label definition.
+        assert kinds == ["Directive", "Statement", "Directive", "Statement"]
+        assert items[2].label_defs == ["loop"]
+
+    def test_line_numbers_recorded(self):
+        items = parse_source("s_nop\n\ns_endpgm")
+        assert [i.line for i in items] == [1, 3]

@@ -1,0 +1,89 @@
+"""Binary analysis (Algorithm 1, step one) details."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core.analyzer import (
+    KernelRequirements,
+    analyze_application,
+    analyze_program,
+    dynamic_counts,
+)
+from repro.isa.categories import FunctionalUnit
+
+
+SOURCE = """
+.kernel probe
+  s_mov_b32 s0, 1
+  v_add_f32 v1, v0, v0
+  v_add_i32 v2, vcc, v0, v0
+  tbuffer_load_format_x v3, v2, s[4:7], 0 offen
+  s_waitcnt vmcnt(0)
+  s_branch out
+  s_nop
+out:
+  s_endpgm
+"""
+
+
+class TestAnalyzeProgram:
+    def test_units_partitioned(self):
+        req = analyze_program(assemble(SOURCE))
+        assert req.per_unit[FunctionalUnit.SALU] == {"s_mov_b32"}
+        assert req.per_unit[FunctionalUnit.SIMF] == {"v_add_f32"}
+        assert req.per_unit[FunctionalUnit.SIMD] == {"v_add_i32"}
+        assert req.per_unit[FunctionalUnit.LSU] == {"tbuffer_load_format_x"}
+        # Branch path holds the control instructions, including the
+        # statically unreachable s_nop (Algorithm 1 is static).
+        assert "s_nop" in req.per_unit[FunctionalUnit.BRANCH]
+        assert "s_endpgm" in req.per_unit[FunctionalUnit.BRANCH]
+
+    def test_names_union(self):
+        req = analyze_program(assemble(SOURCE))
+        assert "v_add_f32" in req.names and "s_branch" in req.names
+        assert len(req.names) == 8
+
+    def test_kernel_name_recorded(self):
+        req = analyze_program(assemble(SOURCE))
+        assert req.kernels == ["probe"]
+
+
+class TestMerge:
+    def test_ior_unions(self):
+        a = analyze_program(assemble(".kernel a\nv_add_f32 v1, v0, v0\n"
+                                     "s_endpgm"))
+        b = analyze_program(assemble(".kernel b\nv_add_i32 v1, vcc, v0, v0\n"
+                                     "s_endpgm"))
+        a |= b
+        assert a.uses_unit(FunctionalUnit.SIMF)
+        assert a.uses_unit(FunctionalUnit.SIMD)
+        assert a.kernels == ["a", "b"]
+
+    def test_analyze_application(self):
+        programs = [assemble(".kernel k{}\ns_endpgm".format(i))
+                    for i in range(3)]
+        req = analyze_application(programs)
+        assert req.kernels == ["k0", "k1", "k2"]
+
+    def test_duplicate_kernel_names_not_repeated(self):
+        program = assemble(".kernel same\ns_endpgm")
+        req = analyze_application([program, program])
+        assert req.kernels == ["same"]
+
+
+class TestDynamicCounts:
+    def test_per_unit_aggregation(self):
+        counts = {"v_add_f32": 10, "v_mul_f32": 5, "s_mov_b32": 3,
+                  "ds_read_b32": 2}
+        per_unit = dynamic_counts(counts)
+        assert per_unit[FunctionalUnit.SIMF] == 15
+        assert per_unit[FunctionalUnit.SALU] == 3
+        assert per_unit[FunctionalUnit.LSU] == 2
+
+
+class TestUsageFractions:
+    def test_empty_requirements(self):
+        req = KernelRequirements()
+        assert req.usage_fraction(FunctionalUnit.SIMD) == 0.0
+        assert req.usage_by_unit()[FunctionalUnit.SALU] == 0.0
+        assert not req.uses_float

@@ -1,0 +1,52 @@
+"""The Figure-5 style trim rendering."""
+
+import pytest
+
+from repro.core.config import ArchConfig
+from repro.core.flow import ScratchFlow
+from repro.core.report import render_figure5
+from repro.kernels import Conv2DI32, MatrixMulF32
+
+
+class TestRenderFigure5:
+    def test_integer_kernel_shadows_the_simf(self):
+        text = render_figure5(ScratchFlow(Conv2DI32(n=16)).trim())
+        assert "fpVALU (REMOVED)" in text
+        assert "x  v_sin_f32" in text          # removed -> shadowed
+        assert "    v_add_i32" in text          # kept -> plain
+
+    def test_fp_kernel_keeps_its_ops(self):
+        text = render_figure5(ScratchFlow(MatrixMulF32(n=16)).trim())
+        assert "fpVALU (kept)" in text
+        assert "    v_mac_f32" in text
+        assert "x  v_cos_f32" in text
+
+    def test_format_subheadings_present(self):
+        text = render_figure5(ScratchFlow(Conv2DI32(n=16)).trim())
+        for fmt in ("[SOP2]", "[VOP2]", "[MTBUF]", "[SMRD]"):
+            assert fmt in text
+
+    def test_untrimmed_config_shadows_nothing(self):
+        import dataclasses
+        result = ScratchFlow(Conv2DI32(n=16)).trim()
+        # Fake a full-ISA result by clearing the supported set.
+        full = dataclasses.replace(result.config, supported=None)
+        result_full = dataclasses.replace(result, config=full)
+        text = render_figure5(result_full)
+        assert "x " not in text
+        assert "(REMOVED)" not in text
+
+
+class TestEdpMetric:
+    def test_energy_delay_product(self):
+        from repro.fpga.power_model import PowerEstimate
+        from repro.runtime.metrics import RunMetrics
+        metrics = RunMetrics("m", seconds=2.0, instructions=100,
+                             power=PowerEstimate(0.5, 1.5))
+        assert metrics.energy_joules == pytest.approx(4.0)
+        assert metrics.edp == pytest.approx(8.0)
+
+    def test_trimming_improves_edp(self):
+        flow = ScratchFlow(Conv2DI32(n=16))
+        results = flow.evaluate(modes=(), verify=False)
+        assert results["trimmed"].edp < results["baseline"].edp

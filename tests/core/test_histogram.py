@@ -1,0 +1,93 @@
+"""Instruction-mix histograms: the Figure 4 taxonomy."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core.histogram import GROUP_TITLES, InstructionMix, classify
+from repro.isa.categories import DataType, OpCategory
+from repro.isa.tables import spec
+
+
+class TestClassify:
+    @pytest.mark.parametrize("name,group", [
+        ("v_mov_b32", "A"), ("v_and_b32", "A"), ("v_lshlrev_b32", "A"),
+        ("s_brev_b32", "A"),
+        ("v_add_i32", "B"), ("v_mul_lo_i32", "B"), ("s_mul_i32", "B"),
+        ("v_add_f32", "C"), ("v_rcp_f32", "C"), ("v_sin_f32", "C"),
+        ("v_add_f64", "D"), ("v_rsq_f64", "D"),
+        ("v_cvt_f32_i32", "E"), ("s_sext_i32_i8", "E"),
+        ("s_branch", "F"), ("s_barrier", "F"), ("s_waitcnt", "F"),
+        ("tbuffer_load_format_x", "G"), ("ds_read_b32", "G"),
+        ("s_load_dword", "G"),
+    ])
+    def test_group_assignment(self, name, group):
+        assert classify(spec(name)) == group
+
+    def test_group_titles_complete(self):
+        assert set(GROUP_TITLES) == set("ABCDEFG")
+
+
+class TestMixFromCounts:
+    COUNTS = {
+        "v_add_i32": 50, "v_add_f32": 30, "v_mov_b32": 10,
+        "tbuffer_load_format_x": 10,
+    }
+
+    def test_total(self):
+        mix = InstructionMix.from_counts("demo", self.COUNTS)
+        assert mix.total == 100
+
+    def test_group_fractions_sum_to_one(self):
+        mix = InstructionMix.from_counts("demo", self.COUNTS)
+        assert sum(mix.group_fractions().values()) == pytest.approx(1.0)
+
+    def test_fractions(self):
+        mix = InstructionMix.from_counts("demo", self.COUNTS)
+        assert mix.fraction(group="B") == pytest.approx(0.50)
+        assert mix.fraction(group="C") == pytest.approx(0.30)
+        assert mix.fraction(group="A") == pytest.approx(0.10)
+        assert mix.fraction(group="G") == pytest.approx(0.10)
+
+    def test_dtype_filters(self):
+        mix = InstructionMix.from_counts("demo", self.COUNTS)
+        assert mix.uses_float
+        assert not mix.uses_double
+        assert mix.fraction(dtype=DataType.FP32) == pytest.approx(0.30)
+
+    def test_category_filter(self):
+        mix = InstructionMix.from_counts("demo", self.COUNTS)
+        assert mix.fraction(category=OpCategory.MOV) == pytest.approx(0.10)
+
+    def test_vector_flag(self):
+        mix = InstructionMix.from_counts("demo", {"s_mov_b32": 3})
+        assert mix.uses_scalar_only
+        mix = InstructionMix.from_counts("demo", {"v_mov_b32": 3})
+        assert mix.uses_vector
+
+    def test_arithmetic_profile(self):
+        mix = InstructionMix.from_counts("demo", self.COUNTS)
+        profile = mix.arithmetic_profile()
+        assert (DataType.INT, OpCategory.ADD) in profile
+        assert (DataType.FP32, OpCategory.ADD) in profile
+
+    def test_empty_mix(self):
+        mix = InstructionMix.from_counts("none", {})
+        assert mix.total == 0 and mix.fraction(group="A") == 0.0
+
+
+class TestMixFromProgram:
+    def test_static_counts(self):
+        program = assemble("""
+          v_add_i32 v1, vcc, v2, v3
+          v_add_i32 v1, vcc, v2, v3
+          s_endpgm
+        """)
+        mix = InstructionMix.from_program(program)
+        assert mix.total == 3
+        assert mix.fraction(group="B") == pytest.approx(2 / 3)
+        assert mix.fraction(group="F") == pytest.approx(1 / 3)
+
+    def test_render(self):
+        program = assemble("v_add_f32 v1, v2, v3\ns_endpgm")
+        text = InstructionMix.from_program(program).render()
+        assert "A |" in text and "G |" in text

@@ -1,0 +1,77 @@
+"""Netlist emission: Algorithm 1's structural output."""
+
+import pytest
+
+from repro.core.config import ArchConfig
+from repro.core.flow import ScratchFlow
+from repro.core.netlist import (
+    emit_netlist,
+    grounded_signals,
+    removed_instructions,
+)
+from repro.kernels import MatrixAddI32, MatrixMulF32
+
+
+@pytest.fixture(scope="module")
+def int_config():
+    return ScratchFlow(MatrixAddI32(n=16)).trim().config
+
+
+@pytest.fixture(scope="module")
+def fp_config():
+    return ScratchFlow(MatrixMulF32(n=16)).trim().config
+
+
+class TestEmission:
+    def test_full_isa_netlist_has_every_unit(self):
+        text = emit_netlist(ArchConfig.baseline())
+        for module in ("salu", "simd_alu", "simf_alu", "lsu",
+                       "prefetch_buffer", "wavepool"):
+            assert module in text
+        assert "grounded" not in text
+        assert "instructions: 156 of 156" in text
+
+    def test_trimmed_netlist_grounds_removed_simf(self, int_config):
+        text = emit_netlist(int_config)
+        assert "// simf_alu removed by SCRATCH" in text
+        assert "assign simf_result = '0;" in text
+        assert "simd_alu simd_alu0" in text  # the integer VALU survives
+
+    def test_fp_config_keeps_simf(self, fp_config):
+        text = emit_netlist(fp_config)
+        assert "simf_alu simf_alu0" in text
+        assert "simf_result = '0" not in text
+
+    def test_multithread_replicates_valus(self, int_config):
+        grown = int_config.with_parallelism(num_simd=4)
+        text = emit_netlist(grown)
+        for i in range(4):
+            assert "simd_alu simd_alu{}".format(i) in text
+
+    def test_original_has_no_prefetch(self):
+        text = emit_netlist(ArchConfig.original())
+        assert "prefetch_buffer" not in text
+
+    def test_deterministic(self, int_config):
+        assert emit_netlist(int_config) == emit_netlist(int_config)
+
+    def test_decode_legs_commented_out(self, int_config):
+        text = emit_netlist(int_config)
+        assert "// decode_leg [VOP1] v_sin_f32" in text
+        assert "  decode_leg [VOP2] v_add_i32" in text
+
+
+class TestBookkeeping:
+    def test_removed_count(self, int_config):
+        removed = removed_instructions(int_config)
+        assert len(removed) == 156 - len(int_config.supported)
+        assert "v_sin_f32" in removed
+        assert "v_add_i32" not in removed
+
+    def test_grounded_signals(self, int_config, fp_config):
+        assert "simf_result" in grounded_signals(int_config)
+        assert "simf_result" not in grounded_signals(fp_config)
+        assert grounded_signals(ArchConfig.baseline()) == []
+
+    def test_full_isa_removes_nothing(self):
+        assert removed_instructions(ArchConfig.baseline()) == []

@@ -1,0 +1,84 @@
+"""Parallelism planner: re-investing trimmed area (Section 4.2)."""
+
+import pytest
+
+from repro.core.flow import ScratchFlow
+from repro.core.parallelize import (
+    MAX_VALUS_PER_CU,
+    plan,
+    plan_multicore,
+    plan_multithread,
+)
+from repro.errors import TrimError
+from repro.kernels import (
+    Conv2DF32,
+    MatrixMulI32,
+    MatrixTransposeI32,
+    NinI8,
+)
+
+
+def trimmed(bench):
+    return ScratchFlow(bench).trim().config
+
+
+class TestMulticore:
+    def test_int_kernels_fit_three_cus(self):
+        """Figure 6: integer benchmarks re-invest into 3 CUs."""
+        config = plan_multicore(trimmed(MatrixMulI32()))
+        assert config.num_cus == 3
+
+    def test_fp_kernels_fit_two_cus(self):
+        config = plan_multicore(trimmed(Conv2DF32()))
+        assert config.num_cus == 2
+
+    def test_int8_nin_fits_four_cus(self):
+        """Section 4.2: the INT8 datapath lets a fourth CU fit."""
+        config = plan_multicore(trimmed(NinI8()))
+        assert config.num_cus == 4
+
+    def test_untrimmed_baseline_stays_single_cu(self):
+        from repro.core.config import ArchConfig
+        config = plan_multicore(ArchConfig.baseline())
+        assert config.num_cus == 1
+
+    def test_multicore_keeps_single_valus(self):
+        config = plan_multicore(trimmed(MatrixMulI32()))
+        assert config.num_simd == 1 and config.num_simf == 0
+
+
+class TestMultithread:
+    def test_int_kernels_get_four_int_valus(self):
+        """Figure 6's multithread column: 1 CU / 4 INT VALUs."""
+        config = plan_multithread(trimmed(MatrixTransposeI32()))
+        assert config.num_cus == 1
+        assert config.num_simd == 4 and config.num_simf == 0
+
+    def test_fp_kernels_grow_the_simf(self):
+        """Figure 6's multithread column: 1 CU / 1 INT + 3 FP VALUs."""
+        config = plan_multithread(trimmed(Conv2DF32()))
+        assert config.num_cus == 1
+        assert config.num_simd == 1 and config.num_simf == 3
+
+    def test_architectural_valu_cap(self):
+        config = plan_multithread(trimmed(MatrixMulI32()))
+        assert config.num_simd + config.num_simf <= MAX_VALUS_PER_CU
+
+
+class TestDispatch:
+    def test_plan_dispatches_by_mode(self):
+        base = trimmed(MatrixMulI32())
+        assert plan(base, "multicore").num_cus > 1
+        assert plan(base, "multithread").num_simd > 1
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(TrimError):
+            plan(trimmed(MatrixMulI32()), "hyperthread")
+
+    def test_planned_configs_fit_the_device(self):
+        from repro.fpga import Synthesizer
+        synth = Synthesizer()
+        for bench in (MatrixMulI32(), Conv2DF32(), NinI8()):
+            for mode in ("multicore", "multithread"):
+                config = plan(trimmed(bench), mode)
+                assert synth.synthesize(config).fits(), config.describe()

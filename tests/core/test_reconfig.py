@@ -1,0 +1,104 @@
+"""The per-kernel reconfiguration planner (Section 4.3 as a feature)."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core.config import ArchConfig
+from repro.core.reconfig import (
+    LaunchEvent,
+    ReconfigurationPlanner,
+    PARTIAL_RECONFIG_CYCLES,
+)
+from repro.errors import TrimError
+from repro.kernels import CnnI32
+from repro.runtime import SoftGpu
+
+INT_KERNEL = assemble("""
+.kernel int_k
+  v_add_i32 v3, vcc, v0, v0
+  tbuffer_store_format_x v3, v3, s[4:7], 0 offen
+  s_endpgm
+""")
+
+FP_KERNEL = assemble("""
+.kernel fp_k
+  v_mul_f32 v3, v0, v0
+  tbuffer_store_format_x v3, v3, s[4:7], 0 offen
+  s_endpgm
+""")
+
+PROGRAMS = {"int_k": INT_KERNEL, "fp_k": FP_KERNEL}
+
+
+class TestPlanner:
+    def test_alternating_trace_prefers_application_level(self):
+        """Fast-alternating kernels cannot amortise reconfiguration."""
+        trace = [LaunchEvent("int_k", 500), LaunchEvent("fp_k", 500)] * 8
+        plan = ReconfigurationPlanner().plan(trace, PROGRAMS)
+        assert plan.switches == 15
+        assert plan.recommendation == "application"
+        assert plan.per_kernel.reconfig_seconds > 0
+        assert plan.energy_ratio > 1.0
+
+    def test_long_phases_prefer_per_kernel(self):
+        """Two long single-kernel phases amortise one reconfiguration."""
+        big = 200 * PARTIAL_RECONFIG_CYCLES
+        trace = [LaunchEvent("int_k", big), LaunchEvent("fp_k", big)]
+        plan = ReconfigurationPlanner().plan(trace, PROGRAMS)
+        assert plan.switches == 1
+        assert plan.recommendation == "per_kernel"
+        assert plan.energy_ratio < 1.0
+
+    def test_single_kernel_trace_always_per_kernel(self):
+        trace = [LaunchEvent("int_k", 1000)] * 4
+        plan = ReconfigurationPlanner().plan(trace, PROGRAMS)
+        assert plan.switches == 0
+        assert plan.per_kernel.reconfig_seconds == 0
+        assert plan.recommendation == "per_kernel"
+
+    def test_runtime_is_strategy_independent(self):
+        trace = [LaunchEvent("int_k", 700), LaunchEvent("fp_k", 900)]
+        plan = ReconfigurationPlanner().plan(trace, PROGRAMS)
+        assert plan.application.exec_seconds == \
+            pytest.approx(plan.per_kernel.exec_seconds)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(TrimError):
+            ReconfigurationPlanner().plan([], PROGRAMS)
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(TrimError, match="without programs"):
+            ReconfigurationPlanner().plan(
+                [LaunchEvent("mystery", 10)], PROGRAMS)
+
+    def test_summary_renders(self):
+        trace = [LaunchEvent("int_k", 500), LaunchEvent("fp_k", 500)]
+        text = ReconfigurationPlanner().plan(trace, PROGRAMS).summary()
+        assert "recommendation" in text and "reconfig" in text
+
+
+class TestBreakeven:
+    def test_breakeven_scale_found(self):
+        trace = [LaunchEvent("int_k", 1000), LaunchEvent("fp_k", 1000)]
+        planner = ReconfigurationPlanner()
+        scale = planner.breakeven_cycles(trace, PROGRAMS)
+        assert scale is not None and scale > 0
+        # At the break-even scale, the two strategies cost about the same.
+        scaled = [LaunchEvent(e.kernel, e.cu_cycles * scale) for e in trace]
+        plan = planner.plan(scaled, PROGRAMS)
+        assert plan.energy_ratio == pytest.approx(1.0, rel=0.05)
+
+
+class TestFromDevice:
+    def test_cnn_trace_prefers_application_level(self):
+        """The CNN alternates conv/pool; the planner should agree with
+        the paper's application-level conclusion."""
+        bench = CnnI32(n=16, channels=(1, 4, 4))
+        device = SoftGpu(ArchConfig.baseline())
+        bench.run_on(device, verify=False)
+        conv, pool = bench.programs()
+        planner = ReconfigurationPlanner()
+        plan = planner.plan_from_device(
+            device, {conv.name: conv, pool.name: pool})
+        assert plan.switches >= 3
+        assert plan.recommendation == "application"

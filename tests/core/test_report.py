@@ -1,0 +1,69 @@
+"""Report renderers for the Figure 6/7 tables."""
+
+import pytest
+
+from repro.core.flow import ScratchFlow
+from repro.core.report import (
+    figure6_row,
+    figure7_row,
+    render_figure6,
+    render_figure7,
+)
+from repro.fpga.power_model import PowerEstimate
+from repro.kernels import MatrixAddI32
+from repro.runtime.metrics import RunMetrics
+
+
+@pytest.fixture(scope="module")
+def flow():
+    return ScratchFlow(MatrixAddI32(n=16))
+
+
+class TestFigure6:
+    def test_row_fields(self, flow):
+        row = figure6_row("matrix_add_i32", flow.trim(),
+                          multicore=flow.plan("multicore"),
+                          multithread=flow.plan("multithread"))
+        assert row["benchmark"] == "matrix_add_i32"
+        assert set(row["usage"]) == {"SALU", "iVALU", "fpVALU", "LSU"}
+        assert row["usage"]["fpVALU"] == 0.0
+        assert row["multicore"]["cus"] == 3
+        assert row["multithread"]["int_valus"] == 4
+        assert row["power_dynamic_w"] > row["power_static_w"]
+
+    def test_row_without_parallel_columns(self, flow):
+        row = figure6_row("x", flow.trim())
+        assert "multicore" not in row
+
+    def test_render(self, flow):
+        row = figure6_row("matrix_add_i32", flow.trim(),
+                          multicore=flow.plan("multicore"))
+        text = render_figure6([row])
+        assert "matrix_add_i32" in text
+        assert "3c/1i/0f" in text
+
+
+class TestFigure7:
+    def _metrics(self, seconds):
+        return RunMetrics("m", seconds, 1000, PowerEstimate(0.4, 3.0))
+
+    def test_row_math(self):
+        metrics = {
+            "original": self._metrics(10.0),
+            "baseline": self._metrics(1.0),
+            "multicore": self._metrics(0.5),
+        }
+        row = figure7_row("demo", metrics)
+        mc = row["multicore"]
+        assert mc["speedup_vs_original"] == pytest.approx(20.0)
+        assert mc["speedup_vs_baseline"] == pytest.approx(2.0)
+        assert mc["ipj_gain_vs_original"] == pytest.approx(20.0)
+
+    def test_render(self):
+        metrics = {
+            "original": self._metrics(10.0),
+            "baseline": self._metrics(1.0),
+            "multicore": self._metrics(0.5),
+        }
+        text = render_figure7([figure7_row("demo", metrics)], "multicore")
+        assert "demo" in text and "20.0x" in text

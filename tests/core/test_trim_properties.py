@@ -1,0 +1,101 @@
+"""Algebraic properties of the trimming tool, property-tested."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.trimmer import TrimmingTool
+from repro.asm import assemble
+from repro.isa.categories import FunctionalUnit
+from repro.isa.formats import Format
+from repro.isa.tables import ISA
+
+#: A pool of single-instruction bodies covering every trimmable unit.
+_LINES = {
+    "v_add_i32": "v_add_i32 v3, vcc, v0, v0",
+    "v_mul_lo_u32": "v_mul_lo_u32 v3, v0, v0",
+    "v_add_f32": "v_add_f32 v3, v0, v0",
+    "v_sin_f32": "v_sin_f32 v3, v0",
+    "v_rcp_f32": "v_rcp_f32 v3, v0",
+    "s_mul_i32": "s_mul_i32 s0, s1, s2",
+    "s_and_b32": "s_and_b32 s0, s1, s2",
+    "s_brev_b32": "s_brev_b32 s0, s1",
+    "ds_write_b32": "ds_write_b32 v0, v1",
+    "tbuffer_load_format_x": "tbuffer_load_format_x v3, v0, s[4:7], 0 offen",
+    "v_cndmask_b32": "v_cndmask_b32 v3, v0, v1, vcc",
+    "v_cmp_gt_f32": "v_cmp_gt_f32 vcc, v0, v1",
+}
+
+_subsets = st.sets(st.sampled_from(sorted(_LINES)), min_size=1, max_size=8)
+
+
+def program_for(names):
+    body = "\n".join("  " + _LINES[n] for n in sorted(names))
+    lds = ".lds 256\n" if "ds_write_b32" in names else ""
+    return assemble(lds + body + "\n  s_endpgm")
+
+
+@pytest.fixture(scope="module")
+def tool():
+    return TrimmingTool()
+
+
+class TestAlgebra:
+    @settings(max_examples=20, deadline=None)
+    @given(names=_subsets)
+    def test_idempotent(self, tool, names):
+        """Trimming a trimmed architecture's own instruction set again
+        changes nothing."""
+        program = program_for(names)
+        once = tool.trim(program)
+        twice = tool.trim(program, baseline=once.baseline)
+        assert once.config.supported == twice.config.supported
+        assert once.report.total.as_dict() == twice.report.total.as_dict()
+
+    @settings(max_examples=20, deadline=None)
+    @given(small=_subsets, extra=_subsets)
+    def test_union_monotone_in_area(self, tool, small, extra):
+        """Adding kernels never shrinks the architecture."""
+        a = tool.trim(program_for(small))
+        b = tool.trim([program_for(small), program_for(small | extra)])
+        assert b.report.total.ff >= a.report.total.ff - 1e-9
+        assert b.report.total.lut >= a.report.total.lut - 1e-9
+        assert b.config.supported >= a.config.supported
+
+    @settings(max_examples=20, deadline=None)
+    @given(names=_subsets)
+    def test_supported_set_exact(self, tool, names):
+        program = program_for(names)
+        result = tool.trim(program)
+        assert result.config.supported == \
+            frozenset(program.instruction_names())
+
+    @settings(max_examples=15, deadline=None)
+    @given(names=_subsets)
+    def test_trimmed_never_exceeds_baseline(self, tool, names):
+        result = tool.trim(program_for(names))
+        base = result.baseline_report.total
+        mine = result.report.total
+        assert mine.ff <= base.ff and mine.lut <= base.lut
+        assert mine.dsp <= base.dsp and mine.bram <= base.bram
+        assert result.report.power.total <= \
+            result.baseline_report.power.total + 1e-9
+
+    @settings(max_examples=10, deadline=None)
+    @given(names=_subsets)
+    def test_netlist_deterministic_per_config(self, tool, names):
+        from repro.core.netlist import emit_netlist
+        config = tool.trim(program_for(names)).config
+        assert emit_netlist(config) == emit_netlist(config)
+
+
+class TestUnitRemovalRules:
+    def test_float_line_keeps_simf(self, tool):
+        result = tool.trim(program_for({"v_add_f32"}))
+        assert result.config.num_simf == 1
+
+    def test_trans_only_keeps_simf_expensively(self, tool):
+        """A lone transcendental keeps a large share of the SIMF --
+        the paper's note that complex ops dominate unit cost."""
+        trans = tool.trim(program_for({"v_sin_f32"}))
+        add = tool.trim(program_for({"v_add_f32"}))
+        assert trans.report.total.ff > add.report.total.ff

@@ -1,0 +1,125 @@
+"""The SCRATCH trimming tool: Algorithm 1 end to end."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core.config import ArchConfig, Generation
+from repro.core.trimmer import TrimmingTool
+from repro.errors import TrimError
+from repro.isa.categories import FunctionalUnit
+from repro.isa.tables import ISA
+
+INT_KERNEL = """
+.kernel int_only
+  s_buffer_load_dword s20, s[12:15], 0
+  s_waitcnt lgkmcnt(0)
+  v_add_i32 v3, vcc, s20, v0
+  v_lshlrev_b32 v3, 2, v3
+  tbuffer_store_format_x v3, v3, s[4:7], 0 offen
+  s_endpgm
+"""
+
+FP_KERNEL = """
+.kernel fp_user
+  v_add_f32 v1, v0, v0
+  v_mul_f32 v2, v1, v1
+  s_endpgm
+"""
+
+
+@pytest.fixture(scope="module")
+def tool():
+    return TrimmingTool()
+
+
+class TestAnalysis:
+    def test_per_unit_requirements(self, tool):
+        req = tool.analyze(assemble(INT_KERNEL))
+        assert "v_add_i32" in req.per_unit[FunctionalUnit.SIMD]
+        assert "tbuffer_store_format_x" in req.per_unit[FunctionalUnit.LSU]
+        assert not req.uses_unit(FunctionalUnit.SIMF)
+        assert not req.uses_float
+
+    def test_application_union(self, tool):
+        req = tool.analyze([assemble(INT_KERNEL), assemble(FP_KERNEL)])
+        assert req.uses_float
+        assert "v_add_i32" in req.names and "v_mul_f32" in req.names
+
+    def test_usage_fraction_matches_counts(self, tool):
+        req = tool.analyze(assemble(INT_KERNEL))
+        simd_total = len(ISA.for_unit(FunctionalUnit.SIMD))
+        assert req.usage_fraction(FunctionalUnit.SIMD) == \
+            pytest.approx(2 / simd_total)
+        assert req.usage_fraction(FunctionalUnit.SIMF) == 0.0
+
+
+class TestTrim:
+    def test_integer_kernel_drops_simf(self, tool):
+        result = tool.trim(assemble(INT_KERNEL))
+        assert result.config.num_simf == 0
+        assert result.config.num_simd == 1
+        assert FunctionalUnit.SIMF in result.removed_units
+
+    def test_fp_kernel_keeps_simf(self, tool):
+        result = tool.trim(assemble(FP_KERNEL))
+        assert result.config.num_simf == 1
+
+    def test_supported_set_is_exactly_the_binary(self, tool):
+        result = tool.trim(assemble(INT_KERNEL))
+        program = assemble(INT_KERNEL)
+        assert result.config.supported == \
+            frozenset(program.instruction_names())
+
+    def test_savings_are_positive(self, tool):
+        result = tool.trim(assemble(INT_KERNEL))
+        assert result.savings["ff"] > 0.3
+        assert result.savings["lut"] > 0.3
+        assert 0 <= result.savings["dsp"] < 0.3
+        assert 0 <= result.savings["bram"] < 0.2
+
+    def test_integer_kernels_save_more_than_fp(self, tool):
+        int_savings = tool.trim(assemble(INT_KERNEL)).savings["ff"]
+        fp_savings = tool.trim(assemble(FP_KERNEL)).savings["ff"]
+        assert int_savings > fp_savings
+
+    def test_power_drops_with_trimming(self, tool):
+        result = tool.trim(assemble(INT_KERNEL))
+        assert result.report.power.total < result.baseline_report.power.total
+        assert result.power_saving() > 0
+
+    def test_trimmed_dynamic_power_in_paper_band(self, tool):
+        """Figure 6: trimmed single-CU dynamic power in 2.77..3.29 W."""
+        for kernel in (INT_KERNEL, FP_KERNEL):
+            dynamic = tool.trim(assemble(kernel)).report.power.dynamic
+            assert 2.7 <= dynamic <= 3.35
+
+    def test_generation_carries_over(self, tool):
+        result = tool.trim(assemble(INT_KERNEL),
+                           baseline=ArchConfig.original())
+        assert result.config.generation is Generation.ORIGINAL
+
+    def test_datapath_bits_passed_through(self, tool):
+        result = tool.trim(assemble(INT_KERNEL), datapath_bits=8)
+        assert result.config.datapath_bits == 8
+
+    def test_instruction_accounting(self, tool):
+        result = tool.trim(assemble(INT_KERNEL))
+        assert result.instructions_kept == \
+            len(set(assemble(INT_KERNEL).instruction_names()))
+        assert result.instructions_kept + result.instructions_removed == 156
+
+    def test_summary_renders(self, tool):
+        text = tool.trim(assemble(INT_KERNEL)).summary()
+        assert "instructions" in text and "saved" in text
+
+    def test_empty_program_rejected(self, tool):
+        from repro.asm.program import Program
+        with pytest.raises(TrimError):
+            tool.trim(Program("empty", []))
+
+    def test_scalar_only_kernel_keeps_one_simd(self, tool):
+        # The dispatcher's ID registers land in VGPRs, so a CU always
+        # keeps an integer vector ALU.
+        result = tool.trim(assemble("s_mov_b32 s0, 1\ns_endpgm"))
+        assert result.config.num_simd == 1
+        assert result.config.num_simf == 0

@@ -1,0 +1,221 @@
+"""Scalar ALU semantics, checked against Python integer oracles."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.asm import assemble
+from repro.cu import operations
+from repro.cu.wavefront import MASK32, MASK64, Wavefront
+
+
+def run_scalar(line, s=(), scc=0, s64=()):
+    """Execute one scalar instruction with s1/s2 (or s[2:3]/s[4:5]) inputs."""
+    program = assemble("  {}\n  s_endpgm".format(line))
+    wf = Wavefront(0, program)
+    for index, value in s:
+        wf.write_scalar(index, value)
+    for index, value in s64:
+        wf.write_scalar64(index, value)
+    wf.scc = scc
+    inst = program.instructions[0]
+    wf.pc += inst.words * 4
+    operations.execute(wf, inst)
+    return wf
+
+
+u32 = st.integers(0, MASK32)
+
+
+class TestAddSub:
+    @given(a=u32, b=u32)
+    def test_s_add_u32(self, a, b):
+        wf = run_scalar("s_add_u32 s0, s1, s2", s=[(1, a), (2, b)])
+        assert wf.read_scalar(0) == (a + b) & MASK32
+        assert wf.scc == int(a + b > MASK32)
+
+    @given(a=u32, b=u32)
+    def test_s_sub_u32_borrow(self, a, b):
+        wf = run_scalar("s_sub_u32 s0, s1, s2", s=[(1, a), (2, b)])
+        assert wf.read_scalar(0) == (a - b) & MASK32
+        assert wf.scc == int(b > a)
+
+    @given(a=u32, b=u32, cin=st.integers(0, 1))
+    def test_s_addc_u32(self, a, b, cin):
+        wf = run_scalar("s_addc_u32 s0, s1, s2", s=[(1, a), (2, b)], scc=cin)
+        assert wf.read_scalar(0) == (a + b + cin) & MASK32
+        assert wf.scc == int(a + b + cin > MASK32)
+
+    def test_s_add_i32_overflow_flag(self):
+        wf = run_scalar("s_add_i32 s0, s1, s2",
+                        s=[(1, 0x7FFFFFFF), (2, 1)])
+        assert wf.scc == 1  # signed overflow
+        wf = run_scalar("s_add_i32 s0, s1, s2", s=[(1, 5), (2, 6)])
+        assert wf.scc == 0
+
+    @given(a=u32, b=u32)
+    def test_s_min_max(self, a, b):
+        wf = run_scalar("s_min_u32 s0, s1, s2", s=[(1, a), (2, b)])
+        assert wf.read_scalar(0) == min(a, b)
+        wf = run_scalar("s_max_u32 s0, s1, s2", s=[(1, a), (2, b)])
+        assert wf.read_scalar(0) == max(a, b)
+
+    def test_signed_min(self):
+        wf = run_scalar("s_min_i32 s0, s1, s2",
+                        s=[(1, (-5) & MASK32), (2, 3)])
+        assert wf.read_scalar(0) == (-5) & MASK32
+
+
+class TestLogicShift:
+    @given(a=u32, b=u32)
+    def test_bitwise_ops(self, a, b):
+        for op, fn in [("s_and_b32", lambda x, y: x & y),
+                       ("s_or_b32", lambda x, y: x | y),
+                       ("s_xor_b32", lambda x, y: x ^ y)]:
+            wf = run_scalar("{} s0, s1, s2".format(op), s=[(1, a), (2, b)])
+            assert wf.read_scalar(0) == fn(a, b)
+            assert wf.scc == int(fn(a, b) != 0)
+
+    @given(a=u32, shift=st.integers(0, 31))
+    def test_shifts(self, a, shift):
+        wf = run_scalar("s_lshl_b32 s0, s1, s2", s=[(1, a), (2, shift)])
+        assert wf.read_scalar(0) == (a << shift) & MASK32
+        wf = run_scalar("s_lshr_b32 s0, s1, s2", s=[(1, a), (2, shift)])
+        assert wf.read_scalar(0) == a >> shift
+
+    def test_ashr_sign_extends(self):
+        wf = run_scalar("s_ashr_i32 s0, s1, s2",
+                        s=[(1, 0x80000000), (2, 4)])
+        assert wf.read_scalar(0) == 0xF8000000
+
+    @given(a=st.integers(0, MASK64), b=st.integers(0, MASK64))
+    def test_64bit_logic(self, a, b):
+        wf = run_scalar("s_and_b64 s[10:11], s[2:3], s[4:5]",
+                        s64=[(2, a), (4, b)])
+        assert wf.read_scalar64(10) == a & b
+
+    def test_shift_amount_masked_to_5_bits(self):
+        wf = run_scalar("s_lshl_b32 s0, s1, s2", s=[(1, 1), (2, 33)])
+        assert wf.read_scalar(0) == 2  # 33 & 31 == 1
+
+
+class TestMulAndFields:
+    @given(a=u32, b=u32)
+    def test_s_mul_i32(self, a, b):
+        wf = run_scalar("s_mul_i32 s0, s1, s2", s=[(1, a), (2, b)])
+        assert wf.read_scalar(0) == (a * b) & MASK32
+
+    def test_s_bfe_u32(self):
+        # field spec: offset in [4:0], width in [22:16]
+        spec = (8 << 16) | 4
+        wf = run_scalar("s_bfe_u32 s0, s1, s2",
+                        s=[(1, 0xABCD1230), (2, spec)])
+        assert wf.read_scalar(0) == (0xABCD1230 >> 4) & 0xFF
+
+    def test_s_bfe_i32_sign_extends(self):
+        spec = (4 << 16) | 0
+        wf = run_scalar("s_bfe_i32 s0, s1, s2", s=[(1, 0x8), (2, spec)])
+        assert wf.read_scalar(0) == (-8) & MASK32
+
+
+class TestSop1:
+    def test_mov(self):
+        wf = run_scalar("s_mov_b32 s0, s1", s=[(1, 77)])
+        assert wf.read_scalar(0) == 77
+
+    def test_mov64(self):
+        wf = run_scalar("s_mov_b64 s[10:11], s[2:3]",
+                        s64=[(2, 0xCAFEBABE12345678)])
+        assert wf.read_scalar64(10) == 0xCAFEBABE12345678
+
+    @given(a=u32)
+    def test_not(self, a):
+        wf = run_scalar("s_not_b32 s0, s1", s=[(1, a)])
+        assert wf.read_scalar(0) == (~a) & MASK32
+
+    @given(a=u32)
+    def test_brev(self, a):
+        wf = run_scalar("s_brev_b32 s0, s1", s=[(1, a)])
+        expected = int("{:032b}".format(a)[::-1], 2)
+        assert wf.read_scalar(0) == expected
+
+    @given(a=u32)
+    def test_bcnt1(self, a):
+        wf = run_scalar("s_bcnt1_i32_b32 s0, s1", s=[(1, a)])
+        assert wf.read_scalar(0) == bin(a).count("1")
+
+    def test_ff1(self):
+        wf = run_scalar("s_ff1_i32_b32 s0, s1", s=[(1, 0b1000)])
+        assert wf.read_scalar(0) == 3
+        wf = run_scalar("s_ff1_i32_b32 s0, s1", s=[(1, 0)])
+        assert wf.read_scalar(0) == MASK32  # -1
+
+    def test_flbit(self):
+        wf = run_scalar("s_flbit_i32_b32 s0, s1", s=[(1, 1)])
+        assert wf.read_scalar(0) == 31  # 31 leading zeros
+        wf = run_scalar("s_flbit_i32_b32 s0, s1", s=[(1, 0x80000000)])
+        assert wf.read_scalar(0) == 0
+
+    def test_sext(self):
+        wf = run_scalar("s_sext_i32_i8 s0, s1", s=[(1, 0x80)])
+        assert wf.read_scalar(0) == 0xFFFFFF80
+        wf = run_scalar("s_sext_i32_i16 s0, s1", s=[(1, 0x7FFF)])
+        assert wf.read_scalar(0) == 0x7FFF
+
+    def test_and_saveexec(self):
+        wf = run_scalar("s_and_saveexec_b64 s[10:11], vcc",
+                        s64=[])
+        # default exec all ones, vcc zero -> exec becomes 0, scc 0
+        assert wf.read_scalar64(10) == MASK64  # saved old exec
+        assert wf.exec_mask == 0
+        assert wf.scc == 0
+
+    def test_or_saveexec(self):
+        program = assemble("s_or_saveexec_b64 s[10:11], vcc\ns_endpgm")
+        wf = Wavefront(0, program)
+        wf.exec_mask = 0xF0
+        wf.vcc = 0x0F
+        inst = program.instructions[0]
+        wf.pc += inst.words * 4
+        operations.execute(wf, inst)
+        assert wf.read_scalar64(10) == 0xF0
+        assert wf.exec_mask == 0xFF
+        assert wf.scc == 1
+
+
+class TestCompares:
+    @pytest.mark.parametrize("op,a,b,expected", [
+        ("s_cmp_eq_i32", 5, 5, 1),
+        ("s_cmp_lg_i32", 5, 5, 0),
+        ("s_cmp_gt_i32", (-1) & MASK32, 1, 0),   # signed
+        ("s_cmp_gt_u32", (-1) & MASK32, 1, 1),   # unsigned
+        ("s_cmp_lt_i32", (-3) & MASK32, 2, 1),
+        ("s_cmp_le_u32", 7, 7, 1),
+        ("s_cmp_ge_u32", 6, 7, 0),
+    ])
+    def test_compare(self, op, a, b, expected):
+        wf = run_scalar("{} s1, s2".format(op), s=[(1, a), (2, b)])
+        assert wf.scc == expected
+
+
+class TestSopk:
+    def test_movk_sign_extends(self):
+        wf = run_scalar("s_movk_i32 s0, -2")
+        assert wf.read_scalar(0) == (-2) & MASK32
+
+    def test_addk(self):
+        wf = run_scalar("s_addk_i32 s0, 5", s=[(0, 10)])
+        assert wf.read_scalar(0) == 15
+
+    def test_mulk(self):
+        wf = run_scalar("s_mulk_i32 s0, -3", s=[(0, 7)])
+        assert wf.read_scalar(0) == (-21) & MASK32
+
+
+class TestCselect:
+    def test_scc_selects(self):
+        wf = run_scalar("s_cselect_b32 s0, s1, s2",
+                        s=[(1, 111), (2, 222)], scc=1)
+        assert wf.read_scalar(0) == 111
+        wf = run_scalar("s_cselect_b32 s0, s1, s2",
+                        s=[(1, 111), (2, 222)], scc=0)
+        assert wf.read_scalar(0) == 222

@@ -1,0 +1,328 @@
+"""Vector ALU semantics over full wavefronts, NumPy as the oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.asm import assemble
+from repro.cu import operations
+from repro.cu.wavefront import FULL_EXEC, MASK32, Wavefront
+
+lanes_u32 = hnp.arrays(np.uint32, 64,
+                       elements=st.integers(0, MASK32))
+lanes_f32 = hnp.arrays(np.float32, 64,
+                       elements=st.floats(-1e6, 1e6, width=32))
+
+
+def run_vector(line, v=(), vcc=0, exec_mask=FULL_EXEC, s=()):
+    program = assemble("  {}\n  s_endpgm".format(line))
+    wf = Wavefront(0, program)
+    wf.exec_mask = FULL_EXEC
+    for index, values in v:
+        wf.write_vgpr(index, np.asarray(values).view(np.uint32)
+                      if np.asarray(values).dtype.kind == "f"
+                      else np.asarray(values, dtype=np.uint32))
+    for index, value in s:
+        wf.write_scalar(index, value)
+    wf.vcc = vcc
+    wf.exec_mask = exec_mask
+    inst = program.instructions[0]
+    wf.pc += inst.words * 4
+    operations.execute(wf, inst)
+    return wf
+
+
+def f32(wf, index):
+    return wf.read_vgpr(index).view(np.float32)
+
+
+class TestIntegerArithmetic:
+    @given(a=lanes_u32, b=lanes_u32)
+    @settings(max_examples=30, deadline=None)
+    def test_v_add_i32_and_carry(self, a, b):
+        wf = run_vector("v_add_i32 v2, vcc, v0, v1", v=[(0, a), (1, b)])
+        wide = a.astype(np.uint64) + b.astype(np.uint64)
+        assert (wf.read_vgpr(2) == (wide & MASK32).astype(np.uint32)).all()
+        carries = wide >> 32
+        expected_vcc = sum(1 << i for i in range(64) if carries[i])
+        assert wf.vcc == expected_vcc
+
+    @given(a=lanes_u32, b=lanes_u32)
+    @settings(max_examples=30, deadline=None)
+    def test_v_sub_i32(self, a, b):
+        wf = run_vector("v_sub_i32 v2, vcc, v0, v1", v=[(0, a), (1, b)])
+        assert (wf.read_vgpr(2) == a - b).all()
+
+    def test_v_subrev_i32(self):
+        a = np.full(64, 10, dtype=np.uint32)
+        b = np.full(64, 3, dtype=np.uint32)
+        wf = run_vector("v_subrev_i32 v2, vcc, v0, v1", v=[(0, a), (1, b)])
+        assert (wf.read_vgpr(2) == np.uint32((3 - 10) & MASK32)).all()
+
+    def test_v_addc_chain(self):
+        # 64-bit add across two 32-bit halves with carry chain.
+        a_lo = np.full(64, 0xFFFFFFFF, dtype=np.uint32)
+        b_lo = np.full(64, 1, dtype=np.uint32)
+        wf = run_vector("v_add_i32 v4, vcc, v0, v1", v=[(0, a_lo), (1, b_lo)])
+        assert wf.vcc == FULL_EXEC
+        a_hi = np.full(64, 5, dtype=np.uint32)
+        b_hi = np.full(64, 7, dtype=np.uint32)
+        wf2 = run_vector("v_addc_u32 v5, vcc, v0, v1, vcc",
+                         v=[(0, a_hi), (1, b_hi)], vcc=wf.vcc)
+        assert (wf2.read_vgpr(5) == 13).all()  # 5 + 7 + carry
+
+    @given(a=lanes_u32, b=lanes_u32)
+    @settings(max_examples=30, deadline=None)
+    def test_mul_lo_hi(self, a, b):
+        wide = a.astype(np.uint64) * b.astype(np.uint64)
+        wf = run_vector("v_mul_lo_u32 v2, v0, v1", v=[(0, a), (1, b)])
+        assert (wf.read_vgpr(2) == (wide & MASK32).astype(np.uint32)).all()
+        wf = run_vector("v_mul_hi_u32 v2, v0, v1", v=[(0, a), (1, b)])
+        assert (wf.read_vgpr(2) == (wide >> 32).astype(np.uint32)).all()
+
+    def test_mul_hi_i32_signed(self):
+        a = np.full(64, (-2) & MASK32, dtype=np.uint32)
+        b = np.full(64, 3, dtype=np.uint32)
+        wf = run_vector("v_mul_hi_i32 v2, v0, v1", v=[(0, a), (1, b)])
+        assert (wf.read_vgpr(2) == 0xFFFFFFFF).all()  # -6 >> 32 = -1
+
+    def test_mul_i32_i24_sign_extends(self):
+        a = np.full(64, 0xFFFFFF, dtype=np.uint32)   # -1 in 24 bits
+        b = np.full(64, 5, dtype=np.uint32)
+        wf = run_vector("v_mul_i32_i24 v2, v0, v1", v=[(0, a), (1, b)])
+        assert (wf.read_vgpr(2) == (-5) & MASK32).all()
+
+    @given(a=lanes_u32, b=lanes_u32)
+    @settings(max_examples=20, deadline=None)
+    def test_min_max_unsigned(self, a, b):
+        wf = run_vector("v_min_u32 v2, v0, v1", v=[(0, a), (1, b)])
+        assert (wf.read_vgpr(2) == np.minimum(a, b)).all()
+        wf = run_vector("v_max_u32 v2, v0, v1", v=[(0, a), (1, b)])
+        assert (wf.read_vgpr(2) == np.maximum(a, b)).all()
+
+    def test_min_max_signed(self):
+        a = np.full(64, (-4) & MASK32, dtype=np.uint32)
+        b = np.full(64, 2, dtype=np.uint32)
+        wf = run_vector("v_min_i32 v2, v0, v1", v=[(0, a), (1, b)])
+        assert (wf.read_vgpr(2) == (-4) & MASK32).all()
+        wf = run_vector("v_max_i32 v2, v0, v1", v=[(0, a), (1, b)])
+        assert (wf.read_vgpr(2) == 2).all()
+
+
+class TestShiftsAndLogic:
+    @given(a=lanes_u32, shift=st.integers(0, 31))
+    @settings(max_examples=20, deadline=None)
+    def test_lshlrev(self, a, shift):
+        sa = np.full(64, shift, dtype=np.uint32)
+        wf = run_vector("v_lshlrev_b32 v2, v0, v1", v=[(0, sa), (1, a)])
+        assert (wf.read_vgpr(2) == (a << np.uint32(shift))).all()
+
+    def test_lshl_vs_lshlrev_operand_order(self):
+        a = np.full(64, 1, dtype=np.uint32)
+        b = np.full(64, 4, dtype=np.uint32)
+        wf = run_vector("v_lshl_b32 v2, v0, v1", v=[(0, a), (1, b)])
+        assert (wf.read_vgpr(2) == 16).all()   # src0 << src1
+        wf = run_vector("v_lshlrev_b32 v2, v0, v1", v=[(0, a), (1, b)])
+        assert (wf.read_vgpr(2) == 8).all()    # src1 << src0
+
+    def test_ashrrev(self):
+        a = np.full(64, 0x80000000, dtype=np.uint32)
+        s = np.full(64, 4, dtype=np.uint32)
+        wf = run_vector("v_ashrrev_i32 v2, v0, v1", v=[(0, s), (1, a)])
+        assert (wf.read_vgpr(2) == 0xF8000000).all()
+
+    @given(a=lanes_u32, b=lanes_u32)
+    @settings(max_examples=20, deadline=None)
+    def test_and_or_xor_not(self, a, b):
+        for op, fn in [("v_and_b32", np.bitwise_and),
+                       ("v_or_b32", np.bitwise_or),
+                       ("v_xor_b32", np.bitwise_xor)]:
+            wf = run_vector("{} v2, v0, v1".format(op), v=[(0, a), (1, b)])
+            assert (wf.read_vgpr(2) == fn(a, b)).all()
+        wf = run_vector("v_not_b32 v2, v0", v=[(0, a)])
+        assert (wf.read_vgpr(2) == ~a).all()
+
+    def test_bfi(self):
+        mask = np.full(64, 0xFF00, dtype=np.uint32)
+        x = np.full(64, 0xABCD, dtype=np.uint32)
+        y = np.full(64, 0x1234, dtype=np.uint32)
+        wf = run_vector("v_bfi_b32 v3, v0, v1, v2",
+                        v=[(0, mask), (1, x), (2, y)])
+        assert (wf.read_vgpr(3) == ((mask & x) | (~mask & y))).all()
+
+    def test_bfe_u32(self):
+        val = np.full(64, 0xDEADBEEF, dtype=np.uint32)
+        off = np.full(64, 8, dtype=np.uint32)
+        width = np.full(64, 8, dtype=np.uint32)
+        wf = run_vector("v_bfe_u32 v3, v0, v1, v2",
+                        v=[(0, val), (1, off), (2, width)])
+        assert (wf.read_vgpr(3) == 0xBE).all()
+
+    def test_alignbit(self):
+        hi = np.full(64, 0x12345678, dtype=np.uint32)
+        lo = np.full(64, 0x9ABCDEF0, dtype=np.uint32)
+        shift = np.full(64, 8, dtype=np.uint32)
+        wf = run_vector("v_alignbit_b32 v3, v0, v1, v2",
+                        v=[(0, hi), (1, lo), (2, shift)])
+        assert (wf.read_vgpr(3) == 0x789ABCDE).all()
+
+    def test_bfrev(self):
+        a = np.full(64, 0x1, dtype=np.uint32)
+        wf = run_vector("v_bfrev_b32 v2, v0", v=[(0, a)])
+        assert (wf.read_vgpr(2) == 0x80000000).all()
+
+
+class TestFloat:
+    @given(a=lanes_f32, b=lanes_f32)
+    @settings(max_examples=30, deadline=None)
+    def test_add_sub_mul(self, a, b):
+        wf = run_vector("v_add_f32 v2, v0, v1", v=[(0, a), (1, b)])
+        assert np.array_equal(f32(wf, 2), a + b)
+        wf = run_vector("v_sub_f32 v2, v0, v1", v=[(0, a), (1, b)])
+        assert np.array_equal(f32(wf, 2), a - b)
+        wf = run_vector("v_mul_f32 v2, v0, v1", v=[(0, a), (1, b)])
+        assert np.array_equal(f32(wf, 2), a * b)
+
+    def test_subrev_f32(self):
+        a = np.full(64, 1.0, dtype=np.float32)
+        b = np.full(64, 3.0, dtype=np.float32)
+        wf = run_vector("v_subrev_f32 v2, v0, v1", v=[(0, a), (1, b)])
+        assert (f32(wf, 2) == 2.0).all()
+
+    def test_mac_accumulates_into_dst(self):
+        a = np.full(64, 2.0, dtype=np.float32)
+        b = np.full(64, 3.0, dtype=np.float32)
+        acc = np.full(64, 10.0, dtype=np.float32)
+        wf = run_vector("v_mac_f32 v2, v0, v1",
+                        v=[(0, a), (1, b), (2, acc)])
+        assert (f32(wf, 2) == 16.0).all()
+
+    def test_mad_and_fma(self):
+        a = np.full(64, 2.0, dtype=np.float32)
+        b = np.full(64, 3.0, dtype=np.float32)
+        c = np.full(64, 1.0, dtype=np.float32)
+        for op in ("v_mad_f32", "v_fma_f32"):
+            wf = run_vector("{} v3, v0, v1, v2".format(op),
+                            v=[(0, a), (1, b), (2, c)])
+            assert (f32(wf, 3) == 7.0).all()
+
+    def test_exp_log_are_base2(self):
+        a = np.full(64, 3.0, dtype=np.float32)
+        wf = run_vector("v_exp_f32 v2, v0", v=[(0, a)])
+        assert np.allclose(f32(wf, 2), 8.0)
+        e = np.full(64, 8.0, dtype=np.float32)
+        wf = run_vector("v_log_f32 v2, v0", v=[(0, e)])
+        assert np.allclose(f32(wf, 2), 3.0)
+
+    def test_rcp_rsq_sqrt(self):
+        a = np.full(64, 4.0, dtype=np.float32)
+        wf = run_vector("v_rcp_f32 v2, v0", v=[(0, a)])
+        assert np.allclose(f32(wf, 2), 0.25)
+        wf = run_vector("v_rsq_f32 v2, v0", v=[(0, a)])
+        assert np.allclose(f32(wf, 2), 0.5)
+        wf = run_vector("v_sqrt_f32 v2, v0", v=[(0, a)])
+        assert np.allclose(f32(wf, 2), 2.0)
+
+    def test_rcp_of_zero_is_inf(self):
+        a = np.zeros(64, dtype=np.float32)
+        wf = run_vector("v_rcp_f32 v2, v0", v=[(0, a)])
+        assert np.isinf(f32(wf, 2)).all()
+
+    def test_trig(self):
+        a = np.full(64, np.float32(np.pi / 2), dtype=np.float32)
+        wf = run_vector("v_sin_f32 v2, v0", v=[(0, a)])
+        assert np.allclose(f32(wf, 2), 1.0)
+        wf = run_vector("v_cos_f32 v2, v0", v=[(0, a)])
+        assert np.allclose(f32(wf, 2), 0.0, atol=1e-6)
+
+    def test_rounding_family(self):
+        a = np.array([1.5, -1.5, 2.5, 0.4] * 16, dtype=np.float32)
+        wf = run_vector("v_trunc_f32 v2, v0", v=[(0, a)])
+        assert np.array_equal(f32(wf, 2), np.trunc(a))
+        wf = run_vector("v_floor_f32 v2, v0", v=[(0, a)])
+        assert np.array_equal(f32(wf, 2), np.floor(a))
+        wf = run_vector("v_ceil_f32 v2, v0", v=[(0, a)])
+        assert np.array_equal(f32(wf, 2), np.ceil(a))
+        wf = run_vector("v_rndne_f32 v2, v0", v=[(0, a)])
+        assert np.array_equal(f32(wf, 2), np.rint(a))  # 2.5 -> 2 (even)
+        wf = run_vector("v_fract_f32 v2, v0", v=[(0, a)])
+        assert np.allclose(f32(wf, 2), a - np.floor(a))
+
+
+class TestConversions:
+    def test_cvt_f32_i32(self):
+        a = np.full(64, (-3) & MASK32, dtype=np.uint32)
+        wf = run_vector("v_cvt_f32_i32 v2, v0", v=[(0, a)])
+        assert (f32(wf, 2) == -3.0).all()
+
+    def test_cvt_f32_u32(self):
+        a = np.full(64, 0xFFFFFFFF, dtype=np.uint32)
+        wf = run_vector("v_cvt_f32_u32 v2, v0", v=[(0, a)])
+        assert np.allclose(f32(wf, 2), 4294967296.0)
+
+    def test_cvt_i32_f32_saturates(self):
+        a = np.full(64, 1e20, dtype=np.float32)
+        wf = run_vector("v_cvt_i32_f32 v2, v0", v=[(0, a)])
+        assert (wf.read_vgpr(2) == 0x7FFFFFFF).all()
+
+    def test_cvt_u32_f32_clamps_negative(self):
+        a = np.full(64, -5.0, dtype=np.float32)
+        wf = run_vector("v_cvt_u32_f32 v2, v0", v=[(0, a)])
+        assert (wf.read_vgpr(2) == 0).all()
+
+
+class TestComparesAndSelect:
+    def test_cmp_writes_vcc_per_lane(self):
+        a = np.arange(64, dtype=np.uint32)
+        b = np.full(64, 32, dtype=np.uint32)
+        wf = run_vector("v_cmp_lt_u32 vcc, v0, v1", v=[(0, a), (1, b)])
+        assert wf.vcc == (1 << 32) - 1  # lanes 0..31
+
+    def test_cmp_inactive_lanes_write_zero(self):
+        a = np.zeros(64, dtype=np.uint32)
+        b = np.full(64, 1, dtype=np.uint32)
+        wf = run_vector("v_cmp_lt_u32 vcc, v0, v1", v=[(0, a), (1, b)],
+                        exec_mask=0xFF)
+        assert wf.vcc == 0xFF
+
+    def test_cmp_signed_vs_unsigned(self):
+        a = np.full(64, (-1) & MASK32, dtype=np.uint32)
+        b = np.full(64, 1, dtype=np.uint32)
+        wf = run_vector("v_cmp_gt_i32 vcc, v0, v1", v=[(0, a), (1, b)])
+        assert wf.vcc == 0
+        wf = run_vector("v_cmp_gt_u32 vcc, v0, v1", v=[(0, a), (1, b)])
+        assert wf.vcc == FULL_EXEC
+
+    def test_cmp_float(self):
+        a = np.full(64, 1.5, dtype=np.float32)
+        b = np.full(64, 2.5, dtype=np.float32)
+        wf = run_vector("v_cmp_lt_f32 vcc, v0, v1", v=[(0, a), (1, b)])
+        assert wf.vcc == FULL_EXEC
+
+    def test_cmp_to_sgpr_pair(self):
+        a = np.full(64, 9, dtype=np.uint32)
+        b = np.full(64, 3, dtype=np.uint32)
+        wf = run_vector("v_cmp_gt_u32 s[20:21], v0, v1",
+                        v=[(0, a), (1, b)])
+        assert wf.read_scalar64(20) == FULL_EXEC
+        assert wf.vcc == 0  # vcc untouched
+
+    def test_cndmask_selects_by_vcc(self):
+        a = np.full(64, 100, dtype=np.uint32)
+        b = np.full(64, 200, dtype=np.uint32)
+        wf = run_vector("v_cndmask_b32 v2, v0, v1, vcc",
+                        v=[(0, a), (1, b)], vcc=0xF)
+        out = wf.read_vgpr(2)
+        assert (out[:4] == 200).all() and (out[4:] == 100).all()
+
+
+class TestExecMasking:
+    def test_inactive_lanes_preserve_destination(self):
+        a = np.full(64, 5, dtype=np.uint32)
+        b = np.full(64, 6, dtype=np.uint32)
+        old = np.full(64, 0xAA, dtype=np.uint32)
+        wf = run_vector("v_add_i32 v2, vcc, v0, v1",
+                        v=[(0, a), (1, b), (2, old)], exec_mask=0x1)
+        out = wf.read_vgpr(2)
+        assert out[0] == 11 and (out[1:] == 0xAA).all()

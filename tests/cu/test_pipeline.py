@@ -1,0 +1,212 @@
+"""The CU pipeline: scheduling, waitcnt, barriers, trimming enforcement."""
+
+import numpy as np
+import pytest
+
+from repro.asm import assemble
+from repro.core.config import ArchConfig
+from repro.cu.pipeline import ComputeUnit
+from repro.cu.timing import DEFAULT_TIMING, frontend_cost, unit_occupancy
+from repro.cu.wavefront import Wavefront
+from repro.cu.workgroup import Workgroup
+from repro.errors import SimulationError, TrimmedInstructionError
+from repro.mem.system import MemorySystem
+from repro.mem.params import DCD_PM_TIMING
+
+
+def run_program(source, num_wavefronts=1, supported=None, num_simd=1,
+                num_simf=1, init=None):
+    program = assemble(source)
+    memory = MemorySystem(params=DCD_PM_TIMING)
+    memory.preload_all(0, 1 << 16)
+    cu = ComputeUnit(memory, supported=supported, num_simd=num_simd,
+                     num_simf=num_simf)
+    wg = Workgroup((0, 0, 0), program, (64 * num_wavefronts, 1, 1))
+    for i in range(num_wavefronts):
+        wf = Wavefront(i, program)
+        if init:
+            init(wf, i)
+        wg.add_wavefront(wf)
+    end, stats = cu.run_workgroup(wg)
+    return end, stats, wg
+
+
+class TestBasicExecution:
+    def test_empty_kernel_completes(self):
+        end, stats, _ = run_program("s_endpgm")
+        assert stats.instructions == 1
+        assert end > 0
+
+    def test_instruction_counts_per_unit(self):
+        end, stats, _ = run_program("""
+          s_mov_b32 s0, 1
+          v_mov_b32 v3, 0
+          v_add_f32 v4, v3, v3
+          s_branch skip
+          s_nop
+        skip:
+          s_endpgm
+        """)
+        assert stats.per_unit["salu"] == 1
+        assert stats.per_unit["simd"] == 1
+        assert stats.per_unit["simf"] == 1
+        assert stats.per_unit["branch"] == 2  # s_branch + s_endpgm
+        assert stats.per_name["s_nop"] is not None if "s_nop" in stats.per_name \
+            else True
+        assert "s_nop" not in stats.per_name  # branch skipped it
+
+    def test_loop_executes_n_times(self):
+        end, stats, wg = run_program("""
+          s_mov_b32 s0, 0
+        loop:
+          s_add_u32 s0, s0, 1
+          s_cmp_lt_u32 s0, 10
+          s_cbranch_scc1 loop
+          s_endpgm
+        """)
+        assert wg.wavefronts[0].read_scalar(0) == 10
+        assert stats.per_name["s_add_u32"] == 10
+
+    def test_runaway_kernel_detected(self):
+        program_source = """
+        forever:
+          s_branch forever
+        """
+        memory = MemorySystem()
+        cu = ComputeUnit(memory, max_instructions=1000)
+        program = assemble(program_source)
+        wg = Workgroup((0, 0, 0), program, (64, 1, 1))
+        wg.add_wavefront(Wavefront(0, program))
+        with pytest.raises(SimulationError, match="budget"):
+            cu.run_workgroup(wg)
+
+
+class TestTrimmingEnforcement:
+    SOURCE = """
+      v_add_f32 v3, v0, v0
+      s_endpgm
+    """
+
+    def test_supported_set_allows_execution(self):
+        end, stats, _ = run_program(
+            self.SOURCE, supported={"v_add_f32", "s_endpgm"})
+        assert stats.instructions == 2
+
+    def test_removed_instruction_traps(self):
+        with pytest.raises(TrimmedInstructionError):
+            run_program(self.SOURCE, supported={"s_endpgm"})
+
+    def test_removed_simf_traps_float_ops(self):
+        with pytest.raises(TrimmedInstructionError):
+            run_program(self.SOURCE, num_simf=0)
+
+    def test_superset_instructions_always_trap(self):
+        # v_ffbh_u32 exists for characterisation but is unimplemented.
+        from repro.isa import formats as F
+        from repro.isa.tables import spec
+        sp = spec("v_ffbh_u32")
+        words = F.pack_vop1(sp.opcode, 2, 256)
+        words += assemble("s_endpgm").words
+        from repro.asm.program import Program
+        program = Program("raw", words)
+        memory = MemorySystem()
+        cu = ComputeUnit(memory)
+        wg = Workgroup((0, 0, 0), program, (64, 1, 1))
+        wg.add_wavefront(Wavefront(0, program))
+        with pytest.raises(TrimmedInstructionError, match="superset"):
+            cu.run_workgroup(wg)
+
+
+class TestWaitcnt:
+    def test_waitcnt_orders_memory(self):
+        # Without memory in flight, waitcnt is (nearly) free.
+        end_plain, _, _ = run_program("s_nop\ns_endpgm")
+        end_wait, _, _ = run_program("s_waitcnt 0\ns_endpgm")
+        assert abs(end_plain - end_wait) < 4
+
+    def test_waitcnt_blocks_until_load_completes(self):
+        def init(wf, _):
+            wf.sgprs[4:8] = [0, 0, 1 << 15, 0]
+            wf.write_vgpr(1, np.zeros(64, dtype=np.uint32))
+
+        load_then_wait = """
+          tbuffer_load_format_x v2, v1, s[4:7], 0 offen
+          s_waitcnt vmcnt(0)
+          s_endpgm
+        """
+        load_no_wait = """
+          tbuffer_load_format_x v2, v1, s[4:7], 0 offen
+          s_endpgm
+        """
+        end_wait, _, _ = run_program(load_then_wait, init=init)
+        end_nowait, _, _ = run_program(load_no_wait, init=init)
+        # Both must cover the load's latency (endpgm drains), and the
+        # waitcnt version cannot be faster.
+        assert end_wait >= end_nowait - 1
+
+
+class TestBarriers:
+    SOURCE = """
+      s_barrier
+      s_endpgm
+    """
+
+    def test_single_wavefront_passes_barrier(self):
+        end, stats, _ = run_program(self.SOURCE, num_wavefronts=1)
+        assert stats.instructions == 2
+
+    def test_multiple_wavefronts_rendezvous(self):
+        end, stats, _ = run_program(self.SOURCE, num_wavefronts=4)
+        assert stats.instructions == 8
+        assert stats.wavefronts == 4
+
+    def test_too_many_wavefronts_rejected(self):
+        program = assemble("s_endpgm")
+        memory = MemorySystem()
+        cu = ComputeUnit(memory, max_wavefronts=2)
+        wg = Workgroup((0, 0, 0), program, (64 * 3, 1, 1))
+        for i in range(3):
+            wg.add_wavefront(Wavefront(i, program))
+        with pytest.raises(SimulationError, match="wavefronts"):
+            cu.run_workgroup(wg)
+
+
+class TestTiming:
+    def test_two_word_instructions_cost_extra_fetch(self):
+        program = assemble("v_mad_f32 v1, v2, v3, v4\ns_endpgm")
+        assert frontend_cost(program.instructions[0]) == 2
+        program = assemble("s_nop\ns_endpgm")
+        assert frontend_cost(program.instructions[0]) == 1
+
+    def test_vector_occupancy_exceeds_scalar(self):
+        vec = assemble("v_add_i32 v1, vcc, v2, v3\ns_endpgm").instructions[0]
+        sca = assemble("s_add_u32 s0, s1, s2\ns_endpgm").instructions[0]
+        assert unit_occupancy(vec) > unit_occupancy(sca)
+
+    def test_float_slower_than_int(self):
+        fadd = assemble("v_add_f32 v1, v2, v3\ns_endpgm").instructions[0]
+        iadd = assemble("v_add_i32 v1, vcc, v2, v3\ns_endpgm").instructions[0]
+        assert unit_occupancy(fadd) > unit_occupancy(iadd)
+
+    def test_transcendentals_are_quarter_rate(self):
+        sin = assemble("v_sin_f32 v1, v2\ns_endpgm").instructions[0]
+        fadd = assemble("v_add_f32 v1, v2, v3\ns_endpgm").instructions[0]
+        assert unit_occupancy(sin) == \
+            unit_occupancy(fadd) * DEFAULT_TIMING.trans_multiplier
+
+    def test_extra_valus_speed_up_vector_streams(self):
+        source = "\n".join(["v_mul_lo_i32 v1, v2, v3"] * 40) + "\ns_endpgm"
+        end1, _, _ = run_program(source, num_wavefronts=4, num_simd=1)
+        end4, _, _ = run_program(source, num_wavefronts=4, num_simd=4)
+        assert end4 < end1 * 0.6  # multithread parallelism works
+
+    def test_divergence_costs_are_charged_even_when_masked(self):
+        # VALU passes run regardless of EXEC: a masked-off op still
+        # occupies the unit for its full sweep.
+        masked = """
+          s_mov_b64 exec, 0
+          v_mul_lo_i32 v1, v2, v3
+          s_endpgm
+        """
+        end, stats, _ = run_program(masked)
+        assert stats.per_unit["simd"] == 1

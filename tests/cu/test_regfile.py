@@ -1,0 +1,54 @@
+"""Register-file occupancy model."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core.config import ArchConfig
+from repro.cu.regfile import RegisterFileModel
+from repro.errors import LaunchError
+from repro.runtime import SoftGpu
+
+
+def program_with(sgprs, vgprs):
+    return assemble(".sgprs {}\n.vgprs {}\ns_endpgm".format(sgprs, vgprs))
+
+
+class TestOccupancy:
+    def test_wavepool_depth_caps_small_kernels(self):
+        model = RegisterFileModel()
+        assert model.occupancy(program_with(16, 4)) == 40
+
+    def test_vgpr_hungry_kernel_limited(self):
+        model = RegisterFileModel()
+        assert model.occupancy(program_with(16, 128)) == 1024 // 128
+
+    def test_sgpr_hungry_kernel_limited(self):
+        model = RegisterFileModel()
+        assert model.occupancy(program_with(100, 4)) == 2048 // 100
+
+    def test_kernel_too_fat_for_one_wavefront(self):
+        model = RegisterFileModel(vgprs=64)
+        with pytest.raises(LaunchError, match="register files hold"):
+            model.occupancy(program_with(16, 128))
+
+    def test_check_workgroup(self):
+        model = RegisterFileModel()
+        limit = model.check_workgroup(program_with(16, 64), 16)
+        assert limit == 16
+        with pytest.raises(LaunchError, match="concurrent wavefronts"):
+            model.check_workgroup(program_with(16, 64), 17)
+
+
+class TestDispatcherIntegration:
+    def test_register_hungry_workgroup_rejected_at_launch(self):
+        # 128 VGPRs per wavefront -> at most 8 concurrent wavefronts,
+        # so a 10-wavefront workgroup must be rejected.
+        program = program_with(16, 128)
+        device = SoftGpu(ArchConfig.baseline())
+        with pytest.raises(LaunchError, match="concurrent wavefronts"):
+            device.run(program, (64 * 10,), (64 * 10,))
+
+    def test_same_kernel_fits_with_smaller_workgroups(self):
+        program = program_with(16, 128)
+        device = SoftGpu(ArchConfig.baseline())
+        device.run(program, (64 * 10,), (64 * 5,))  # 5 wavefronts per wg

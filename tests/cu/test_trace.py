@@ -1,0 +1,69 @@
+"""Execution tracer."""
+
+import pytest
+
+from repro.core.config import ArchConfig
+from repro.cu.trace import ExecutionTracer, TraceEvent
+from repro.kernels import MatrixAddI32
+from repro.runtime import SoftGpu
+
+
+@pytest.fixture
+def traced_run():
+    tracer = ExecutionTracer()
+    device = SoftGpu(ArchConfig.baseline())
+    device.attach_tracer(tracer)
+    MatrixAddI32(n=16).run_on(device)
+    return tracer, device
+
+
+class TestTracer:
+    def test_event_count_matches_stats(self, traced_run):
+        tracer, device = traced_run
+        assert len(tracer) == device.instructions
+
+    def test_events_carry_issue_order_per_wavefront(self, traced_run):
+        tracer, _ = traced_run
+        wf0 = tracer.for_wavefront(0, cu_index=0)
+        cycles = [e.cycle for e in wf0]
+        assert cycles == sorted(cycles)
+        assert wf0[-1].name == "s_endpgm"
+
+    def test_histogram(self, traced_run):
+        tracer, _ = traced_run
+        hist = tracer.histogram()
+        assert hist["v_add_i32"] >= 4  # one data add + addressing per wf
+        assert sum(hist.values()) == len(tracer)
+
+    def test_unit_utilisation(self, traced_run):
+        tracer, _ = traced_run
+        units = tracer.unit_utilisation()
+        assert set(units) >= {"salu", "simd", "lsu", "branch"}
+        assert "simf" not in units  # integer kernel
+
+    def test_render(self, traced_run):
+        tracer, _ = traced_run
+        text = tracer.render(limit=5)
+        assert "wf0" in text and "more events" in text
+        assert str(tracer.events[0]).startswith("[")
+
+    def test_cap_drops_instead_of_growing(self):
+        tracer = ExecutionTracer(max_events=10)
+        device = SoftGpu(ArchConfig.baseline())
+        device.attach_tracer(tracer)
+        MatrixAddI32(n=16).run_on(device, verify=False)
+        assert len(tracer) == 10
+        assert tracer.dropped > 0
+
+    def test_clear(self, traced_run):
+        tracer, _ = traced_run
+        tracer.clear()
+        assert len(tracer) == 0 and tracer.dropped == 0
+
+    def test_multicore_traces_carry_cu_index(self):
+        tracer = ExecutionTracer()
+        arch = ArchConfig.baseline().with_parallelism(num_cus=3)
+        device = SoftGpu(arch)
+        device.attach_tracer(tracer)
+        MatrixAddI32(n=64).run_on(device, verify=False)
+        assert {e.cu_index for e in tracer.events} == {0, 1, 2}

@@ -1,0 +1,108 @@
+"""Wavefront state: operand access, EXEC handling, special registers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.asm import assemble
+from repro.cu.wavefront import FULL_EXEC, MASK32, Wavefront
+from repro.errors import SimulationError
+from repro.isa import registers as regs
+
+
+@pytest.fixture
+def wf():
+    program = assemble(".vgprs 16\ns_endpgm")
+    return Wavefront(0, program)
+
+
+class TestScalarAccess:
+    def test_sgpr_roundtrip(self, wf):
+        wf.write_scalar(17, 0xDEADBEEF)
+        assert wf.read_scalar(17) == 0xDEADBEEF
+
+    def test_vcc_halves(self, wf):
+        wf.vcc = 0x1234567890ABCDEF
+        assert wf.read_scalar(regs.VCC_LO) == 0x90ABCDEF
+        assert wf.read_scalar(regs.VCC_HI) == 0x12345678
+        wf.write_scalar(regs.VCC_HI, 0)
+        assert wf.vcc == 0x90ABCDEF
+
+    def test_exec_halves(self, wf):
+        wf.write_scalar(regs.EXEC_LO, 0xF)
+        wf.write_scalar(regs.EXEC_HI, 0)
+        assert wf.exec_mask == 0xF
+
+    def test_status_bits(self, wf):
+        wf.vcc = 0
+        assert wf.read_scalar(regs.VCCZ) == 1
+        wf.vcc = 1
+        assert wf.read_scalar(regs.VCCZ) == 0
+        wf.exec_mask = 0
+        assert wf.read_scalar(regs.EXECZ) == 1
+        wf.scc = 1
+        assert wf.read_scalar(regs.SCC) == 1
+
+    def test_inline_constants(self, wf):
+        assert wf.read_scalar(regs.CONST_ZERO) == 0
+        assert wf.read_scalar(193) == MASK32  # -1
+
+    def test_literal_requires_value(self, wf):
+        with pytest.raises(SimulationError):
+            wf.read_scalar(regs.LITERAL, literal=None)
+        assert wf.read_scalar(regs.LITERAL, literal=99) == 99
+
+    @given(value=st.integers(0, (1 << 64) - 1))
+    def test_scalar64_roundtrip(self, value):
+        program = assemble("s_endpgm")
+        w = Wavefront(0, program)
+        w.write_scalar64(10, value)
+        assert w.read_scalar64(10) == value
+        assert w.read_scalar(10) == value & MASK32
+        assert w.read_scalar(11) == value >> 32
+
+    def test_scalar64_vcc_exec(self, wf):
+        wf.write_scalar64(regs.VCC_LO, 0xAB)
+        assert wf.vcc == 0xAB
+        wf.write_scalar64(regs.EXEC_LO, 0x3)
+        assert wf.exec_mask == 0x3
+
+    def test_bad_destination_rejected(self, wf):
+        with pytest.raises(SimulationError):
+            wf.write_scalar(regs.LITERAL, 1)
+
+
+class TestVectorAccess:
+    def test_vgpr_write_respects_exec(self, wf):
+        wf.exec_mask = 0b1010
+        wf.write_vgpr(4, np.full(64, 7, dtype=np.uint32))
+        row = wf.read_vgpr(4)
+        assert row[1] == 7 and row[3] == 7
+        assert row[0] == 0 and row[2] == 0
+
+    def test_scalar_broadcast(self, wf):
+        wf.write_scalar(9, 42)
+        vec = wf.read_vector(9)
+        assert (vec == 42).all()
+
+    def test_vgpr_code_reads_row(self, wf):
+        wf.exec_mask = FULL_EXEC
+        wf.write_vgpr(5, np.arange(64, dtype=np.uint32))
+        vec = wf.read_vector(regs.VGPR_BASE + 5)
+        assert (vec == np.arange(64)).all()
+
+    def test_lane_mask_cache_invalidation(self, wf):
+        wf.exec_mask = 0b1
+        assert wf.active_lane_mask().sum() == 1
+        wf.exec_mask = 0b111
+        assert wf.active_lane_mask().sum() == 3
+
+    @given(mask=st.integers(0, (1 << 64) - 1))
+    def test_lane_mask_matches_bits(self, mask):
+        program = assemble("s_endpgm")
+        w = Wavefront(0, program)
+        w.exec_mask = mask
+        lanes = w.active_lane_mask()
+        assert int(lanes.sum()) == bin(mask).count("1")
+        for lane in (0, 13, 63):
+            assert bool(lanes[lane]) == bool(mask >> lane & 1)

@@ -1,0 +1,112 @@
+"""Area model: trimming behaviour, datapath scaling, monotonicity."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fpga.area_model import AreaModel
+from repro.fpga import calibration as cal
+from repro.isa.categories import FunctionalUnit
+from repro.isa.tables import ISA
+
+
+@pytest.fixture(scope="module")
+def model():
+    return AreaModel()
+
+
+def names_for(unit, fraction=1.0):
+    specs = ISA.for_unit(unit)
+    return {s.name for s in specs[: max(1, int(len(specs) * fraction))]}
+
+
+class TestKeptFraction:
+    def test_full_isa_is_one(self, model):
+        for unit in (FunctionalUnit.SALU, FunctionalUnit.SIMD,
+                     FunctionalUnit.SIMF, FunctionalUnit.LSU):
+            assert model.kept_fraction(unit, None) == 1.0
+
+    def test_empty_set_is_zero(self, model):
+        assert model.kept_fraction(FunctionalUnit.SIMF, frozenset()) == 0.0
+
+    def test_partial_set_is_between(self, model):
+        kept = model.kept_fraction(FunctionalUnit.SIMD,
+                                   frozenset({"v_mov_b32", "v_add_i32"}))
+        assert 0.0 < kept < 1.0
+
+    def test_weights_favor_expensive_categories(self, model):
+        trans = model.kept_fraction(FunctionalUnit.SIMF,
+                                    frozenset({"v_sin_f32"}))
+        mov = model.kept_fraction(FunctionalUnit.SIMD,
+                                  frozenset({"v_mov_b32"}))
+        assert trans > mov  # a transcendental costs more than a mov
+
+
+class TestCuArea:
+    def test_full_cu_composition(self, model):
+        breakdown = model.cu_area()
+        assert set(breakdown.components) >= {
+            "frontend", "regfile", "decode", "salu", "simd", "simf", "lsu",
+            "prefetch"}
+        assert breakdown.total.lut > 0
+
+    def test_trimming_reduces_area(self, model):
+        full = model.cu_area().total
+        trimmed = model.cu_area(supported=frozenset(
+            names_for(FunctionalUnit.SALU) | {"v_mov_b32", "s_endpgm"})).total
+        assert trimmed.lut < full.lut
+        assert trimmed.ff < full.ff
+
+    def test_removed_simf_frees_unit_and_ports(self, model):
+        int_only = frozenset(
+            s.name for s in ISA.implemented()
+            if s.unit is not FunctionalUnit.SIMF)
+        bd = model.cu_area(supported=int_only, num_simf=0)
+        assert bd.components["simf"].lut == 0
+        full_regfile = model.cu_area().components["regfile"]
+        assert bd.components["regfile"].lut < full_regfile.lut
+
+    def test_instruction_trim_keeps_dsp_and_bram(self, model):
+        """DSPs/BRAMs barely move unless whole units go (Section 4.1.1)."""
+        few_insts = frozenset({"v_add_f32", "v_mul_f32", "s_endpgm",
+                               "v_mov_b32", "s_mov_b32",
+                               "tbuffer_load_format_x"})
+        bd = model.cu_area(supported=few_insts)
+        full = model.cu_area()
+        dsp_saving = 1 - bd.total.dsp / full.total.dsp
+        assert dsp_saving < 0.10
+        assert bd.components["simf"].bram == full.components["simf"].bram
+
+    def test_extra_valus_add_area(self, model):
+        one = model.cu_area(num_simd=1).total
+        four = model.cu_area(num_simd=4).total
+        assert four.lut > one.lut
+        assert four.ff > one.ff
+
+    def test_narrow_datapath_shrinks_vector_logic(self, model):
+        full = model.cu_area(datapath_bits=32).total
+        narrow = model.cu_area(datapath_bits=8).total
+        assert narrow.lut < full.lut
+        assert narrow.bram < full.bram  # vector regfile BRAM shrinks
+
+    def test_datapath_scale_monotone(self):
+        assert cal.datapath_scale(32) == 1.0
+        assert cal.datapath_scale(8) < cal.datapath_scale(16) < 1.0
+        assert cal.datapath_scale(8) > 0.3  # control logic floor
+
+    @given(fraction=st.floats(0.1, 1.0))
+    @settings(max_examples=15, deadline=None)
+    def test_area_monotone_in_kept_set(self, model, fraction):
+        smaller = names_for(FunctionalUnit.SIMD, fraction / 2)
+        larger = names_for(FunctionalUnit.SIMD, fraction)
+        base = {"s_endpgm", "s_mov_b32"}
+        a = model.cu_area(supported=frozenset(smaller | base)).total
+        b = model.cu_area(supported=frozenset(larger | base)).total
+        assert a.lut <= b.lut + 1e-9
+
+
+class TestSocArea:
+    def test_relay_datapath_only_without_prefetch(self, model):
+        with_pm = model.soc_area(prefetch=True)
+        without = model.soc_area(prefetch=False)
+        assert without.lut > with_pm.lut
+        assert without.ff > with_pm.ff

@@ -1,0 +1,123 @@
+"""Synthesis model: the Figure 6 utilisation/power pins.
+
+These tests pin the model to the paper's *reported numbers* for the
+three fixed configurations -- this is the calibration contract every
+other Figure 6 / Figure 7 quantity builds on.
+"""
+
+import pytest
+
+from repro.core.config import ArchConfig
+from repro.errors import ResourceError
+from repro.fpga import Synthesizer, XC7VX690T
+from repro.fpga.resources import ResourceVector
+
+
+@pytest.fixture(scope="module")
+def synth():
+    return Synthesizer()
+
+
+class TestPaperUtilisationPins:
+    def test_original_matches_figure6(self, synth):
+        total = synth.synthesize(ArchConfig.original()).total.rounded()
+        assert total.ff == 129_232
+        assert total.lut == 214_318
+        assert total.dsp == 203
+        assert total.bram == 223
+
+    def test_dcd_adds_no_resources(self, synth):
+        """Section 4.1.1: the second clock domain is resource-free."""
+        original = synth.synthesize(ArchConfig.original()).total
+        dcd = synth.synthesize(ArchConfig.dcd()).total
+        assert original.rounded().as_dict() == dcd.rounded().as_dict()
+
+    def test_baseline_matches_figure6(self, synth):
+        total = synth.synthesize(ArchConfig.baseline()).total.rounded()
+        assert total.ff == 123_306
+        assert total.lut == 213_365
+        assert total.dsp == 198
+        assert total.bram == 1_151
+
+    def test_prefetch_memory_dominates_bram(self, synth):
+        """Most BRAMs belong to the single-CU prefetch (Section 4.1.1)."""
+        report = synth.synthesize(ArchConfig.baseline())
+        assert report.prefetch_brams / report.total.bram > 0.75
+
+
+class TestPaperPowerPins:
+    def test_original_power(self, synth):
+        power = synth.synthesize(ArchConfig.original()).power
+        assert power.static == pytest.approx(0.39, abs=0.02)
+        assert power.dynamic == pytest.approx(3.20, abs=0.05)
+
+    def test_dcd_power(self, synth):
+        power = synth.synthesize(ArchConfig.dcd()).power
+        assert power.static == pytest.approx(0.39, abs=0.02)
+        assert power.dynamic == pytest.approx(3.27, abs=0.05)
+
+    def test_dcd_pm_power(self, synth):
+        power = synth.synthesize(ArchConfig.baseline()).power
+        assert power.static == pytest.approx(0.46, abs=0.02)
+        assert power.dynamic == pytest.approx(3.49, abs=0.05)
+
+    def test_power_increase_ratios(self, synth):
+        """Section 4.1.2: DCD x1.02, DCD+PM x1.10 on total power."""
+        original = synth.synthesize(ArchConfig.original()).power.total
+        dcd = synth.synthesize(ArchConfig.dcd()).power.total
+        pm = synth.synthesize(ArchConfig.baseline()).power.total
+        assert dcd / original == pytest.approx(1.02, abs=0.02)
+        assert pm / original == pytest.approx(1.10, abs=0.03)
+
+
+class TestFitChecks:
+    def test_baseline_fits_device(self, synth):
+        assert synth.synthesize(ArchConfig.baseline()).fits()
+
+    def test_two_untrimmed_cus_do_not_fit(self, synth):
+        config = ArchConfig.baseline().with_parallelism(num_cus=2)
+        assert not synth.synthesize(config).fits()
+
+    def test_check_fit_raises(self, synth):
+        config = ArchConfig.baseline().with_parallelism(num_cus=4)
+        with pytest.raises(ResourceError):
+            synth.synthesize(config, check_fit=True)
+
+    def test_utilisation_fractions(self, synth):
+        util = synth.synthesize(ArchConfig.baseline()).utilisation()
+        assert 0 < util["lut"] < 1
+        assert util["bram"] == pytest.approx(1151 / 1470, rel=1e-3)
+
+
+class TestSavings:
+    def test_savings_vs_self_is_zero(self, synth):
+        report = synth.synthesize(ArchConfig.baseline())
+        savings = report.savings_vs(report)
+        assert all(abs(v) < 1e-9 for v in savings.values())
+
+    def test_summary_renders(self, synth):
+        text = synth.synthesize(ArchConfig.baseline()).summary()
+        assert "power" in text and "total" in text
+
+
+class TestResourceVector:
+    def test_arithmetic(self):
+        a = ResourceVector(1, 2, 3, 4)
+        b = ResourceVector(10, 20, 30, 40)
+        assert (a + b).lut == 22
+        assert (b - a).dsp == 27
+        assert a.scale(2).bram == 8
+        assert a.scale_each(lut=0.5).lut == 1
+
+    def test_fits_in(self):
+        small = ResourceVector(1, 1, 1, 1)
+        big = ResourceVector(2, 2, 2, 2)
+        assert small.fits_in(big)
+        assert not big.fits_in(small)
+        assert big.fits_in(big, margin=1.0)
+
+    def test_device_usable_below_capacity(self):
+        usable = XC7VX690T.usable
+        cap = XC7VX690T.capacity
+        assert usable.lut < cap.lut
+        assert usable.bram <= cap.bram

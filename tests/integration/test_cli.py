@@ -1,0 +1,106 @@
+"""The command-line toolchain, end to end."""
+
+import json
+import struct
+
+import pytest
+
+from repro.cli import main
+
+KERNEL = """
+.kernel cli_demo
+  s_buffer_load_dword s20, s[12:15], 0
+  s_waitcnt lgkmcnt(0)
+  v_add_i32 v3, vcc, s20, v0
+  v_lshlrev_b32 v3, 2, v3
+  tbuffer_store_format_x v3, v3, s[4:7], 0 offen
+  s_endpgm
+"""
+
+
+@pytest.fixture
+def kernel_file(tmp_path):
+    path = tmp_path / "kernel.s"
+    path.write_text(KERNEL)
+    return str(path)
+
+
+class TestAsmDisasm:
+    def test_asm_to_stdout(self, kernel_file, capsys):
+        assert main(["asm", kernel_file]) == 0
+        out = capsys.readouterr().out
+        assert all(len(tok) == 8 for tok in out.split())
+
+    def test_asm_to_file_and_disasm(self, kernel_file, tmp_path, capsys):
+        binary = str(tmp_path / "kernel.bin")
+        assert main(["asm", kernel_file, "-o", binary]) == 0
+        capsys.readouterr()
+        assert main(["disasm", binary]) == 0
+        out = capsys.readouterr().out
+        assert "v_add_i32" in out and "s_endpgm" in out
+
+    def test_disasm_of_source_file(self, kernel_file, capsys):
+        assert main(["disasm", kernel_file]) == 0
+        assert "tbuffer_store_format_x" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["asm", "/nonexistent/file.s"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_assembly_error_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.s"
+        bad.write_text("v_bogus v0, v1\n")
+        assert main(["asm", str(bad)]) == 1
+        assert "unknown mnemonic" in capsys.readouterr().err
+
+
+class TestTrim:
+    def test_text_report(self, kernel_file, capsys):
+        assert main(["trim", kernel_file]) == 0
+        out = capsys.readouterr().out
+        assert "kept" in out and "saved" in out
+
+    def test_json_report(self, kernel_file, capsys):
+        assert main(["trim", kernel_file, "--json", "--multicore"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["instructions_kept"] == 6
+        assert payload["removed_units"] == ["simf"]
+        assert payload["parallel"]["cus"] >= 2
+        assert 0 < payload["savings"]["ff"] < 1
+
+    def test_multithread_flag(self, kernel_file, capsys):
+        assert main(["trim", kernel_file, "--multithread"]) == 0
+        assert "multithread re-investment" in capsys.readouterr().out
+
+    def test_multiple_kernels(self, kernel_file, tmp_path, capsys):
+        second = tmp_path / "fp.s"
+        second.write_text(".kernel fp\n  v_add_f32 v1, v0, v0\n  s_endpgm\n")
+        assert main(["trim", kernel_file, str(second), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["removed_units"] == []  # union needs the SIMF
+
+
+class TestSynthAndCharacterize:
+    def test_synth(self, capsys):
+        assert main(["synth", "baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "fits device: True" in out
+
+    def test_synth_parallel_shape(self, capsys):
+        assert main(["synth", "baseline", "--cus", "4"]) == 0
+        assert "fits device: False" in capsys.readouterr().out
+
+    def test_characterize(self, kernel_file, capsys):
+        assert main(["characterize", kernel_file]) == 0
+        out = capsys.readouterr().out
+        assert "Memory operations" in out
+
+
+class TestValidateAndRun:
+    def test_validate_subset(self, capsys):
+        assert main(["validate", "v_add_f32", "s_mul_i32"]) == 0
+        assert "2 passed" in capsys.readouterr().out
+
+    def test_run_unknown_benchmark(self, capsys):
+        assert main(["run", "no_such_bench"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err

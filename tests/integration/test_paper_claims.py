@@ -1,0 +1,118 @@
+"""Quantitative paper-claim bands, checked on representative benchmarks.
+
+These are the shape constraints of the reproduction (DESIGN.md's
+"shape expectations"): who wins, by roughly what factor.  Exact
+measured values for the full suite live in EXPERIMENTS.md; the tests
+here use moderate sizes so the whole file stays fast.
+"""
+
+import pytest
+
+from repro.core.config import ArchConfig
+from repro.core.flow import ScratchFlow
+from repro.kernels import (
+    Conv2DF32,
+    MatrixAddI32,
+    MatrixMulI32,
+    MatrixTransposeI32,
+    MaxPoolingI32,
+)
+
+
+@pytest.fixture(scope="module")
+def matmul_results():
+    return ScratchFlow(MatrixMulI32(n=32)).evaluate(verify=False)
+
+
+@pytest.fixture(scope="module")
+def streaming_results():
+    return ScratchFlow(MatrixAddI32(n=64)).evaluate(verify=False)
+
+
+class TestDcdClaims:
+    def test_dcd_speedup_near_1_17(self, streaming_results):
+        """Section 4.1.2: DCD alone buys ~1.17x."""
+        r = streaming_results
+        speedup = r["original"].seconds / r["dcd"].seconds
+        assert 1.10 <= speedup <= 1.30
+
+    def test_dcd_improves_energy_efficiency(self, streaming_results):
+        r = streaming_results
+        assert r["dcd"].ipj > r["original"].ipj
+
+
+class TestPrefetchClaims:
+    def test_baseline_speedup_in_paper_band(self, matmul_results):
+        """Section 4.1.2: DCD+PM speedups between ~4.3x and ~96x."""
+        r = matmul_results
+        speedup = r["original"].seconds / r["baseline"].seconds
+        assert 4.0 <= speedup <= 110.0
+
+    def test_memory_bound_kernels_gain_more(self, matmul_results,
+                                            streaming_results):
+        mm = matmul_results
+        st = streaming_results
+        assert st["original"].seconds / st["baseline"].seconds > 10
+        assert mm["original"].seconds / mm["baseline"].seconds > 10
+
+
+class TestTrimmingClaims:
+    def test_trimming_preserves_runtime_exactly(self, matmul_results):
+        r = matmul_results
+        assert r["trimmed"].seconds == pytest.approx(
+            r["baseline"].seconds, rel=1e-12)
+
+    def test_int_kernel_ipj_gain_at_least_1_15(self, matmul_results):
+        """Section 4.1.2: non-FP systems improve IPJ by >= 1.15x."""
+        r = matmul_results
+        assert r["trimmed"].ipj / r["baseline"].ipj >= 1.15
+
+    def test_fp_kernel_ipj_gain_in_band(self):
+        """FP kernels fare between ~1.02x and ~1.10x."""
+        r = ScratchFlow(Conv2DF32(n=32, k=3)).evaluate(
+            modes=(), verify=False)
+        gain = r["trimmed"].ipj / r["baseline"].ipj
+        assert 1.01 <= gain <= 1.15
+
+    def test_transpose_has_top_tier_savings(self):
+        """Figure 6: transpose and pooling trim the most."""
+        transpose = ScratchFlow(MatrixTransposeI32(n=32)).trim()
+        pooling = ScratchFlow(MaxPoolingI32(n=32)).trim()
+        conv_fp = ScratchFlow(Conv2DF32(n=16, k=3)).trim()
+        assert transpose.savings["ff"] > conv_fp.savings["ff"] + 0.15
+        assert pooling.savings["ff"] > conv_fp.savings["ff"] + 0.15
+
+    def test_savings_bands(self):
+        """Average-ish bands: FF savings exceed LUT savings; DSP and
+        BRAM savings are small (Section 4.1.1)."""
+        result = ScratchFlow(MatrixMulI32(n=16)).trim()
+        s = result.savings
+        assert s["ff"] > s["lut"] > 0
+        assert s["dsp"] <= 0.2
+        assert s["bram"] <= 0.15
+
+
+class TestParallelismClaims:
+    def test_multicore_speedup_band(self, matmul_results):
+        """Figure 7A: up to ~3x vs the baseline."""
+        r = matmul_results
+        gain = r["baseline"].seconds / r["multicore"].seconds
+        assert 1.0 <= gain <= 3.2
+
+    def test_multithread_speedup_band(self, matmul_results):
+        """Figure 7B: up to ~3.5x vs the baseline."""
+        r = matmul_results
+        gain = r["baseline"].seconds / r["multithread"].seconds
+        assert 1.0 <= gain <= 3.6
+
+    def test_combined_speedup_vs_original_is_large(self, matmul_results):
+        """The headline axis: trimmed+parallel vs original MIAOW is
+        two orders of magnitude."""
+        r = matmul_results
+        best = min(r["multicore"].seconds, r["multithread"].seconds)
+        assert r["original"].seconds / best > 50
+
+    def test_power_grows_but_efficiency_wins(self, matmul_results):
+        r = matmul_results
+        assert r["multicore"].power.total > r["trimmed"].power.total
+        assert r["multicore"].ipj > r["original"].ipj * 20

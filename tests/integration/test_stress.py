@@ -1,0 +1,120 @@
+"""Stress tests: occupancy limits, deep divergence, heavy traffic."""
+
+import numpy as np
+import pytest
+
+from repro.asm import assemble
+from repro.core.config import ArchConfig
+from repro.runtime import SoftGpu
+
+# A kernel with two levels of divergence: quadrant-dependent maths.
+DIVERGENT = """
+.kernel divergent
+.vgprs 16
+  s_buffer_load_dword s19, s[8:11], 3
+  s_buffer_load_dword s20, s[12:15], 0
+  s_waitcnt lgkmcnt(0)
+  s_mul_i32 s1, s16, s19
+  v_add_i32 v3, vcc, s1, v0               ; gid
+  v_mov_b32 v8, 0
+  ; outer split: gid & 1
+  v_and_b32 v4, 1, v3
+  v_mov_b32 v5, 0
+  v_cmp_eq_u32 vcc, v4, v5
+  s_and_saveexec_b64 s[30:31], vcc        ; even lanes
+  v_add_i32 v8, vcc, 100, v8
+  ; inner split on the even half: gid & 2
+  v_and_b32 v6, 2, v3
+  v_cmp_eq_u32 vcc, v6, v5
+  s_and_saveexec_b64 s[32:33], vcc        ; multiples of 4
+  v_add_i32 v8, vcc, 10, v8
+  s_mov_b64 exec, s[32:33]
+  s_mov_b64 exec, s[30:31]
+  ; odd lanes take the other path
+  v_cmp_eq_u32 vcc, v4, v5
+  s_not_b64 s[34:35], vcc
+  s_and_saveexec_b64 s[30:31], s[34:35]
+  v_add_i32 v8, vcc, 1, v8
+  s_mov_b64 exec, s[30:31]
+  v_lshlrev_b32 v9, 2, v3
+  v_add_i32 v9, vcc, s20, v9
+  tbuffer_store_format_x v8, v9, s[4:7], 0 offen
+  s_endpgm
+"""
+
+
+class TestDivergence:
+    def test_nested_exec_masking(self):
+        device = SoftGpu(ArchConfig.baseline())
+        n = 256
+        out = device.alloc("out", 4 * n)
+        device.preload_all()
+        device.run(assemble(DIVERGENT), (n,), (64,), args=[out])
+        got = device.read(out)
+        gid = np.arange(n)
+        want = np.where(gid % 2 == 0,
+                        np.where(gid % 4 == 0, 110, 100), 1)
+        assert np.array_equal(got, want.astype(np.uint32))
+
+
+class TestOccupancyLimits:
+    def test_forty_wavefront_workgroup(self):
+        """The wavepool's architectural maximum: 2560 work-items."""
+        program = assemble("""
+          s_buffer_load_dword s19, s[8:11], 3
+          s_buffer_load_dword s20, s[12:15], 0
+          s_waitcnt lgkmcnt(0)
+          s_mul_i32 s1, s16, s19
+          v_add_i32 v3, vcc, s1, v0
+          v_lshlrev_b32 v4, 2, v3
+          v_add_i32 v4, vcc, s20, v4
+          tbuffer_store_format_x v3, v4, s[4:7], 0 offen
+          s_endpgm
+        """)
+        n = 64 * 40
+        device = SoftGpu(ArchConfig.baseline())
+        out = device.alloc("out", 4 * n)
+        device.preload_all()
+        result = device.run(program, (n,), (n,), args=[out])
+        assert result.stats.wavefronts == 40
+        assert np.array_equal(device.read(out),
+                              np.arange(n, dtype=np.uint32))
+
+    def test_barrier_across_forty_wavefronts(self):
+        program = assemble("""
+          s_barrier
+          s_endpgm
+        """)
+        device = SoftGpu(ArchConfig.baseline())
+        result = device.run(program, (64 * 40,), (64 * 40,))
+        assert result.stats.wavefronts == 40
+
+
+class TestHeavyTraffic:
+    def test_relay_contention_under_multicore(self):
+        """When the working set misses the prefetch, extra CUs pile up
+        on the single relay channel: multi-core gains collapse."""
+        program = assemble("""
+          s_buffer_load_dword s19, s[8:11], 3
+          s_buffer_load_dword s20, s[12:15], 0
+          s_waitcnt lgkmcnt(0)
+          s_mul_i32 s1, s16, s19
+          v_add_i32 v3, vcc, s1, v0
+          v_lshlrev_b32 v4, 2, v3
+          v_add_i32 v4, vcc, s20, v4
+          tbuffer_load_format_x v5, v4, s[4:7], 0 offen
+          s_waitcnt vmcnt(0)
+          v_add_i32 v5, vcc, 1, v5
+          tbuffer_store_format_x v5, v4, s[4:7], 0 offen
+          s_endpgm
+        """)
+        times = {}
+        for cus in (1, 3):
+            arch = ArchConfig.dcd().with_parallelism(num_cus=cus)
+            device = SoftGpu(arch)
+            buf = device.upload("data", np.zeros(1024, dtype=np.uint32))
+            # no preload: every access rides the relay
+            device.run(program, (1024,), (256,), args=[buf])
+            times[cus] = device.elapsed_cu_cycles
+        scaling = times[1] / times[3]
+        assert scaling < 1.5  # the serialised relay defeats extra CUs

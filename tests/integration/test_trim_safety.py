@@ -1,0 +1,78 @@
+"""The trimming safety property, end to end.
+
+Running a binary on an architecture trimmed for a *different*
+application must trap loudly (TrimmedInstructionError), never compute
+garbage -- this is what makes "removal of unused resources does not
+affect execution" (Section 3.2) a checkable guarantee.
+"""
+
+import pytest
+
+from repro.core.flow import ScratchFlow
+from repro.errors import TrimmedInstructionError
+from repro.kernels import (
+    Conv2DF32,
+    MatrixAddI32,
+    MatrixMulF32,
+    MatrixTransposeI32,
+)
+from repro.runtime import SoftGpu
+
+
+class TestForeignBinaryTraps:
+    def test_fp_kernel_on_int_trimmed_architecture(self):
+        int_arch = ScratchFlow(MatrixAddI32(n=16)).trim().config
+        fp_bench = MatrixMulF32(n=16)
+        device = SoftGpu(int_arch)
+        with pytest.raises(TrimmedInstructionError):
+            fp_bench.run_on(device)
+
+    def test_int_kernel_on_other_int_trimmed_architecture(self):
+        transpose_arch = ScratchFlow(MatrixTransposeI32(n=16)).trim().config
+        # matrix_add needs tbuffer loads + v_add, transpose lacks none
+        # of the *memory* ops but matrix_mul needs v_mul_lo_i32.
+        from repro.kernels import MatrixMulI32
+        device = SoftGpu(transpose_arch)
+        with pytest.raises(TrimmedInstructionError):
+            MatrixMulI32(n=16).run_on(device)
+
+    def test_own_binary_always_runs(self):
+        for bench_cls, params in [(MatrixAddI32, dict(n=16)),
+                                  (Conv2DF32, dict(n=16, k=3))]:
+            flow = ScratchFlow(bench_cls(**params))
+            device = SoftGpu(flow.trim().config)
+            bench_cls(**params).run_on(device, verify=True)
+
+    def test_error_names_the_instruction(self):
+        int_arch = ScratchFlow(MatrixAddI32(n=16)).trim().config
+        device = SoftGpu(int_arch)
+        with pytest.raises(TrimmedInstructionError) as excinfo:
+            MatrixMulF32(n=16).run_on(device)
+        assert "v_" in str(excinfo.value) or "s_" in str(excinfo.value)
+
+
+class TestApplicationLevelTrim:
+    def test_union_architecture_runs_both_kernels(self):
+        """Per-application trimming (Section 4.3): the union of two
+        kernels' requirements serves both."""
+        from repro.core.trimmer import TrimmingTool
+        add = MatrixAddI32(n=16)
+        mul = MatrixMulF32(n=16)
+        tool = TrimmingTool()
+        programs = add.programs() + mul.programs()
+        result = tool.trim(programs)
+        device = SoftGpu(result.config)
+        add.run_on(device, verify=True)
+        device2 = SoftGpu(result.config)
+        mul.run_on(device2, verify=True)
+
+    def test_union_saves_less_than_each_kernel_alone(self):
+        from repro.core.trimmer import TrimmingTool
+        tool = TrimmingTool()
+        add = MatrixAddI32(n=16).programs()
+        mul = MatrixMulF32(n=16).programs()
+        union = tool.trim(add + mul).savings["ff"]
+        alone_add = tool.trim(add).savings["ff"]
+        alone_mul = tool.trim(mul).savings["ff"]
+        assert union <= alone_add + 1e-9
+        assert union <= alone_mul + 1e-9

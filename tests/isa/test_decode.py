@@ -1,0 +1,88 @@
+"""Binary decoder: format dispatch, literals, error handling."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.errors import DecodingError
+from repro.isa import decode_one, decode_program
+from repro.isa.formats import Format
+
+
+def words_of(text):
+    return assemble(text).words
+
+
+class TestDecodeOne:
+    def test_simple_scalar(self):
+        words = words_of("s_add_u32 s0, s1, s2")
+        inst = decode_one(words, 0)
+        assert inst.name == "s_add_u32"
+        assert inst.words == 1 and inst.literal is None
+
+    def test_literal_consumes_extra_dword(self):
+        words = words_of("s_mov_b32 s0, 0x12345678")
+        assert len(words) == 2
+        inst = decode_one(words, 0)
+        assert inst.words == 2 and inst.literal == 0x12345678
+
+    def test_vop3_is_two_words(self):
+        words = words_of("v_mad_f32 v1, v2, v3, v4")
+        inst = decode_one(words, 0)
+        assert inst.fmt is Format.VOP3 and inst.words == 2
+
+    def test_promoted_compare_resolves_to_vopc_spec(self):
+        words = words_of("v_cmp_gt_u32 s[20:21], v1, v2")
+        inst = decode_one(words, 0)
+        assert inst.name == "v_cmp_gt_u32"
+        assert inst.fmt is Format.VOP3
+        assert inst.fields["sdst"] == 20
+
+    def test_truncated_program_raises(self):
+        words = words_of("v_mad_f32 v1, v2, v3, v4")
+        with pytest.raises(DecodingError):
+            decode_one(words[:1], 0)
+
+    def test_missing_literal_raises(self):
+        words = words_of("s_mov_b32 s0, 0x12345678")
+        with pytest.raises(DecodingError):
+            decode_one(words[:1], 0)
+
+    def test_decode_past_end_raises(self):
+        with pytest.raises(DecodingError):
+            decode_one([], 0)
+
+    def test_unknown_opcode_raises(self):
+        from repro.isa import formats as F
+        [word] = F.pack_sop2(50, 0, 0, 0)  # unassigned SOP2 opcode
+        with pytest.raises(DecodingError):
+            decode_one([word], 0)
+
+
+class TestDecodeProgram:
+    SOURCE = """
+      s_mov_b32 s0, 5
+      v_mov_b32 v1, s0
+      v_add_i32 v2, vcc, v1, v1
+      s_endpgm
+    """
+
+    def test_program_order_and_addresses(self):
+        program = assemble(self.SOURCE)
+        names = [i.name for i in program.instructions]
+        assert names == ["s_mov_b32", "v_mov_b32", "v_add_i32", "s_endpgm"]
+        addresses = [i.address for i in program.instructions]
+        assert addresses == sorted(addresses)
+        assert addresses[0] == 0
+
+    def test_addresses_account_for_literals(self):
+        program = assemble("""
+          s_mov_b32 s0, 0xdeadbeef
+          s_endpgm
+        """)
+        assert program.instructions[1].address == 8  # word + literal
+
+    def test_decode_matches_assembled_words(self):
+        program = assemble(self.SOURCE)
+        redecoded = decode_program(program.words)
+        assert [i.name for i in redecoded] == \
+            [i.name for i in program.instructions]

@@ -1,0 +1,45 @@
+"""Decoder robustness: arbitrary words never crash, only DecodingError."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DecodingError
+from repro.isa.decode import decode_one, decode_program
+from repro.isa.formats import classify_word
+
+
+class TestFuzz:
+    @settings(max_examples=300, deadline=None)
+    @given(word=st.integers(0, 0xFFFFFFFF))
+    def test_classify_total(self, word):
+        """Every 32-bit word classifies or raises DecodingError."""
+        try:
+            fmt = classify_word(word)
+        except DecodingError:
+            return
+        assert fmt is not None
+
+    @settings(max_examples=300, deadline=None)
+    @given(words=st.lists(st.integers(0, 0xFFFFFFFF),
+                          min_size=1, max_size=6))
+    def test_decode_one_total(self, words):
+        """decode_one either yields an instruction or DecodingError --
+        never a KeyError/IndexError/etc."""
+        try:
+            inst = decode_one(words, 0)
+        except DecodingError:
+            return
+        assert 1 <= inst.words <= 3
+        assert inst.spec.name
+
+    @settings(max_examples=150, deadline=None)
+    @given(words=st.lists(st.integers(0, 0xFFFFFFFF),
+                          min_size=1, max_size=12))
+    def test_decode_program_total(self, words):
+        try:
+            decoded = decode_program(words)
+        except DecodingError:
+            return
+        # Consumed word counts must tile the stream exactly.
+        assert sum(i.words for i in decoded) == len(words)
+        addresses = [i.address for i in decoded]
+        assert addresses == sorted(set(addresses))

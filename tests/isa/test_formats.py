@@ -1,0 +1,169 @@
+"""Encoding formats: pack/unpack roundtrips and word classification."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DecodingError, EncodingError
+from repro.isa import formats as F
+from repro.isa.formats import Format
+
+
+class TestPackUnpackRoundtrips:
+    @given(op=st.integers(0, 95), sdst=st.integers(0, 127),
+           s0=st.integers(0, 255), s1=st.integers(0, 255))
+    def test_sop2(self, op, sdst, s0, s1):
+        [word] = F.pack_sop2(op, sdst, s0, s1)
+        assert F.classify_word(word) is Format.SOP2
+        fields = F.unpack_sop2(word)
+        assert fields == {"op": op, "sdst": sdst, "ssrc0": s0, "ssrc1": s1}
+
+    @given(op=st.integers(0, 28), sdst=st.integers(0, 127),
+           simm=st.integers(-32768, 32767))
+    def test_sopk(self, op, sdst, simm):
+        [word] = F.pack_sopk(op, sdst, simm)
+        assert F.classify_word(word) is Format.SOPK
+        fields = F.unpack_sopk(word)
+        assert fields["op"] == op and fields["sdst"] == sdst
+        assert fields["simm16"] == simm & 0xFFFF
+
+    @given(op=st.integers(0, 255), sdst=st.integers(0, 127),
+           s0=st.integers(0, 255))
+    def test_sop1(self, op, sdst, s0):
+        [word] = F.pack_sop1(op, sdst, s0)
+        assert F.classify_word(word) is Format.SOP1
+        assert F.unpack_sop1(word) == {"op": op, "sdst": sdst, "ssrc0": s0}
+
+    @given(op=st.integers(0, 127), s0=st.integers(0, 255),
+           s1=st.integers(0, 255))
+    def test_sopc(self, op, s0, s1):
+        [word] = F.pack_sopc(op, s0, s1)
+        assert F.classify_word(word) is Format.SOPC
+        assert F.unpack_sopc(word) == {"op": op, "ssrc0": s0, "ssrc1": s1}
+
+    @given(op=st.integers(0, 127), simm=st.integers(0, 0xFFFF))
+    def test_sopp(self, op, simm):
+        [word] = F.pack_sopp(op, simm)
+        assert F.classify_word(word) is Format.SOPP
+        assert F.unpack_sopp(word) == {"op": op, "simm16": simm}
+
+    @given(op=st.integers(0, 31), sdst=st.integers(0, 127),
+           sbase=st.integers(0, 63), offset=st.integers(0, 255),
+           imm=st.booleans())
+    def test_smrd(self, op, sdst, sbase, offset, imm):
+        [word] = F.pack_smrd(op, sdst, sbase, offset, imm)
+        assert F.classify_word(word) is Format.SMRD
+        fields = F.unpack_smrd(word)
+        assert fields["op"] == op and fields["sdst"] == sdst
+        assert fields["sbase"] == sbase and fields["offset"] == offset
+        assert fields["imm"] == int(imm)
+
+    @given(op=st.integers(0, 61), vdst=st.integers(0, 255),
+           src0=st.integers(0, 511), vsrc1=st.integers(0, 255))
+    def test_vop2(self, op, vdst, src0, vsrc1):
+        [word] = F.pack_vop2(op, vdst, src0, vsrc1)
+        assert F.classify_word(word) is Format.VOP2
+        assert F.unpack_vop2(word) == {
+            "op": op, "vdst": vdst, "src0": src0, "vsrc1": vsrc1}
+
+    @given(op=st.integers(0, 255), vdst=st.integers(0, 255),
+           src0=st.integers(0, 511))
+    def test_vop1(self, op, vdst, src0):
+        [word] = F.pack_vop1(op, vdst, src0)
+        assert F.classify_word(word) is Format.VOP1
+        assert F.unpack_vop1(word) == {"op": op, "vdst": vdst, "src0": src0}
+
+    @given(op=st.integers(0, 255), src0=st.integers(0, 511),
+           vsrc1=st.integers(0, 255))
+    def test_vopc(self, op, src0, vsrc1):
+        [word] = F.pack_vopc(op, src0, vsrc1)
+        assert F.classify_word(word) is Format.VOPC
+        assert F.unpack_vopc(word) == {"op": op, "src0": src0,
+                                       "vsrc1": vsrc1}
+
+    @given(op=st.integers(0, 511), vdst=st.integers(0, 255),
+           src0=st.integers(0, 511), src1=st.integers(0, 511),
+           src2=st.integers(0, 511))
+    def test_vop3a(self, op, vdst, src0, src1, src2):
+        words = F.pack_vop3(op, vdst, src0, src1, src2)
+        assert len(words) == 2
+        assert F.classify_word(words[0]) is Format.VOP3
+        fields = F.unpack_vop3(*words)
+        assert fields["op"] == op and fields["vdst"] == vdst
+        assert (fields["src0"], fields["src1"], fields["src2"]) == \
+            (src0, src1, src2)
+
+    @given(op=st.integers(0, 511), vdst=st.integers(0, 255),
+           src0=st.integers(0, 511), src1=st.integers(0, 511),
+           sdst=st.integers(0, 127))
+    def test_vop3b(self, op, vdst, src0, src1, sdst):
+        words = F.pack_vop3(op, vdst, src0, src1, sdst=sdst)
+        fields = F.unpack_vop3(*words, has_sdst=True)
+        assert fields["sdst"] == sdst and fields["op"] == op
+
+    @given(op=st.integers(0, 255), vdst=st.integers(0, 255),
+           addr=st.integers(0, 255), d0=st.integers(0, 255),
+           off0=st.integers(0, 255), off1=st.integers(0, 255))
+    def test_ds(self, op, vdst, addr, d0, off0, off1):
+        words = F.pack_ds(op, vdst, addr, data0=d0, offset0=off0,
+                          offset1=off1)
+        assert F.classify_word(words[0]) is Format.DS
+        fields = F.unpack_ds(*words)
+        assert fields["op"] == op and fields["vdst"] == vdst
+        assert fields["addr"] == addr and fields["data0"] == d0
+        assert fields["offset0"] == off0 and fields["offset1"] == off1
+
+    @given(op=st.integers(0, 127), vdata=st.integers(0, 255),
+           vaddr=st.integers(0, 255), srsrc=st.integers(0, 31),
+           soffset=st.integers(0, 255), offset=st.integers(0, 4095),
+           offen=st.booleans())
+    def test_mubuf(self, op, vdata, vaddr, srsrc, soffset, offset, offen):
+        words = F.pack_mubuf(op, vdata, vaddr, srsrc, soffset, offset,
+                             offen=int(offen))
+        assert F.classify_word(words[0]) is Format.MUBUF
+        fields = F.unpack_mubuf(*words)
+        assert fields["op"] == op and fields["vdata"] == vdata
+        assert fields["vaddr"] == vaddr and fields["srsrc"] == srsrc
+        assert fields["offset"] == offset and fields["offen"] == int(offen)
+
+    @given(op=st.integers(0, 7), vdata=st.integers(0, 255),
+           vaddr=st.integers(0, 255), srsrc=st.integers(0, 31))
+    def test_mtbuf(self, op, vdata, vaddr, srsrc):
+        words = F.pack_mtbuf(op, vdata, vaddr, srsrc, 128)
+        assert F.classify_word(words[0]) is Format.MTBUF
+        fields = F.unpack_mtbuf(*words)
+        assert fields["op"] == op and fields["vdata"] == vdata
+
+
+class TestFieldValidation:
+    def test_oversized_field_rejected(self):
+        with pytest.raises(EncodingError):
+            F.pack_sop2(200, 0, 0, 0)  # beyond the SOP2 carve-out
+
+    def test_carved_out_opcodes_rejected(self):
+        with pytest.raises(EncodingError):
+            F.pack_sop2(96, 0, 0, 0)   # SOPK territory
+        with pytest.raises(EncodingError):
+            F.pack_sopk(29, 0, 0)      # SOP1 territory
+        with pytest.raises(EncodingError):
+            F.pack_vop2(62, 0, 0, 0)   # VOPC territory
+
+    def test_negative_field_rejected(self):
+        with pytest.raises(EncodingError):
+            F.pack_vop2(-1, 0, 0, 0)
+
+
+class TestClassification:
+    def test_base_words(self):
+        assert Format.SOP2.base_words == 1
+        assert Format.VOP3.base_words == 2
+        assert Format.MUBUF.base_words == 2
+
+    def test_format_predicates(self):
+        assert Format.SOP1.is_scalar and not Format.SOP1.is_vector
+        assert Format.VOP2.is_vector and not Format.VOP2.is_memory
+        assert Format.DS.is_memory and Format.SMRD.is_memory
+
+    def test_unclassifiable_word_raises(self):
+        # 0b111111 << 26 matches no SI encoding family.
+        with pytest.raises(DecodingError):
+            F.classify_word(0b111111 << 26)

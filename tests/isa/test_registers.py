@@ -1,0 +1,114 @@
+"""Operand encoding: SI source codes, inline constants, rendering."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DecodingError, EncodingError
+from repro.isa import registers as regs
+from repro.isa.registers import Operand
+
+
+class TestBuilders:
+    def test_sgpr_range(self):
+        assert regs.sgpr(0).value == 0
+        assert regs.sgpr(103).value == 103
+        with pytest.raises(EncodingError):
+            regs.sgpr(104)
+        with pytest.raises(EncodingError):
+            regs.sgpr(103, count=2)  # pair would run past the file
+
+    def test_vgpr_range(self):
+        assert regs.vgpr(255).value == 255
+        with pytest.raises(EncodingError):
+            regs.vgpr(256)
+
+    def test_special_pairs(self):
+        vcc = regs.special("vcc")
+        assert vcc.value == regs.VCC_LO and vcc.count == 2
+        ex = regs.special("exec")
+        assert ex.value == regs.EXEC_LO and ex.count == 2
+
+    def test_unknown_special_raises(self):
+        with pytest.raises(EncodingError):
+            regs.special("flcc")
+
+
+class TestInlineConstants:
+    @pytest.mark.parametrize("value,code", [
+        (0, regs.CONST_ZERO), (1, 129), (64, 192), (-1, 193), (-16, 208),
+    ])
+    def test_integer_inline_codes(self, value, code):
+        op = regs.imm(value)
+        assert op.kind == Operand.INLINE and op.value == code
+        assert regs.inline_value(code) == value
+
+    @pytest.mark.parametrize("value", [65, -17, 1 << 20, -4096])
+    def test_out_of_range_integers_become_literals(self, value):
+        op = regs.imm(value)
+        assert op.kind == Operand.LITERAL
+        assert op.value == value & 0xFFFFFFFF
+
+    @pytest.mark.parametrize("value", [0.5, -0.5, 1.0, -1.0, 2.0, -2.0,
+                                       4.0, -4.0])
+    def test_float_inline_constants(self, value):
+        op = regs.imm(value)
+        assert op.kind == Operand.INLINE
+        assert regs.inline_value(op.value, as_float=True) == value
+
+    def test_other_floats_become_literals(self):
+        import struct
+        op = regs.imm(3.14159)
+        assert op.kind == Operand.LITERAL
+        assert struct.unpack("<f", struct.pack("<I", op.value))[0] == \
+            pytest.approx(3.14159, rel=1e-6)
+
+
+class TestSourceCodes:
+    @given(st.integers(min_value=0, max_value=103))
+    def test_sgpr_code_roundtrip(self, index):
+        code, literal = regs.encode_source(regs.sgpr(index))
+        assert literal is None
+        back = regs.decode_source(code)
+        assert back.kind == Operand.SGPR and back.value == index
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_vgpr_code_roundtrip(self, index):
+        code, literal = regs.encode_source(regs.vgpr(index), width=9)
+        assert code == regs.VGPR_BASE + index
+        back = regs.decode_source(code)
+        assert back.kind == Operand.VGPR and back.value == index
+
+    def test_vgpr_rejected_in_scalar_field(self):
+        with pytest.raises(EncodingError):
+            regs.encode_source(regs.vgpr(3), width=8)
+
+    @given(st.integers(min_value=-16, max_value=64))
+    def test_inline_integer_roundtrip(self, value):
+        code, literal = regs.encode_source(regs.imm(value))
+        assert literal is None
+        assert regs.inline_value(code) == value
+
+    def test_literal_code(self):
+        code, literal = regs.encode_source(regs.imm(123456))
+        assert code == regs.LITERAL and literal == 123456
+
+    def test_invalid_code_raises(self):
+        with pytest.raises(DecodingError):
+            regs.decode_source(210)  # a hole in the encoding space
+
+
+class TestRendering:
+    @pytest.mark.parametrize("op,text", [
+        (regs.sgpr(5), "s5"),
+        (regs.sgpr(4, 4), "s[4:7]"),
+        (regs.vgpr(0), "v0"),
+        (regs.vgpr(2, 2), "v[2:3]"),
+        (regs.special("vcc"), "vcc"),
+        (regs.special("exec"), "exec"),
+        (regs.special("m0"), "m0"),
+        (regs.imm(7), "7"),
+        (regs.imm(-3), "-3"),
+        (regs.imm(1.0), "1.0"),
+    ])
+    def test_operand_name(self, op, text):
+        assert regs.operand_name(op) == text

@@ -1,0 +1,123 @@
+"""The instruction registry: counts, classification, encodability."""
+
+import pytest
+
+from repro.isa import (
+    ISA,
+    DataType,
+    Format,
+    FunctionalUnit,
+    MIAOW2_INSTRUCTION_COUNT,
+    OpCategory,
+)
+from repro.isa.formats import VOP3_NATIVE_FIRST
+
+
+class TestInstructionCount:
+    def test_exactly_156_implemented_instructions(self):
+        """The paper's headline: MIAOW2.0 implements 156 instructions."""
+        assert len(ISA.implemented()) == MIAOW2_INSTRUCTION_COUNT == 156
+
+    def test_superset_has_characterisation_only_entries(self):
+        extra = ISA.superset_only()
+        assert extra, "Figure 4 needs a characterisation superset"
+        assert all(not s.implemented for s in extra)
+
+    def test_superset_contains_double_precision(self):
+        dp = [s for s in ISA.superset_only() if s.dtype is DataType.FP64]
+        assert len(dp) >= 10  # the Multi2Sim gap the paper works around
+
+    def test_no_double_precision_is_implemented(self):
+        assert all(s.dtype is not DataType.FP64 for s in ISA.implemented())
+
+
+class TestClassification:
+    def test_every_unit_has_instructions(self):
+        for unit in (FunctionalUnit.SALU, FunctionalUnit.SIMD,
+                     FunctionalUnit.SIMF, FunctionalUnit.LSU,
+                     FunctionalUnit.BRANCH):
+            assert ISA.for_unit(unit), unit
+
+    def test_simf_instructions_are_float(self):
+        for spec in ISA.for_unit(FunctionalUnit.SIMF):
+            assert spec.dtype.is_float, spec.name
+
+    def test_simd_instructions_are_integer(self):
+        for spec in ISA.for_unit(FunctionalUnit.SIMD):
+            assert not spec.dtype.is_float, spec.name
+
+    def test_memory_category_iff_memory_format(self):
+        for spec in ISA.implemented():
+            is_mem_fmt = spec.fmt in (Format.SMRD, Format.DS, Format.MUBUF,
+                                      Format.MTBUF)
+            assert (spec.category is OpCategory.MEMORY) == is_mem_fmt, spec.name
+
+    def test_branch_unit_is_control_only(self):
+        for spec in ISA.for_unit(FunctionalUnit.BRANCH):
+            assert spec.category is OpCategory.CONTROL
+
+    def test_transcendentals_are_quarter_rate(self):
+        for spec in ISA.implemented():
+            if spec.category in (OpCategory.TRANS, OpCategory.DIV) \
+                    and spec.unit.is_vector:
+                assert spec.trans_rate, spec.name
+
+    def test_every_category_is_populated(self):
+        cats = {s.category for s in ISA.implemented()}
+        assert cats == set(OpCategory)
+
+
+class TestEncodingMap:
+    def test_lookup_by_name_roundtrip(self):
+        for spec in ISA:
+            assert ISA.by_name(spec.name) is spec
+
+    def test_lookup_by_encoding_roundtrip(self):
+        for spec in ISA:
+            assert ISA.by_encoding(spec.fmt, spec.opcode) is spec
+
+    def test_vop2_reachable_through_vop3(self):
+        for spec in ISA.implemented():
+            if spec.fmt is Format.VOP2:
+                assert ISA.by_encoding(Format.VOP3,
+                                       ISA.vop3_opcode(spec)) is spec
+
+    def test_vopc_reachable_through_vop3(self):
+        for spec in ISA.implemented():
+            if spec.fmt is Format.VOPC:
+                assert ISA.by_encoding(Format.VOP3, spec.opcode) is spec
+
+    def test_vop3_native_opcodes_in_native_range(self):
+        for spec in ISA.implemented():
+            if spec.fmt is Format.VOP3:
+                assert spec.opcode >= VOP3_NATIVE_FIRST, spec.name
+
+    def test_unknown_name_raises(self):
+        from repro.errors import IsaError
+        with pytest.raises(IsaError):
+            ISA.by_name("v_frobnicate_b32")
+
+    def test_unknown_encoding_raises(self):
+        from repro.errors import IsaError
+        with pytest.raises(IsaError):
+            ISA.by_encoding(Format.SOP2, 127)
+
+
+class TestPaperFigure5Instructions:
+    """Every instruction Figure 5 shows must exist in the registry."""
+
+    FIGURE5 = [
+        "v_cmp_gt_u32", "s_and_saveexec_b64", "v_mov_b32", "v_add_i32",
+        "s_waitcnt", "v_mul_lo_i32", "s_branch", "s_mov_b64",
+        "v_cmp_gt_u32", "s_buffer_load_dword", "tbuffer_load_format_x",
+        "tbuffer_store_format_x", "tbuffer_load_format_xy", "s_mov_b32",
+        "v_add_f32", "v_sub_f32", "v_subrev_f32", "v_sub_i32",
+        "v_cndmask_b32", "v_mul_f32", "v_lshlrev_b32", "v_max_u32",
+        "v_max_f32", "v_subrev_i32", "s_min_u32", "s_mul_i32",
+        "s_add_u32", "s_and_b64",
+    ]
+
+    def test_all_figure5_instructions_present(self):
+        for name in self.FIGURE5:
+            assert name in ISA, name
+            assert ISA.by_name(name).implemented, name

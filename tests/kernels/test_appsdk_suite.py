@@ -1,0 +1,75 @@
+"""The 25 APP-SDK-style characterisation kernels all run and verify."""
+
+import pytest
+
+from repro.core.config import ArchConfig
+from repro.core.histogram import InstructionMix
+from repro.kernels import APPSDK_SUITE
+from repro.kernels.appsdk import FIGURE4_NAMES
+from repro.runtime import SoftGpu
+
+#: Fast parameters for the functional checks.
+FAST = {
+    "floyd_warshall": dict(nv=8),
+    "mersenne_twister": dict(n=256),
+    "histogram": dict(n=512),
+    "bitonic_sort": dict(),
+    "black_scholes": dict(n=64),
+    "fft": dict(n=64),
+    "monte_carlo_asian": dict(paths=64, steps=4),
+    "binomial_options": dict(options=64, steps=6),
+    "recursive_gaussian": dict(n=32, rows=32),
+    "uniform_random_noise": dict(n=256),
+    "box_filter": dict(n=16),
+    "sobel_filter": dict(n=16),
+    "simple_convolution": dict(n=16),
+}
+
+
+def instantiate(cls):
+    return cls(**FAST.get(cls.name, {}))
+
+
+@pytest.mark.parametrize("cls", APPSDK_SUITE, ids=lambda c: c.name)
+def test_runs_and_verifies(cls):
+    bench = instantiate(cls)
+    device = SoftGpu(ArchConfig.baseline())
+    bench.run_on(device, verify=True)
+
+
+def test_suite_has_25_entries():
+    assert len(APPSDK_SUITE) == 25
+    assert len(FIGURE4_NAMES) == 25
+
+
+def test_mixes_match_declared_float_usage():
+    """A benchmark's executed mix must agree with its uses_float flag."""
+    for cls in APPSDK_SUITE:
+        bench = instantiate(cls)
+        device = SoftGpu(ArchConfig.baseline())
+        bench.run_on(device, verify=False)
+        per_name = {}
+        for launch in device.gpu.launches:
+            for name, count in launch.stats.per_name.items():
+                per_name[name] = per_name.get(name, 0) + count
+        mix = InstructionMix.from_counts(bench.name, per_name)
+        assert mix.uses_float == bench.uses_float, bench.name
+        assert not mix.uses_double  # no DP anywhere in our kernels
+
+
+def test_expected_category_signatures():
+    """Spot-check characteristic mixes the paper calls out."""
+    device = SoftGpu(ArchConfig.baseline())
+    from repro.kernels import KERNELS
+    bs = KERNELS["black_scholes"](n=64)
+    bs.run_on(device, verify=False)
+    per_name = {}
+    for launch in device.gpu.launches:
+        for name, count in launch.stats.per_name.items():
+            per_name[name] = per_name.get(name, 0) + count
+    mix = InstructionMix.from_counts("black_scholes", per_name)
+    # Black-Scholes leans on transcendental/divide hardware.
+    from repro.isa.categories import OpCategory
+    assert mix.fraction(category=OpCategory.TRANS) > 0.02
+    assert mix.fraction(category=OpCategory.DIV) > 0.01
+    assert mix.fraction(group="C") > 0.3  # SP FP arithmetic heavy

@@ -1,0 +1,86 @@
+"""Benchmark base-class machinery and the suite configuration."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ArchConfig
+from repro.errors import SimulationError
+from repro.kernels import KERNELS, get
+from repro.kernels.base import Benchmark, build
+from repro.kernels.suite import EVAL_CONFIGS, evaluation_benchmarks
+from repro.runtime import SoftGpu
+
+
+class TestParams:
+    def test_defaults_applied(self):
+        bench = KERNELS["matrix_add_i32"]()
+        assert bench.n == 64 and bench.params["n"] == 64
+
+    def test_overrides(self):
+        bench = KERNELS["matrix_add_i32"](n=16, seed=3)
+        assert bench.n == 16 and bench.seed == 3
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(SimulationError, match="unknown parameters"):
+            KERNELS["matrix_add_i32"](bogus=1)
+
+    def test_describe_lists_params(self):
+        text = KERNELS["conv2d_i32"](n=16, k=3).describe()
+        assert "conv2d_i32" in text and "k=3" in text
+
+    def test_get_helper(self):
+        bench = get("matrix_transpose_i32", n=32)
+        assert bench.n == 32
+
+
+class TestBuildCache:
+    def test_same_source_shares_program(self):
+        src = "s_nop\ns_endpgm"
+        assert build(src) is build(src)
+
+    def test_programs_stable_across_instances(self):
+        a = KERNELS["matrix_add_i32"](n=16).programs()[0]
+        b = KERNELS["matrix_add_i32"](n=64).programs()[0]
+        assert a is b  # parameters live in CB1, not in the binary
+
+
+class TestVerification:
+    def test_verify_catches_corruption(self):
+        bench = KERNELS["matrix_add_i32"](n=16)
+        device = SoftGpu(ArchConfig.baseline())
+        ctx = bench.prepare(device)
+        device.preload_all()
+        bench.execute(device, ctx)
+        # Corrupt one output word, then expect the check to fire.
+        device.gpu.memory.global_mem.write_u32(
+            0x1000 + ctx["out"].offset, 0xBAD)
+        with pytest.raises(SimulationError, match="mismatches reference"):
+            bench.verify(device, ctx)
+
+    def test_run_on_returns_context(self):
+        bench = KERNELS["max_pooling_i32"](n=16)
+        device = SoftGpu(ArchConfig.baseline())
+        ctx = bench.run_on(device)
+        assert "out" in ctx
+
+
+class TestSuiteConfig:
+    def test_every_config_names_a_kernel(self):
+        for name in EVAL_CONFIGS:
+            assert name in KERNELS, name
+
+    def test_every_evaluation_kernel_has_a_config(self):
+        from repro.kernels import EVALUATION_SUITE
+        for cls in EVALUATION_SUITE:
+            assert cls.name in EVAL_CONFIGS, cls.name
+
+    def test_iterator_instantiates(self):
+        pairs = list(evaluation_benchmarks())
+        assert len(pairs) == len(EVAL_CONFIGS)
+        for bench, max_groups in pairs:
+            assert isinstance(bench, Benchmark)
+            assert max_groups is None or max_groups > 0
+
+    def test_name_filter(self):
+        only = list(evaluation_benchmarks(names={"cnn_i32"}))
+        assert len(only) == 1 and only[0][0].name == "cnn_i32"

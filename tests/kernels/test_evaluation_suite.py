@@ -1,0 +1,86 @@
+"""Every evaluated application runs and verifies on the baseline.
+
+This is the reproduction of the paper's own validation step: "the
+output of all applications were compared and validated with the
+corresponding standard implementations" (Section 4).
+"""
+
+import pytest
+
+from repro.core.config import ArchConfig
+from repro.core.flow import ScratchFlow
+from repro.kernels import EVALUATION_SUITE, KERNELS
+from repro.runtime import SoftGpu
+
+#: Small-but-meaningful test sizes (full runs, no sampling).
+SMALL = {
+    "kmeans_f32": dict(points=256, clusters=4, iterations=2),
+    "gaussian_elimination_f32": dict(n=16),
+    "matrix_add_i32": dict(n=32),
+    "matrix_add_f32": dict(n=32),
+    "matrix_mul_i32": dict(n=16),
+    "matrix_mul_f32": dict(n=16),
+    "conv2d_i32": dict(n=16, k=3),
+    "conv2d_f32": dict(n=16, k=3),
+    "bitonic_sort_i32": dict(n=256),
+    "matrix_transpose_i32": dict(n=32),
+    "max_pooling_i32": dict(n=32),
+    "median_pooling_i32": dict(n=32),
+    "average_pooling_i32": dict(n=32),
+    "cnn_i32": dict(n=8, channels=(1, 2, 2)),
+    "cnn_f32": dict(n=8, channels=(1, 2, 2)),
+    "nin_i32": dict(n=8, channels=(1, 2)),
+    "nin_f32": dict(n=8, channels=(1, 2)),
+    "nin_i8": dict(n=8, channels=(1, 2)),
+}
+
+
+def small(name):
+    return KERNELS[name](**SMALL[name])
+
+
+@pytest.mark.parametrize("name", sorted(SMALL))
+def test_verifies_on_baseline(name):
+    bench = small(name)
+    device = SoftGpu(ArchConfig.baseline())
+    bench.run_on(device, verify=True)
+    assert device.instructions > 0
+
+
+@pytest.mark.parametrize("name", sorted(SMALL))
+def test_verifies_on_original(name):
+    """Functional results are architecture-independent."""
+    bench = small(name)
+    device = SoftGpu(ArchConfig.original())
+    bench.run_on(device, verify=True)
+
+
+@pytest.mark.parametrize("name", sorted(SMALL))
+def test_verifies_on_trimmed_architecture(name):
+    """The SCRATCH guarantee: trimming does not affect execution."""
+    bench = small(name)
+    flow = ScratchFlow(bench)
+    device = SoftGpu(flow.trim().config)
+    bench.run_on(device, verify=True)
+
+
+@pytest.mark.parametrize("name", sorted(SMALL))
+def test_verifies_on_parallel_architectures(name):
+    bench = small(name)
+    flow = ScratchFlow(bench)
+    for mode in ("multicore", "multithread"):
+        device = SoftGpu(flow.plan(mode))
+        KERNELS[name](**SMALL[name]).run_on(device, verify=True)
+
+
+def test_suite_covers_paper_count():
+    """17 evaluated applications + the INT8 NIN variant."""
+    assert len(EVALUATION_SUITE) == 18
+    float_benches = [cls for cls in EVALUATION_SUITE if cls.uses_float]
+    int_benches = [cls for cls in EVALUATION_SUITE if not cls.uses_float]
+    assert len(float_benches) >= 6 and len(int_benches) >= 9
+
+
+def test_datapath_width_annotations():
+    assert KERNELS["nin_i8"].datapath_bits == 8
+    assert KERNELS["nin_i32"].datapath_bits == 32

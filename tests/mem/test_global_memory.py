@@ -1,0 +1,100 @@
+"""Global memory: accessors, gather/scatter, bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import SimulationError
+from repro.mem.global_memory import GlobalMemory
+
+
+class TestScalarAccess:
+    def test_u32_roundtrip(self):
+        gm = GlobalMemory(4096)
+        gm.write_u32(100, 0xDEADBEEF)
+        assert gm.read_u32(100) == 0xDEADBEEF
+
+    def test_little_endian_layout(self):
+        gm = GlobalMemory(4096)
+        gm.write_u32(0, 0x04030201)
+        assert [gm.read_u8(i) for i in range(4)] == [1, 2, 3, 4]
+
+    def test_u8_roundtrip(self):
+        gm = GlobalMemory(4096)
+        gm.write_u8(7, 0x1FF)
+        assert gm.read_u8(7) == 0xFF  # truncation
+
+    def test_bounds_checked(self):
+        gm = GlobalMemory(64)
+        with pytest.raises(SimulationError):
+            gm.read_u32(62)
+        with pytest.raises(SimulationError):
+            gm.write_u32(-4, 0)
+
+
+class TestVectorised:
+    @given(values=hnp.arrays(np.uint32, 64,
+                             elements=st.integers(0, 0xFFFFFFFF)),
+           mask_bits=st.integers(0, (1 << 64) - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_scatter_gather_roundtrip(self, values, mask_bits):
+        gm = GlobalMemory(4096)
+        addrs = np.arange(64, dtype=np.int64) * 4
+        mask = np.array([(mask_bits >> i) & 1 for i in range(64)], dtype=bool)
+        gm.scatter_u32(addrs, values, mask)
+        back = gm.gather_u32(addrs, mask)
+        assert (back[mask] == values[mask]).all()
+        assert (back[~mask] == 0).all()
+
+    def test_unaligned_gather_slow_path(self):
+        gm = GlobalMemory(4096)
+        gm.write_u32(0, 0xAABBCCDD)
+        gm.write_u32(4, 0x11223344)
+        addrs = np.full(64, 2, dtype=np.int64)
+        mask = np.zeros(64, dtype=bool)
+        mask[0] = True
+        out = gm.gather_u32(addrs, mask)
+        assert out[0] == 0x3344AABB  # bytes [2..5], little endian
+
+    def test_gather_all_inactive_is_noop(self):
+        gm = GlobalMemory(64)
+        addrs = np.full(64, 1 << 40, dtype=np.int64)  # way out of range
+        out = gm.gather_u32(addrs, np.zeros(64, dtype=bool))
+        assert (out == 0).all()
+
+    def test_gather_bounds_checked(self):
+        gm = GlobalMemory(64)
+        addrs = np.full(64, 4096, dtype=np.int64)
+        with pytest.raises(SimulationError):
+            gm.gather_u32(addrs, np.ones(64, dtype=bool))
+
+    def test_byte_gather_signed(self):
+        gm = GlobalMemory(256)
+        gm.write_u8(0, 0xFE)
+        addrs = np.zeros(64, dtype=np.int64)
+        mask = np.ones(64, dtype=bool)
+        assert gm.gather_u8(addrs, mask, signed=True)[0] == 0xFFFFFFFE
+        assert gm.gather_u8(addrs, mask, signed=False)[0] == 0xFE
+
+    def test_byte_scatter(self):
+        gm = GlobalMemory(256)
+        addrs = np.arange(64, dtype=np.int64)
+        values = np.arange(64, dtype=np.uint32) + 0x100  # truncates
+        gm.scatter_u8(addrs, values, np.ones(64, dtype=bool))
+        assert gm.read_u8(5) == 5
+
+
+class TestBlocks:
+    def test_write_read_block(self):
+        gm = GlobalMemory(4096)
+        data = np.arange(32, dtype=np.float32)
+        gm.write_block(128, data)
+        back = gm.read_block(128, data.nbytes, np.float32)
+        assert np.array_equal(back, data)
+
+    def test_fill(self):
+        gm = GlobalMemory(4096)
+        gm.fill(0, 16, 0xAB)
+        assert gm.read_u8(15) == 0xAB
+        assert gm.read_u8(16) == 0

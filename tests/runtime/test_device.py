@@ -1,0 +1,127 @@
+"""SoftGpu device facade: buffers, argument marshalling, preloading."""
+
+import numpy as np
+import pytest
+
+from repro.asm import assemble
+from repro.core.config import ArchConfig
+from repro.errors import LaunchError
+from repro.runtime import SoftGpu
+from repro.runtime.buffers import HeapAllocator
+from repro.soc.gpu import CB1_BASE
+
+
+class TestHeapAllocator:
+    def test_alignment(self):
+        heap = HeapAllocator(4096)
+        a = heap.alloc("a", 10)
+        b = heap.alloc("b", 10)
+        assert a.offset % 64 == 0 and b.offset % 64 == 0
+        assert b.offset >= a.end
+
+    def test_exhaustion(self):
+        heap = HeapAllocator(128)
+        heap.alloc("a", 64)
+        with pytest.raises(LaunchError, match="exhausted"):
+            heap.alloc("b", 128)
+
+    def test_duplicate_name_rejected(self):
+        heap = HeapAllocator(4096)
+        heap.alloc("x", 8)
+        with pytest.raises(LaunchError):
+            heap.alloc("x", 8)
+
+    def test_lookup_and_iter(self):
+        heap = HeapAllocator(4096)
+        buf = heap.alloc("x", 8)
+        assert heap.get("x") is buf
+        assert list(heap) == [buf]
+
+    def test_reset(self):
+        heap = HeapAllocator(4096)
+        heap.alloc("x", 8)
+        heap.reset()
+        assert heap.used == 0
+
+
+class TestDeviceMemory:
+    def test_upload_read_roundtrip(self):
+        dev = SoftGpu(ArchConfig.baseline())
+        data = np.arange(100, dtype=np.float32)
+        buf = dev.upload("data", data)
+        assert buf.dtype == np.float32
+        back = dev.read(buf)
+        assert np.array_equal(back, data)
+
+    def test_write_overflow_rejected(self):
+        dev = SoftGpu(ArchConfig.baseline())
+        buf = dev.alloc("small", 16)
+        with pytest.raises(LaunchError):
+            dev.write(buf, np.zeros(100, dtype=np.uint32))
+
+    def test_fill(self):
+        dev = SoftGpu(ArchConfig.baseline())
+        buf = dev.alloc("z", 64)
+        dev.fill(buf, 0xFF)
+        assert (dev.read(buf, np.uint8) == 0xFF).all()
+
+    def test_partial_read(self):
+        dev = SoftGpu(ArchConfig.baseline())
+        buf = dev.upload("data", np.arange(64, dtype=np.uint32))
+        assert list(dev.read(buf, count=3)) == [0, 1, 2]
+
+
+class TestArguments:
+    def test_arg_marshalling(self):
+        dev = SoftGpu(ArchConfig.baseline())
+        buf = dev.alloc("b", 64)
+        dev.set_args([buf, 42, -1, 2.5])
+        words = dev.gpu.memory.global_mem.read_block(CB1_BASE, 16, np.uint32)
+        assert words[0] == buf.offset
+        assert words[1] == 42
+        assert words[2] == 0xFFFFFFFF
+        assert words[3] == np.float32(2.5).view(np.uint32)
+
+    def test_too_many_args_rejected(self):
+        dev = SoftGpu(ArchConfig.baseline())
+        with pytest.raises(LaunchError):
+            dev.set_args([0] * 100)
+
+
+class TestPreload:
+    def test_preload_specific_buffers(self):
+        dev = SoftGpu(ArchConfig.baseline())
+        a = dev.upload("a", np.zeros(64, dtype=np.uint32))
+        assert dev.preload(a)
+
+    def test_preload_all_without_prefetch_is_false(self):
+        dev = SoftGpu(ArchConfig.original())
+        dev.upload("a", np.zeros(64, dtype=np.uint32))
+        assert not dev.preload_all()
+
+    def test_preload_empty_heap(self):
+        dev = SoftGpu(ArchConfig.baseline())
+        assert dev.preload_all()
+
+
+class TestMetrics:
+    def test_measure(self):
+        from repro.fpga import Synthesizer
+        from repro.runtime.metrics import measure
+        dev = SoftGpu(ArchConfig.baseline())
+        dev.host_phase("warm", alu_ops=5000)
+        report = Synthesizer().synthesize(dev.arch)
+        metrics = measure(dev, report, label="demo")
+        assert metrics.seconds > 0
+        assert metrics.energy_joules == pytest.approx(
+            metrics.seconds * report.power.total)
+        assert metrics.label == "demo"
+
+    def test_speedup_and_gains(self):
+        from repro.runtime.metrics import RunMetrics
+        from repro.fpga.power_model import PowerEstimate
+        fast = RunMetrics("fast", 1.0, 1000, PowerEstimate(0.4, 3.0))
+        slow = RunMetrics("slow", 2.0, 1000, PowerEstimate(0.4, 3.0))
+        assert fast.speedup_vs(slow) == 2.0
+        assert fast.ipj_gain_vs(slow) == pytest.approx(2.0)
+        assert fast.energy_gain_vs(slow) == pytest.approx(2.0)

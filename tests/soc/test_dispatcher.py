@@ -1,0 +1,112 @@
+"""Ultra-threaded dispatcher: ABI register initialisation, geometry."""
+
+import numpy as np
+import pytest
+
+from repro.asm import assemble
+from repro.errors import LaunchError
+from repro.mem.system import MemorySystem
+from repro.soc.dispatcher import (
+    CB0_GLOBAL_SIZE,
+    CB0_LOCAL_SIZE,
+    CB0_NUM_GROUPS,
+    CB1_DESCRIPTOR_REG,
+    CB0_DESCRIPTOR_REG,
+    Dispatcher,
+    GROUP_ID_REG,
+    LaunchGeometry,
+    UAV_DESCRIPTOR_REG,
+)
+
+
+class TestLaunchGeometry:
+    def test_padding_to_3d(self):
+        g = LaunchGeometry.of((128,), (64,))
+        assert g.global_size == (128, 1, 1)
+        assert g.local_size == (64, 1, 1)
+        assert g.num_groups == (2, 1, 1)
+        assert g.total_groups == 2
+
+    def test_2d(self):
+        g = LaunchGeometry.of((8, 8), (4, 4))
+        assert g.num_groups == (2, 2, 1)
+        assert g.work_items_per_group == 16
+        assert len(list(g.group_ids())) == 4
+
+    def test_dispatch_order_x_fastest(self):
+        g = LaunchGeometry.of((4, 4), (2, 2))
+        assert list(g.group_ids())[:3] == [(0, 0, 0), (1, 0, 0), (0, 1, 0)]
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(LaunchError):
+            LaunchGeometry.of((100,), (64,))
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(LaunchError):
+            LaunchGeometry.of((0,), (1,))
+
+
+@pytest.fixture
+def dispatcher():
+    memory = MemorySystem(global_size=1 << 16)
+    return Dispatcher(memory, uav_base=0x1000, uav_size=0x1000,
+                      cb0_base=0x100, cb1_base=0x200, cb1_size=0x100), memory
+
+
+class TestRegisterInit:
+    def test_descriptor_sets(self, dispatcher):
+        disp, _ = dispatcher
+        g = LaunchGeometry.of((64,), (64,))
+        wg = disp.build_workgroup(assemble("s_endpgm"), g, (0, 0, 0))
+        wf = wg.wavefronts[0]
+        assert wf.sgprs[UAV_DESCRIPTOR_REG] == 0x1000
+        assert wf.sgprs[UAV_DESCRIPTOR_REG + 2] == 0x1000  # num records
+        assert wf.sgprs[CB0_DESCRIPTOR_REG] == 0x100
+        assert wf.sgprs[CB1_DESCRIPTOR_REG] == 0x200
+
+    def test_group_ids(self, dispatcher):
+        disp, _ = dispatcher
+        g = LaunchGeometry.of((8, 8, 4), (4, 4, 2))
+        wg = disp.build_workgroup(assemble("s_endpgm"), g, (1, 0, 1))
+        wf = wg.wavefronts[0]
+        assert wf.sgprs[GROUP_ID_REG] == 1
+        assert wf.sgprs[GROUP_ID_REG + 1] == 0
+        assert wf.sgprs[GROUP_ID_REG + 2] == 1
+
+    def test_local_ids_1d(self, dispatcher):
+        disp, _ = dispatcher
+        g = LaunchGeometry.of((256,), (128,))
+        wg = disp.build_workgroup(assemble("s_endpgm"), g, (0, 0, 0))
+        assert len(wg.wavefronts) == 2
+        assert (wg.wavefronts[0].vgprs[0] == np.arange(64)).all()
+        assert (wg.wavefronts[1].vgprs[0] == np.arange(64, 128)).all()
+
+    def test_local_ids_2d(self, dispatcher):
+        disp, _ = dispatcher
+        g = LaunchGeometry.of((16, 16), (16, 8))
+        wg = disp.build_workgroup(assemble("s_endpgm"), g, (0, 1, 0))
+        wf = wg.wavefronts[1]  # flat ids 64..127
+        assert wf.vgprs[0][0] == 0 and wf.vgprs[1][0] == 4
+        assert wf.vgprs[0][17] == 17 % 16 and wf.vgprs[1][17] == 4 + 17 // 16
+
+    def test_partial_wavefront_exec_mask(self, dispatcher):
+        disp, _ = dispatcher
+        g = LaunchGeometry.of((96,), (96,))
+        wg = disp.build_workgroup(assemble("s_endpgm"), g, (0, 0, 0))
+        assert wg.wavefronts[0].exec_mask == (1 << 64) - 1
+        assert wg.wavefronts[1].exec_mask == (1 << 32) - 1
+
+    def test_cb0_contents(self, dispatcher):
+        disp, memory = dispatcher
+        g = LaunchGeometry.of((128, 4), (64, 2))
+        disp.write_cb0(g)
+        words = memory.global_mem.read_block(0x100, 48, np.uint32)
+        assert tuple(words[CB0_GLOBAL_SIZE:CB0_GLOBAL_SIZE + 3]) == (128, 4, 1)
+        assert tuple(words[CB0_LOCAL_SIZE:CB0_LOCAL_SIZE + 3]) == (64, 2, 1)
+        assert tuple(words[CB0_NUM_GROUPS:CB0_NUM_GROUPS + 3]) == (2, 2, 1)
+
+    def test_dispatch_cost_scales_with_wavefronts(self, dispatcher):
+        disp, _ = dispatcher
+        small = disp.dispatch_cost_mb_cycles(LaunchGeometry.of((64,), (64,)))
+        big = disp.dispatch_cost_mb_cycles(LaunchGeometry.of((256,), (256,)))
+        assert big > small

@@ -1,0 +1,147 @@
+"""The full-board model: timeline, launches, sampling, clocks."""
+
+import numpy as np
+import pytest
+
+from repro.asm import assemble
+from repro.core.config import ArchConfig
+from repro.errors import LaunchError
+from repro.soc.clocks import DUAL_DOMAIN, SINGLE_DOMAIN
+from repro.soc.gpu import CB1_BASE, HEAP_BASE, Gpu
+
+COPY = """
+.kernel copy
+  s_buffer_load_dword s19, s[8:11], 3
+  s_buffer_load_dword s20, s[12:15], 0
+  s_buffer_load_dword s21, s[12:15], 1
+  s_waitcnt lgkmcnt(0)
+  s_mul_i32 s1, s16, s19
+  v_add_i32 v3, vcc, s1, v0
+  v_lshlrev_b32 v3, 2, v3
+  v_add_i32 v4, vcc, s20, v3
+  tbuffer_load_format_x v6, v4, s[4:7], 0 offen
+  v_add_i32 v5, vcc, s21, v3
+  s_waitcnt vmcnt(0)
+  tbuffer_store_format_x v6, v5, s[4:7], 0 offen
+  s_endpgm
+"""
+
+
+def setup_copy(gpu, n=512):
+    data = np.arange(n, dtype=np.uint32) * 3 + 1
+    gpu.memory.global_mem.write_block(HEAP_BASE, data)
+    gpu.memory.global_mem.write_block(
+        CB1_BASE, np.array([0, 4 * n], dtype=np.uint32))
+    gpu.preload_prefetch(HEAP_BASE, 8 * n)
+    return data
+
+
+class TestClocks:
+    def test_clock_domain_selection(self):
+        assert Gpu(ArchConfig.original()).clocks == SINGLE_DOMAIN
+        assert Gpu(ArchConfig.dcd()).clocks == DUAL_DOMAIN
+        assert Gpu(ArchConfig.baseline()).clocks == DUAL_DOMAIN
+
+    def test_ratio(self):
+        assert SINGLE_DOMAIN.ratio == 1
+        assert DUAL_DOMAIN.ratio == 4
+        assert DUAL_DOMAIN.cu_cycles_to_seconds(50_000_000) == 1.0
+
+
+class TestLaunch:
+    def test_functional_copy(self):
+        gpu = Gpu(ArchConfig.baseline())
+        data = setup_copy(gpu)
+        result = gpu.launch(assemble(COPY), (512,), (64,))
+        out = gpu.memory.global_mem.read_block(HEAP_BASE + 4 * 512,
+                                               4 * 512, np.uint32)
+        assert np.array_equal(out, data)
+        assert result.total_groups == 8
+        assert not result.sampled
+
+    def test_timeline_advances(self):
+        gpu = Gpu(ArchConfig.baseline())
+        setup_copy(gpu)
+        t0 = gpu.now
+        gpu.launch(assemble(COPY), (512,), (64,))
+        assert gpu.now > t0
+        assert gpu.elapsed_seconds == gpu.now / 50e6
+
+    def test_host_phase_charges_time(self):
+        gpu = Gpu(ArchConfig.baseline())
+        t0 = gpu.now
+        gpu.host_phase("setup", alu_ops=1000)
+        assert gpu.now > t0
+
+    def test_host_phase_cheaper_with_fast_clock(self):
+        slow = Gpu(ArchConfig.original())
+        fast = Gpu(ArchConfig.dcd())
+        slow.host_phase("x", alu_ops=10000)
+        fast.host_phase("x", alu_ops=10000)
+        assert fast.now == pytest.approx(slow.now / 4)
+
+    def test_reset_timeline(self):
+        gpu = Gpu(ArchConfig.baseline())
+        gpu.host_phase("x", alu_ops=100)
+        gpu.reset_timeline()
+        assert gpu.now == 0 and gpu.total_instructions == 0
+
+    def test_oversized_workgroup_rejected(self):
+        gpu = Gpu(ArchConfig.baseline())
+        with pytest.raises(LaunchError):
+            gpu.launch(assemble("s_endpgm"), (64 * 41,), (64 * 41,))
+
+
+class TestSampling:
+    def test_sampling_scales_makespan(self):
+        full = Gpu(ArchConfig.baseline())
+        setup_copy(full)
+        full_res = full.launch(assemble(COPY), (512,), (64,))
+
+        sampled = Gpu(ArchConfig.baseline())
+        setup_copy(sampled)
+        samp_res = sampled.launch(assemble(COPY), (512,), (64,),
+                                  max_groups=4)
+        assert samp_res.sampled
+        assert samp_res.executed_groups == 4
+        assert samp_res.total_groups == 8
+        # Homogeneous workgroups: the extrapolation should be close.
+        assert samp_res.cu_cycles == pytest.approx(full_res.cu_cycles,
+                                                   rel=0.2)
+        assert samp_res.instructions == pytest.approx(full_res.instructions,
+                                                      rel=0.05)
+
+    def test_no_sampling_when_under_cap(self):
+        gpu = Gpu(ArchConfig.baseline())
+        setup_copy(gpu)
+        res = gpu.launch(assemble(COPY), (512,), (64,), max_groups=100)
+        assert not res.sampled
+
+
+class TestMultiCu:
+    def test_multicore_splits_prefetch(self):
+        gpu = Gpu(ArchConfig.baseline().with_parallelism(num_cus=3))
+        assert len(gpu.cus) == 3
+        assert gpu.memory.prefetch[0].bram_blocks == 928 // 3
+
+    def test_multicore_is_functionally_identical(self):
+        single = Gpu(ArchConfig.baseline())
+        data = setup_copy(single)
+        single.launch(assemble(COPY), (512,), (64,))
+
+        multi = Gpu(ArchConfig.baseline().with_parallelism(num_cus=3))
+        setup_copy(multi)
+        multi.launch(assemble(COPY), (512,), (64,))
+        a = single.memory.global_mem.read_block(HEAP_BASE + 2048, 2048)
+        b = multi.memory.global_mem.read_block(HEAP_BASE + 2048, 2048)
+        assert np.array_equal(a, b)
+
+    def test_multicore_not_slower(self):
+        single = Gpu(ArchConfig.baseline())
+        setup_copy(single)
+        t1 = single.launch(assemble(COPY), (512,), (64,)).cu_cycles
+
+        multi = Gpu(ArchConfig.baseline().with_parallelism(num_cus=3))
+        setup_copy(multi)
+        t3 = multi.launch(assemble(COPY), (512,), (64,)).cu_cycles
+        assert t3 <= t1 * 1.001

@@ -1,0 +1,55 @@
+"""The exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in ("IsaError", "EncodingError", "DecodingError",
+                     "AssemblyError", "SimulationError", "TrapError",
+                     "TrimError", "TrimmedInstructionError",
+                     "ResourceError", "LaunchError"):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError), name
+
+    def test_encoding_decoding_are_isa_errors(self):
+        assert issubclass(errors.EncodingError, errors.IsaError)
+        assert issubclass(errors.DecodingError, errors.IsaError)
+
+    def test_trimmed_instruction_is_simulation_error(self):
+        assert issubclass(errors.TrimmedInstructionError,
+                          errors.SimulationError)
+
+
+class TestMessages:
+    def test_assembly_error_line_prefix(self):
+        exc = errors.AssemblyError("boom", line=17)
+        assert str(exc) == "line 17: boom"
+        assert exc.line == 17
+
+    def test_assembly_error_without_line(self):
+        exc = errors.AssemblyError("boom")
+        assert str(exc) == "boom" and exc.line is None
+
+    def test_trimmed_instruction_detail(self):
+        exc = errors.TrimmedInstructionError("v_sin_f32", unit="simf")
+        assert "v_sin_f32" in str(exc) and "simf" in str(exc)
+        assert exc.instruction_name == "v_sin_f32"
+
+    def test_trimmed_instruction_without_unit(self):
+        exc = errors.TrimmedInstructionError("v_sin_f32")
+        assert "functional unit" not in str(exc)
+
+
+class TestCatchability:
+    def test_one_except_clause_covers_the_library(self):
+        caught = []
+        for exc_cls in (errors.AssemblyError, errors.TrimError,
+                        errors.LaunchError):
+            try:
+                raise exc_cls("x")
+            except errors.ReproError as exc:
+                caught.append(type(exc))
+        assert len(caught) == 3
