@@ -12,16 +12,12 @@ Two knobs DESIGN.md calls out:
   CU-side AXI handshake does not speed up.
 """
 
-import dataclasses
 
-import numpy as np
-import pytest
 
 from repro.core.config import ArchConfig
 from repro.kernels import MatrixAddI32
 from repro.mem.params import MemoryTimingParams
 from repro.runtime import SoftGpu
-from repro.soc.gpu import Gpu
 
 from conftest import write_json
 

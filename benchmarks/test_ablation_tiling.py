@@ -14,7 +14,6 @@ different angle:
   net loss -- the architectural fix subsumes the manual optimisation.
 """
 
-import pytest
 
 from repro.core.config import ArchConfig
 from repro.kernels import KERNELS

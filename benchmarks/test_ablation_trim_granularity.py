@@ -9,9 +9,7 @@ time must be amortised -- exactly the paper's "depends on the ratio
 between kernel execution time and architecture reconfiguration time".
 """
 
-import pytest
 
-from repro.core.config import ArchConfig
 from repro.core.flow import ScratchFlow
 from repro.core.trimmer import TrimmingTool
 from repro.kernels import CnnI32

@@ -6,7 +6,6 @@ re-invested architecture versus both the original MIAOW system and the
 DCD+PM baseline.
 """
 
-import pytest
 
 from conftest import write_json
 

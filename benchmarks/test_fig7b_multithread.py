@@ -5,7 +5,6 @@ on extra vector ALUs inside a single compute unit (4 integer VALUs for
 integer kernels, 1 integer + 3 FP VALUs for floating-point ones).
 """
 
-import pytest
 
 from test_fig7a_multicore import print_rows, series_rows
 

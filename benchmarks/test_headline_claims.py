@@ -16,7 +16,6 @@ The reproduction is simulation-only, so the assertions below check
 
 import statistics as st
 
-import pytest
 
 from conftest import write_json
 

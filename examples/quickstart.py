@@ -16,7 +16,7 @@ Run with::
 import numpy as np
 
 from repro.asm import assemble, disassemble
-from repro.core import ArchConfig, ScratchFlow, TrimmingTool
+from repro.core import ArchConfig, TrimmingTool
 from repro.fpga import Synthesizer
 from repro.runtime import SoftGpu
 

@@ -8,7 +8,7 @@ parser accepts, so the output of this module is always reassemblable.
 from __future__ import annotations
 
 from ..isa import registers as regs
-from ..isa.decode import DecodedInstruction, decode_program
+from ..isa.decode import decode_program
 from ..isa.formats import Format
 
 _WAITCNT_FIELDS = {"vmcnt": (0, 0xF), "expcnt": (4, 0x7), "lgkmcnt": (8, 0x1F)}

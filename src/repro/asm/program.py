@@ -10,8 +10,7 @@ constant buffer 1.  Our assembler produces the same bundle.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
 
 from ..errors import AssemblyError
 from ..isa.decode import decode_program

@@ -147,6 +147,20 @@ def cmd_characterize(args):
     return 0
 
 
+def _arch_for(flow, label):
+    """Resolve a config label to an ArchConfig via the flow."""
+    fixed = {
+        "original": ArchConfig.original,
+        "dcd": ArchConfig.dcd,
+        "baseline": ArchConfig.baseline,
+    }
+    if label in fixed:
+        return fixed[label]()
+    if label == "trimmed":
+        return flow.trim().config
+    return flow.plan(label)
+
+
 def cmd_run(args):
     from .kernels import KERNELS
 
@@ -156,7 +170,6 @@ def cmd_run(args):
         return 2
     bench = KERNELS[args.benchmark]()
     if args.trace:
-        from .core.config import ArchConfig
         from .cu.trace import ExecutionTracer
         from .runtime.device import SoftGpu
 
@@ -169,16 +182,62 @@ def cmd_run(args):
         return 0
     flow = ScratchFlow(bench, max_groups=args.max_groups)
     wanted = args.configs or ["original", "baseline", "trimmed", "multicore"]
-    results = flow.evaluate(verify=not args.no_verify)
-    original = results["original"]
+    results = {label: flow.run(_arch_for(flow, label),
+                               verify=not args.no_verify)
+               for label in wanted}
+    reference = results[wanted[0]]
+    if args.json:
+        payload = {"benchmark": args.benchmark, "configs": {}}
+        for label in wanted:
+            entry = results[label].to_dict()
+            entry["speedup_vs_{}".format(wanted[0])] = \
+                results[label].speedup_vs(reference)
+            payload["configs"][label] = entry
+        print(json.dumps(payload, indent=2))
+        return 0
     print("{:<12} {:>12} {:>10} {:>9} {:>12}".format(
-        "config", "seconds", "vs orig", "power", "inst/J"))
+        "config", "seconds", "vs " + wanted[0][:4], "power", "inst/J"))
     for label in wanted:
         metrics = results[label]
         print("{:<12} {:>12.6f} {:>9.1f}x {:>8.2f}W {:>12.3e}".format(
-            label, metrics.seconds, original.seconds / metrics.seconds,
+            label, metrics.seconds, reference.seconds / metrics.seconds,
             metrics.power.total, metrics.ipj))
     return 0
+
+
+def cmd_serve(args):
+    from .service import KernelService, load_jobs, suite_jobs
+
+    if args.jobs:
+        jobs = load_jobs(args.jobs)
+    else:
+        jobs = suite_jobs(config=args.config, verify=not args.no_verify)
+    with KernelService(workers=args.workers, mode=args.mode,
+                       queue_depth=args.queue_depth) as service:
+        service.submit_many(jobs)
+        results = service.drain()
+        snapshot = service.snapshot()
+    if args.json:
+        print(json.dumps({"results": [r.to_dict() for r in results],
+                          "stats": snapshot}, indent=2))
+    else:
+        print("{:<6} {:<26} {:<12} {:>8} {:>10} {:>9}".format(
+            "job", "benchmark", "config", "status", "sim sec", "wall s"))
+        for r in results:
+            sim = "{:.6f}".format(r.metrics.seconds) if r.metrics else "-"
+            print("{:<6} {:<26} {:<12} {:>8} {:>10} {:>8.2f}{}".format(
+                r.job_id, r.job.benchmark, r.job.config, r.status.value,
+                sim, r.latency_s, " (warm)" if r.warm_board else ""))
+            if r.error:
+                print("       {}".format(r.error))
+        print("\n{} jobs, {} ok, {:.2f} jobs/s wall, "
+              "p50 {:.2f}s p95 {:.2f}s, cache hit rate {:.0%}, "
+              "warm boards {:.0%}".format(
+                  snapshot["submitted"], snapshot["completed"],
+                  snapshot["jobs_per_second"], snapshot["latency_p50_s"],
+                  snapshot["latency_p95_s"], snapshot["cache"]["hit_rate"],
+                  snapshot["warm_board_rate"]))
+    return 0 if all(r.ok for r in results) else 1
 
 
 # ---------------------------------------------------------------------------
@@ -265,25 +324,50 @@ def build_parser():
                             "multicore", "multithread"))
     p.add_argument("--max-groups", type=int, default=None)
     p.add_argument("--no-verify", action="store_true")
+    p.add_argument("--json", action="store_true",
+                   help="emit RunMetrics (incl. energy_joules, edp, ipj) "
+                        "as JSON")
     p.add_argument("--trace", type=int, metavar="N", default=0,
                    help="trace execution on the baseline and print the "
                         "first N events instead of benchmarking")
     p.set_defaults(func=cmd_run)
 
+    p = sub.add_parser("serve",
+                       help="run jobs through the kernel-execution service")
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker-pool size (default 2)")
+    p.add_argument("--jobs", metavar="JOBS.json",
+                   help="job list (JSON); default: the evaluation suite")
+    p.add_argument("--mode", choices=("process", "thread", "inline"),
+                   default="process",
+                   help="worker execution mode (default process)")
+    p.add_argument("--queue-depth", type=int, default=64,
+                   help="admission-queue capacity (default 64)")
+    p.add_argument("--config", default="trimmed",
+                   choices=("original", "dcd", "baseline", "trimmed",
+                            "multicore", "multithread"),
+                   help="architecture for the default suite jobs")
+    p.add_argument("--no-verify", action="store_true")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_serve)
+
     return parser
 
 
 def main(argv=None):
+    """CLI entry point.
+
+    User errors -- anything the library raises as :class:`ReproError`,
+    plus file-system problems -- exit with status 2 and a one-line
+    message; tracebacks are reserved for actual bugs.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except ReproError as exc:
+    except (ReproError, OSError) as exc:
         print("error: {}".format(exc), file=sys.stderr)
-        return 1
-    except OSError as exc:
-        print("error: {}".format(exc), file=sys.stderr)
-        return 1
+        return 2
 
 
 if __name__ == "__main__":

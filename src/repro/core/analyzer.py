@@ -16,7 +16,7 @@ statistics; the trimming decision itself uses only the static set.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Set
+from typing import Dict, FrozenSet, List, Set
 
 from ..isa.categories import FunctionalUnit
 from ..isa.tables import ISA

@@ -21,7 +21,7 @@ planner derive new ones rather than mutating.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import FrozenSet, Optional
 
 from ..errors import TrimError

@@ -25,8 +25,8 @@ can afford per-kernel architectures.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Sequence
 
 from ..errors import TrimError
 from ..soc.clocks import CU_CLOCK_HZ

@@ -25,7 +25,7 @@ binary must fail loudly) is enforced by the compute-unit simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from typing import Dict
 
 from ..errors import TrimError
 from ..fpga.synthesis import Synthesizer, SynthesisReport

@@ -21,7 +21,6 @@ from dataclasses import dataclass, field
 
 from ..errors import SimulationError, TrimmedInstructionError
 from ..isa.categories import FunctionalUnit
-from ..isa.formats import Format
 from ..isa.registers import MAX_WAVEFRONTS
 from . import lsu, operations
 from .timing import DEFAULT_TIMING, frontend_cost, unit_occupancy
@@ -58,6 +57,10 @@ class _UnitPool:
 
     def __init__(self, count):
         self.busy_until = [0.0] * max(0, count)
+        self.busy_cycles = 0.0
+
+    def reset(self):
+        self.busy_until = [0.0] * len(self.busy_until)
         self.busy_cycles = 0.0
 
     @property
@@ -118,6 +121,16 @@ class ComputeUnit:
         #: Optional callable(cu, wavefront, instruction, issue_cycle),
         #: invoked once per issued instruction (see repro.cu.trace).
         self.tracer = None
+
+    def reset_occupancy(self):
+        """Clear functional-unit occupancy (absolute timeline times).
+
+        Must accompany any board-timeline rewind: ``busy_until`` holds
+        absolute cycle numbers, so a reset timeline would otherwise see
+        phantom occupancy from the previous run.
+        """
+        for pool in self.pools.values():
+            pool.reset()
 
     # ------------------------------------------------------------------
 

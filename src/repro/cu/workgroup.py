@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 
 from ..isa.registers import WAVEFRONT_SIZE
-from .wavefront import Wavefront
 
 
 class Workgroup:

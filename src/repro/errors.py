@@ -70,3 +70,26 @@ class ResourceError(ReproError):
 
 class LaunchError(ReproError):
     """The runtime was given an invalid kernel launch configuration."""
+
+
+class ServiceError(ReproError):
+    """The kernel-execution service could not process a request."""
+
+
+class AdmissionError(ServiceError):
+    """The admission controller rejected a job (bad request or a full
+    queue whose backpressure window expired)."""
+
+
+class JobTimeoutError(ServiceError):
+    """A job exceeded its wall-clock budget inside the service."""
+
+    def __init__(self, job_id, timeout_s):
+        super().__init__(
+            "job {} exceeded its {:.3g}s timeout".format(job_id, timeout_s))
+        self.job_id = job_id
+        self.timeout_s = timeout_s
+
+
+class JobFailedError(ServiceError):
+    """A job exhausted its retry budget without completing."""

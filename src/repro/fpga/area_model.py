@@ -15,7 +15,7 @@ Calibrated against the paper's Figure 6 utilisation numbers -- see
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 from ..isa.categories import FunctionalUnit
 from ..isa.tables import ISA

@@ -25,7 +25,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from . import calibration as cal
-from .resources import ResourceVector
 
 
 @dataclass(frozen=True)

@@ -10,7 +10,7 @@ power model on the result.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 from ..core.config import ArchConfig
@@ -18,7 +18,7 @@ from ..errors import ResourceError
 from .area_model import AreaModel
 from .calibration import PREFETCH_BASELINE_BRAMS
 from .power_model import PowerEstimate, PowerModel
-from .resources import XC7VX690T, FpgaDevice, ResourceVector, ZERO
+from .resources import XC7VX690T, FpgaDevice, ResourceVector
 
 
 @dataclass

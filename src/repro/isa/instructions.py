@@ -26,16 +26,11 @@ superset entries are decodable and classifiable but flagged
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import IsaError
 from .categories import DataType, FunctionalUnit, OpCategory
-from .formats import (
-    Format,
-    VOP3_NATIVE_FIRST,
-    VOP3_VOP2_OFFSET,
-    VOP3_VOPC_OFFSET,
-)
+from .formats import Format, VOP3_VOP2_OFFSET, VOP3_VOPC_OFFSET
 
 #: Number of Southern Islands instructions MIAOW2.0 implements.
 MIAOW2_INSTRUCTION_COUNT = 156

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import Benchmark, build
+from .base import build
 from .matrix import MatrixMulF32
 
 _TILED_SRC = """

@@ -20,7 +20,6 @@ depends on the architecture generation.
 
 from __future__ import annotations
 
-from ..errors import SimulationError
 from .global_memory import GlobalMemory
 from .params import MemoryTimingParams
 from .prefetch import PrefetchBuffer

@@ -44,12 +44,23 @@ class SoftGpu:
     def upload(self, name, array):
         """Allocate a buffer sized for ``array`` and copy it in."""
         array = np.ascontiguousarray(array)
+        if array.size == 0:
+            raise LaunchError(
+                "upload of zero-length array to buffer {!r}".format(name))
         buf = self.heap.alloc(name, array.nbytes, array.dtype)
         self.write(buf, array)
         return buf
 
     def write(self, buf, array):
         array = np.ascontiguousarray(array)
+        if array.size == 0:
+            raise LaunchError(
+                "write of zero-length array into buffer {!r}".format(buf.name))
+        if np.dtype(array.dtype) != np.dtype(buf.dtype):
+            raise LaunchError(
+                "dtype mismatch writing buffer {!r}: array is {}, buffer "
+                "holds {}".format(buf.name, np.dtype(array.dtype),
+                                  np.dtype(buf.dtype)))
         if array.nbytes > buf.nbytes:
             raise LaunchError(
                 "write of {} bytes into {}-byte buffer {!r}".format(
@@ -64,6 +75,26 @@ class SoftGpu:
 
     def fill(self, buf, byte=0):
         self.gpu.memory.global_mem.fill(HEAP_BASE + buf.offset, buf.nbytes, byte)
+
+    def reset(self):
+        """Return the board to its power-on state so it can be reused.
+
+        Pooled workers keep warm :class:`SoftGpu` instances between
+        jobs; this clears everything a previous job could leak into the
+        next one -- heap allocations, global-memory contents (heap and
+        constant-buffer regions), prefetch-buffer coverage, and the
+        timeline -- without paying the cost of rebuilding the CU model.
+        """
+        mem = self.gpu.memory
+        mem.global_mem.fill(0, mem.global_mem.size, 0)
+        self.heap.reset()
+        for prefetch in mem.prefetch:
+            prefetch.clear()
+        if self.arch.has_prefetch:
+            # Re-mirror the constant-buffer region, as at construction.
+            mem.preload_all(0, HEAP_BASE)
+        self.reset_timeline()
+        return self
 
     # -- prefetch (host-template choreography) -----------------------------
 

@@ -55,6 +55,27 @@ class RunMetrics:
         """Energy reduction factor (same-work comparisons)."""
         return other.energy_joules / self.energy_joules
 
+    def to_dict(self):
+        """All figures of merit as one JSON-ready mapping.
+
+        This is the serialisation surface the CLI ``--json`` modes and
+        the execution service emit; derived metrics (energy, EDP, IPJ)
+        are included so consumers never recompute them.
+        """
+        return {
+            "label": self.label,
+            "seconds": self.seconds,
+            "instructions": self.instructions,
+            "power_w": {
+                "static": self.power.static,
+                "dynamic": self.power.dynamic,
+                "total": self.power.total,
+            },
+            "energy_joules": self.energy_joules,
+            "edp": self.edp,
+            "ipj": self.ipj,
+        }
+
     def __str__(self):
         return ("{}: {:.6f}s, {} instructions, {:.2f}W, "
                 "{:.3e} inst/J".format(self.label, self.seconds,

@@ -1,0 +1,200 @@
+"""Job model of the kernel-execution service.
+
+A :class:`Job` is one requested kernel-suite execution: it names a
+benchmark application from the registry, its constructor parameters
+(which fix the NDRange and argument buffers), and the architecture the
+caller wants it run on -- either a fixed generation (``original``,
+``dcd``, ``baseline``) or one of the application-aware SCRATCH
+configurations (``trimmed``, ``multicore``, ``multithread``) that the
+admission controller derives per application via the trimming tool and
+memoizes in the artifact cache.
+
+Jobs are plain data (picklable) so they can cross the process boundary
+into pool workers; results come back as :class:`JobResult`.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..errors import AdmissionError
+from ..runtime.metrics import RunMetrics
+
+#: Architecture specifications a job may name.  The first three are
+#: fixed generations; the last three are derived per application by
+#: the static flow (assemble -> trim -> plan) and therefore hit the
+#: artifact cache.
+CONFIG_SPECS = ("original", "dcd", "baseline", "trimmed",
+                "multicore", "multithread")
+
+_job_counter = itertools.count(1)
+
+
+class JobStatus(enum.Enum):
+    """Lifecycle of a job inside the service."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    TIMEOUT = "timeout"
+    CANCELLED = "cancelled"
+
+
+@dataclass(frozen=True)
+class Job:
+    """One kernel-execution request.
+
+    ``priority`` follows the unix-nice convention: *lower* values are
+    scheduled first.  ``timeout_s`` bounds wall-clock execution time in
+    the worker; ``retries`` is how many times a failed attempt is
+    re-dispatched before the job is reported FAILED.
+    """
+
+    benchmark: str
+    params: Dict[str, object] = field(default_factory=dict)
+    config: str = "trimmed"
+    priority: int = 0
+    max_groups: Optional[int] = None
+    verify: bool = True
+    timeout_s: Optional[float] = None
+    retries: int = 0
+    tag: str = ""
+
+    def __post_init__(self):
+        if self.config not in CONFIG_SPECS:
+            raise AdmissionError(
+                "unknown config spec {!r}; expected one of {}".format(
+                    self.config, ", ".join(CONFIG_SPECS)))
+        if self.retries < 0:
+            raise AdmissionError("negative retry budget")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise AdmissionError("timeout_s must be positive")
+
+    def describe(self):
+        return "{}({}) on {}".format(
+            self.benchmark,
+            ", ".join("{}={}".format(k, v)
+                      for k, v in sorted(self.params.items())),
+            self.config)
+
+
+def next_job_id():
+    """Monotonic job ids, unique within one service process."""
+    return next(_job_counter)
+
+
+@dataclass
+class JobResult:
+    """What the service reports back for one job."""
+
+    job_id: int
+    job: Job
+    status: JobStatus
+    metrics: Optional[RunMetrics] = None
+    error: str = ""
+    attempts: int = 1
+    latency_s: float = 0.0
+    worker: Optional[int] = None      # worker pid (process mode)
+    warm_board: bool = False          # reused a pooled SoftGpu
+    digests: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self):
+        return self.status is JobStatus.DONE
+
+    def to_dict(self):
+        out = {
+            "job_id": self.job_id,
+            "benchmark": self.job.benchmark,
+            "config": self.job.config,
+            "tag": self.job.tag,
+            "status": self.status.value,
+            "attempts": self.attempts,
+            "latency_s": self.latency_s,
+            "worker": self.worker,
+            "warm_board": self.warm_board,
+            "digests": dict(self.digests),
+        }
+        if self.metrics is not None:
+            out["metrics"] = self.metrics.to_dict()
+        if self.error:
+            out["error"] = self.error
+        return out
+
+
+def load_jobs(source):
+    """Parse a job list from a JSON file path, file object, or dict.
+
+    Format::
+
+        {"jobs": [
+          {"benchmark": "matrix_add_i32", "params": {"n": 64},
+           "config": "trimmed", "priority": 0, "repeat": 3}
+        ]}
+
+    ``repeat`` expands one entry into N identical jobs (the repeated-
+    submission pattern the artifact cache accelerates).  A bare list is
+    accepted in place of the wrapping object.
+    """
+    try:
+        if isinstance(source, str):
+            with open(source) as handle:
+                payload = json.load(handle)
+        elif hasattr(source, "read"):
+            payload = json.load(source)
+        else:
+            payload = source
+    except json.JSONDecodeError as exc:
+        raise AdmissionError("job list is not valid JSON: {}".format(exc))
+    if isinstance(payload, dict):
+        entries = payload.get("jobs", [])
+    else:
+        entries = payload
+    if not isinstance(entries, list):
+        raise AdmissionError("job list must be a JSON array")
+
+    jobs = []
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict) or "benchmark" not in entry:
+            raise AdmissionError(
+                "job entry {} must be an object with a 'benchmark' key"
+                .format(i))
+        entry = dict(entry)
+        repeat = int(entry.pop("repeat", 1))
+        if repeat < 1:
+            raise AdmissionError("job entry {}: repeat must be >= 1".format(i))
+        unknown = set(entry) - {
+            "benchmark", "params", "config", "priority", "max_groups",
+            "verify", "timeout_s", "retries", "tag"}
+        if unknown:
+            raise AdmissionError(
+                "job entry {}: unknown fields {}".format(i, sorted(unknown)))
+        job = Job(**entry)
+        jobs.extend([job] * repeat)
+    return jobs
+
+
+def suite_jobs(config="trimmed", verify=True, names=None):
+    """Jobs for the paper's standard evaluation suite (Section 4).
+
+    One job per benchmark of ``EVAL_CONFIGS`` at the standard scaled
+    sizes -- the default workload of ``python -m repro serve``.
+    Verifying runs execute every workgroup (sampling would leave the
+    unexecuted part of the output unfilled); timing-only runs keep the
+    suite's workgroup-sampling caps.
+    """
+    from ..kernels.suite import EVAL_CONFIGS
+
+    jobs = []
+    for name, (params, max_groups) in EVAL_CONFIGS.items():
+        if names is not None and name not in names:
+            continue
+        jobs.append(Job(benchmark=name, params=dict(params), config=config,
+                        max_groups=None if verify else max_groups,
+                        verify=verify))
+    return jobs

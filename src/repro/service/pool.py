@@ -1,0 +1,181 @@
+"""Worker pool: N simulated boards executing jobs in parallel.
+
+Each worker owns a shelf of **warm boards** -- live :class:`SoftGpu`
+instances keyed by the architecture configuration's content hash.  A
+job arriving for a configuration the worker has seen before reuses the
+existing board (after :meth:`SoftGpu.reset`), skipping CU/memory model
+construction; this is the dynamic-dispatch half of the static/dynamic
+split the soft-GPGPU serving literature argues for (the static half
+lives in :mod:`repro.service.cache`).
+
+Three execution modes:
+
+* ``process`` -- ``concurrent.futures.ProcessPoolExecutor``; true
+  parallelism, boards warm per OS process.  The default for
+  ``python -m repro serve``.
+* ``thread``  -- ``ThreadPoolExecutor`` with per-thread board shelves;
+  cheap to spin up, GIL-bound.  Used by tests and small deployments.
+* ``inline``  -- synchronous execution on the caller's thread;
+  deterministic, zero concurrency.  Used for debugging.
+
+Payloads and result dicts are plain picklable data; ``ReproError``
+failures are carried *inside* the result dict rather than as pickled
+exceptions so custom exception constructors never cross the process
+boundary.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from collections import OrderedDict
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..core.config import ArchConfig
+from ..errors import ReproError, ServiceError
+
+#: Warm boards kept per worker before least-recently-used eviction.
+MAX_WARM_BOARDS = 4
+
+
+@dataclass(frozen=True)
+class JobPayload:
+    """Everything a worker needs to execute one job (picklable)."""
+
+    job_id: int
+    benchmark: str
+    params: Dict[str, object]
+    arch: ArchConfig
+    config_key: str
+    max_groups: Optional[int] = None
+    verify: bool = True
+
+
+@dataclass
+class _BoardShelf:
+    """Bounded LRU of warm boards, keyed by config content hash."""
+
+    boards: "OrderedDict[str, object]" = field(default_factory=OrderedDict)
+
+    def checkout(self, key, arch):
+        from ..runtime.device import SoftGpu
+
+        board = self.boards.pop(key, None)
+        warm = board is not None
+        if warm:
+            board.reset()
+        else:
+            board = SoftGpu(arch)
+            while len(self.boards) >= MAX_WARM_BOARDS:
+                self.boards.popitem(last=False)
+        self.boards[key] = board
+        return board, warm
+
+
+#: Per-process shelf (process mode; one per forked worker).
+_PROCESS_SHELF = _BoardShelf()
+#: Per-thread shelves (thread mode; boards are not thread-safe).
+_THREAD_LOCAL = threading.local()
+
+
+def _shelf_for_thread():
+    shelf = getattr(_THREAD_LOCAL, "shelf", None)
+    if shelf is None:
+        shelf = _THREAD_LOCAL.shelf = _BoardShelf()
+    return shelf
+
+
+def _execute_on_shelf(shelf, payload: JobPayload):
+    from ..kernels import KERNELS
+
+    board, warm = shelf.checkout(payload.config_key, payload.arch)
+    board.max_groups = payload.max_groups
+    try:
+        bench = KERNELS[payload.benchmark](**payload.params)
+        ctx = bench.run_on(board, verify=payload.verify)
+        digests = {}
+        for name in bench.reference(ctx):
+            buf = ctx[name]
+            raw = board.read(buf, dtype="u1")
+            digests[name] = hashlib.sha256(raw.tobytes()).hexdigest()
+        return {
+            "ok": True,
+            "job_id": payload.job_id,
+            "seconds": board.elapsed_seconds,
+            "instructions": board.instructions,
+            "cu_cycles": board.elapsed_cu_cycles,
+            "digests": digests,
+            "worker": os.getpid(),
+            "warm_board": warm,
+        }
+    except ReproError as exc:
+        return {
+            "ok": False,
+            "job_id": payload.job_id,
+            "error": str(exc),
+            "error_type": type(exc).__name__,
+            "worker": os.getpid(),
+            "warm_board": warm,
+        }
+
+
+def _execute_in_process(payload: JobPayload):
+    """Top-level entry point for process-pool workers (picklable)."""
+    return _execute_on_shelf(_PROCESS_SHELF, payload)
+
+
+def _execute_in_thread(payload: JobPayload):
+    return _execute_on_shelf(_shelf_for_thread(), payload)
+
+
+class WorkerPool:
+    """A fleet of simulated boards behind a futures executor."""
+
+    MODES = ("process", "thread", "inline")
+
+    def __init__(self, workers=2, mode="process"):
+        if mode not in self.MODES:
+            raise ServiceError(
+                "unknown pool mode {!r}; expected one of {}".format(
+                    mode, ", ".join(self.MODES)))
+        if workers < 1:
+            raise ServiceError("a pool needs at least one worker")
+        self.workers = workers
+        self.mode = mode
+        self._inline_shelf = _BoardShelf()
+        if mode == "process":
+            self._executor = ProcessPoolExecutor(max_workers=workers)
+        elif mode == "thread":
+            self._executor = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-worker")
+        else:
+            self._executor = None
+
+    def submit(self, payload: JobPayload) -> Future:
+        """Dispatch one payload; returns a future of the result dict."""
+        if self.mode == "process":
+            return self._executor.submit(_execute_in_process, payload)
+        if self.mode == "thread":
+            return self._executor.submit(_execute_in_thread, payload)
+        future = Future()
+        try:
+            future.set_result(
+                _execute_on_shelf(self._inline_shelf, payload))
+        except BaseException as exc:  # simulator bug: surface via future
+            future.set_exception(exc)
+        return future
+
+    def shutdown(self, wait=True):
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait)
+        self._inline_shelf.boards.clear()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.shutdown()
+        return False

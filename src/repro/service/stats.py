@@ -1,0 +1,131 @@
+"""Service-level metrics: what the operator of the service watches.
+
+Aggregates per-job :class:`~repro.runtime.metrics.RunMetrics` and
+service-side timings into the usual serving dashboard quantities:
+throughput (jobs/s and simulated cycles/s), wall-clock latency
+percentiles, queue pressure, warm-board reuse, and the artifact
+cache's hit rate.  Thread-safe; completions arrive from callback
+threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from .jobs import JobStatus
+
+
+def percentile(values, fraction):
+    """Nearest-rank percentile of a sequence (no numpy dependency)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+    return ordered[rank]
+
+
+class ServiceStats:
+    """Running aggregation over the lifetime of one service."""
+
+    def __init__(self, clock=time.monotonic):
+        self._lock = threading.Lock()
+        self._clock = clock
+        self._started = None
+        self._finished = None
+        self.submitted = 0
+        self.rejected = 0
+        self.retries = 0
+        self.by_status = {status: 0 for status in JobStatus}
+        self.latencies = []
+        self.simulated_seconds = 0.0
+        self.simulated_cycles = 0.0
+        self.instructions = 0
+        self.warm_hits = 0
+        self.completed_with_board = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def record_submit(self):
+        with self._lock:
+            self.submitted += 1
+            if self._started is None:
+                self._started = self._clock()
+
+    def record_rejection(self):
+        with self._lock:
+            self.rejected += 1
+
+    def record_retry(self):
+        with self._lock:
+            self.retries += 1
+
+    def record_result(self, result, cu_cycles=0.0):
+        with self._lock:
+            self.by_status[result.status] += 1
+            self.latencies.append(result.latency_s)
+            self._finished = self._clock()
+            if result.metrics is not None:
+                self.simulated_seconds += result.metrics.seconds
+                self.instructions += result.metrics.instructions
+                self.simulated_cycles += cu_cycles
+            if result.status is JobStatus.DONE:
+                self.completed_with_board += 1
+                if result.warm_board:
+                    self.warm_hits += 1
+
+    # -- derived quantities ------------------------------------------------
+
+    @property
+    def completed(self):
+        return self.by_status[JobStatus.DONE]
+
+    @property
+    def wall_seconds(self):
+        if self._started is None or self._finished is None:
+            return 0.0
+        return max(0.0, self._finished - self._started)
+
+    @property
+    def jobs_per_second(self):
+        wall = self.wall_seconds
+        return self.completed / wall if wall > 0 else 0.0
+
+    @property
+    def cycles_per_second(self):
+        """Simulated CU cycles retired per wall-clock second."""
+        wall = self.wall_seconds
+        return self.simulated_cycles / wall if wall > 0 else 0.0
+
+    @property
+    def warm_board_rate(self):
+        if self.completed_with_board == 0:
+            return 0.0
+        return self.warm_hits / self.completed_with_board
+
+    def snapshot(self, cache_stats=None, queue_depth=0,
+                 queue_highwater=0, workers=0):
+        """One JSON-ready dashboard frame."""
+        with self._lock:
+            frame = {
+                "workers": workers,
+                "submitted": self.submitted,
+                "rejected": self.rejected,
+                "retries": self.retries,
+                "status": {s.value: n for s, n in self.by_status.items()
+                           if n},
+                "completed": self.completed,
+                "wall_seconds": self.wall_seconds,
+                "jobs_per_second": self.jobs_per_second,
+                "cycles_per_second": self.cycles_per_second,
+                "simulated_seconds": self.simulated_seconds,
+                "instructions": self.instructions,
+                "latency_p50_s": percentile(self.latencies, 0.50),
+                "latency_p95_s": percentile(self.latencies, 0.95),
+                "queue_depth": queue_depth,
+                "queue_depth_highwater": queue_highwater,
+                "warm_board_rate": self.warm_board_rate,
+            }
+        if cache_stats is not None:
+            frame["cache"] = cache_stats.to_dict()
+        return frame

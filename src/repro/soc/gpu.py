@@ -21,13 +21,13 @@ everything.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..core.config import ArchConfig
 from ..cu.pipeline import ComputeUnit, CuRunStats
 from ..errors import LaunchError
 from ..mem.system import MemorySystem
-from .clocks import DUAL_DOMAIN, SINGLE_DOMAIN, ClockDomains
+from .clocks import DUAL_DOMAIN, SINGLE_DOMAIN
 from .dispatcher import Dispatcher, LaunchGeometry
 from .microblaze import MicroBlaze
 
@@ -115,6 +115,8 @@ class Gpu:
         self.launches = []
         self.microblaze.reset()
         self.memory.reset_timing()
+        for cu in self.cus:
+            cu.reset_occupancy()
 
     # -- host-side operations -------------------------------------------------
 

@@ -6,14 +6,12 @@ round trip bit-exactly.  This exercises every encoder/decoder/renderer
 path in one sweep, including VOP3 promotion and literal handling.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.asm import assemble, disassemble
 from repro.isa import ISA
 from repro.isa.formats import Format
-from repro.isa.tables import spec
 
 # -- random statement generators, one per format family ---------------------
 
@@ -137,7 +135,6 @@ class TestRoundTrip:
 
     def test_every_implemented_instruction_has_some_encodable_form(self):
         """The roundtrip generators must collectively cover the ISA."""
-        from repro.asm.assembler import Assembler
         covered = set()
         # Formats handled by dedicated syntax tests elsewhere:
         for s in ISA.implemented():

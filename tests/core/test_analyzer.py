@@ -1,6 +1,5 @@
 """Binary analysis (Algorithm 1, step one) details."""
 
-import pytest
 
 from repro.asm import assemble
 from repro.core.analyzer import (

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.config import ArchConfig
 from repro.core.flow import ScratchFlow
 from repro.core.report import render_figure5
 from repro.kernels import Conv2DI32, MatrixMulF32

@@ -5,9 +5,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.trimmer import TrimmingTool
 from repro.asm import assemble
-from repro.isa.categories import FunctionalUnit
-from repro.isa.formats import Format
-from repro.isa.tables import ISA
 
 #: A pool of single-instruction bodies covering every trimmable unit.
 _LINES = {

@@ -6,7 +6,7 @@ import pytest
 from repro.asm import assemble
 from repro.cu import lsu
 from repro.cu.lsu import make_buffer_descriptor
-from repro.cu.wavefront import FULL_EXEC, Wavefront
+from repro.cu.wavefront import Wavefront
 from repro.cu.workgroup import Workgroup
 from repro.errors import SimulationError
 from repro.mem.system import MemorySystem

@@ -1,7 +1,6 @@
 """Vector ALU semantics over full wavefronts, NumPy as the oracle."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 

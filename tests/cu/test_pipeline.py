@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.asm import assemble
-from repro.core.config import ArchConfig
 from repro.cu.pipeline import ComputeUnit
 from repro.cu.timing import DEFAULT_TIMING, frontend_cost, unit_occupancy
 from repro.cu.wavefront import Wavefront

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.config import ArchConfig
-from repro.cu.trace import ExecutionTracer, TraceEvent
+from repro.cu.trace import ExecutionTracer
 from repro.kernels import MatrixAddI32
 from repro.runtime import SoftGpu
 

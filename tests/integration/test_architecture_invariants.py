@@ -8,7 +8,6 @@ subset of the ISA and executed everywhere.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.asm import assemble

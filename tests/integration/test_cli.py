@@ -1,7 +1,6 @@
 """The command-line toolchain, end to end."""
 
 import json
-import struct
 
 import pytest
 
@@ -44,14 +43,22 @@ class TestAsmDisasm:
         assert "tbuffer_store_format_x" in capsys.readouterr().out
 
     def test_missing_file(self, capsys):
-        assert main(["asm", "/nonexistent/file.s"]) == 1
+        assert main(["asm", "/nonexistent/file.s"]) == 2
         assert "error" in capsys.readouterr().err
 
     def test_assembly_error_reported(self, tmp_path, capsys):
         bad = tmp_path / "bad.s"
         bad.write_text("v_bogus v0, v1\n")
-        assert main(["asm", str(bad)]) == 1
-        assert "unknown mnemonic" in capsys.readouterr().err
+        assert main(["asm", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "unknown mnemonic" in err
+        assert "Traceback" not in err
+
+    def test_user_errors_exit_2_uniformly(self, capsys):
+        """Every subcommand maps ReproError to status 2, one line."""
+        assert main(["trim", "/nonexistent/file.s"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and err.count("\n") == 1
 
 
 class TestTrim:
@@ -103,4 +110,45 @@ class TestValidateAndRun:
 
     def test_run_unknown_benchmark(self, capsys):
         assert main(["run", "no_such_bench"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_run_json_metrics(self, capsys):
+        assert main(["run", "matrix_add_i32", "--configs", "baseline",
+                     "trimmed", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["benchmark"] == "matrix_add_i32"
+        for label in ("baseline", "trimmed"):
+            entry = payload["configs"][label]
+            assert entry["seconds"] > 0
+            assert entry["energy_joules"] == pytest.approx(
+                entry["seconds"] * entry["power_w"]["total"])
+            assert entry["edp"] == pytest.approx(
+                entry["energy_joules"] * entry["seconds"])
+            assert entry["ipj"] == pytest.approx(
+                entry["instructions"] / entry["energy_joules"])
+        assert payload["configs"]["baseline"]["speedup_vs_baseline"] == 1.0
+
+
+class TestServe:
+    def test_serve_jobs_file(self, tmp_path, capsys):
+        jobs = tmp_path / "jobs.json"
+        jobs.write_text(json.dumps({"jobs": [
+            {"benchmark": "matrix_add_i32", "params": {"n": 32},
+             "config": "trimmed", "repeat": 2},
+            {"benchmark": "matrix_mul_i32", "params": {"n": 8},
+             "config": "baseline"},
+        ]}))
+        assert main(["serve", "--workers", "2", "--mode", "thread",
+                     "--jobs", str(jobs), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["results"]) == 3
+        assert all(r["status"] == "done" for r in payload["results"])
+        assert payload["stats"]["completed"] == 3
+        assert payload["stats"]["cache"]["hit_rate"] > 0
+
+    def test_serve_bad_jobs_file(self, tmp_path, capsys):
+        jobs = tmp_path / "jobs.json"
+        jobs.write_text(json.dumps({"jobs": [{"benchmark": "nope"}]}))
+        assert main(["serve", "--mode", "inline", "--jobs",
+                     str(jobs)]) == 2
         assert "unknown benchmark" in capsys.readouterr().err

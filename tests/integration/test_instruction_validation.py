@@ -8,7 +8,6 @@ an oracle written independently of the simulator's semantics module.
 import pytest
 
 from repro.isa.categories import FunctionalUnit
-from repro.isa.formats import Format
 from repro.isa.tables import ISA
 from repro.validation import (
     ValidationRecord,

@@ -8,7 +8,6 @@ here use moderate sizes so the whole file stays fast.
 
 import pytest
 
-from repro.core.config import ArchConfig
 from repro.core.flow import ScratchFlow
 from repro.kernels import (
     Conv2DF32,

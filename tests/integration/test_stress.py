@@ -1,7 +1,6 @@
 """Stress tests: occupancy limits, deep divergence, heavy traffic."""
 
 import numpy as np
-import pytest
 
 from repro.asm import assemble
 from repro.core.config import ArchConfig

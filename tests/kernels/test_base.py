@@ -1,6 +1,5 @@
 """Benchmark base-class machinery and the suite configuration."""
 
-import numpy as np
 import pytest
 
 from repro.core.config import ArchConfig

@@ -3,12 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.mem.params import (
-    DCD_PM_TIMING,
-    DCD_TIMING,
-    ORIGINAL_TIMING,
-    MemoryTimingParams,
-)
+from repro.mem.params import DCD_PM_TIMING, DCD_TIMING, ORIGINAL_TIMING
 from repro.mem.system import MemorySystem
 
 ADDRS = np.arange(64, dtype=np.int64) * 4

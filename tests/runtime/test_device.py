@@ -2,8 +2,9 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.asm import assemble
 from repro.core.config import ArchConfig
 from repro.errors import LaunchError
 from repro.runtime import SoftGpu
@@ -43,6 +44,43 @@ class TestHeapAllocator:
         heap.reset()
         assert heap.used == 0
 
+    def test_reset_frees_names(self):
+        heap = HeapAllocator(4096)
+        heap.alloc("x", 8)
+        heap.reset()
+        heap.alloc("x", 8)  # no collision after reset
+
+    def test_exhaustion_message_reports_free_bytes(self):
+        heap = HeapAllocator(256)
+        heap.alloc("a", 100)   # cursor at 100, aligned next slot at 128
+        with pytest.raises(LaunchError, match="128 free"):
+            heap.alloc("b", 200)
+
+    def test_exact_fit_allocates(self):
+        heap = HeapAllocator(128)
+        heap.alloc("a", 64)
+        heap.alloc("b", 64)  # exactly to capacity
+        with pytest.raises(LaunchError):
+            heap.alloc("c", 1)
+
+    @settings(deadline=None, max_examples=50)
+    @given(st.lists(st.integers(min_value=1, max_value=512),
+                    min_size=1, max_size=24))
+    def test_alignment_and_disjointness_property(self, sizes):
+        """Any allocation sequence yields aligned, disjoint, ordered
+        buffers, and the bump cursor matches the last allocation."""
+        heap = HeapAllocator(64 * 1024)
+        buffers = [heap.alloc("b{}".format(i), n)
+                   for i, n in enumerate(sizes)]
+        for buf, n in zip(buffers, sizes):
+            assert buf.offset % HeapAllocator.ALIGNMENT == 0
+            assert buf.nbytes == n
+        for prev, cur in zip(buffers, buffers[1:]):
+            assert cur.offset >= prev.end     # disjoint and ordered
+            assert cur.offset - prev.end < HeapAllocator.ALIGNMENT
+        assert heap.used == buffers[-1].end
+        assert heap.used <= heap.capacity
+
 
 class TestDeviceMemory:
     def test_upload_read_roundtrip(self):
@@ -69,6 +107,70 @@ class TestDeviceMemory:
         dev = SoftGpu(ArchConfig.baseline())
         buf = dev.upload("data", np.arange(64, dtype=np.uint32))
         assert list(dev.read(buf, count=3)) == [0, 1, 2]
+
+    def test_zero_length_upload_rejected(self):
+        dev = SoftGpu(ArchConfig.baseline())
+        with pytest.raises(LaunchError, match="zero-length"):
+            dev.upload("empty", np.array([], dtype=np.uint32))
+
+    def test_zero_length_write_rejected(self):
+        dev = SoftGpu(ArchConfig.baseline())
+        buf = dev.alloc("b", 64)
+        with pytest.raises(LaunchError, match="zero-length"):
+            dev.write(buf, np.array([], dtype=np.uint32))
+
+    def test_dtype_mismatch_rejected(self):
+        dev = SoftGpu(ArchConfig.baseline())
+        buf = dev.alloc("b", 64, np.float32)
+        with pytest.raises(LaunchError, match="dtype mismatch"):
+            dev.write(buf, np.zeros(4, dtype=np.uint32))
+
+    def test_matching_dtype_write_ok(self):
+        dev = SoftGpu(ArchConfig.baseline())
+        buf = dev.alloc("b", 64, np.float32)
+        dev.write(buf, np.ones(4, dtype=np.float32))
+        assert (dev.read(buf, count=4) == 1.0).all()
+
+
+class TestReset:
+    def test_reset_clears_heap_and_memory(self):
+        dev = SoftGpu(ArchConfig.baseline())
+        buf = dev.upload("data", np.arange(64, dtype=np.uint32))
+        dev.preload_all()
+        dev.host_phase("warm", alu_ops=100)
+        dev.reset()
+        assert dev.heap.used == 0
+        assert dev.elapsed_seconds == 0
+        assert dev.instructions == 0
+        # Memory content is gone and the name is reusable.
+        fresh = dev.upload("data", np.zeros(64, dtype=np.uint32))
+        assert fresh.offset == buf.offset
+        assert (dev.read(fresh) == 0).all()
+
+    def test_reset_board_repeats_bit_identically(self):
+        """A pooled worker reusing a board must see a fresh machine:
+        same outputs and same simulated timing as the first run."""
+        from repro.kernels import KERNELS
+
+        bench = KERNELS["matrix_add_i32"](n=32)
+        dev = SoftGpu(ArchConfig.baseline())
+        ctx = bench.run_on(dev, verify=True)
+        first = (dev.elapsed_seconds, dev.instructions,
+                 dev.read(ctx["out"]).tobytes())
+        dev.reset()
+        ctx = bench.run_on(dev, verify=True)
+        second = (dev.elapsed_seconds, dev.instructions,
+                  dev.read(ctx["out"]).tobytes())
+        assert first == second
+
+    def test_reset_restores_prefetch_coverage(self):
+        dev = SoftGpu(ArchConfig.baseline())
+        dev.upload("data", np.arange(1024, dtype=np.uint32))
+        assert dev.preload_all()
+        used_after_preload = dev.gpu.memory.prefetch[0].used_bytes
+        dev.reset()
+        # Only the CB mirror remains resident, as at construction.
+        assert dev.gpu.memory.prefetch[0].used_bytes < used_after_preload
 
 
 class TestArguments:

@@ -1,0 +1,103 @@
+"""Bounded priority queue: ordering, backpressure, lifecycle."""
+
+import threading
+
+import pytest
+
+from repro.errors import AdmissionError
+from repro.service.queue import BoundedJobQueue
+
+
+class TestOrdering:
+    def test_priority_order(self):
+        q = BoundedJobQueue(8)
+        q.put("low", priority=5)
+        q.put("high", priority=-5)
+        q.put("mid", priority=0)
+        assert [q.get(block=False) for _ in range(3)] == \
+            ["high", "mid", "low"]
+
+    def test_batch_key_groups_within_priority(self):
+        """Jobs sharing a config hash leave adjacently (warm boards)."""
+        q = BoundedJobQueue(8)
+        q.put("a1", batch_key="aaa")
+        q.put("b1", batch_key="bbb")
+        q.put("a2", batch_key="aaa")
+        assert [q.get(block=False) for _ in range(3)] == ["a1", "a2", "b1"]
+
+    def test_fifo_within_batch(self):
+        q = BoundedJobQueue(8)
+        for i in range(4):
+            q.put(i)
+        assert [q.get(block=False) for _ in range(4)] == [0, 1, 2, 3]
+
+
+class TestBackpressure:
+    def test_nonblocking_put_raises_when_full(self):
+        q = BoundedJobQueue(2)
+        q.put(1)
+        q.put(2)
+        with pytest.raises(AdmissionError, match="full"):
+            q.put(3, block=False)
+
+    def test_put_timeout_raises(self):
+        q = BoundedJobQueue(1)
+        q.put(1)
+        with pytest.raises(AdmissionError, match="backpressure"):
+            q.put(2, timeout=0.02)
+
+    def test_blocked_put_proceeds_when_space_frees(self):
+        q = BoundedJobQueue(1)
+        q.put("first")
+        done = threading.Event()
+
+        def producer():
+            q.put("second", timeout=5)
+            done.set()
+
+        t = threading.Thread(target=producer)
+        t.start()
+        assert q.get() == "first"
+        assert done.wait(timeout=5)
+        t.join()
+        assert q.get(block=False) == "second"
+
+    def test_highwater_tracked(self):
+        q = BoundedJobQueue(4)
+        for i in range(3):
+            q.put(i)
+        q.get()
+        assert q.depth_highwater == 3
+
+    def test_bad_capacity(self):
+        with pytest.raises(AdmissionError):
+            BoundedJobQueue(0)
+
+
+class TestLifecycle:
+    def test_closed_put_rejected(self):
+        q = BoundedJobQueue(4)
+        q.close()
+        with pytest.raises(AdmissionError, match="closed"):
+            q.put(1)
+
+    def test_close_drains_then_none(self):
+        q = BoundedJobQueue(4)
+        q.put("tail")
+        q.close()
+        assert q.get() == "tail"
+        assert q.get() is None
+
+    def test_close_wakes_blocked_consumer(self):
+        q = BoundedJobQueue(4)
+        got = []
+
+        def consumer():
+            got.append(q.get())
+
+        t = threading.Thread(target=consumer)
+        t.start()
+        q.close()
+        t.join(timeout=5)
+        assert not t.is_alive()
+        assert got == [None]

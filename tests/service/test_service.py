@@ -1,0 +1,226 @@
+"""End-to-end KernelService behaviour.
+
+The load-bearing test is `test_service_matches_direct_execution`: jobs
+routed through the admission queue, cache and worker pool must produce
+*bit-identical* outputs and identical simulated timings to a plain
+``SoftGpu`` run of the same benchmark on the same architecture.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.core.trimmer import TrimmingTool
+from repro.errors import AdmissionError, ServiceError, SimulationError
+from repro.kernels import KERNELS
+from repro.kernels.base import Benchmark
+from repro.runtime.device import SoftGpu
+from repro.service import Job, JobStatus, KernelService, WorkerPool
+from repro.service.pool import JobPayload
+
+SMALL_JOBS = [
+    Job("matrix_add_i32", {"n": 32}, config="trimmed"),
+    Job("matrix_add_f32", {"n": 32}, config="trimmed"),
+    Job("matrix_mul_i32", {"n": 8}, config="multicore"),
+    Job("bitonic_sort_i32", {"n": 256}, config="baseline"),
+]
+
+
+def direct_run(job):
+    """Reference execution: the same job without the service."""
+    bench = KERNELS[job.benchmark](**job.params)
+    if job.config in ("original", "dcd", "baseline"):
+        from repro.core.config import ArchConfig
+        arch = getattr(ArchConfig, job.config)()
+    else:
+        trim = TrimmingTool().trim(bench.programs(),
+                                   datapath_bits=bench.datapath_bits)
+        arch = trim.config
+        if job.config != "trimmed":
+            from repro.core.parallelize import plan
+            arch = plan(trim.config, job.config)
+    device = SoftGpu(arch, max_groups=job.max_groups)
+    ctx = bench.run_on(device, verify=True)
+    digests = {
+        name: hashlib.sha256(
+            device.read(ctx[name], dtype="u1").tobytes()).hexdigest()
+        for name in bench.reference(ctx)
+    }
+    return device.elapsed_seconds, device.instructions, digests
+
+
+class TestCorrectness:
+    def test_service_matches_direct_execution(self):
+        with KernelService(workers=2, mode="thread") as svc:
+            results = svc.run(SMALL_JOBS, timeout=300)
+        assert all(r.status is JobStatus.DONE for r in results)
+        for job, result in zip(SMALL_JOBS, results):
+            seconds, instructions, digests = direct_run(job)
+            assert result.metrics.seconds == seconds
+            assert result.metrics.instructions == instructions
+            assert result.digests == digests
+
+    def test_repeated_jobs_identical_and_cached(self):
+        job = Job("matrix_add_i32", {"n": 32}, config="trimmed")
+        with KernelService(workers=1, mode="thread") as svc:
+            results = svc.run([job] * 4, timeout=300)
+            snapshot = svc.snapshot()
+        assert len({r.metrics.seconds for r in results}) == 1
+        assert len({tuple(sorted(r.digests.items()))
+                    for r in results}) == 1
+        # Static flow ran once; three submissions were pure cache hits.
+        assert snapshot["cache"]["misses"]["trim"] == 1
+        assert snapshot["cache"]["hits"]["trim"] == 3
+        # One worker: every job after the first reused the warm board.
+        assert sum(r.warm_board for r in results) == 3
+
+    def test_inline_mode(self):
+        with KernelService(workers=1, mode="inline") as svc:
+            (result,) = svc.run(
+                [Job("matrix_add_i32", {"n": 32})], timeout=300)
+        assert result.ok
+        assert result.metrics.ipj > 0
+
+
+class TestProcessPool:
+    def test_process_workers_execute_and_reuse_boards(self):
+        jobs = [Job("matrix_add_i32", {"n": 32}, config="trimmed")
+                for _ in range(4)]
+        with KernelService(workers=2, mode="process") as svc:
+            results = svc.run(jobs, timeout=300)
+        assert all(r.ok for r in results)
+        assert len({r.metrics.seconds for r in results}) == 1
+        assert any(r.warm_board for r in results)
+        workers = {r.worker for r in results}
+        assert len(workers) >= 1  # pids from the pool, not the parent
+        import os
+        assert os.getpid() not in workers
+
+
+class TestAdmission:
+    def test_unknown_benchmark_rejected(self):
+        with KernelService(workers=1, mode="inline") as svc:
+            with pytest.raises(AdmissionError, match="unknown benchmark"):
+                svc.submit(Job("does_not_exist"))
+            assert svc.snapshot()["rejected"] == 1
+
+    def test_submit_after_close_rejected(self):
+        svc = KernelService(workers=1, mode="inline")
+        svc.close()
+        with pytest.raises(AdmissionError):
+            svc.submit(Job("matrix_add_i32", {"n": 32}))
+
+    def test_unknown_job_id(self):
+        with KernelService(workers=1, mode="inline") as svc:
+            with pytest.raises(ServiceError, match="unknown job"):
+                svc.result(10**9)
+
+    def test_priority_orders_dispatch(self):
+        """With one worker, lower priority values run first."""
+        with KernelService(workers=1, mode="thread",
+                           max_inflight=1) as svc:
+            jobs = [
+                Job("matrix_add_i32", {"n": 32}, priority=5, tag="slow-lane"),
+                Job("matrix_add_i32", {"n": 32}, priority=-5, tag="urgent"),
+            ]
+            results = svc.run(jobs, timeout=300)
+        assert all(r.ok for r in results)
+
+
+class _ExplodingBench(Benchmark):
+    """Test-only benchmark that always fails in the worker."""
+
+    name = "exploding_bench"
+    defaults = {"n": 8}
+
+    def programs(self):
+        return KERNELS["matrix_add_i32"](n=self.n).programs()
+
+    def prepare(self, device):
+        raise SimulationError("boom")
+
+
+@pytest.fixture
+def exploding_bench():
+    KERNELS[_ExplodingBench.name] = _ExplodingBench
+    try:
+        yield
+    finally:
+        del KERNELS[_ExplodingBench.name]
+
+
+class TestFailurePolicy:
+    def test_failure_reported_with_retries(self, exploding_bench):
+        with KernelService(workers=1, mode="thread") as svc:
+            (result,) = svc.run(
+                [Job("exploding_bench", retries=2)], timeout=300)
+        assert result.status is JobStatus.FAILED
+        assert result.attempts == 3
+        assert "boom" in result.error
+        assert "SimulationError" in result.error
+
+    def test_retry_accounting(self, exploding_bench):
+        with KernelService(workers=1, mode="thread") as svc:
+            svc.run([Job("exploding_bench", retries=1)], timeout=300)
+            assert svc.snapshot()["retries"] == 1
+
+    def test_timeout_marks_job(self):
+        with KernelService(workers=1, mode="thread") as svc:
+            (result,) = svc.run(
+                [Job("matrix_mul_i32", {"n": 32}, timeout_s=1e-4)],
+                timeout=300)
+        assert result.status is JobStatus.TIMEOUT
+        assert "timeout" in result.error
+
+    def test_verify_failure_fails_job(self, monkeypatch):
+        """A wrong-output job must fail loudly, not return garbage."""
+        real_reference = KERNELS["matrix_add_i32"].reference
+
+        def bad_reference(self, ctx):
+            refs = real_reference(self, ctx)
+            return {k: v + 1 for k, v in refs.items()}
+
+        monkeypatch.setattr(KERNELS["matrix_add_i32"], "reference",
+                            bad_reference)
+        with KernelService(workers=1, mode="thread") as svc:
+            (result,) = svc.run(
+                [Job("matrix_add_i32", {"n": 32}, verify=True)],
+                timeout=300)
+        assert result.status is JobStatus.FAILED
+        assert "mismatch" in result.error
+
+
+class TestStats:
+    def test_snapshot_shape(self):
+        with KernelService(workers=2, mode="thread") as svc:
+            svc.run([Job("matrix_add_i32", {"n": 32})] * 3, timeout=300)
+            snap = svc.snapshot()
+        assert snap["submitted"] == 3
+        assert snap["completed"] == 3
+        assert snap["jobs_per_second"] > 0
+        assert snap["cycles_per_second"] > 0
+        assert snap["latency_p95_s"] >= snap["latency_p50_s"] >= 0
+        assert 0 <= snap["cache"]["hit_rate"] <= 1
+        assert snap["queue_depth"] == 0
+        assert snap["queue_depth_highwater"] >= 1
+
+
+class TestPoolUnit:
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ServiceError, match="mode"):
+            WorkerPool(1, mode="quantum")
+        with pytest.raises(ServiceError, match="worker"):
+            WorkerPool(0, mode="inline")
+
+    def test_inline_payload_roundtrip(self):
+        from repro.core.config import ArchConfig
+        from repro.service.cache import config_key
+        arch = ArchConfig.baseline()
+        with WorkerPool(1, mode="inline") as pool:
+            payload = JobPayload(
+                job_id=1, benchmark="matrix_add_i32", params={"n": 32},
+                arch=arch, config_key=config_key(arch))
+            outcome = pool.submit(payload).result()
+        assert outcome["ok"]
+        assert outcome["seconds"] > 0
+        assert set(outcome["digests"]) == {"out"}

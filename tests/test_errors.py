@@ -1,6 +1,5 @@
 """The exception hierarchy."""
 
-import pytest
 
 from repro import errors
 
