@@ -14,6 +14,8 @@ subcommands walk the Figure 3 pipeline:
                   kernel binary
 ``run``           execute a benchmark from the built-in suite across
                   architecture configurations
+``profile``       run one benchmark under full observation: stall-
+                  attributed counters, issue mix, optional Chrome trace
 ``validate``      run the Section 2.3 per-instruction microbenchmark
                   sweep over the 156-instruction set
 ``netlist``       emit the trimmed compute unit as a structural netlist
@@ -29,7 +31,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import struct
 import sys
 
@@ -42,6 +43,7 @@ from .core.parallelize import plan as plan_parallelism
 from .core.trimmer import TrimmingTool
 from .errors import ReproError
 from .fpga.synthesis import Synthesizer
+from .obs.serialize import dump_json
 
 
 def _read_source(path):
@@ -90,18 +92,7 @@ def cmd_trim(args):
     tool = TrimmingTool()
     result = tool.trim(programs, datapath_bits=args.datapath)
     if args.json:
-        payload = {
-            "kernels": result.requirements.kernels,
-            "instructions_kept": result.instructions_kept,
-            "instructions_removed": result.instructions_removed,
-            "removed_units": [u.value for u in result.removed_units],
-            "usage": {u.value: f for u, f in result.usage.items()},
-            "savings": result.savings,
-            "power_w": {
-                "baseline": result.baseline_report.power.total,
-                "trimmed": result.report.power.total,
-            },
-        }
+        payload = result.to_dict()
         if args.multicore or args.multithread:
             mode = "multicore" if args.multicore else "multithread"
             grown = plan_parallelism(result.config, mode,
@@ -110,7 +101,7 @@ def cmd_trim(args):
                 "mode": mode, "cus": grown.num_cus,
                 "int_valus": grown.num_simd, "fp_valus": grown.num_simf,
             }
-        print(json.dumps(payload, indent=2))
+        print(dump_json(payload))
         return 0
     print(result.summary())
     for flag, mode in ((args.multicore, "multicore"),
@@ -175,7 +166,7 @@ def cmd_run(args):
 
         tracer = ExecutionTracer()
         device = SoftGpu(ArchConfig.baseline())
-        device.attach_tracer(tracer)
+        device.attach(tracer)
         bench.run_on(device, verify=not args.no_verify)
         print(tracer.render(limit=args.trace))
         print("\nunit utilisation: {}".format(tracer.unit_utilisation()))
@@ -193,7 +184,7 @@ def cmd_run(args):
             entry["speedup_vs_{}".format(wanted[0])] = \
                 results[label].speedup_vs(reference)
             payload["configs"][label] = entry
-        print(json.dumps(payload, indent=2))
+        print(dump_json(payload))
         return 0
     print("{:<12} {:>12} {:>10} {:>9} {:>12}".format(
         "config", "seconds", "vs " + wanted[0][:4], "power", "inst/J"))
@@ -202,6 +193,27 @@ def cmd_run(args):
         print("{:<12} {:>12.6f} {:>9.1f}x {:>8.2f}W {:>12.3e}".format(
             label, metrics.seconds, reference.seconds / metrics.seconds,
             metrics.power.total, metrics.ipj))
+    return 0
+
+
+def cmd_profile(args):
+    from .obs.profiler import profile_kernel
+
+    result = profile_kernel(
+        args.benchmark,
+        config=args.config,
+        max_groups=args.max_groups,
+        verify=not args.no_verify,
+        trace=bool(args.trace),
+    )
+    if args.trace:
+        result.trace.write(args.trace)
+        print("trace: {} events -> {}".format(len(result.trace), args.trace),
+              file=sys.stderr)
+    if args.json:
+        print(result.to_json())
+    else:
+        print(result.render())
     return 0
 
 
@@ -218,8 +230,8 @@ def cmd_serve(args):
         results = service.drain()
         snapshot = service.snapshot()
     if args.json:
-        print(json.dumps({"results": [r.to_dict() for r in results],
-                          "stats": snapshot}, indent=2))
+        print(dump_json({"results": [r.to_dict() for r in results],
+                         "stats": snapshot}))
     else:
         print("{:<6} {:<26} {:<12} {:>8} {:>10} {:>9}".format(
             "job", "benchmark", "config", "status", "sim sec", "wall s"))
@@ -331,6 +343,22 @@ def build_parser():
                    help="trace execution on the baseline and print the "
                         "first N events instead of benchmarking")
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("profile",
+                       help="profile a benchmark: stall-attributed "
+                            "counters, issue mix, optional Chrome trace")
+    p.add_argument("benchmark")
+    p.add_argument("--config", default="baseline",
+                   choices=("original", "dcd", "baseline", "trimmed",
+                            "multicore", "multithread"))
+    p.add_argument("--max-groups", type=int, default=None)
+    p.add_argument("--no-verify", action="store_true")
+    p.add_argument("--json", action="store_true",
+                   help="emit metrics + counters as JSON")
+    p.add_argument("--trace", metavar="OUT.json", default=None,
+                   help="also write a Chrome trace-event file "
+                        "(open in chrome://tracing or Perfetto)")
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("serve",
                        help="run jobs through the kernel-execution service")

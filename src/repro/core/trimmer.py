@@ -31,12 +31,13 @@ from ..errors import TrimError
 from ..fpga.synthesis import Synthesizer, SynthesisReport
 from ..isa.categories import FunctionalUnit
 from ..isa.tables import ISA
+from ..obs.serialize import SerializableMixin
 from .analyzer import KernelRequirements, analyze_application, analyze_program
 from .config import ArchConfig
 
 
 @dataclass
-class TrimResult:
+class TrimResult(SerializableMixin):
     """Everything the trimming tool reports for one application."""
 
     requirements: KernelRequirements
@@ -72,6 +73,27 @@ class TrimResult:
         """Fractional total-power reduction vs the baseline."""
         base = self.baseline_report.power.total
         return (base - self.report.power.total) / base
+
+    def to_dict(self):
+        """The trim report under the repo-wide serialization convention.
+
+        This is what ``repro trim --json`` prints (the CLI adds the
+        optional parallel-planning block on top).
+        """
+        return {
+            "kernels": list(self.requirements.kernels),
+            "instructions_kept": self.instructions_kept,
+            "instructions_removed": self.instructions_removed,
+            "removed_units": [u.value for u in self.removed_units],
+            "usage": {u.value: f for u, f in sorted(
+                self.usage.items(), key=lambda kv: kv[0].value)},
+            "savings": dict(self.savings),
+            "power_w": {
+                "baseline": self.baseline_report.power.total,
+                "trimmed": self.report.power.total,
+                "saving_fraction": self.power_saving(),
+            },
+        }
 
     def summary(self):
         lines = [

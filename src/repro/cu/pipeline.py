@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from ..errors import SimulationError, TrimmedInstructionError
 from ..isa.categories import FunctionalUnit
 from ..isa.registers import MAX_WAVEFRONTS
+from ..obs.events import InstructionIssue, Span, Stall
 from . import lsu, operations
 from .timing import DEFAULT_TIMING, frontend_cost, unit_occupancy
 
@@ -118,9 +119,12 @@ class ComputeUnit:
         }
         self.num_simd = num_simd
         self.num_simf = num_simf
-        #: Optional callable(cu, wavefront, instruction, issue_cycle),
-        #: invoked once per issued instruction (see repro.cu.trace).
-        self.tracer = None
+        #: Observation slot: ``None`` (the common case -- every hook
+        #: point is a single ``is not None`` guard, so unobserved runs
+        #: pay nothing) or the board's
+        #: :class:`~repro.obs.observer.ObserverHub`, installed by
+        #: ``SoftGpu.attach`` / ``Gpu.attach``.
+        self.obs = None
 
     def reset_occupancy(self):
         """Clear functional-unit occupancy (absolute timeline times).
@@ -181,8 +185,10 @@ class ComputeUnit:
                 )
             )
         stats = CuRunStats(wavefronts=len(wavefronts))
+        obs = self.obs
         for wf in wavefronts:
             wf.ready_at = start_time
+            wf.stall_cause = "operand-dep"
         decode_free = start_time
         finish_time = start_time
         barrier_waiters = []
@@ -216,9 +222,21 @@ class ComputeUnit:
                     "instruction budget exceeded (kernel stuck in a loop?)"
                 )
             start = max(wf.ready_at, decode_free)
-            if self.tracer is not None:
-                self.tracer(self, wf, inst, start)
-            fe_done = start + frontend_cost(inst, self.timing)
+            fe_cost = frontend_cost(inst, self.timing)
+            if obs is not None:
+                # The issue slot idled for (start - decode_free) cycles
+                # waiting on this wavefront; attribute the gap to
+                # whatever last deferred its ready time.
+                if start > decode_free:
+                    obs.emit_stall(Stall(
+                        cycle=decode_free, cu_index=self.cu_index,
+                        wf_id=wf.wf_id, cause=wf.stall_cause,
+                        cycles=start - decode_free))
+                obs.emit_issue(InstructionIssue(
+                    cycle=start, cu_index=self.cu_index, wf_id=wf.wf_id,
+                    address=inst.address, name=inst.spec.name,
+                    unit=inst.spec.unit.value, frontend_cycles=fe_cost))
+            fe_done = start + fe_cost
             decode_free = fe_done
             wf.pc += inst.words * 4
             wf.instructions_executed += 1
@@ -249,15 +267,20 @@ class ComputeUnit:
             if name == "s_waitcnt":
                 wf.ready_at = self._waitcnt_target(
                     wf, inst.fields["simm16"], fe_done)
+                if obs is not None:
+                    wf.stall_cause = ("memory" if wf.ready_at > fe_done
+                                      else "operand-dep")
                 continue
 
             if inst.spec.is_memory:
                 pool = self.pools[FunctionalUnit.LSU]
                 info = lsu.execute_memory(wf, inst, self.memory)
                 setattr(inst, "transactions", info.transactions)
-                lsu_done = pool.acquire(fe_done, unit_occupancy(inst, self.timing))
+                occupancy = unit_occupancy(inst, self.timing)
+                lsu_done = pool.acquire(fe_done, occupancy)
                 if info.space == "lds":
-                    complete = self.memory.lds_access_time(lsu_done)
+                    complete = self.memory.lds_access_time(
+                        lsu_done, cu_index=self.cu_index)
                 elif info.addrs is not None and info.lane_mask is not None:
                     complete = self.memory.access_time(
                         self.cu_index, lsu_done, info.addrs, info.lane_mask)
@@ -267,22 +290,50 @@ class ComputeUnit:
                 getattr(wf, "outstanding_" + info.counter).append(complete)
                 stats.memory_accesses += 1
                 wf.ready_at = lsu_done
+                if obs is not None:
+                    wf.stall_cause = ("fu-busy"
+                                      if lsu_done - occupancy > fe_done
+                                      else "operand-dep")
                 continue
 
             # ALU / branch path.
             pool = self.pools[inst.spec.unit]
-            done = pool.acquire(fe_done, unit_occupancy(inst, self.timing))
+            occupancy = unit_occupancy(inst, self.timing)
+            done = pool.acquire(fe_done, occupancy)
             operations.execute(wf, inst)
             wf.ready_at = done
             finish_time = max(finish_time, done)
+            if obs is not None:
+                # Waited on a busy unit instance vs. serialised on the
+                # wavefront's own in-order result.
+                wf.stall_cause = ("fu-busy" if done - occupancy > fe_done
+                                  else "operand-dep")
 
-        return max(finish_time, decode_free), stats
+        end_time = max(finish_time, decode_free)
+        if obs is not None:
+            if end_time > decode_free:
+                # Tail after the last issue: outstanding memory plus
+                # the endpgm epilogue draining the pipe.
+                obs.emit_stall(Stall(
+                    cycle=decode_free, cu_index=self.cu_index, wf_id=-1,
+                    cause="drain", cycles=end_time - decode_free))
+            obs.emit_span(Span(
+                kind="workgroup",
+                name="wg{}".format(",".join(str(g) for g in
+                                            workgroup.group_id)),
+                start=start_time, end=end_time, cu_index=self.cu_index,
+                meta=(("wavefronts", len(wavefronts)),
+                      ("instructions", stats.instructions))))
+        return end_time, stats
 
     def _release(self, workgroup, barrier_waiters):
         release_time = max(wf.ready_at for wf in barrier_waiters)
+        observed = self.obs is not None
         for wf in barrier_waiters:
             wf.at_barrier = False
             wf.ready_at = release_time + 1
+            if observed:
+                wf.stall_cause = "barrier"
         barrier_waiters.clear()
         workgroup.release_barrier()
 

@@ -6,12 +6,13 @@ unit -- the software equivalent of watching MIAOW2.0's internal cycle
 counter and per-stage activity on the FPGA (the paper's debugging
 setup of Section 2.2.1, JTAG + memory-mapped state reads).
 
-Usage::
+The tracer is one observer of the :mod:`repro.obs` event stream; it
+can share a run with counter sets and trace exporters::
 
     from repro.cu.trace import ExecutionTracer
     tracer = ExecutionTracer()
     device = SoftGpu(ArchConfig.baseline())
-    device.attach_tracer(tracer)
+    device.attach(tracer)
     bench.run_on(device)
     print(tracer.render(limit=40))
     print(tracer.histogram())
@@ -21,6 +22,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import List
+
+from ..obs.observer import Observer
 
 
 @dataclass(frozen=True)
@@ -40,15 +43,33 @@ class TraceEvent:
             self.unit, self.name)
 
 
-class ExecutionTracer:
-    """Collects :class:`TraceEvent` records from compute units."""
+class ExecutionTracer(Observer):
+    """Collects :class:`TraceEvent` records from compute units.
+
+    Bounded: past ``max_events`` records, further instructions are
+    counted in ``dropped`` instead of stored, so tracing a runaway
+    kernel cannot exhaust memory.  ``render()`` reports the dropped
+    tail.
+    """
 
     def __init__(self, max_events=1_000_000):
         self.events: List[TraceEvent] = []
         self.max_events = max_events
         self.dropped = 0
 
+    # -- observer hook -------------------------------------------------------
+
+    def on_issue(self, event):
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(
+            cycle=event.cycle, cu_index=event.cu_index, wf_id=event.wf_id,
+            address=event.address, name=event.name, unit=event.unit))
+
     def __call__(self, cu, wf, inst, cycle):
+        """Pre-obs tracer protocol (``cu.tracer`` style); kept so old
+        callables and subclasses remain usable as observers."""
         if len(self.events) >= self.max_events:
             self.dropped += 1
             return

@@ -49,6 +49,7 @@ class Wavefront:
         # -- scheduling state (written by the CU pipeline) ------------------
         self.ready_at = 0.0
         self.at_barrier = False
+        self.stall_cause = "operand-dep"  # why ready_at was last deferred
         self.outstanding_vm = []    # completion times of vector-memory ops
         self.outstanding_lgkm = []  # completion times of LDS/scalar-memory ops
         self.instructions_executed = 0

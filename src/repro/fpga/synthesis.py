@@ -15,6 +15,7 @@ from typing import Dict
 
 from ..core.config import ArchConfig
 from ..errors import ResourceError
+from ..obs.serialize import SerializableMixin
 from .area_model import AreaModel
 from .calibration import PREFETCH_BASELINE_BRAMS
 from .power_model import PowerEstimate, PowerModel
@@ -22,7 +23,7 @@ from .resources import XC7VX690T, FpgaDevice, ResourceVector
 
 
 @dataclass
-class SynthesisReport:
+class SynthesisReport(SerializableMixin):
     """Utilisation + power of one configuration on one device."""
 
     config: ArchConfig
@@ -74,6 +75,24 @@ class SynthesisReport:
             lines.append("  {:>5}: {:5.1%}".format(name, frac))
         lines.append("  power: {}".format(self.power))
         return "\n".join(lines)
+
+    def to_dict(self):
+        """Utilisation + power under the repo-wide serialization
+        convention (:mod:`repro.obs.serialize`)."""
+        total = self.total.rounded()
+        return {
+            "config": self.config.describe(),
+            "device": self.device.name,
+            "total": {"ff": total.ff, "lut": total.lut,
+                      "dsp": total.dsp, "bram": total.bram},
+            "utilisation": dict(self.utilisation()),
+            "fits_device": self.fits(),
+            "power_w": {
+                "static": self.power.static,
+                "dynamic": self.power.dynamic,
+                "total": self.power.total,
+            },
+        }
 
 
 class Synthesizer:

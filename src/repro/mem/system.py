@@ -20,6 +20,7 @@ depends on the architecture generation.
 
 from __future__ import annotations
 
+from ..obs.events import MemAccess
 from .global_memory import GlobalMemory
 from .params import MemoryTimingParams
 from .prefetch import PrefetchBuffer
@@ -63,7 +64,17 @@ class MemorySystem:
         self._prefetch_ports = [
             _Channel(self.params.prefetch_issue_interval) for _ in range(num_cus)
         ]
-        self.stats = {"relay_accesses": 0, "prefetch_hits": 0, "lds_accesses": 0}
+        # prefetch_hits + prefetch_misses == every global transaction:
+        # a "miss" is any access the prefetch memory could not serve
+        # (including all of them on configurations without one), so a
+        # hit *rate* is always computable.  relay_accesses counts the
+        # MicroBlaze-relay path and equals prefetch_misses today, but
+        # stays separate: the relay is a contended channel and future
+        # backends may miss to something other than the relay.
+        self.stats = {"relay_accesses": 0, "prefetch_hits": 0,
+                      "prefetch_misses": 0, "lds_accesses": 0}
+        #: Observation slot (see repro.obs): ``None`` or the board's hub.
+        self.obs = None
 
     # -- preload (MicroBlaze command, Section 2.1.4) -------------------------
 
@@ -89,24 +100,47 @@ class MemorySystem:
         if self.params.prefetch_enabled and \
                 self.prefetch[cu_index].covers_all(addrs, mask):
             self.stats["prefetch_hits"] += 1
-            return self._prefetch_ports[cu_index].issue(
+            done = self._prefetch_ports[cu_index].issue(
                 now, self.params.prefetch_hit_cycles)
-        self.stats["relay_accesses"] += 1
-        return self.relay.issue(now, self.params.relay_cycles)
+            hit = True
+        else:
+            self.stats["prefetch_misses"] += 1
+            self.stats["relay_accesses"] += 1
+            done = self.relay.issue(now, self.params.relay_cycles)
+            hit = False
+        if self.obs is not None:
+            self.obs.emit_mem_access(MemAccess(
+                cycle=now, cu_index=cu_index, space="global",
+                kind="vector", hit=hit, completed=done))
+        return done
 
     def scalar_access_time(self, cu_index, now, addr):
         """Completion time of a scalar (SMRD) read starting at ``now``."""
         if self.params.prefetch_enabled and self.prefetch[cu_index].covers(addr):
             self.stats["prefetch_hits"] += 1
-            return self._prefetch_ports[cu_index].issue(
+            done = self._prefetch_ports[cu_index].issue(
                 now, self.params.prefetch_hit_cycles)
-        self.stats["relay_accesses"] += 1
-        return self.relay.issue(now, self.params.relay_cycles)
+            hit = True
+        else:
+            self.stats["prefetch_misses"] += 1
+            self.stats["relay_accesses"] += 1
+            done = self.relay.issue(now, self.params.relay_cycles)
+            hit = False
+        if self.obs is not None:
+            self.obs.emit_mem_access(MemAccess(
+                cycle=now, cu_index=cu_index, space="global",
+                kind="scalar", hit=hit, completed=done))
+        return done
 
-    def lds_access_time(self, now):
+    def lds_access_time(self, now, cu_index=0):
         """Completion time of an LDS access (always in-CU BRAM)."""
         self.stats["lds_accesses"] += 1
-        return now + self.params.lds_cycles
+        done = now + self.params.lds_cycles
+        if self.obs is not None:
+            self.obs.emit_mem_access(MemAccess(
+                cycle=now, cu_index=cu_index, space="lds",
+                kind="lds", hit=None, completed=done))
+        return done
 
     def reset_timing(self):
         """Clear channel occupancy and counters between kernel launches."""

@@ -1,0 +1,59 @@
+"""repro.obs: the unified observability subsystem.
+
+Three pieces, one event stream:
+
+* **Counters** -- :class:`PerfCounters` fills a hierarchical
+  :class:`CounterSet` with stall-attributed cycle accounting, per-unit
+  issue histograms, prefetch hit/miss, LDS traffic and occupancy.
+* **Traces** -- :class:`~repro.cu.trace.ExecutionTracer` records
+  per-instruction events; :class:`ChromeTrace` exports the whole run
+  (spans + instructions + stalls) as Chrome trace-event JSON for
+  chrome://tracing / Perfetto.
+* **Surface** -- ``repro profile <kernel>`` (see
+  :func:`profile_kernel`), and one ``to_dict()``/``to_json()``
+  serialization convention (:mod:`repro.obs.serialize`) shared by
+  every result object the toolchain emits.
+
+Attachment is through the redesigned observer API::
+
+    device = SoftGpu(ArchConfig.baseline())
+    counters = device.attach(PerfCounters())
+    trace = device.attach(ChromeTrace())
+    bench.run_on(device)
+    device.detach(counters)
+    trace.write("out.json")
+
+With no observer attached, every hook point in the simulator is a
+single ``if obs is not None`` guard -- the instrumentation is free
+when unused (pinned by ``benchmarks/test_obs_overhead.py``).
+"""
+
+from .chrome_trace import ChromeTrace, validate_chrome_trace
+from .counters import CounterSet, PerfCounters
+from .events import STALL_CAUSES, InstructionIssue, MemAccess, Span, Stall
+from .observer import Observer, ObserverHub
+from .serialize import (SerializableMixin, dump_json, flatten, json_ready,
+                        nest)
+
+# The profiler pulls in the runtime/core layers, which themselves
+# import repro.obs for the event types -- load it lazily so importing
+# any instrumented layer never recurses back through this package.
+_LAZY = {"ProfileResult", "profile_kernel", "resolve_arch"}
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        from . import profiler
+
+        return getattr(profiler, name)
+    raise AttributeError("module {!r} has no attribute {!r}".format(
+        __name__, name))
+
+__all__ = [
+    "Observer", "ObserverHub",
+    "CounterSet", "PerfCounters",
+    "ChromeTrace", "validate_chrome_trace",
+    "InstructionIssue", "Stall", "MemAccess", "Span", "STALL_CAUSES",
+    "ProfileResult", "profile_kernel", "resolve_arch",
+    "SerializableMixin", "dump_json", "json_ready", "nest", "flatten",
+]

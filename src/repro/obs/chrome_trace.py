@@ -1,0 +1,196 @@
+"""Chrome trace-event exporter: open any run in chrome://tracing.
+
+:class:`ChromeTrace` is an observer that records spans (kernel
+launches, per-workgroup executions, host phases, preloads, service
+jobs), instruction issues and stalls as Trace Event Format objects --
+the JSON schema consumed by ``chrome://tracing`` and Perfetto
+(https://ui.perfetto.dev).
+
+Layout: one process (pid 0, "repro board"), one thread row per
+compute unit plus a "host (MicroBlaze)" row.  Timestamps are
+microseconds; when the CU clock frequency is known the timeline is
+real simulated time, otherwise one cycle renders as one microsecond.
+
+Usage::
+
+    trace = device.attach(ChromeTrace(clock_hz=device.gpu.clocks.cu_hz))
+    bench.run_on(device)
+    trace.write("out.json")     # load this file in Perfetto
+"""
+
+from __future__ import annotations
+
+import json
+
+from .observer import Observer
+from .serialize import SerializableMixin
+
+#: pid used for every event (one simulated board per trace).
+BOARD_PID = 0
+#: tid of the host (MicroBlaze) row; CU ``i`` renders on tid ``i + 1``.
+HOST_TID = 0
+
+#: Keys the Trace Event Format requires on every event.
+REQUIRED_EVENT_KEYS = ("name", "ph", "ts", "pid")
+
+
+class ChromeTrace(Observer, SerializableMixin):
+    """Records board events in Chrome trace-event form.
+
+    ``instructions`` controls whether per-instruction issue slices are
+    emitted (they dominate file size on long runs); ``max_slices``
+    bounds the instruction/stall slice count -- past it the trace
+    keeps only spans, and ``dropped_slices`` says how many were shed.
+    """
+
+    def __init__(self, clock_hz=None, instructions=True, max_slices=200_000):
+        self.clock_hz = clock_hz
+        self.instructions = instructions
+        self.max_slices = max_slices
+        self.dropped_slices = 0
+        self._events = []
+        self._slices = 0
+        self._named_threads = set()
+        self._add_metadata("process_name", HOST_TID,
+                           {"name": "repro board"})
+        self._name_thread(HOST_TID, "host (MicroBlaze)")
+
+    # -- time base ---------------------------------------------------------
+
+    def _us(self, cycles):
+        """Board cycles -> trace microseconds."""
+        if self.clock_hz:
+            return cycles * 1e6 / self.clock_hz
+        return float(cycles)
+
+    # -- metadata ----------------------------------------------------------
+
+    def _add_metadata(self, name, tid, args):
+        self._events.append({
+            "name": name, "ph": "M", "ts": 0.0,
+            "pid": BOARD_PID, "tid": tid, "args": args,
+        })
+
+    def _name_thread(self, tid, label):
+        if tid in self._named_threads:
+            return
+        self._named_threads.add(tid)
+        self._add_metadata("thread_name", tid, {"name": label})
+        # sort_index keeps the host row on top, CUs in order below.
+        self._add_metadata("thread_sort_index", tid, {"sort_index": tid})
+
+    def _cu_tid(self, cu_index):
+        tid = cu_index + 1
+        self._name_thread(tid, "cu{}".format(cu_index))
+        return tid
+
+    def _complete(self, name, tid, start, end, cat, args=None):
+        event = {
+            "name": name, "ph": "X", "cat": cat,
+            "ts": self._us(start), "dur": self._us(end - start),
+            "pid": BOARD_PID, "tid": tid,
+        }
+        if args:
+            event["args"] = args
+        self._events.append(event)
+
+    def _take_slice(self):
+        if self._slices >= self.max_slices:
+            self.dropped_slices += 1
+            return False
+        self._slices += 1
+        return True
+
+    # -- event hooks -------------------------------------------------------
+
+    def on_span(self, event):
+        if event.kind == "workgroup":
+            tid = self._cu_tid(event.cu_index or 0)
+        else:
+            tid = HOST_TID
+        self._complete(
+            "{}:{}".format(event.kind, event.name), tid,
+            event.start, event.end, cat=event.kind,
+            args=event.meta_dict() or None)
+
+    def on_issue(self, event):
+        if not self.instructions or not self._take_slice():
+            return
+        self._complete(
+            event.name, self._cu_tid(event.cu_index),
+            event.cycle, event.cycle + event.frontend_cycles,
+            cat="instruction",
+            args={"wf": event.wf_id, "unit": event.unit,
+                  "address": event.address})
+
+    def on_stall(self, event):
+        if not self.instructions or not self._take_slice():
+            return
+        self._complete(
+            "stall:{}".format(event.cause), self._cu_tid(event.cu_index),
+            event.cycle, event.cycle + event.cycles,
+            cat="stall", args={"wf": event.wf_id})
+
+    def on_mem_access(self, event):
+        if not self.instructions or not self._take_slice():
+            return
+        name = ("{}:{}".format(event.space,
+                               "hit" if event.hit else "miss")
+                if event.space == "global" else "lds")
+        self._events.append({
+            "name": name, "ph": "i", "s": "t",
+            "ts": self._us(event.cycle),
+            "pid": BOARD_PID, "tid": self._cu_tid(event.cu_index),
+            "cat": "memory",
+        })
+
+    # -- output ------------------------------------------------------------
+
+    def __len__(self):
+        return len(self._events)
+
+    def to_dict(self):
+        """The Trace Event Format payload (JSON object form)."""
+        return {
+            "traceEvents": list(self._events),
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "tool": "repro.obs",
+                "clock_hz": self.clock_hz,
+                "dropped_slices": self.dropped_slices,
+            },
+        }
+
+    def write(self, path):
+        """Write the trace to ``path``; load it in chrome://tracing."""
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle)
+        return path
+
+
+def validate_chrome_trace(payload):
+    """Check a payload against the Trace Event Format essentials.
+
+    Raises ``ValueError`` on the first violation; returns the event
+    count when the payload is well-formed.  Used by the tier-1 tests
+    and the CI trace-schema gate.
+    """
+    if isinstance(payload, (str, bytes)):
+        payload = json.loads(payload)
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise ValueError("trace must be an object with a traceEvents list")
+    events = payload["traceEvents"]
+    if not isinstance(events, list) or not events:
+        raise ValueError("traceEvents must be a non-empty list")
+    for i, event in enumerate(events):
+        for key in REQUIRED_EVENT_KEYS:
+            if key not in event:
+                raise ValueError(
+                    "event {} is missing required key {!r}: {!r}".format(
+                        i, key, event))
+        if event["ph"] == "X" and "dur" not in event:
+            raise ValueError(
+                "complete event {} is missing dur: {!r}".format(i, event))
+        if not isinstance(event["ts"], (int, float)):
+            raise ValueError("event {} has non-numeric ts".format(i))
+    return len(events)

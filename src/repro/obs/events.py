@@ -1,0 +1,112 @@
+"""Typed observation events emitted by the simulated board.
+
+Every instrumented layer (CU pipeline, memory system, SoC, runtime,
+service) reports what it does through a small, closed set of event
+types -- the software analogue of the paper's Section 2.2.1 debugging
+setup, where the FPGA exposes its internal cycle counter and per-stage
+activity over JTAG/memory-mapped reads.
+
+Events are plain frozen dataclasses so observers can be written
+against stable, documented fields, and so a recorded stream can be
+serialised (every field is a JSON-ready scalar).  They are only ever
+constructed while at least one observer is attached; the disabled
+path allocates nothing.
+
+Timestamps are **CU-domain cycles** on the board timeline (the same
+clock every timing quantity in the simulator uses); exporters convert
+to wall-clock units when a clock frequency is known.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+#: Stall causes attributed by the CU pipeline's issue stage.
+STALL_CAUSES = ("operand-dep", "fu-busy", "memory", "barrier", "drain")
+
+#: Span kinds emitted by the SoC / runtime / service layers.
+SPAN_KINDS = ("kernel", "workgroup", "host_phase", "preload", "job")
+
+
+@dataclass(frozen=True)
+class InstructionIssue:
+    """One instruction entered the CU front end."""
+
+    cycle: float          # issue cycle (board timeline, CU domain)
+    cu_index: int
+    wf_id: int
+    address: int          # byte address of the instruction
+    name: str             # mnemonic, e.g. "v_add_i32"
+    unit: str             # functional unit, e.g. "simd"
+    frontend_cycles: float = 1.0  # front-end occupancy (1 or 2 fetches)
+
+
+@dataclass(frozen=True)
+class Stall:
+    """The CU front end idled before an issue (or drained at the end).
+
+    ``cause`` is one of :data:`STALL_CAUSES`:
+
+    * ``operand-dep`` -- the wavefront serialised on its own previous
+      result (in-order issue),
+    * ``fu-busy``     -- every instance of the needed functional unit
+      was occupied by other wavefronts,
+    * ``memory``      -- an ``s_waitcnt`` waited on outstanding
+      vector/scalar memory completions,
+    * ``barrier``     -- the wavefront waited at an ``s_barrier``
+      rendezvous,
+    * ``drain``       -- end-of-workgroup pipeline drain (outstanding
+      memory + endpgm epilogue after the last issue).
+    """
+
+    cycle: float          # when the idle gap started
+    cu_index: int
+    wf_id: int            # the wavefront whose wait caused the gap
+    cause: str
+    cycles: float         # length of the idle gap
+
+
+@dataclass(frozen=True)
+class MemAccess:
+    """One memory-system transaction.
+
+    ``space`` is ``"global"`` or ``"lds"``; ``kind`` is ``"vector"``,
+    ``"scalar"`` or ``"lds"``.  ``hit`` is True for a prefetch-buffer
+    hit, False for a relay (miss) access, and None for LDS (always
+    in-CU BRAM -- the hit/miss distinction does not apply).
+    """
+
+    cycle: float          # requested start time
+    cu_index: int
+    space: str
+    kind: str
+    hit: Optional[bool]
+    completed: float      # completion time returned to the pipeline
+
+
+@dataclass(frozen=True)
+class Span:
+    """A named interval on the board timeline.
+
+    Emitted for kernel launches (``kind="kernel"``), per-workgroup
+    executions (``"workgroup"``, with ``cu_index`` set), MicroBlaze
+    host phases (``"host_phase"``), prefetch preloads (``"preload"``)
+    and service-job lifecycles (``"job"``).  ``meta`` carries
+    kind-specific detail as a flat tuple of ``(key, value)`` pairs so
+    the event stays hashable and cheap.
+    """
+
+    kind: str
+    name: str
+    start: float
+    end: float
+    cu_index: Optional[int] = None
+    meta: Tuple = ()
+
+    @property
+    def cycles(self):
+        return self.end - self.start
+
+    def meta_dict(self):
+        return dict(self.meta)

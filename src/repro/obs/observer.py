@@ -1,0 +1,111 @@
+"""The observer API: how instrumentation attaches to a device.
+
+Design goals, in priority order:
+
+1. **Zero cost when disabled.**  Instrumented layers hold an ``obs``
+   slot that is ``None`` whenever no observer is attached; every hook
+   point is a single ``if obs is not None`` guard, so an unobserved
+   simulation does no event construction, no dispatch, no dictionary
+   work.
+2. **Any number of observers.**  A :class:`ObserverHub` fans each
+   event out to every attached observer, so a tracer, a counter set
+   and a Chrome-trace recorder can watch one run simultaneously.
+3. **Typed events.**  Observers implement ``on_*`` methods for the
+   event classes in :mod:`repro.obs.events`; unimplemented hooks
+   default to no-ops, so an observer only declares what it consumes.
+
+Usage::
+
+    from repro.obs import PerfCounters
+    device = SoftGpu(ArchConfig.baseline())
+    counters = device.attach(PerfCounters())
+    bench.run_on(device)
+    device.detach(counters)
+    print(counters.render())
+
+The old ``SoftGpu.attach_tracer`` entry point survives as a deprecated
+alias of ``attach``.
+"""
+
+from __future__ import annotations
+
+
+class Observer:
+    """Base class: a sink for board events.  All hooks default to no-ops.
+
+    Subclasses override any of:
+
+    * :meth:`on_issue` -- :class:`~repro.obs.events.InstructionIssue`
+    * :meth:`on_stall` -- :class:`~repro.obs.events.Stall`
+    * :meth:`on_mem_access` -- :class:`~repro.obs.events.MemAccess`
+    * :meth:`on_span` -- :class:`~repro.obs.events.Span`
+    """
+
+    def on_issue(self, event):
+        pass
+
+    def on_stall(self, event):
+        pass
+
+    def on_mem_access(self, event):
+        pass
+
+    def on_span(self, event):
+        pass
+
+
+class ObserverHub:
+    """Fan-out dispatcher owned by one simulated board.
+
+    The hub itself is what instrumented layers hold in their ``obs``
+    slot -- but only while at least one observer is attached.  The
+    owner (:class:`~repro.soc.gpu.Gpu`) re-syncs those slots to
+    ``None`` when the hub empties, restoring the zero-cost path.
+    """
+
+    __slots__ = ("observers", "dispatched")
+
+    def __init__(self):
+        self.observers = []
+        #: Total events dispatched (all types); used by the overhead
+        #: benchmark to prove the disabled path never dispatches.
+        self.dispatched = 0
+
+    def __len__(self):
+        return len(self.observers)
+
+    def attach(self, observer):
+        if observer in self.observers:
+            return observer
+        self.observers.append(observer)
+        return observer
+
+    def detach(self, observer):
+        try:
+            self.observers.remove(observer)
+        except ValueError:
+            pass
+
+    # -- dispatch ----------------------------------------------------------
+    # One method per event type: call sites are hot paths and a typed
+    # call avoids a per-event isinstance dance in every observer.
+
+    def emit_issue(self, event):
+        self.dispatched += 1
+        for obs in self.observers:
+            obs.on_issue(event)
+
+    def emit_stall(self, event):
+        self.dispatched += 1
+        for obs in self.observers:
+            obs.on_stall(event)
+
+    def emit_mem_access(self, event):
+        self.dispatched += 1
+        for obs in self.observers:
+            obs.on_mem_access(event)
+
+    def emit_span(self, event):
+        self.dispatched += 1
+        for obs in self.observers:
+            obs.on_span(event)

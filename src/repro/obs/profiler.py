@@ -1,0 +1,169 @@
+"""The ``repro profile`` engine: one observed run, fully accounted.
+
+Runs a benchmark from the suite on one architecture configuration
+with the standard observers attached -- :class:`PerfCounters` always,
+:class:`ChromeTrace` when a trace is requested -- and packages the
+result behind the repo-wide serialization convention, so
+``repro profile <kernel> --json`` emits the same shape of payload as
+``run --json`` and ``serve --json``.
+"""
+
+from __future__ import annotations
+
+from ..core.config import ArchConfig
+from ..core.flow import ScratchFlow
+from ..errors import LaunchError
+from ..runtime.device import SoftGpu
+from ..runtime.metrics import measure
+from .chrome_trace import ChromeTrace
+from .counters import PerfCounters
+from .events import STALL_CAUSES
+from .serialize import SerializableMixin
+
+_FIXED_CONFIGS = {
+    "original": ArchConfig.original,
+    "dcd": ArchConfig.dcd,
+    "baseline": ArchConfig.baseline,
+}
+
+
+def resolve_arch(benchmark, config, flow=None):
+    """Resolve a config label the way the CLI and service do.
+
+    Fixed generations come straight from :class:`ArchConfig`; the
+    application-aware labels (``trimmed``, ``multicore``,
+    ``multithread``) run the static flow for ``benchmark``.  Returns
+    ``(arch, synthesizer)`` so callers price power consistently.
+    """
+    flow = flow or ScratchFlow(benchmark)
+    if config in _FIXED_CONFIGS:
+        return _FIXED_CONFIGS[config](), flow.synthesizer
+    if config == "trimmed":
+        return flow.trim().config, flow.synthesizer
+    return flow.plan(config), flow.synthesizer
+
+
+class ProfileResult(SerializableMixin):
+    """Everything one profiled run produced."""
+
+    def __init__(self, benchmark, config, metrics, perf, device, trace=None):
+        self.benchmark = benchmark
+        self.config = config
+        self.metrics = metrics
+        self.perf = perf
+        self.device = device
+        self.trace = trace
+
+    @property
+    def counters(self):
+        return self.perf.counters
+
+    def to_dict(self):
+        return {
+            "benchmark": self.benchmark,
+            "config": self.config,
+            "metrics": self.metrics.to_dict(),
+            "counters": self.perf.to_dict(),
+            "memory_stats": dict(self.device.gpu.memory.stats),
+        }
+
+    def render(self):
+        """The human-readable profile table."""
+        c = self.counters
+        derived = self.perf.derived()
+        total = c.get("cycles.total")
+        lines = [
+            "profile: {} on {}".format(self.benchmark,
+                                       self.device.arch.describe()),
+            "",
+            "  {:<26} {:>14.6f}".format("simulated seconds",
+                                        self.metrics.seconds),
+            "  {:<26} {:>14}".format("instructions",
+                                     self.metrics.instructions),
+            "  {:<26} {:>14.1f}".format("board cycles (timeline)",
+                                        self.device.elapsed_cu_cycles),
+            "",
+            "cycle attribution ({:.1f} workgroup-execution cycles)"
+            .format(total),
+        ]
+
+        def frac(v):
+            return v / total if total else 0.0
+
+        lines.append("  {:<26} {:>14.1f}  {:>6.1%}".format(
+            "issue-active", c.get("cycles.active"),
+            frac(c.get("cycles.active"))))
+        for cause in STALL_CAUSES:
+            cycles = c.get("stall." + cause)
+            lines.append("  {:<26} {:>14.1f}  {:>6.1%}".format(
+                "stall: " + cause, cycles, frac(cycles)))
+        lines.append("")
+        lines.append("issue mix ({} instructions issued)".format(
+            c.get("issue.total")))
+        for unit, count in sorted(c.group("issue.unit").items(),
+                                  key=lambda kv: -kv[1]):
+            lines.append("  {:<26} {:>14}  {:>6.1%}".format(
+                unit, count,
+                count / c.get("issue.total") if c.get("issue.total") else 0))
+        lines.append("")
+        lines.append("memory")
+        lines.append("  {:<26} {:>14}".format("prefetch hits",
+                                              c.get("mem.global.hits")))
+        lines.append("  {:<26} {:>14}".format("prefetch misses",
+                                              c.get("mem.global.misses")))
+        lines.append("  {:<26} {:>13.1%}".format(
+            "prefetch hit rate", derived["prefetch_hit_rate"]))
+        lines.append("  {:<26} {:>14}".format("lds accesses",
+                                              c.get("mem.lds.accesses")))
+        lines.append("")
+        lines.append("occupancy")
+        lines.append("  {:<26} {:>14}".format(
+            "workgroups", c.get("occupancy.workgroups")))
+        lines.append("  {:<26} {:>14}".format(
+            "wavefronts", c.get("occupancy.wavefronts")))
+        lines.append("  {:<26} {:>14.2f}".format(
+            "avg wavefronts/group",
+            derived["avg_wavefronts_per_workgroup"]))
+        if self.trace is not None:
+            lines.append("")
+            lines.append("trace: {} events recorded".format(len(self.trace)))
+        return "\n".join(lines)
+
+
+def profile_kernel(benchmark_name, params=None, config="baseline",
+                   max_groups=None, verify=True, trace=False,
+                   trace_instructions=True):
+    """Run one benchmark under full observation; returns ProfileResult.
+
+    ``trace=True`` additionally records a Chrome trace (see
+    :meth:`ProfileResult.trace` / :meth:`ChromeTrace.write`).
+    """
+    from ..kernels import KERNELS
+
+    if benchmark_name not in KERNELS:
+        raise LaunchError(
+            "unknown benchmark {!r}; available: {}".format(
+                benchmark_name, ", ".join(sorted(KERNELS))))
+    bench = KERNELS[benchmark_name](**(params or {}))
+    arch, synthesizer = resolve_arch(bench, config)
+    device = SoftGpu(arch, max_groups=max_groups)
+
+    perf = device.attach(PerfCounters())
+    trace_obs = None
+    if trace:
+        trace_obs = device.attach(ChromeTrace(
+            clock_hz=device.gpu.clocks.cu_hz,
+            instructions=trace_instructions))
+    try:
+        bench.run_on(device, verify=verify)
+    finally:
+        device.detach(perf)
+        if trace_obs is not None:
+            device.detach(trace_obs)
+
+    report = synthesizer.synthesize(arch)
+    metrics = measure(device, report,
+                      label="{}@{}".format(bench.name, arch.describe()))
+    return ProfileResult(benchmark=benchmark_name, config=config,
+                         metrics=metrics, perf=perf, device=device,
+                         trace=trace_obs)

@@ -1,0 +1,107 @@
+"""The one serialization convention shared across the repo.
+
+Every result object the toolchain can emit as JSON -- `RunMetrics`,
+`TrimResult`, `SynthesisReport`, `ServiceStats` snapshots, `JobResult`,
+`CounterSet`, profile results -- follows the same contract:
+
+* ``to_dict()`` returns a plain mapping of **stable snake_case keys**
+  to JSON-ready values (scalars, lists, nested dicts); derived
+  quantities are included so consumers never recompute them,
+* ``to_json(indent=2)`` is ``json.dumps`` of that mapping and is
+  provided for free by :class:`SerializableMixin`,
+* nothing NumPy-, enum- or dataclass-shaped leaks through --
+  :func:`json_ready` normalises those.
+
+The CLI's ``--json`` modes (``run``, ``serve``, ``profile``, ``trim``)
+all print ``dump_json(...)`` of such mappings, so their output shape
+is uniform and machine-diffable across subcommands.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+
+
+def json_ready(value):
+    """Recursively normalise ``value`` into JSON-serialisable types.
+
+    Handles objects exposing ``to_dict()``, dataclasses, enums, sets
+    and NumPy scalars/arrays (via their ``item``/``tolist`` methods,
+    without importing numpy here).
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, enum.Enum):
+        return json_ready(value.value)
+    if isinstance(value, dict):
+        return {str(json_ready(k)): json_ready(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_ready(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(json_ready(v) for v in value)
+    if hasattr(value, "to_dict"):
+        return json_ready(value.to_dict())
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: json_ready(getattr(value, f.name))
+                for f in dataclasses.fields(value)}
+    if hasattr(value, "tolist"):       # numpy array
+        return json_ready(value.tolist())
+    if hasattr(value, "item"):         # numpy scalar
+        return json_ready(value.item())
+    return str(value)
+
+
+def dump_json(value, indent=2):
+    """Serialise any supported object to a JSON string."""
+    return json.dumps(json_ready(value), indent=indent)
+
+
+class SerializableMixin:
+    """Adds ``to_json()`` to any class that implements ``to_dict()``."""
+
+    def to_dict(self):
+        raise NotImplementedError
+
+    def to_json(self, indent=2):
+        return dump_json(self.to_dict(), indent=indent)
+
+
+def nest(flat):
+    """Fold a flat ``{"a.b.c": v}`` mapping into nested dicts.
+
+    Counter paths are hierarchical by convention; the nested form is
+    what ``to_dict()`` emits because it groups related counters for
+    human readers and JSON consumers alike.  Raises ``ValueError``
+    when a path is both a leaf and a prefix (e.g. ``"a"`` and
+    ``"a.b"``) -- that mapping could not round-trip.
+    """
+    tree = {}
+    for path in sorted(flat):
+        parts = path.split(".")
+        node = tree
+        for part in parts[:-1]:
+            node = node.setdefault(part, {})
+            if not isinstance(node, dict):
+                raise ValueError(
+                    "counter path {!r} collides with leaf {!r}".format(
+                        path, part))
+        if isinstance(node.get(parts[-1]), dict):
+            raise ValueError(
+                "counter path {!r} collides with group of the same name"
+                .format(path))
+        node[parts[-1]] = flat[path]
+    return tree
+
+
+def flatten(tree, prefix=""):
+    """Inverse of :func:`nest`: nested dicts back to dotted paths."""
+    flat = {}
+    for key, value in tree.items():
+        path = "{}.{}".format(prefix, key) if prefix else str(key)
+        if isinstance(value, dict):
+            flat.update(flatten(value, path))
+        else:
+            flat[path] = value
+    return flat

@@ -143,13 +143,42 @@ class SoftGpu:
     def host_phase(self, name, alu_ops=0, fp_ops=0, mem_touches=0):
         return self.gpu.host_phase(name, alu_ops, fp_ops, mem_touches)
 
-    # -- debugging -------------------------------------------------------------
+    # -- observation -----------------------------------------------------------
+
+    def attach(self, observer):
+        """Attach an observer to the board's event stream.
+
+        Any :class:`~repro.obs.observer.Observer` works -- a counter
+        set, an execution tracer, a Chrome-trace recorder -- and any
+        number may be attached at once.  Returns the observer so the
+        call chains::
+
+            counters = device.attach(PerfCounters())
+        """
+        return self.gpu.attach(observer)
+
+    def detach(self, observer):
+        """Detach a previously attached observer."""
+        self.gpu.detach(observer)
+
+    @property
+    def observers(self):
+        """The currently attached observers, in attachment order."""
+        return self.gpu.observers
 
     def attach_tracer(self, tracer):
-        """Attach an execution tracer to every compute unit."""
-        for cu in self.gpu.cus:
-            cu.tracer = tracer
-        return tracer
+        """Deprecated alias of :meth:`attach` (pre-obs API).
+
+        .. deprecated::
+            Use ``device.attach(tracer)``; this alias will be removed.
+        """
+        import warnings
+
+        warnings.warn(
+            "SoftGpu.attach_tracer is deprecated; use "
+            "SoftGpu.attach(observer) instead",
+            DeprecationWarning, stacklevel=2)
+        return self.attach(tracer)
 
     # -- timeline ------------------------------------------------------------
 

@@ -17,10 +17,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..fpga.power_model import PowerEstimate
+from ..obs.serialize import SerializableMixin
 
 
 @dataclass(frozen=True)
-class RunMetrics:
+class RunMetrics(SerializableMixin):
     """One benchmark execution on one architecture configuration."""
 
     label: str
@@ -58,9 +59,10 @@ class RunMetrics:
     def to_dict(self):
         """All figures of merit as one JSON-ready mapping.
 
-        This is the serialisation surface the CLI ``--json`` modes and
-        the execution service emit; derived metrics (energy, EDP, IPJ)
-        are included so consumers never recompute them.
+        Follows the repo-wide serialization convention
+        (:mod:`repro.obs.serialize`): stable snake_case keys, derived
+        metrics (energy, EDP, IPJ) included so consumers never
+        recompute them, and :meth:`from_dict` round-trips the payload.
         """
         return {
             "label": self.label,
@@ -75,6 +77,18 @@ class RunMetrics:
             "edp": self.edp,
             "ipj": self.ipj,
         }
+
+    @classmethod
+    def from_dict(cls, payload):
+        """Rebuild from a ``to_dict()`` payload (derived keys ignored)."""
+        power = payload["power_w"]
+        return cls(
+            label=payload["label"],
+            seconds=payload["seconds"],
+            instructions=payload["instructions"],
+            power=PowerEstimate(static=power["static"],
+                                dynamic=power["dynamic"]),
+        )
 
     def __str__(self):
         return ("{}: {:.6f}s, {} instructions, {:.2f}W, "

@@ -64,6 +64,7 @@ class Job:
     timeout_s: Optional[float] = None
     retries: int = 0
     tag: str = ""
+    profile: bool = False             # attach PerfCounters in the worker
 
     def __post_init__(self):
         if self.config not in CONFIG_SPECS:
@@ -102,6 +103,7 @@ class JobResult:
     worker: Optional[int] = None      # worker pid (process mode)
     warm_board: bool = False          # reused a pooled SoftGpu
     digests: Dict[str, str] = field(default_factory=dict)
+    counters: Optional[Dict[str, object]] = None  # PerfCounters.to_dict()
 
     @property
     def ok(self):
@@ -122,6 +124,8 @@ class JobResult:
         }
         if self.metrics is not None:
             out["metrics"] = self.metrics.to_dict()
+        if self.counters is not None:
+            out["counters"] = self.counters
         if self.error:
             out["error"] = self.error
         return out
@@ -170,7 +174,7 @@ def load_jobs(source):
             raise AdmissionError("job entry {}: repeat must be >= 1".format(i))
         unknown = set(entry) - {
             "benchmark", "params", "config", "priority", "max_groups",
-            "verify", "timeout_s", "retries", "tag"}
+            "verify", "timeout_s", "retries", "tag", "profile"}
         if unknown:
             raise AdmissionError(
                 "job entry {}: unknown fields {}".format(i, sorted(unknown)))

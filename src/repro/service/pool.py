@@ -52,6 +52,7 @@ class JobPayload:
     config_key: str
     max_groups: Optional[int] = None
     verify: bool = True
+    profile: bool = False
 
 
 @dataclass
@@ -90,9 +91,11 @@ def _shelf_for_thread():
 
 def _execute_on_shelf(shelf, payload: JobPayload):
     from ..kernels import KERNELS
+    from ..obs.counters import PerfCounters
 
     board, warm = shelf.checkout(payload.config_key, payload.arch)
     board.max_groups = payload.max_groups
+    perf = board.attach(PerfCounters()) if payload.profile else None
     try:
         bench = KERNELS[payload.benchmark](**payload.params)
         ctx = bench.run_on(board, verify=payload.verify)
@@ -101,7 +104,7 @@ def _execute_on_shelf(shelf, payload: JobPayload):
             buf = ctx[name]
             raw = board.read(buf, dtype="u1")
             digests[name] = hashlib.sha256(raw.tobytes()).hexdigest()
-        return {
+        result = {
             "ok": True,
             "job_id": payload.job_id,
             "seconds": board.elapsed_seconds,
@@ -111,6 +114,9 @@ def _execute_on_shelf(shelf, payload: JobPayload):
             "worker": os.getpid(),
             "warm_board": warm,
         }
+        if perf is not None:
+            result["counters"] = perf.to_dict()
+        return result
     except ReproError as exc:
         return {
             "ok": False,
@@ -120,6 +126,11 @@ def _execute_on_shelf(shelf, payload: JobPayload):
             "worker": os.getpid(),
             "warm_board": warm,
         }
+    finally:
+        # Warm boards persist on the shelf; never leave a per-job
+        # observer attached to one.
+        if perf is not None:
+            board.detach(perf)
 
 
 def _execute_in_process(payload: JobPayload):

@@ -185,6 +185,7 @@ class KernelService:
             config_key=ticket.config_key,
             max_groups=ticket.job.max_groups,
             verify=ticket.job.verify,
+            profile=ticket.job.profile,
         )
         if ticket.job.timeout_s is not None and ticket.timer is None:
             ticket.timer = threading.Timer(
@@ -246,7 +247,8 @@ class KernelService:
             latency_s=self._latency(ticket),
             worker=outcome.get("worker"),
             warm_board=outcome.get("warm_board", False),
-            digests=outcome.get("digests", {})),
+            digests=outcome.get("digests", {}),
+            counters=outcome.get("counters")),
             cu_cycles=outcome.get("cu_cycles", 0.0))
 
     def _on_timeout(self, ticket):

@@ -13,6 +13,7 @@ from __future__ import annotations
 import threading
 import time
 
+from ..obs.serialize import SerializableMixin
 from .jobs import JobStatus
 
 
@@ -25,7 +26,7 @@ def percentile(values, fraction):
     return ordered[rank]
 
 
-class ServiceStats:
+class ServiceStats(SerializableMixin):
     """Running aggregation over the lifetime of one service."""
 
     def __init__(self, clock=time.monotonic):
@@ -103,9 +104,16 @@ class ServiceStats:
             return 0.0
         return self.warm_hits / self.completed_with_board
 
+    def to_dict(self):
+        """The dashboard frame under the repo-wide serialization
+        convention; service-context fields (queue, cache, workers)
+        carry their defaults.  :meth:`KernelService.snapshot` calls
+        :meth:`snapshot` with the live values."""
+        return self.snapshot()
+
     def snapshot(self, cache_stats=None, queue_depth=0,
                  queue_highwater=0, workers=0):
-        """One JSON-ready dashboard frame."""
+        """One JSON-ready dashboard frame (stable snake_case keys)."""
         with self._lock:
             frame = {
                 "workers": workers,

@@ -27,6 +27,8 @@ from ..core.config import ArchConfig
 from ..cu.pipeline import ComputeUnit, CuRunStats
 from ..errors import LaunchError
 from ..mem.system import MemorySystem
+from ..obs.events import Span
+from ..obs.observer import ObserverHub
 from .clocks import DUAL_DOMAIN, SINGLE_DOMAIN
 from .dispatcher import Dispatcher, LaunchGeometry
 from .microblaze import MicroBlaze
@@ -93,12 +95,42 @@ class Gpu:
         self.now = 0.0  # board timeline, CU-domain cycles
         self.total_instructions = 0
         self.launches = []
+        #: Observer fan-out for the whole board.  ``self.obs`` (and the
+        #: matching slots on every CU and the memory system) is None
+        #: until an observer attaches, so unobserved simulation skips
+        #: all event construction.
+        self.hub = ObserverHub()
+        self.obs = None
         # The host templates always mirror the small constant-buffer
         # region (launch geometry + kernel arguments) into the prefetch
         # memory right after writing it -- scalar loads of kernel
         # arguments would otherwise serialise on the MicroBlaze relay.
         if self.arch.has_prefetch:
             self.memory.preload_all(0, HEAP_BASE)
+
+    # -- observation --------------------------------------------------------
+
+    def attach(self, observer):
+        """Register an observer for every event the board emits."""
+        self.hub.attach(observer)
+        self._sync_obs()
+        return observer
+
+    def detach(self, observer):
+        """Remove one observer; restores the zero-cost path when empty."""
+        self.hub.detach(observer)
+        self._sync_obs()
+
+    @property
+    def observers(self):
+        return tuple(self.hub.observers)
+
+    def _sync_obs(self):
+        hub = self.hub if len(self.hub) else None
+        self.obs = hub
+        self.memory.obs = hub
+        for cu in self.cus:
+            cu.obs = hub
 
     # -- time bookkeeping ---------------------------------------------------
 
@@ -122,8 +154,13 @@ class Gpu:
 
     def host_phase(self, name, alu_ops=0, fp_ops=0, mem_touches=0):
         """Run a host-code phase on the MicroBlaze; advances the timeline."""
+        started = self.now
         mb = self.microblaze.run_phase(name, alu_ops, fp_ops, mem_touches)
         self.now += self._mb_to_cu(mb)
+        if self.obs is not None:
+            self.obs.emit_span(Span(
+                kind="host_phase", name=name, start=started, end=self.now,
+                meta=(("mb_cycles", mb),)))
         return mb
 
     def preload_prefetch(self, start, nbytes):
@@ -135,10 +172,16 @@ class Gpu:
         """
         if not self.arch.has_prefetch:
             return False
+        started = self.now
         covered = self.memory.preload_all(start, nbytes)
         mb = PRELOAD_MB_CYCLES_PER_WORD * (nbytes / 4.0)
         self.microblaze.charge_cycles("preload", mb)
         self.now += self._mb_to_cu(mb)
+        if self.obs is not None:
+            self.obs.emit_span(Span(
+                kind="preload", name="preload:0x{:x}+{}".format(start, nbytes),
+                start=started, end=self.now,
+                meta=(("nbytes", nbytes), ("covered", covered))))
         return covered
 
     # -- kernel launch ---------------------------------------------------------
@@ -192,6 +235,13 @@ class Gpu:
         elapsed = end_time - self.now
         if sampled and group_ids:
             elapsed *= total / float(len(group_ids))
+        if self.obs is not None:
+            self.obs.emit_span(Span(
+                kind="kernel", name=program.name,
+                start=self.now, end=self.now + elapsed,
+                meta=(("total_groups", total),
+                      ("executed_groups", len(group_ids)),
+                      ("sampled", sampled))))
         self.now += elapsed
         result = LaunchResult(
             kernel=program.name,

@@ -12,7 +12,7 @@ from repro.runtime import SoftGpu
 def traced_run():
     tracer = ExecutionTracer()
     device = SoftGpu(ArchConfig.baseline())
-    device.attach_tracer(tracer)
+    device.attach(tracer)
     MatrixAddI32(n=16).run_on(device)
     return tracer, device
 
@@ -50,10 +50,22 @@ class TestTracer:
     def test_cap_drops_instead_of_growing(self):
         tracer = ExecutionTracer(max_events=10)
         device = SoftGpu(ArchConfig.baseline())
-        device.attach_tracer(tracer)
+        device.attach(tracer)
         MatrixAddI32(n=16).run_on(device, verify=False)
         assert len(tracer) == 10
         assert tracer.dropped > 0
+
+    def test_dropped_tail_is_exact(self):
+        """Stored + dropped account for every issued instruction, and
+        render() reports the full invisible tail."""
+        tracer = ExecutionTracer(max_events=10)
+        device = SoftGpu(ArchConfig.baseline())
+        device.attach(tracer)
+        MatrixAddI32(n=16).run_on(device, verify=False)
+        assert len(tracer) + tracer.dropped == device.instructions
+        tail = tracer.render(limit=4).splitlines()[-1]
+        assert tail == "... {} more events".format(
+            device.instructions - 4)
 
     def test_clear(self, traced_run):
         tracer, _ = traced_run
@@ -64,6 +76,14 @@ class TestTracer:
         tracer = ExecutionTracer()
         arch = ArchConfig.baseline().with_parallelism(num_cus=3)
         device = SoftGpu(arch)
-        device.attach_tracer(tracer)
+        device.attach(tracer)
         MatrixAddI32(n=64).run_on(device, verify=False)
         assert {e.cu_index for e in tracer.events} == {0, 1, 2}
+
+    def test_attach_tracer_is_deprecated_but_works(self):
+        tracer = ExecutionTracer()
+        device = SoftGpu(ArchConfig.baseline())
+        with pytest.deprecated_call():
+            device.attach_tracer(tracer)
+        MatrixAddI32(n=8).run_on(device, verify=False)
+        assert len(tracer) == device.instructions

@@ -129,6 +129,47 @@ class TestValidateAndRun:
         assert payload["configs"]["baseline"]["speedup_vs_baseline"] == 1.0
 
 
+class TestProfile:
+    def test_table_output(self, capsys):
+        assert main(["profile", "matrix_add_i32", "--no-verify"]) == 0
+        out = capsys.readouterr().out
+        assert "cycle attribution" in out
+        assert "stall: operand-dep" in out
+        assert "issue mix" in out
+        assert "prefetch hit rate" in out
+
+    def test_json_output(self, capsys):
+        assert main(["profile", "matrix_add_i32", "--no-verify",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["benchmark"] == "matrix_add_i32"
+        counters = payload["counters"]
+        stall_total = sum(counters["stall"].values())
+        assert counters["cycles"]["active"] + stall_total \
+            == pytest.approx(counters["cycles"]["total"])
+        assert counters["derived"]["prefetch_hit_rate"] == 1.0
+        assert payload["metrics"]["seconds"] > 0
+
+    def test_trace_file_is_valid_chrome_trace(self, tmp_path, capsys):
+        from repro.obs import validate_chrome_trace
+
+        out_path = tmp_path / "trace.json"
+        assert main(["profile", "matrix_add_i32", "--no-verify",
+                     "--trace", str(out_path)]) == 0
+        assert "trace:" in capsys.readouterr().err
+        payload = json.loads(out_path.read_text())
+        assert validate_chrome_trace(payload) > 0
+
+    def test_trimmed_config(self, capsys):
+        assert main(["profile", "matrix_add_i32", "--config", "trimmed",
+                     "--no-verify"]) == 0
+        assert "trim" in capsys.readouterr().out
+
+    def test_unknown_benchmark(self, capsys):
+        assert main(["profile", "no_such_bench"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+
 class TestServe:
     def test_serve_jobs_file(self, tmp_path, capsys):
         jobs = tmp_path / "jobs.json"

@@ -48,6 +48,30 @@ class TestPrefetchPath:
         t = system.access_time(0, 0.0, ADDRS, MASK)
         assert t == pytest.approx(DCD_PM_TIMING.relay_cycles)
         assert system.stats["relay_accesses"] == 1
+        assert system.stats["prefetch_misses"] == 1
+
+    def test_hits_plus_misses_cover_all_global_accesses(self):
+        """Every global transaction is either a prefetch hit or a miss,
+        so hit-rate denominators never undercount (ISSUE bugfix)."""
+        system = MemorySystem(params=DCD_PM_TIMING)
+        system.preload(0, 0, 256)           # covers ADDRS[:64] exactly
+        system.access_time(0, 0.0, ADDRS, MASK)           # hit
+        system.access_time(0, 0.0, ADDRS + 4096, MASK)    # miss
+        system.scalar_access_time(0, 0.0, 0x80)           # hit
+        system.scalar_access_time(0, 0.0, 0x9000)         # miss
+        stats = system.stats
+        assert stats["prefetch_hits"] == 2
+        assert stats["prefetch_misses"] == 2
+        assert stats["prefetch_misses"] == stats["relay_accesses"]
+
+    def test_prefetchless_config_counts_misses(self):
+        """Without prefetch memory, every access is a miss -- the
+        counter is not conditional on the prefetch path existing."""
+        system = MemorySystem(params=ORIGINAL_TIMING)
+        system.access_time(0, 0.0, ADDRS, MASK)
+        system.scalar_access_time(0, 0.0, 0x100)
+        assert system.stats["prefetch_hits"] == 0
+        assert system.stats["prefetch_misses"] == 2
 
     def test_preload_disabled_without_prefetch(self):
         system = MemorySystem(params=ORIGINAL_TIMING)
@@ -80,3 +104,16 @@ class TestLdsAndReset:
         assert system.stats["relay_accesses"] == 0
         t = system.access_time(0, 0.0, ADDRS, MASK)
         assert t == pytest.approx(ORIGINAL_TIMING.relay_cycles)
+
+    def test_reset_timing_clears_every_stat_key(self):
+        """reset() must zero new counters too, not just the old ones."""
+        system = MemorySystem(params=DCD_PM_TIMING)
+        system.preload(0, 0, 256)
+        system.access_time(0, 0.0, ADDRS, MASK)
+        system.access_time(0, 0.0, ADDRS + 4096, MASK)
+        system.lds_access_time(0.0)
+        assert all(v > 0 for v in system.stats.values())
+        system.reset_timing()
+        assert set(system.stats) == {"relay_accesses", "prefetch_hits",
+                                     "prefetch_misses", "lds_accesses"}
+        assert all(v == 0 for v in system.stats.values())

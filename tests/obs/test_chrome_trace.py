@@ -1,0 +1,107 @@
+"""Chrome trace-event export: schema, layout, bounding."""
+
+import json
+
+import pytest
+
+from repro.core.config import ArchConfig
+from repro.kernels import MatrixAddI32
+from repro.obs import ChromeTrace, validate_chrome_trace
+from repro.obs.chrome_trace import BOARD_PID, HOST_TID, REQUIRED_EVENT_KEYS
+from repro.runtime import SoftGpu
+
+
+@pytest.fixture
+def traced_payload():
+    device = SoftGpu(ArchConfig.baseline())
+    trace = device.attach(ChromeTrace(clock_hz=device.gpu.clocks.cu_hz))
+    MatrixAddI32(n=16).run_on(device, verify=False)
+    return trace.to_dict()
+
+
+class TestSchema:
+    def test_payload_validates(self, traced_payload):
+        assert validate_chrome_trace(traced_payload) > 0
+
+    def test_every_event_carries_required_keys(self, traced_payload):
+        for event in traced_payload["traceEvents"]:
+            for key in REQUIRED_EVENT_KEYS:
+                assert key in event
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+
+    def test_json_string_form_also_validates(self, traced_payload):
+        text = json.dumps(traced_payload)
+        assert validate_chrome_trace(text) == \
+            len(traced_payload["traceEvents"])
+
+    def test_rejects_malformed_payloads(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"no": "traceEvents"})
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": []})
+        with pytest.raises(ValueError):
+            validate_chrome_trace(
+                {"traceEvents": [{"name": "x", "ph": "X", "ts": 0.0,
+                                  "pid": 0}]})  # X without dur
+        with pytest.raises(ValueError):
+            validate_chrome_trace(
+                {"traceEvents": [{"name": "x", "ph": "i",
+                                  "ts": "zero", "pid": 0}]})
+
+
+class TestLayout:
+    def test_process_and_thread_metadata(self, traced_payload):
+        meta = [e for e in traced_payload["traceEvents"]
+                if e["ph"] == "M"]
+        names = {e["name"] for e in meta}
+        assert {"process_name", "thread_name",
+                "thread_sort_index"} <= names
+        threads = {e["tid"]: e["args"]["name"] for e in meta
+                   if e["name"] == "thread_name"}
+        assert threads[HOST_TID] == "host (MicroBlaze)"
+        assert threads[1] == "cu0"
+
+    def test_single_pid_and_real_time_base(self, traced_payload):
+        events = traced_payload["traceEvents"]
+        assert {e["pid"] for e in events} == {BOARD_PID}
+        spans = [e for e in events if e.get("cat") == "kernel"]
+        assert spans, "kernel launch span missing"
+        # 50 MHz CU clock: one cycle is 0.02 us on the timeline.
+        assert traced_payload["otherData"]["clock_hz"] == 50e6
+
+    def test_workgroup_spans_on_cu_rows(self, traced_payload):
+        groups = [e for e in traced_payload["traceEvents"]
+                  if e.get("cat") == "workgroup"]
+        assert groups
+        assert all(e["tid"] >= 1 for e in groups)
+
+
+class TestBounding:
+    def test_instructions_off_keeps_spans_only(self):
+        device = SoftGpu(ArchConfig.baseline())
+        trace = device.attach(ChromeTrace(instructions=False))
+        MatrixAddI32(n=16).run_on(device, verify=False)
+        cats = {e.get("cat") for e in trace.to_dict()["traceEvents"]}
+        assert "instruction" not in cats and "stall" not in cats
+        assert "workgroup" in cats
+
+    def test_max_slices_drops_and_accounts(self):
+        device = SoftGpu(ArchConfig.baseline())
+        trace = device.attach(ChromeTrace(max_slices=10))
+        MatrixAddI32(n=16).run_on(device, verify=False)
+        payload = trace.to_dict()
+        slices = [e for e in payload["traceEvents"]
+                  if e.get("cat") in ("instruction", "stall", "memory")]
+        assert len(slices) == 10
+        assert payload["otherData"]["dropped_slices"] > 0
+        validate_chrome_trace(payload)  # still well-formed
+
+    def test_write_round_trips_through_disk(self, tmp_path):
+        device = SoftGpu(ArchConfig.baseline())
+        trace = device.attach(ChromeTrace())
+        MatrixAddI32(n=8).run_on(device, verify=False)
+        path = tmp_path / "trace.json"
+        trace.write(str(path))
+        payload = json.loads(path.read_text())
+        assert validate_chrome_trace(payload) == len(trace)

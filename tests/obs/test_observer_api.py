@@ -1,0 +1,127 @@
+"""The redesigned observer API: attach/detach on the device.
+
+`SoftGpu.attach(observer)` / `detach(observer)` replace the old
+single-purpose `attach_tracer`; any number of observers share one
+event stream, and with none attached the instrumented layers hold
+``obs = None`` so the simulator pays nothing.
+"""
+
+import pytest
+
+from repro.core.config import ArchConfig
+from repro.cu.trace import ExecutionTracer
+from repro.kernels import MatrixAddI32
+from repro.obs import Observer, ObserverHub, PerfCounters
+from repro.runtime import SoftGpu
+
+
+class Recorder(Observer):
+    """Counts every hook invocation."""
+
+    def __init__(self):
+        self.issues = 0
+        self.stalls = 0
+        self.mem = 0
+        self.spans = 0
+
+    def on_issue(self, event):
+        self.issues += 1
+
+    def on_stall(self, event):
+        self.stalls += 1
+
+    def on_mem_access(self, event):
+        self.mem += 1
+
+    def on_span(self, event):
+        self.spans += 1
+
+
+class TestAttachDetach:
+    def test_attach_returns_the_observer(self):
+        device = SoftGpu(ArchConfig.baseline())
+        perf = PerfCounters()
+        assert device.attach(perf) is perf
+        assert device.observers == (perf,)
+
+    def test_detach_removes_and_restores_zero_cost_slots(self):
+        device = SoftGpu(ArchConfig.baseline())
+        perf = device.attach(PerfCounters())
+        assert device.gpu.cus[0].obs is not None
+        assert device.gpu.memory.obs is not None
+        device.detach(perf)
+        assert device.observers == ()
+        assert device.gpu.cus[0].obs is None
+        assert device.gpu.memory.obs is None
+
+    def test_no_observer_means_no_dispatch(self):
+        device = SoftGpu(ArchConfig.baseline())
+        MatrixAddI32(n=16).run_on(device, verify=False)
+        assert device.gpu.hub.dispatched == 0
+
+    def test_double_attach_is_idempotent(self):
+        device = SoftGpu(ArchConfig.baseline())
+        rec = Recorder()
+        device.attach(rec)
+        device.attach(rec)
+        assert device.observers == (rec,)
+        MatrixAddI32(n=8).run_on(device, verify=False)
+        assert rec.issues == device.instructions  # not double-counted
+
+    def test_detach_of_unknown_observer_is_a_noop(self):
+        device = SoftGpu(ArchConfig.baseline())
+        device.detach(Recorder())
+        assert device.observers == ()
+
+    def test_multiple_observers_share_one_stream(self):
+        device = SoftGpu(ArchConfig.baseline())
+        rec = device.attach(Recorder())
+        tracer = device.attach(ExecutionTracer())
+        perf = device.attach(PerfCounters())
+        MatrixAddI32(n=8).run_on(device, verify=False)
+        assert rec.issues == len(tracer) == device.instructions
+        assert perf.counters.get("issue.total") == rec.issues
+        assert rec.spans > 0 and rec.mem > 0
+
+    def test_events_stop_after_detach(self):
+        device = SoftGpu(ArchConfig.baseline())
+        rec = device.attach(Recorder())
+        MatrixAddI32(n=8).run_on(device, verify=False)
+        seen = rec.issues
+        device.detach(rec)
+        device.reset()
+        MatrixAddI32(n=8).run_on(device, verify=False)
+        assert rec.issues == seen
+
+
+class TestDeprecatedAlias:
+    def test_attach_tracer_warns_and_delegates(self):
+        device = SoftGpu(ArchConfig.baseline())
+        tracer = ExecutionTracer()
+        with pytest.deprecated_call():
+            assert device.attach_tracer(tracer) is tracer
+        assert device.observers == (tracer,)
+
+
+class TestHub:
+    def test_dispatch_counting(self):
+        hub = ObserverHub()
+        rec = hub.attach(Recorder())
+        from repro.obs import Stall
+
+        event = Stall(cycle=0.0, cu_index=0, wf_id=0,
+                      cause="memory", cycles=3.0)
+        hub.emit_stall(event)
+        hub.emit_stall(event)
+        assert hub.dispatched == 2
+        assert rec.stalls == 2
+        hub.detach(rec)
+        hub.emit_stall(event)
+        assert rec.stalls == 2
+
+    def test_base_observer_hooks_are_noops(self):
+        obs = Observer()
+        obs.on_issue(None)
+        obs.on_stall(None)
+        obs.on_mem_access(None)
+        obs.on_span(None)

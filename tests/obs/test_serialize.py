@@ -1,0 +1,115 @@
+"""The repo-wide serialization convention.
+
+Every result object emits ``to_dict()`` with stable snake_case keys
+and ``to_json()`` via :class:`SerializableMixin`; :func:`json_ready`
+guarantees nothing numpy-, enum- or dataclass-shaped leaks through.
+"""
+
+import dataclasses
+import enum
+import json
+
+import numpy as np
+import pytest
+
+from repro.fpga.power_model import PowerEstimate
+from repro.obs import CounterSet, dump_json, flatten, json_ready, nest
+from repro.runtime.metrics import RunMetrics
+
+
+class Colour(enum.Enum):
+    RED = "red"
+
+
+@dataclasses.dataclass
+class Point:
+    x: int
+    y: int
+
+
+class TestJsonReady:
+    def test_scalars_pass_through(self):
+        for value in (None, True, 3, 2.5, "s"):
+            assert json_ready(value) == value
+
+    def test_enum_set_and_dataclass(self):
+        assert json_ready(Colour.RED) == "red"
+        assert json_ready({Colour.RED: {3, 1, 2}}) == {"red": [1, 2, 3]}
+        assert json_ready(Point(1, 2)) == {"x": 1, "y": 2}
+
+    def test_numpy_scalars_and_arrays(self):
+        out = json_ready({"a": np.float64(1.5),
+                          "b": np.arange(3, dtype=np.int32)})
+        assert out == {"a": 1.5, "b": [0, 1, 2]}
+        assert isinstance(out["a"], float)
+        assert all(isinstance(v, int) for v in out["b"])
+
+    def test_to_dict_objects_recurse(self):
+        cs = CounterSet({"a.b": 1})
+        assert json_ready({"inner": cs}) == {"inner": {"a": {"b": 1}}}
+
+    def test_dump_json_is_loadable(self):
+        text = dump_json({"k": Colour.RED, "n": np.int64(7)})
+        assert json.loads(text) == {"k": "red", "n": 7}
+
+
+class TestNestFlatten:
+    def test_round_trip(self):
+        flat = {"a.b.c": 1, "a.b.d": 2, "a.e": 3, "f": 4}
+        assert flatten(nest(flat)) == flat
+
+    def test_leaf_prefix_collision_raises(self):
+        with pytest.raises(ValueError):
+            nest({"a": 1, "a.b": 2})
+        with pytest.raises(ValueError):
+            nest({"a.b": 2, "a": 1})
+
+
+class TestCounterSetRoundTrip:
+    def test_to_dict_from_dict(self):
+        original = CounterSet({"issue.total": 10, "issue.unit.simd": 4,
+                               "stall.memory": 2.5})
+        assert CounterSet.from_dict(original.to_dict()) == original
+
+    def test_to_json_shape(self):
+        payload = json.loads(CounterSet({"stall.memory": 2.0}).to_json())
+        assert payload == {"stall": {"memory": 2.0}}
+
+
+class TestRunMetricsConvention:
+    @pytest.fixture
+    def metrics(self):
+        return RunMetrics(label="bench@cfg", seconds=0.25,
+                          instructions=1000,
+                          power=PowerEstimate(static=0.4, dynamic=0.6))
+
+    def test_stable_keys(self, metrics):
+        payload = metrics.to_dict()
+        assert set(payload) == {"label", "seconds", "instructions",
+                                "power_w", "energy_joules", "edp", "ipj"}
+        assert set(payload["power_w"]) == {"static", "dynamic", "total"}
+
+    def test_derived_values_included(self, metrics):
+        payload = metrics.to_dict()
+        assert payload["energy_joules"] == pytest.approx(0.25)
+        assert payload["ipj"] == pytest.approx(4000.0)
+
+    def test_round_trip(self, metrics):
+        rebuilt = RunMetrics.from_dict(metrics.to_dict())
+        assert rebuilt == metrics
+        assert rebuilt.to_dict() == metrics.to_dict()
+
+    def test_to_json_matches_to_dict(self, metrics):
+        assert json.loads(metrics.to_json()) == json_ready(metrics.to_dict())
+
+
+class TestServiceStatsConvention:
+    def test_to_dict_is_the_snapshot(self):
+        from repro.service.stats import ServiceStats
+
+        stats = ServiceStats()
+        payload = stats.to_dict()
+        assert payload == stats.snapshot()
+        json.dumps(payload)  # JSON-ready as-is
+        assert {"submitted", "completed", "latency_p50_s",
+                "warm_board_rate"} <= set(payload)

@@ -81,6 +81,25 @@ class TestCorrectness:
         assert result.ok
         assert result.metrics.ipj > 0
 
+    def test_profiled_job_returns_counters(self):
+        plain = Job("matrix_add_i32", {"n": 32}, config="baseline")
+        profiled = Job("matrix_add_i32", {"n": 32}, config="baseline",
+                       profile=True)
+        with KernelService(workers=1, mode="thread") as svc:
+            plain_res, prof_res = svc.run([plain, profiled], timeout=300)
+        assert plain_res.counters is None
+        counters = prof_res.counters
+        assert counters is not None
+        assert counters["issue"]["total"] \
+            == prof_res.metrics.instructions
+        stall_total = sum(counters["stall"].values())
+        assert counters["cycles"]["active"] + stall_total \
+            == pytest.approx(counters["cycles"]["total"])
+        assert "counters" in prof_res.to_dict()
+        # Profiling one job must not slow or change the other: the
+        # observer is detached before the board goes back on the shelf.
+        assert plain_res.metrics.seconds == prof_res.metrics.seconds
+
 
 class TestProcessPool:
     def test_process_workers_execute_and_reuse_boards(self):
