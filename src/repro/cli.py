@@ -19,6 +19,9 @@ subcommands walk the Figure 3 pipeline:
 ``validate``      run the Section 2.3 per-instruction microbenchmark
                   sweep over the 156-instruction set
 ``netlist``       emit the trimmed compute unit as a structural netlist
+``fuzz``          differential conformance fuzzing: random kernels
+                  under paired configurations that must agree
+                  bit-for-bit (see ``docs/verify.md``)
 ================  ====================================================
 
 Usage::
@@ -217,6 +220,28 @@ def cmd_profile(args):
     return 0
 
 
+def cmd_fuzz(args):
+    from .verify import FuzzCampaign, run_corpus_file
+
+    if args.replay:
+        case, failures = run_corpus_file(args.replay)
+        print("replay {} (seed {}, local {}, groups {}): {}".format(
+            args.replay, case.seed, case.local_size, case.groups,
+            "all oracles passed" if not failures
+            else "{} failure(s)".format(len(failures))))
+        for failure in failures:
+            print("  {}".format(failure))
+        return 0 if not failures else 1
+    campaign = FuzzCampaign(
+        seed=args.seed, iterations=args.iterations,
+        corpus_dir=args.corpus, shrink=not args.no_shrink,
+        max_segments=args.max_segments,
+        log=lambda message: print(message, file=sys.stderr))
+    report = campaign.run()
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def cmd_serve(args):
     from .service import KernelService, load_jobs, suite_jobs
 
@@ -359,6 +384,23 @@ def build_parser():
                    help="also write a Chrome trace-event file "
                         "(open in chrome://tracing or Perfetto)")
     p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("fuzz",
+                       help="differential fuzzing: random kernels under "
+                            "paired configurations that must agree")
+    p.add_argument("--seed", type=int, default=0,
+                   help="first case seed (default 0)")
+    p.add_argument("--iterations", type=int, default=100,
+                   help="number of cases, seeds N..N+K-1 (default 100)")
+    p.add_argument("--corpus", metavar="DIR", default=None,
+                   help="write minimised reproducers into DIR")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="keep failing cases at generated size")
+    p.add_argument("--max-segments", type=int, default=24,
+                   help="program-body size budget (default 24)")
+    p.add_argument("--replay", metavar="CASE.s", default=None,
+                   help="re-run one corpus file instead of fuzzing")
+    p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser("serve",
                        help="run jobs through the kernel-execution service")

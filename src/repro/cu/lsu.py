@@ -89,8 +89,11 @@ def _exec_smrd(wf, inst, memory):
         addr = base + wf.read_scalar(f["offset"])
     for i in range(count):
         wf.write_scalar(f["sdst"] + i, memory.global_mem.read_u32(addr + 4 * i))
+    # One transaction per dword, like _exec_buffer: s_load_dwordx4 moves
+    # four times the data of s_load_dword and must be priced (and
+    # counted by the profiler) accordingly.
     return AccessInfo(space="global", counter="lgkm", is_write=False,
-                      addrs=addr, transactions=1)
+                      addrs=addr, transactions=count)
 
 
 # ---------------------------------------------------------------------------

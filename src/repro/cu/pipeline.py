@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from ..errors import SimulationError, TrimmedInstructionError
 from ..isa.categories import FunctionalUnit
 from ..isa.registers import MAX_WAVEFRONTS
-from ..obs.events import InstructionIssue, Span, Stall
+from ..obs.events import InstructionIssue, Span, Stall, WavefrontStep
 from . import lsu, operations
 from .timing import DEFAULT_TIMING, frontend_cost, unit_occupancy
 
@@ -33,7 +33,13 @@ _WAITCNT_LGKM_MASK = 0x1F
 
 @dataclass
 class CuRunStats:
-    """Cycle and instruction accounting for one workgroup execution."""
+    """Cycle and instruction accounting for one workgroup execution.
+
+    ``cycles`` is the workgroup's elapsed execution time; a merged
+    stats object (one kernel launch) therefore holds the *sum* of
+    per-workgroup busy cycles, which exceeds the launch makespan when
+    workgroups overlap across compute units.
+    """
 
     cycles: float = 0.0
     instructions: int = 0
@@ -256,6 +262,10 @@ class ComputeUnit:
                 # A barrier can now be releasable if this wavefront
                 # exited before reaching it.
                 self._try_release_barrier(workgroup, barrier_waiters)
+                if obs is not None:
+                    obs.emit_step(WavefrontStep(
+                        cycle=fe_done, cu_index=self.cu_index, wf=wf,
+                        inst=inst))
                 continue
             if name == "s_barrier":
                 wf.at_barrier = True
@@ -263,13 +273,24 @@ class ComputeUnit:
                 barrier_waiters.append(wf)
                 if workgroup.arrive_at_barrier():
                     self._release(workgroup, barrier_waiters)
+                if obs is not None:
+                    obs.emit_step(WavefrontStep(
+                        cycle=fe_done, cu_index=self.cu_index, wf=wf,
+                        inst=inst))
                 continue
             if name == "s_waitcnt":
                 wf.ready_at = self._waitcnt_target(
                     wf, inst.fields["simm16"], fe_done)
+                # The cause string must track every deferral even with
+                # no observer attached: a profiler attached *between*
+                # launches on a warm board would otherwise attribute
+                # the first observed gap to a stale cause.
+                wf.stall_cause = ("memory" if wf.ready_at > fe_done
+                                  else "operand-dep")
                 if obs is not None:
-                    wf.stall_cause = ("memory" if wf.ready_at > fe_done
-                                      else "operand-dep")
+                    obs.emit_step(WavefrontStep(
+                        cycle=fe_done, cu_index=self.cu_index, wf=wf,
+                        inst=inst))
                 continue
 
             if inst.spec.is_memory:
@@ -290,10 +311,13 @@ class ComputeUnit:
                 getattr(wf, "outstanding_" + info.counter).append(complete)
                 stats.memory_accesses += 1
                 wf.ready_at = lsu_done
+                wf.stall_cause = ("fu-busy"
+                                  if lsu_done - occupancy > fe_done
+                                  else "operand-dep")
                 if obs is not None:
-                    wf.stall_cause = ("fu-busy"
-                                      if lsu_done - occupancy > fe_done
-                                      else "operand-dep")
+                    obs.emit_step(WavefrontStep(
+                        cycle=fe_done, cu_index=self.cu_index, wf=wf,
+                        inst=inst))
                 continue
 
             # ALU / branch path.
@@ -303,13 +327,16 @@ class ComputeUnit:
             operations.execute(wf, inst)
             wf.ready_at = done
             finish_time = max(finish_time, done)
+            # Waited on a busy unit instance vs. serialised on the
+            # wavefront's own in-order result.
+            wf.stall_cause = ("fu-busy" if done - occupancy > fe_done
+                              else "operand-dep")
             if obs is not None:
-                # Waited on a busy unit instance vs. serialised on the
-                # wavefront's own in-order result.
-                wf.stall_cause = ("fu-busy" if done - occupancy > fe_done
-                                  else "operand-dep")
+                obs.emit_step(WavefrontStep(
+                    cycle=fe_done, cu_index=self.cu_index, wf=wf, inst=inst))
 
         end_time = max(finish_time, decode_free)
+        stats.cycles = end_time - start_time
         if obs is not None:
             if end_time > decode_free:
                 # Tail after the last issue: outstanding memory plus
@@ -328,12 +355,10 @@ class ComputeUnit:
 
     def _release(self, workgroup, barrier_waiters):
         release_time = max(wf.ready_at for wf in barrier_waiters)
-        observed = self.obs is not None
         for wf in barrier_waiters:
             wf.at_barrier = False
             wf.ready_at = release_time + 1
-            if observed:
-                wf.stall_cause = "barrier"
+            wf.stall_cause = "barrier"
         barrier_waiters.clear()
         workgroup.release_barrier()
 

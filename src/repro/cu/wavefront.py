@@ -88,30 +88,41 @@ class Wavefront:
     # ------------------------------------------------------------------
 
     def read_scalar(self, code, literal=None, as_float=False):
-        """Read a 32-bit scalar operand by its SI source code."""
+        """Read a 32-bit scalar operand by its SI source code.
+
+        With ``as_float`` the operand's 32-bit pattern is reinterpreted
+        as an IEEE-754 float32 and returned as a Python float -- inline
+        float constants (``0.5`` ... ``-4.0``) resolve to their exact
+        value, everything else is a bit reinterpretation, exactly like
+        a SIMF lane consuming a scalar source.
+        """
         if regs.SGPR_FIRST <= code <= regs.SGPR_LAST:
-            return int(self.sgprs[code])
-        if code == regs.VCC_LO:
-            return self.vcc & MASK32
-        if code == regs.VCC_HI:
-            return (self.vcc >> 32) & MASK32
-        if code == regs.M0:
-            return self.m0
-        if code == regs.EXEC_LO:
-            return self.exec_mask & MASK32
-        if code == regs.EXEC_HI:
-            return (self.exec_mask >> 32) & MASK32
-        if code == regs.VCCZ:
-            return self.vccz
-        if code == regs.EXECZ:
-            return self.execz
-        if code == regs.SCC:
-            return self.scc
-        if code == regs.LITERAL:
+            value = int(self.sgprs[code])
+        elif code == regs.VCC_LO:
+            value = self.vcc & MASK32
+        elif code == regs.VCC_HI:
+            value = (self.vcc >> 32) & MASK32
+        elif code == regs.M0:
+            value = self.m0
+        elif code == regs.EXEC_LO:
+            value = self.exec_mask & MASK32
+        elif code == regs.EXEC_HI:
+            value = (self.exec_mask >> 32) & MASK32
+        elif code == regs.VCCZ:
+            value = self.vccz
+        elif code == regs.EXECZ:
+            value = self.execz
+        elif code == regs.SCC:
+            value = self.scc
+        elif code == regs.LITERAL:
             if literal is None:
                 raise SimulationError("literal operand without literal dword")
-            return literal & MASK32
-        return regs.inline_value(code, as_float=False) & MASK32
+            value = literal & MASK32
+        else:
+            value = regs.inline_value(code) & MASK32
+        if as_float:
+            return struct.unpack("<f", struct.pack("<I", value & MASK32))[0]
+        return value
 
     def read_scalar64(self, code):
         """Read a 64-bit scalar operand (an SGPR pair or VCC/EXEC)."""

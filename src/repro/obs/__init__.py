@@ -30,7 +30,8 @@ when unused (pinned by ``benchmarks/test_obs_overhead.py``).
 
 from .chrome_trace import ChromeTrace, validate_chrome_trace
 from .counters import CounterSet, PerfCounters
-from .events import STALL_CAUSES, InstructionIssue, MemAccess, Span, Stall
+from .events import (STALL_CAUSES, InstructionIssue, MemAccess, Span, Stall,
+                     WavefrontStep)
 from .observer import Observer, ObserverHub
 from .serialize import (SerializableMixin, dump_json, flatten, json_ready,
                         nest)
@@ -53,7 +54,8 @@ __all__ = [
     "Observer", "ObserverHub",
     "CounterSet", "PerfCounters",
     "ChromeTrace", "validate_chrome_trace",
-    "InstructionIssue", "Stall", "MemAccess", "Span", "STALL_CAUSES",
+    "InstructionIssue", "Stall", "MemAccess", "Span", "WavefrontStep",
+    "STALL_CAUSES",
     "ProfileResult", "profile_kernel", "resolve_arch",
     "SerializableMixin", "dump_json", "json_ready", "nest", "flatten",
 ]

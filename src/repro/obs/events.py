@@ -86,6 +86,29 @@ class MemAccess:
 
 
 @dataclass(frozen=True)
+class WavefrontStep:
+    """One instruction's architectural effects just completed.
+
+    Emitted by the CU pipeline *after* the instruction's functional
+    semantics executed, carrying live references to the wavefront and
+    decoded instruction.  Unlike the other event types this one is
+    **not serialisable** -- it exists for verification observers (the
+    :mod:`repro.verify` invariant checker, final-state recorders) that
+    need to inspect architectural state in flight.  Recording
+    observers that persist streams should ignore it.
+    """
+
+    cycle: float          # front-end completion cycle of the step
+    cu_index: int
+    wf: object            # the live Wavefront (post-execution state)
+    inst: object          # the decoded instruction that just executed
+
+    @property
+    def name(self):
+        return self.inst.spec.name
+
+
+@dataclass(frozen=True)
 class Span:
     """A named interval on the board timeline.
 

@@ -39,6 +39,8 @@ class Observer:
     * :meth:`on_stall` -- :class:`~repro.obs.events.Stall`
     * :meth:`on_mem_access` -- :class:`~repro.obs.events.MemAccess`
     * :meth:`on_span` -- :class:`~repro.obs.events.Span`
+    * :meth:`on_step` -- :class:`~repro.obs.events.WavefrontStep`
+      (post-execution architectural state; verification observers)
     """
 
     def on_issue(self, event):
@@ -51,6 +53,9 @@ class Observer:
         pass
 
     def on_span(self, event):
+        pass
+
+    def on_step(self, event):
         pass
 
 
@@ -109,3 +114,8 @@ class ObserverHub:
         self.dispatched += 1
         for obs in self.observers:
             obs.on_span(event)
+
+    def emit_step(self, event):
+        self.dispatched += 1
+        for obs in self.observers:
+            obs.on_step(event)

@@ -1,0 +1,140 @@
+"""The fuzzing campaign driver behind ``repro fuzz``.
+
+A campaign walks a contiguous seed range, generates one constrained
+random program per seed (:mod:`repro.verify.generator`), and runs the
+full differential-oracle matrix over it
+(:mod:`repro.verify.oracles`).  Failing cases are greedily minimised
+(:mod:`repro.verify.shrinker`) and written into a corpus directory as
+self-describing ``.s`` files, so a CI failure reproduces with nothing
+but the checked-in file::
+
+    repro fuzz --seed 0 --iterations 200          # sweep seeds 0..199
+    repro fuzz --seed 1234 --iterations 1 --no-shrink   # replay one
+
+``run_corpus_file`` replays such a file (the regression direction:
+every corpus entry must keep *passing* once its bug is fixed).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..errors import ReproError
+from .generator import FuzzCase, generate_case
+from .oracles import check_case
+from .shrinker import shrink_case
+
+_HEADER_RE = re.compile(
+    r";\s*verify-case\s+seed=(-?\d+)\s+local=(\d+)\s+groups=(\d+)\s+inp=(\d+)")
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one campaign."""
+
+    seed: int
+    iterations: int
+    #: (case seed, failure strings, corpus path or None) per failing case.
+    failures: List[Tuple[int, List[str], Optional[str]]] = field(
+        default_factory=list)
+    #: Seeds whose *generator* died (always a harness bug, kept visible).
+    generator_errors: List[Tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def ok(self):
+        return not self.failures and not self.generator_errors
+
+    def summary(self):
+        lines = ["fuzz: {} case(s), seeds {}..{}: {}".format(
+            self.iterations, self.seed, self.seed + self.iterations - 1,
+            "all oracles passed" if self.ok else "{} failure(s)".format(
+                len(self.failures) + len(self.generator_errors)))]
+        for seed, messages, path in self.failures:
+            lines.append("  seed {}: {}".format(seed, messages[0]))
+            for message in messages[1:]:
+                lines.append("          {}".format(message))
+            if path:
+                lines.append("          reproducer: {}".format(path))
+        for seed, message in self.generator_errors:
+            lines.append("  seed {}: generator error: {}".format(seed, message))
+        return "\n".join(lines)
+
+
+class FuzzCampaign:
+    """Seeded differential-fuzzing campaign."""
+
+    def __init__(self, seed=0, iterations=100, corpus_dir=None, shrink=True,
+                 max_segments=24, log=None):
+        self.seed = seed
+        self.iterations = iterations
+        self.corpus_dir = corpus_dir
+        self.shrink = shrink
+        self.max_segments = max_segments
+        self.log = log or (lambda message: None)
+
+    def run(self):
+        report = FuzzReport(seed=self.seed, iterations=self.iterations)
+        for i in range(self.iterations):
+            case_seed = self.seed + i
+            try:
+                case = generate_case(case_seed,
+                                     max_segments=self.max_segments)
+            except ReproError as exc:
+                report.generator_errors.append((case_seed, repr(exc)))
+                self.log("seed {}: generator error: {!r}".format(
+                    case_seed, exc))
+                continue
+            failures = check_case(case)
+            if not failures:
+                if (i + 1) % 25 == 0:
+                    self.log("{}/{} cases passed".format(
+                        i + 1, self.iterations))
+                continue
+            self.log("seed {}: {} oracle failure(s); {}".format(
+                case_seed, len(failures),
+                "shrinking" if self.shrink else "not shrinking"))
+            if self.shrink:
+                case, failures = shrink_case(case, failures)
+            path = None
+            if self.corpus_dir:
+                path = self._write_corpus(case, failures)
+                self.log("seed {}: reproducer written to {}".format(
+                    case_seed, path))
+            report.failures.append(
+                (case_seed, [str(f) for f in failures], path))
+        return report
+
+    def _write_corpus(self, case, failures):
+        os.makedirs(self.corpus_dir, exist_ok=True)
+        path = os.path.join(self.corpus_dir,
+                            "case_seed{}.s".format(case.seed))
+        note = "\n".join(str(f) for f in failures)
+        with open(path, "w") as handle:
+            handle.write(case.corpus_text(note=note))
+        return path
+
+
+def parse_corpus_text(text):
+    """Rebuild a :class:`FuzzCase` from corpus-file text."""
+    match = _HEADER_RE.search(text)
+    if match is None:
+        raise ReproError(
+            "not a verify corpus file: missing '; verify-case seed=... "
+            "local=... groups=... inp=...' header")
+    seed, local, groups, inp = (int(g) for g in match.groups())
+    return FuzzCase(seed=seed, source=text, local_size=local, groups=groups,
+                    inp_dwords=inp)
+
+
+def run_corpus_file(path):
+    """Replay one corpus file through the oracle matrix.
+
+    Returns ``(case, failures)`` -- an empty failure list means the
+    regression stays fixed.
+    """
+    with open(path) as handle:
+        case = parse_corpus_text(handle.read())
+    return case, check_case(case)

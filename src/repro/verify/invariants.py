@@ -1,0 +1,108 @@
+"""Architectural-state invariant checking, as an observer.
+
+:class:`InvariantChecker` attaches through the normal :mod:`repro.obs`
+API and verifies, after every executed instruction
+(:class:`~repro.obs.events.WavefrontStep`), properties that must hold
+for *any* program on a correct simulator:
+
+* **EXEC confinement** -- the execution mask never has bits set above
+  the wavefront's ``lane_count`` (partial wavefronts dispatch with a
+  truncated mask and nothing may resurrect the dead lanes).
+* **VCC confinement** -- compare results are produced under EXEC, so
+  VCC stays inside the same ``lane_count`` bits.  (A program *could*
+  legally smash VCC with ``s_mov_b64 vcc, -1``; the generated corpus
+  never does, so the checker treats an escape as a simulator bug.)
+* **SCC range** -- the scalar condition code is a single bit.
+* **Lane masking** -- a VGPR lane that was *inactive* under the EXEC
+  mask an instruction executed with must hold exactly the value it
+  held before that instruction.  This is checked one step delayed:
+  the state snapshotted after instruction *N* is compared against the
+  state after instruction *N+1*, under the mask instruction *N+1*
+  started from.  (No SI instruction both rewrites EXEC and writes
+  VGPRs, so the delayed mask is exact.)
+
+A violation raises :class:`InvariantViolation` from inside the
+pipeline's emit, aborting the run at the faulting instruction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ReproError
+from ..obs import Observer
+
+
+class InvariantViolation(ReproError):
+    """An architectural invariant failed during simulation."""
+
+    def __init__(self, invariant, event, detail):
+        wf = event.wf
+        message = (
+            "{} violated at cycle {:.0f} (cu {}, wf {}, after {!r} @ "
+            "0x{:x}): {}".format(invariant, event.cycle, event.cu_index,
+                                 wf.wf_id, event.name,
+                                 event.inst.address, detail))
+        super().__init__(message)
+        self.invariant = invariant
+        self.detail = detail
+
+
+class InvariantChecker(Observer):
+    """Observer that validates architectural state after every step."""
+
+    def __init__(self):
+        #: Steps inspected (lets tests assert the checker actually ran).
+        self.steps = 0
+        # Per-wavefront snapshot taken after the previous step:
+        # key -> (vgprs copy, active lane mask at that time).
+        self._snapshots = {}
+
+    @staticmethod
+    def _key(event):
+        wg = event.wf.workgroup
+        gid = wg.group_id if wg is not None else None
+        return (gid, event.wf.wf_id)
+
+    def on_step(self, event):
+        self.steps += 1
+        wf = event.wf
+        lane_bits = (1 << wf.lane_count) - 1
+
+        if wf.exec_mask & ~lane_bits:
+            raise InvariantViolation(
+                "EXEC confinement", event,
+                "exec=0x{:016x} has bits above lane_count={}".format(
+                    wf.exec_mask, wf.lane_count))
+        if wf.vcc & ~lane_bits:
+            raise InvariantViolation(
+                "VCC confinement", event,
+                "vcc=0x{:016x} has bits above lane_count={}".format(
+                    wf.vcc, wf.lane_count))
+        if wf.scc not in (0, 1):
+            raise InvariantViolation(
+                "SCC range", event, "scc={!r} not in {{0, 1}}".format(wf.scc))
+
+        key = self._key(event)
+        prev = self._snapshots.get(key)
+        if prev is not None:
+            prev_vgprs, prev_active = prev
+            # Lanes that were OFF when this instruction executed must
+            # be untouched by it.
+            inactive = ~prev_active
+            if inactive.any() and not np.array_equal(
+                    wf.vgprs[:, inactive], prev_vgprs[:, inactive]):
+                changed = np.argwhere(
+                    (wf.vgprs[:, inactive] != prev_vgprs[:, inactive]))
+                reg, lane_pos = (int(changed[0][0]), int(changed[0][1]))
+                lane = int(np.flatnonzero(inactive)[lane_pos])
+                raise InvariantViolation(
+                    "lane masking", event,
+                    "v{}[lane {}] changed to 0x{:08x} while the lane was "
+                    "inactive (exec=0x{:016x})".format(
+                        reg, lane, int(wf.vgprs[reg, lane]), wf.exec_mask))
+        if wf.done:
+            self._snapshots.pop(key, None)
+        else:
+            self._snapshots[key] = (wf.vgprs.copy(),
+                                    wf.active_lane_mask().copy())

@@ -1,0 +1,251 @@
+"""Metamorphic / differential oracles over generated programs.
+
+One generated case is executed under a matrix of paired configurations
+that the architecture claims are *functionally interchangeable*; any
+bit of disagreement in final state is a simulator bug:
+
+=================  ====================================================
+``roundtrip``      assemble -> disassemble -> reassemble produces the
+                   identical binary words.
+``invariants``     the :class:`~repro.verify.invariants
+                   .InvariantChecker` holds at every executed step of
+                   the reference run.
+``observer-detached``  the same run with *no* observer attached ends
+                   with identical memory, instruction count **and
+                   cycle count** -- the paper-level zero-cost-
+                   observation claim, checked bit-for-bit.
+``trimmed``        running on the architecture trimmed *for this
+                   program* (Section 3.2's "trimming does not affect
+                   execution") matches memory, registers, instruction
+                   count and cycles.
+``multi-cu``       distributing workgroups over multiple compute units
+                   matches memory and registers.
+``prefetch-off``   the DCD configuration (no prefetch memory) matches
+                   memory and registers.
+=================  ====================================================
+
+``run_case`` executes one configuration and captures an
+:class:`ExecutionSnapshot`; ``check_case`` runs the whole matrix and
+returns a (possibly empty) list of :class:`OracleFailure`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..asm.assembler import assemble
+from ..asm.disassembler import disassemble
+from ..core.config import ArchConfig
+from ..core.trimmer import TrimmingTool
+from ..errors import ReproError
+from ..obs import Observer
+from ..runtime.device import SoftGpu
+from .invariants import InvariantChecker, InvariantViolation
+
+#: Global-memory size used for fuzz boards -- small enough that whole-
+#: memory bit compares between runs stay cheap.
+FUZZ_MEM_SIZE = 1 << 20
+
+#: Per-CU instruction budget on fuzz boards.  Generated programs
+#: execute at most a few thousand instructions per wavefront; shrinker
+#: candidates, however, can turn a bounded loop into a runaway one
+#: (e.g. by deleting the counter decrement), and the simulator's stock
+#: 200M-instruction safety valve would take minutes to trip.
+FUZZ_MAX_INSTRUCTIONS = 50_000
+
+ORACLE_NAMES = ("roundtrip", "invariants", "observer-detached", "trimmed",
+                "multi-cu", "prefetch-off")
+
+
+@dataclass(frozen=True)
+class OracleFailure:
+    """One disagreement found by :func:`check_case`."""
+
+    oracle: str   # one of ORACLE_NAMES
+    detail: str
+
+    @property
+    def signature(self):
+        """Stable identity used by the shrinker's failure predicate."""
+        return self.oracle
+
+    def __str__(self):
+        return "[{}] {}".format(self.oracle, self.detail)
+
+
+@dataclass
+class ExecutionSnapshot:
+    """Observable final state of one configuration's run."""
+
+    label: str
+    memory: bytes                    # full global-memory image
+    cycles: float                    # launch makespan (cu_cycles)
+    instructions: int
+    registers: Optional[dict] = None  # (group_id, wf_id) -> state dict
+
+
+class _FinalStateRecorder(Observer):
+    """Captures per-wavefront architectural state at ``s_endpgm``."""
+
+    def __init__(self):
+        self.registers = {}
+
+    def on_step(self, event):
+        if event.name != "s_endpgm":
+            return
+        wf = event.wf
+        wg = wf.workgroup
+        key = (wg.group_id if wg is not None else None, wf.wf_id)
+        self.registers[key] = {
+            "sgprs": wf.sgprs.tobytes(),
+            "vgprs": wf.vgprs.tobytes(),
+            "vcc": wf.vcc,
+            "exec": wf.exec_mask,
+            "scc": wf.scc,
+        }
+
+
+def run_case(case, arch, label="run", observed=True, check_invariants=False):
+    """Execute ``case`` under ``arch`` and snapshot the final state.
+
+    With ``observed=False`` the board runs with *no* observer attached
+    (the zero-cost path); register state is then not captured.
+    """
+    device = SoftGpu(arch, global_mem_size=FUZZ_MEM_SIZE)
+    for cu in device.gpu.cus:
+        cu.max_instructions = FUZZ_MAX_INSTRUCTIONS
+    inp = device.upload("inp", case.input_data())
+    out = device.alloc("out", 4 * case.global_size)
+    recorder = None
+    if observed:
+        recorder = device.attach(_FinalStateRecorder())
+        if check_invariants:
+            device.attach(InvariantChecker())
+    device.preload_all()
+    # Generated float ops hit NaN/inf/overflow freely; the simulator's
+    # numpy semantics are deterministic either way, so silence the noise.
+    with np.errstate(all="ignore"):
+        result = device.run(case.program, (case.global_size,),
+                            (case.local_size,), args=[inp, out])
+    memory = device.gpu.memory.global_mem.read_block(
+        0, FUZZ_MEM_SIZE, np.uint8).tobytes()
+    return ExecutionSnapshot(
+        label=label, memory=memory, cycles=result.cu_cycles,
+        instructions=result.stats.instructions,
+        registers=recorder.registers if recorder is not None else None)
+
+
+def _first_memory_diff(a, b):
+    arr_a = np.frombuffer(a, dtype=np.uint8)
+    arr_b = np.frombuffer(b, dtype=np.uint8)
+    if arr_a.shape != arr_b.shape:
+        return "memory sizes differ ({} vs {})".format(len(a), len(b))
+    diff = np.flatnonzero(arr_a != arr_b)
+    addr = int(diff[0])
+    return "first diff at 0x{:x}: 0x{:02x} vs 0x{:02x} ({} bytes differ)".format(
+        addr, int(arr_a[addr]), int(arr_b[addr]), diff.size)
+
+
+def _compare_registers(ref, other):
+    """First register-state difference between two snapshots, or None."""
+    if set(ref) != set(other):
+        return "wavefront sets differ: {} vs {}".format(
+            sorted(ref), sorted(other))
+    for key in sorted(ref):
+        for field in ("vcc", "exec", "scc", "sgprs", "vgprs"):
+            a, b = ref[key][field], other[key][field]
+            if a == b:
+                continue
+            if field in ("sgprs", "vgprs"):
+                arr_a = np.frombuffer(a, dtype=np.uint32)
+                arr_b = np.frombuffer(b, dtype=np.uint32)
+                idx = int(np.flatnonzero(arr_a != arr_b)[0])
+                return ("wf {} {}[{}]: 0x{:08x} vs 0x{:08x}".format(
+                    key, field, idx, int(arr_a[idx]), int(arr_b[idx])))
+            return "wf {} {}: 0x{:x} vs 0x{:x}".format(key, field, a, b)
+    return None
+
+
+def _compare(oracle, ref, other, failures, cycles=False, registers=True):
+    if other.memory != ref.memory:
+        failures.append(OracleFailure(
+            oracle, "final memory differs ({} vs {}): {}".format(
+                ref.label, other.label,
+                _first_memory_diff(ref.memory, other.memory))))
+    if other.instructions != ref.instructions:
+        failures.append(OracleFailure(
+            oracle, "instruction counts differ: {} ({}) vs {} ({})".format(
+                ref.instructions, ref.label, other.instructions,
+                other.label)))
+    if cycles and other.cycles != ref.cycles:
+        failures.append(OracleFailure(
+            oracle, "cycle counts differ: {} ({}) vs {} ({})".format(
+                ref.cycles, ref.label, other.cycles, other.label)))
+    if registers and ref.registers is not None and other.registers is not None:
+        diff = _compare_registers(ref.registers, other.registers)
+        if diff is not None:
+            failures.append(OracleFailure(
+                oracle, "register state differs ({} vs {}): {}".format(
+                    ref.label, other.label, diff)))
+
+
+def check_case(case, multi_cus=2):
+    """Run every oracle over ``case``; returns a list of failures."""
+    failures = []
+
+    # Toolchain round trip -- purely static, runs even if execution dies.
+    try:
+        rebuilt = assemble(disassemble(case.program))
+        if rebuilt.words != case.program.words:
+            failures.append(OracleFailure(
+                "roundtrip",
+                "reassembled words differ at index {}".format(next(
+                    i for i, (a, b) in enumerate(
+                        zip(rebuilt.words, case.program.words)) if a != b)
+                    if len(rebuilt.words) == len(case.program.words)
+                    else "len {} vs {}".format(len(rebuilt.words),
+                                               len(case.program.words)))))
+    except ReproError as exc:
+        failures.append(OracleFailure("roundtrip", repr(exc)))
+
+    baseline = ArchConfig.baseline()
+    try:
+        ref = run_case(case, baseline, label="baseline+observers",
+                       observed=True, check_invariants=True)
+    except InvariantViolation as exc:
+        failures.append(OracleFailure("invariants", str(exc)))
+        return failures
+    except ReproError as exc:
+        failures.append(OracleFailure("invariants",
+                                      "reference run died: {!r}".format(exc)))
+        return failures
+
+    # The zero-cost-observation claim: detaching every observer must
+    # not change a single cycle, byte or instruction.
+    unobserved = run_case(case, baseline, label="baseline-unobserved",
+                          observed=False)
+    _compare("observer-detached", ref, unobserved, failures,
+             cycles=True, registers=False)
+
+    configs = []
+    try:
+        trimmed = TrimmingTool().trim(case.program).config
+        configs.append(("trimmed", trimmed, True))
+    except ReproError as exc:
+        failures.append(OracleFailure("trimmed", "trim failed: {!r}".format(exc)))
+    if multi_cus and multi_cus > 1:
+        configs.append(("multi-cu",
+                        baseline.with_parallelism(num_cus=multi_cus), False))
+    configs.append(("prefetch-off", ArchConfig.dcd(), False))
+
+    for oracle, config, cycles in configs:
+        try:
+            snap = run_case(case, config, label=oracle, observed=True)
+        except ReproError as exc:
+            failures.append(OracleFailure(oracle, "run died: {!r}".format(exc)))
+            continue
+        _compare(oracle, ref, snap, failures, cycles=cycles)
+    return failures

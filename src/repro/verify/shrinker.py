@@ -1,0 +1,75 @@
+"""Greedy failing-case minimisation (a ddmin-lite).
+
+Given a :class:`~repro.verify.generator.FuzzCase` that fails at least
+one oracle, :func:`shrink_case` repeatedly deletes source lines --
+first in large chunks, then line by line -- keeping a deletion only if
+the shrunk program still assembles *and* still fails an oracle with
+one of the original failure signatures.  The result is the small
+reproducer that gets checked into ``tests/verify/corpus/``.
+
+Every candidate evaluation costs a full oracle matrix (several
+simulator runs), so the search is budgeted by ``max_checks``.
+"""
+
+from __future__ import annotations
+
+from ..asm.assembler import assemble
+from ..errors import ReproError
+from .generator import FuzzCase
+from .oracles import check_case
+
+
+def _rebuild(case, lines):
+    return FuzzCase(seed=case.seed, source="\n".join(lines) + "\n",
+                    local_size=case.local_size, groups=case.groups,
+                    inp_dwords=case.inp_dwords)
+
+
+def _still_fails(case, signatures):
+    """The failures if ``case`` still reproduces, else None."""
+    try:
+        assemble(case.source)
+    except ReproError:
+        return None
+    failures = check_case(case)
+    if any(f.signature in signatures for f in failures):
+        return failures
+    return None
+
+
+def shrink_case(case, failures=None, max_checks=250):
+    """Minimise ``case`` while preserving its failure signature.
+
+    Returns ``(shrunk_case, failures_of_shrunk_case)``.  If ``case``
+    does not fail any oracle, it is returned unchanged with ``[]``.
+    """
+    if failures is None:
+        failures = check_case(case)
+    signatures = {f.signature for f in failures}
+    if not signatures:
+        return case, []
+
+    lines = case.source.splitlines()
+    best_failures = failures
+    checks = 0
+    chunk = max(1, len(lines) // 2)
+    while checks < max_checks:
+        removed_any = False
+        i = 0
+        while i < len(lines) and checks < max_checks:
+            candidate = _rebuild(case, lines[:i] + lines[i + chunk:])
+            checks += 1
+            still = _still_fails(candidate, signatures)
+            if still is not None:
+                lines = lines[:i] + lines[i + chunk:]
+                best_failures = still
+                removed_any = True
+                # Same index now holds the next chunk: retry in place.
+            else:
+                i += chunk
+        if chunk == 1:
+            if not removed_any:
+                break
+        else:
+            chunk = max(1, chunk // 2)
+    return _rebuild(case, lines), best_failures

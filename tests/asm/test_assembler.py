@@ -280,3 +280,24 @@ class TestMaskSelectorForms:
     def test_carry_op_rejects_sgpr_pair_mask(self):
         with pytest.raises(AssemblyError, match="use vcc"):
             assemble("v_addc_u32 v1, vcc, v2, v3, s[40:41]\ns_endpgm")
+
+
+class TestIndexOfAddressErrors:
+    def test_error_names_kernel_and_pc(self):
+        program = assemble(".kernel offender\ns_mov_b32 s0, 0x999\ns_endpgm")
+        with pytest.raises(AssemblyError) as excinfo:
+            program.index_of_address(4)
+        message = str(excinfo.value)
+        assert "0x4" in message
+        assert "offender" in message
+        assert "instruction boundary" in message
+
+    def test_past_the_end_pc_rejected(self):
+        program = assemble("s_nop\ns_endpgm")
+        with pytest.raises(AssemblyError):
+            program.index_of_address(program.size_bytes)
+
+    def test_negative_pc_rejected(self):
+        program = assemble("s_endpgm")
+        with pytest.raises(AssemblyError):
+            program.index_of_address(-4)

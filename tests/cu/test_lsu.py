@@ -181,3 +181,33 @@ class TestDescriptors:
     def test_make_buffer_descriptor_fields(self):
         desc = make_buffer_descriptor(0x1234, 0x800, flags=3)
         assert desc == [0x1234, 0, 0x800, 3]
+
+
+class TestSmrdTransactions:
+    """Regression: SMRD x2/x4 loads reported ``transactions=1``, so the
+    LSU occupancy model undercharged them relative to the per-dword
+    accounting the vector buffer path always used."""
+
+    def test_s_load_dword_single_transaction(self):
+        program, memory, wf = make_env("s_load_dword s20, s[2:3], 0")
+        wf.write_scalar64(2, 0x2000)
+        info = exec_mem(program, wf, memory)
+        assert info.transactions == 1
+
+    def test_s_load_dwordx2_counts_two(self):
+        program, memory, wf = make_env("s_load_dwordx2 s[20:21], s[2:3], 0")
+        wf.write_scalar64(2, 0x2000)
+        info = exec_mem(program, wf, memory)
+        assert info.transactions == 2
+
+    def test_s_load_dwordx4_counts_four(self):
+        program, memory, wf = make_env("s_load_dwordx4 s[20:23], s[2:3], 0")
+        wf.write_scalar64(2, 0x2000)
+        info = exec_mem(program, wf, memory)
+        assert info.transactions == 4
+
+    def test_s_buffer_load_dwordx4_counts_four(self):
+        program, memory, wf = make_env(
+            "s_buffer_load_dwordx4 s[20:23], s[4:7], 0")
+        info = exec_mem(program, wf, memory)
+        assert info.transactions == 4

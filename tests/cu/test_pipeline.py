@@ -209,3 +209,138 @@ class TestTiming:
         """
         end, stats, _ = run_program(masked)
         assert stats.per_unit["simd"] == 1
+
+
+class TestRunStatsCycles:
+    """Regression: ``CuRunStats.cycles`` was never populated by
+    ``run_workgroup`` -- merged launch stats silently summed zeros."""
+
+    def test_cycles_equal_elapsed(self):
+        end, stats, _ = run_program("""
+          s_mov_b32 s0, 1
+          v_mov_b32 v3, 0
+          s_endpgm
+        """)
+        assert stats.cycles == end
+        assert stats.cycles > 0
+
+    def test_cycles_relative_to_start_time(self):
+        program = assemble("s_mov_b32 s0, 1\ns_endpgm")
+        memory = MemorySystem(params=DCD_PM_TIMING)
+        cu = ComputeUnit(memory)
+        wg = Workgroup((0, 0, 0), program, (64, 1, 1))
+        wg.add_wavefront(Wavefront(0, program))
+        end, stats = cu.run_workgroup(wg, start_time=1000.0)
+        assert stats.cycles == end - 1000.0
+        assert stats.cycles > 0
+
+
+class TestStallCauseUnconditional:
+    """Regression: ``wf.stall_cause`` updates were skipped whenever no
+    observer was attached, leaving stale attribution on the wavefront
+    state that a later-attached profiler would read."""
+
+    def test_memory_cause_tracked_unobserved(self):
+        def init(wf, i):
+            wf.write_scalar64(2, 0x2000)
+
+        _, _, wg = run_program("""
+          s_load_dword s20, s[2:3], 0
+          s_waitcnt lgkmcnt(0)
+          s_endpgm
+        """, init=init)
+        assert wg.wavefronts[0].stall_cause == "memory"
+
+    def test_barrier_cause_tracked_unobserved(self):
+        _, _, wg = run_program("""
+          s_barrier
+          s_endpgm
+        """, num_wavefronts=2)
+        assert all(wf.stall_cause == "barrier" for wf in wg.wavefronts)
+
+    def test_mid_session_attach_matches_cold_attach(self):
+        """A profiler attached after an unobserved run must see the
+        same stall attribution as one attached from the start."""
+        from repro.core.config import ArchConfig
+        from repro.obs import STALL_CAUSES, PerfCounters
+        from repro.runtime.device import SoftGpu
+
+        source = """
+          .kernel waits
+          .arg out buffer
+            s_buffer_load_dword s19, s[12:15], 0
+            s_waitcnt lgkmcnt(0)
+            s_barrier
+            s_endpgm
+        """
+        program = assemble(source)
+
+        def launch(device):
+            out = device.alloc("out", 4 * 128)
+            device.preload_all()
+            device.run(program, (128,), (128,), args=[out])
+
+        cold = SoftGpu(ArchConfig.baseline())
+        cold_counters = cold.attach(PerfCounters())
+        launch(cold)
+
+        warm = SoftGpu(ArchConfig.baseline())
+        launch(warm)               # unobserved warm-up run
+        warm.heap.reset()
+        warm.reset_timeline()
+        warm.gpu.cus[0].reset_occupancy()
+        warm_counters = warm.attach(PerfCounters())
+        launch(warm)               # observed re-run on the warm board
+        for cause in STALL_CAUSES:
+            assert warm_counters.counters.get("stall." + cause) == \
+                cold_counters.counters.get("stall." + cause)
+
+
+class TestWaitcntTarget:
+    """Edge cases of the waitcnt settle-time computation."""
+
+    @staticmethod
+    def _wf():
+        program = assemble("s_endpgm")
+        return Wavefront(0, program)
+
+    def test_exact_tie_settles_at_completion(self):
+        wf = self._wf()
+        wf.outstanding_lgkm = [10.0]
+        ready = ComputeUnit._waitcnt_target(wf, 0, 10.0)  # lgkmcnt(0), vmcnt(0)
+        assert ready == 10.0
+        assert wf.outstanding_lgkm == []  # completion == ready is settled
+
+    def test_allowance_keeps_newest_outstanding(self):
+        wf = self._wf()
+        wf.outstanding_vm = [5.0, 10.0, 20.0]
+        simm = 1 | (0x1F << 8)  # vmcnt(1), lgkmcnt(31): lgkm unconstrained
+        ready = ComputeUnit._waitcnt_target(wf, simm, 0.0)
+        assert ready == 10.0          # wait until only one is in flight
+        assert wf.outstanding_vm == [20.0]
+
+    def test_already_satisfied_does_not_wait(self):
+        wf = self._wf()
+        wf.outstanding_vm = [50.0]
+        simm = 1 | (0x1F << 8)  # vmcnt(1) with one outstanding: satisfied
+        ready = ComputeUnit._waitcnt_target(wf, simm, 7.0)
+        assert ready == 7.0
+        assert wf.outstanding_vm == [50.0]  # still in flight
+
+    def test_lgkm_and_vm_masks_are_independent(self):
+        wf = self._wf()
+        wf.outstanding_vm = [50.0]
+        wf.outstanding_lgkm = [5.0]
+        simm = 0xF | (0 << 8)  # vmcnt(15): don't care; lgkmcnt(0): drain
+        ready = ComputeUnit._waitcnt_target(wf, simm, 0.0)
+        assert ready == 5.0
+        assert wf.outstanding_vm == [50.0]
+        assert wf.outstanding_lgkm == []
+
+    def test_waits_on_both_counters(self):
+        wf = self._wf()
+        wf.outstanding_vm = [12.0]
+        wf.outstanding_lgkm = [30.0]
+        ready = ComputeUnit._waitcnt_target(wf, 0, 1.0)
+        assert ready == 30.0
+        assert wf.outstanding_vm == [] and wf.outstanding_lgkm == []

@@ -106,3 +106,34 @@ class TestVectorAccess:
         assert int(lanes.sum()) == bin(mask).count("1")
         for lane in (0, 13, 63):
             assert bool(lanes[lane]) == bool(mask >> lane & 1)
+
+
+class TestReadScalarAsFloat:
+    """Regression: ``read_scalar(code, as_float=True)`` used to ignore
+    the flag entirely and hand a raw bit pattern to float consumers."""
+
+    def test_inline_float_constant(self, wf):
+        # code 240 is the inline constant 0.5
+        assert wf.read_scalar(240, as_float=True) == 0.5
+        assert wf.read_scalar(240) == 0x3F000000
+
+    def test_inline_negative_float_constant(self, wf):
+        for code, expected in regs.FLOAT_CONSTS.items():
+            assert wf.read_scalar(code, as_float=True) == expected
+
+    def test_sgpr_bit_reinterpretation(self, wf):
+        wf.write_scalar(10, 0x40490FDB)  # pi as IEEE-754 bits
+        value = wf.read_scalar(10, as_float=True)
+        assert abs(value - 3.14159265) < 1e-6
+        assert wf.read_scalar(10) == 0x40490FDB
+
+    def test_inline_int_converts_to_float(self, wf):
+        # Integer inline constants present their *bit pattern* to a
+        # float consumer (5 is a denormal, not 5.0) -- SI semantics.
+        value = wf.read_scalar(regs.INT_POS_FIRST + 4, as_float=True)
+        import struct as _struct
+        assert value == _struct.unpack("<f", _struct.pack("<I", 5))[0]
+
+    def test_literal_as_float(self, wf):
+        assert wf.read_scalar(regs.LITERAL, literal=0xBF800000,
+                              as_float=True) == -1.0

@@ -1,0 +1,79 @@
+; verify-case seed=0 local=192 groups=2 inp=64
+; regression corpus: must keep passing every oracle (geometry local=192 groups=2)
+.kernel fuzz_s0
+.arg inp buffer
+.arg out buffer
+.lds 2048
+  s_buffer_load_dword s19, s[8:11], 3
+  s_buffer_load_dword s20, s[12:15], 0
+  s_buffer_load_dword s21, s[12:15], 1
+  s_waitcnt lgkmcnt(0)
+  s_mul_i32 s1, s16, s19
+  v_add_i32 v3, vcc, s1, v0
+  v_lshlrev_b32 v4, 2, v3
+  v_add_i32 v4, vcc, s21, v4
+  v_and_b32 v12, 63, v3
+  v_lshlrev_b32 v12, 2, v12
+  v_add_i32 v12, vcc, s20, v12
+  buffer_load_dword v5, v12, s[4:7], 0 offen
+  s_waitcnt vmcnt(0)
+  v_mov_b32 v6, v3
+  v_not_b32 v7, v3
+  v_mov_b32 v8, 35
+  v_mov_b32 v9, 0xeb1167b3
+  v_add_i32 v10, vcc, v5, v3
+  s_movk_i32 s22, 6987
+  s_movk_i32 s23, 29700
+  s_movk_i32 s24, 14162
+  s_movk_i32 s25, -4137
+  s_movk_i32 s26, -14514
+  s_movk_i32 s27, 4173
+  v_mad_i32_i24 v6, v10, v10, v9
+  v_lshlrev_b32 v12, 2, v0
+  ds_write_b32 v12, v9
+  s_waitcnt lgkmcnt(0)
+  v_lshlrev_b32 v12, 2, v0
+  ds_write_b32 v12, v8
+  v_and_b32 v12, 0x000000ff, v9
+  v_lshlrev_b32 v12, 2, v12
+  v_or_b32 v12, 1024, v12
+  ds_add_u32 v12, v5
+  s_waitcnt lgkmcnt(0)
+  v_and_b32 v12, 63, v10
+  v_lshlrev_b32 v12, 2, v12
+  v_add_i32 v12, vcc, s20, v12
+  buffer_load_dword v13, v12, s[4:7], 0 offen
+  s_waitcnt vmcnt(0)
+  v_xor_b32 v7, v13, v6
+  v_and_b32 v12, 63, v5
+  v_lshlrev_b32 v12, 2, v12
+  v_add_i32 v12, vcc, s20, v12
+  tbuffer_load_format_x v13, v12, s[4:7], 0 offen
+  v_xor_b32 v6, v13, v6
+  s_barrier
+  v_add_i32 v5, vcc, 0xff7b118e, v8
+  v_addc_u32 v9, vcc, v7, v10, vcc
+  v_and_b32 v12, 0x000001ff, v9
+  v_lshlrev_b32 v12, 2, v12
+  ds_read_b32 v13, v12
+  s_waitcnt lgkmcnt(0)
+  v_add_i32 v6, vcc, v13, v9
+  s_lshl_b32 s25, s23, s24
+  v_and_b32 v12, 0x000000ff, v5
+  v_lshlrev_b32 v12, 2, v12
+  ds_read2_b32 v[13:14], v12 offset0:133 offset1:243
+  s_waitcnt lgkmcnt(0)
+  v_xor_b32 v5, v13, v14
+  v_and_b32 v12, 0x000000ff, v6
+  v_lshlrev_b32 v12, 2, v12
+  ds_read2_b32 v[13:14], v12 offset0:19 offset1:41
+  s_waitcnt lgkmcnt(0)
+  v_xor_b32 v10, v13, v14
+  v_cmp_lg_i32 vcc, v9, v6
+  v_cndmask_b32 v6, v10, v9, vcc
+  s_barrier
+  v_xor_b32 v5, v5, v8
+  v_add_i32 v5, vcc, v5, v9
+  buffer_store_dword v5, v4, s[4:7], 0 offen
+  s_waitcnt vmcnt(0)
+  s_endpgm

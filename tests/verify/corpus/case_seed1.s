@@ -1,0 +1,107 @@
+; verify-case seed=1 local=64 groups=3 inp=64
+; regression corpus: must keep passing every oracle (geometry local=64 groups=3)
+.kernel fuzz_s1
+.arg inp buffer
+.arg out buffer
+.lds 512
+  s_buffer_load_dword s19, s[8:11], 3
+  s_buffer_load_dword s20, s[12:15], 0
+  s_buffer_load_dword s21, s[12:15], 1
+  s_waitcnt lgkmcnt(0)
+  s_mul_i32 s1, s16, s19
+  v_add_i32 v3, vcc, s1, v0
+  v_lshlrev_b32 v4, 2, v3
+  v_add_i32 v4, vcc, s21, v4
+  v_and_b32 v12, 63, v3
+  v_lshlrev_b32 v12, 2, v12
+  v_add_i32 v12, vcc, s20, v12
+  buffer_load_dword v5, v12, s[4:7], 0 offen
+  s_waitcnt vmcnt(0)
+  v_mov_b32 v6, v3
+  v_not_b32 v7, v3
+  v_mov_b32 v8, 41
+  v_mov_b32 v9, 0x78e51061
+  v_add_i32 v10, vcc, v5, v3
+  s_movk_i32 s22, 16988
+  s_movk_i32 s23, -5249
+  s_movk_i32 s24, -20466
+  s_movk_i32 s25, 31176
+  s_movk_i32 s26, -29053
+  s_movk_i32 s27, 18325
+  v_and_b32 v12, 63, v5
+  v_lshlrev_b32 v12, 2, v12
+  v_add_i32 v12, vcc, s20, v12
+  buffer_load_sbyte v13, v12, s[4:7], 0 offen
+  s_waitcnt vmcnt(0)
+  v_xor_b32 v6, v13, v9
+  v_cmp_gt_u32 vcc, v5, v10
+  s_and_saveexec_b64 s[30:31], vcc
+  v_and_b32 v12, 63, v8
+  v_lshlrev_b32 v12, 2, v12
+  v_add_i32 v12, vcc, s20, v12
+  buffer_load_dword v13, v12, s[4:7], 0 offen
+  s_waitcnt vmcnt(0)
+  v_xor_b32 v8, v13, v8
+  v_cvt_f32_u32 v7, v6
+  v_add_f32 v8, v7, v9
+  v_cvt_i32_f32 v5, v10
+  s_mov_b64 exec, s[30:31]
+  s_mulk_i32 s26, 22558
+  v_cmp_lt_u32 s[28:29], v9, v8
+  s_and_b32 s26, s28, s25
+  v_and_b32 v12, 63, v5
+  v_lshlrev_b32 v12, 2, v12
+  v_add_i32 v12, vcc, s20, v12
+  buffer_load_sbyte v13, v12, s[4:7], 0 offen
+  s_waitcnt vmcnt(0)
+  v_xor_b32 v8, v13, v8
+  s_buffer_load_dword s27, s[8:11], 5
+  s_waitcnt lgkmcnt(0)
+  v_mov_b32 v6, v8
+  s_addk_i32 s22, 7671
+  s_buffer_load_dwordx4 s[40:43], s[8:11], 4
+  s_waitcnt lgkmcnt(0)
+  s_add_u32 s26, s40, s43
+  s_min_i32 s23, 0x8a245e6b, s26
+  v_subrev_i32 v7, vcc, v7, v10
+  v_cmp_eq_u32 vcc, v10, v9
+  s_and_saveexec_b64 s[30:31], vcc
+  s_buffer_load_dword s22, s[8:11], 7
+  s_waitcnt lgkmcnt(0)
+  buffer_store_dword v6, v4, s[4:7], 0 offen
+  s_addk_i32 s24, -32561
+  s_mov_b64 exec, s[30:31]
+  v_cmp_ge_i32 vcc, v9, v5
+  v_cndmask_b32 v6, v10, v6, vcc
+  v_cmp_eq_u32 vcc, s24, v5
+  v_cndmask_b32 v10, v5, v5, vcc
+  s_movk_i32 s36, 4
+L1:
+  s_buffer_load_dword s24, s[8:11], 1
+  s_waitcnt lgkmcnt(0)
+  s_sub_i32 s36, s36, 1
+  s_cmp_gt_i32 s36, 0
+  s_cbranch_scc1 L1
+  v_lshlrev_b32 v12, 2, v0
+  ds_write_b32 v12, v6
+  s_waitcnt lgkmcnt(0)
+  v_cmp_gt_u32 vcc, s24, v8
+  v_cndmask_b32 v10, v7, v8, vcc
+  v_cvt_f32_u32 v5, v7
+  v_subrev_f32 v5, 1.0, v7
+  v_sub_f32 v9, v9, v8
+  v_cvt_u32_f32 v8, v6
+  v_alignbit_b32 v10, v8, v6, 64
+  v_and_b32 v12, 0x0000007f, v10
+  v_lshlrev_b32 v12, 2, v12
+  ds_read_b32 v13, v12
+  s_waitcnt lgkmcnt(0)
+  v_add_i32 v5, vcc, v13, v8
+  s_buffer_load_dwordx4 s[40:43], s[8:11], 5
+  s_waitcnt lgkmcnt(0)
+  s_add_u32 s27, s40, s43
+  v_xor_b32 v5, v5, v8
+  v_add_i32 v5, vcc, v5, v5
+  buffer_store_dword v5, v4, s[4:7], 0 offen
+  s_waitcnt vmcnt(0)
+  s_endpgm

@@ -1,0 +1,107 @@
+; verify-case seed=2 local=16 groups=1 inp=64
+; regression corpus: must keep passing every oracle (geometry local=16 groups=1)
+.kernel fuzz_s2
+.arg inp buffer
+.arg out buffer
+.lds 512
+  s_buffer_load_dword s19, s[8:11], 3
+  s_buffer_load_dword s20, s[12:15], 0
+  s_buffer_load_dword s21, s[12:15], 1
+  s_waitcnt lgkmcnt(0)
+  s_mul_i32 s1, s16, s19
+  v_add_i32 v3, vcc, s1, v0
+  v_lshlrev_b32 v4, 2, v3
+  v_add_i32 v4, vcc, s21, v4
+  v_and_b32 v12, 63, v3
+  v_lshlrev_b32 v12, 2, v12
+  v_add_i32 v12, vcc, s20, v12
+  buffer_load_dword v5, v12, s[4:7], 0 offen
+  s_waitcnt vmcnt(0)
+  v_mov_b32 v6, v3
+  v_not_b32 v7, v3
+  v_mov_b32 v8, 23
+  v_mov_b32 v9, 0x4067c358
+  v_add_i32 v10, vcc, v5, v3
+  s_movk_i32 s22, -4953
+  s_movk_i32 s23, -28085
+  s_movk_i32 s24, -12009
+  s_movk_i32 s25, 23680
+  s_movk_i32 s26, 18813
+  s_movk_i32 s27, 15998
+  s_mov_b32 s44, 0x100
+  s_mov_b32 s45, 0
+  v_cmp_lt_i32 s[28:29], v8, v7
+  s_and_b32 s25, s28, s25
+  s_movk_i32 s36, 5
+L1:
+  v_cmp_eq_u32 vcc, v6, v6
+  v_cndmask_b32 v9, v9, v7, vcc
+  s_sub_i32 s36, s36, 1
+  s_cmp_gt_i32 s36, 0
+  s_cbranch_scc1 L1
+  s_branch L2
+  v_cmp_le_i32 vcc, s27, v9
+  s_and_saveexec_b64 s[32:33], vcc
+  s_buffer_load_dword s25, s[8:11], 2
+  s_waitcnt lgkmcnt(0)
+  v_and_b32 v12, 63, v10
+  v_lshlrev_b32 v12, 2, v12
+  ds_read2_b32 v[13:14], v12 offset0:31 offset1:62
+  s_waitcnt lgkmcnt(0)
+  v_xor_b32 v7, v13, v14
+  s_mov_b64 exec, s[32:33]
+L2:
+  v_cmp_ge_i32 vcc, v7, v10
+  s_and_saveexec_b64 s[30:31], vcc
+  s_mulk_i32 s27, 27073
+  v_cvt_f32_u32 v6, v7
+  v_subrev_f32 v8, v9, v7
+  v_rcp_f32 v10, v9
+  s_mov_b64 exec, s[30:31]
+  v_cmp_le_i32 vcc, v6, v8
+  v_cndmask_b32 v9, v7, v10, vcc
+  v_and_b32 v12, 63, v5
+  v_lshlrev_b32 v12, 2, v12
+  v_add_i32 v12, vcc, s20, v12
+  buffer_load_ubyte v13, v12, s[4:7], 0 offen
+  s_waitcnt vmcnt(0)
+  v_xor_b32 v6, v13, v10
+  v_add_i32 v7, vcc, s27, v5
+  v_max_i32 v5, v10, v5
+  v_max_i32 v10, v5, v5
+  v_mov_b32 v7, v6
+  buffer_store_dword v5, v4, s[4:7], 0 offen
+  s_waitcnt vmcnt(0)
+  v_bfe_i32 v5, v9, s27, v7
+  v_cvt_f32_u32 v7, v8
+  v_mac_f32 v9, v8, v10
+  v_ceil_f32 v5, v10
+  v_and_b32 v12, 63, v6
+  v_lshlrev_b32 v12, 2, v12
+  v_or_b32 v12, 256, v12
+  ds_add_u32 v12, v9
+  s_waitcnt lgkmcnt(0)
+  s_not_b32 s24, s26
+  v_cmp_lg_i32 vcc, v9, v6
+  s_and_saveexec_b64 s[30:31], vcc
+  v_or_b32 v8, s26, v10
+  v_and_b32 v12, 63, v6
+  v_lshlrev_b32 v12, 2, v12
+  ds_write2_b32 v12, v10, v8 offset0:9 offset1:32
+  s_waitcnt lgkmcnt(0)
+  s_mov_b64 exec, s[30:31]
+  v_ashrrev_i32 v10, v10, v8
+  s_movk_i32 s22, 17662
+  s_max_u32 s22, s22, s22
+  v_max_i32 v5, v8, v8
+  s_not_b32 s27, 0xba9b398d
+  v_and_b32 v12, 0x0000007f, v9
+  v_lshlrev_b32 v12, 2, v12
+  ds_read_b32 v13, v12
+  s_waitcnt lgkmcnt(0)
+  v_add_i32 v5, vcc, v13, v8
+  v_xor_b32 v5, v5, v9
+  v_add_i32 v5, vcc, v5, v9
+  buffer_store_dword v5, v4, s[4:7], 0 offen
+  s_waitcnt vmcnt(0)
+  s_endpgm

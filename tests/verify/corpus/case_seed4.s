@@ -1,0 +1,75 @@
+; verify-case seed=4 local=64 groups=2 inp=64
+; regression corpus: must keep passing every oracle (geometry local=64 groups=2)
+.kernel fuzz_s4
+.arg inp buffer
+.arg out buffer
+  s_buffer_load_dword s19, s[8:11], 3
+  s_buffer_load_dword s20, s[12:15], 0
+  s_buffer_load_dword s21, s[12:15], 1
+  s_waitcnt lgkmcnt(0)
+  s_mul_i32 s1, s16, s19
+  v_add_i32 v3, vcc, s1, v0
+  v_lshlrev_b32 v4, 2, v3
+  v_add_i32 v4, vcc, s21, v4
+  v_and_b32 v12, 63, v3
+  v_lshlrev_b32 v12, 2, v12
+  v_add_i32 v12, vcc, s20, v12
+  buffer_load_dword v5, v12, s[4:7], 0 offen
+  s_waitcnt vmcnt(0)
+  v_mov_b32 v6, v3
+  v_not_b32 v7, v3
+  v_mov_b32 v8, -5
+  v_mov_b32 v9, 0x11072231
+  v_add_i32 v10, vcc, v5, v3
+  s_movk_i32 s22, -30171
+  s_movk_i32 s23, 19869
+  s_movk_i32 s24, 5161
+  s_movk_i32 s25, -25055
+  s_movk_i32 s26, -3680
+  s_movk_i32 s27, 14450
+  s_buffer_load_dwordx4 s[40:43], s[8:11], 2
+  s_waitcnt lgkmcnt(0)
+  s_add_u32 s23, s40, s43
+  v_cmp_eq_u32 vcc, 0xccea2645, v7
+  s_and_saveexec_b64 s[30:31], vcc
+  s_cbranch_execz L1
+  v_mul_hi_u32 v5, 27, s26
+  v_max_u32 v5, 0xf1347e0c, v9
+L1:
+  s_mov_b64 exec, s[30:31]
+  buffer_store_byte v7, v4, s[4:7], 0 offen
+  s_movk_i32 s36, 5
+L2:
+  s_bcnt1_i32_b32 s25, s24
+  s_sub_i32 s36, s36, 1
+  s_cmp_gt_i32 s36, 0
+  s_cbranch_scc1 L2
+  v_mul_lo_u32 v5, v7, v10
+  v_cvt_f32_u32 v7, v6
+  v_min_f32 v10, 1.0, v8
+  v_trunc_f32 v8, v10
+  v_and_b32 v12, 63, v6
+  v_lshlrev_b32 v12, 2, v12
+  v_add_i32 v12, vcc, s20, v12
+  buffer_load_ubyte v13, v12, s[4:7], 0 offen
+  s_waitcnt vmcnt(0)
+  v_xor_b32 v5, v13, v10
+  v_mul_lo_i32 v5, v6, v5
+  v_not_b32 v10, s24
+  v_xor_b32 v10, v9, v10
+  buffer_store_dword v6, v4, s[4:7], 0 offen
+  s_min_u32 s23, s22, s24
+  v_min_i32 v7, s25, v6
+  s_add_u32 s22, s23, s26
+  v_and_b32 v12, 63, v6
+  v_lshlrev_b32 v12, 2, v12
+  v_add_i32 v12, vcc, s20, v12
+  buffer_load_dword v13, v12, s[4:7], 0 offen
+  s_waitcnt vmcnt(0)
+  v_xor_b32 v9, v13, v6
+  s_lshr_b32 s26, s25, s27
+  v_xor_b32 v5, v5, v6
+  v_add_i32 v5, vcc, v5, v8
+  buffer_store_dword v5, v4, s[4:7], 0 offen
+  s_waitcnt vmcnt(0)
+  s_endpgm

@@ -1,0 +1,141 @@
+; verify-case seed=7 local=128 groups=1 inp=256
+; regression corpus: must keep passing every oracle (geometry local=128 groups=1)
+.kernel fuzz_s7
+.arg inp buffer
+.arg out buffer
+.lds 1024
+  s_buffer_load_dword s19, s[8:11], 3
+  s_buffer_load_dword s20, s[12:15], 0
+  s_buffer_load_dword s21, s[12:15], 1
+  s_waitcnt lgkmcnt(0)
+  s_mul_i32 s1, s16, s19
+  v_add_i32 v3, vcc, s1, v0
+  v_lshlrev_b32 v4, 2, v3
+  v_add_i32 v4, vcc, s21, v4
+  v_and_b32 v12, 0x000000ff, v3
+  v_lshlrev_b32 v12, 2, v12
+  v_add_i32 v12, vcc, s20, v12
+  buffer_load_dword v5, v12, s[4:7], 0 offen
+  s_waitcnt vmcnt(0)
+  v_mov_b32 v6, v3
+  v_not_b32 v7, v3
+  v_mov_b32 v8, 52
+  v_mov_b32 v9, 0x1818e811
+  v_add_i32 v10, vcc, v5, v3
+  s_movk_i32 s22, 15163
+  s_movk_i32 s23, -25166
+  s_movk_i32 s24, -4628
+  s_movk_i32 s25, -27854
+  s_movk_i32 s26, -21503
+  s_movk_i32 s27, 24070
+  s_mov_b32 s44, 0x100
+  s_mov_b32 s45, 0
+  v_lshlrev_b32 v12, 2, v0
+  ds_write_b32 v12, v5
+  v_lshlrev_b32 v12, 2, v0
+  ds_write_b32 v12, v10
+  s_waitcnt lgkmcnt(0)
+  v_lshlrev_b32 v12, 2, v0
+  ds_write_b32 v12, v5
+  v_and_b32 v12, 0x0000007f, v7
+  v_lshlrev_b32 v12, 2, v12
+  v_or_b32 v12, 512, v12
+  ds_add_u32 v12, v8
+  s_waitcnt lgkmcnt(0)
+  v_lshlrev_b32 v12, 2, v0
+  ds_write_b32 v12, v10
+  s_waitcnt lgkmcnt(0)
+  v_and_b32 v12, 0x000000ff, v7
+  v_lshlrev_b32 v12, 2, v12
+  v_add_i32 v12, vcc, s20, v12
+  buffer_load_dword v13, v12, s[4:7], 0 offen
+  s_waitcnt vmcnt(0)
+  v_xor_b32 v5, v13, v9
+  v_lshlrev_b32 v12, 2, v0
+  ds_write_b32 v12, v10
+  s_waitcnt lgkmcnt(0)
+  s_cmp_gt_u32 s23, s27
+  s_subb_u32 s22, s26, s24
+  s_movk_i32 s36, 4
+L1:
+  v_cmp_ge_i32 vcc, v7, v6
+  v_cndmask_b32 v8, v8, v5, vcc
+  v_cmp_eq_u32 vcc, s26, v7
+  s_and_saveexec_b64 s[30:31], vcc
+  s_cbranch_execz L2
+  v_cvt_f32_u32 v9, v8
+  v_mul_f32 v10, v7, v10
+  v_sqrt_f32 v10, v7
+  v_cmp_lt_i32 vcc, v10, v8
+  s_and_saveexec_b64 s[32:33], vcc
+  v_add_i32 v9, vcc, v5, v6
+  v_min_u32 v8, v8, v8
+  s_mov_b64 exec, s[32:33]
+L2:
+  s_mov_b64 exec, s[30:31]
+  s_sub_i32 s36, s36, 1
+  s_cmp_gt_i32 s36, 0
+  s_cbranch_scc1 L1
+  s_movk_i32 s36, 4
+L3:
+  v_sub_i32 v10, vcc, 0x26a2c0bd, v5
+  v_addc_u32 v6, vcc, v10, v6, vcc
+  v_mul_lo_i32 v7, v6, v7
+  v_cmp_lt_u32 vcc, s26, v9
+  v_cndmask_b32 v10, v10, v10, vcc
+  s_sub_i32 s36, s36, 1
+  s_cmp_gt_i32 s36, 0
+  s_cbranch_scc1 L3
+  s_barrier
+  v_and_b32 v12, 0x0000007f, v10
+  v_lshlrev_b32 v12, 2, v12
+  ds_read2_b32 v[13:14], v12 offset0:100 offset1:101
+  s_waitcnt lgkmcnt(0)
+  v_xor_b32 v8, v13, v14
+  v_and_b32 v12, 0x000000ff, v8
+  v_lshlrev_b32 v12, 2, v12
+  ds_read_b32 v13, v12
+  s_waitcnt lgkmcnt(0)
+  v_add_i32 v5, vcc, v13, v6
+  v_and_b32 v12, 0x000000ff, v6
+  v_lshlrev_b32 v12, 2, v12
+  ds_read_b32 v13, v12
+  s_waitcnt lgkmcnt(0)
+  v_add_i32 v5, vcc, v13, v7
+  v_subrev_i32 v5, vcc, 0x1200339d, v6
+  v_and_b32 v12, 0x000000ff, v7
+  v_lshlrev_b32 v12, 2, v12
+  ds_read_b32 v13, v12
+  s_waitcnt lgkmcnt(0)
+  v_add_i32 v9, vcc, v13, v7
+  v_sub_i32 v8, vcc, v5, v6
+  v_addc_u32 v7, vcc, v10, v7, vcc
+  v_and_b32 v12, 0x000000ff, v9
+  v_lshlrev_b32 v12, 2, v12
+  v_add_i32 v12, vcc, s20, v12
+  buffer_load_dword v13, v12, s[4:7], 0 offen
+  s_waitcnt vmcnt(0)
+  v_xor_b32 v9, v13, v7
+  v_and_b32 v12, 0x000000ff, v5
+  v_lshlrev_b32 v12, 2, v12
+  ds_read_b32 v13, v12
+  s_waitcnt lgkmcnt(0)
+  v_add_i32 v9, vcc, v13, v7
+  s_movk_i32 s36, 3
+L4:
+  s_lshl_b32 s23, s26, s24
+  v_cmp_lt_i32 vcc, 0xce5b2a92, v6
+  v_cndmask_b32 v8, v10, v6, vcc
+  v_subrev_i32 v5, vcc, 0x78e4b98d, v7
+  v_addc_u32 v9, vcc, v7, v8, vcc
+  s_sub_i32 s36, s36, 1
+  s_cmp_gt_i32 s36, 0
+  s_cbranch_scc1 L4
+  s_buffer_load_dword s24, s[8:11], 1
+  s_waitcnt lgkmcnt(0)
+  s_barrier
+  v_xor_b32 v5, v5, v6
+  v_add_i32 v5, vcc, v5, v5
+  buffer_store_dword v5, v4, s[4:7], 0 offen
+  s_waitcnt vmcnt(0)
+  s_endpgm

@@ -1,0 +1,123 @@
+; verify-case seed=9 local=192 groups=3 inp=256
+; regression corpus: must keep passing every oracle (geometry local=192 groups=3)
+.kernel fuzz_s9
+.arg inp buffer
+.arg out buffer
+.lds 2048
+  s_buffer_load_dword s19, s[8:11], 3
+  s_buffer_load_dword s20, s[12:15], 0
+  s_buffer_load_dword s21, s[12:15], 1
+  s_waitcnt lgkmcnt(0)
+  s_mul_i32 s1, s16, s19
+  v_add_i32 v3, vcc, s1, v0
+  v_lshlrev_b32 v4, 2, v3
+  v_add_i32 v4, vcc, s21, v4
+  v_and_b32 v12, 0x000000ff, v3
+  v_lshlrev_b32 v12, 2, v12
+  v_add_i32 v12, vcc, s20, v12
+  buffer_load_dword v5, v12, s[4:7], 0 offen
+  s_waitcnt vmcnt(0)
+  v_mov_b32 v6, v3
+  v_not_b32 v7, v3
+  v_mov_b32 v8, -16
+  v_mov_b32 v9, 0x569c8036
+  v_add_i32 v10, vcc, v5, v3
+  s_movk_i32 s22, 28012
+  s_movk_i32 s23, -22176
+  s_movk_i32 s24, 11013
+  s_movk_i32 s25, -27408
+  s_movk_i32 s26, 16910
+  s_movk_i32 s27, -10563
+  s_mov_b32 s44, 0x100
+  s_mov_b32 s45, 0
+  v_xor_b32 v9, 0x10363c5f, v10
+  v_and_b32 v12, 0x000000ff, v5
+  v_lshlrev_b32 v12, 2, v12
+  v_or_b32 v12, 1024, v12
+  ds_add_u32 v12, v7
+  s_waitcnt lgkmcnt(0)
+  v_and_b32 v12, 0x000000ff, v5
+  v_lshlrev_b32 v12, 2, v12
+  v_or_b32 v12, 1024, v12
+  ds_add_u32 v12, v7
+  s_barrier
+  v_and_b32 v12, 0x000001ff, v5
+  v_lshlrev_b32 v12, 2, v12
+  ds_read_b32 v13, v12
+  s_waitcnt lgkmcnt(0)
+  v_add_i32 v6, vcc, v13, v10
+  s_movk_i32 s36, 1
+L1:
+  s_buffer_load_dword s23, s[8:11], 6
+  s_waitcnt lgkmcnt(0)
+  v_and_b32 v12, 0x000000ff, v5
+  v_lshlrev_b32 v12, 2, v12
+  v_add_i32 v12, vcc, s20, v12
+  buffer_load_dword v13, v12, s[4:7], 0 offen
+  s_waitcnt vmcnt(0)
+  v_xor_b32 v9, v13, v6
+  s_sub_i32 s36, s36, 1
+  s_cmp_gt_i32 s36, 0
+  s_cbranch_scc1 L1
+  v_or_b32 v6, v5, v9
+  s_barrier
+  v_lshlrev_b32 v12, 2, v0
+  ds_write_b32 v12, v6
+  s_waitcnt lgkmcnt(0)
+  v_and_b32 v12, 0x000000ff, v5
+  v_lshlrev_b32 v12, 2, v12
+  v_or_b32 v12, 1024, v12
+  ds_add_u32 v12, v10
+  s_waitcnt lgkmcnt(0)
+  v_and_b32 v12, 0x000000ff, v5
+  v_lshlrev_b32 v12, 2, v12
+  v_or_b32 v12, 1024, v12
+  ds_add_u32 v12, v5
+  s_waitcnt lgkmcnt(0)
+  s_barrier
+  s_movk_i32 s36, 3
+L2:
+  v_cmp_eq_u32 vcc, v10, v8
+  s_and_saveexec_b64 s[30:31], vcc
+  v_subrev_i32 v7, vcc, 56, v10
+  v_addc_u32 v7, vcc, v5, v9, vcc
+  s_mov_b64 exec, s[30:31]
+  s_sub_i32 s26, 61, s24
+  v_max_i32 v8, v5, v7
+  s_sub_i32 s36, s36, 1
+  s_cmp_gt_i32 s36, 0
+  s_cbranch_scc1 L2
+  v_mul_lo_u32 v8, s25, v10
+  v_cmp_lg_i32 vcc, v8, v9
+  v_cndmask_b32 v7, v9, v7, vcc
+  s_barrier
+  v_lshlrev_b32 v12, 2, v0
+  ds_write_b32 v12, v10
+  v_lshlrev_b32 v12, 2, v0
+  ds_write_b32 v12, v6
+  s_waitcnt lgkmcnt(0)
+  v_lshlrev_b32 v12, 2, v0
+  ds_write_b32 v12, v6
+  s_waitcnt lgkmcnt(0)
+  s_barrier
+  v_and_b32 v12, 0x000001ff, v8
+  v_lshlrev_b32 v12, 2, v12
+  ds_read_b32 v13, v12
+  s_waitcnt lgkmcnt(0)
+  v_add_i32 v7, vcc, v13, v9
+  v_and_b32 v12, 0x000000ff, v7
+  v_lshlrev_b32 v12, 2, v12
+  ds_read2_b32 v[13:14], v12 offset0:72 offset1:246
+  s_waitcnt lgkmcnt(0)
+  v_xor_b32 v9, v13, v14
+  v_and_b32 v12, 0x000000ff, v10
+  v_lshlrev_b32 v12, 2, v12
+  ds_read2_b32 v[13:14], v12 offset0:151 offset1:60
+  s_waitcnt lgkmcnt(0)
+  v_xor_b32 v5, v13, v14
+  s_barrier
+  v_xor_b32 v5, v5, v8
+  v_add_i32 v5, vcc, v5, v8
+  buffer_store_dword v5, v4, s[4:7], 0 offen
+  s_waitcnt vmcnt(0)
+  s_endpgm

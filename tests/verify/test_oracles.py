@@ -1,0 +1,66 @@
+"""The differential-oracle matrix."""
+
+import pytest
+
+from repro.core.config import ArchConfig
+from repro.verify import ORACLE_NAMES, check_case, generate_case, run_case
+from repro.verify import oracles as oracles_mod
+
+
+class TestRunCase:
+    def test_snapshot_shape(self):
+        case = generate_case(4)
+        snap = run_case(case, ArchConfig.baseline(), label="x")
+        assert snap.label == "x"
+        assert len(snap.memory) == oracles_mod.FUZZ_MEM_SIZE
+        assert snap.instructions > 0
+        assert snap.cycles > 0
+        # One register record per wavefront per workgroup.
+        expected = case.groups * -(-case.local_size // 64)
+        assert len(snap.registers) == expected
+
+    def test_unobserved_has_no_registers(self):
+        case = generate_case(4)
+        snap = run_case(case, ArchConfig.baseline(), observed=False)
+        assert snap.registers is None
+
+    def test_zero_cost_observation_direct(self):
+        """The pinned claim: attach/detach changes nothing, bit-for-bit."""
+        case = generate_case(6)
+        observed = run_case(case, ArchConfig.baseline(),
+                            check_invariants=True)
+        unobserved = run_case(case, ArchConfig.baseline(), observed=False)
+        assert observed.cycles == unobserved.cycles
+        assert observed.instructions == unobserved.instructions
+        assert observed.memory == unobserved.memory
+
+
+class TestCheckCase:
+    @pytest.mark.parametrize("seed", [0, 2, 5, 8])
+    def test_generated_cases_pass_all_oracles(self, seed):
+        assert check_case(generate_case(seed)) == []
+
+    def test_oracle_names_are_stable(self):
+        assert ORACLE_NAMES == ("roundtrip", "invariants",
+                                "observer-detached", "trimmed", "multi-cu",
+                                "prefetch-off")
+
+    def test_detects_config_divergence(self, monkeypatch):
+        """Sanity that the matrix has teeth: substitute an architecture
+        with different timing for the 'trimmed' config and the cycle
+        oracle must fire."""
+
+        class FakeTrim:
+            config = ArchConfig.original()
+
+        monkeypatch.setattr(oracles_mod.TrimmingTool, "trim",
+                            lambda self, programs, **kw: FakeTrim())
+        failures = check_case(generate_case(1))
+        assert any(f.oracle == "trimmed" for f in failures)
+        assert all(f.oracle == "trimmed" for f in failures)
+
+    def test_detects_roundtrip_divergence(self, monkeypatch):
+        monkeypatch.setattr(oracles_mod, "disassemble",
+                            lambda program: "s_nop\ns_endpgm\n")
+        failures = check_case(generate_case(1))
+        assert [f.oracle for f in failures] == ["roundtrip"]

@@ -1,0 +1,54 @@
+"""The greedy failing-case minimiser."""
+
+from repro.verify import generate_case, shrink_case
+from repro.verify import shrinker as shrinker_mod
+from repro.verify.oracles import OracleFailure
+
+MARKER = "v_mov_b32 v9"  # unique prologue line of every generated case
+
+
+def fake_check(case):
+    """Stand-in oracle: 'fails' iff the marker line survives."""
+    if any(MARKER in line for line in case.source.splitlines()):
+        return [OracleFailure("fake", "marker still present")]
+    return []
+
+
+class TestShrink:
+    def test_passing_case_returned_unchanged(self):
+        case = generate_case(11)
+        shrunk, failures = shrink_case(case, failures=[])
+        assert failures == []
+        assert shrunk.source == case.source
+
+    def test_minimises_to_the_failing_line(self, monkeypatch):
+        monkeypatch.setattr(shrinker_mod, "check_case", fake_check)
+        case = generate_case(11)
+        original_lines = len(case.source.splitlines())
+        shrunk, failures = shrink_case(case, failures=fake_check(case))
+        shrunk_lines = [line for line in shrunk.source.splitlines() if line]
+        assert failures and failures[0].signature == "fake"
+        assert any(MARKER in line for line in shrunk_lines)
+        # Greedy deletion should strip nearly everything else.
+        assert len(shrunk_lines) < original_lines // 4
+
+    def test_never_returns_unassemblable_source(self, monkeypatch):
+        from repro.asm import assemble
+
+        monkeypatch.setattr(shrinker_mod, "check_case", fake_check)
+        case = generate_case(23)
+        shrunk, _ = shrink_case(case, failures=fake_check(case))
+        assemble(shrunk.source)  # must not raise
+
+    def test_respects_check_budget(self, monkeypatch):
+        calls = []
+
+        def counting_check(case):
+            calls.append(1)
+            return [OracleFailure("fake", "always fails")]
+
+        monkeypatch.setattr(shrinker_mod, "check_case", counting_check)
+        case = generate_case(11)
+        shrink_case(case, failures=[OracleFailure("fake", "seed")],
+                    max_checks=10)
+        assert len(calls) <= 10
