@@ -10,10 +10,48 @@ constant buffer 1.  Our assembler produces the same bundle.
 
 from __future__ import annotations
 
+import hashlib
+import struct
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from ..errors import AssemblyError
 from ..isa.decode import decode_program
+
+#: Decoded-program memo: content hash of the dwords -> decode result.
+#: Re-assembling or re-constructing a kernel with identical words (the
+#: service's cold boards, fuzz replays, repeated CLI invocations) skips
+#: ``decode_program`` entirely; the decode is a pure function of the
+#: words, so sharing the instruction list is safe.
+_DECODE_CACHE_CAPACITY = 256
+_decode_cache = OrderedDict()
+_decode_lock = threading.Lock()
+
+
+def _words_digest(words):
+    return hashlib.sha256(struct.pack("<{}I".format(len(words)), *words)).hexdigest()
+
+
+def _decode_cached(words):
+    key = _words_digest(words)
+    with _decode_lock:
+        cached = _decode_cache.get(key)
+        if cached is not None:
+            _decode_cache.move_to_end(key)
+            return key, cached
+    decoded = decode_program(list(words))
+    with _decode_lock:
+        _decode_cache[key] = decoded
+        while len(_decode_cache) > _DECODE_CACHE_CAPACITY:
+            _decode_cache.popitem(last=False)
+    return key, decoded
+
+
+def clear_decode_cache():
+    """Drop every memoized decode (test isolation hook)."""
+    with _decode_lock:
+        _decode_cache.clear()
 
 
 @dataclass(frozen=True)
@@ -68,8 +106,9 @@ class Program:
         self.vgpr_count = vgpr_count
         self.lds_size = lds_size
         self.source = source
-        self.instructions = decode_program(self.words)
+        self._words_key, self.instructions = _decode_cached(self.words)
         self._by_address = {inst.address: i for i, inst in enumerate(self.instructions)}
+        self._content_key = None
 
     # -- navigation used by the simulator ---------------------------------
 
@@ -87,6 +126,27 @@ class Program:
     @property
     def size_bytes(self):
         return 4 * len(self.words)
+
+    def content_key(self):
+        """Stable content hash of everything execution can depend on.
+
+        Covers the binary words plus the dispatch metadata (argument
+        layout, register counts, LDS size).  Two programs with equal
+        keys behave identically on any board, which is what lets the
+        service's artifact cache and the prepared-program cache share
+        entries across :class:`Program` instances.
+        """
+        if self._content_key is None:
+            digest = hashlib.sha256()
+            digest.update(self.name.encode())
+            digest.update(self._words_key.encode())
+            digest.update(";".join(
+                "{}:{}:{}".format(a.name, a.kind, a.offset) for a in self.args
+            ).encode())
+            digest.update("{}/{}/{}".format(
+                self.sgpr_count, self.vgpr_count, self.lds_size).encode())
+            self._content_key = digest.hexdigest()
+        return self._content_key
 
     def arg(self, name):
         for a in self.args:

@@ -1,0 +1,117 @@
+"""Baseline files + regression comparison for ``repro bench --check``.
+
+A *baseline* is the JSON payload of a previous ``repro bench --json``
+run, checked into the repo root.  :func:`compare_reports` walks the
+current payload against it metric by metric and reports every movement
+beyond :data:`REGRESSION_THRESHOLD` in the bad direction.
+
+Two metric classes:
+
+* **machine-independent** ratios (``speedup_vs_reference``,
+  ``cache_hit_rate``): comparable across hosts, enforced everywhere.
+* **absolute** wall-clock metrics (``wall_*``, ``inst_per_s``,
+  ``jobs_per_second``, ``latency_*``): only meaningful against a
+  baseline recorded on the same class of machine, so they are
+  *report-only* unless the caller opts into strict mode (CI does, on
+  main, where baseline and run share the runner type).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+#: A metric may move this fraction in the bad direction before it
+#: counts as a regression.
+REGRESSION_THRESHOLD = 0.20
+
+#: metric name -> (higher_is_better, machine_independent)
+_METRICS = {
+    "speedup_vs_reference": (True, True),
+    "cache_hit_rate": (True, True),
+    "warm_board_rate": (True, True),
+    "inst_per_s": (True, False),
+    "jobs_per_second": (True, False),
+    "wall_reference_s": (False, False),
+    "wall_fast_s": (False, False),
+    "latency_p50_s": (False, False),
+    "latency_p95_s": (False, False),
+}
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One metric that moved beyond threshold in the bad direction."""
+
+    path: str           # e.g. "kernels.matrix_mul_i32.speedup_vs_reference"
+    baseline: float
+    current: float
+    change: float       # signed fractional change, bad direction positive
+    enforced: bool      # machine-independent -> can fail the build
+
+    def __str__(self):
+        kind = "ENFORCED" if self.enforced else "report-only"
+        return ("{}: {:.4g} -> {:.4g} ({:+.1%} worse) [{}]".format(
+            self.path, self.baseline, self.current, self.change, kind))
+
+
+def _check_metric(path, name, base_value, cur_value, threshold, out):
+    higher_better, independent = _METRICS[name]
+    try:
+        base_value = float(base_value)
+        cur_value = float(cur_value)
+    except (TypeError, ValueError):
+        return
+    if base_value == 0:
+        return
+    if higher_better:
+        change = (base_value - cur_value) / base_value
+    else:
+        change = (cur_value - base_value) / base_value
+    if change > threshold:
+        out.append(Regression(path=path, baseline=base_value,
+                              current=cur_value, change=change,
+                              enforced=independent))
+
+
+def _walk(path, baseline, current, threshold, out):
+    if not isinstance(baseline, dict) or not isinstance(current, dict):
+        return
+    for key, base_value in baseline.items():
+        if key not in current:
+            continue
+        child_path = "{}.{}".format(path, key) if path else key
+        if key in _METRICS:
+            _check_metric(child_path, key, base_value, current[key],
+                          threshold, out)
+        else:
+            _walk(child_path, base_value, current[key], threshold, out)
+
+
+def compare_reports(baseline, current, threshold=REGRESSION_THRESHOLD):
+    """All regressions of ``current`` vs ``baseline``, worst first.
+
+    Only metrics present in *both* payloads are compared, so adding a
+    kernel to the bench set does not fail against an older baseline.
+    """
+    out = []
+    _walk("", baseline, current, threshold, out)
+    out.sort(key=lambda r: r.change, reverse=True)
+    return out
+
+
+def load_baseline(path):
+    """Load one checked-in baseline file; None if it does not exist."""
+    if not os.path.exists(path):
+        return None
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def write_baseline(path, payload):
+    """Write a baseline payload (stable formatting for clean diffs)."""
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -1,0 +1,60 @@
+"""Service-level throughput and latency benchmarks.
+
+Submits a repeated-job workload (the pattern the content-addressed
+artifact cache accelerates) through a threaded
+:class:`~repro.service.KernelService` and reports wall-clock job
+throughput, latency percentiles and the cache hit rate.  Thread mode
+keeps the measurement about the service itself -- process-pool spawn
+cost is a platform property, not a regression signal.
+"""
+
+from __future__ import annotations
+
+#: Baseline file at the repo root (see docs/benchmarking.md).
+SERVICE_BASELINE_FILE = "BENCH_service.json"
+
+#: Repeated-submission workload: each benchmark appears ``rounds``
+#: times, so all but the first submission of each hits the caches.
+SERVICE_BENCHMARKS = ("scan_large_arrays", "prefix_sum", "binary_search")
+
+
+def bench_service(benchmarks=None, rounds=4, workers=2, log=None):
+    """Run the service workload; returns the ``BENCH_service`` payload."""
+    from ..service import Job, KernelService
+
+    log = log or (lambda message: None)
+    benchmarks = tuple(benchmarks or SERVICE_BENCHMARKS)
+    jobs = [Job(benchmark=name, config="baseline", verify=False)
+            for _ in range(rounds) for name in benchmarks]
+    log("service bench: {} jobs ({} benchmarks x {} rounds), "
+        "{} thread workers".format(len(jobs), len(benchmarks), rounds,
+                                   workers))
+    with KernelService(workers=workers, mode="thread") as service:
+        service.submit_many(jobs)
+        results = service.drain()
+        snapshot = service.snapshot()
+    failed = [r for r in results if not r.ok]
+    if failed:
+        raise RuntimeError(
+            "service bench had {} failed job(s); first: {}".format(
+                len(failed), failed[0].error))
+    return {
+        "schema": 1,
+        "jobs": len(jobs),
+        "rounds": rounds,
+        "workers": workers,
+        "benchmarks": list(benchmarks),
+        "jobs_per_second": snapshot["jobs_per_second"],
+        "latency_p50_s": snapshot["latency_p50_s"],
+        "latency_p95_s": snapshot["latency_p95_s"],
+        "cache_hit_rate": snapshot["cache"]["hit_rate"],
+        "warm_board_rate": snapshot["warm_board_rate"],
+    }
+
+
+def render_service(payload):
+    """Human-readable summary of one ``bench_service`` payload."""
+    return ("service: {jobs} jobs, {jobs_per_second:.2f} jobs/s, "
+            "p50 {latency_p50_s:.3f}s p95 {latency_p95_s:.3f}s, "
+            "cache hit rate {cache_hit_rate:.0%}, "
+            "warm boards {warm_board_rate:.0%}".format(**payload))

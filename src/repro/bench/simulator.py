@@ -1,0 +1,169 @@
+"""Per-kernel simulator throughput benchmarks.
+
+Each kernel is run end to end (prepare -> preload -> execute) on a
+fresh board per run, once per engine:
+
+* ``reference`` -- the original interpreter loop,
+* ``fast``      -- the prepared-plan serial engine,
+* ``parallel``  -- the measure-then-schedule engine on a multi-CU
+  board (skipped for single-CU benchmarking).
+
+Reported per kernel: simulated instructions, simulated seconds
+(deterministic -- a change here is a model change, not a perf
+regression), wall-clock medians per engine, simulated-instructions-
+per-second on the fast engine, and ``speedup_vs_reference`` -- the
+machine-independent ratio CI enforces.
+"""
+
+from __future__ import annotations
+
+from ..core.config import ArchConfig
+from ..errors import ReproError
+from ..runtime.device import SoftGpu
+from .harness import measure
+
+#: Baseline file at the repo root (see docs/benchmarking.md).
+SIMULATOR_BASELINE_FILE = "BENCH_simulator.json"
+
+#: Default benchmarked kernels: the paper's Figure 6 evaluation core
+#: plus a scan-heavy SDK kernel, spanning int/float ALU, LDS traffic,
+#: barriers and both memory footprint extremes.
+BENCH_KERNELS = (
+    "matrix_mul_i32",
+    "matrix_add_i32",
+    "matrix_transpose_i32",
+    "conv2d_i32",
+    "bitonic_sort_i32",
+    "kmeans_f32",
+    "cnn_i32",
+    "scan_large_arrays",
+    "prefix_sum",
+)
+
+#: The two fastest kernels of the suite -- the CI smoke set.
+SMOKE_KERNELS = ("scan_large_arrays", "prefix_sum")
+
+#: Benchmark problem sizes where they differ from the kernel's test
+#: default.  The headline matrix multiply runs at n=32 so the simulated
+#: work (not per-launch board setup, which both engines pay equally)
+#: dominates the wall clock being compared.
+BENCH_PARAMS = {
+    "matrix_mul_i32": {"n": 32},
+}
+
+
+def _run_once(name, engine, verify=False):
+    """One full benchmark run on a fresh board; returns the device."""
+    from ..kernels import KERNELS
+
+    device = SoftGpu(ArchConfig.baseline())
+    device.gpu.default_engine = engine
+    KERNELS[name](**BENCH_PARAMS.get(name, {})).run_on(device, verify=verify)
+    return device
+
+
+#: Minimum wall-clock per timed sample.  Kernels cheaper than this are
+#: batched (several full runs per sample, identical for both engines,
+#: samples normalised back to per-run) so the speedup ratio is not
+#: dominated by scheduler noise on millisecond runs.
+TARGET_SAMPLE_S = 0.05
+
+
+def bench_kernel(name, repeat=3, warmup=1):
+    """Benchmark one kernel across engines; returns a metrics dict."""
+    import time
+
+    from ..kernels import KERNELS
+
+    if name not in KERNELS:
+        raise ReproError("unknown benchmark kernel {!r}; available: {}"
+                         .format(name, ", ".join(sorted(KERNELS))))
+
+    # One verified run up front: a benchmark of wrong outputs is
+    # meaningless.  Also records the deterministic simulation metrics.
+    device = _run_once(name, "fast", verify=True)
+    instructions = device.gpu.total_instructions
+    sim_seconds = device.elapsed_seconds
+
+    started = time.perf_counter()
+    _run_once(name, "reference")
+    probe = time.perf_counter() - started
+    inner = max(1, min(25, int(round(TARGET_SAMPLE_S / max(probe, 1e-6)))))
+
+    def batched(engine):
+        def run():
+            for _ in range(inner):
+                _run_once(name, engine)
+        return run
+
+    reference = measure(batched("reference"), repeat=repeat, warmup=warmup)
+    fast = measure(batched("fast"), repeat=repeat, warmup=warmup)
+    for m in (reference, fast):
+        m.samples = [s / inner for s in m.samples]
+        m.warmup_samples = [s / inner for s in m.warmup_samples]
+    return {
+        "inner_loops": inner,
+        "instructions": instructions,
+        "sim_seconds": sim_seconds,
+        "wall_reference": reference.to_dict(),
+        "wall_fast": fast.to_dict(),
+        "wall_reference_s": reference.median,
+        "wall_fast_s": fast.median,
+        "inst_per_s": instructions / fast.median if fast.median else 0.0,
+        "speedup_vs_reference": (reference.median / fast.median
+                                 if fast.median else 0.0),
+    }
+
+
+def bench_simulator(kernels=None, repeat=3, warmup=1, log=None):
+    """Benchmark a kernel set; returns the ``BENCH_simulator`` payload."""
+    log = log or (lambda message: None)
+    kernels = tuple(kernels or BENCH_KERNELS)
+    entries = {}
+    for name in kernels:
+        log("bench {} ...".format(name))
+        entries[name] = bench_kernel(name, repeat=repeat, warmup=warmup)
+    payload = {
+        "schema": 1,
+        "repeat": repeat,
+        "kernels": entries,
+    }
+    # Totals are only comparable between runs of the same kernel set;
+    # a subset run (--smoke, --kernels) omits them so a regression
+    # check against a full-set baseline does not see a phantom drop.
+    if set(kernels) == set(BENCH_KERNELS):
+        payload["totals"] = _totals(entries)
+    return payload
+
+
+def _totals(entries):
+    total_ref = sum(e["wall_reference_s"] for e in entries.values())
+    total_fast = sum(e["wall_fast_s"] for e in entries.values())
+    total_inst = sum(e["instructions"] for e in entries.values())
+    return {
+        "instructions": total_inst,
+        "wall_reference_s": total_ref,
+        "wall_fast_s": total_fast,
+        "inst_per_s": total_inst / total_fast if total_fast else 0.0,
+        "speedup_vs_reference": (total_ref / total_fast
+                                 if total_fast else 0.0),
+    }
+
+
+def render_simulator(payload):
+    """Human-readable table for one ``bench_simulator`` payload."""
+    lines = ["{:<24} {:>12} {:>10} {:>10} {:>12} {:>8}".format(
+        "kernel", "sim inst", "ref s", "fast s", "inst/s", "speedup")]
+    for name, entry in payload["kernels"].items():
+        lines.append("{:<24} {:>12} {:>10.3f} {:>10.3f} {:>12.3e} {:>7.2f}x"
+                     .format(name, entry["instructions"],
+                             entry["wall_reference_s"],
+                             entry["wall_fast_s"], entry["inst_per_s"],
+                             entry["speedup_vs_reference"]))
+    totals = payload.get("totals") or _totals(payload["kernels"])
+    lines.append("{:<24} {:>12} {:>10.3f} {:>10.3f} {:>12.3e} {:>7.2f}x"
+                 .format("TOTAL", totals["instructions"],
+                         totals["wall_reference_s"], totals["wall_fast_s"],
+                         totals["inst_per_s"],
+                         totals["speedup_vs_reference"]))
+    return "\n".join(lines)

@@ -156,6 +156,8 @@ def _arch_for(flow, label):
 
 
 def cmd_run(args):
+    import time
+
     from .kernels import KERNELS
 
     if args.benchmark not in KERNELS:
@@ -174,28 +176,45 @@ def cmd_run(args):
         print(tracer.render(limit=args.trace))
         print("\nunit utilisation: {}".format(tracer.unit_utilisation()))
         return 0
+    if args.repeat < 1:
+        print("error: --repeat must be >= 1", file=sys.stderr)
+        return 2
     flow = ScratchFlow(bench, max_groups=args.max_groups)
     wanted = args.configs or ["original", "baseline", "trimmed", "multicore"]
-    results = {label: flow.run(_arch_for(flow, label),
-                               verify=not args.no_verify)
-               for label in wanted}
+    results, walls = {}, {}
+    for label in wanted:
+        arch = _arch_for(flow, label)
+        # One warm-up run, excluded from the reported wall clock (it
+        # pays the decode/prepare caches), then --repeat timed runs;
+        # the median is reported.  Simulated metrics come from the
+        # final run (they are deterministic across runs).
+        flow.run(arch, verify=not args.no_verify)
+        samples = []
+        for _ in range(args.repeat):
+            started = time.perf_counter()
+            results[label] = flow.run(arch, verify=not args.no_verify)
+            samples.append(time.perf_counter() - started)
+        walls[label] = sorted(samples)[len(samples) // 2]
     reference = results[wanted[0]]
     if args.json:
-        payload = {"benchmark": args.benchmark, "configs": {}}
+        payload = {"benchmark": args.benchmark, "repeat": args.repeat,
+                   "configs": {}}
         for label in wanted:
             entry = results[label].to_dict()
             entry["speedup_vs_{}".format(wanted[0])] = \
                 results[label].speedup_vs(reference)
+            entry["wall_s"] = walls[label]
             payload["configs"][label] = entry
         print(dump_json(payload))
         return 0
-    print("{:<12} {:>12} {:>10} {:>9} {:>12}".format(
-        "config", "seconds", "vs " + wanted[0][:4], "power", "inst/J"))
+    print("{:<12} {:>12} {:>10} {:>9} {:>12} {:>9}".format(
+        "config", "seconds", "vs " + wanted[0][:4], "power", "inst/J",
+        "wall s"))
     for label in wanted:
         metrics = results[label]
-        print("{:<12} {:>12.6f} {:>9.1f}x {:>8.2f}W {:>12.3e}".format(
+        print("{:<12} {:>12.6f} {:>9.1f}x {:>8.2f}W {:>12.3e} {:>9.3f}".format(
             label, metrics.seconds, reference.seconds / metrics.seconds,
-            metrics.power.total, metrics.ipj))
+            metrics.power.total, metrics.ipj, walls[label]))
     return 0
 
 
@@ -220,11 +239,27 @@ def cmd_profile(args):
     return 0
 
 
+def _resolve_oracles(spec):
+    """Map the --oracle argument to a check_case oracle subset."""
+    from .verify.oracles import ORACLE_NAMES
+
+    if spec in (None, "all"):
+        return None
+    if spec == "fast":
+        return ("fast-vs-reference",)
+    if spec in ORACLE_NAMES:
+        return (spec,)
+    raise ReproError(
+        "unknown oracle {!r}; expected 'all', 'fast' or one of: {}".format(
+            spec, ", ".join(ORACLE_NAMES)))
+
+
 def cmd_fuzz(args):
     from .verify import FuzzCampaign, run_corpus_file
 
+    oracles = _resolve_oracles(args.oracle)
     if args.replay:
-        case, failures = run_corpus_file(args.replay)
+        case, failures = run_corpus_file(args.replay, oracles=oracles)
         print("replay {} (seed {}, local {}, groups {}): {}".format(
             args.replay, case.seed, case.local_size, case.groups,
             "all oracles passed" if not failures
@@ -235,11 +270,81 @@ def cmd_fuzz(args):
     campaign = FuzzCampaign(
         seed=args.seed, iterations=args.iterations,
         corpus_dir=args.corpus, shrink=not args.no_shrink,
-        max_segments=args.max_segments,
+        max_segments=args.max_segments, oracles=oracles,
         log=lambda message: print(message, file=sys.stderr))
     report = campaign.run()
     print(report.summary())
     return 0 if report.ok else 1
+
+
+def cmd_bench(args):
+    import os
+
+    from .bench import (
+        REGRESSION_THRESHOLD,
+        SERVICE_BASELINE_FILE,
+        SIMULATOR_BASELINE_FILE,
+        SMOKE_KERNELS,
+        bench_service,
+        bench_simulator,
+        compare_reports,
+        load_baseline,
+        write_baseline,
+    )
+    from .bench.service import render_service
+    from .bench.simulator import render_simulator
+
+    log = lambda message: print(message, file=sys.stderr)  # noqa: E731
+    kernels = args.kernels or (SMOKE_KERNELS if args.smoke else None)
+    simulator = bench_simulator(kernels=kernels, repeat=args.repeat, log=log)
+    service = None
+    if not args.skip_service:
+        service = bench_service(log=log)
+
+    sim_path = os.path.join(args.out, SIMULATOR_BASELINE_FILE)
+    svc_path = os.path.join(args.out, SERVICE_BASELINE_FILE)
+
+    regressions = []
+    if args.check:
+        for path, payload in ((sim_path, simulator), (svc_path, service)):
+            if payload is None:
+                continue
+            baseline = load_baseline(path)
+            if baseline is None:
+                log("no baseline at {}; skipping check".format(path))
+                continue
+            regressions.extend(compare_reports(baseline, payload))
+
+    wrote = []
+    if args.json or args.update:
+        write_baseline(sim_path, simulator)
+        wrote.append(sim_path)
+        if service is not None:
+            write_baseline(svc_path, service)
+            wrote.append(svc_path)
+
+    if args.json:
+        print(dump_json({"simulator": simulator, "service": service}))
+    else:
+        print(render_simulator(simulator))
+        if service is not None:
+            print()
+            print(render_service(service))
+    for path in wrote:
+        log("baseline written: {}".format(path))
+
+    if regressions:
+        print("\n{} regression(s) beyond {:.0%}:".format(
+            len(regressions), REGRESSION_THRESHOLD))
+        for regression in regressions:
+            print("  {}".format(regression))
+        enforced = [r for r in regressions if r.enforced]
+        if enforced and not args.report_only:
+            return 1
+        if regressions and not enforced:
+            log("absolute-metric regressions are report-only "
+                "(machine-dependent)")
+    return 0
 
 
 def cmd_serve(args):
@@ -367,6 +472,10 @@ def build_parser():
     p.add_argument("--trace", type=int, metavar="N", default=0,
                    help="trace execution on the baseline and print the "
                         "first N events instead of benchmarking")
+    p.add_argument("--repeat", type=int, default=1,
+                   help="timed runs per config after one excluded "
+                        "warm-up (default 1); the median wall clock is "
+                        "reported")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("profile",
@@ -400,7 +509,37 @@ def build_parser():
                    help="program-body size budget (default 24)")
     p.add_argument("--replay", metavar="CASE.s", default=None,
                    help="re-run one corpus file instead of fuzzing")
+    p.add_argument("--oracle", default=None,
+                   help="restrict the oracle matrix: 'all' (default), "
+                        "'fast' (the fast-vs-reference engine oracle) "
+                        "or any single oracle name")
     p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser("bench",
+                       help="wall-clock performance benchmarks with "
+                            "regression checking (docs/benchmarking.md)")
+    p.add_argument("--kernels", nargs="*", default=None,
+                   help="kernel subset (default: the standard bench set)")
+    p.add_argument("--smoke", action="store_true",
+                   help="only the two fastest kernels (the CI smoke set)")
+    p.add_argument("--repeat", type=int, default=3,
+                   help="timed runs per kernel/engine after one "
+                        "excluded warm-up (default 3)")
+    p.add_argument("--skip-service", action="store_true",
+                   help="skip the service throughput benchmark")
+    p.add_argument("--json", action="store_true",
+                   help="print the full payload as JSON and write the "
+                        "BENCH_*.json baseline files")
+    p.add_argument("--update", action="store_true",
+                   help="rewrite the BENCH_*.json baseline files")
+    p.add_argument("--check", action="store_true",
+                   help="compare against the checked-in baselines; "
+                        "exit 1 on an enforced regression")
+    p.add_argument("--report-only", action="store_true",
+                   help="with --check: print regressions but exit 0")
+    p.add_argument("--out", default=".", metavar="DIR",
+                   help="directory of the baseline files (default: .)")
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("serve",
                        help="run jobs through the kernel-execution service")

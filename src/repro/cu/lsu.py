@@ -47,6 +47,10 @@ class AccessInfo:
     addrs: object = None  # scalar int, or (64,) lane addresses
     lane_mask: object = None
     transactions: int = 1
+    #: Optional ``(active_lanes, lo_addr, hi_addr)`` precomputed by a
+    #: prepared executor so the timing query can skip re-deriving the
+    #: active-lane footprint (see ``MemorySystem.access_time``).
+    span: object = None
 
 
 def _descriptor(wf, first_reg):

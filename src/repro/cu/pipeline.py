@@ -24,6 +24,8 @@ from ..isa.categories import FunctionalUnit
 from ..isa.registers import MAX_WAVEFRONTS
 from ..obs.events import InstructionIssue, Span, Stall, WavefrontStep
 from . import lsu, operations
+from .prepared import (KIND_ALU, KIND_ENDPGM, KIND_MEMORY, KIND_WAITCNT,
+                       get_prepared)
 from .timing import DEFAULT_TIMING, frontend_cost, unit_occupancy
 
 _WAITCNT_VM_MASK = 0xF
@@ -142,6 +144,17 @@ class ComputeUnit:
         for pool in self.pools.values():
             pool.reset()
 
+    def rebase_occupancy(self):
+        """Zero absolute busy times but keep cumulative ``busy_cycles``.
+
+        Used by the parallel launch engine, which runs each workgroup
+        at local time 0 and re-times the launch afterwards: occupancy
+        must not leak between workgroups, while the cumulative
+        utilisation counters keep accounting across the launch.
+        """
+        for pool in self.pools.values():
+            pool.busy_until = [0.0] * len(pool.busy_until)
+
     # ------------------------------------------------------------------
 
     def _check_supported(self, inst):
@@ -177,11 +190,19 @@ class ComputeUnit:
 
     # ------------------------------------------------------------------
 
-    def run_workgroup(self, workgroup, start_time=0.0):
+    def run_workgroup(self, workgroup, start_time=0.0, fast=None):
         """Execute one workgroup's wavefronts to completion.
 
         Returns ``(end_time, CuRunStats)``.  The wavefronts must already
         be register-initialised by the ultra-threaded dispatcher.
+
+        ``fast`` selects the prepared-plan issue loop (``True``), the
+        reference interpreter (``False``), or picks automatically
+        (``None``: fast whenever no observer is attached).  The fast
+        loop produces bit-identical state, stats and cycle counts --
+        the ``fast-vs-reference`` oracle enforces this -- but emits no
+        observation events, so an attached observer always forces the
+        reference path.
         """
         wavefronts = [wf for wf in workgroup.wavefronts if not wf.done]
         if len(wavefronts) > self.max_wavefronts:
@@ -190,6 +211,15 @@ class ComputeUnit:
                     len(wavefronts), self.max_wavefronts
                 )
             )
+        if fast is None:
+            fast = self.obs is None
+        if fast and self.obs is None and wavefronts:
+            program = wavefronts[0].program
+            if all(wf.program is program for wf in wavefronts):
+                return self._run_fast(workgroup, start_time, wavefronts)
+        return self._run_reference(workgroup, start_time, wavefronts)
+
+    def _run_reference(self, workgroup, start_time, wavefronts):
         stats = CuRunStats(wavefronts=len(wavefronts))
         obs = self.obs
         for wf in wavefronts:
@@ -351,6 +381,158 @@ class ComputeUnit:
                 start=start_time, end=end_time, cu_index=self.cu_index,
                 meta=(("wavefronts", len(wavefronts)),
                       ("instructions", stats.instructions))))
+        return end_time, stats
+
+    def _run_fast(self, workgroup, start_time, wavefronts):
+        """Prepared-plan issue loop: the reference loop minus all the
+        per-issue reclassification, operand decoding and event guards.
+
+        Every timing decision is computed with the same arithmetic on
+        the same values as :meth:`_run_reference`; divergence in any
+        bit of final state, stats or cycles is a bug (and is what the
+        ``fast-vs-reference`` oracle hunts for).
+        """
+        prepared = get_prepared(wavefronts[0].program, self.timing)
+        bad = prepared.restrictions(self)
+        by_address = prepared.by_address
+        stats = CuRunStats(wavefronts=len(wavefronts))
+        for wf in wavefronts:
+            wf.ready_at = start_time
+            wf.stall_cause = "operand-dep"
+        decode_free = start_time
+        finish_time = start_time
+        barrier_waiters = []
+        issued = 0
+        rr = 0
+        counts = [0] * len(prepared.plans)
+        memory_accesses = 0
+        max_instructions = self.max_instructions
+        memory = self.memory
+        cu_index = self.cu_index
+        pools = self.pools
+        lsu_pool = pools[FunctionalUnit.LSU]
+        lsu_base = self.timing.lsu_cycles
+        endpgm_cycles = self.timing.endpgm_cycles
+
+        live = list(wavefronts)
+        while live:
+            # barrier_waiters tracks exactly the at-barrier wavefronts
+            # (workgroups run once on fresh wavefronts), so the common
+            # no-barrier case skips the candidate filter.
+            if barrier_waiters:
+                candidates = [wf for wf in live if not wf.at_barrier]
+                if not candidates:
+                    raise SimulationError(
+                        "barrier deadlock: every live wavefront is waiting"
+                    )
+            else:
+                candidates = live
+            best, best_key = None, None
+            n = len(candidates)
+            for j in range(n):
+                wf = candidates[(rr + j) % n]
+                key = wf.ready_at
+                if best is None or key < best_key:
+                    best, best_key = wf, key
+            rr += 1
+            wf = best
+
+            plan = by_address.get(wf.pc)
+            if plan is None:
+                wf.program.index_of_address(wf.pc)  # raises AssemblyError
+                raise SimulationError(
+                    "prepared program lost PC 0x{:x}".format(wf.pc))
+            if bad is not None and plan.address in bad:
+                self._check_supported(plan.inst)
+
+            issued += 1
+            if issued > max_instructions:
+                raise SimulationError(
+                    "instruction budget exceeded (kernel stuck in a loop?)"
+                )
+            ready = wf.ready_at
+            start = ready if ready > decode_free else decode_free
+            fe_done = start + plan.fe_cost
+            decode_free = fe_done
+            wf.pc += plan.pc_step
+            wf.instructions_executed += 1
+            counts[plan.index] += 1
+
+            kind = plan.kind
+            if kind == KIND_ALU:
+                pool = pools[plan.unit]
+                occupancy = plan.occupancy
+                busy = pool.busy_until
+                if len(busy) == 1:
+                    free_at = busy[0]
+                    done = (fe_done if fe_done > free_at else free_at) + occupancy
+                    busy[0] = done
+                    pool.busy_cycles += occupancy
+                else:
+                    done = pool.acquire(fe_done, occupancy)
+                plan.exec_fn(wf)
+                wf.ready_at = done
+                if done > finish_time:
+                    finish_time = done
+                wf.stall_cause = ("fu-busy" if done - occupancy > fe_done
+                                  else "operand-dep")
+            elif kind == KIND_MEMORY:
+                info = plan.mem_fn(wf, plan.inst, memory)
+                transactions = info.transactions
+                occupancy = lsu_base * (transactions if transactions > 1 else 1)
+                busy = lsu_pool.busy_until
+                free_at = busy[0]
+                lsu_done = (fe_done if fe_done > free_at else free_at) + occupancy
+                busy[0] = lsu_done
+                lsu_pool.busy_cycles += occupancy
+                if info.space == "lds":
+                    complete = memory.lds_access_time(lsu_done, cu_index=cu_index)
+                elif info.addrs is not None and info.lane_mask is not None:
+                    complete = memory.access_time(
+                        cu_index, lsu_done, info.addrs, info.lane_mask,
+                        info.span)
+                else:
+                    complete = memory.scalar_access_time(
+                        cu_index, lsu_done, info.addrs)
+                if info.counter == "vm":
+                    wf.outstanding_vm.append(complete)
+                else:
+                    wf.outstanding_lgkm.append(complete)
+                memory_accesses += 1
+                wf.ready_at = lsu_done
+                wf.stall_cause = ("fu-busy"
+                                  if lsu_done - occupancy > fe_done
+                                  else "operand-dep")
+            elif kind == KIND_WAITCNT:
+                target = self._waitcnt_target(wf, plan.simm16, fe_done)
+                wf.ready_at = target
+                wf.stall_cause = ("memory" if target > fe_done
+                                  else "operand-dep")
+            elif kind == KIND_ENDPGM:
+                wf.done = True
+                end = fe_done + endpgm_cycles
+                finish_time = max(finish_time, end,
+                                  *(wf.outstanding_vm or [0.0]),
+                                  *(wf.outstanding_lgkm or [0.0]))
+                live.remove(wf)
+                self._try_release_barrier(workgroup, barrier_waiters)
+            else:  # KIND_BARRIER
+                wf.at_barrier = True
+                wf.ready_at = fe_done
+                barrier_waiters.append(wf)
+                if workgroup.arrive_at_barrier():
+                    self._release(workgroup, barrier_waiters)
+
+        end_time = max(finish_time, decode_free)
+        stats.cycles = end_time - start_time
+        stats.instructions = issued
+        stats.memory_accesses = memory_accesses
+        per_unit = stats.per_unit
+        per_name = stats.per_name
+        for plan, count in zip(prepared.plans, counts):
+            if count:
+                per_unit[plan.unit_name] = per_unit.get(plan.unit_name, 0) + count
+                per_name[plan.name] = per_name.get(plan.name, 0) + count
         return end_time, stats
 
     def _release(self, workgroup, barrier_waiters):

@@ -141,3 +141,11 @@ class GlobalMemory:
     def fill(self, addr, nbytes, byte=0):
         self._check(addr, nbytes)
         self._bytes[addr:addr + nbytes] = np.uint8(byte)
+
+    def snapshot(self):
+        """Copy of the full memory image (see :meth:`restore`)."""
+        return self._bytes.copy()
+
+    def restore(self, image):
+        """Restore an image captured by :meth:`snapshot`."""
+        np.copyto(self._bytes, image)

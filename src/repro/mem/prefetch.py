@@ -72,6 +72,18 @@ class PrefetchBuffer:
                 return True
         return False
 
+    def covers_range(self, lo, hi):
+        """Whether one resident range covers ``[lo, hi]`` entirely.
+
+        The single-range special case of :meth:`covers_all`, for
+        callers that already know the access footprint; discontiguous
+        coverage still needs the per-lane fallback there.
+        """
+        for start, end in self._ranges:
+            if start <= lo and hi < end:
+                return True
+        return False
+
     def covers_all(self, addrs, mask):
         """Whether every active lane of a vector access hits the buffer.
 

@@ -20,6 +20,8 @@ depends on the architecture generation.
 
 from __future__ import annotations
 
+import threading
+
 from ..obs.events import MemAccess
 from .global_memory import GlobalMemory
 from .params import MemoryTimingParams
@@ -73,8 +75,23 @@ class MemorySystem:
         # backends may miss to something other than the relay.
         self.stats = {"relay_accesses": 0, "prefetch_hits": 0,
                       "prefetch_misses": 0, "lds_accesses": 0}
+        #: Set by the parallel launch engine while per-CU executor
+        #: threads are running: the shared counters then increment
+        #: under a lock so no update is lost.
+        self.concurrent = False
+        self._stats_lock = threading.Lock()
         #: Observation slot (see repro.obs): ``None`` or the board's hub.
         self.obs = None
+
+    def _note(self, *keys):
+        stats = self.stats
+        if self.concurrent:
+            with self._stats_lock:
+                for key in keys:
+                    stats[key] += 1
+        else:
+            for key in keys:
+                stats[key] += 1
 
     # -- preload (MicroBlaze command, Section 2.1.4) -------------------------
 
@@ -95,17 +112,30 @@ class MemorySystem:
 
     # -- timing ---------------------------------------------------------------
 
-    def access_time(self, cu_index, now, addrs, mask):
-        """Completion time of a vector global access starting at ``now``."""
-        if self.params.prefetch_enabled and \
-                self.prefetch[cu_index].covers_all(addrs, mask):
-            self.stats["prefetch_hits"] += 1
+    def access_time(self, cu_index, now, addrs, mask, span=None):
+        """Completion time of a vector global access starting at ``now``.
+
+        ``span`` is an optional precomputed ``(active, lo, hi)`` lane
+        footprint: the coverage test then reduces to one range check,
+        falling back to the full per-lane scan only for discontiguous
+        residency.  Timing is identical with or without it.
+        """
+        if span is not None:
+            active, lo, hi = span
+            covered = self.params.prefetch_enabled and (
+                active == 0
+                or self.prefetch[cu_index].covers_range(lo, hi)
+                or self.prefetch[cu_index].covers_all(addrs, mask))
+        else:
+            covered = self.params.prefetch_enabled and \
+                self.prefetch[cu_index].covers_all(addrs, mask)
+        if covered:
+            self._note("prefetch_hits")
             done = self._prefetch_ports[cu_index].issue(
                 now, self.params.prefetch_hit_cycles)
             hit = True
         else:
-            self.stats["prefetch_misses"] += 1
-            self.stats["relay_accesses"] += 1
+            self._note("prefetch_misses", "relay_accesses")
             done = self.relay.issue(now, self.params.relay_cycles)
             hit = False
         if self.obs is not None:
@@ -117,13 +147,12 @@ class MemorySystem:
     def scalar_access_time(self, cu_index, now, addr):
         """Completion time of a scalar (SMRD) read starting at ``now``."""
         if self.params.prefetch_enabled and self.prefetch[cu_index].covers(addr):
-            self.stats["prefetch_hits"] += 1
+            self._note("prefetch_hits")
             done = self._prefetch_ports[cu_index].issue(
                 now, self.params.prefetch_hit_cycles)
             hit = True
         else:
-            self.stats["prefetch_misses"] += 1
-            self.stats["relay_accesses"] += 1
+            self._note("prefetch_misses", "relay_accesses")
             done = self.relay.issue(now, self.params.relay_cycles)
             hit = False
         if self.obs is not None:
@@ -134,13 +163,25 @@ class MemorySystem:
 
     def lds_access_time(self, now, cu_index=0):
         """Completion time of an LDS access (always in-CU BRAM)."""
-        self.stats["lds_accesses"] += 1
+        self._note("lds_accesses")
         done = now + self.params.lds_cycles
         if self.obs is not None:
             self.obs.emit_mem_access(MemAccess(
                 cycle=now, cu_index=cu_index, space="lds",
                 kind="lds", hit=None, completed=done))
         return done
+
+    def rebase_port(self, cu_index):
+        """Zero one CU port's occupancy, keeping its request counter.
+
+        Companion of ``ComputeUnit.rebase_occupancy`` for the parallel
+        launch engine: the port's ``busy_until`` is an absolute time
+        that must not leak between workgroups re-timed from local
+        zero.  Exact because the port's initiation interval never
+        exceeds the hit latency, so its occupancy ends at or before
+        the workgroup's own end time.
+        """
+        self._prefetch_ports[cu_index].busy_until = 0.0
 
     def reset_timing(self):
         """Clear channel occupancy and counters between kernel launches."""

@@ -90,9 +90,10 @@ class SoftGpu:
         self.heap.reset()
         for prefetch in mem.prefetch:
             prefetch.clear()
+        self.gpu.prefetch_covered = False
         if self.arch.has_prefetch:
             # Re-mirror the constant-buffer region, as at construction.
-            mem.preload_all(0, HEAP_BASE)
+            self.gpu.prefetch_covered = mem.preload_all(0, HEAP_BASE)
         self.reset_timeline()
         return self
 
@@ -131,12 +132,19 @@ class SoftGpu:
             self.gpu.memory.global_mem.write_block(
                 CB1_BASE, np.asarray(dwords, dtype=np.uint32))
 
-    def run(self, program, global_size, local_size, args=(), max_groups=None):
-        """Set arguments and launch; returns the :class:`LaunchResult`."""
+    def run(self, program, global_size, local_size, args=(), max_groups=None,
+            engine=None, collect_registers=False):
+        """Set arguments and launch; returns the :class:`LaunchResult`.
+
+        ``engine`` selects the launch engine (see
+        :data:`repro.soc.gpu.ENGINES`); ``collect_registers`` captures
+        final wavefront state on the result.
+        """
         self.set_args(list(args))
         groups = self.max_groups if max_groups is None else max_groups
         return self.gpu.launch(program, global_size, local_size,
-                               max_groups=groups)
+                               max_groups=groups, engine=engine,
+                               collect_registers=collect_registers)
 
     # -- host phases --------------------------------------------------------
 

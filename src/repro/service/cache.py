@@ -59,16 +59,13 @@ def binary_key(program):
     the kernel name, the CB1 argument layout, register counts and LDS
     size.  Deliberately excludes the source text, labels and any
     formatting, so whitespace-only edits map to the same key.
+
+    Delegates to :meth:`Program.content_key` -- the same key space the
+    simulator's prepared-program cache is indexed by, so a service
+    cache hit and a decode/prepare cache hit are one and the same
+    event.
     """
-    return _sha(
-        "bin",
-        program.name,
-        " ".join("{:08x}".format(w) for w in program.words),
-        ";".join("{}:{}:{}".format(a.name, a.kind, a.offset)
-                 for a in program.args),
-        "{}/{}/{}".format(program.sgpr_count, program.vgpr_count,
-                          program.lds_size),
-    )
+    return program.content_key()
 
 
 def application_key(programs, baseline, datapath_bits):
@@ -174,6 +171,24 @@ class ArtifactCache:
             with self._lock:
                 self._trims[key] = result
         return result
+
+    # -- prepared programs ---------------------------------------------------
+
+    def prepared(self, program, timing=None):
+        """Decode-and-specialize ``program`` for the fast launch engines.
+
+        Backed by the simulator's global prepared-program cache (keyed
+        by ``binary_key`` x timing parameters), so warming a kernel
+        here makes every worker's subsequent launch of the same binary
+        skip decode and plan construction entirely.  Records a
+        ``prepare`` hit/miss in :attr:`stats`.
+        """
+        from ..cu.prepared import DEFAULT_TIMING, lookup_prepared
+
+        prepared, hit = lookup_prepared(program, timing or DEFAULT_TIMING)
+        with self._lock:
+            self.stats.record("prepare", hit)
+        return prepared
 
     # -- synthesis ---------------------------------------------------------
 

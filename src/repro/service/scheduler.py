@@ -106,6 +106,12 @@ class KernelService:
                 "unknown benchmark {!r}".format(job.benchmark))
         bench = KERNELS[job.benchmark](**job.params)
 
+        # Warm the prepared-program cache at admission: the worker's
+        # launches then skip decode + plan construction for every
+        # kernel of this application (repeat submissions hit).
+        for program in bench.programs():
+            self.cache.prepared(program)
+
         if job.config in _FIXED_CONFIGS:
             arch = _FIXED_CONFIGS[job.config]()
             report = self.cache.synthesize(arch, self.synthesizer)

@@ -21,7 +21,10 @@ everything.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
+
+import numpy as np
 
 from ..core.config import ArchConfig
 from ..cu.pipeline import ComputeUnit, CuRunStats
@@ -43,6 +46,36 @@ HEAP_BASE = 0x1000
 PRELOAD_MB_CYCLES_PER_WORD = 2.0
 
 
+#: Launch execution engines.  All three produce bit-identical memory,
+#: registers, stats and cycle counts (the ``fast-vs-reference`` oracle
+#: enforces it); they differ only in wall-clock speed and observability:
+#:
+#: ``reference``   the original serial interpreter loop; the only
+#:                 engine that emits observation events.
+#: ``fast``        serial dispatch with the prepared-plan issue loop.
+#: ``parallel``    measure-then-schedule: workgroups execute
+#:                 round-robin on per-CU threads at local time zero,
+#:                 then the dispatcher-overlap timing model is replayed
+#:                 serially with the measured durations.  Exact only
+#:                 while every global access hits the prefetch memory
+#:                 (intrinsic, start-time-independent durations); a
+#:                 relay access triggers rollback to the fast engine.
+ENGINES = ("reference", "fast", "parallel")
+
+
+def _capture_registers(workgroup, registers):
+    """Record final architectural state, keyed like the verify
+    recorder's ``(group_id, wf_id)`` snapshots."""
+    for wf in workgroup.wavefronts:
+        registers[(workgroup.group_id, wf.wf_id)] = {
+            "sgprs": wf.sgprs.tobytes(),
+            "vgprs": wf.vgprs.tobytes(),
+            "vcc": wf.vcc,
+            "exec": wf.exec_mask,
+            "scc": wf.scc,
+        }
+
+
 @dataclass
 class LaunchResult:
     """Timing + accounting of one kernel launch."""
@@ -53,6 +86,8 @@ class LaunchResult:
     executed_groups: int
     stats: CuRunStats
     sampled: bool = False
+    engine: str = "reference"
+    registers: object = None  # (group_id, wf_id) -> state, if collected
 
     @property
     def instructions(self):
@@ -101,12 +136,21 @@ class Gpu:
         #: all event construction.
         self.hub = ObserverHub()
         self.obs = None
+        #: Default launch engine when ``launch`` gets none: ``None`` /
+        #: ``"auto"`` picks per launch (reference when observed,
+        #: parallel on covered multi-CU boards, fast otherwise).
+        self.default_engine = None
+        #: True while every preload so far fit the prefetch buffers --
+        #: the precondition for the parallel engine's exact re-timing.
+        #: Advisory only: the engine still verifies at run time that no
+        #: access fell through to the relay, and rolls back otherwise.
+        self.prefetch_covered = False
         # The host templates always mirror the small constant-buffer
         # region (launch geometry + kernel arguments) into the prefetch
         # memory right after writing it -- scalar loads of kernel
         # arguments would otherwise serialise on the MicroBlaze relay.
         if self.arch.has_prefetch:
-            self.memory.preload_all(0, HEAP_BASE)
+            self.prefetch_covered = self.memory.preload_all(0, HEAP_BASE)
 
     # -- observation --------------------------------------------------------
 
@@ -174,6 +218,7 @@ class Gpu:
             return False
         started = self.now
         covered = self.memory.preload_all(start, nbytes)
+        self.prefetch_covered = self.prefetch_covered and covered
         mb = PRELOAD_MB_CYCLES_PER_WORD * (nbytes / 4.0)
         self.microblaze.charge_cycles("preload", mb)
         self.now += self._mb_to_cu(mb)
@@ -186,13 +231,146 @@ class Gpu:
 
     # -- kernel launch ---------------------------------------------------------
 
-    def launch(self, program, global_size, local_size, max_groups=None):
+    def _resolve_engine(self, engine):
+        if engine in (None, "auto"):
+            engine = self.default_engine
+        if engine in (None, "auto"):
+            if self.obs is not None:
+                return "reference"
+            if len(self.cus) > 1 and self.prefetch_covered:
+                return "parallel"
+            return "fast"
+        if engine not in ENGINES:
+            raise LaunchError("unknown launch engine {!r} (expected one of {})"
+                              .format(engine, ", ".join(ENGINES)))
+        if engine != "reference" and self.obs is not None:
+            # Only the reference loop emits observation events; an
+            # attached observer silently wins over the engine request.
+            return "reference"
+        return engine
+
+    def _timing_snapshot(self):
+        mem = self.memory
+        return (
+            (mem.relay.busy_until, mem.relay.requests),
+            [(port.busy_until, port.requests) for port in mem._prefetch_ports],
+            dict(mem.stats),
+            [{unit: (list(pool.busy_until), pool.busy_cycles)
+              for unit, pool in cu.pools.items()} for cu in self.cus],
+        )
+
+    def _timing_restore(self, snap):
+        relay_state, port_states, stats, cu_states = snap
+        mem = self.memory
+        mem.relay.busy_until, mem.relay.requests = relay_state
+        for port, (busy, requests) in zip(mem._prefetch_ports, port_states):
+            port.busy_until = busy
+            port.requests = requests
+        mem.stats.update(stats)
+        for cu, pool_states in zip(self.cus, cu_states):
+            for unit, (busy, cycles) in pool_states.items():
+                pool = cu.pools[unit]
+                pool.busy_until = list(busy)
+                pool.busy_cycles = cycles
+
+    def _parallel_worker(self, cu, jobs, program, geometry, results, errors,
+                         err_settings):
+        try:
+            # Inherit the launching thread's FP-error policy (callers
+            # wrap launches in np.errstate to silence kernel NaN noise).
+            with np.errstate(**err_settings):
+                for slot, gid in jobs:
+                    wg = self.dispatcher.build_workgroup(program, geometry, gid)
+                    cu.rebase_occupancy()
+                    self.memory.rebase_port(cu.cu_index)
+                    end, wg_stats = cu.run_workgroup(wg, start_time=0.0,
+                                                     fast=True)
+                    results[slot] = (end, wg_stats, wg)
+        except Exception as exc:  # re-raised (ordered) by the serial rerun
+            errors[cu.cu_index] = exc
+
+    def _launch_parallel(self, program, geometry, group_ids, dispatch_cost,
+                         registers):
+        """Measure-then-schedule launch across per-CU executor threads.
+
+        Phase A runs every workgroup functionally at local time zero
+        (durations are intrinsic when all global accesses hit the
+        prefetch memory -- timing is translation-invariant, so the
+        measured duration equals what the serial engine would see at
+        any start time).  Phase B replays the dispatcher-overlap
+        arithmetic serially with the measured durations.
+
+        Returns ``(end_time, stats)`` -- or ``None`` after rolling all
+        functional and timing state back, when a workgroup broke the
+        premises (touched the MicroBlaze relay, raised): the caller
+        then re-runs serially, which also reproduces the reference
+        error ordering.
+        """
+        num_cus = len(self.cus)
+        jobs = [[] for _ in range(num_cus)]
+        for slot, gid in enumerate(group_ids):
+            jobs[slot % num_cus].append((slot, gid))
+        results = [None] * len(group_ids)
+        errors = [None] * num_cus
+        mem_image = self.memory.global_mem.snapshot()
+        timing_snap = self._timing_snapshot()
+        relay_before = self.memory.relay.requests
+        err_settings = np.geterr()
+        self.memory.concurrent = True
+        try:
+            threads = []
+            for cu, cu_jobs in zip(self.cus, jobs):
+                if not cu_jobs:
+                    continue
+                thread = threading.Thread(
+                    target=self._parallel_worker,
+                    args=(cu, cu_jobs, program, geometry, results, errors,
+                          err_settings),
+                    name="repro-cu{}".format(cu.cu_index))
+                thread.start()
+                threads.append(thread)
+            for thread in threads:
+                thread.join()
+        finally:
+            self.memory.concurrent = False
+        anomaly = (any(error is not None for error in errors)
+                   or any(result is None for result in results)
+                   or self.memory.relay.requests != relay_before)
+        if anomaly:
+            self.memory.global_mem.restore(mem_image)
+            self._timing_restore(timing_snap)
+            return None
+        cu_free = [self.now] * num_cus
+        disp_free = self.now
+        stats = CuRunStats()
+        end_time = self.now
+        for duration, wg_stats, wg in results:
+            cu_idx = min(range(num_cus), key=cu_free.__getitem__)
+            ready = disp_free + dispatch_cost
+            disp_free = ready
+            start = max(cu_free[cu_idx], ready)
+            end = start + duration
+            cu_free[cu_idx] = end
+            stats.merge(wg_stats)
+            end_time = max(end_time, end)
+            if registers is not None:
+                _capture_registers(wg, registers)
+        return end_time, stats
+
+    def launch(self, program, global_size, local_size, max_groups=None,
+               engine=None, collect_registers=False):
         """Execute a kernel over an NDRange; returns a :class:`LaunchResult`.
 
         ``max_groups`` enables workgroup sampling: at most that many
         workgroups are executed and the makespan is scaled by
         ``total/executed``.  Functional output is then partial --
         callers only do this inside timing sweeps.
+
+        ``engine`` picks one of :data:`ENGINES` (``None``/``"auto"``
+        resolves per board state); the engine actually used is recorded
+        on the result.  ``collect_registers`` captures every
+        wavefront's final architectural state on the result (any
+        engine), in the same format the verify recorder uses.
         """
         geometry = LaunchGeometry.of(global_size, local_size)
         if geometry.work_items_per_group > 64 * 40:
@@ -203,34 +381,55 @@ class Gpu:
         group_ids = list(geometry.group_ids())
         sampled = False
         if max_groups is not None and total > max_groups:
-            # Round-robin decimation keeps the sample spread across the
-            # NDRange, which matters for kernels whose edge groups
-            # diverge (e.g. image borders).
-            step = total / float(max_groups)
-            group_ids = [group_ids[int(i * step)] for i in range(max_groups)]
+            # Endpoint-anchored decimation: always executes the first
+            # and last workgroups (where divergent kernels diverge,
+            # e.g. image borders) and spreads the rest evenly.
+            if max_groups <= 1:
+                picks = [0]
+            else:
+                span = total - 1
+                picks = [round(i * span / (max_groups - 1))
+                         for i in range(max_groups)]
+            group_ids = [group_ids[i] for i in picks]
             sampled = True
 
+        engine = self._resolve_engine(engine)
         dispatch_cost = self._mb_to_cu(
             self.dispatcher.dispatch_cost_mb_cycles(geometry))
-        cu_free = [self.now] * len(self.cus)
-        disp_free = self.now
-        stats = CuRunStats()
-        end_time = self.now
+        registers = {} if collect_registers else None
 
-        for gid in group_ids:
-            wg = self.dispatcher.build_workgroup(program, geometry, gid)
-            cu_idx = min(range(len(self.cus)), key=cu_free.__getitem__)
-            # The ultra-threaded dispatcher prepares the next workgroup
-            # while CUs execute, so dispatch pipelines ahead; a CU only
-            # waits when dispatch throughput is the bottleneck (which is
-            # what caps multi-core scaling for short kernels).
-            ready = disp_free + dispatch_cost
-            disp_free = ready
-            start = max(cu_free[cu_idx], ready)
-            end, wg_stats = self.cus[cu_idx].run_workgroup(wg, start_time=start)
-            cu_free[cu_idx] = end
-            stats.merge(wg_stats)
-            end_time = max(end_time, end)
+        parallel_result = None
+        if engine == "parallel":
+            parallel_result = self._launch_parallel(
+                program, geometry, group_ids, dispatch_cost, registers)
+            if parallel_result is None:
+                engine = "fast"
+        if parallel_result is not None:
+            end_time, stats = parallel_result
+        else:
+            fast = engine == "fast"
+            cu_free = [self.now] * len(self.cus)
+            disp_free = self.now
+            stats = CuRunStats()
+            end_time = self.now
+            for gid in group_ids:
+                wg = self.dispatcher.build_workgroup(program, geometry, gid)
+                cu_idx = min(range(len(self.cus)), key=cu_free.__getitem__)
+                # The ultra-threaded dispatcher prepares the next
+                # workgroup while CUs execute, so dispatch pipelines
+                # ahead; a CU only waits when dispatch throughput is
+                # the bottleneck (which is what caps multi-core scaling
+                # for short kernels).
+                ready = disp_free + dispatch_cost
+                disp_free = ready
+                start = max(cu_free[cu_idx], ready)
+                end, wg_stats = self.cus[cu_idx].run_workgroup(
+                    wg, start_time=start, fast=fast)
+                cu_free[cu_idx] = end
+                stats.merge(wg_stats)
+                end_time = max(end_time, end)
+                if registers is not None:
+                    _capture_registers(wg, registers)
 
         elapsed = end_time - self.now
         if sampled and group_ids:
@@ -250,6 +449,8 @@ class Gpu:
             executed_groups=len(group_ids),
             stats=stats,
             sampled=sampled,
+            engine=engine,
+            registers=registers,
         )
         self.total_instructions += result.instructions
         self.launches.append(result)

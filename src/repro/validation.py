@@ -310,7 +310,9 @@ def _run(source, prime=None, lds=0, memory_image=None):
     if prime:
         prime(wf)
     wg.add_wavefront(wf)
-    cu.run_workgroup(wg)
+    # Always the reference interpreter: validation must observe the live
+    # operations tables, not plan closures bound at prepare time.
+    cu.run_workgroup(wg, fast=False)
     return wf, memory
 
 

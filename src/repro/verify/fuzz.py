@@ -67,13 +67,15 @@ class FuzzCampaign:
     """Seeded differential-fuzzing campaign."""
 
     def __init__(self, seed=0, iterations=100, corpus_dir=None, shrink=True,
-                 max_segments=24, log=None):
+                 max_segments=24, log=None, oracles=None):
         self.seed = seed
         self.iterations = iterations
         self.corpus_dir = corpus_dir
         self.shrink = shrink
         self.max_segments = max_segments
         self.log = log or (lambda message: None)
+        #: Optional subset of ORACLE_NAMES to run (None = all).
+        self.oracles = oracles
 
     def run(self):
         report = FuzzReport(seed=self.seed, iterations=self.iterations)
@@ -87,7 +89,7 @@ class FuzzCampaign:
                 self.log("seed {}: generator error: {!r}".format(
                     case_seed, exc))
                 continue
-            failures = check_case(case)
+            failures = check_case(case, oracles=self.oracles)
             if not failures:
                 if (i + 1) % 25 == 0:
                     self.log("{}/{} cases passed".format(
@@ -129,12 +131,13 @@ def parse_corpus_text(text):
                     inp_dwords=inp)
 
 
-def run_corpus_file(path):
+def run_corpus_file(path, oracles=None):
     """Replay one corpus file through the oracle matrix.
 
     Returns ``(case, failures)`` -- an empty failure list means the
-    regression stays fixed.
+    regression stays fixed.  ``oracles`` restricts the matrix, as for
+    :func:`check_case`.
     """
     with open(path) as handle:
         case = parse_corpus_text(handle.read())
-    return case, check_case(case)
+    return case, check_case(case, oracles=oracles)

@@ -22,6 +22,11 @@ bit of disagreement in final state is a simulator bug:
                    matches memory and registers.
 ``prefetch-off``   the DCD configuration (no prefetch memory) matches
                    memory and registers.
+``fast-vs-reference``  the ``fast`` launch engine (prepared-plan issue
+                   loop) and, on multi-CU boards, the ``parallel``
+                   engine (measure-then-schedule) match the reference
+                   interpreter bit-for-bit: memory, registers,
+                   instruction count **and cycle count**.
 =================  ====================================================
 
 ``run_case`` executes one configuration and captures an
@@ -57,7 +62,7 @@ FUZZ_MEM_SIZE = 1 << 20
 FUZZ_MAX_INSTRUCTIONS = 50_000
 
 ORACLE_NAMES = ("roundtrip", "invariants", "observer-detached", "trimmed",
-                "multi-cu", "prefetch-off")
+                "multi-cu", "prefetch-off", "fast-vs-reference")
 
 
 @dataclass(frozen=True)
@@ -108,11 +113,15 @@ class _FinalStateRecorder(Observer):
         }
 
 
-def run_case(case, arch, label="run", observed=True, check_invariants=False):
+def run_case(case, arch, label="run", observed=True, check_invariants=False,
+             engine=None, collect_registers=False):
     """Execute ``case`` under ``arch`` and snapshot the final state.
 
     With ``observed=False`` the board runs with *no* observer attached
-    (the zero-cost path); register state is then not captured.
+    (the zero-cost path); register state is then captured only when
+    ``collect_registers`` asks the launch engine to record it.
+    ``engine`` forces a launch engine (see
+    :data:`repro.soc.gpu.ENGINES`); the default resolves per board.
     """
     device = SoftGpu(arch, global_mem_size=FUZZ_MEM_SIZE)
     for cu in device.gpu.cus:
@@ -129,13 +138,20 @@ def run_case(case, arch, label="run", observed=True, check_invariants=False):
     # numpy semantics are deterministic either way, so silence the noise.
     with np.errstate(all="ignore"):
         result = device.run(case.program, (case.global_size,),
-                            (case.local_size,), args=[inp, out])
+                            (case.local_size,), args=[inp, out],
+                            engine=engine,
+                            collect_registers=collect_registers)
     memory = device.gpu.memory.global_mem.read_block(
         0, FUZZ_MEM_SIZE, np.uint8).tobytes()
+    registers = None
+    if recorder is not None:
+        registers = recorder.registers
+    elif result.registers is not None:
+        registers = result.registers
     return ExecutionSnapshot(
         label=label, memory=memory, cycles=result.cu_cycles,
         instructions=result.stats.instructions,
-        registers=recorder.registers if recorder is not None else None)
+        registers=registers)
 
 
 def _first_memory_diff(a, b):
@@ -192,29 +208,46 @@ def _compare(oracle, ref, other, failures, cycles=False, registers=True):
                     ref.label, other.label, diff)))
 
 
-def check_case(case, multi_cus=2):
-    """Run every oracle over ``case``; returns a list of failures."""
+def check_case(case, multi_cus=2, oracles=None):
+    """Run the oracle matrix over ``case``; returns a list of failures.
+
+    ``oracles`` restricts the matrix to a subset of
+    :data:`ORACLE_NAMES` (``None`` runs everything).  The reference run
+    (whose death reports as an ``invariants`` failure) always executes
+    -- every other oracle is a comparison against it.
+    """
+    if oracles is not None:
+        unknown = set(oracles) - set(ORACLE_NAMES)
+        if unknown:
+            raise ValueError("unknown oracles: {}".format(sorted(unknown)))
+        oracles = frozenset(oracles)
+
+    def want(name):
+        return oracles is None or name in oracles
+
     failures = []
 
     # Toolchain round trip -- purely static, runs even if execution dies.
-    try:
-        rebuilt = assemble(disassemble(case.program))
-        if rebuilt.words != case.program.words:
-            failures.append(OracleFailure(
-                "roundtrip",
-                "reassembled words differ at index {}".format(next(
-                    i for i, (a, b) in enumerate(
-                        zip(rebuilt.words, case.program.words)) if a != b)
-                    if len(rebuilt.words) == len(case.program.words)
-                    else "len {} vs {}".format(len(rebuilt.words),
-                                               len(case.program.words)))))
-    except ReproError as exc:
-        failures.append(OracleFailure("roundtrip", repr(exc)))
+    if want("roundtrip"):
+        try:
+            rebuilt = assemble(disassemble(case.program))
+            if rebuilt.words != case.program.words:
+                failures.append(OracleFailure(
+                    "roundtrip",
+                    "reassembled words differ at index {}".format(next(
+                        i for i, (a, b) in enumerate(
+                            zip(rebuilt.words, case.program.words)) if a != b)
+                        if len(rebuilt.words) == len(case.program.words)
+                        else "len {} vs {}".format(len(rebuilt.words),
+                                                   len(case.program.words)))))
+        except ReproError as exc:
+            failures.append(OracleFailure("roundtrip", repr(exc)))
 
     baseline = ArchConfig.baseline()
     try:
         ref = run_case(case, baseline, label="baseline+observers",
-                       observed=True, check_invariants=True)
+                       observed=True,
+                       check_invariants=want("invariants"))
     except InvariantViolation as exc:
         failures.append(OracleFailure("invariants", str(exc)))
         return failures
@@ -224,22 +257,30 @@ def check_case(case, multi_cus=2):
         return failures
 
     # The zero-cost-observation claim: detaching every observer must
-    # not change a single cycle, byte or instruction.
-    unobserved = run_case(case, baseline, label="baseline-unobserved",
-                          observed=False)
-    _compare("observer-detached", ref, unobserved, failures,
-             cycles=True, registers=False)
+    # not change a single cycle, byte or instruction.  Pinned to the
+    # reference engine so this oracle isolates observation cost; the
+    # fast engines have their own oracle below.
+    if want("observer-detached"):
+        unobserved = run_case(case, baseline, label="baseline-unobserved",
+                              observed=False, engine="reference")
+        _compare("observer-detached", ref, unobserved, failures,
+                 cycles=True, registers=False)
 
     configs = []
-    try:
-        trimmed = TrimmingTool().trim(case.program).config
-        configs.append(("trimmed", trimmed, True))
-    except ReproError as exc:
-        failures.append(OracleFailure("trimmed", "trim failed: {!r}".format(exc)))
-    if multi_cus and multi_cus > 1:
-        configs.append(("multi-cu",
-                        baseline.with_parallelism(num_cus=multi_cus), False))
-    configs.append(("prefetch-off", ArchConfig.dcd(), False))
+    if want("trimmed"):
+        try:
+            trimmed = TrimmingTool().trim(case.program).config
+            configs.append(("trimmed", trimmed, True))
+        except ReproError as exc:
+            failures.append(OracleFailure("trimmed",
+                                          "trim failed: {!r}".format(exc)))
+    mc_config = baseline.with_parallelism(num_cus=multi_cus) \
+        if multi_cus and multi_cus > 1 else None
+    mc_snap = None
+    if want("multi-cu") and mc_config is not None:
+        configs.append(("multi-cu", mc_config, False))
+    if want("prefetch-off"):
+        configs.append(("prefetch-off", ArchConfig.dcd(), False))
 
     for oracle, config, cycles in configs:
         try:
@@ -247,5 +288,36 @@ def check_case(case, multi_cus=2):
         except ReproError as exc:
             failures.append(OracleFailure(oracle, "run died: {!r}".format(exc)))
             continue
+        if oracle == "multi-cu":
+            mc_snap = snap
         _compare(oracle, ref, snap, failures, cycles=cycles)
+
+    # The launch-engine equivalence claim: the prepared-plan fast
+    # engine (single CU vs the reference run) and the measure-then-
+    # schedule parallel engine (multi CU vs the observed multi-CU run)
+    # must be bit-identical INCLUDING cycle counts and registers.
+    if want("fast-vs-reference"):
+        try:
+            fast = run_case(case, baseline, label="baseline-fast",
+                            observed=False, engine="fast",
+                            collect_registers=True)
+            _compare("fast-vs-reference", ref, fast, failures,
+                     cycles=True, registers=True)
+        except ReproError as exc:
+            failures.append(OracleFailure(
+                "fast-vs-reference", "fast run died: {!r}".format(exc)))
+        if mc_config is not None:
+            try:
+                if mc_snap is None:
+                    mc_snap = run_case(case, mc_config, label="multi-cu",
+                                       observed=True)
+                par = run_case(case, mc_config, label="multi-cu-parallel",
+                               observed=False, engine="parallel",
+                               collect_registers=True)
+                _compare("fast-vs-reference", mc_snap, par, failures,
+                         cycles=True, registers=True)
+            except ReproError as exc:
+                failures.append(OracleFailure(
+                    "fast-vs-reference",
+                    "parallel run died: {!r}".format(exc)))
     return failures

@@ -1,0 +1,53 @@
+"""The service side of the shared prepared-program cache."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.cu.prepared import clear_prepared_cache, get_prepared
+from repro.service.cache import ArtifactCache, binary_key
+
+KERNEL = """
+.kernel warmup
+  s_buffer_load_dword s20, s[12:15], 0
+  s_waitcnt lgkmcnt(0)
+  v_add_i32 v3, vcc, s20, v0
+  v_lshlrev_b32 v3, 2, v3
+  tbuffer_store_format_x v3, v3, s[4:7], 0 offen
+  s_endpgm
+"""
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_prepared_cache()
+    yield
+    clear_prepared_cache()
+
+
+class TestSharedKeySpace:
+    def test_binary_key_is_the_content_key(self):
+        program = assemble(KERNEL)
+        assert binary_key(program) == program.content_key()
+
+    def test_cosmetic_edit_shares_key(self):
+        assert binary_key(assemble(KERNEL)) == \
+            binary_key(assemble(KERNEL + "\n; cosmetic\n"))
+
+
+class TestArtifactCachePrepared:
+    def test_miss_then_hit(self):
+        cache = ArtifactCache()
+        program = assemble(KERNEL)
+        first = cache.prepared(program)
+        second = cache.prepared(assemble(KERNEL))
+        assert first is second
+        assert cache.stats.misses.get("prepare") == 1
+        assert cache.stats.hits.get("prepare") == 1
+
+    def test_warming_feeds_the_simulator_cache(self):
+        # A program warmed through the service cache is the same
+        # object the launch engines pick up.
+        cache = ArtifactCache()
+        program = assemble(KERNEL)
+        warmed = cache.prepared(program)
+        assert get_prepared(program) is warmed

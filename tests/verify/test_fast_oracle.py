@@ -1,0 +1,74 @@
+"""The fast-vs-reference engine-equivalence oracle."""
+
+import glob
+import os
+
+import pytest
+
+from repro.cu import prepared
+from repro.verify.fuzz import run_corpus_file
+from repro.verify.generator import generate_case
+from repro.verify.oracles import ORACLE_NAMES, check_case
+
+CORPUS = os.path.join(os.path.dirname(__file__), "corpus")
+
+
+class TestOracleWiring:
+    def test_oracle_registered(self):
+        assert "fast-vs-reference" in ORACLE_NAMES
+
+    def test_unknown_subset_rejected(self):
+        case = generate_case(0)
+        with pytest.raises(ValueError, match="unknown oracles"):
+            check_case(case, oracles=("warp-speed",))
+
+    def test_subset_runs_only_requested(self):
+        # A subset run must not report failures from other oracles and
+        # must pass on a known-good case.
+        case = generate_case(3)
+        assert check_case(case, oracles=("fast-vs-reference",)) == []
+
+
+class TestEngineEquivalenceOnCorpus:
+    @pytest.mark.parametrize("path", sorted(
+        glob.glob(os.path.join(CORPUS, "*.s"))),
+        ids=lambda p: os.path.basename(p))
+    def test_corpus_passes_fast_oracle(self, path):
+        _, failures = run_corpus_file(path, oracles=("fast-vs-reference",))
+        assert failures == [], "\n".join(str(f) for f in failures)
+
+    def test_handwritten_reproducers_present(self):
+        names = {os.path.basename(p)
+                 for p in glob.glob(os.path.join(CORPUS, "*.s"))}
+        assert {"case_seed9001.s", "case_seed9002.s"} <= names
+
+
+class TestOracleCatchesDivergence:
+    def test_wrong_fast_semantics_detected(self, monkeypatch):
+        """Inject a bug into the fast engine's specializer and check
+        the oracle reports it (the gate actually gates)."""
+        real_build = prepared._build_vector
+
+        def skewed(inst):
+            fn = real_build(inst)
+            if fn is None or inst.spec.name != "v_xor_b32":
+                return fn
+
+            def wrong(wf):
+                fn(wf)
+                # Corrupt one architectural bit after the real op.  The
+                # epilogue's v_xor_b32 is the last scc-preserving spot
+                # before s_endpgm, so the flip survives to the final
+                # register snapshot.
+                wf.scc = (wf.scc or 0) ^ 1
+            return wrong
+
+        monkeypatch.setattr(prepared, "_build_vector", skewed)
+        prepared.clear_prepared_cache()
+        try:
+            case = generate_case(0)  # seed 0 uses v_xor_b32 in its epilogue
+            failures = check_case(case, oracles=("fast-vs-reference",))
+            assert failures, "oracle missed an injected engine bug"
+            assert all(f.oracle == "fast-vs-reference" for f in failures)
+        finally:
+            prepared.clear_prepared_cache()

@@ -24,8 +24,8 @@ class TestCampaign:
     def test_failure_is_shrunk_and_written(self, tmp_path, monkeypatch):
         real_check = fuzz_mod.check_case
 
-        def failing_check(case):
-            del case
+        def failing_check(case, oracles=None):
+            del case, oracles
             return [OracleFailure("fake", "injected")]
 
         monkeypatch.setattr(fuzz_mod, "check_case", failing_check)

@@ -43,7 +43,7 @@ class TestCheckCase:
     def test_oracle_names_are_stable(self):
         assert ORACLE_NAMES == ("roundtrip", "invariants",
                                 "observer-detached", "trimmed", "multi-cu",
-                                "prefetch-off")
+                                "prefetch-off", "fast-vs-reference")
 
     def test_detects_config_divergence(self, monkeypatch):
         """Sanity that the matrix has teeth: substitute an architecture
