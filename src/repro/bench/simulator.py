@@ -1,7 +1,8 @@
 """Per-kernel simulator throughput benchmarks.
 
-Each kernel is run end to end (prepare -> preload -> execute) on a
-fresh board per run, once per engine:
+Each kernel is run end to end (prepare -> preload -> execute) through
+the :mod:`repro.exec` layer -- warm-board leasing included, exactly
+like production callers -- once per engine:
 
 * ``reference`` -- the original interpreter loop,
 * ``fast``      -- the prepared-plan serial engine,
@@ -19,7 +20,7 @@ from __future__ import annotations
 
 from ..core.config import ArchConfig
 from ..errors import ReproError
-from ..runtime.device import SoftGpu
+from ..exec import ExecutionRequest, Executor
 from .harness import measure
 
 #: Baseline file at the repo root (see docs/benchmarking.md).
@@ -52,14 +53,20 @@ BENCH_PARAMS = {
 }
 
 
-def _run_once(name, engine, verify=False):
-    """One full benchmark run on a fresh board; returns the device."""
-    from ..kernels import KERNELS
+#: The benchmark's own executor: a private pool so bench timings are
+#: not perturbed by (and do not perturb) other subsystems' warm boards.
+_BENCH_EXECUTOR = Executor()
 
-    device = SoftGpu(ArchConfig.baseline())
-    device.gpu.default_engine = engine
-    KERNELS[name](**BENCH_PARAMS.get(name, {})).run_on(device, verify=verify)
-    return device
+
+def _run_once(name, engine, verify=False):
+    """One full benchmark run through the exec layer; returns the result."""
+    return _BENCH_EXECUTOR.execute(ExecutionRequest(
+        benchmark=name,
+        params=BENCH_PARAMS.get(name, {}),
+        arch=ArchConfig.baseline(),
+        engine=engine,
+        verify=verify,
+    ))
 
 
 #: Minimum wall-clock per timed sample.  Kernels cheaper than this are
@@ -81,9 +88,9 @@ def bench_kernel(name, repeat=3, warmup=1):
 
     # One verified run up front: a benchmark of wrong outputs is
     # meaningless.  Also records the deterministic simulation metrics.
-    device = _run_once(name, "fast", verify=True)
-    instructions = device.gpu.total_instructions
-    sim_seconds = device.elapsed_seconds
+    result = _run_once(name, "fast", verify=True)
+    instructions = result.instructions
+    sim_seconds = result.seconds
 
     started = time.perf_counter()
     _run_once(name, "reference")

@@ -167,12 +167,14 @@ def cmd_run(args):
     bench = KERNELS[args.benchmark]()
     if args.trace:
         from .cu.trace import ExecutionTracer
-        from .runtime.device import SoftGpu
+        from .exec import BenchmarkWorkload, ExecutionRequest, execute
 
         tracer = ExecutionTracer()
-        device = SoftGpu(ArchConfig.baseline())
-        device.attach(tracer)
-        bench.run_on(device, verify=not args.no_verify)
+        execute(ExecutionRequest(
+            workload=BenchmarkWorkload(instance=bench),
+            arch=ArchConfig.baseline(),
+            verify=not args.no_verify,
+            observers=(tracer,)))
         print(tracer.render(limit=args.trace))
         print("\nunit utilisation: {}".format(tracer.unit_utilisation()))
         return 0
@@ -353,7 +355,8 @@ def cmd_serve(args):
     if args.jobs:
         jobs = load_jobs(args.jobs)
     else:
-        jobs = suite_jobs(config=args.config, verify=not args.no_verify)
+        jobs = suite_jobs(config=args.config, verify=not args.no_verify,
+                          engine=args.engine)
     with KernelService(workers=args.workers, mode=args.mode,
                        queue_depth=args.queue_depth) as service:
         service.submit_many(jobs)
@@ -556,6 +559,10 @@ def build_parser():
                    choices=("original", "dcd", "baseline", "trimmed",
                             "multicore", "multithread"),
                    help="architecture for the default suite jobs")
+    p.add_argument("--engine", default="auto",
+                   choices=("auto", "reference", "fast", "parallel"),
+                   help="launch engine for the default suite jobs "
+                        "(default auto)")
     p.add_argument("--no-verify", action="store_true")
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=cmd_serve)

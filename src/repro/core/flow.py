@@ -25,10 +25,10 @@ Example::
 
 from __future__ import annotations
 
+from ..exec import BenchmarkWorkload, ExecutionRequest, execute
 from ..fpga.resources import XC7VX690T
 from ..fpga.synthesis import Synthesizer
-from ..runtime.device import SoftGpu
-from ..runtime.metrics import RunMetrics, measure
+from ..runtime.metrics import RunMetrics
 from .config import ArchConfig
 from .parallelize import plan as plan_parallelism
 from .trimmer import TrimmingTool, TrimResult
@@ -75,17 +75,22 @@ class ScratchFlow:
 
         ``arch=None`` runs the (trimmed, single-CU) architecture.  The
         synthesis report of the architecture supplies the power figures
-        for the energy metrics.
+        for the energy metrics.  Execution goes through the shared
+        :mod:`repro.exec` layer, so repeated runs of one configuration
+        (CLI ``--repeat``, the Figure 7 sweeps) reuse warm boards.
         """
         arch = arch or self.trim().config
         report = self.synthesizer.synthesize(arch)
-        device = SoftGpu(arch,
-                         max_groups=max_groups if max_groups is not None
-                         else self.max_groups)
-        self.benchmark.run_on(device, verify=verify)
-        return measure(device, report,
-                       label="{}@{}".format(self.benchmark.name,
-                                            arch.describe()))
+        request = ExecutionRequest(
+            workload=BenchmarkWorkload(instance=self.benchmark),
+            arch=arch,
+            verify=verify,
+            max_groups=(max_groups if max_groups is not None
+                        else self.max_groups),
+            report=report,
+            label="{}@{}".format(self.benchmark.name, arch.describe()),
+        )
+        return execute(request).metrics
 
     def evaluate(self, modes=("multicore", "multithread"), verify=True,
                  max_groups=None):

@@ -10,10 +10,11 @@ The tracer is one observer of the :mod:`repro.obs` event stream; it
 can share a run with counter sets and trace exporters::
 
     from repro.cu.trace import ExecutionTracer
+    from repro.exec import ExecutionRequest, execute
+
     tracer = ExecutionTracer()
-    device = SoftGpu(ArchConfig.baseline())
-    device.attach(tracer)
-    bench.run_on(device)
+    execute(ExecutionRequest(benchmark="matrix_add_i32",
+                             observers=(tracer,)))
     print(tracer.render(limit=40))
     print(tracer.histogram())
 """

@@ -1,0 +1,216 @@
+"""The :class:`Executor`: one request in, one result envelope out.
+
+Every run in the toolchain -- a CLI benchmark, a service job, a bench
+sample, a fuzz-oracle configuration, a profiled kernel -- goes
+through :meth:`Executor.execute`:
+
+1. lease a board from the :class:`~repro.exec.lease.BoardPool`
+   (warm if the pool holds one with the same content key),
+2. apply the request's launch policy (engine, workgroup sampling),
+3. attach the requested observers (profile counters, Chrome trace,
+   caller-supplied),
+4. run the workload,
+5. capture everything the caller may need *while the board is still
+   leased* -- metrics, counters, launch records, output digests,
+   optionally the full memory image -- and
+6. release the board back to the pool, scrubbed.
+
+The result is an :class:`ExecutionResult`: outputs plus run metrics
+plus board provenance (warm/cold, the engine actually used).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..fpga.synthesis import Synthesizer
+from ..obs.serialize import SerializableMixin
+from ..runtime.metrics import RunMetrics
+from .lease import BoardPool, config_key
+from .request import ExecutionRequest
+
+
+@dataclass
+class ExecutionResult(SerializableMixin):
+    """Everything one executed request produced."""
+
+    request: ExecutionRequest
+    label: str
+    arch: object
+    metrics: RunMetrics
+    #: Board-timeline totals (host phases + launches).
+    seconds: float
+    instructions: int
+    cu_cycles: float
+    #: Provenance: the engine the last launch actually used (after
+    #: auto-resolution and any parallel-engine rollback), and whether
+    #: the board came warm out of the pool.
+    engine: Optional[str]
+    warm_board: bool
+    board_key: str
+    launches: Tuple[object, ...] = ()
+    counters: Optional[object] = None      # PerfCounters, when profiled
+    trace: Optional[object] = None         # ChromeTrace, when traced
+    digests: Dict[str, str] = field(default_factory=dict)
+    memory_image: Optional[bytes] = None
+    registers: Optional[dict] = None
+    memory_stats: Dict[str, int] = field(default_factory=dict)
+    ctx: object = None
+
+    def to_dict(self):
+        out = {
+            "label": self.label,
+            "arch": self.arch.describe(),
+            "metrics": self.metrics.to_dict(),
+            "cu_cycles": self.cu_cycles,
+            "engine": self.engine,
+            "warm_board": self.warm_board,
+            "digests": dict(self.digests),
+        }
+        if self.counters is not None:
+            out["counters"] = self.counters.to_dict()
+        return out
+
+
+class Executor:
+    """Resolves :class:`ExecutionRequest` objects against a board pool.
+
+    One executor owns one :class:`BoardPool` and one memoized
+    synthesizer (for power pricing when the request brings no report).
+    Thread-safe: concurrent ``execute`` calls lease distinct boards.
+    """
+
+    def __init__(self, pool=None, synthesizer=None):
+        self.pool = pool or BoardPool()
+        self.synthesizer = synthesizer or Synthesizer()
+        self._reports = {}
+        self._lock = threading.Lock()
+
+    # -- power pricing -----------------------------------------------------
+
+    def synthesize(self, arch):
+        """Synthesis report for ``arch``, memoized by config key."""
+        key = config_key(arch)
+        with self._lock:
+            report = self._reports.get(key)
+        if report is None:
+            report = self.synthesizer.synthesize(arch)
+            with self._lock:
+                self._reports[key] = report
+        return report
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(self, request: ExecutionRequest) -> ExecutionResult:
+        workload = request.resolve_workload()
+        arch = request.resolve_arch()
+        with self.pool.lease(arch,
+                             global_mem_size=request.global_mem_size,
+                             max_instructions=request.max_instructions
+                             ) as lease:
+            board = lease.board
+            board.max_groups = request.max_groups
+            board.gpu.default_engine = request.engine
+
+            attached = []
+            counters = None
+            if request.profile:
+                from ..obs.counters import PerfCounters
+
+                counters = PerfCounters()
+                attached.append(counters)
+            trace = None
+            if request.trace:
+                from ..obs.chrome_trace import ChromeTrace
+
+                trace = ChromeTrace(clock_hz=board.gpu.clocks.cu_hz,
+                                    instructions=request.trace_instructions)
+                attached.append(trace)
+            attached.extend(request.observers)
+            for observer in attached:
+                board.attach(observer)
+            try:
+                if request.numpy_errstate is not None:
+                    with np.errstate(all=request.numpy_errstate):
+                        run = workload.run(board, request)
+                else:
+                    run = workload.run(board, request)
+            finally:
+                for observer in attached:
+                    board.detach(observer)
+
+            digests = {
+                name: hashlib.sha256(
+                    board.read(buf, dtype="u1").tobytes()).hexdigest()
+                for name, buf in run.outputs.items()
+            }
+            memory_image = None
+            if request.capture_memory:
+                mem = board.gpu.memory.global_mem
+                memory_image = mem.read_block(
+                    0, mem.size, np.uint8).tobytes()
+
+            launches = tuple(board.gpu.launches)
+            registers = None
+            for launch in launches:
+                if launch.registers is not None:
+                    registers = dict(registers or {})
+                    registers.update(launch.registers)
+
+            report = request.report or self.synthesize(arch)
+            label = request.label or "{}@{}".format(workload.describe(),
+                                                    arch.describe())
+            metrics = RunMetrics(
+                label=label,
+                seconds=board.elapsed_seconds,
+                instructions=board.instructions,
+                power=report.power,
+            )
+            result = ExecutionResult(
+                request=request,
+                label=label,
+                arch=arch,
+                metrics=metrics,
+                seconds=board.elapsed_seconds,
+                instructions=board.instructions,
+                cu_cycles=board.elapsed_cu_cycles,
+                engine=launches[-1].engine if launches else None,
+                warm_board=lease.warm,
+                board_key=lease.key,
+                launches=launches,
+                counters=counters,
+                trace=trace,
+                digests=digests,
+                memory_image=memory_image,
+                registers=registers,
+                memory_stats=dict(board.gpu.memory.stats),
+                ctx=run.ctx,
+            )
+        return result
+
+
+#: The process-wide default executor: every in-process caller that
+#: does not need an isolated pool (flow, CLI, profiler, oracles)
+#: shares it, so repeated runs of the same configuration reuse warm
+#: boards across subsystems.
+_DEFAULT = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def default_executor() -> Executor:
+    global _DEFAULT
+    if _DEFAULT is None:
+        with _DEFAULT_LOCK:
+            if _DEFAULT is None:
+                _DEFAULT = Executor()
+    return _DEFAULT
+
+
+def execute(request: ExecutionRequest) -> ExecutionResult:
+    """Execute one request on the process-wide default executor."""
+    return default_executor().execute(request)

@@ -14,14 +14,20 @@ Three pieces, one event stream:
   serialization convention (:mod:`repro.obs.serialize`) shared by
   every result object the toolchain emits.
 
-Attachment is through the redesigned observer API::
+Observation is requested through the execution layer -- the executor
+attaches counters/trace for the run and detaches them before the board
+returns to the pool::
 
-    device = SoftGpu(ArchConfig.baseline())
-    counters = device.attach(PerfCounters())
-    trace = device.attach(ChromeTrace())
-    bench.run_on(device)
-    device.detach(counters)
-    trace.write("out.json")
+    from repro.exec import ExecutionRequest, execute
+
+    result = execute(ExecutionRequest(benchmark="matrix_add_i32",
+                                      profile=True, trace=True))
+    print(result.counters.render())
+    result.trace.write("out.json")
+
+(Custom observers go in ``ExecutionRequest(observers=(...,))``; the
+low-level ``device.attach``/``device.detach`` API remains for code
+that owns a raw board.)
 
 With no observer attached, every hook point in the simulator is a
 single ``if obs is not None`` guard -- the instrumentation is free

@@ -14,13 +14,15 @@ Design goals, in priority order:
    event classes in :mod:`repro.obs.events`; unimplemented hooks
    default to no-ops, so an observer only declares what it consumes.
 
-Usage::
+Usage (through the execution layer, which attaches for the run and
+detaches before the board returns to the pool)::
 
+    from repro.exec import ExecutionRequest, execute
     from repro.obs import PerfCounters
-    device = SoftGpu(ArchConfig.baseline())
-    counters = device.attach(PerfCounters())
-    bench.run_on(device)
-    device.detach(counters)
+
+    counters = PerfCounters()
+    execute(ExecutionRequest(benchmark="matrix_add_i32",
+                             observers=(counters,)))
     print(counters.render())
 
 The old ``SoftGpu.attach_tracer`` entry point survives as a deprecated

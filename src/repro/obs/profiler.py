@@ -13,10 +13,6 @@ from __future__ import annotations
 from ..core.config import ArchConfig
 from ..core.flow import ScratchFlow
 from ..errors import LaunchError
-from ..runtime.device import SoftGpu
-from ..runtime.metrics import measure
-from .chrome_trace import ChromeTrace
-from .counters import PerfCounters
 from .events import STALL_CAUSES
 from .serialize import SerializableMixin
 
@@ -44,15 +40,28 @@ def resolve_arch(benchmark, config, flow=None):
 
 
 class ProfileResult(SerializableMixin):
-    """Everything one profiled run produced."""
+    """Everything one profiled run produced.
 
-    def __init__(self, benchmark, config, metrics, perf, device, trace=None):
+    A thin view over the :class:`~repro.exec.ExecutionResult` envelope
+    that keeps the ``repro profile`` payload shape stable.
+    """
+
+    def __init__(self, benchmark, config, result):
         self.benchmark = benchmark
         self.config = config
-        self.metrics = metrics
-        self.perf = perf
-        self.device = device
-        self.trace = trace
+        self.result = result
+
+    @property
+    def metrics(self):
+        return self.result.metrics
+
+    @property
+    def perf(self):
+        return self.result.counters
+
+    @property
+    def trace(self):
+        return self.result.trace
 
     @property
     def counters(self):
@@ -64,7 +73,7 @@ class ProfileResult(SerializableMixin):
             "config": self.config,
             "metrics": self.metrics.to_dict(),
             "counters": self.perf.to_dict(),
-            "memory_stats": dict(self.device.gpu.memory.stats),
+            "memory_stats": dict(self.result.memory_stats),
         }
 
     def render(self):
@@ -74,14 +83,14 @@ class ProfileResult(SerializableMixin):
         total = c.get("cycles.total")
         lines = [
             "profile: {} on {}".format(self.benchmark,
-                                       self.device.arch.describe()),
+                                       self.result.arch.describe()),
             "",
             "  {:<26} {:>14.6f}".format("simulated seconds",
                                         self.metrics.seconds),
             "  {:<26} {:>14}".format("instructions",
                                      self.metrics.instructions),
             "  {:<26} {:>14.1f}".format("board cycles (timeline)",
-                                        self.device.elapsed_cu_cycles),
+                                        self.result.cu_cycles),
             "",
             "cycle attribution ({:.1f} workgroup-execution cycles)"
             .format(total),
@@ -138,6 +147,7 @@ def profile_kernel(benchmark_name, params=None, config="baseline",
     ``trace=True`` additionally records a Chrome trace (see
     :meth:`ProfileResult.trace` / :meth:`ChromeTrace.write`).
     """
+    from ..exec import BenchmarkWorkload, ExecutionRequest, execute
     from ..kernels import KERNELS
 
     if benchmark_name not in KERNELS:
@@ -146,24 +156,16 @@ def profile_kernel(benchmark_name, params=None, config="baseline",
                 benchmark_name, ", ".join(sorted(KERNELS))))
     bench = KERNELS[benchmark_name](**(params or {}))
     arch, synthesizer = resolve_arch(bench, config)
-    device = SoftGpu(arch, max_groups=max_groups)
-
-    perf = device.attach(PerfCounters())
-    trace_obs = None
-    if trace:
-        trace_obs = device.attach(ChromeTrace(
-            clock_hz=device.gpu.clocks.cu_hz,
-            instructions=trace_instructions))
-    try:
-        bench.run_on(device, verify=verify)
-    finally:
-        device.detach(perf)
-        if trace_obs is not None:
-            device.detach(trace_obs)
-
-    report = synthesizer.synthesize(arch)
-    metrics = measure(device, report,
-                      label="{}@{}".format(bench.name, arch.describe()))
+    result = execute(ExecutionRequest(
+        workload=BenchmarkWorkload(instance=bench),
+        arch=arch,
+        max_groups=max_groups,
+        verify=verify,
+        profile=True,
+        trace=trace,
+        trace_instructions=trace_instructions,
+        report=synthesizer.synthesize(arch),
+        label="{}@{}".format(bench.name, arch.describe()),
+    ))
     return ProfileResult(benchmark=benchmark_name, config=config,
-                         metrics=metrics, perf=perf, device=device,
-                         trace=trace_obs)
+                         result=result)

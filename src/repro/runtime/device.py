@@ -15,6 +15,12 @@ It owns the buffer heap, writes kernel arguments into constant buffer
 IMM_CONST_BUFFER1 convention of Section 2.2.2), mirrors the MicroBlaze
 host templates' prefetch preloading, and exposes the board timeline
 for the metrics layer.
+
+Toolchain code does not construct boards directly: it submits an
+:class:`~repro.exec.ExecutionRequest` to :mod:`repro.exec`, whose
+executor leases (warm) boards from a shared pool and returns them
+scrubbed (``tests/test_layering.py`` enforces this).  The facade above
+is for downstream users scripting a board by hand.
 """
 
 from __future__ import annotations

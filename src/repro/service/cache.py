@@ -35,6 +35,9 @@ from typing import Dict
 
 from ..asm.assembler import assemble
 from ..core.config import ArchConfig
+# The config-key space is owned by the execution layer (it also names
+# warm boards there); re-exported here for the service's callers.
+from ..exec.lease import config_key  # noqa: F401
 
 
 def _sha(*chunks):
@@ -83,21 +86,6 @@ def application_key(programs, baseline, datapath_bits):
     )
 
 
-def config_key(config: ArchConfig):
-    """Content hash of an architecture configuration's semantics.
-
-    The display ``label`` is excluded: two configs that synthesise and
-    execute identically share a key (and therefore a warm board).
-    """
-    supported = ("*" if config.supported is None
-                 else ",".join(sorted(config.supported)))
-    return _sha(
-        "cfg",
-        config.generation.value,
-        "{}x{}x{}".format(config.num_cus, config.num_simd, config.num_simf),
-        supported,
-        str(config.datapath_bits),
-    )
 
 
 @dataclass

@@ -23,6 +23,10 @@ from typing import Dict, Optional
 
 from ..errors import AdmissionError
 from ..runtime.metrics import RunMetrics
+from ..soc.gpu import ENGINES, HEAP_BASE
+
+#: Launch engines a job may request; ``auto`` resolves per board.
+ENGINE_SPECS = ("auto",) + ENGINES
 
 #: Architecture specifications a job may name.  The first three are
 #: fixed generations; the last three are derived per application by
@@ -52,7 +56,11 @@ class Job:
     ``priority`` follows the unix-nice convention: *lower* values are
     scheduled first.  ``timeout_s`` bounds wall-clock execution time in
     the worker; ``retries`` is how many times a failed attempt is
-    re-dispatched before the job is reported FAILED.
+    re-dispatched before the job is reported FAILED.  ``engine`` pins
+    a launch engine (``auto`` resolves per board); ``global_mem_size``
+    sizes the board's global memory for jobs whose working set exceeds
+    the default (the board content key includes it, so a large-memory
+    job is never handed an undersized warm board).
     """
 
     benchmark: str
@@ -65,6 +73,8 @@ class Job:
     retries: int = 0
     tag: str = ""
     profile: bool = False             # attach PerfCounters in the worker
+    engine: str = "auto"              # launch engine (see ENGINE_SPECS)
+    global_mem_size: Optional[int] = None  # board global-memory bytes
 
     def __post_init__(self):
         if self.config not in CONFIG_SPECS:
@@ -75,6 +85,15 @@ class Job:
             raise AdmissionError("negative retry budget")
         if self.timeout_s is not None and self.timeout_s <= 0:
             raise AdmissionError("timeout_s must be positive")
+        if self.engine not in ENGINE_SPECS:
+            raise AdmissionError(
+                "unknown launch engine {!r}; expected one of {}".format(
+                    self.engine, ", ".join(ENGINE_SPECS)))
+        if self.global_mem_size is not None \
+                and self.global_mem_size <= HEAP_BASE:
+            raise AdmissionError(
+                "global_mem_size must exceed the heap base (0x{:x})"
+                .format(HEAP_BASE))
 
     def describe(self):
         return "{}({}) on {}".format(
@@ -102,6 +121,7 @@ class JobResult:
     latency_s: float = 0.0
     worker: Optional[int] = None      # worker pid (process mode)
     warm_board: bool = False          # reused a pooled SoftGpu
+    engine: Optional[str] = None      # launch engine actually used
     digests: Dict[str, str] = field(default_factory=dict)
     counters: Optional[Dict[str, object]] = None  # PerfCounters.to_dict()
 
@@ -120,6 +140,7 @@ class JobResult:
             "latency_s": self.latency_s,
             "worker": self.worker,
             "warm_board": self.warm_board,
+            "engine": self.engine,
             "digests": dict(self.digests),
         }
         if self.metrics is not None:
@@ -174,7 +195,8 @@ def load_jobs(source):
             raise AdmissionError("job entry {}: repeat must be >= 1".format(i))
         unknown = set(entry) - {
             "benchmark", "params", "config", "priority", "max_groups",
-            "verify", "timeout_s", "retries", "tag", "profile"}
+            "verify", "timeout_s", "retries", "tag", "profile",
+            "engine", "global_mem_size"}
         if unknown:
             raise AdmissionError(
                 "job entry {}: unknown fields {}".format(i, sorted(unknown)))
@@ -183,14 +205,15 @@ def load_jobs(source):
     return jobs
 
 
-def suite_jobs(config="trimmed", verify=True, names=None):
+def suite_jobs(config="trimmed", verify=True, names=None, engine="auto"):
     """Jobs for the paper's standard evaluation suite (Section 4).
 
     One job per benchmark of ``EVAL_CONFIGS`` at the standard scaled
     sizes -- the default workload of ``python -m repro serve``.
     Verifying runs execute every workgroup (sampling would leave the
     unexecuted part of the output unfilled); timing-only runs keep the
-    suite's workgroup-sampling caps.
+    suite's workgroup-sampling caps.  ``engine`` pins a launch engine
+    for the whole suite (``auto`` resolves per board).
     """
     from ..kernels.suite import EVAL_CONFIGS
 
@@ -200,5 +223,5 @@ def suite_jobs(config="trimmed", verify=True, names=None):
             continue
         jobs.append(Job(benchmark=name, params=dict(params), config=config,
                         max_groups=None if verify else max_groups,
-                        verify=verify))
+                        verify=verify, engine=engine))
     return jobs

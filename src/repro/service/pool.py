@@ -1,20 +1,23 @@
 """Worker pool: N simulated boards executing jobs in parallel.
 
-Each worker owns a shelf of **warm boards** -- live :class:`SoftGpu`
-instances keyed by the architecture configuration's content hash.  A
-job arriving for a configuration the worker has seen before reuses the
-existing board (after :meth:`SoftGpu.reset`), skipping CU/memory model
-construction; this is the dynamic-dispatch half of the static/dynamic
-split the soft-GPGPU serving literature argues for (the static half
-lives in :mod:`repro.service.cache`).
+Workers execute jobs through the unified :mod:`repro.exec` layer: each
+worker context owns an :class:`~repro.exec.Executor` whose
+:class:`~repro.exec.BoardPool` keeps **warm boards** -- live
+:class:`SoftGpu` instances keyed by board content (architecture hash,
+global-memory size, instruction cap).  A job arriving for a board the
+worker has built before reuses it (after :meth:`SoftGpu.reset`),
+skipping CU/memory model construction; this is the dynamic-dispatch
+half of the static/dynamic split the soft-GPGPU serving literature
+argues for (the static half lives in :mod:`repro.service.cache`).
 
 Three execution modes:
 
 * ``process`` -- ``concurrent.futures.ProcessPoolExecutor``; true
   parallelism, boards warm per OS process.  The default for
   ``python -m repro serve``.
-* ``thread``  -- ``ThreadPoolExecutor`` with per-thread board shelves;
-  cheap to spin up, GIL-bound.  Used by tests and small deployments.
+* ``thread``  -- ``ThreadPoolExecutor`` over one shared executor (the
+  board pool's exclusive checkout makes that safe); cheap to spin up,
+  GIL-bound.  Used by tests and small deployments.
 * ``inline``  -- synchronous execution on the caller's thread;
   deterministic, zero concurrency.  Used for debugging.
 
@@ -26,19 +29,16 @@ boundary.
 
 from __future__ import annotations
 
-import hashlib
 import os
-import threading
-from collections import OrderedDict
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..core.config import ArchConfig
 from ..errors import ReproError, ServiceError
+from ..exec import MAX_WARM_BOARDS, ExecutionRequest, Executor
 
-#: Warm boards kept per worker before least-recently-used eviction.
-MAX_WARM_BOARDS = 4
+__all__ = ["JobPayload", "WorkerPool", "MAX_WARM_BOARDS"]
 
 
 @dataclass(frozen=True)
@@ -53,70 +53,43 @@ class JobPayload:
     max_groups: Optional[int] = None
     verify: bool = True
     profile: bool = False
+    engine: str = "auto"
+    global_mem_size: Optional[int] = None
+
+    def to_request(self) -> ExecutionRequest:
+        kwargs = {}
+        if self.global_mem_size is not None:
+            kwargs["global_mem_size"] = self.global_mem_size
+        return ExecutionRequest(
+            benchmark=self.benchmark,
+            params=dict(self.params),
+            arch=self.arch,
+            engine=self.engine,
+            max_groups=self.max_groups,
+            verify=self.verify,
+            profile=self.profile,
+            digests=True,
+            **kwargs)
 
 
-@dataclass
-class _BoardShelf:
-    """Bounded LRU of warm boards, keyed by config content hash."""
-
-    boards: "OrderedDict[str, object]" = field(default_factory=OrderedDict)
-
-    def checkout(self, key, arch):
-        from ..runtime.device import SoftGpu
-
-        board = self.boards.pop(key, None)
-        warm = board is not None
-        if warm:
-            board.reset()
-        else:
-            board = SoftGpu(arch)
-            while len(self.boards) >= MAX_WARM_BOARDS:
-                self.boards.popitem(last=False)
-        self.boards[key] = board
-        return board, warm
-
-
-#: Per-process shelf (process mode; one per forked worker).
-_PROCESS_SHELF = _BoardShelf()
-#: Per-thread shelves (thread mode; boards are not thread-safe).
-_THREAD_LOCAL = threading.local()
-
-
-def _shelf_for_thread():
-    shelf = getattr(_THREAD_LOCAL, "shelf", None)
-    if shelf is None:
-        shelf = _THREAD_LOCAL.shelf = _BoardShelf()
-    return shelf
-
-
-def _execute_on_shelf(shelf, payload: JobPayload):
-    from ..kernels import KERNELS
-    from ..obs.counters import PerfCounters
-
-    board, warm = shelf.checkout(payload.config_key, payload.arch)
-    board.max_groups = payload.max_groups
-    perf = board.attach(PerfCounters()) if payload.profile else None
+def _run_payload(executor: Executor, payload: JobPayload):
+    """Execute one payload on ``executor``; returns a picklable dict."""
     try:
-        bench = KERNELS[payload.benchmark](**payload.params)
-        ctx = bench.run_on(board, verify=payload.verify)
-        digests = {}
-        for name in bench.reference(ctx):
-            buf = ctx[name]
-            raw = board.read(buf, dtype="u1")
-            digests[name] = hashlib.sha256(raw.tobytes()).hexdigest()
-        result = {
+        result = executor.execute(payload.to_request())
+        out = {
             "ok": True,
             "job_id": payload.job_id,
-            "seconds": board.elapsed_seconds,
-            "instructions": board.instructions,
-            "cu_cycles": board.elapsed_cu_cycles,
-            "digests": digests,
+            "seconds": result.seconds,
+            "instructions": result.instructions,
+            "cu_cycles": result.cu_cycles,
+            "digests": result.digests,
             "worker": os.getpid(),
-            "warm_board": warm,
+            "warm_board": result.warm_board,
+            "engine": result.engine,
         }
-        if perf is not None:
-            result["counters"] = perf.to_dict()
-        return result
+        if result.counters is not None:
+            out["counters"] = result.counters.to_dict()
+        return out
     except ReproError as exc:
         return {
             "ok": False,
@@ -124,22 +97,25 @@ def _execute_on_shelf(shelf, payload: JobPayload):
             "error": str(exc),
             "error_type": type(exc).__name__,
             "worker": os.getpid(),
-            "warm_board": warm,
+            "warm_board": False,
         }
-    finally:
-        # Warm boards persist on the shelf; never leave a per-job
-        # observer attached to one.
-        if perf is not None:
-            board.detach(perf)
+
+
+#: Per-process executor (process mode; one per forked worker, built
+#: lazily so importing this module costs nothing in the parent).
+_PROCESS_EXECUTOR = None
+
+
+def _process_executor() -> Executor:
+    global _PROCESS_EXECUTOR
+    if _PROCESS_EXECUTOR is None:
+        _PROCESS_EXECUTOR = Executor()
+    return _PROCESS_EXECUTOR
 
 
 def _execute_in_process(payload: JobPayload):
     """Top-level entry point for process-pool workers (picklable)."""
-    return _execute_on_shelf(_PROCESS_SHELF, payload)
-
-
-def _execute_in_thread(payload: JobPayload):
-    return _execute_on_shelf(_shelf_for_thread(), payload)
+    return _run_payload(_process_executor(), payload)
 
 
 class WorkerPool:
@@ -156,7 +132,11 @@ class WorkerPool:
             raise ServiceError("a pool needs at least one worker")
         self.workers = workers
         self.mode = mode
-        self._inline_shelf = _BoardShelf()
+        # Thread and inline modes share one executor per pool: the
+        # board pool's exclusive checkout makes concurrent leases safe,
+        # and a pool-private executor keeps warm-board state from
+        # leaking between services (tests build many).
+        self._exec = Executor() if mode != "process" else None
         if mode == "process":
             self._executor = ProcessPoolExecutor(max_workers=workers)
         elif mode == "thread":
@@ -170,11 +150,10 @@ class WorkerPool:
         if self.mode == "process":
             return self._executor.submit(_execute_in_process, payload)
         if self.mode == "thread":
-            return self._executor.submit(_execute_in_thread, payload)
+            return self._executor.submit(_run_payload, self._exec, payload)
         future = Future()
         try:
-            future.set_result(
-                _execute_on_shelf(self._inline_shelf, payload))
+            future.set_result(_run_payload(self._exec, payload))
         except BaseException as exc:  # simulator bug: surface via future
             future.set_exception(exc)
         return future
@@ -182,7 +161,8 @@ class WorkerPool:
     def shutdown(self, wait=True):
         if self._executor is not None:
             self._executor.shutdown(wait=wait)
-        self._inline_shelf.boards.clear()
+        if self._exec is not None:
+            self._exec.pool.clear()
 
     def __enter__(self):
         return self

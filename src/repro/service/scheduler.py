@@ -192,6 +192,8 @@ class KernelService:
             max_groups=ticket.job.max_groups,
             verify=ticket.job.verify,
             profile=ticket.job.profile,
+            engine=ticket.job.engine,
+            global_mem_size=ticket.job.global_mem_size,
         )
         if ticket.job.timeout_s is not None and ticket.timer is None:
             ticket.timer = threading.Timer(
@@ -253,6 +255,7 @@ class KernelService:
             latency_s=self._latency(ticket),
             worker=outcome.get("worker"),
             warm_board=outcome.get("warm_board", False),
+            engine=outcome.get("engine"),
             digests=outcome.get("digests", {}),
             counters=outcome.get("counters")),
             cu_cycles=outcome.get("cu_cycles", 0.0))

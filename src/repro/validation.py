@@ -10,7 +10,8 @@ This module reproduces that flow against the simulator:
 
 * a **microbenchmark generator** builds a tiny program per instruction
   (through the assembler, so the encoder path is exercised too),
-* the program runs on a full :class:`ComputeUnit`,
+* the program runs on a full compute unit via the execution layer's
+  :func:`repro.exec.run_microbench`,
 * destination registers / flags / memory are compared against an
   **independent oracle** written in plain Python ``int``/``struct``
   arithmetic (deliberately not sharing code with
@@ -31,15 +32,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .asm.assembler import assemble
 from .cu.lsu import make_buffer_descriptor
-from .cu.pipeline import ComputeUnit
-from .cu.wavefront import Wavefront
-from .cu.workgroup import Workgroup
+from .exec.microbench import run_microbench as _run
 from .isa.formats import Format
 from .isa.tables import ISA
-from .mem.params import DCD_PM_TIMING
-from .mem.system import MemorySystem
 
 M32 = 0xFFFFFFFF
 M64 = 0xFFFFFFFFFFFFFFFF
@@ -289,32 +285,8 @@ class ValidationRecord:
 
 
 # ---------------------------------------------------------------------------
-# Microbenchmark execution.
+# Microbenchmark execution: repro.exec.run_microbench, imported as _run.
 # ---------------------------------------------------------------------------
-
-def _run(source, prime=None, lds=0, memory_image=None):
-    """Assemble and run a microbenchmark; returns (wavefront, memory)."""
-    text = (".vgprs 8\n" + (".lds {}\n".format(lds) if lds else "")
-            + source + "\n  s_endpgm")
-    program = assemble(text)
-    memory = MemorySystem(params=DCD_PM_TIMING, global_size=1 << 16)
-    memory.preload_all(0, 1 << 16)
-    if memory_image:
-        for addr, value in memory_image.items():
-            memory.global_mem.write_u32(addr, value)
-    cu = ComputeUnit(memory)
-    wg = Workgroup((0, 0, 0), program, (64, 1, 1))
-    wf = Wavefront(0, program, workgroup=wg)
-    wf.vgprs[0] = np.arange(64, dtype=np.uint32)  # lane ids, like dispatch
-    wf.sgprs[4:8] = make_buffer_descriptor(0x1000, 0x1000)
-    if prime:
-        prime(wf)
-    wg.add_wavefront(wf)
-    # Always the reference interpreter: validation must observe the live
-    # operations tables, not plan closures bound at prepare time.
-    cu.run_workgroup(wg, fast=False)
-    return wf, memory
-
 
 def _inputs_for(name):
     if name in SPECIAL_INPUTS:

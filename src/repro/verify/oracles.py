@@ -27,6 +27,10 @@ bit of disagreement in final state is a simulator bug:
                    engine (measure-then-schedule) match the reference
                    interpreter bit-for-bit: memory, registers,
                    instruction count **and cycle count**.
+``warm-lease``     a warm board re-leased from the
+                   :class:`~repro.exec.BoardPool` (after ``reset()``)
+                   reproduces the cold-board run bit-for-bit: memory,
+                   registers, instruction count **and cycle count**.
 =================  ====================================================
 
 ``run_case`` executes one configuration and captures an
@@ -46,8 +50,9 @@ from ..asm.disassembler import disassemble
 from ..core.config import ArchConfig
 from ..core.trimmer import TrimmingTool
 from ..errors import ReproError
+from ..exec import (BoardPool, ExecutionRequest, Executor, ProgramWorkload,
+                    default_executor)
 from ..obs import Observer
-from ..runtime.device import SoftGpu
 from .invariants import InvariantChecker, InvariantViolation
 
 #: Global-memory size used for fuzz boards -- small enough that whole-
@@ -62,7 +67,8 @@ FUZZ_MEM_SIZE = 1 << 20
 FUZZ_MAX_INSTRUCTIONS = 50_000
 
 ORACLE_NAMES = ("roundtrip", "invariants", "observer-detached", "trimmed",
-                "multi-cu", "prefetch-off", "fast-vs-reference")
+                "multi-cu", "prefetch-off", "fast-vs-reference",
+                "warm-lease")
 
 
 @dataclass(frozen=True)
@@ -90,6 +96,7 @@ class ExecutionSnapshot:
     cycles: float                    # launch makespan (cu_cycles)
     instructions: int
     registers: Optional[dict] = None  # (group_id, wf_id) -> state dict
+    warm: Optional[bool] = None       # board provenance (lease pool)
 
 
 class _FinalStateRecorder(Observer):
@@ -114,7 +121,7 @@ class _FinalStateRecorder(Observer):
 
 
 def run_case(case, arch, label="run", observed=True, check_invariants=False,
-             engine=None, collect_registers=False):
+             engine=None, collect_registers=False, executor=None):
     """Execute ``case`` under ``arch`` and snapshot the final state.
 
     With ``observed=False`` the board runs with *no* observer attached
@@ -122,36 +129,48 @@ def run_case(case, arch, label="run", observed=True, check_invariants=False,
     ``collect_registers`` asks the launch engine to record it.
     ``engine`` forces a launch engine (see
     :data:`repro.soc.gpu.ENGINES`); the default resolves per board.
+    ``executor`` pins the run to a specific board pool (the warm-lease
+    oracle needs that); the default shares the process-wide pool.
     """
-    device = SoftGpu(arch, global_mem_size=FUZZ_MEM_SIZE)
-    for cu in device.gpu.cus:
-        cu.max_instructions = FUZZ_MAX_INSTRUCTIONS
-    inp = device.upload("inp", case.input_data())
-    out = device.alloc("out", 4 * case.global_size)
     recorder = None
+    observers = []
     if observed:
-        recorder = device.attach(_FinalStateRecorder())
+        recorder = _FinalStateRecorder()
+        observers.append(recorder)
         if check_invariants:
-            device.attach(InvariantChecker())
-    device.preload_all()
-    # Generated float ops hit NaN/inf/overflow freely; the simulator's
-    # numpy semantics are deterministic either way, so silence the noise.
-    with np.errstate(all="ignore"):
-        result = device.run(case.program, (case.global_size,),
-                            (case.local_size,), args=[inp, out],
-                            engine=engine,
-                            collect_registers=collect_registers)
-    memory = device.gpu.memory.global_mem.read_block(
-        0, FUZZ_MEM_SIZE, np.uint8).tobytes()
+            observers.append(InvariantChecker())
+    request = ExecutionRequest(
+        workload=ProgramWorkload(
+            program=case.program,
+            global_size=(case.global_size,),
+            local_size=(case.local_size,),
+            inputs=(("inp", case.input_data()),),
+            outputs=(("out", 4 * case.global_size),),
+        ),
+        arch=arch,
+        engine=engine,
+        global_mem_size=FUZZ_MEM_SIZE,
+        max_instructions=FUZZ_MAX_INSTRUCTIONS,
+        verify=False,
+        observers=tuple(observers),
+        collect_registers=collect_registers,
+        capture_memory=True,
+        # Generated float ops hit NaN/inf/overflow freely; the
+        # simulator's numpy semantics are deterministic either way.
+        numpy_errstate="ignore",
+        label=label,
+    )
+    result = (executor or default_executor()).execute(request)
+    launch = result.launches[-1]
     registers = None
     if recorder is not None:
         registers = recorder.registers
-    elif result.registers is not None:
-        registers = result.registers
+    elif launch.registers is not None:
+        registers = launch.registers
     return ExecutionSnapshot(
-        label=label, memory=memory, cycles=result.cu_cycles,
-        instructions=result.stats.instructions,
-        registers=registers)
+        label=label, memory=result.memory_image, cycles=launch.cu_cycles,
+        instructions=launch.stats.instructions,
+        registers=registers, warm=result.warm_board)
 
 
 def _first_memory_diff(a, b):
@@ -320,4 +339,25 @@ def check_case(case, multi_cus=2, oracles=None):
                 failures.append(OracleFailure(
                     "fast-vs-reference",
                     "parallel run died: {!r}".format(exc)))
+
+    # The warm-lease claim: a board re-leased from the pool (after
+    # reset()) reproduces the cold-board run bit-for-bit.  A private
+    # executor guarantees the first run is cold and the second leases
+    # the very board the first one dirtied.
+    if want("warm-lease"):
+        executor = Executor(pool=BoardPool(capacity=2))
+        try:
+            cold = run_case(case, baseline, label="warm-lease-cold",
+                            observed=True, executor=executor)
+            warm = run_case(case, baseline, label="warm-lease-warm",
+                            observed=True, executor=executor)
+            if cold.warm or not warm.warm:
+                failures.append(OracleFailure(
+                    "warm-lease",
+                    "board provenance wrong: cold.warm={} warm.warm={}"
+                    .format(cold.warm, warm.warm)))
+            _compare("warm-lease", cold, warm, failures, cycles=True)
+        except ReproError as exc:
+            failures.append(OracleFailure(
+                "warm-lease", "run died: {!r}".format(exc)))
     return failures

@@ -14,6 +14,8 @@ class TestJob:
         assert job.config == "trimmed"
         assert job.priority == 0
         assert job.verify
+        assert job.engine == "auto"
+        assert job.global_mem_size is None
 
     def test_unknown_config_rejected(self):
         with pytest.raises(AdmissionError, match="config spec"):
@@ -24,6 +26,14 @@ class TestJob:
             Job("x", retries=-1)
         with pytest.raises(AdmissionError):
             Job("x", timeout_s=0)
+
+    def test_bad_engine_rejected(self):
+        with pytest.raises(AdmissionError, match="launch engine"):
+            Job("x", engine="turbo")
+
+    def test_bad_memory_size_rejected(self):
+        with pytest.raises(AdmissionError, match="global_mem_size"):
+            Job("x", global_mem_size=0x100)
 
     def test_describe(self):
         job = Job("conv2d_i32", {"n": 64, "k": 5}, config="multicore")
@@ -48,6 +58,13 @@ class TestLoadJobs:
     def test_bare_list_accepted(self):
         jobs = load_jobs([{"benchmark": "matrix_add_i32"}])
         assert len(jobs) == 1
+
+    def test_engine_and_memory_fields_accepted(self):
+        (job,) = load_jobs([{"benchmark": "matrix_add_i32",
+                             "engine": "fast",
+                             "global_mem_size": 1 << 25}])
+        assert job.engine == "fast"
+        assert job.global_mem_size == 1 << 25
 
     def test_unknown_field_rejected(self):
         with pytest.raises(AdmissionError, match="unknown fields"):
@@ -78,6 +95,10 @@ class TestSuiteJobs:
         jobs = suite_jobs(names={"kmeans_f32"}, config="multicore")
         assert len(jobs) == 1
         assert jobs[0].config == "multicore"
+
+    def test_engine_pins_the_suite(self):
+        jobs = suite_jobs(names={"kmeans_f32"}, engine="fast")
+        assert all(j.engine == "fast" for j in jobs)
 
     def test_verifying_suite_never_samples_workgroups(self):
         """Sampling leaves part of the output unwritten, so it is only

@@ -243,3 +243,54 @@ class TestPoolUnit:
         assert outcome["ok"]
         assert outcome["seconds"] > 0
         assert set(outcome["digests"]) == {"out"}
+
+
+class TestEnginePlumbing:
+    def test_job_engine_reaches_the_launch(self):
+        jobs = [Job("matrix_add_i32", {"n": 32}, config="baseline",
+                    engine=engine)
+                for engine in ("reference", "fast")]
+        with KernelService(workers=1, mode="thread") as svc:
+            ref_res, fast_res = svc.run(jobs, timeout=300)
+        assert ref_res.engine == "reference"
+        assert fast_res.engine == "fast"
+        assert ref_res.to_dict()["engine"] == "reference"
+        # Engine choice never changes simulated results.
+        assert ref_res.metrics.seconds == fast_res.metrics.seconds
+        assert ref_res.digests == fast_res.digests
+
+    def test_engine_validated_at_admission(self):
+        with pytest.raises(AdmissionError, match="launch engine"):
+            Job("matrix_add_i32", engine="warp")
+
+    def test_engines_share_one_warm_board(self):
+        """Pinning different engines must not fragment the board pool:
+        the engine is per-lease, not part of the board key."""
+        jobs = [Job("matrix_add_i32", {"n": 32}, config="baseline",
+                    engine=engine)
+                for engine in ("reference", "fast", "reference")]
+        with KernelService(workers=1, mode="thread") as svc:
+            results = svc.run(jobs, timeout=300)
+        assert [r.warm_board for r in results] == [False, True, True]
+
+
+class TestMemorySizePlumbing:
+    def test_job_memory_size_reaches_the_board(self):
+        """A job with a big working set gets a board sized for it; the
+        default-size board must not be reused (different content key)."""
+        small = Job("matrix_add_i32", {"n": 32}, config="baseline")
+        big = Job("matrix_add_i32", {"n": 32}, config="baseline",
+                  global_mem_size=1 << 25)
+        with KernelService(workers=1, mode="thread") as svc:
+            results = svc.run([small, big, big], timeout=300)
+        assert all(r.ok for r in results)
+        # Same arch, different memory size: the second job is cold,
+        # the third reuses the big board.
+        assert [r.warm_board for r in results] == [False, False, True]
+        # Board sizing never changes simulated results.
+        assert results[0].metrics.seconds == results[1].metrics.seconds
+        assert results[0].digests == results[1].digests
+
+    def test_memory_size_validated_at_admission(self):
+        with pytest.raises(AdmissionError, match="global_mem_size"):
+            Job("matrix_add_i32", global_mem_size=16)

@@ -43,7 +43,28 @@ class TestCheckCase:
     def test_oracle_names_are_stable(self):
         assert ORACLE_NAMES == ("roundtrip", "invariants",
                                 "observer-detached", "trimmed", "multi-cu",
-                                "prefetch-off", "fast-vs-reference")
+                                "prefetch-off", "fast-vs-reference",
+                                "warm-lease")
+
+    def test_warm_lease_oracle_runs_warm(self):
+        """The warm-lease subset alone passes, and really leases warm:
+        a private pool seeded by the cold run serves the second run."""
+        case = generate_case(3)
+        assert check_case(case, oracles=("warm-lease",)) == []
+
+    def test_warm_lease_run_case_provenance(self):
+        from repro.exec import BoardPool, Executor
+
+        executor = Executor(pool=BoardPool(capacity=2))
+        case = generate_case(3)
+        cold = run_case(case, ArchConfig.baseline(), executor=executor)
+        warm = run_case(case, ArchConfig.baseline(), executor=executor)
+        assert cold.warm is False
+        assert warm.warm is True
+        assert warm.memory == cold.memory
+        assert warm.cycles == cold.cycles
+        assert warm.instructions == cold.instructions
+        assert warm.registers == cold.registers
 
     def test_detects_config_divergence(self, monkeypatch):
         """Sanity that the matrix has teeth: substitute an architecture
