@@ -25,6 +25,7 @@ from .baselines import (
     load_baseline,
     write_baseline,
 )
+from .dse import DSE_BASELINE_FILE, bench_dse
 from .harness import Measurement, measure, percentile
 from .service import SERVICE_BASELINE_FILE, bench_service
 from .simulator import (
@@ -36,8 +37,9 @@ from .simulator import (
 )
 
 __all__ = [
-    "BENCH_KERNELS", "Measurement", "REGRESSION_THRESHOLD", "Regression",
-    "SERVICE_BASELINE_FILE", "SIMULATOR_BASELINE_FILE", "SMOKE_KERNELS",
+    "BENCH_KERNELS", "DSE_BASELINE_FILE", "Measurement",
+    "REGRESSION_THRESHOLD", "Regression", "SERVICE_BASELINE_FILE",
+    "SIMULATOR_BASELINE_FILE", "SMOKE_KERNELS", "bench_dse",
     "bench_kernel", "bench_service", "bench_simulator", "compare_reports",
     "load_baseline", "measure", "percentile", "write_baseline",
 ]

@@ -31,8 +31,11 @@ _METRICS = {
     "speedup_vs_reference": (True, True),
     "cache_hit_rate": (True, True),
     "warm_board_rate": (True, True),
+    "store_hit_rate": (True, True),
     "inst_per_s": (True, False),
     "jobs_per_second": (True, False),
+    "points_per_second": (True, False),
+    "resume_speedup": (True, False),
     "wall_reference_s": (False, False),
     "wall_fast_s": (False, False),
     "latency_p50_s": (False, False),

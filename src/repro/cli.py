@@ -283,16 +283,19 @@ def cmd_bench(args):
     import os
 
     from .bench import (
+        DSE_BASELINE_FILE,
         REGRESSION_THRESHOLD,
         SERVICE_BASELINE_FILE,
         SIMULATOR_BASELINE_FILE,
         SMOKE_KERNELS,
+        bench_dse,
         bench_service,
         bench_simulator,
         compare_reports,
         load_baseline,
         write_baseline,
     )
+    from .bench.dse import render_dse
     from .bench.service import render_service
     from .bench.simulator import render_simulator
 
@@ -302,13 +305,18 @@ def cmd_bench(args):
     service = None
     if not args.skip_service:
         service = bench_service(log=log)
+    dse = None
+    if not args.skip_dse:
+        dse = bench_dse(log=log)
 
     sim_path = os.path.join(args.out, SIMULATOR_BASELINE_FILE)
     svc_path = os.path.join(args.out, SERVICE_BASELINE_FILE)
+    dse_path = os.path.join(args.out, DSE_BASELINE_FILE)
 
     regressions = []
     if args.check:
-        for path, payload in ((sim_path, simulator), (svc_path, service)):
+        for path, payload in ((sim_path, simulator), (svc_path, service),
+                              (dse_path, dse)):
             if payload is None:
                 continue
             baseline = load_baseline(path)
@@ -324,14 +332,21 @@ def cmd_bench(args):
         if service is not None:
             write_baseline(svc_path, service)
             wrote.append(svc_path)
+        if dse is not None:
+            write_baseline(dse_path, dse)
+            wrote.append(dse_path)
 
     if args.json:
-        print(dump_json({"simulator": simulator, "service": service}))
+        print(dump_json({"simulator": simulator, "service": service,
+                         "dse": dse}))
     else:
         print(render_simulator(simulator))
         if service is not None:
             print()
             print(render_service(service))
+        if dse is not None:
+            print()
+            print(render_dse(dse))
     for path in wrote:
         log("baseline written: {}".format(path))
 
@@ -530,6 +545,8 @@ def build_parser():
                         "excluded warm-up (default 3)")
     p.add_argument("--skip-service", action="store_true",
                    help="skip the service throughput benchmark")
+    p.add_argument("--skip-dse", action="store_true",
+                   help="skip the DSE sweep benchmark")
     p.add_argument("--json", action="store_true",
                    help="print the full payload as JSON and write the "
                         "BENCH_*.json baseline files")
@@ -543,6 +560,10 @@ def build_parser():
     p.add_argument("--out", default=".", metavar="DIR",
                    help="directory of the baseline files (default: .)")
     p.set_defaults(func=cmd_bench)
+
+    from .dse.cli import add_dse_parser
+
+    add_dse_parser(sub)
 
     p = sub.add_parser("serve",
                        help="run jobs through the kernel-execution service")

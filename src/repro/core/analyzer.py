@@ -79,6 +79,24 @@ class KernelRequirements:
                          FunctionalUnit.SIMF, FunctionalUnit.LSU)
         }
 
+    def to_dict(self):
+        """Lossless snapshot of the requirements dictionary."""
+        return {
+            "per_unit": {unit.value: sorted(names)
+                         for unit, names in sorted(
+                             self.per_unit.items(),
+                             key=lambda kv: kv[0].value)},
+            "kernels": list(self.kernels),
+        }
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(
+            per_unit={FunctionalUnit(value): set(names)
+                      for value, names in payload["per_unit"].items()},
+            kernels=list(payload["kernels"]),
+        )
+
 
 def analyze_program(program, registry=ISA):
     """Algorithm 1, step one, over a single assembled kernel.

@@ -33,6 +33,13 @@ from ..mem.params import (
     MemoryTimingParams,
 )
 
+#: Architectural VALU limit of the MIAOW compute unit (Section 2.1).
+MAX_VALUS_PER_CU = 4
+
+#: Practical cap on CU count: the single ultra-threaded dispatcher and
+#: the AXI interconnect fan-out stop scaling usefully beyond this.
+MAX_CUS = 8
+
 
 class Generation(enum.Enum):
     """The three fixed-function system generations of Figure 6."""
@@ -67,12 +74,26 @@ class ArchConfig:
     label: str = ""
 
     def __post_init__(self):
+        for name in ("num_cus", "num_simd", "num_simf"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise TrimError(
+                    "{} must be an integer, got {!r}".format(name, value))
         if self.num_cus < 1:
             raise TrimError("an architecture needs at least one compute unit")
+        if self.num_cus > MAX_CUS:
+            raise TrimError(
+                "num_cus={} exceeds the {}-CU dispatcher/interconnect "
+                "limit".format(self.num_cus, MAX_CUS))
         if self.num_simd < 0 or self.num_simf < 0:
             raise TrimError("negative VALU counts are not a thing")
         if self.num_simd == 0 and self.num_simf == 0:
             raise TrimError("a compute unit needs at least one vector ALU")
+        if max(self.num_simd, self.num_simf) > MAX_VALUS_PER_CU:
+            raise TrimError(
+                "{} VALUs of one kind exceed the MIAOW compute unit's "
+                "{}-VALU limit".format(max(self.num_simd, self.num_simf),
+                                       MAX_VALUS_PER_CU))
         if self.datapath_bits not in (8, 16, 32):
             raise TrimError("datapath width must be 8, 16 or 32 bits")
 
@@ -108,6 +129,33 @@ class ArchConfig:
             if self.trimmed else "full ISA"
         return "{} [{}] {} @{}b".format(
             self.label or self.generation.value, shape, trim, self.datapath_bits)
+
+    def to_dict(self):
+        """Full semantic state (lossless -- see :meth:`from_dict`)."""
+        return {
+            "generation": self.generation.value,
+            "num_cus": self.num_cus,
+            "num_simd": self.num_simd,
+            "num_simf": self.num_simf,
+            "supported": (None if self.supported is None
+                          else sorted(self.supported)),
+            "datapath_bits": self.datapath_bits,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, payload):
+        """Rebuild a configuration from a :meth:`to_dict` payload."""
+        supported = payload.get("supported")
+        return cls(
+            generation=Generation(payload["generation"]),
+            num_cus=payload["num_cus"],
+            num_simd=payload["num_simd"],
+            num_simf=payload["num_simf"],
+            supported=None if supported is None else frozenset(supported),
+            datapath_bits=payload["datapath_bits"],
+            label=payload.get("label", ""),
+        )
 
     def with_parallelism(self, num_cus=None, num_simd=None, num_simf=None):
         return replace(

@@ -23,13 +23,9 @@ from __future__ import annotations
 from ..errors import TrimError
 from ..fpga.resources import XC7VX690T
 from ..fpga.synthesis import Synthesizer
-
-#: Architectural VALU limit of the MIAOW compute unit (Section 2.1).
-MAX_VALUS_PER_CU = 4
-
-#: Practical cap on CU count: the single ultra-threaded dispatcher and
-#: the AXI interconnect fan-out stop scaling usefully beyond this.
-MAX_CUS = 8
+# The caps live with ArchConfig, which validates them at construction;
+# re-exported here because the planners are their historical home.
+from .config import MAX_CUS, MAX_VALUS_PER_CU  # noqa: F401
 
 
 def plan_multicore(config, synthesizer=None, device=XC7VX690T):

@@ -78,7 +78,11 @@ class TrimResult(SerializableMixin):
         """The trim report under the repo-wide serialization convention.
 
         This is what ``repro trim --json`` prints (the CLI adds the
-        optional parallel-planning block on top).
+        optional parallel-planning block on top).  Besides the derived
+        summary, the payload carries the full constituent state --
+        requirements, both configurations, both synthesis reports -- so
+        :meth:`from_dict` rebuilds an equal :class:`TrimResult` (the
+        lossless round trip the DSE result store relies on).
         """
         return {
             "kernels": list(self.requirements.kernels),
@@ -93,7 +97,28 @@ class TrimResult(SerializableMixin):
                 "trimmed": self.report.power.total,
                 "saving_fraction": self.power_saving(),
             },
+            "requirements": self.requirements.to_dict(),
+            "baseline_arch": self.baseline.to_dict(),
+            "arch": self.config.to_dict(),
+            "baseline_report": self.baseline_report.to_dict(),
+            "report": self.report.to_dict(),
         }
+
+    @classmethod
+    def from_dict(cls, payload):
+        """Rebuild from a :meth:`to_dict` payload (derived summary keys
+        are ignored and recomputed)."""
+        return cls(
+            requirements=KernelRequirements.from_dict(
+                payload["requirements"]),
+            baseline=ArchConfig.from_dict(payload["baseline_arch"]),
+            config=ArchConfig.from_dict(payload["arch"]),
+            baseline_report=SynthesisReport.from_dict(
+                payload["baseline_report"]),
+            report=SynthesisReport.from_dict(payload["report"]),
+            usage={FunctionalUnit(unit): fraction
+                   for unit, fraction in payload["usage"].items()},
+        )
 
     def summary(self):
         lines = [

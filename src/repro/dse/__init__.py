@@ -1,0 +1,48 @@
+"""Design-space exploration over the SCRATCH trim/re-investment space.
+
+The paper evaluates six configurations per benchmark by hand
+(Figures 6-8); this package turns that into an engine: declarative
+:class:`DesignPoint` grids (:mod:`~repro.dse.space`), a resumable
+sweep runner that joins simulator cycles with synthesis area and
+model power under an area budget (:mod:`~repro.dse.runner` /
+:mod:`~repro.dse.store`), and Pareto/figure reductions
+(:mod:`~repro.dse.pareto` / :mod:`~repro.dse.report`).
+
+Entry point: ``python -m repro dse sweep --preset paper``.
+"""
+
+from .pareto import DEFAULT_OBJECTIVES, dominates, frontier
+from .report import build_report, compare_sweeps, render_markdown, write_report
+from .runner import PointResult, SweepReport, SweepRunner, SweepSpec, run_sweep
+from .space import (
+    PAPER_SMOKE_KERNELS,
+    PRESETS,
+    DesignPoint,
+    DesignSpace,
+    paper_space,
+    preset,
+)
+from .store import ResultStore, evaluation_key
+
+__all__ = [
+    "DEFAULT_OBJECTIVES",
+    "DesignPoint",
+    "DesignSpace",
+    "PAPER_SMOKE_KERNELS",
+    "PRESETS",
+    "PointResult",
+    "ResultStore",
+    "SweepReport",
+    "SweepRunner",
+    "SweepSpec",
+    "build_report",
+    "compare_sweeps",
+    "dominates",
+    "evaluation_key",
+    "frontier",
+    "paper_space",
+    "preset",
+    "render_markdown",
+    "run_sweep",
+    "write_report",
+]

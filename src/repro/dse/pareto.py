@@ -1,0 +1,69 @@
+"""Pareto-frontier reduction over evaluated design points.
+
+The trim/re-investment trade the paper exposes is genuinely multi-
+objective: a trimmed single CU wins on area, a trimmed multi-core
+wins on cycles, and energy sits between them (Figures 6-8).  The
+frontier is the set of points no other point beats on *every* axis --
+everything off it is strictly wasted silicon or strictly wasted time.
+
+All objectives are minimised; callers hand in per-point metric
+dictionaries (area LUTs, simulated CU cycles, energy in joules).
+The implementation is the plain O(n^2) dominance scan -- sweep sizes
+here are hundreds of points, not millions -- with a deterministic
+ordering so reports are byte-stable.
+"""
+
+from __future__ import annotations
+
+from ..errors import DseError
+
+#: Default objective axes, all minimised.
+DEFAULT_OBJECTIVES = ("area_luts", "cu_cycles", "energy_j")
+
+
+def objective_vector(metrics, objectives=DEFAULT_OBJECTIVES):
+    """Extract the objective tuple, validating presence and finiteness."""
+    vector = []
+    for name in objectives:
+        value = metrics.get(name)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise DseError(
+                "objective {!r} missing or non-numeric in {!r}".format(
+                    name, sorted(metrics)))
+        vector.append(float(value))
+    return tuple(vector)
+
+
+def dominates(a, b):
+    """True iff objective vector ``a`` dominates ``b`` (minimising):
+    no worse everywhere, strictly better somewhere."""
+    if len(a) != len(b):
+        raise DseError("objective vectors differ in length")
+    return all(x <= y for x, y in zip(a, b)) and any(
+        x < y for x, y in zip(a, b))
+
+
+def frontier(entries, objectives=DEFAULT_OBJECTIVES, key=None):
+    """The non-dominated subset of ``entries``.
+
+    ``entries`` is a sequence of metric dicts (or arbitrary objects if
+    ``key`` maps each to its metric dict).  Returns the entries on the
+    frontier, in input order.  Duplicate objective vectors all survive
+    (neither strictly beats the other).
+    """
+    key = key or (lambda entry: entry)
+    vectors = [objective_vector(key(entry), objectives)
+               for entry in entries]
+    out = []
+    for i, entry in enumerate(entries):
+        if not any(dominates(vectors[j], vectors[i])
+                   for j in range(len(vectors)) if j != i):
+            out.append(entry)
+    return out
+
+
+def frontier_flags(entries, objectives=DEFAULT_OBJECTIVES, key=None):
+    """Per-entry booleans: is this entry on the frontier?"""
+    on = frontier(entries, objectives=objectives, key=key)
+    selected = {id(entry) for entry in on}
+    return [id(entry) in selected for entry in entries]

@@ -1,0 +1,309 @@
+"""Reduction: sweep results -> Pareto frontier + figure-reproduction
+tables, rendered as JSON, CSV and markdown.
+
+The report is the artefact the sweep exists to produce:
+
+* the **Pareto frontier** over (area, cycles, energy) -- which of the
+  explored configurations are actually worth building;
+* the **per-kernel best-config table** -- for each benchmark, the
+  fastest and the most energy-frugal feasible point (Figure 7/8's
+  headline comparisons);
+* the **figure reproduction** -- points tagged by the ``paper`` preset
+  grouped back into Figure 6 (area/power per configuration), Figure 7
+  (speedup over the untrimmed baseline) and Figure 8 (energy ratio).
+
+Every rendering is deterministic: stable orderings, fixed float
+formats, no timestamps -- the same sweep always writes byte-identical
+files (pinned by the determinism test).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+
+from ..errors import DseError
+
+#: Fixed float format used by the CSV/markdown renderings.
+_FMT = "{:.6g}"
+
+
+def _fmt(value):
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    return _FMT.format(value)
+
+
+def _ok_points(payload):
+    return [p for p in payload["points"] if p["status"] == "ok"]
+
+
+# ---------------------------------------------------------------------------
+# Building the report payload.
+# ---------------------------------------------------------------------------
+
+def _best_by_kernel(points):
+    """For every kernel, the fastest and the most frugal ok point."""
+    by_kernel = {}
+    for point in points:
+        for kernel, stats in point.get("kernels", {}).items():
+            by_kernel.setdefault(kernel, []).append((point, stats))
+    table = {}
+    for kernel in sorted(by_kernel):
+        entries = by_kernel[kernel]
+        fastest = min(entries, key=lambda e: (e[1]["cu_cycles"],
+                                              e[0]["name"]))
+        frugal = min(entries, key=lambda e: (e[1]["energy_j"],
+                                             e[0]["name"]))
+        table[kernel] = {
+            "fastest": {"point": fastest[0]["name"],
+                        "cu_cycles": fastest[1]["cu_cycles"]},
+            "lowest_energy": {"point": frugal[0]["name"],
+                              "energy_j": frugal[1]["energy_j"]},
+        }
+    return table
+
+
+def _figures(points):
+    """Regroup paper-preset tags into per-figure tables.
+
+    Speedups and energy ratios are relative to the kernel's untrimmed
+    ``baseline`` point (the paper's reference configuration); kernels
+    without one are reported absolute-only.
+    """
+    by_kernel = {}
+    for point in points:
+        if not point.get("tag"):
+            continue
+        for kernel in point["point"]["kernels"]:
+            by_kernel.setdefault(kernel, []).append(point)
+
+    figures = {"fig6_area_power": {}, "fig7_speedup": {},
+               "fig8_energy": {}}
+    for kernel in sorted(by_kernel):
+        entries = by_kernel[kernel]
+        reference = next(
+            (p for p in entries if p["tag"] == "fig6:baseline"), None)
+        fig6, fig7, fig8 = {}, {}, {}
+        for point in sorted(entries, key=lambda p: p["name"]):
+            label = point["tag"].split(":", 1)[1]
+            fig6[label] = {
+                "lut": point["area"]["lut"],
+                "bram": point["area"]["bram"],
+                "dsp": point["area"]["dsp"],
+                "power_w": point["power_w"],
+            }
+            stats = point["kernels"].get(kernel)
+            if stats is None:
+                continue
+            entry = {"cu_cycles": stats["cu_cycles"]}
+            energy = {"energy_j": stats["energy_j"]}
+            if reference is not None and kernel in reference["kernels"]:
+                ref = reference["kernels"][kernel]
+                if stats["cu_cycles"]:
+                    entry["speedup_vs_baseline"] = (
+                        ref["cu_cycles"] / stats["cu_cycles"])
+                if stats["energy_j"]:
+                    energy["energy_gain_vs_baseline"] = (
+                        ref["energy_j"] / stats["energy_j"])
+            fig7[label] = entry
+            fig8[label] = energy
+        figures["fig6_area_power"][kernel] = fig6
+        figures["fig7_speedup"][kernel] = fig7
+        figures["fig8_energy"][kernel] = fig8
+    return figures
+
+
+def build_report(sweep_payload):
+    """The full report payload from ``SweepReport.to_dict()``."""
+    if not isinstance(sweep_payload, dict) or "points" not in sweep_payload:
+        raise DseError("not a sweep payload (missing 'points')")
+    ok = _ok_points(sweep_payload)
+    pareto = [p for p in ok if p.get("pareto")]
+    return {
+        "schema": 1,
+        "space": sweep_payload["space"],
+        "spec": sweep_payload["spec"],
+        "totals": sweep_payload["totals"],
+        "points": sweep_payload["points"],
+        "pareto": [
+            {"name": p["name"], "tag": p["tag"],
+             "area_luts": p["area"]["lut"],
+             "cu_cycles": p["totals"]["cu_cycles"],
+             "energy_j": p["totals"]["energy_j"]}
+            for p in sorted(pareto, key=lambda p: p["area"]["lut"])
+        ],
+        "best_by_kernel": _best_by_kernel(ok),
+        "figures": _figures(ok),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Renderings.
+# ---------------------------------------------------------------------------
+
+CSV_COLUMNS = ("name", "tag", "status", "pareto", "num_cus",
+               "extra_valus", "lut", "ff", "bram", "dsp",
+               "power_w", "cu_cycles", "seconds", "energy_j")
+
+
+def render_csv(report):
+    """One row per design point, flat -- the plotting-friendly form."""
+    out = io.StringIO()
+    out.write(",".join(CSV_COLUMNS) + "\n")
+    for point in report["points"]:
+        area = point.get("area", {})
+        totals = point.get("totals", {})
+        row = {
+            "name": point["name"],
+            "tag": point.get("tag", ""),
+            "status": point["status"],
+            "pareto": int(bool(point.get("pareto"))),
+            "num_cus": point["point"]["num_cus"],
+            "extra_valus": point["point"]["extra_valus"],
+            "lut": area.get("lut", ""),
+            "ff": area.get("ff", ""),
+            "bram": area.get("bram", ""),
+            "dsp": area.get("dsp", ""),
+            "power_w": point.get("power_w", ""),
+            "cu_cycles": totals.get("cu_cycles", ""),
+            "seconds": totals.get("seconds", ""),
+            "energy_j": totals.get("energy_j", ""),
+        }
+        out.write(",".join(_fmt(row[c]) if row[c] != "" else ""
+                           for c in CSV_COLUMNS) + "\n")
+    return out.getvalue()
+
+
+def render_markdown(report):
+    """The human-facing summary."""
+    lines = []
+    totals = report["totals"]
+    lines.append("# DSE report: {}".format(report["space"]))
+    lines.append("")
+    lines.append("{} point(s): {} ok, {} infeasible (area budget), "
+                 "{} failed, {} reused from the store; {} on the "
+                 "Pareto frontier.".format(
+                     totals["points"], totals["ok"], totals["infeasible"],
+                     totals["failed"], totals["reused"], totals["pareto"]))
+    lines.append("")
+    lines.append("## Pareto frontier (area vs cycles vs energy)")
+    lines.append("")
+    lines.append("| design point | tag | LUTs | CU cycles | energy (J) |")
+    lines.append("|---|---|---:|---:|---:|")
+    for entry in report["pareto"]:
+        lines.append("| {} | {} | {} | {} | {} |".format(
+            entry["name"], entry["tag"] or "-",
+            _fmt(entry["area_luts"]), _fmt(entry["cu_cycles"]),
+            _fmt(entry["energy_j"])))
+    lines.append("")
+    lines.append("## Best configuration per kernel")
+    lines.append("")
+    lines.append("| kernel | fastest | CU cycles | lowest energy "
+                 "| energy (J) |")
+    lines.append("|---|---|---:|---|---:|")
+    for kernel, best in report["best_by_kernel"].items():
+        lines.append("| {} | {} | {} | {} | {} |".format(
+            kernel,
+            best["fastest"]["point"], _fmt(best["fastest"]["cu_cycles"]),
+            best["lowest_energy"]["point"],
+            _fmt(best["lowest_energy"]["energy_j"])))
+    infeasible = [p for p in report["points"]
+                  if p["status"] == "infeasible"]
+    if infeasible:
+        lines.append("")
+        lines.append("## Rejected by the area budget")
+        lines.append("")
+        for point in infeasible:
+            lines.append("- `{}`: {}".format(point["name"],
+                                             point.get("error", "")))
+    fig7 = report["figures"]["fig7_speedup"]
+    if any(fig7.values()):
+        lines.append("")
+        lines.append("## Figure 7: speedup over the untrimmed baseline")
+        lines.append("")
+        lines.append("| kernel | config | CU cycles | speedup |")
+        lines.append("|---|---|---:|---:|")
+        for kernel in sorted(fig7):
+            for label in sorted(fig7[kernel]):
+                entry = fig7[kernel][label]
+                lines.append("| {} | {} | {} | {} |".format(
+                    kernel, label, _fmt(entry["cu_cycles"]),
+                    _fmt(entry["speedup_vs_baseline"])
+                    if "speedup_vs_baseline" in entry else "-"))
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(report, out_dir, basename="dse"):
+    """Write ``<basename>.json/.csv/.md`` under ``out_dir``."""
+    os.makedirs(out_dir, exist_ok=True)
+    paths = {}
+    payload = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    for suffix, text in (("json", payload),
+                         ("csv", render_csv(report)),
+                         ("md", render_markdown(report))):
+        path = os.path.join(out_dir, "{}.{}".format(basename, suffix))
+        with open(path, "w") as handle:
+            handle.write(text)
+        paths[suffix] = path
+    return paths
+
+
+def load_report(path):
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise DseError("cannot read {}: {}".format(path, exc)) from exc
+    except ValueError as exc:
+        raise DseError("{} is not valid JSON: {}".format(path, exc)) from exc
+    if not isinstance(payload, dict) or "points" not in payload:
+        raise DseError("{} is not a DSE report".format(path))
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# Comparison.
+# ---------------------------------------------------------------------------
+
+def compare_sweeps(old, new, threshold=0.05):
+    """Point-by-point movement between two report payloads.
+
+    Matches points by name; reports status changes, frontier
+    entries/exits, and objective movements beyond ``threshold``.
+    """
+    old_points = {p["name"]: p for p in old["points"]}
+    new_points = {p["name"]: p for p in new["points"]}
+    changes = []
+    for name in sorted(set(old_points) | set(new_points)):
+        a, b = old_points.get(name), new_points.get(name)
+        if a is None:
+            changes.append("added: {}".format(name))
+            continue
+        if b is None:
+            changes.append("removed: {}".format(name))
+            continue
+        if a["status"] != b["status"]:
+            changes.append("{}: status {} -> {}".format(
+                name, a["status"], b["status"]))
+            continue
+        if a["status"] != "ok":
+            continue
+        if bool(a.get("pareto")) != bool(b.get("pareto")):
+            changes.append("{}: {} the Pareto frontier".format(
+                name, "joined" if b.get("pareto") else "left"))
+        for metric in ("cu_cycles", "energy_j"):
+            base = a["totals"][metric]
+            cur = b["totals"][metric]
+            if base and abs(cur - base) / base > threshold:
+                changes.append("{}: {} {} -> {} ({:+.1%})".format(
+                    name, metric, _fmt(base), _fmt(cur),
+                    (cur - base) / base))
+        if a["area"]["lut"] != b["area"]["lut"]:
+            changes.append("{}: luts {} -> {}".format(
+                name, a["area"]["lut"], b["area"]["lut"]))
+    return changes

@@ -1,0 +1,116 @@
+"""Content-addressed, on-disk result store: sweep resumability.
+
+A sweep over hundreds of design points is exactly the workload the
+paper's reuse argument (Section 4.3) applies to twice over: the static
+flow memoizes within one process, and this store memoizes *across*
+processes.  Every evaluated point is written as one JSON file named by
+its evaluation key -- the content hash of the design point *and* the
+evaluation policy (verification, sampling caps, budget margin, payload
+schema).  Re-running an interrupted sweep therefore re-loads finished
+points from disk and only executes the remainder; changing any knob
+that could change the numbers changes the key, so stale results are
+never resurrected.
+
+Writes are atomic (temp file + ``os.replace``) so a sweep killed
+mid-write leaves no truncated entries behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+
+from ..errors import DseError
+
+#: Bump when the stored payload layout changes incompatibly; old
+#: entries then simply miss and are re-evaluated.
+STORE_SCHEMA = 1
+
+
+def evaluation_key(point, verify, max_groups, budget_margin):
+    """Content hash naming one (point, evaluation policy) pairing."""
+    payload = {
+        "schema": STORE_SCHEMA,
+        "point": point.content_key(),
+        "verify": bool(verify),
+        "max_groups": max_groups,
+        "budget_margin": budget_margin,
+    }
+    return hashlib.sha256(
+        ("dse-eval\x00" + json.dumps(payload, sort_keys=True))
+        .encode("utf-8")).hexdigest()
+
+
+class ResultStore:
+    """One directory of ``<evaluation key>.json`` point results."""
+
+    def __init__(self, root):
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        if not os.path.isdir(root):
+            raise DseError("result store root {!r} is not a directory"
+                           .format(root))
+
+    def _path(self, key):
+        if not isinstance(key, str) or len(key) != 64 \
+                or not all(c in "0123456789abcdef" for c in key):
+            raise DseError("malformed result-store key {!r}".format(key))
+        return os.path.join(self.root, key + ".json")
+
+    def __contains__(self, key):
+        return os.path.exists(self._path(key))
+
+    def __len__(self):
+        return sum(1 for name in os.listdir(self.root)
+                   if name.endswith(".json"))
+
+    def keys(self):
+        return sorted(name[:-5] for name in os.listdir(self.root)
+                      if name.endswith(".json"))
+
+    def get(self, key):
+        """The stored payload for ``key``, or None.
+
+        A corrupt entry (interrupted filesystem, manual edit) is
+        treated as a miss and deleted so the sweep re-evaluates it.
+        """
+        path = self._path(key)
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, OSError):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        if payload.get("schema") != STORE_SCHEMA:
+            return None
+        return payload
+
+    def put(self, key, payload):
+        """Atomically persist ``payload`` under ``key``."""
+        payload = dict(payload)
+        payload["schema"] = STORE_SCHEMA
+        path = self._path(key)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def clear(self):
+        for key in self.keys():
+            os.unlink(self._path(key))

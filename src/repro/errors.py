@@ -68,6 +68,26 @@ class ResourceError(ReproError):
     """A synthesis/fit step exceeded the FPGA device resources."""
 
 
+class AreaBudgetError(ResourceError):
+    """A design point's synthesised area exceeded its re-investment
+    budget: trimming did not free enough resources to pay for the
+    requested extra compute (Section 3.2's constraint, enforced by the
+    design-space explorer)."""
+
+    def __init__(self, what, needed, budget):
+        super().__init__(
+            "{} exceeds its area budget: needs {}, budget {}".format(
+                what, needed, budget))
+        self.what = what
+        self.needed = needed
+        self.budget = budget
+
+
+class DseError(ReproError):
+    """The design-space exploration engine was given an invalid sweep
+    specification, preset or result store."""
+
+
 class LaunchError(ReproError):
     """The runtime was given an invalid kernel launch configuration."""
 

@@ -106,6 +106,39 @@ class Executor:
 
     # -- execution ---------------------------------------------------------
 
+    def execute_many(self, requests, workers=None, return_exceptions=False):
+        """Fan a batch of requests out across a thread pool.
+
+        Results come back in request order.  The board pool's exclusive
+        checkout makes concurrent leases safe; requests sharing a board
+        key beyond the concurrency level still reuse warm boards.  With
+        ``return_exceptions`` (the :func:`asyncio.gather` idiom), a
+        request that raised :class:`~repro.errors.ReproError` yields
+        the exception object in its slot instead of aborting the batch
+        -- the contract sweep drivers (``repro dse``) rely on; other
+        exception types always propagate.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        from ..errors import ReproError
+
+        requests = list(requests)
+        if not requests:
+            return []
+        workers = max(1, min(workers or 4, len(requests)))
+        with ThreadPoolExecutor(max_workers=workers,
+                                thread_name_prefix="repro-exec") as pool:
+            futures = [pool.submit(self.execute, r) for r in requests]
+            out = []
+            for future in futures:
+                try:
+                    out.append(future.result())
+                except ReproError as exc:
+                    if not return_exceptions:
+                        raise
+                    out.append(exc)
+            return out
+
     def execute(self, request: ExecutionRequest) -> ExecutionResult:
         workload = request.resolve_workload()
         arch = request.resolve_arch()

@@ -38,6 +38,14 @@ class PowerEstimate:
     def total(self):
         return self.static + self.dynamic
 
+    def to_dict(self):
+        return {"static": self.static, "dynamic": self.dynamic,
+                "total": self.total}
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(static=payload["static"], dynamic=payload["dynamic"])
+
     def __str__(self):
         return "{:.2f}W ({:.2f} static + {:.2f} dynamic)".format(
             self.total, self.static, self.dynamic)

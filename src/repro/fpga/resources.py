@@ -65,6 +65,15 @@ class ResourceVector:
     def as_dict(self):
         return {"ff": self.ff, "lut": self.lut, "dsp": self.dsp, "bram": self.bram}
 
+    #: ``to_dict``/``from_dict`` aliases so resource vectors round-trip
+    #: under the repo-wide serialization convention.
+    to_dict = as_dict
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(ff=payload["ff"], lut=payload["lut"],
+                   dsp=payload["dsp"], bram=payload["bram"])
+
     def __str__(self):
         return "FF={:.0f} LUT={:.0f} DSP={:.0f} BRAM={:.0f}".format(
             self.ff, self.lut, self.dsp, self.bram)
@@ -104,6 +113,21 @@ class FpgaDevice:
                     what, self.name, used.rounded(), self.usable.rounded()
                 )
             )
+
+    def to_dict(self):
+        return {
+            "name": self.name,
+            "capacity": self.capacity.as_dict(),
+            "routing_ceiling": self.routing_ceiling,
+        }
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(
+            name=payload["name"],
+            capacity=ResourceVector.from_dict(payload["capacity"]),
+            routing_ceiling=payload["routing_ceiling"],
+        )
 
 
 #: The evaluation device (Virtex-7 XC7VX690T).

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Dict
 
 from ..core.config import ArchConfig
-from ..errors import ResourceError
+from ..errors import AreaBudgetError, ResourceError
 from ..obs.serialize import SerializableMixin
 from .area_model import AreaModel
 from .calibration import PREFETCH_BASELINE_BRAMS
@@ -50,6 +50,24 @@ class SynthesisReport(SerializableMixin):
     def fits(self):
         return self.total.fits_in(self.device.usable)
 
+    def check_budget(self, budget, what=None, margin=1.0):
+        """Enforce a per-design area budget (re-investment accounting).
+
+        ``budget`` is a :class:`ResourceVector`; a design whose total
+        area exceeds ``budget x margin`` in any resource class raises
+        :class:`~repro.errors.AreaBudgetError` naming ``what``.  The
+        design-space explorer prices every re-investment point against
+        the device's usable area this way: extra CUs/VALUs are only
+        legal if trimming freed enough resources to pay for them.
+        """
+        needed = self.total
+        if not needed.fits_in(budget, margin):
+            raise AreaBudgetError(
+                what or self.config.describe(),
+                needed.rounded(),
+                budget.scale(margin).rounded())
+        return self
+
     def savings_vs(self, other):
         """Per-class fractional resource savings relative to ``other``.
 
@@ -78,7 +96,13 @@ class SynthesisReport(SerializableMixin):
 
     def to_dict(self):
         """Utilisation + power under the repo-wide serialization
-        convention (:mod:`repro.obs.serialize`)."""
+        convention (:mod:`repro.obs.serialize`).
+
+        Carries both the derived summary (what the CLI prints) and the
+        full constituent state, so :meth:`from_dict` rebuilds an equal
+        report -- the lossless round trip the DSE result store relies
+        on.
+        """
         total = self.total.rounded()
         return {
             "config": self.config.describe(),
@@ -92,7 +116,30 @@ class SynthesisReport(SerializableMixin):
                 "dynamic": self.power.dynamic,
                 "total": self.power.total,
             },
+            "arch": self.config.to_dict(),
+            "device_model": self.device.to_dict(),
+            "soc": self.soc.as_dict(),
+            "per_cu": self.per_cu.as_dict(),
+            "cu_components": {name: vec.as_dict()
+                              for name, vec in self.cu_components.items()},
+            "prefetch_brams": self.prefetch_brams,
         }
+
+    @classmethod
+    def from_dict(cls, payload):
+        """Rebuild a report from a :meth:`to_dict` payload (lossless:
+        derived summary keys are ignored and recomputed)."""
+        return cls(
+            config=ArchConfig.from_dict(payload["arch"]),
+            device=FpgaDevice.from_dict(payload["device_model"]),
+            soc=ResourceVector.from_dict(payload["soc"]),
+            per_cu=ResourceVector.from_dict(payload["per_cu"]),
+            cu_components={
+                name: ResourceVector.from_dict(vec)
+                for name, vec in payload["cu_components"].items()},
+            prefetch_brams=payload["prefetch_brams"],
+            power=PowerEstimate.from_dict(payload["power_w"]),
+        )
 
 
 class Synthesizer:

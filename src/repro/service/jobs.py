@@ -21,6 +21,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from ..core.config import ArchConfig
 from ..errors import AdmissionError
 from ..runtime.metrics import RunMetrics
 from ..soc.gpu import ENGINES, HEAP_BASE
@@ -61,11 +62,18 @@ class Job:
     sizes the board's global memory for jobs whose working set exceeds
     the default (the board content key includes it, so a large-memory
     job is never handed an undersized warm board).
+
+    ``arch`` is the sweep fan-out hook: an explicit
+    :class:`~repro.core.config.ArchConfig` that bypasses the named
+    ``config`` resolution entirely -- the design-space explorer submits
+    arbitrary grid points this way.  When ``arch`` is set, ``config``
+    is just a display tag (any string is accepted).
     """
 
     benchmark: str
     params: Dict[str, object] = field(default_factory=dict)
     config: str = "trimmed"
+    arch: Optional[ArchConfig] = None
     priority: int = 0
     max_groups: Optional[int] = None
     verify: bool = True
@@ -77,7 +85,10 @@ class Job:
     global_mem_size: Optional[int] = None  # board global-memory bytes
 
     def __post_init__(self):
-        if self.config not in CONFIG_SPECS:
+        if self.arch is not None and not isinstance(self.arch, ArchConfig):
+            raise AdmissionError(
+                "arch must be an ArchConfig, got {!r}".format(self.arch))
+        if self.arch is None and self.config not in CONFIG_SPECS:
             raise AdmissionError(
                 "unknown config spec {!r}; expected one of {}".format(
                     self.config, ", ".join(CONFIG_SPECS)))
@@ -96,11 +107,13 @@ class Job:
                 .format(HEAP_BASE))
 
     def describe(self):
+        target = (self.arch.describe() if self.arch is not None
+                  else self.config)
         return "{}({}) on {}".format(
             self.benchmark,
             ", ".join("{}={}".format(k, v)
                       for k, v in sorted(self.params.items())),
-            self.config)
+            target)
 
 
 def next_job_id():
@@ -196,10 +209,16 @@ def load_jobs(source):
         unknown = set(entry) - {
             "benchmark", "params", "config", "priority", "max_groups",
             "verify", "timeout_s", "retries", "tag", "profile",
-            "engine", "global_mem_size"}
+            "engine", "global_mem_size", "arch"}
         if unknown:
             raise AdmissionError(
                 "job entry {}: unknown fields {}".format(i, sorted(unknown)))
+        if isinstance(entry.get("arch"), dict):
+            try:
+                entry["arch"] = ArchConfig.from_dict(entry["arch"])
+            except (KeyError, ValueError) as exc:
+                raise AdmissionError(
+                    "job entry {}: invalid arch payload ({})".format(i, exc))
         job = Job(**entry)
         jobs.extend([job] * repeat)
     return jobs

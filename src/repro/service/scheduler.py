@@ -112,6 +112,12 @@ class KernelService:
         for program in bench.programs():
             self.cache.prepared(program)
 
+        if job.arch is not None:
+            # Sweep fan-out: the caller fixed the architecture (a DSE
+            # grid point); only synthesis is resolved, via the cache.
+            report = self.cache.synthesize(job.arch, self.synthesizer)
+            return job.arch, report, config_key(job.arch)
+
         if job.config in _FIXED_CONFIGS:
             arch = _FIXED_CONFIGS[job.config]()
             report = self.cache.synthesize(arch, self.synthesizer)

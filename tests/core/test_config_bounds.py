@@ -1,0 +1,58 @@
+"""Construction-time bounds on :class:`ArchConfig` (the satellite).
+
+Out-of-range CU/VALU counts used to surface as cryptic failures deep
+inside ``Gpu.launch``; now the frozen dataclass rejects them at
+construction with a :class:`~repro.errors.TrimError` that names the
+violated limit.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import MAX_CUS, MAX_VALUS_PER_CU, ArchConfig
+from repro.core.parallelize import MAX_CUS as REEXPORTED_MAX_CUS
+from repro.errors import ReproError, TrimError
+
+
+def _make(**overrides):
+    return dataclasses.replace(ArchConfig.baseline(), **overrides)
+
+
+class TestArchConfigBounds:
+    def test_caps_are_shared_with_the_planner(self):
+        assert REEXPORTED_MAX_CUS == MAX_CUS
+
+    @pytest.mark.parametrize("overrides", [
+        {"num_cus": 0},
+        {"num_cus": MAX_CUS + 1},
+        {"num_cus": -3},
+        {"num_simd": -1},
+        {"num_simd": 0, "num_simf": 0},
+        {"num_simd": MAX_VALUS_PER_CU + 1},
+        {"num_simf": MAX_VALUS_PER_CU + 1},
+        {"num_cus": 2.5},
+        {"num_cus": True},
+        {"datapath_bits": 12},
+    ])
+    def test_invalid_shapes_rejected(self, overrides):
+        with pytest.raises(TrimError) as excinfo:
+            _make(**overrides)
+        assert isinstance(excinfo.value, ReproError)
+
+    def test_error_names_the_limit(self):
+        with pytest.raises(TrimError, match=str(MAX_CUS)):
+            _make(num_cus=MAX_CUS + 1)
+        with pytest.raises(TrimError, match=str(MAX_VALUS_PER_CU)):
+            _make(num_simd=MAX_VALUS_PER_CU + 1)
+
+    def test_boundary_values_accepted(self):
+        assert _make(num_cus=MAX_CUS).num_cus == MAX_CUS
+        assert _make(num_simd=MAX_VALUS_PER_CU,
+                     num_simf=MAX_VALUS_PER_CU).num_simd == MAX_VALUS_PER_CU
+        # one unit may be trimmed away entirely
+        assert _make(num_simf=0).num_simf == 0
+
+    def test_with_parallelism_still_guarded(self):
+        with pytest.raises(TrimError):
+            ArchConfig.baseline().with_parallelism(num_cus=MAX_CUS + 1)

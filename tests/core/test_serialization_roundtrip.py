@@ -1,0 +1,79 @@
+"""Lossless to_dict/from_dict round trips across the static flow.
+
+The DSE result store persists whole trim results and synthesis
+reports as JSON; these tests pin the contract that rebuilding from a
+serialized payload yields an *equal* object -- through an actual JSON
+encode/decode, so no payload smuggles non-JSON types.
+"""
+
+import json
+
+from repro.core.analyzer import KernelRequirements
+from repro.core.config import ArchConfig
+from repro.core.trimmer import TrimmingTool
+from repro.fpga.power_model import PowerEstimate
+from repro.fpga.resources import XC7VX690T, FpgaDevice, ResourceVector
+from repro.fpga.synthesis import Synthesizer, SynthesisReport
+from repro.isa.categories import FunctionalUnit
+from repro.kernels import KERNELS
+
+
+def _rt(payload):
+    """One real JSON round trip."""
+    return json.loads(json.dumps(payload))
+
+
+class TestArchConfigRoundTrip:
+    def test_fixed_generations(self):
+        for make in (ArchConfig.original, ArchConfig.dcd,
+                     ArchConfig.baseline):
+            config = make()
+            assert ArchConfig.from_dict(_rt(config.to_dict())) == config
+
+    def test_trimmed_with_supported_set(self):
+        config = ArchConfig.baseline().with_parallelism(num_cus=2)
+        trimmed = ArchConfig.from_dict(_rt(config.to_dict()))
+        assert trimmed == config
+        assert trimmed.supported == config.supported
+
+
+class TestFpgaRoundTrips:
+    def test_resource_vector(self):
+        vec = ResourceVector(ff=1.5, lut=2.0, dsp=3.0, bram=4.5)
+        assert ResourceVector.from_dict(_rt(vec.to_dict())) == vec
+
+    def test_device(self):
+        assert FpgaDevice.from_dict(_rt(XC7VX690T.to_dict())) == XC7VX690T
+
+    def test_power_estimate(self):
+        power = PowerEstimate(static=0.4, dynamic=1.25)
+        rebuilt = PowerEstimate.from_dict(_rt(power.to_dict()))
+        assert rebuilt == power
+        assert rebuilt.total == power.total
+
+    def test_synthesis_report(self):
+        report = Synthesizer().synthesize(ArchConfig.baseline())
+        rebuilt = SynthesisReport.from_dict(_rt(report.to_dict()))
+        assert rebuilt == report
+        # derived quantities survive the rebuild
+        assert rebuilt.total == report.total
+        assert rebuilt.power == report.power
+
+
+class TestTrimResultRoundTrip:
+    def test_requirements(self):
+        bench = KERNELS["matrix_add_i32"]()
+        requirements = TrimmingTool().analyze(bench.programs())
+        rebuilt = KernelRequirements.from_dict(_rt(requirements.to_dict()))
+        assert rebuilt == requirements
+
+    def test_full_trim_result(self):
+        bench = KERNELS["matrix_mul_f32"]()
+        result = TrimmingTool().trim(bench.programs())
+        rebuilt = type(result).from_dict(_rt(result.to_dict()))
+        assert rebuilt == result
+        # the derived views agree too
+        assert rebuilt.savings == result.savings
+        assert rebuilt.removed_units == result.removed_units
+        assert rebuilt.power_saving() == result.power_saving()
+        assert FunctionalUnit.SIMD in rebuilt.usage

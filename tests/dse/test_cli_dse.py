@@ -1,0 +1,97 @@
+"""``repro dse sweep|report|compare`` end to end."""
+
+import json
+
+from repro.cli import main
+
+SMOKE = ["dse", "sweep", "--preset", "paper", "--smoke"]
+
+
+class TestDseSweep:
+    def test_smoke_markdown(self, capsys):
+        assert main(SMOKE) == 0
+        out = capsys.readouterr().out
+        assert "# DSE report: paper-smoke" in out
+        assert "Pareto frontier" in out
+        assert "8 point(s): 8 ok" in out
+
+    def test_smoke_json_and_files(self, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        assert main(SMOKE + ["--json", "--out", str(out_dir)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["totals"]["ok"] == 8
+        assert payload["pareto"]
+        for suffix in ("json", "csv", "md"):
+            assert (out_dir / "dse-paper-smoke.{}".format(suffix)).exists()
+        written = json.loads(
+            (out_dir / "dse-paper-smoke.json").read_text())
+        assert written == payload
+
+    def test_store_resumes(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(SMOKE + ["--store", store, "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["totals"]["reused"] == 0
+        assert main(SMOKE + ["--store", store, "--json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["totals"]["reused"] == 8
+        # everything except the reuse counter is identical
+        first["totals"]["reused"] = second["totals"]["reused"]
+        assert first == second
+
+    def test_kernel_restriction(self, capsys):
+        assert main(SMOKE + ["--kernels", "matrix_add_i32", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["totals"]["points"] == 4
+
+
+class TestDseReportAndCompare:
+    def _write_report(self, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        assert main(SMOKE + ["--out", str(out_dir)]) == 0
+        capsys.readouterr()
+        return out_dir / "dse-paper-smoke.json"
+
+    def test_report_rerender(self, tmp_path, capsys):
+        path = self._write_report(tmp_path, capsys)
+        assert main(["dse", "report", str(path)]) == 0
+        assert "Pareto frontier" in capsys.readouterr().out
+        assert main(["dse", "report", str(path), "--csv"]) == 0
+        csv = capsys.readouterr().out
+        assert csv.splitlines()[0].startswith("name,tag,status,pareto")
+        assert len(csv.splitlines()) == 9  # header + 8 points
+
+    def test_compare_identical_reports(self, tmp_path, capsys):
+        path = self._write_report(tmp_path, capsys)
+        assert main(["dse", "compare", str(path), str(path)]) == 0
+        assert "no movement" in capsys.readouterr().out
+
+    def test_compare_flags_movement(self, tmp_path, capsys):
+        path = self._write_report(tmp_path, capsys)
+        moved = json.loads(path.read_text())
+        for point in moved["points"]:
+            if point["status"] == "ok":
+                point["totals"]["cu_cycles"] *= 2
+                break
+        other = tmp_path / "moved.json"
+        other.write_text(json.dumps(moved))
+        assert main(["dse", "compare", str(path), str(other)]) == 0
+        assert "cu_cycles" in capsys.readouterr().out
+        assert main(["dse", "compare", str(path), str(other),
+                     "--strict"]) == 1
+
+    def test_report_rejects_non_report(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"hello": 1}')
+        assert main(["dse", "report", str(bogus)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_report_rejects_malformed_json(self, tmp_path, capsys):
+        broken = tmp_path / "broken.json"
+        broken.write_text("[not json")
+        assert main(["dse", "report", str(broken)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_report_rejects_missing_file(self, tmp_path, capsys):
+        assert main(["dse", "report", str(tmp_path / "absent.json")]) == 2
+        assert "error:" in capsys.readouterr().err

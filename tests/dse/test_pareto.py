@@ -1,0 +1,88 @@
+"""Pareto-frontier properties (the satellite property test).
+
+Two invariants, checked over hypothesis-generated point clouds:
+
+* every point on the frontier is non-dominated by the full set, and
+* every point left off the frontier is dominated by some frontier
+  point.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dse.pareto import dominates, frontier, frontier_flags, objective_vector
+from repro.errors import DseError
+
+AXES = ("area_luts", "cu_cycles", "energy_j")
+
+
+def _metrics(values):
+    return dict(zip(AXES, values))
+
+
+points_strategy = st.lists(
+    st.tuples(*[st.integers(min_value=0, max_value=12) for _ in AXES]),
+    min_size=1, max_size=24)
+
+
+class TestDominates:
+    def test_strictly_better_everywhere(self):
+        assert dominates((1, 1, 1), (2, 2, 2))
+
+    def test_equal_does_not_dominate(self):
+        assert not dominates((1, 1, 1), (1, 1, 1))
+
+    def test_tradeoff_does_not_dominate(self):
+        assert not dominates((1, 3, 1), (2, 2, 2))
+        assert not dominates((2, 2, 2), (1, 3, 1))
+
+    def test_length_mismatch(self):
+        with pytest.raises(DseError):
+            dominates((1, 2), (1, 2, 3))
+
+
+class TestObjectiveVector:
+    def test_extracts_in_axis_order(self):
+        assert objective_vector(_metrics((3, 1, 2)), AXES) == (3.0, 1.0, 2.0)
+
+    def test_missing_or_bad_axis(self):
+        with pytest.raises(DseError):
+            objective_vector({"area_luts": 1.0}, AXES)
+        with pytest.raises(DseError):
+            objective_vector(_metrics((1, True, 2)), AXES)
+
+
+class TestFrontierProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(points_strategy)
+    def test_frontier_points_are_non_dominated(self, raw):
+        entries = [_metrics(v) for v in raw]
+        front = frontier(entries, objectives=AXES)
+        assert front  # at least one point always survives
+        vectors = [objective_vector(e, AXES) for e in entries]
+        for chosen in front:
+            cv = objective_vector(chosen, AXES)
+            assert not any(dominates(v, cv) for v in vectors)
+
+    @settings(max_examples=200, deadline=None)
+    @given(points_strategy)
+    def test_dominated_points_are_excluded(self, raw):
+        entries = [_metrics(v) for v in raw]
+        flags = frontier_flags(entries, objectives=AXES)
+        front_vectors = [objective_vector(e, AXES)
+                         for e, on in zip(entries, flags) if on]
+        for entry, on in zip(entries, flags):
+            if on:
+                continue
+            ev = objective_vector(entry, AXES)
+            assert any(dominates(fv, ev) for fv in front_vectors)
+
+    def test_duplicates_all_survive(self):
+        entries = [_metrics((1, 1, 1)), _metrics((1, 1, 1))]
+        assert len(frontier(entries, objectives=AXES)) == 2
+
+    def test_key_extraction(self):
+        wrapped = [{"m": _metrics((1, 1, 1))}, {"m": _metrics((2, 2, 2))}]
+        front = frontier(wrapped, objectives=AXES, key=lambda w: w["m"])
+        assert front == [wrapped[0]]

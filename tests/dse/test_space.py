@@ -1,0 +1,119 @@
+"""Design-point/space semantics and the paper preset grid."""
+
+import json
+
+import pytest
+
+from repro.dse import DesignPoint, DesignSpace, preset
+from repro.dse.space import (
+    PAPER_POINT_KINDS,
+    PAPER_SMOKE_KERNELS,
+    PAPER_SMOKE_KINDS,
+    paper_point,
+    paper_space,
+)
+from repro.errors import DseError
+from repro.kernels.suite import EVAL_CONFIGS
+
+
+class TestDesignPoint:
+    def test_defaults_and_name(self):
+        point = DesignPoint(kernels=("matrix_add_i32",))
+        assert point.config == "trimmed"
+        assert point.name == "matrix_add_i32/trimmed/1cu"
+
+    def test_name_encodes_shape(self):
+        point = DesignPoint(kernels=("a", "b"), config="baseline",
+                            num_cus=2, extra_valus=1, datapath_bits=8)
+        assert point.name == "a+b/baseline/2cu+1v/8b"
+
+    def test_string_kernel_is_wrapped(self):
+        assert DesignPoint(kernels="foo").kernels == ("foo",)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"kernels": ()},
+        {"kernels": ("k",), "config": "warped"},
+        {"kernels": ("k",), "num_cus": 0},
+        {"kernels": ("k",), "num_cus": 99},
+        {"kernels": ("k",), "extra_valus": -1},
+        {"kernels": ("k",), "extra_valus": 4},
+        {"kernels": ("k",), "datapath_bits": 12},
+        {"kernels": ("k",), "max_groups": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(DseError):
+            DesignPoint(**kwargs)
+
+    def test_round_trip(self):
+        point = DesignPoint(kernels=("a", "b"), config="trimmed",
+                            num_cus=3, extra_valus=2, max_groups=7,
+                            tag="x")
+        rebuilt = DesignPoint.from_dict(
+            json.loads(json.dumps(point.to_dict())))
+        assert rebuilt == point
+
+    def test_content_key_excludes_tag(self):
+        a = DesignPoint(kernels=("k",), tag="fig6")
+        b = DesignPoint(kernels=("k",), tag="fig7")
+        c = DesignPoint(kernels=("k",), num_cus=2)
+        assert a.content_key() == b.content_key()
+        assert a.content_key() != c.content_key()
+
+
+class TestDesignSpace:
+    def test_subset_and_grid(self):
+        space = DesignSpace.grid("g", kernel_sets=["a", "b"],
+                                 cus=(1, 2), extra_valus=(0,))
+        assert len(space) == 2 * 2 * 2  # kernels x configs x cus
+        only_a = space.subset(kernels=["a"])
+        assert all(p.kernels == ("a",) for p in only_a)
+        assert len(space.subset(limit=3)) == 3
+
+    def test_round_trip(self):
+        space = DesignSpace.grid("g", kernel_sets=["a"], cus=(1, 2))
+        rebuilt = DesignSpace.from_dict(
+            json.loads(json.dumps(space.to_dict())))
+        assert rebuilt == space
+        assert rebuilt.content_key() == space.content_key()
+
+
+class TestPaperPreset:
+    """The ``paper`` preset must enumerate exactly the Figs 6-8 grid."""
+
+    def test_full_grid_shape(self):
+        space = paper_space()
+        assert len(space) == len(EVAL_CONFIGS) * len(PAPER_POINT_KINDS)
+        # per benchmark: the three generations, the trim, both
+        # re-investments -- in figure order
+        per_kernel = [p for p in space if p.kernels == ("matrix_add_i32",)]
+        assert [p.tag for p in per_kernel] == [
+            "fig6:original", "fig6:dcd", "fig6:baseline", "fig6:trimmed",
+            "fig7a:multicore", "fig7b:multithread"]
+
+    def test_reinvestment_shapes_match_paper(self):
+        # Section 4.2: 3 CUs / 4 INT VALUs for integer kernels,
+        # 2 CUs / +3 FP VALUs for floating-point, 4 CUs for INT8 NIN.
+        assert paper_point("matrix_add_i32", "multicore").num_cus == 3
+        assert paper_point("matrix_add_i32", "multithread").extra_valus == 3
+        assert paper_point("matrix_mul_f32", "multicore").num_cus == 2
+        assert paper_point("matrix_mul_f32", "multithread").extra_valus == 2
+        assert paper_point("nin_i8", "multicore").num_cus == 4
+
+    def test_smoke_preset_is_2x4(self):
+        space = preset("paper", smoke=True)
+        assert space.name == "paper-smoke"
+        assert len(space) == 8
+        assert space.kernel_sets == [(k,) for k in PAPER_SMOKE_KERNELS]
+        tags = {p.tag.split(":", 1)[1] for p in space}
+        assert tags == set(PAPER_SMOKE_KINDS)
+
+    def test_unknown_preset_and_kernel(self):
+        with pytest.raises(DseError):
+            preset("imaginary")
+        with pytest.raises(DseError):
+            paper_point("no_such_kernel", "trimmed")
+
+    def test_extended_preset_enumerates_cartesian(self):
+        space = preset("extended", kernels=["matrix_add_i32"])
+        # 2 configs x 4 CU counts x 4 VALU growths
+        assert len(space) == 2 * 4 * 4

@@ -1,0 +1,73 @@
+"""Result-store semantics: keying, round trips, corruption handling."""
+
+import os
+
+import pytest
+
+from repro.dse import DesignPoint, ResultStore, evaluation_key
+from repro.dse.store import STORE_SCHEMA
+from repro.errors import DseError
+
+POINT = DesignPoint(kernels=("matrix_add_i32",))
+
+
+class TestEvaluationKey:
+    def test_policy_changes_the_key(self):
+        base = evaluation_key(POINT, False, None, 1.0)
+        assert evaluation_key(POINT, True, None, 1.0) != base
+        assert evaluation_key(POINT, False, 4, 1.0) != base
+        assert evaluation_key(POINT, False, None, 0.9) != base
+
+    def test_tag_does_not_change_the_key(self):
+        tagged = DesignPoint(kernels=("matrix_add_i32",), tag="fig6")
+        assert evaluation_key(tagged, False, None, 1.0) == \
+            evaluation_key(POINT, False, None, 1.0)
+
+
+class TestResultStore:
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        key = evaluation_key(POINT, False, None, 1.0)
+        assert key not in store
+        store.put(key, {"result": {"value": 42}})
+        assert key in store
+        assert store.get(key)["result"] == {"value": 42}
+        assert store.get(key)["schema"] == STORE_SCHEMA
+        assert store.keys() == [key]
+        assert len(store) == 1
+
+    def test_missing_is_none(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        assert store.get("0" * 64) is None
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        key = "a" * 64
+        path = os.path.join(str(tmp_path), key + ".json")
+        with open(path, "w") as handle:
+            handle.write("{ truncated")
+        assert store.get(key) is None
+        assert not os.path.exists(path)
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        key = "b" * 64
+        store.put(key, {"result": {}})
+        payload = store.get(key)
+        assert payload is not None
+        with open(os.path.join(str(tmp_path), key + ".json"), "w") as handle:
+            handle.write('{"schema": 999, "result": {}}')
+        assert store.get(key) is None
+
+    def test_malformed_key_rejected(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        with pytest.raises(DseError):
+            store.get("../escape")
+        with pytest.raises(DseError):
+            store.put("short", {})
+
+    def test_clear(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.put("c" * 64, {})
+        store.clear()
+        assert len(store) == 0
