@@ -27,7 +27,7 @@ from .baselines import (
 )
 from .dse import DSE_BASELINE_FILE, bench_dse
 from .harness import Measurement, measure, percentile
-from .service import SERVICE_BASELINE_FILE, bench_service
+from .service import SERVICE_BASELINE_FILE, bench_preemption, bench_service
 from .simulator import (
     BENCH_KERNELS,
     SIMULATOR_BASELINE_FILE,
@@ -40,6 +40,7 @@ __all__ = [
     "BENCH_KERNELS", "DSE_BASELINE_FILE", "Measurement",
     "REGRESSION_THRESHOLD", "Regression", "SERVICE_BASELINE_FILE",
     "SIMULATOR_BASELINE_FILE", "SMOKE_KERNELS", "bench_dse",
-    "bench_kernel", "bench_service", "bench_simulator", "compare_reports",
+    "bench_kernel", "bench_preemption", "bench_service", "bench_simulator",
+    "compare_reports",
     "load_baseline", "measure", "percentile", "write_baseline",
 ]

@@ -36,6 +36,7 @@ _METRICS = {
     "jobs_per_second": (True, False),
     "points_per_second": (True, False),
     "resume_speedup": (True, False),
+    "short_latency_speedup": (True, False),
     "wall_reference_s": (False, False),
     "wall_fast_s": (False, False),
     "latency_p50_s": (False, False),

@@ -45,6 +45,7 @@ from .core.histogram import InstructionMix
 from .core.parallelize import plan as plan_parallelism
 from .core.trimmer import TrimmingTool
 from .errors import ReproError
+from .exec import ENGINE_NAMES
 from .fpga.synthesis import Synthesizer
 from .obs.serialize import dump_json
 
@@ -190,11 +191,12 @@ def cmd_run(args):
         # pays the decode/prepare caches), then --repeat timed runs;
         # the median is reported.  Simulated metrics come from the
         # final run (they are deterministic across runs).
-        flow.run(arch, verify=not args.no_verify)
+        flow.run(arch, verify=not args.no_verify, engine=args.engine)
         samples = []
         for _ in range(args.repeat):
             started = time.perf_counter()
-            results[label] = flow.run(arch, verify=not args.no_verify)
+            results[label] = flow.run(arch, verify=not args.no_verify,
+                                      engine=args.engine)
             samples.append(time.perf_counter() - started)
         walls[label] = sorted(samples)[len(samples) // 2]
     reference = results[wanted[0]]
@@ -483,6 +485,9 @@ def build_parser():
                    choices=("original", "dcd", "baseline", "trimmed",
                             "multicore", "multithread"))
     p.add_argument("--max-groups", type=int, default=None)
+    p.add_argument("--engine", default="auto", choices=ENGINE_NAMES,
+                   help="launch engine for every config (default auto: "
+                        "resolves per board)")
     p.add_argument("--no-verify", action="store_true")
     p.add_argument("--json", action="store_true",
                    help="emit RunMetrics (incl. energy_joules, edp, ipj) "
@@ -580,8 +585,7 @@ def build_parser():
                    choices=("original", "dcd", "baseline", "trimmed",
                             "multicore", "multithread"),
                    help="architecture for the default suite jobs")
-    p.add_argument("--engine", default="auto",
-                   choices=("auto", "reference", "fast", "parallel"),
+    p.add_argument("--engine", default="auto", choices=ENGINE_NAMES,
                    help="launch engine for the default suite jobs "
                         "(default auto)")
     p.add_argument("--no-verify", action="store_true")

@@ -92,6 +92,34 @@ class LaunchError(ReproError):
     """The runtime was given an invalid kernel launch configuration."""
 
 
+class CheckpointError(ReproError):
+    """A board checkpoint could not be captured, verified or restored
+    (digest mismatch, board-key mismatch, or malformed payload)."""
+
+
+class LaunchPreempted(Exception):
+    """Control-flow signal: a launch yielded at a slice boundary.
+
+    Deliberately *not* a :class:`ReproError` -- preemption is not a
+    failure, and error-handling paths that catch ``ReproError`` (the
+    service worker, ``execute_many``) must never swallow it.  The
+    :class:`~repro.exec.Executor` converts it into a ``PREEMPTED``
+    :class:`~repro.exec.ExecutionResult` carrying a
+    :class:`~repro.exec.checkpoint.BoardCheckpoint`; the paused launch
+    state stays on the board until it is checkpointed or reset.
+    """
+
+    def __init__(self, kernel, executed_groups, total_groups, instructions):
+        super().__init__(
+            "launch of {!r} preempted after {}/{} workgroups "
+            "({} instructions)".format(kernel, executed_groups,
+                                       total_groups, instructions))
+        self.kernel = kernel
+        self.executed_groups = executed_groups
+        self.total_groups = total_groups
+        self.instructions = instructions
+
+
 class ServiceError(ReproError):
     """The kernel-execution service could not process a request."""
 

@@ -18,16 +18,21 @@ See ``docs/execution.md`` for the request -> result lifecycle and the
 lease semantics.
 """
 
+from .checkpoint import (STATUS_DONE, STATUS_PREEMPTED, BoardCheckpoint,
+                         CheckpointWorkload, PreemptedResult)
 from .executor import ExecutionResult, Executor, default_executor, execute
 from .lease import (DEFAULT_GLOBAL_MEM, MAX_WARM_BOARDS, BoardLease,
                     BoardPool, board_key, config_key)
 from .microbench import run_microbench
-from .request import (BenchmarkWorkload, ExecutionRequest, ProgramWorkload,
-                      WorkloadRun)
+from .request import (ENGINE_NAMES, BenchmarkWorkload, ExecutionRequest,
+                      ProgramWorkload, WorkloadRun, validate_engine)
 
 __all__ = [
     "ExecutionRequest", "ExecutionResult", "Executor",
     "BenchmarkWorkload", "ProgramWorkload", "WorkloadRun",
+    "CheckpointWorkload", "BoardCheckpoint", "PreemptedResult",
+    "STATUS_DONE", "STATUS_PREEMPTED",
+    "ENGINE_NAMES", "validate_engine",
     "BoardPool", "BoardLease", "board_key", "config_key",
     "DEFAULT_GLOBAL_MEM", "MAX_WARM_BOARDS",
     "default_executor", "execute", "run_microbench",

@@ -28,11 +28,13 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..errors import LaunchPreempted
 from ..fpga.synthesis import Synthesizer
 from ..obs.serialize import SerializableMixin
 from ..runtime.metrics import RunMetrics
+from .checkpoint import STATUS_DONE, STATUS_PREEMPTED, PreemptedResult
 from .lease import BoardPool, config_key
-from .request import ExecutionRequest
+from .request import ExecutionRequest, WorkloadRun
 
 
 @dataclass
@@ -61,6 +63,13 @@ class ExecutionResult(SerializableMixin):
     registers: Optional[dict] = None
     memory_stats: Dict[str, int] = field(default_factory=dict)
     ctx: object = None
+    #: ``STATUS_DONE``, or ``STATUS_PREEMPTED`` when the run yielded at
+    #: a slice boundary -- then ``preempted`` carries the
+    #: :class:`~repro.exec.checkpoint.PreemptedResult` envelope
+    #: (progress counters + the resume checkpoint) and the
+    #: outputs/digests are absent.
+    status: str = STATUS_DONE
+    preempted: Optional[PreemptedResult] = None
 
     def to_dict(self):
         out = {
@@ -71,9 +80,12 @@ class ExecutionResult(SerializableMixin):
             "engine": self.engine,
             "warm_board": self.warm_board,
             "digests": dict(self.digests),
+            "status": self.status,
         }
         if self.counters is not None:
             out["counters"] = self.counters.to_dict()
+        if self.preempted is not None:
+            out["preempted"] = self.preempted.to_dict()
         return out
 
 
@@ -86,7 +98,10 @@ class Executor:
     """
 
     def __init__(self, pool=None, synthesizer=None):
-        self.pool = pool or BoardPool()
+        # Not ``pool or BoardPool()``: an *empty* pool is falsy (it has
+        # __len__), and silently swapping a caller's pool for a private
+        # one breaks eviction/warm-provenance guarantees.
+        self.pool = pool if pool is not None else BoardPool()
         self.synthesizer = synthesizer or Synthesizer()
         self._reports = {}
         self._lock = threading.Lock()
@@ -142,13 +157,26 @@ class Executor:
     def execute(self, request: ExecutionRequest) -> ExecutionResult:
         workload = request.resolve_workload()
         arch = request.resolve_arch()
+        # A resume leases by the checkpoint's board identity (arch,
+        # memory size, instruction cap), not the request's defaults --
+        # the board the run continues on must share the content key of
+        # the one it was preempted on.
+        if request.checkpoint is not None:
+            global_mem_size = request.checkpoint.global_mem_size
+            max_instructions = request.checkpoint.max_instructions
+        else:
+            global_mem_size = request.global_mem_size
+            max_instructions = request.max_instructions
         with self.pool.lease(arch,
-                             global_mem_size=request.global_mem_size,
-                             max_instructions=request.max_instructions
+                             global_mem_size=global_mem_size,
+                             max_instructions=max_instructions
                              ) as lease:
             board = lease.board
             board.max_groups = request.max_groups
             board.gpu.default_engine = request.engine
+            board.slice_instructions = request.max_slice_instructions
+            if request.checkpoint is not None:
+                lease.restore(request.checkpoint)
 
             attached = []
             counters = None
@@ -167,12 +195,19 @@ class Executor:
             attached.extend(request.observers)
             for observer in attached:
                 board.attach(observer)
+            paused_frame = None
             try:
                 if request.numpy_errstate is not None:
                     with np.errstate(all=request.numpy_errstate):
                         run = workload.run(board, request)
                 else:
                     run = workload.run(board, request)
+            except LaunchPreempted:
+                # Slice budget hit: the launch parked itself as
+                # ``gpu.paused``.  Not an error -- capture a checkpoint
+                # below and hand back a PREEMPTED envelope.
+                paused_frame = board.gpu.paused
+                run = WorkloadRun()
             finally:
                 for observer in attached:
                     board.detach(observer)
@@ -198,6 +233,20 @@ class Executor:
             report = request.report or self.synthesize(arch)
             label = request.label or "{}@{}".format(workload.describe(),
                                                     arch.describe())
+            status, preempted = STATUS_DONE, None
+            engine = launches[-1].engine if launches else None
+            if paused_frame is not None:
+                status = STATUS_PREEMPTED
+                engine = paused_frame.engine
+                preempted = PreemptedResult(
+                    checkpoint=lease.checkpoint(),
+                    label=label,
+                    kernel=paused_frame.program.name,
+                    instructions=paused_frame.instructions,
+                    groups_executed=paused_frame.executed_groups,
+                    groups_total=paused_frame.total_groups,
+                    engine=paused_frame.engine,
+                )
             metrics = RunMetrics(
                 label=label,
                 seconds=board.elapsed_seconds,
@@ -212,7 +261,7 @@ class Executor:
                 seconds=board.elapsed_seconds,
                 instructions=board.instructions,
                 cu_cycles=board.elapsed_cu_cycles,
-                engine=launches[-1].engine if launches else None,
+                engine=engine,
                 warm_board=lease.warm,
                 board_key=lease.key,
                 launches=launches,
@@ -223,6 +272,8 @@ class Executor:
                 registers=registers,
                 memory_stats=dict(board.gpu.memory.stats),
                 ctx=run.ctx,
+                status=status,
+                preempted=preempted,
             )
         return result
 

@@ -82,12 +82,42 @@ class BoardLease:
     ``warm`` records whether the board was reused from the pool (after
     :meth:`SoftGpu.reset`) or constructed cold for this lease -- the
     board-provenance bit every :class:`~repro.exec.ExecutionResult`
-    reports.
+    reports.  ``max_instructions`` is the per-CU cap the board was
+    leased with (part of its content key; checkpoints record it).
     """
 
     board: object
     key: str
     warm: bool
+    max_instructions: object = None
+
+    def checkpoint(self):
+        """Capture this board's state as a serializable, digest-
+        verified :class:`~repro.exec.checkpoint.BoardCheckpoint` --
+        including the paused launch frame when the board was preempted
+        mid-launch."""
+        from .checkpoint import BoardCheckpoint
+
+        return BoardCheckpoint.capture(self.board,
+                                       max_instructions=self.max_instructions)
+
+    def restore(self, cp):
+        """Restore a checkpoint onto this leased board.
+
+        The checkpoint's board key must equal the lease's -- same
+        architecture semantics, memory size and instruction cap -- but
+        the *board* may be any instance with that key (fresh, reset or
+        evicted-and-rebuilt): checkpoints are board-independent.
+        Raises :class:`~repro.errors.CheckpointError` otherwise.
+        """
+        from ..errors import CheckpointError
+
+        if cp.board_key() != self.key:
+            raise CheckpointError(
+                "checkpoint board key {}.. does not match the leased "
+                "board {}.. (arch/memory/cap differ)".format(
+                    cp.board_key()[:12], self.key[:12]))
+        return cp.apply(self.board)
 
 
 class BoardPool:
@@ -134,7 +164,8 @@ class BoardPool:
                     cu.max_instructions = max_instructions
         with self._lock:
             self.leases["warm" if warm else "cold"] += 1
-        handle = BoardLease(board=board, key=key, warm=warm)
+        handle = BoardLease(board=board, key=key, warm=warm,
+                            max_instructions=max_instructions)
         try:
             yield handle
         finally:
@@ -143,6 +174,7 @@ class BoardPool:
     def _release(self, handle):
         board = handle.board
         board.max_groups = None
+        board.slice_instructions = None
         board.gpu.default_engine = None
         for observer in list(board.observers):
             board.detach(observer)

@@ -7,7 +7,7 @@ size, and observation/verification policy.  The
 :class:`~repro.exec.executor.Executor` resolves a request into an
 :class:`~repro.exec.executor.ExecutionResult`.
 
-Two workload shapes cover every caller:
+Three workload shapes cover every caller:
 
 * :class:`BenchmarkWorkload` -- an application from the kernel
   registry (by name + constructor params, which keeps the request
@@ -16,6 +16,8 @@ Two workload shapes cover every caller:
 * :class:`ProgramWorkload` -- one raw assembled kernel plus its
   NDRange and input/output buffers; the shape the fuzz oracles and
   host templates use.
+* ``checkpoint=`` -- a :class:`~repro.exec.checkpoint.BoardCheckpoint`
+  to restore and resume; the shape a preempted run comes back as.
 """
 
 from __future__ import annotations
@@ -29,6 +31,33 @@ from ..core.config import ArchConfig
 from ..errors import LaunchError
 from ..soc.gpu import ENGINES, HEAP_BASE
 from .lease import DEFAULT_GLOBAL_MEM
+
+#: The one engine-selection registry: every surface that accepts an
+#: engine name -- :class:`ExecutionRequest.engine`,
+#: :class:`repro.service.Job.engine`, ``repro serve --engine``,
+#: ``repro run --engine`` -- validates against this tuple.  ``auto``
+#: resolves per board (see :meth:`repro.soc.gpu.Gpu._resolve_engine`).
+ENGINE_NAMES = ("auto",) + ENGINES
+
+
+def validate_engine(engine, none_ok=True, error=LaunchError):
+    """Check one engine name against :data:`ENGINE_NAMES`.
+
+    ``None`` is accepted (as ``auto``) unless ``none_ok`` is False;
+    ``error`` picks the exception type so admission-control surfaces
+    can raise :class:`~repro.errors.AdmissionError` instead.  Returns
+    the name unchanged.
+    """
+    if engine is None:
+        if none_ok:
+            return engine
+        raise error("an engine name is required (one of {})".format(
+            ", ".join(ENGINE_NAMES)))
+    if engine not in ENGINE_NAMES:
+        raise error(
+            "unknown launch engine {!r} (expected one of {})".format(
+                engine, ", ".join(ENGINE_NAMES)))
+    return engine
 
 
 @dataclass
@@ -127,6 +156,10 @@ class ExecutionRequest:
     benchmark: Optional[str] = None
     params: Mapping[str, object] = field(default_factory=dict)
     workload: Optional[object] = None
+    #: Resume source: a :class:`~repro.exec.checkpoint.BoardCheckpoint`
+    #: (counts as the request's one workload; ``arch``,
+    #: ``global_mem_size`` and ``max_instructions`` then come from it).
+    checkpoint: Optional[object] = None
     arch: Optional[ArchConfig] = None
     engine: Optional[str] = None
     max_groups: Optional[int] = None
@@ -140,29 +173,40 @@ class ExecutionRequest:
     capture_memory: bool = False
     digests: bool = False
     max_instructions: Optional[int] = None
+    #: Preemption budget: yield with a ``PREEMPTED`` result (carrying
+    #: a checkpoint) once a launch retires this many instructions.
+    max_slice_instructions: Optional[int] = None
     numpy_errstate: Optional[str] = None
     report: Optional[object] = None
     label: str = ""
 
     def __post_init__(self):
-        if (self.workload is None) == (self.benchmark is None):
+        sources = sum(source is not None for source in
+                      (self.benchmark, self.workload, self.checkpoint))
+        if sources != 1:
             raise LaunchError(
-                "an execution request names exactly one of 'benchmark' "
-                "or 'workload'")
-        if self.engine not in (None, "auto") and self.engine not in ENGINES:
-            raise LaunchError(
-                "unknown launch engine {!r} (expected one of auto, {})"
-                .format(self.engine, ", ".join(ENGINES)))
+                "an execution request names exactly one of 'benchmark', "
+                "'workload' or 'checkpoint'")
+        validate_engine(self.engine)
         if self.global_mem_size <= HEAP_BASE:
             raise LaunchError(
                 "global_mem_size must exceed the heap base (0x{:x})"
                 .format(HEAP_BASE))
+        if (self.max_slice_instructions is not None
+                and self.max_slice_instructions < 1):
+            raise LaunchError("max_slice_instructions must be >= 1")
 
     def resolve_workload(self):
+        if self.checkpoint is not None:
+            from .checkpoint import CheckpointWorkload
+
+            return CheckpointWorkload(self.checkpoint)
         if self.workload is not None:
             return self.workload
         return BenchmarkWorkload(name=self.benchmark,
                                  params=dict(self.params))
 
     def resolve_arch(self):
+        if self.checkpoint is not None:
+            return self.checkpoint.arch
         return self.arch or ArchConfig.baseline()

@@ -25,8 +25,8 @@ detaches before the board returns to the pool)::
                              observers=(counters,)))
     print(counters.render())
 
-The old ``SoftGpu.attach_tracer`` entry point survives as a deprecated
-alias of ``attach``.
+``SoftGpu.attach``/``detach`` is the only attachment surface; the
+pre-obs ``attach_tracer`` entry point has been removed.
 """
 
 from __future__ import annotations

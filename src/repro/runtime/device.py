@@ -28,7 +28,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.config import ArchConfig
-from ..errors import LaunchError
+from ..errors import LaunchError, ReproError
 from ..soc.gpu import CB1_BASE, CB1_SIZE, HEAP_BASE, Gpu
 from .buffers import Buffer, HeapAllocator
 
@@ -41,6 +41,9 @@ class SoftGpu:
         self.gpu = Gpu(self.arch, global_mem_size=global_mem_size)
         self.heap = HeapAllocator(global_mem_size - HEAP_BASE)
         self.max_groups = max_groups
+        #: Default preemption budget for :meth:`run`/:meth:`resume`
+        #: (instructions per slice); the executor sets it per lease.
+        self.slice_instructions = None
 
     # -- memory ----------------------------------------------------------
 
@@ -139,18 +142,39 @@ class SoftGpu:
                 CB1_BASE, np.asarray(dwords, dtype=np.uint32))
 
     def run(self, program, global_size, local_size, args=(), max_groups=None,
-            engine=None, collect_registers=False):
+            engine=None, collect_registers=False,
+            max_slice_instructions=None):
         """Set arguments and launch; returns the :class:`LaunchResult`.
 
         ``engine`` selects the launch engine (see
         :data:`repro.soc.gpu.ENGINES`); ``collect_registers`` captures
         final wavefront state on the result.
+        ``max_slice_instructions`` (default: the board's
+        :attr:`slice_instructions`) makes the launch yield at the next
+        workgroup boundary after that many instructions by raising
+        :class:`~repro.errors.LaunchPreempted`; continue with
+        :meth:`resume` or checkpoint the board.
         """
         self.set_args(list(args))
         groups = self.max_groups if max_groups is None else max_groups
+        budget = (self.slice_instructions if max_slice_instructions is None
+                  else max_slice_instructions)
         return self.gpu.launch(program, global_size, local_size,
                                max_groups=groups, engine=engine,
-                               collect_registers=collect_registers)
+                               collect_registers=collect_registers,
+                               max_slice_instructions=budget)
+
+    def resume(self, max_slice_instructions=None):
+        """Continue a preempted launch; returns its LaunchResult.
+
+        Works on the board that was preempted or on any board a
+        checkpoint of it was restored onto.  May preempt again under
+        the slice budget (default: the board's
+        :attr:`slice_instructions`).
+        """
+        budget = (self.slice_instructions if max_slice_instructions is None
+                  else max_slice_instructions)
+        return self.gpu.resume_launch(max_slice_instructions=budget)
 
     # -- host phases --------------------------------------------------------
 
@@ -181,18 +205,17 @@ class SoftGpu:
         return self.gpu.observers
 
     def attach_tracer(self, tracer):
-        """Deprecated alias of :meth:`attach` (pre-obs API).
+        """Removed pre-obs API; raises with the migration path.
 
-        .. deprecated::
-            Use ``device.attach(tracer)``; this alias will be removed.
+        The deprecation cycle is complete: ``attach_tracer`` was an
+        alias of :meth:`attach` for one release and now fails loudly
+        instead of silently drifting from the observer registry.
         """
-        import warnings
-
-        warnings.warn(
-            "SoftGpu.attach_tracer is deprecated; use "
-            "SoftGpu.attach(observer) instead",
-            DeprecationWarning, stacklevel=2)
-        return self.attach(tracer)
+        raise ReproError(
+            "SoftGpu.attach_tracer was removed; migrate to "
+            "device.attach(observer) / device.detach(observer) -- any "
+            "repro.obs.Observer (ExecutionTracer, PerfCounters, "
+            "ChromeTrace) attaches the same way")
 
     # -- timeline ------------------------------------------------------------
 

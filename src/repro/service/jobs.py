@@ -23,11 +23,14 @@ from typing import Dict, Optional
 
 from ..core.config import ArchConfig
 from ..errors import AdmissionError
+from ..exec import ENGINE_NAMES, validate_engine
 from ..runtime.metrics import RunMetrics
-from ..soc.gpu import ENGINES, HEAP_BASE
+from ..soc.gpu import HEAP_BASE
 
-#: Launch engines a job may request; ``auto`` resolves per board.
-ENGINE_SPECS = ("auto",) + ENGINES
+#: Launch engines a job may request; the service shares the one
+#: registry of :mod:`repro.exec` (kept under its historical name for
+#: existing importers).
+ENGINE_SPECS = ENGINE_NAMES
 
 #: Architecture specifications a job may name.  The first three are
 #: fixed generations; the last three are derived per application by
@@ -81,8 +84,12 @@ class Job:
     retries: int = 0
     tag: str = ""
     profile: bool = False             # attach PerfCounters in the worker
-    engine: str = "auto"              # launch engine (see ENGINE_SPECS)
+    engine: str = "auto"              # launch engine (see ENGINE_NAMES)
     global_mem_size: Optional[int] = None  # board global-memory bytes
+    #: Preemption budget: the job yields a checkpoint and returns to
+    #: the queue every time a launch retires this many instructions,
+    #: letting shorter, higher-priority jobs jump in on the warm board.
+    slice_instructions: Optional[int] = None
 
     def __post_init__(self):
         if self.arch is not None and not isinstance(self.arch, ArchConfig):
@@ -96,15 +103,15 @@ class Job:
             raise AdmissionError("negative retry budget")
         if self.timeout_s is not None and self.timeout_s <= 0:
             raise AdmissionError("timeout_s must be positive")
-        if self.engine not in ENGINE_SPECS:
-            raise AdmissionError(
-                "unknown launch engine {!r}; expected one of {}".format(
-                    self.engine, ", ".join(ENGINE_SPECS)))
+        validate_engine(self.engine, none_ok=False, error=AdmissionError)
         if self.global_mem_size is not None \
                 and self.global_mem_size <= HEAP_BASE:
             raise AdmissionError(
                 "global_mem_size must exceed the heap base (0x{:x})"
                 .format(HEAP_BASE))
+        if self.slice_instructions is not None \
+                and self.slice_instructions < 1:
+            raise AdmissionError("slice_instructions must be >= 1")
 
     def describe(self):
         target = (self.arch.describe() if self.arch is not None
@@ -131,6 +138,9 @@ class JobResult:
     metrics: Optional[RunMetrics] = None
     error: str = ""
     attempts: int = 1
+    #: Times the job was preempted at a slice boundary and requeued
+    #: (resume dispatches are not attempts: preemption is progress).
+    preemptions: int = 0
     latency_s: float = 0.0
     worker: Optional[int] = None      # worker pid (process mode)
     warm_board: bool = False          # reused a pooled SoftGpu
@@ -150,6 +160,7 @@ class JobResult:
             "tag": self.job.tag,
             "status": self.status.value,
             "attempts": self.attempts,
+            "preemptions": self.preemptions,
             "latency_s": self.latency_s,
             "worker": self.worker,
             "warm_board": self.warm_board,
@@ -209,7 +220,7 @@ def load_jobs(source):
         unknown = set(entry) - {
             "benchmark", "params", "config", "priority", "max_groups",
             "verify", "timeout_s", "retries", "tag", "profile",
-            "engine", "global_mem_size", "arch"}
+            "engine", "global_mem_size", "arch", "slice_instructions"}
         if unknown:
             raise AdmissionError(
                 "job entry {}: unknown fields {}".format(i, sorted(unknown)))

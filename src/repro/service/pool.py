@@ -36,7 +36,8 @@ from typing import Dict, Optional
 
 from ..core.config import ArchConfig
 from ..errors import ReproError, ServiceError
-from ..exec import MAX_WARM_BOARDS, ExecutionRequest, Executor
+from ..exec import (MAX_WARM_BOARDS, STATUS_PREEMPTED, ExecutionRequest,
+                    Executor, PreemptedResult)
 
 __all__ = ["JobPayload", "WorkerPool", "MAX_WARM_BOARDS"]
 
@@ -55,8 +56,24 @@ class JobPayload:
     profile: bool = False
     engine: str = "auto"
     global_mem_size: Optional[int] = None
+    #: Preemption budget (instructions per slice), if the job is sliced.
+    slice_instructions: Optional[int] = None
+    #: A ``PreemptedResult.to_dict()`` envelope when this dispatch
+    #: resumes an earlier slice; the request then restores the carried
+    #: checkpoint instead of starting the benchmark over.
+    resume: Optional[Dict[str, object]] = None
 
     def to_request(self) -> ExecutionRequest:
+        if self.resume is not None:
+            envelope = PreemptedResult.from_dict(self.resume)
+            return ExecutionRequest(
+                checkpoint=envelope.checkpoint,
+                engine=self.engine,
+                verify=False,
+                profile=self.profile,
+                digests=True,
+                max_slice_instructions=self.slice_instructions,
+                label=envelope.label)
         kwargs = {}
         if self.global_mem_size is not None:
             kwargs["global_mem_size"] = self.global_mem_size
@@ -69,6 +86,7 @@ class JobPayload:
             verify=self.verify,
             profile=self.profile,
             digests=True,
+            max_slice_instructions=self.slice_instructions,
             **kwargs)
 
 
@@ -76,6 +94,16 @@ def _run_payload(executor: Executor, payload: JobPayload):
     """Execute one payload on ``executor``; returns a picklable dict."""
     try:
         result = executor.execute(payload.to_request())
+        if result.status == STATUS_PREEMPTED:
+            return {
+                "ok": True,
+                "preempted": True,
+                "job_id": payload.job_id,
+                "envelope": result.preempted.to_dict(),
+                "worker": os.getpid(),
+                "warm_board": result.warm_board,
+                "engine": result.engine,
+            }
         out = {
             "ok": True,
             "job_id": payload.job_id,

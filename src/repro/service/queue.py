@@ -65,6 +65,26 @@ class BoundedJobQueue:
             self.depth_highwater = max(self.depth_highwater, len(self._heap))
             self._not_empty.notify()
 
+    def requeue(self, item, priority=0, batch_key=""):
+        """Re-enqueue a preempted item, bypassing the capacity bound.
+
+        Completion callbacks requeue preempted jobs after releasing
+        their in-flight slot; blocking on a full queue there would
+        deadlock the dispatcher, and rejecting would lose a job the
+        service already admitted -- so a requeue always fits (the item
+        held queue capacity once; letting the depth transiently exceed
+        the bound is the lesser evil).  Returns ``False`` when the
+        queue is closed (the caller settles the job as cancelled).
+        """
+        with self._lock:
+            if self._closed:
+                return False
+            heapq.heappush(self._heap,
+                           (priority, batch_key, next(self._seq), item))
+            self.depth_highwater = max(self.depth_highwater, len(self._heap))
+            self._not_empty.notify()
+            return True
+
     # -- consumer side -----------------------------------------------------
 
     def get(self, block=True, timeout=None):

@@ -56,6 +56,11 @@ class _Ticket:
         self.report = report
         self.config_key = key
         self.attempts = 0
+        self.preemptions = 0
+        #: PreemptedResult.to_dict() of the latest slice; the next
+        #: dispatch resumes from its checkpoint instead of restarting.
+        self.resume_envelope = None
+        self.submitted = None
         self.started = None
         self.future = None
         self.timer = None
@@ -109,8 +114,18 @@ class KernelService:
         # Warm the prepared-program cache at admission: the worker's
         # launches then skip decode + plan construction for every
         # kernel of this application (repeat submissions hit).
-        for program in bench.programs():
+        programs = bench.programs()
+        for program in programs:
             self.cache.prepared(program)
+
+        if job.slice_instructions is not None and len(programs) > 1:
+            # A checkpoint resumes the in-flight *launch*; host-side
+            # choreography after it (further kernels) is not replayed,
+            # so slicing is only sound for single-kernel applications.
+            raise AdmissionError(
+                "slice_instructions requires a single-kernel "
+                "application; {} has {} kernels".format(
+                    job.benchmark, len(programs)))
 
         if job.arch is not None:
             # Sweep fan-out: the caller fixed the architecture (a DSE
@@ -149,6 +164,7 @@ class KernelService:
             raise
         job_id = next_job_id()
         ticket = _Ticket(job_id, job, arch, report, key)
+        ticket.submitted = self._clock()
         with self._lock:
             self._tickets[job_id] = ticket
             self._order.append(job_id)
@@ -186,7 +202,10 @@ class KernelService:
                 self._dispatch(ticket)
 
     def _dispatch(self, ticket):
-        ticket.attempts += 1
+        # A resume continues work already under way: it does not
+        # consume an attempt (preemption is progress, not failure).
+        if ticket.resume_envelope is None:
+            ticket.attempts += 1
         if ticket.started is None:
             ticket.started = self._clock()
         payload = JobPayload(
@@ -200,6 +219,8 @@ class KernelService:
             profile=ticket.job.profile,
             engine=ticket.job.engine,
             global_mem_size=ticket.job.global_mem_size,
+            slice_instructions=ticket.job.slice_instructions,
+            resume=ticket.resume_envelope,
         )
         if ticket.job.timeout_s is not None and ticket.timer is None:
             ticket.timer = threading.Timer(
@@ -213,7 +234,11 @@ class KernelService:
     # -- completion --------------------------------------------------------
 
     def _latency(self, ticket):
-        return max(0.0, self._clock() - (ticket.started or self._clock()))
+        # Submission-to-settle: queue wait counts.  That is the number
+        # a latency SLO is about -- and the one preemptive time
+        # slicing improves for short jobs stuck behind a long run.
+        origin = ticket.submitted or ticket.started
+        return max(0.0, self._clock() - (origin or self._clock()))
 
     def _cancelled(self, ticket):
         return JobResult(ticket.job_id, ticket.job, JobStatus.CANCELLED,
@@ -233,6 +258,11 @@ class KernelService:
             outcome = future.result()
 
         if not outcome["ok"]:
+            if ticket.resume_envelope is not None:
+                # A failed *resume* consumes an attempt like any other
+                # failed run (only successful slices are free), so a
+                # persistently failing resume still exhausts retries.
+                ticket.attempts += 1
             if ticket.attempts <= ticket.job.retries:
                 self.stats.record_retry()
                 self._dispatch(ticket)
@@ -242,9 +272,29 @@ class KernelService:
                 error="{}: {}".format(outcome.get("error_type", "Error"),
                                       outcome.get("error", "")),
                 attempts=ticket.attempts,
+                preemptions=ticket.preemptions,
                 latency_s=self._latency(ticket),
                 worker=outcome.get("worker"),
                 warm_board=outcome.get("warm_board", False)))
+            return
+
+        if outcome.get("preempted"):
+            # The slice budget expired: the job made progress and comes
+            # back as a checkpoint envelope.  Release the in-flight
+            # slot *before* requeueing so a short high-priority job can
+            # jump in on the (now free, still warm) board, then put the
+            # ticket back at its job priority -- the resume may land on
+            # any worker (the checkpoint migrates across boards).
+            ticket.preemptions += 1
+            ticket.resume_envelope = outcome["envelope"]
+            self.stats.record_preemption()
+            if ticket.slot_held:
+                ticket.slot_held = False
+                self._inflight.release()
+            if not self.queue.requeue(ticket,
+                                      priority=ticket.job.priority,
+                                      batch_key=ticket.config_key):
+                self._settle(ticket, self._cancelled(ticket))
             return
 
         metrics = RunMetrics(
@@ -258,6 +308,7 @@ class KernelService:
             ticket.job_id, ticket.job, JobStatus.DONE,
             metrics=metrics,
             attempts=ticket.attempts,
+            preemptions=ticket.preemptions,
             latency_s=self._latency(ticket),
             worker=outcome.get("worker"),
             warm_board=outcome.get("warm_board", False),

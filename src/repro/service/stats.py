@@ -37,6 +37,7 @@ class ServiceStats(SerializableMixin):
         self.submitted = 0
         self.rejected = 0
         self.retries = 0
+        self.preemptions = 0
         self.by_status = {status: 0 for status in JobStatus}
         self.latencies = []
         self.simulated_seconds = 0.0
@@ -60,6 +61,13 @@ class ServiceStats(SerializableMixin):
     def record_retry(self):
         with self._lock:
             self.retries += 1
+
+    def record_preemption(self):
+        """One job yielded at a slice boundary and returned to the
+        queue (progress, not a failure -- tracked separately from
+        retries)."""
+        with self._lock:
+            self.preemptions += 1
 
     def record_result(self, result, cu_cycles=0.0):
         with self._lock:
@@ -120,6 +128,7 @@ class ServiceStats(SerializableMixin):
                 "submitted": self.submitted,
                 "rejected": self.rejected,
                 "retries": self.retries,
+                "preemptions": self.preemptions,
                 "status": {s.value: n for s, n in self.by_status.items()
                            if n},
                 "completed": self.completed,

@@ -28,13 +28,14 @@ import numpy as np
 
 from ..core.config import ArchConfig
 from ..cu.pipeline import ComputeUnit, CuRunStats
-from ..errors import LaunchError
+from ..errors import LaunchError, LaunchPreempted
 from ..mem.system import MemorySystem
 from ..obs.events import Span
 from ..obs.observer import ObserverHub
 from .clocks import DUAL_DOMAIN, SINGLE_DOMAIN
 from .dispatcher import Dispatcher, LaunchGeometry
 from .microblaze import MicroBlaze
+from .state import restore_timing, timing_state
 
 #: Fixed memory map of the board image.
 CB0_BASE = 0x100
@@ -97,6 +98,40 @@ class LaunchResult:
         return int(self.stats.instructions * scale)
 
 
+@dataclass
+class LaunchFrame:
+    """The resumable state of one in-flight serial launch.
+
+    Workgroups run to completion inside the CU model, so a launch only
+    ever pauses **at workgroup boundaries** -- the frame is the
+    wavefront scheduler's state between dispatches: which workgroups
+    are still pending, the per-CU and dispatcher free times, the
+    accumulated stats and (optionally) the architectural register
+    state of every retired wavefront.  ``now`` does not advance while
+    a launch is in flight, so a frame plus the board state is exactly
+    what a :class:`~repro.exec.checkpoint.BoardCheckpoint` serializes.
+    """
+
+    program: object
+    geometry: LaunchGeometry
+    engine: str
+    pending: list            # group ids not yet dispatched
+    dispatch_cost: float     # CU-domain cycles per workgroup dispatch
+    total_groups: int
+    sampled: bool
+    cu_free: list            # per-CU earliest-free time (absolute)
+    disp_free: float         # dispatcher earliest-free time (absolute)
+    end_time: float          # makespan so far (absolute)
+    stats: CuRunStats
+    executed_groups: int = 0
+    registers: object = None  # {} when collecting, else None
+
+    @property
+    def instructions(self):
+        """Instruction-count watermark: executed so far in this launch."""
+        return self.stats.instructions
+
+
 class Gpu:
     """One simulated board configuration, with a running timeline."""
 
@@ -130,6 +165,11 @@ class Gpu:
         self.now = 0.0  # board timeline, CU-domain cycles
         self.total_instructions = 0
         self.launches = []
+        #: The :class:`LaunchFrame` of a preempted launch, if any --
+        #: set when a sliced launch raises
+        #: :class:`~repro.errors.LaunchPreempted`, consumed by
+        #: :meth:`resume_launch`, cleared by :meth:`reset_timeline`.
+        self.paused = None
         #: Observer fan-out for the whole board.  ``self.obs`` (and the
         #: matching slots on every CU and the memory system) is None
         #: until an observer attaches, so unobserved simulation skips
@@ -189,6 +229,7 @@ class Gpu:
         self.now = 0.0
         self.total_instructions = 0
         self.launches = []
+        self.paused = None
         self.microblaze.reset()
         self.memory.reset_timing()
         for cu in self.cus:
@@ -249,30 +290,6 @@ class Gpu:
             return "reference"
         return engine
 
-    def _timing_snapshot(self):
-        mem = self.memory
-        return (
-            (mem.relay.busy_until, mem.relay.requests),
-            [(port.busy_until, port.requests) for port in mem._prefetch_ports],
-            dict(mem.stats),
-            [{unit: (list(pool.busy_until), pool.busy_cycles)
-              for unit, pool in cu.pools.items()} for cu in self.cus],
-        )
-
-    def _timing_restore(self, snap):
-        relay_state, port_states, stats, cu_states = snap
-        mem = self.memory
-        mem.relay.busy_until, mem.relay.requests = relay_state
-        for port, (busy, requests) in zip(mem._prefetch_ports, port_states):
-            port.busy_until = busy
-            port.requests = requests
-        mem.stats.update(stats)
-        for cu, pool_states in zip(self.cus, cu_states):
-            for unit, (busy, cycles) in pool_states.items():
-                pool = cu.pools[unit]
-                pool.busy_until = list(busy)
-                pool.busy_cycles = cycles
-
     def _parallel_worker(self, cu, jobs, program, geometry, results, errors,
                          err_settings):
         try:
@@ -313,7 +330,7 @@ class Gpu:
         results = [None] * len(group_ids)
         errors = [None] * num_cus
         mem_image = self.memory.global_mem.snapshot()
-        timing_snap = self._timing_snapshot()
+        timing_snap = timing_state(self)
         relay_before = self.memory.relay.requests
         err_settings = np.geterr()
         self.memory.concurrent = True
@@ -338,7 +355,7 @@ class Gpu:
                    or self.memory.relay.requests != relay_before)
         if anomaly:
             self.memory.global_mem.restore(mem_image)
-            self._timing_restore(timing_snap)
+            restore_timing(self, timing_snap)
             return None
         cu_free = [self.now] * num_cus
         disp_free = self.now
@@ -358,7 +375,8 @@ class Gpu:
         return end_time, stats
 
     def launch(self, program, global_size, local_size, max_groups=None,
-               engine=None, collect_registers=False):
+               engine=None, collect_registers=False,
+               max_slice_instructions=None):
         """Execute a kernel over an NDRange; returns a :class:`LaunchResult`.
 
         ``max_groups`` enables workgroup sampling: at most that many
@@ -371,10 +389,25 @@ class Gpu:
         on the result.  ``collect_registers`` captures every
         wavefront's final architectural state on the result (any
         engine), in the same format the verify recorder uses.
+
+        ``max_slice_instructions`` turns the launch into a time slice:
+        once that many instructions retire the launch yields at the
+        next workgroup boundary by raising
+        :class:`~repro.errors.LaunchPreempted`, leaving its
+        :class:`LaunchFrame` in :attr:`paused` for
+        :meth:`resume_launch` (or a checkpoint).  Slicing forces the
+        serial engines -- a ``parallel`` resolution falls back to
+        ``fast``, which is bit-identical anyway.
         """
         geometry = LaunchGeometry.of(global_size, local_size)
         if geometry.work_items_per_group > 64 * 40:
             raise LaunchError("workgroup exceeds the CU's 40-wavefront capacity")
+        if max_slice_instructions is not None and max_slice_instructions < 1:
+            raise LaunchError("max_slice_instructions must be >= 1")
+        if self.paused is not None:
+            raise LaunchError(
+                "board has a preempted launch of {!r}; resume or reset it "
+                "before launching again".format(self.paused.program.name))
         self.dispatcher.write_cb0(geometry)
 
         total = geometry.total_groups
@@ -394,63 +427,113 @@ class Gpu:
             sampled = True
 
         engine = self._resolve_engine(engine)
+        if engine == "parallel" and max_slice_instructions is not None:
+            # The parallel engine runs workgroups concurrently at local
+            # time zero -- there is no serial point to slice at.  Fast
+            # is bit-identical (the fast-vs-reference oracle), so a
+            # sliced launch silently uses it.
+            engine = "fast"
         dispatch_cost = self._mb_to_cu(
             self.dispatcher.dispatch_cost_mb_cycles(geometry))
         registers = {} if collect_registers else None
 
-        parallel_result = None
         if engine == "parallel":
             parallel_result = self._launch_parallel(
                 program, geometry, group_ids, dispatch_cost, registers)
             if parallel_result is None:
                 engine = "fast"
-        if parallel_result is not None:
-            end_time, stats = parallel_result
-        else:
-            fast = engine == "fast"
-            cu_free = [self.now] * len(self.cus)
-            disp_free = self.now
-            stats = CuRunStats()
-            end_time = self.now
-            for gid in group_ids:
-                wg = self.dispatcher.build_workgroup(program, geometry, gid)
-                cu_idx = min(range(len(self.cus)), key=cu_free.__getitem__)
-                # The ultra-threaded dispatcher prepares the next
-                # workgroup while CUs execute, so dispatch pipelines
-                # ahead; a CU only waits when dispatch throughput is
-                # the bottleneck (which is what caps multi-core scaling
-                # for short kernels).
-                ready = disp_free + dispatch_cost
-                disp_free = ready
-                start = max(cu_free[cu_idx], ready)
-                end, wg_stats = self.cus[cu_idx].run_workgroup(
-                    wg, start_time=start, fast=fast)
-                cu_free[cu_idx] = end
-                stats.merge(wg_stats)
-                end_time = max(end_time, end)
-                if registers is not None:
-                    _capture_registers(wg, registers)
+            else:
+                end_time, stats = parallel_result
+                frame = LaunchFrame(
+                    program=program, geometry=geometry, engine=engine,
+                    pending=[], dispatch_cost=dispatch_cost,
+                    total_groups=total, sampled=sampled,
+                    cu_free=[], disp_free=self.now, end_time=end_time,
+                    stats=stats, executed_groups=len(group_ids),
+                    registers=registers)
+                return self._finish_launch(frame)
 
-        elapsed = end_time - self.now
-        if sampled and group_ids:
-            elapsed *= total / float(len(group_ids))
+        frame = LaunchFrame(
+            program=program, geometry=geometry, engine=engine,
+            pending=group_ids, dispatch_cost=dispatch_cost,
+            total_groups=total, sampled=sampled,
+            cu_free=[self.now] * len(self.cus), disp_free=self.now,
+            end_time=self.now, stats=CuRunStats(), registers=registers)
+        return self._run_frame(frame, max_slice_instructions)
+
+    def _run_frame(self, frame, budget=None):
+        """Run a serial launch frame until done or the slice expires."""
+        fast = frame.engine == "fast"
+        slice_base = frame.stats.instructions
+        while frame.pending:
+            gid = frame.pending[0]
+            wg = self.dispatcher.build_workgroup(frame.program,
+                                                 frame.geometry, gid)
+            cu_idx = min(range(len(self.cus)),
+                         key=frame.cu_free.__getitem__)
+            # The ultra-threaded dispatcher prepares the next
+            # workgroup while CUs execute, so dispatch pipelines
+            # ahead; a CU only waits when dispatch throughput is
+            # the bottleneck (which is what caps multi-core scaling
+            # for short kernels).
+            ready = frame.disp_free + frame.dispatch_cost
+            frame.disp_free = ready
+            start = max(frame.cu_free[cu_idx], ready)
+            end, wg_stats = self.cus[cu_idx].run_workgroup(
+                wg, start_time=start, fast=fast)
+            frame.cu_free[cu_idx] = end
+            frame.stats.merge(wg_stats)
+            frame.end_time = max(frame.end_time, end)
+            frame.pending.pop(0)
+            frame.executed_groups += 1
+            if frame.registers is not None:
+                _capture_registers(wg, frame.registers)
+            if (budget is not None and frame.pending
+                    and frame.stats.instructions - slice_base >= budget):
+                self.paused = frame
+                raise LaunchPreempted(
+                    frame.program.name,
+                    executed_groups=frame.executed_groups,
+                    total_groups=frame.executed_groups + len(frame.pending),
+                    instructions=frame.stats.instructions)
+        return self._finish_launch(frame)
+
+    def resume_launch(self, max_slice_instructions=None):
+        """Continue the paused launch; returns its :class:`LaunchResult`.
+
+        The frame may have been produced on this board or restored
+        from a :class:`~repro.exec.checkpoint.BoardCheckpoint` captured
+        on a different board with the same content key.  May preempt
+        again under ``max_slice_instructions``.
+        """
+        frame = self.paused
+        if frame is None:
+            raise LaunchError("no preempted launch to resume")
+        self.paused = None
+        return self._run_frame(frame, max_slice_instructions)
+
+    def _finish_launch(self, frame):
+        """Close a completed frame: timeline, span, launch record."""
+        elapsed = frame.end_time - self.now
+        if frame.sampled and frame.executed_groups:
+            elapsed *= frame.total_groups / float(frame.executed_groups)
         if self.obs is not None:
             self.obs.emit_span(Span(
-                kind="kernel", name=program.name,
+                kind="kernel", name=frame.program.name,
                 start=self.now, end=self.now + elapsed,
-                meta=(("total_groups", total),
-                      ("executed_groups", len(group_ids)),
-                      ("sampled", sampled))))
+                meta=(("total_groups", frame.total_groups),
+                      ("executed_groups", frame.executed_groups),
+                      ("sampled", frame.sampled))))
         self.now += elapsed
         result = LaunchResult(
-            kernel=program.name,
+            kernel=frame.program.name,
             cu_cycles=elapsed,
-            total_groups=total,
-            executed_groups=len(group_ids),
-            stats=stats,
-            sampled=sampled,
-            engine=engine,
-            registers=registers,
+            total_groups=frame.total_groups,
+            executed_groups=frame.executed_groups,
+            stats=frame.stats,
+            sampled=frame.sampled,
+            engine=frame.engine,
+            registers=frame.registers,
         )
         self.total_instructions += result.instructions
         self.launches.append(result)

@@ -31,6 +31,13 @@ bit of disagreement in final state is a simulator bug:
                    :class:`~repro.exec.BoardPool` (after ``reset()``)
                    reproduces the cold-board run bit-for-bit: memory,
                    registers, instruction count **and cycle count**.
+``checkpoint``     running under a randomized (seed-derived) slice
+                   budget -- preempting at workgroup boundaries, JSON
+                   round-tripping each ``PREEMPTED`` envelope, and
+                   resuming every slice on a **fresh board in a fresh
+                   pool** (cross-board migration) -- matches the
+                   run-to-completion bit-for-bit: memory, registers,
+                   instruction count **and cycle count**.
 =================  ====================================================
 
 ``run_case`` executes one configuration and captures an
@@ -50,8 +57,8 @@ from ..asm.disassembler import disassemble
 from ..core.config import ArchConfig
 from ..core.trimmer import TrimmingTool
 from ..errors import ReproError
-from ..exec import (BoardPool, ExecutionRequest, Executor, ProgramWorkload,
-                    default_executor)
+from ..exec import (STATUS_PREEMPTED, BoardPool, ExecutionRequest, Executor,
+                    PreemptedResult, ProgramWorkload, default_executor)
 from ..obs import Observer
 from .invariants import InvariantChecker, InvariantViolation
 
@@ -68,7 +75,7 @@ FUZZ_MAX_INSTRUCTIONS = 50_000
 
 ORACLE_NAMES = ("roundtrip", "invariants", "observer-detached", "trimmed",
                 "multi-cu", "prefetch-off", "fast-vs-reference",
-                "warm-lease")
+                "warm-lease", "checkpoint")
 
 
 @dataclass(frozen=True)
@@ -140,13 +147,7 @@ def run_case(case, arch, label="run", observed=True, check_invariants=False,
         if check_invariants:
             observers.append(InvariantChecker())
     request = ExecutionRequest(
-        workload=ProgramWorkload(
-            program=case.program,
-            global_size=(case.global_size,),
-            local_size=(case.local_size,),
-            inputs=(("inp", case.input_data()),),
-            outputs=(("out", 4 * case.global_size),),
-        ),
+        workload=_case_workload(case),
         arch=arch,
         engine=engine,
         global_mem_size=FUZZ_MEM_SIZE,
@@ -171,6 +172,68 @@ def run_case(case, arch, label="run", observed=True, check_invariants=False,
         label=label, memory=result.memory_image, cycles=launch.cu_cycles,
         instructions=launch.stats.instructions,
         registers=registers, warm=result.warm_board)
+
+
+def _case_workload(case):
+    return ProgramWorkload(
+        program=case.program,
+        global_size=(case.global_size,),
+        local_size=(case.local_size,),
+        inputs=(("inp", case.input_data()),),
+        outputs=(("out", 4 * case.global_size),),
+    )
+
+
+def _run_sliced(case, arch, budget, hop_cap=10_000):
+    """Run ``case`` under a slice budget, resuming every ``PREEMPTED``
+    envelope -- after a JSON round trip -- on a fresh board in a fresh
+    pool (cross-board migration); returns the final snapshot plus the
+    number of preemption hops."""
+    import json
+
+    def fresh_executor():
+        return Executor(pool=BoardPool(capacity=1))
+
+    request = ExecutionRequest(
+        workload=_case_workload(case),
+        arch=arch,
+        engine="fast",
+        global_mem_size=FUZZ_MEM_SIZE,
+        max_instructions=FUZZ_MAX_INSTRUCTIONS,
+        verify=False,
+        collect_registers=True,
+        capture_memory=True,
+        numpy_errstate="ignore",
+        max_slice_instructions=budget,
+        label="checkpoint-slice",
+    )
+    result = fresh_executor().execute(request)
+    hops = 0
+    while result.status == STATUS_PREEMPTED:
+        hops += 1
+        if hops > hop_cap:
+            raise ReproError(
+                "checkpoint oracle made no progress after {} slices "
+                "(budget {})".format(hop_cap, budget))
+        # The wire trip is part of the oracle: a lossy to_dict /
+        # from_dict would surface here as a downstream state diff (or
+        # a digest mismatch raising CheckpointError).
+        envelope = PreemptedResult.from_dict(
+            json.loads(json.dumps(result.preempted.to_dict())))
+        result = fresh_executor().execute(ExecutionRequest(
+            checkpoint=envelope.checkpoint,
+            verify=False,
+            capture_memory=True,
+            numpy_errstate="ignore",
+            max_slice_instructions=budget,
+            label="checkpoint-resume",
+        ))
+    launch = result.launches[-1]
+    snapshot = ExecutionSnapshot(
+        label="checkpoint-sliced", memory=result.memory_image,
+        cycles=launch.cu_cycles, instructions=launch.stats.instructions,
+        registers=launch.registers, warm=result.warm_board)
+    return snapshot, hops
 
 
 def _first_memory_diff(a, b):
@@ -360,4 +423,25 @@ def check_case(case, multi_cus=2, oracles=None):
         except ReproError as exc:
             failures.append(OracleFailure(
                 "warm-lease", "run died: {!r}".format(exc)))
+
+    # The checkpoint/restore claim: preempt at a randomized (seed-
+    # derived) slice budget, ship every PREEMPTED envelope through a
+    # JSON round trip, resume each slice on a brand-new board in a
+    # brand-new pool -- and the final state must be bit-identical to
+    # the straight-through reference run, cycles included.  (Cases
+    # whose budget exceeds the run simply never preempt; the oracle
+    # then degenerates to another fast-vs-reference check.)
+    if want("checkpoint"):
+        import random
+
+        rng = random.Random(case.seed)
+        budget = rng.randint(1, max(1, ref.instructions // 2))
+        try:
+            sliced, _hops = _run_sliced(case, baseline, budget)
+            _compare("checkpoint", ref, sliced, failures,
+                     cycles=True, registers=True)
+        except ReproError as exc:
+            failures.append(OracleFailure(
+                "checkpoint",
+                "sliced run died (budget {}): {!r}".format(budget, exc)))
     return failures

@@ -80,10 +80,13 @@ class TestTracer:
         MatrixAddI32(n=64).run_on(device, verify=False)
         assert {e.cu_index for e in tracer.events} == {0, 1, 2}
 
-    def test_attach_tracer_is_deprecated_but_works(self):
+    def test_attach_tracer_is_removed(self):
+        from repro.errors import ReproError
+
         tracer = ExecutionTracer()
         device = SoftGpu(ArchConfig.baseline())
-        with pytest.deprecated_call():
+        with pytest.raises(ReproError, match="device.attach"):
             device.attach_tracer(tracer)
+        device.attach(tracer)
         MatrixAddI32(n=8).run_on(device, verify=False)
         assert len(tracer) == device.instructions

@@ -1,0 +1,215 @@
+"""BoardCheckpoint: capture, digest verification, restore, preemption.
+
+The checkpoint contract this file pins down:
+
+* ``to_dict``/``from_dict`` are lossless (the checkpoint *is* its
+  JSON-ready payload) and any tampering trips the SHA-256 digest.
+* Preempt + resume reproduces the run-to-completion final state
+  bit-for-bit -- memory, digests, instruction count AND cycle count --
+  including when every resume lands on a different board in a
+  different pool (migration), on a fresh-leased reset board, or on a
+  board rebuilt after LRU eviction.
+* Restore refuses a board whose content key differs.
+"""
+
+import json
+
+import pytest
+
+from repro.core.config import ArchConfig
+from repro.errors import CheckpointError, LaunchError
+from repro.exec import (STATUS_DONE, STATUS_PREEMPTED, BoardCheckpoint,
+                        BoardPool, ExecutionRequest, Executor,
+                        PreemptedResult)
+
+MEM = 1 << 20
+
+
+def _request(**overrides):
+    base = dict(benchmark="matrix_add_i32", params={"n": 64},
+                verify=False, digests=True, capture_memory=True,
+                engine="fast", global_mem_size=MEM)
+    base.update(overrides)
+    return ExecutionRequest(**base)
+
+
+def _fresh():
+    return Executor(pool=BoardPool(capacity=2))
+
+
+def _resume_until_done(result, slice_instructions=None, executor_factory=_fresh,
+                       wire_trip=True):
+    hops = 0
+    while result.status == STATUS_PREEMPTED:
+        hops += 1
+        assert hops < 200, "sliced run made no progress"
+        envelope = result.preempted
+        if wire_trip:
+            envelope = PreemptedResult.from_dict(
+                json.loads(json.dumps(envelope.to_dict())))
+        result = executor_factory().execute(ExecutionRequest(
+            checkpoint=envelope.checkpoint, verify=False, digests=True,
+            capture_memory=True, max_slice_instructions=slice_instructions))
+    return result, hops
+
+
+class TestRequestShape:
+    def test_checkpoint_is_an_exclusive_source(self):
+        ref = _fresh().execute(_request(max_slice_instructions=64))
+        with pytest.raises(LaunchError):
+            ExecutionRequest(benchmark="matrix_add_i32",
+                             checkpoint=ref.preempted.checkpoint)
+
+    def test_slice_budget_must_be_positive(self):
+        with pytest.raises(LaunchError):
+            _request(max_slice_instructions=0)
+
+
+class TestSerialization:
+    def test_round_trip_is_lossless(self):
+        result = _fresh().execute(_request(max_slice_instructions=64))
+        assert result.status == STATUS_PREEMPTED
+        cp = result.preempted.checkpoint
+        back = BoardCheckpoint.from_dict(json.loads(json.dumps(cp.to_dict())))
+        assert back.payload == cp.payload
+        assert back.digest == cp.digest
+        assert back.board_key() == cp.board_key()
+        assert back.paused and back.watermark == cp.watermark
+
+    def test_envelope_round_trip_is_lossless(self):
+        result = _fresh().execute(_request(max_slice_instructions=64))
+        env = result.preempted
+        back = PreemptedResult.from_dict(
+            json.loads(json.dumps(env.to_dict())))
+        assert back == env
+
+    def test_tampered_payload_raises(self):
+        result = _fresh().execute(_request(max_slice_instructions=64))
+        wire = result.preempted.checkpoint.to_dict()
+        wire["now"] = wire["now"] + 1.0
+        with pytest.raises(CheckpointError, match="digest"):
+            BoardCheckpoint.from_dict(wire)
+
+    def test_missing_digest_raises(self):
+        result = _fresh().execute(_request(max_slice_instructions=64))
+        wire = result.preempted.checkpoint.to_dict()
+        del wire["digest"]
+        with pytest.raises(CheckpointError, match="digest"):
+            BoardCheckpoint.from_dict(wire)
+
+    def test_wrong_version_raises(self):
+        result = _fresh().execute(_request(max_slice_instructions=64))
+        wire = result.preempted.checkpoint.to_dict()
+        wire["version"] = 999
+        with pytest.raises(CheckpointError, match="version"):
+            BoardCheckpoint.from_dict(wire)
+
+
+class TestPreemptResume:
+    def test_preempted_result_reports_progress(self):
+        result = _fresh().execute(_request(max_slice_instructions=64))
+        assert result.status == STATUS_PREEMPTED
+        env = result.preempted
+        assert env.kernel
+        assert 0 < env.groups_executed < env.groups_total
+        assert env.instructions >= 64
+        assert env.engine == "fast"
+        assert result.digests == {}
+
+    def test_resume_completes_bit_identical(self):
+        ref = _fresh().execute(_request())
+        assert ref.status == STATUS_DONE
+        sliced = _fresh().execute(_request(max_slice_instructions=100))
+        final, hops = _resume_until_done(sliced, slice_instructions=100)
+        assert hops >= 1
+        assert final.status == STATUS_DONE
+        assert final.instructions == ref.instructions
+        assert final.cu_cycles == ref.cu_cycles
+        assert final.memory_image == ref.memory_image
+        for name, digest in ref.digests.items():
+            assert final.digests[name] == digest
+
+    def test_single_resume_without_budget_finishes(self):
+        ref = _fresh().execute(_request())
+        sliced = _fresh().execute(_request(max_slice_instructions=64))
+        final, hops = _resume_until_done(sliced, slice_instructions=None)
+        assert hops == 1
+        assert final.cu_cycles == ref.cu_cycles
+        assert final.memory_image == ref.memory_image
+
+    def test_parallel_engine_degrades_to_fast_when_sliced(self):
+        arch = ArchConfig.baseline().with_parallelism(num_cus=2)
+        result = _fresh().execute(_request(engine="parallel", arch=arch,
+                                           max_slice_instructions=64))
+        assert result.status == STATUS_PREEMPTED
+        assert result.preempted.engine == "fast"
+        ref = _fresh().execute(_request(engine="parallel", arch=arch))
+        final, _ = _resume_until_done(result, slice_instructions=64)
+        # fast and parallel are bit-identical (fast-vs-reference
+        # oracle), so the sliced-run state must still match.
+        assert final.memory_image == ref.memory_image
+        assert final.instructions == ref.instructions
+
+
+class TestCrossBoardRestore:
+    def test_fresh_leased_reset_board_is_bit_identical(self):
+        # One pool: the resume leases the very board the first slice
+        # dirtied (scrubbed + reset), exercising the warm-restore path.
+        ref = _fresh().execute(_request())
+        executor = Executor(pool=BoardPool(capacity=2))
+        sliced = executor.execute(_request(max_slice_instructions=100))
+        final, hops = _resume_until_done(
+            sliced, slice_instructions=100,
+            executor_factory=lambda: executor)
+        assert hops >= 1
+        assert final.warm_board is True
+        assert final.cu_cycles == ref.cu_cycles
+        assert final.memory_image == ref.memory_image
+
+    def test_evicted_then_recreated_board_is_bit_identical(self):
+        # Capacity-1 pool: leasing a different-key board in between
+        # evicts the original, so the resume rebuilds it cold.
+        ref = _fresh().execute(_request())
+        pool = BoardPool(capacity=1)
+        executor = Executor(pool=pool)
+        sliced = executor.execute(_request(max_slice_instructions=100))
+        executor.execute(_request(global_mem_size=1 << 21))  # evicts
+        final, hops = _resume_until_done(
+            sliced, slice_instructions=None,
+            executor_factory=lambda: executor)
+        assert hops == 1
+        assert final.warm_board is False
+        assert final.cu_cycles == ref.cu_cycles
+        assert final.memory_image == ref.memory_image
+
+    def test_restore_refuses_mismatched_board_key(self):
+        result = _fresh().execute(_request(max_slice_instructions=64))
+        cp = result.preempted.checkpoint
+        pool = BoardPool(capacity=1)
+        with pool.lease(ArchConfig.baseline(),
+                        global_mem_size=1 << 21) as lease:
+            with pytest.raises(CheckpointError, match="board key"):
+                lease.restore(cp)
+
+
+class TestLeaseCheckpointApi:
+    def test_idle_board_round_trips(self):
+        import numpy as np
+
+        pool = BoardPool(capacity=2)
+        with pool.lease(ArchConfig.baseline(), global_mem_size=MEM) as lease:
+            lease.board.upload("x", np.arange(256, dtype=np.uint32))
+            cp = lease.checkpoint()
+        assert not cp.paused and cp.watermark == 0
+        with pool.lease(ArchConfig.baseline(), global_mem_size=MEM) as lease:
+            lease.restore(cp)
+            data = lease.board.read(lease.board.heap.get("x"))
+            assert list(data) == list(range(256))
+
+    def test_checkpoint_records_lease_cap(self):
+        pool = BoardPool(capacity=1)
+        with pool.lease(ArchConfig.baseline(), global_mem_size=MEM,
+                        max_instructions=50_000) as lease:
+            cp = lease.checkpoint()
+        assert cp.max_instructions == 50_000
+        assert cp.board_key() == lease.key

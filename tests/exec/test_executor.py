@@ -46,6 +46,34 @@ class TestRequestValidation:
             execute(ExecutionRequest(benchmark="no_such_bench"))
 
 
+class TestEngineRegistry:
+    """One registry for every engine-accepting surface."""
+
+    def test_names(self):
+        from repro.exec import ENGINE_NAMES
+        from repro.soc.gpu import ENGINES
+
+        assert ENGINE_NAMES == ("auto",) + ENGINES
+        assert "fast" in ENGINE_NAMES and "parallel" in ENGINE_NAMES
+
+    def test_service_uses_the_same_registry(self):
+        from repro.exec import ENGINE_NAMES
+        from repro.service.jobs import ENGINE_SPECS
+
+        assert ENGINE_SPECS is ENGINE_NAMES
+
+    def test_validate_engine(self):
+        from repro.errors import AdmissionError
+        from repro.exec import validate_engine
+
+        assert validate_engine("fast") == "fast"
+        assert validate_engine(None) is None
+        with pytest.raises(LaunchError, match="warp"):
+            validate_engine("warp")
+        with pytest.raises(AdmissionError, match="required"):
+            validate_engine(None, none_ok=False, error=AdmissionError)
+
+
 class TestEnvelope:
     def test_benchmark_by_name(self):
         result = Executor().execute(ExecutionRequest(

@@ -1,9 +1,10 @@
 """The redesigned observer API: attach/detach on the device.
 
 `SoftGpu.attach(observer)` / `detach(observer)` replace the old
-single-purpose `attach_tracer`; any number of observers share one
-event stream, and with none attached the instrumented layers hold
-``obs = None`` so the simulator pays nothing.
+single-purpose `attach_tracer` (now removed -- calling it raises);
+any number of observers share one event stream, and with none attached
+the instrumented layers hold ``obs = None`` so the simulator pays
+nothing.
 """
 
 import pytest
@@ -94,13 +95,15 @@ class TestAttachDetach:
         assert rec.issues == seen
 
 
-class TestDeprecatedAlias:
-    def test_attach_tracer_warns_and_delegates(self):
+class TestRemovedAlias:
+    def test_attach_tracer_is_removed(self):
+        from repro.errors import ReproError
+
         device = SoftGpu(ArchConfig.baseline())
         tracer = ExecutionTracer()
-        with pytest.deprecated_call():
-            assert device.attach_tracer(tracer) is tracer
-        assert device.observers == (tracer,)
+        with pytest.raises(ReproError, match="attach_tracer was removed"):
+            device.attach_tracer(tracer)
+        assert device.observers == ()
 
 
 class TestHub:

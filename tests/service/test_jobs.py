@@ -35,6 +35,12 @@ class TestJob:
         with pytest.raises(AdmissionError, match="global_mem_size"):
             Job("x", global_mem_size=0x100)
 
+    def test_bad_slice_rejected(self):
+        with pytest.raises(AdmissionError, match="slice_instructions"):
+            Job("x", slice_instructions=0)
+        with pytest.raises(AdmissionError, match="slice_instructions"):
+            Job("x", slice_instructions=-5)
+
     def test_describe(self):
         job = Job("conv2d_i32", {"n": 64, "k": 5}, config="multicore")
         assert "conv2d_i32" in job.describe()
@@ -65,6 +71,11 @@ class TestLoadJobs:
                              "global_mem_size": 1 << 25}])
         assert job.engine == "fast"
         assert job.global_mem_size == 1 << 25
+
+    def test_slice_instructions_field_accepted(self):
+        (job,) = load_jobs([{"benchmark": "matrix_add_i32",
+                             "slice_instructions": 500}])
+        assert job.slice_instructions == 500
 
     def test_unknown_field_rejected(self):
         with pytest.raises(AdmissionError, match="unknown fields"):

@@ -274,6 +274,77 @@ class TestEnginePlumbing:
         assert [r.warm_board for r in results] == [False, True, True]
 
 
+class TestPreemption:
+    def test_sliced_job_matches_plain_run(self):
+        """A time-sliced job yields at slice boundaries, resumes from
+        its checkpoint, and still produces the unsliced result --
+        identical simulated time, instruction count and digests."""
+        plain = Job("matrix_add_i32", {"n": 128}, config="baseline",
+                    verify=False)
+        sliced = Job("matrix_add_i32", {"n": 128}, config="baseline",
+                     verify=False, slice_instructions=400)
+        with KernelService(workers=1, mode="thread") as svc:
+            plain_res, sliced_res = svc.run([plain, sliced], timeout=300)
+            snap = svc.snapshot()
+        assert plain_res.ok and sliced_res.ok
+        assert plain_res.preemptions == 0
+        assert sliced_res.preemptions >= 1
+        assert sliced_res.metrics.seconds == plain_res.metrics.seconds
+        assert sliced_res.metrics.instructions \
+            == plain_res.metrics.instructions
+        # Sliced runs digest every heap buffer (a superset of the
+        # benchmark's declared outputs).
+        for name, digest in plain_res.digests.items():
+            assert sliced_res.digests[name] == digest
+        assert snap["preemptions"] == sliced_res.preemptions
+        assert "preemptions" in sliced_res.to_dict()
+
+    def test_preemption_is_not_a_retry(self):
+        """Slices are progress, not failures: a job preempted many
+        times still reports a single attempt."""
+        job = Job("matrix_add_i32", {"n": 128}, config="baseline",
+                  verify=False, slice_instructions=400)
+        with KernelService(workers=1, mode="thread") as svc:
+            (result,) = svc.run([job], timeout=300)
+            assert svc.snapshot()["retries"] == 0
+        assert result.preemptions >= 2
+        assert result.attempts == 1
+
+    def test_short_job_lands_between_slices(self):
+        """The point of preemption: with one worker and one in-flight
+        slot, a short urgent job submitted behind a long sliced job
+        completes while the long job is still being time-sliced."""
+        long_job = Job("matrix_add_i32", {"n": 128}, config="baseline",
+                       verify=False, slice_instructions=400, priority=5)
+        short_job = Job("matrix_add_i32", {"n": 16}, config="baseline",
+                        verify=False, priority=-5)
+        with KernelService(workers=1, mode="thread",
+                           max_inflight=1) as svc:
+            long_id = svc.submit(long_job)
+            short_id = svc.submit(short_job)
+            short_res = svc.result(short_id, timeout=300)
+            long_res = svc.result(long_id, timeout=300)
+        assert short_res.ok and long_res.ok
+        assert long_res.preemptions >= 1
+
+    def test_multi_kernel_application_rejected(self):
+        """A checkpoint resumes a launch, not host choreography, so
+        slicing multi-kernel applications is refused at admission."""
+        with KernelService(workers=1, mode="inline") as svc:
+            with pytest.raises(AdmissionError, match="single-kernel"):
+                svc.submit(Job("cnn_i32", config="baseline",
+                               slice_instructions=100))
+
+    def test_requeue_after_close_cancels(self):
+        """A slice that lands after shutdown settles as CANCELLED
+        instead of deadlocking on the closed queue."""
+        from repro.service.queue import BoundedJobQueue
+
+        queue = BoundedJobQueue(2)
+        queue.close()
+        assert queue.requeue(object()) is False
+
+
 class TestMemorySizePlumbing:
     def test_job_memory_size_reaches_the_board(self):
         """A job with a big working set gets a board sized for it; the

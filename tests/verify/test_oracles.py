@@ -44,7 +44,7 @@ class TestCheckCase:
         assert ORACLE_NAMES == ("roundtrip", "invariants",
                                 "observer-detached", "trimmed", "multi-cu",
                                 "prefetch-off", "fast-vs-reference",
-                                "warm-lease")
+                                "warm-lease", "checkpoint")
 
     def test_warm_lease_oracle_runs_warm(self):
         """The warm-lease subset alone passes, and really leases warm:
@@ -65,6 +65,47 @@ class TestCheckCase:
         assert warm.cycles == cold.cycles
         assert warm.instructions == cold.instructions
         assert warm.registers == cold.registers
+
+    @pytest.mark.parametrize("seed", [0, 3, 7])
+    def test_checkpoint_oracle_passes(self, seed):
+        """The checkpoint subset alone passes: randomized slice points,
+        JSON-tripped envelopes, every resume on a fresh board."""
+        assert check_case(generate_case(seed),
+                          oracles=("checkpoint",)) == []
+
+    def test_checkpoint_oracle_slices(self):
+        """The oracle really preempts (not a degenerate single slice)
+        for a case whose run is long enough to cross its budget."""
+        case = generate_case(0)
+        ref = run_case(case, ArchConfig.baseline())
+        budget = max(1, ref.instructions // 8)
+        if case.groups > 1 and ref.instructions > budget:
+            sliced, hops = oracles_mod._run_sliced(
+                case, ArchConfig.baseline(), budget)
+            assert hops >= 1
+            assert sliced.memory == ref.memory
+            assert sliced.cycles == ref.cycles
+            assert sliced.instructions == ref.instructions
+
+    def test_checkpoint_oracle_detects_divergence(self, monkeypatch):
+        """Teeth check: skew the restored timeline by one cycle and the
+        checkpoint oracle must fire (BoardCheckpoint.apply resolves
+        restore_board_state from repro.soc.state at call time)."""
+        import repro.soc.state as soc_state
+
+        case = generate_case(0)
+        if case.groups < 2:
+            pytest.skip("single-workgroup case never preempts")
+        real = soc_state.restore_board_state
+
+        def skewed(gpu, state):
+            state = dict(state)
+            state["now"] = state["now"] + 1.0
+            real(gpu, state)
+
+        monkeypatch.setattr(soc_state, "restore_board_state", skewed)
+        failures = check_case(case, oracles=("checkpoint",))
+        assert any(f.oracle == "checkpoint" for f in failures)
 
     def test_detects_config_divergence(self, monkeypatch):
         """Sanity that the matrix has teeth: substitute an architecture
