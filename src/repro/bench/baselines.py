@@ -29,16 +29,19 @@ REGRESSION_THRESHOLD = 0.20
 #: metric name -> (higher_is_better, machine_independent)
 _METRICS = {
     "speedup_vs_reference": (True, True),
+    "speedup_superblock_vs_reference": (True, True),
     "cache_hit_rate": (True, True),
     "warm_board_rate": (True, True),
     "store_hit_rate": (True, True),
     "inst_per_s": (True, False),
+    "inst_per_s_superblock": (True, False),
     "jobs_per_second": (True, False),
     "points_per_second": (True, False),
     "resume_speedup": (True, False),
     "short_latency_speedup": (True, False),
     "wall_reference_s": (False, False),
     "wall_fast_s": (False, False),
+    "wall_superblock_s": (False, False),
     "latency_p50_s": (False, False),
     "latency_p95_s": (False, False),
 }

@@ -4,16 +4,19 @@ Each kernel is run end to end (prepare -> preload -> execute) through
 the :mod:`repro.exec` layer -- warm-board leasing included, exactly
 like production callers -- once per engine:
 
-* ``reference`` -- the original interpreter loop,
-* ``fast``      -- the prepared-plan serial engine,
-* ``parallel``  -- the measure-then-schedule engine on a multi-CU
+* ``reference``  -- the original interpreter loop,
+* ``fast``       -- the prepared-plan serial engine,
+* ``superblock`` -- the fast loop with fused straight-line ALU runs
+  (the ``auto`` default engine),
+* ``parallel``   -- the measure-then-schedule engine on a multi-CU
   board (skipped for single-CU benchmarking).
 
 Reported per kernel: simulated instructions, simulated seconds
 (deterministic -- a change here is a model change, not a perf
 regression), wall-clock medians per engine, simulated-instructions-
-per-second on the fast engine, and ``speedup_vs_reference`` -- the
-machine-independent ratio CI enforces.
+per-second on the fast and superblock engines, and the
+``speedup_vs_reference`` / ``speedup_superblock_vs_reference``
+machine-independent ratios CI enforces.
 """
 
 from __future__ import annotations
@@ -86,9 +89,11 @@ def bench_kernel(name, repeat=3, warmup=1):
         raise ReproError("unknown benchmark kernel {!r}; available: {}"
                          .format(name, ", ".join(sorted(KERNELS))))
 
-    # One verified run up front: a benchmark of wrong outputs is
-    # meaningless.  Also records the deterministic simulation metrics.
+    # One verified run up front per timed engine: a benchmark of wrong
+    # outputs is meaningless.  Also records the deterministic
+    # simulation metrics.
     result = _run_once(name, "fast", verify=True)
+    _run_once(name, "superblock", verify=True)
     instructions = result.instructions
     sim_seconds = result.seconds
 
@@ -105,7 +110,8 @@ def bench_kernel(name, repeat=3, warmup=1):
 
     reference = measure(batched("reference"), repeat=repeat, warmup=warmup)
     fast = measure(batched("fast"), repeat=repeat, warmup=warmup)
-    for m in (reference, fast):
+    superblock = measure(batched("superblock"), repeat=repeat, warmup=warmup)
+    for m in (reference, fast, superblock):
         m.samples = [s / inner for s in m.samples]
         m.warmup_samples = [s / inner for s in m.warmup_samples]
     return {
@@ -114,11 +120,18 @@ def bench_kernel(name, repeat=3, warmup=1):
         "sim_seconds": sim_seconds,
         "wall_reference": reference.to_dict(),
         "wall_fast": fast.to_dict(),
+        "wall_superblock": superblock.to_dict(),
         "wall_reference_s": reference.median,
         "wall_fast_s": fast.median,
+        "wall_superblock_s": superblock.median,
         "inst_per_s": instructions / fast.median if fast.median else 0.0,
+        "inst_per_s_superblock": (instructions / superblock.median
+                                  if superblock.median else 0.0),
         "speedup_vs_reference": (reference.median / fast.median
                                  if fast.median else 0.0),
+        "speedup_superblock_vs_reference": (
+            reference.median / superblock.median
+            if superblock.median else 0.0),
     }
 
 
@@ -131,7 +144,7 @@ def bench_simulator(kernels=None, repeat=3, warmup=1, log=None):
         log("bench {} ...".format(name))
         entries[name] = bench_kernel(name, repeat=repeat, warmup=warmup)
     payload = {
-        "schema": 1,
+        "schema": 2,
         "repeat": repeat,
         "kernels": entries,
     }
@@ -147,7 +160,7 @@ def _totals(entries):
     total_ref = sum(e["wall_reference_s"] for e in entries.values())
     total_fast = sum(e["wall_fast_s"] for e in entries.values())
     total_inst = sum(e["instructions"] for e in entries.values())
-    return {
+    totals = {
         "instructions": total_inst,
         "wall_reference_s": total_ref,
         "wall_fast_s": total_fast,
@@ -155,22 +168,36 @@ def _totals(entries):
         "speedup_vs_reference": (total_ref / total_fast
                                  if total_fast else 0.0),
     }
+    if all("wall_superblock_s" in e for e in entries.values()):
+        total_sb = sum(e["wall_superblock_s"] for e in entries.values())
+        totals["wall_superblock_s"] = total_sb
+        totals["inst_per_s_superblock"] = (total_inst / total_sb
+                                           if total_sb else 0.0)
+        totals["speedup_superblock_vs_reference"] = (
+            total_ref / total_sb if total_sb else 0.0)
+    return totals
 
 
 def render_simulator(payload):
     """Human-readable table for one ``bench_simulator`` payload."""
-    lines = ["{:<24} {:>12} {:>10} {:>10} {:>12} {:>8}".format(
-        "kernel", "sim inst", "ref s", "fast s", "inst/s", "speedup")]
+    fmt = "{:<24} {:>12} {:>9} {:>9} {:>9} {:>12} {:>8} {:>8}"
+    row = ("{:<24} {:>12} {:>9.3f} {:>9.3f} {:>9} {:>12.3e} {:>7.2f}x"
+           " {:>8}")
+    lines = [fmt.format("kernel", "sim inst", "ref s", "fast s", "sb s",
+                        "inst/s", "speedup", "sb spd")]
+
+    def _row(name, entry):
+        sb_s = entry.get("wall_superblock_s")
+        sb_spd = entry.get("speedup_superblock_vs_reference")
+        return row.format(
+            name, entry["instructions"], entry["wall_reference_s"],
+            entry["wall_fast_s"],
+            "{:.3f}".format(sb_s) if sb_s is not None else "-",
+            entry["inst_per_s"], entry["speedup_vs_reference"],
+            "{:.2f}x".format(sb_spd) if sb_spd is not None else "-")
+
     for name, entry in payload["kernels"].items():
-        lines.append("{:<24} {:>12} {:>10.3f} {:>10.3f} {:>12.3e} {:>7.2f}x"
-                     .format(name, entry["instructions"],
-                             entry["wall_reference_s"],
-                             entry["wall_fast_s"], entry["inst_per_s"],
-                             entry["speedup_vs_reference"]))
+        lines.append(_row(name, entry))
     totals = payload.get("totals") or _totals(payload["kernels"])
-    lines.append("{:<24} {:>12} {:>10.3f} {:>10.3f} {:>12.3e} {:>7.2f}x"
-                 .format("TOTAL", totals["instructions"],
-                         totals["wall_reference_s"], totals["wall_fast_s"],
-                         totals["inst_per_s"],
-                         totals["speedup_vs_reference"]))
+    lines.append(_row("TOTAL", totals))
     return "\n".join(lines)

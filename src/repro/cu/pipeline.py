@@ -197,12 +197,13 @@ class ComputeUnit:
         be register-initialised by the ultra-threaded dispatcher.
 
         ``fast`` selects the prepared-plan issue loop (``True``), the
+        superblock-compiled variant of it (``"superblock"``), the
         reference interpreter (``False``), or picks automatically
-        (``None``: fast whenever no observer is attached).  The fast
-        loop produces bit-identical state, stats and cycle counts --
-        the ``fast-vs-reference`` oracle enforces this -- but emits no
-        observation events, so an attached observer always forces the
-        reference path.
+        (``None``: superblock whenever no observer is attached).  The
+        fast loops produce bit-identical state, stats and cycle counts
+        -- the ``fast-vs-reference`` and ``superblock`` oracles enforce
+        this -- but emit no observation events, so an attached observer
+        always forces the reference path.
         """
         wavefronts = [wf for wf in workgroup.wavefronts if not wf.done]
         if len(wavefronts) > self.max_wavefronts:
@@ -212,11 +213,12 @@ class ComputeUnit:
                 )
             )
         if fast is None:
-            fast = self.obs is None
+            fast = "superblock" if self.obs is None else False
         if fast and self.obs is None and wavefronts:
             program = wavefronts[0].program
             if all(wf.program is program for wf in wavefronts):
-                return self._run_fast(workgroup, start_time, wavefronts)
+                return self._run_fast(workgroup, start_time, wavefronts,
+                                      superblock=fast == "superblock")
         return self._run_reference(workgroup, start_time, wavefronts)
 
     def _run_reference(self, workgroup, start_time, wavefronts):
@@ -383,7 +385,7 @@ class ComputeUnit:
                       ("instructions", stats.instructions))))
         return end_time, stats
 
-    def _run_fast(self, workgroup, start_time, wavefronts):
+    def _run_fast(self, workgroup, start_time, wavefronts, superblock=False):
         """Prepared-plan issue loop: the reference loop minus all the
         per-issue reclassification, operand decoding and event guards.
 
@@ -391,6 +393,14 @@ class ComputeUnit:
         the same values as :meth:`_run_reference`; divergence in any
         bit of final state, stats or cycles is a bug (and is what the
         ``fast-vs-reference`` oracle hunts for).
+
+        With ``superblock=True``, straight-line ALU runs compiled by
+        :mod:`repro.cu.superblock` execute as single fused calls --
+        only when the picked wavefront is the sole schedulable
+        candidate (so no interleaving decision is skipped) and the
+        whole block fits the instruction budget (so budget errors raise
+        at the exact per-instruction point).  Blocks are disabled
+        entirely on restricted (trimmed) architectures.
         """
         prepared = get_prepared(wavefronts[0].program, self.timing)
         bad = prepared.restrictions(self)
@@ -414,6 +424,20 @@ class ComputeUnit:
         lsu_base = self.timing.lsu_cycles
         endpgm_cycles = self.timing.endpgm_cycles
 
+        blocks = None
+        sb_counts = {}
+        sb_pending = {}  # wavefront -> first unflushed block offset
+        if superblock and bad is None:
+            blocks = prepared.superblocks(self.num_simd, self.num_simf)
+        if blocks is not None:
+            busy_salu = pools[FunctionalUnit.SALU].busy_until
+            busy_branch = pools[FunctionalUnit.BRANCH].busy_until
+            busy_simd = pools[FunctionalUnit.SIMD].busy_until
+            busy_simf = pools[FunctionalUnit.SIMF].busy_until
+            simd_multi = len(busy_simd) > 1
+            simf_multi = len(busy_simf) > 1
+            from .superblock import _acq as _gang_acq
+
         live = list(wavefronts)
         while live:
             # barrier_waiters tracks exactly the at-barrier wavefronts
@@ -427,8 +451,8 @@ class ComputeUnit:
                     )
             else:
                 candidates = live
-            best, best_key = None, None
             n = len(candidates)
+            best, best_key = None, None
             for j in range(n):
                 wf = candidates[(rr + j) % n]
                 key = wf.ready_at
@@ -436,6 +460,102 @@ class ComputeUnit:
                     best, best_key = wf, key
             rr += 1
             wf = best
+
+            if blocks is not None and (entry := blocks.get(wf.pc)) is not None:
+                blk = entry[0]
+                if n == 1 and entry[1] == 0 \
+                        and issued + blk.count <= max_instructions:
+                    # Sole schedulable candidate: no other wavefront
+                    # can interleave, and a fused ALU run cannot change
+                    # that (no barrier/endpgm/EXEC writes inside a
+                    # block), so the whole run executes as one call.
+                    # The reference would advance the round-robin
+                    # cursor once per pick.
+                    ready = wf.ready_at
+                    start = ready if ready > decode_free else decode_free
+                    fe_done, done = blk.fn(wf, start, busy_salu, busy_branch,
+                                           busy_simd, busy_simf)
+                    decode_free = fe_done
+                    wf.pc = blk.end_pc
+                    wf.instructions_executed += blk.count
+                    issued += blk.count
+                    rr += blk.count - 1
+                    wf.ready_at = done
+                    if done > finish_time:
+                        finish_time = done
+                    wf.stall_cause = ("fu-busy"
+                                      if done - blk.last_occ > fe_done
+                                      else "operand-dep")
+                    sb_counts[blk.head] = sb_counts.get(blk.head, 0) + 1
+                    continue
+                # Deferred-semantics step: issue this block instruction
+                # from its precompiled (frontend, occupancy, pool) cost
+                # triple -- block timing is data-independent -- and
+                # postpone its register effects to the block-end flush
+                # through the range-guarded ``sem`` function.  Exact:
+                # the timing arithmetic below is the per-instruction
+                # ALU path verbatim; a wavefront's own flush always
+                # precedes its next non-block instruction (program
+                # order), and ALU instructions of distinct wavefronts
+                # touch disjoint state, so interleaved picks commute
+                # with the deferred flush (see repro.cu.superblock).
+                # On an aborting exception (budget, memory fault in
+                # another wavefront) pending effects stay unflushed;
+                # every abort path discards board state and compares
+                # error messages only, and the faulting instruction's
+                # own wavefront is always fully flushed, so the raise
+                # point and message match the reference exactly.
+                issued += 1
+                if issued > max_instructions:
+                    raise SimulationError(
+                        "instruction budget exceeded (kernel stuck in a loop?)"
+                    )
+                k = entry[1]
+                fe, occ, pid = blk.steps[k]
+                ready = wf.ready_at
+                start = ready if ready > decode_free else decode_free
+                fe_done = start + fe
+                decode_free = fe_done
+                if pid == 2:
+                    if simd_multi:
+                        done = _gang_acq(busy_simd, fe_done, occ)
+                    else:
+                        b = busy_simd[0]
+                        done = (fe_done if fe_done > b else b) + occ
+                        busy_simd[0] = done
+                elif pid == 0:
+                    b = busy_salu[0]
+                    done = (fe_done if fe_done > b else b) + occ
+                    busy_salu[0] = done
+                elif pid == 3:
+                    if simf_multi:
+                        done = _gang_acq(busy_simf, fe_done, occ)
+                    else:
+                        b = busy_simf[0]
+                        done = (fe_done if fe_done > b else b) + occ
+                        busy_simf[0] = done
+                else:
+                    b = busy_branch[0]
+                    done = (fe_done if fe_done > b else b) + occ
+                    busy_branch[0] = done
+                k += 1
+                wf.pc = blk.addrs[k]
+                wf.instructions_executed += 1
+                wf.ready_at = done
+                if done > finish_time:
+                    finish_time = done
+                wf.stall_cause = ("fu-busy" if done - occ > fe_done
+                                  else "operand-dep")
+                k0 = sb_pending.setdefault(wf, k - 1)
+                if k == blk.count:
+                    del sb_pending[wf]
+                    blk.sem(wf, k0, k)
+                    idxs = blk.indices
+                    for i in range(k0, k):
+                        counts[idxs[i]] += 1
+                    for unit, cum in blk.cum_busy:
+                        pools[unit].busy_cycles += cum[k] - cum[k0]
+                continue
 
             plan = by_address.get(wf.pc)
             if plan is None:
@@ -522,6 +642,16 @@ class ComputeUnit:
                 barrier_waiters.append(wf)
                 if workgroup.arrive_at_barrier():
                     self._release(workgroup, barrier_waiters)
+
+        for head, times in sb_counts.items():
+            # Fold block executions into the per-plan issue counts and
+            # the pool utilisation counters (integer occupancies, so
+            # the deferred sum is exact regardless of order).
+            blk = blocks[head][0]
+            for index in blk.indices:
+                counts[index] += times
+            for unit, total in blk.busy_totals:
+                pools[unit].busy_cycles += total * times
 
         end_time = max(finish_time, decode_free)
         stats.cycles = end_time - start_time

@@ -39,6 +39,7 @@ import numpy as np
 
 from ..isa import registers as regs
 from ..isa.formats import Format
+from ..mem.global_memory import _BYTE_OFFSETS, dedup_keep_last
 from . import lsu, operations
 from .timing import DEFAULT_TIMING, frontend_cost, unit_occupancy
 from .wavefront import MASK32, MASK64
@@ -55,7 +56,7 @@ class InstPlan:
 
     __slots__ = ("index", "address", "name", "unit", "unit_name", "kind",
                  "fe_cost", "occupancy", "pc_step", "simm16", "exec_fn",
-                 "mem_fn", "inst")
+                 "mem_fn", "inst", "specialized")
 
     def __init__(self, inst, index, timing):
         sp = inst.spec
@@ -70,6 +71,10 @@ class InstPlan:
         self.exec_fn = None
         self.mem_fn = None
         self.inst = inst
+        #: True when the executor is a proven specialization (not the
+        #: generic-dispatcher fallback) -- the superblock compiler only
+        #: fuses specialized ALU plans.
+        self.specialized = False
         if sp.name == "s_endpgm":
             self.kind = KIND_ENDPGM
             self.occupancy = 0
@@ -94,7 +99,7 @@ class InstPlan:
         else:
             self.kind = KIND_ALU
             self.occupancy = unit_occupancy(inst, timing)
-            self.exec_fn = _build_exec(inst)
+            self.exec_fn, self.specialized = _build_exec(inst)
 
 
 # ---------------------------------------------------------------------------
@@ -540,7 +545,7 @@ def _build_buffer(inst):
             addrs = wf.vgprs[vaddr].astype(np.int64) * 4 + offset
         else:
             addrs = np.full(64, offset, dtype=np.int64)
-        active = np.flatnonzero(lane_mask)
+        active = wf.active_lanes()
         n_active = active.size
         gm = memory.global_mem
         if n_active:
@@ -557,19 +562,31 @@ def _build_buffer(inst):
             if not (sel & 3).any():
                 words = gm._bytes.view(np.uint32)
                 if is_write:
-                    words[sel >> 2] = wf.vgprs[vdata][active]
+                    # Colliding lane addresses must resolve to
+                    # last-active-lane-wins, like the reference loop;
+                    # raw fancy assignment leaves that unspecified.
+                    idx, vals = dedup_keep_last(sel >> 2,
+                                                wf.vgprs[vdata][active])
+                    words[idx] = vals
+                    if hi + 4 > gm.dirty_hi:
+                        gm.dirty_hi = hi + 4
                 else:
                     out = np.zeros(64, dtype=np.uint32)
                     out[active] = words[sel >> 2]
                     wf.write_vgpr(vdata, out, lane_mask)
             elif is_write:
-                values = wf.vgprs[vdata]
-                for lane in active:
-                    gm.write_u32(int(addrs[lane]), int(values[lane]))
+                byte_idx = (sel[:, None] + _BYTE_OFFSETS).ravel()
+                byte_vals = np.ascontiguousarray(
+                    wf.vgprs[vdata][active])[:, None].view(np.uint8).ravel()
+                idx, vals = dedup_keep_last(byte_idx, byte_vals)
+                gm._bytes[idx] = vals
+                if hi + 4 > gm.dirty_hi:
+                    gm.dirty_hi = hi + 4
             else:
                 out = np.zeros(64, dtype=np.uint32)
-                for lane in active:
-                    out[lane] = gm.read_u32(int(addrs[lane]))
+                lane_bytes = gm._bytes[sel[:, None] + _BYTE_OFFSETS]
+                out[active] = np.ascontiguousarray(lane_bytes) \
+                    .view(np.uint32).ravel()
                 wf.write_vgpr(vdata, out, lane_mask)
             span = (n_active, lo, hi)
         else:
@@ -585,10 +602,11 @@ def _build_buffer(inst):
 def _build_exec(inst):
     """Specialized executor for a non-memory instruction.
 
-    Falls back to a closure over the generic dispatcher whenever the
-    encoding is one the specializers cannot prove they reproduce --
-    including every case where the reference would raise, so errors
-    surface at the same execution point with the same message.
+    Returns ``(fn, specialized)``.  Falls back to a closure over the
+    generic dispatcher (``specialized=False``) whenever the encoding is
+    one the specializers cannot prove they reproduce -- including every
+    case where the reference would raise, so errors surface at the same
+    execution point with the same message.
     """
     fmt = inst.fmt
     fn = None
@@ -608,8 +626,8 @@ def _build_exec(inst):
     except Exception:
         fn = None
     if fn is None:
-        return lambda wf: operations.execute(wf, inst)
-    return fn
+        return (lambda wf: operations.execute(wf, inst)), False
+    return fn, True
 
 
 # ---------------------------------------------------------------------------
@@ -619,7 +637,8 @@ def _build_exec(inst):
 class PreparedProgram:
     """Execution plans for one (program, timing) pair."""
 
-    __slots__ = ("program", "timing", "plans", "by_address", "_restrictions")
+    __slots__ = ("program", "timing", "plans", "by_address", "_restrictions",
+                 "_superblocks", "_sb_lock")
 
     def __init__(self, program, timing):
         self.program = program
@@ -628,6 +647,30 @@ class PreparedProgram:
                       for i, inst in enumerate(program.instructions)]
         self.by_address = {plan.address: plan for plan in self.plans}
         self._restrictions = {}
+        self._superblocks = {}
+        self._sb_lock = threading.Lock()
+
+    def superblocks(self, num_simd, num_simf):
+        """Compiled superblocks for this program on a given CU shape.
+
+        Returns ``{address: (Superblock, offset)}`` (every in-block
+        address, offset 0 being the head) or ``None`` when the program
+        has no fusable run.  Compiled lazily per
+        ``(num_simd, num_simf)`` shape (pool-instance counts are baked
+        into the generated timing arithmetic) and cached on the
+        prepared program, so the content-hash LRU that shares prepared
+        programs across launches and service jobs shares the compiled
+        superblocks too.
+        """
+        from .superblock import build_superblocks
+
+        key = (num_simd, num_simf)
+        with self._sb_lock:
+            blocks = self._superblocks.get(key)
+            if blocks is None:
+                blocks = build_superblocks(self, num_simd, num_simf)
+                self._superblocks[key] = blocks
+        return blocks or None
 
     def restrictions(self, cu):
         """Addresses whose instructions fail ``cu._check_supported``.

@@ -38,6 +38,7 @@ class Wavefront:
         self.pc = 0
         self._exec_mask = FULL_EXEC if lane_count == 64 else (1 << lane_count) - 1
         self._lane_mask_cache = None
+        self._lane_idx_cache = None
         self.vcc = 0
         self.scc = 0
         self.m0 = 0
@@ -66,6 +67,7 @@ class Wavefront:
     def exec_mask(self, value):
         self._exec_mask = value & MASK64
         self._lane_mask_cache = None
+        self._lane_idx_cache = None
 
     def active_lane_mask(self):
         """Boolean (64,) array of lanes enabled by EXEC (cached)."""
@@ -74,6 +76,12 @@ class Wavefront:
             lanes = np.arange(64, dtype=np.uint64)
             self._lane_mask_cache = ((bits >> lanes) & np.uint64(1)).astype(bool)
         return self._lane_mask_cache
+
+    def active_lanes(self):
+        """Indices of EXEC-enabled lanes (cached like the mask)."""
+        if self._lane_idx_cache is None:
+            self._lane_idx_cache = np.flatnonzero(self.active_lane_mask())
+        return self._lane_idx_cache
 
     @property
     def execz(self):

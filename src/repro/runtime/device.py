@@ -95,7 +95,7 @@ class SoftGpu:
         timeline -- without paying the cost of rebuilding the CU model.
         """
         mem = self.gpu.memory
-        mem.global_mem.fill(0, mem.global_mem.size, 0)
+        mem.global_mem.reset()
         self.heap.reset()
         for prefetch in mem.prefetch:
             prefetch.clear()

@@ -47,21 +47,26 @@ HEAP_BASE = 0x1000
 PRELOAD_MB_CYCLES_PER_WORD = 2.0
 
 
-#: Launch execution engines.  All three produce bit-identical memory,
-#: registers, stats and cycle counts (the ``fast-vs-reference`` oracle
-#: enforces it); they differ only in wall-clock speed and observability:
+#: Launch execution engines.  All four produce bit-identical memory,
+#: registers, stats and cycle counts (the ``fast-vs-reference`` and
+#: ``superblock`` oracles enforce it); they differ only in wall-clock
+#: speed and observability:
 #:
 #: ``reference``   the original serial interpreter loop; the only
 #:                 engine that emits observation events.
 #: ``fast``        serial dispatch with the prepared-plan issue loop.
+#: ``superblock``  the fast loop with straight-line ALU runs fused
+#:                 into compiled superblocks (repro.cu.superblock);
+#:                 the fastest serial engine and the ``auto`` default.
 #: ``parallel``    measure-then-schedule: workgroups execute
-#:                 round-robin on per-CU threads at local time zero,
-#:                 then the dispatcher-overlap timing model is replayed
+#:                 round-robin on per-CU threads at local time zero
+#:                 (each consuming superblocks), then the
+#:                 dispatcher-overlap timing model is replayed
 #:                 serially with the measured durations.  Exact only
 #:                 while every global access hits the prefetch memory
 #:                 (intrinsic, start-time-independent durations); a
 #:                 relay access triggers rollback to the fast engine.
-ENGINES = ("reference", "fast", "parallel")
+ENGINES = ("reference", "fast", "superblock", "parallel")
 
 
 def _capture_registers(workgroup, registers):
@@ -178,7 +183,7 @@ class Gpu:
         self.obs = None
         #: Default launch engine when ``launch`` gets none: ``None`` /
         #: ``"auto"`` picks per launch (reference when observed,
-        #: parallel on covered multi-CU boards, fast otherwise).
+        #: parallel on covered multi-CU boards, superblock otherwise).
         self.default_engine = None
         #: True while every preload so far fit the prefetch buffers --
         #: the precondition for the parallel engine's exact re-timing.
@@ -280,7 +285,7 @@ class Gpu:
                 return "reference"
             if len(self.cus) > 1 and self.prefetch_covered:
                 return "parallel"
-            return "fast"
+            return "superblock"
         if engine not in ENGINES:
             raise LaunchError("unknown launch engine {!r} (expected one of {})"
                               .format(engine, ", ".join(ENGINES)))
@@ -301,7 +306,7 @@ class Gpu:
                     cu.rebase_occupancy()
                     self.memory.rebase_port(cu.cu_index)
                     end, wg_stats = cu.run_workgroup(wg, start_time=0.0,
-                                                     fast=True)
+                                                     fast="superblock")
                     results[slot] = (end, wg_stats, wg)
         except Exception as exc:  # re-raised (ordered) by the serial rerun
             errors[cu.cu_index] = exc
@@ -463,7 +468,8 @@ class Gpu:
 
     def _run_frame(self, frame, budget=None):
         """Run a serial launch frame until done or the slice expires."""
-        fast = frame.engine == "fast"
+        fast = ("superblock" if frame.engine == "superblock"
+                else frame.engine == "fast")
         slice_base = frame.stats.instructions
         while frame.pending:
             gid = frame.pending[0]

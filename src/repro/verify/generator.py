@@ -13,8 +13,14 @@ every architecture configuration the oracles pair up:
 * **In-bounds memory** -- global reads hit the input buffer through a
   power-of-two address mask; global writes go only to the work-item's
   own output slot (``&out[flat_gid]``), so stores from different
-  lanes, wavefronts and workgroups never collide.  LDS addresses are
-  masked to the declared allocation.
+  lanes, wavefronts and workgroups never collide -- with one
+  deliberate exception: the colliding-store segment masks the low six
+  bits of ``v0`` so lanes of the *same* wavefront write duplicate
+  addresses (the architectural last-active-lane-wins case, pinned by
+  the scatter dedup paths), while its preserved upper bits keep every
+  touched slot inside that wavefront's own 64-slot range, so the
+  cross-wavefront guarantee still holds.  LDS addresses are masked to
+  the declared allocation.
 * **Schedule independence** -- wavefronts inside a workgroup are
   interleaved differently by different timing configurations, so the
   functional result must not depend on issue order.  Cross-wavefront
@@ -311,6 +317,29 @@ class KernelGenerator:
         if r.random() < 0.5:
             self.emit("s_waitcnt vmcnt(0)")
 
+    def seg_colliding_store(self):
+        """A store whose lane addresses deliberately collide.
+
+        Masking the low six bits of ``v0`` makes several lanes of the
+        same wavefront share an address -- the architectural contract
+        is last-active-lane-wins, and the vectorised scatter paths
+        must reproduce it through their dedup pass.  The preserved
+        upper bits of ``v0`` (plus the workgroup base in ``s1``) keep
+        every address inside the storing wavefront's own slot range,
+        so no cross-wavefront collision can make the result depend on
+        wavefront interleave.
+        """
+        r = self.rng
+        cmask = r.getrandbits(6)
+        self.emit("v_and_b32 v12, 0x{:08x}, v0".format(0xFFFFFFC0 | cmask))
+        self.emit("v_add_i32 v12, vcc, s1, v12")
+        self.emit("v_lshlrev_b32 v12, 2, v12")
+        self.emit("v_add_i32 v12, vcc, s21, v12")
+        self.emit("v_xor_b32 v13, v3, {}".format(self._v()))
+        op = "buffer_store_byte" if r.random() < 0.3 else "buffer_store_dword"
+        self.emit("{} v13, v12, s[4:7], 0 offen".format(op))
+        self.emit("s_waitcnt vmcnt(0)")
+
     # -- LDS ----------------------------------------------------------------
 
     def _lds_addr_any(self, mask_dwords):
@@ -421,6 +450,7 @@ class KernelGenerator:
             (self.seg_valu, 30), (self.seg_salu, 22), (self.seg_float, 8),
             (self.seg_vcmp, 10), (self.seg_global_load, 10),
             (self.seg_smrd, 8), (self.seg_store, 6),
+            (self.seg_colliding_store, 6),
         ]
         if self.uses_lds and not self.multi_wf:
             choices.append((self.seg_lds_single_wf, 10))

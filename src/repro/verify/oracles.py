@@ -27,6 +27,12 @@ bit of disagreement in final state is a simulator bug:
                    engine (measure-then-schedule) match the reference
                    interpreter bit-for-bit: memory, registers,
                    instruction count **and cycle count**.
+``superblock``     the ``superblock`` launch engine (fused
+                   straight-line ALU runs, :mod:`repro.cu.superblock`)
+                   matches the reference interpreter bit-for-bit --
+                   memory, registers, instruction count **and cycle
+                   count** -- on single-CU boards and, serially, on
+                   multi-CU boards.
 ``warm-lease``     a warm board re-leased from the
                    :class:`~repro.exec.BoardPool` (after ``reset()``)
                    reproduces the cold-board run bit-for-bit: memory,
@@ -75,7 +81,7 @@ FUZZ_MAX_INSTRUCTIONS = 50_000
 
 ORACLE_NAMES = ("roundtrip", "invariants", "observer-detached", "trimmed",
                 "multi-cu", "prefetch-off", "fast-vs-reference",
-                "warm-lease", "checkpoint")
+                "superblock", "warm-lease", "checkpoint")
 
 
 @dataclass(frozen=True)
@@ -402,6 +408,37 @@ def check_case(case, multi_cus=2, oracles=None):
                 failures.append(OracleFailure(
                     "fast-vs-reference",
                     "parallel run died: {!r}".format(exc)))
+
+    # The superblock-engine equivalence claim: fusing straight-line
+    # ALU runs into compiled superblocks (deferred-semantics flushes
+    # included) must not change a single byte, register, instruction
+    # or cycle -- against the reference on one CU, and against the
+    # observed multi-CU run when the board has several.
+    if want("superblock"):
+        try:
+            sb = run_case(case, baseline, label="baseline-superblock",
+                          observed=False, engine="superblock",
+                          collect_registers=True)
+            _compare("superblock", ref, sb, failures,
+                     cycles=True, registers=True)
+        except ReproError as exc:
+            failures.append(OracleFailure(
+                "superblock", "superblock run died: {!r}".format(exc)))
+        if mc_config is not None:
+            try:
+                if mc_snap is None:
+                    mc_snap = run_case(case, mc_config, label="multi-cu",
+                                       observed=True)
+                mc_sb = run_case(case, mc_config,
+                                 label="multi-cu-superblock",
+                                 observed=False, engine="superblock",
+                                 collect_registers=True)
+                _compare("superblock", mc_snap, mc_sb, failures,
+                         cycles=True, registers=True)
+            except ReproError as exc:
+                failures.append(OracleFailure(
+                    "superblock",
+                    "multi-cu superblock run died: {!r}".format(exc)))
 
     # The warm-lease claim: a board re-leased from the pool (after
     # reset()) reproduces the cold-board run bit-for-bit.  A private

@@ -144,6 +144,93 @@ class TestWarmVsCold:
         assert fast_res.engine == "fast"
 
 
+COLLIDE = """
+.kernel collide
+.arg inp buffer
+.arg out buffer
+  s_buffer_load_dword s19, s[8:11], 3
+  s_buffer_load_dword s20, s[12:15], 0
+  s_buffer_load_dword s21, s[12:15], 1
+  s_waitcnt lgkmcnt(0)
+  s_mul_i32 s1, s16, s19
+  v_add_i32 v3, vcc, s1, v0
+  v_and_b32 v12, 7, v0
+  v_lshlrev_b32 v12, 2, v12
+  v_add_i32 v12, vcc, s21, v12
+  v_mov_b32 v6, 1
+  v_add_i32 v6, vcc, v6, v3
+  {op} v6, v12, s[4:7], 0 offen
+  s_waitcnt vmcnt(0)
+  s_endpgm
+"""
+
+OOB_STORE = """
+.kernel oob
+.arg inp buffer
+.arg out buffer
+  s_buffer_load_dword s21, s[12:15], 1
+  s_waitcnt lgkmcnt(0)
+  v_mov_b32 v12, 0x{offset:08x}
+  v_add_i32 v12, vcc, s21, v12
+  buffer_store_dword v0, v12, s[4:7], 0 offen
+  s_waitcnt vmcnt(0)
+  s_endpgm
+"""
+
+
+def _run_collide(engine, op):
+    device = _device(engine)
+    n = 64
+    inp = device.upload("inp", np.arange(n, dtype=np.uint32))
+    out = device.alloc("out", 4 * n)
+    device.preload_all()
+    result = device.run(assemble(COLLIDE.format(op=op)), (n,), (n,),
+                        args=[inp, out])
+    return result, device.read(out)
+
+
+class TestDuplicateStoreAddresses:
+    """Colliding lane addresses through the fused buffer executor must
+    resolve last-active-lane-wins, exactly like the reference loop."""
+
+    def test_aligned_dword_collisions_match_reference(self):
+        ref_res, ref_data = _run_collide("reference", "buffer_store_dword")
+        for engine in ("fast", "superblock"):
+            res, data = _run_collide(engine, "buffer_store_dword")
+            assert np.array_equal(ref_data, data), engine
+            assert res.cu_cycles == ref_res.cu_cycles
+        # Lanes 8k+i all write slot i; the winner is the last one (56+i),
+        # which stored 1 + gid = 57+i.
+        assert ref_data[:8].tolist() == [57 + i for i in range(8)]
+
+    def test_byte_collisions_match_reference(self):
+        ref_res, ref_data = _run_collide("reference", "buffer_store_byte")
+        for engine in ("fast", "superblock"):
+            res, data = _run_collide(engine, "buffer_store_byte")
+            assert np.array_equal(ref_data, data), engine
+            assert res.cu_cycles == ref_res.cu_cycles
+
+
+class TestEdgeAddressParity:
+    def test_out_of_range_store_raise_parity(self):
+        """The fused executor must raise at the same instruction with
+        the same message as the reference LSU."""
+        from repro.errors import SimulationError
+
+        messages = {}
+        for engine in ("reference", "fast", "superblock"):
+            device = _device(engine)
+            inp = device.upload("inp", np.arange(64, dtype=np.uint32))
+            out = device.alloc("out", 4 * 64)
+            device.preload_all()
+            with pytest.raises(SimulationError) as exc:
+                device.run(assemble(OOB_STORE.format(offset=0x7F000000)),
+                           (64,), (64,), args=[inp, out])
+            messages[engine] = str(exc.value)
+        assert messages["reference"] == messages["fast"]
+        assert messages["reference"] == messages["superblock"]
+
+
 class TestFallbacks:
     def test_builder_failure_falls_back_to_generic(self, monkeypatch):
         """A specializer crash must not break execution -- the plan

@@ -83,7 +83,7 @@ class TestEnvelope:
         assert result.cu_cycles > 0
         assert result.warm_board is False
         assert result.board_key
-        assert result.engine in ("reference", "fast", "parallel")
+        assert result.engine in ("reference", "fast", "superblock", "parallel")
         assert len(result.launches) >= 1
         assert result.digests  # verified outputs were digested
         assert result.label.startswith("matrix_add_i32@")

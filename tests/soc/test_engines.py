@@ -52,9 +52,9 @@ class TestEngineResolution:
         with pytest.raises(LaunchError, match="unknown launch engine"):
             gpu.launch(assemble(COPY), (512,), (64,), engine="warp9")
 
-    def test_auto_is_fast_on_single_cu(self):
+    def test_auto_is_superblock_on_single_cu(self):
         _, result, _ = launch_copy(ArchConfig.baseline())
-        assert result.engine == "fast"
+        assert result.engine == "superblock"
 
     def test_auto_is_parallel_on_covered_multi_cu(self):
         _, result, _ = launch_copy(
@@ -75,11 +75,11 @@ class TestEngineResolution:
         assert gpu.launch(assemble(COPY), (512,), (64,)).engine == "reference"
 
     def test_engines_constant(self):
-        assert ENGINES == ("reference", "fast", "parallel")
+        assert ENGINES == ("reference", "fast", "superblock", "parallel")
 
 
 class TestEngineEquivalence:
-    @pytest.mark.parametrize("engine", ["fast", "parallel"])
+    @pytest.mark.parametrize("engine", ["fast", "superblock", "parallel"])
     def test_bit_identical_to_reference(self, engine):
         arch = ArchConfig.baseline().with_parallelism(num_cus=2)
         _, ref, ref_out = launch_copy(arch, engine="reference")

@@ -66,7 +66,9 @@ class TestOracleCatchesDivergence:
         monkeypatch.setattr(prepared, "_build_vector", skewed)
         prepared.clear_prepared_cache()
         try:
-            case = generate_case(0)  # seed 0 uses v_xor_b32 in its epilogue
+            # Seed 2's case has an odd number of v_xor_b32s, so the
+            # flips do not cancel and the last one reaches the snapshot.
+            case = generate_case(2)
             failures = check_case(case, oracles=("fast-vs-reference",))
             assert failures, "oracle missed an injected engine bug"
             assert all(f.oracle == "fast-vs-reference" for f in failures)

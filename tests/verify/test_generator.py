@@ -62,13 +62,21 @@ class TestWellFormedness:
         assert found > 0
 
     def test_stores_target_own_slot_only(self):
-        # Global stores must only ever address v4 (= &out[gid]).
+        # Global stores address v4 (= &out[gid]), except the colliding-
+        # store segment, which stores through v12 — an address masked
+        # so collisions stay within the storing wavefront's own 64-slot
+        # out range (deterministic last-active-lane-wins).
+        saw_colliding = 0
         for seed in range(60):
             case = generate_case(seed)
             for line in case.source.splitlines():
                 line = line.strip()
                 if line.startswith("buffer_store"):
+                    if ", v12, s[4:7], 0 offen" in line:
+                        saw_colliding += 1
+                        continue
                     assert ", v4, s[4:7], 0 offen" in line
+        assert saw_colliding > 0
 
 
 class TestCorpusFormat:

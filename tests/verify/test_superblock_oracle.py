@@ -1,0 +1,68 @@
+"""The superblock engine-equivalence oracle."""
+
+import glob
+import os
+
+import pytest
+
+from repro.cu import superblock
+from repro.cu.prepared import clear_prepared_cache
+from repro.verify.fuzz import run_corpus_file
+from repro.verify.generator import generate_case
+from repro.verify.oracles import ORACLE_NAMES, check_case
+
+CORPUS = os.path.join(os.path.dirname(__file__), "corpus")
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_prepared_cache()
+    yield
+    clear_prepared_cache()
+
+
+class TestOracleWiring:
+    def test_oracle_registered(self):
+        assert "superblock" in ORACLE_NAMES
+
+    def test_subset_runs_only_requested(self):
+        case = generate_case(3)
+        assert check_case(case, oracles=("superblock",)) == []
+
+
+class TestEngineEquivalenceOnCorpus:
+    @pytest.mark.parametrize("path", sorted(
+        glob.glob(os.path.join(CORPUS, "*.s"))),
+        ids=lambda p: os.path.basename(p))
+    def test_corpus_passes_superblock_oracle(self, path):
+        _, failures = run_corpus_file(path, oracles=("superblock",))
+        assert failures == [], "\n".join(str(f) for f in failures)
+
+
+class TestOracleCatchesDivergence:
+    def test_wrong_block_semantics_detected(self, monkeypatch):
+        """Corrupt the compiled blocks (both execution regimes) and
+        check the oracle reports it (the gate actually gates)."""
+        real_compile = superblock._compile_block
+
+        def skewed(run, num_simd, num_simf):
+            blk = real_compile(run, num_simd, num_simf)
+            real_fn, real_sem = blk.fn, blk.sem
+
+            def wrong_fn(wf, t, bS, bB, bD, bF):
+                out = real_fn(wf, t, bS, bB, bD, bF)
+                wf.scc = (wf.scc or 0) ^ 1
+                return out
+
+            def wrong_sem(wf, k0, k1):
+                real_sem(wf, k0, k1)
+                wf.scc = (wf.scc or 0) ^ 1
+
+            blk.fn, blk.sem = wrong_fn, wrong_sem
+            return blk
+
+        monkeypatch.setattr(superblock, "_compile_block", skewed)
+        case = generate_case(0)
+        failures = check_case(case, oracles=("superblock",))
+        assert failures, "oracle missed an injected superblock bug"
+        assert all(f.oracle == "superblock" for f in failures)
