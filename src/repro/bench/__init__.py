@@ -20,7 +20,9 @@ See ``docs/benchmarking.md`` for the workflow.
 
 from .baselines import (
     REGRESSION_THRESHOLD,
+    SUPERBLOCK_FLOOR,
     Regression,
+    check_invariants,
     compare_reports,
     load_baseline,
     write_baseline,
@@ -39,8 +41,9 @@ from .simulator import (
 __all__ = [
     "BENCH_KERNELS", "DSE_BASELINE_FILE", "Measurement",
     "REGRESSION_THRESHOLD", "Regression", "SERVICE_BASELINE_FILE",
-    "SIMULATOR_BASELINE_FILE", "SMOKE_KERNELS", "bench_dse",
+    "SIMULATOR_BASELINE_FILE", "SMOKE_KERNELS", "SUPERBLOCK_FLOOR",
+    "bench_dse",
     "bench_kernel", "bench_preemption", "bench_service", "bench_simulator",
-    "compare_reports",
+    "check_invariants", "compare_reports",
     "load_baseline", "measure", "percentile", "write_baseline",
 ]

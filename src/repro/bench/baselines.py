@@ -108,6 +108,56 @@ def compare_reports(baseline, current, threshold=REGRESSION_THRESHOLD):
     return out
 
 
+#: The superblock engine may give back at most this fraction of the
+#: fast engine's speedup on any kernel.  Block compilation exists to be
+#: *at least* as fast as plain fast dispatch on straight-line code; a
+#: kernel where it falls further behind (as bitonic_sort once did, from
+#: closure-dispatched VALU ops inside fused blocks) is a compiled-path
+#: regression even when every baseline ratio still passes.
+SUPERBLOCK_FLOOR = 0.95
+
+
+def check_invariants(payload):
+    """Self-consistency checks on one simulator payload, no baseline.
+
+    Returns a list of problem strings (empty when healthy).  Checked
+    per kernel: ``speedup_superblock_vs_reference >=
+    SUPERBLOCK_FLOOR * speedup_vs_reference``.  The reference time
+    cancels out of that ratio, so it is evaluated as ``wall_fast /
+    wall_superblock >= SUPERBLOCK_FLOOR`` on the *best-of-N* wall
+    times when the full sample records are present (best-of is far
+    more robust to host contention spikes than the median the speedup
+    fields are computed from), falling back to the median-based
+    speedup fields for older or hand-built payloads.
+    """
+    problems = []
+    for name, entry in sorted((payload or {}).get("kernels", {}).items()):
+        if not isinstance(entry, dict):
+            continue
+        try:
+            fast_best = float(entry["wall_fast"]["best_s"])
+            superblock_best = float(entry["wall_superblock"]["best_s"])
+            ratio = fast_best / superblock_best
+            detail = "best-of wall_fast {:.4g}s / wall_superblock {:.4g}s"\
+                .format(fast_best, superblock_best)
+        except (KeyError, TypeError, ValueError, ZeroDivisionError):
+            try:
+                fast = float(entry["speedup_vs_reference"])
+                superblock = float(entry["speedup_superblock_vs_reference"])
+                ratio = superblock / fast
+                detail = ("speedup_superblock_vs_reference {:.3f} / "
+                          "speedup_vs_reference {:.3f}".format(
+                              superblock, fast))
+            except (KeyError, TypeError, ValueError, ZeroDivisionError):
+                continue
+        if ratio < SUPERBLOCK_FLOOR:
+            problems.append(
+                "kernels.{}: superblock holds {:.3f} of the fast "
+                "engine's speedup, floor is {:.2f} ({})"
+                .format(name, ratio, SUPERBLOCK_FLOOR, detail))
+    return problems
+
+
 def load_baseline(path):
     """Load one checked-in baseline file; None if it does not exist."""
     if not os.path.exists(path):

@@ -144,7 +144,7 @@ def bench_simulator(kernels=None, repeat=3, warmup=1, log=None):
         log("bench {} ...".format(name))
         entries[name] = bench_kernel(name, repeat=repeat, warmup=warmup)
     payload = {
-        "schema": 2,
+        "schema": 3,
         "repeat": repeat,
         "kernels": entries,
     }

@@ -293,6 +293,7 @@ def cmd_bench(args):
         bench_dse,
         bench_service,
         bench_simulator,
+        check_invariants,
         compare_reports,
         load_baseline,
         write_baseline,
@@ -316,7 +317,17 @@ def cmd_bench(args):
     dse_path = os.path.join(args.out, DSE_BASELINE_FILE)
 
     regressions = []
+    invariant_problems = []
     if args.check:
+        # Baseline-free self-consistency first: the superblock engine
+        # must hold >= SUPERBLOCK_FLOOR of the fast engine's speedup
+        # on every kernel, whatever the checked-in baseline says.
+        # Subset runs (--smoke, --kernels) skip this like they skip
+        # totals: single-kernel quick runs are too noisy to gate on.
+        if "totals" in simulator:
+            invariant_problems = check_invariants(simulator)
+        else:
+            log("subset run; skipping bench invariant checks")
         for path, payload in ((sim_path, simulator), (svc_path, service),
                               (dse_path, dse)):
             if payload is None:
@@ -352,6 +363,11 @@ def cmd_bench(args):
     for path in wrote:
         log("baseline written: {}".format(path))
 
+    if invariant_problems:
+        print("\n{} bench invariant violation(s):".format(
+            len(invariant_problems)))
+        for problem in invariant_problems:
+            print("  {}".format(problem))
     if regressions:
         print("\n{} regression(s) beyond {:.0%}:".format(
             len(regressions), REGRESSION_THRESHOLD))
@@ -363,6 +379,8 @@ def cmd_bench(args):
         if regressions and not enforced:
             log("absolute-metric regressions are report-only "
                 "(machine-dependent)")
+    if invariant_problems and not args.report_only:
+        return 1
     return 0
 
 

@@ -30,6 +30,7 @@ import numpy as np
 
 from ..errors import SimulationError
 from ..isa.formats import Format
+from ..mem.global_memory import dedup_keep_last
 
 
 def make_buffer_descriptor(base, size, flags=0):
@@ -200,15 +201,15 @@ def _exec_ds(wf, inst, memory):
             wf.write_vgpr(f["vdst"], out, lane_mask)
         elif name == "ds_write_b32":
             data = wf.read_vgpr(f["data0"])
-            # Sequential per-lane writes: colliding addresses resolve in
-            # lane order, like the banked hardware serialises conflicts.
-            for pos, lane in enumerate(active):
-                lds[idx[pos]] = data[lane]
-        else:  # ds_add_u32 -- atomic add, serialise colliding lanes
+            # Colliding addresses resolve in lane order, like the banked
+            # hardware serialises conflicts: keep each address's last
+            # active lane.
+            uniq, vals = dedup_keep_last(idx, data[active])
+            lds[uniq] = vals
+        else:  # ds_add_u32 -- atomic add; uint32 wrap is associative,
+            # so an unordered scatter-add matches lane-serial order.
             data = wf.read_vgpr(f["data0"])
-            for pos, lane in enumerate(active):
-                lds[idx[pos]] = np.uint32(
-                    (int(lds[idx[pos]]) + int(data[lane])) & 0xFFFFFFFF)
+            np.add.at(lds, idx, data[active])
         return AccessInfo(space="lds", counter="lgkm",
                           is_write=name != "ds_read_b32", addrs=addrs)
 
@@ -233,9 +234,17 @@ def _exec_ds(wf, inst, memory):
     if name == "ds_write2_b32":
         d0 = wf.read_vgpr(f["data0"])
         d1 = wf.read_vgpr(f["data1"])
-        for pos, lane in enumerate(active):
-            lds[idx0[pos]] = d0[lane]
-            lds[idx1[pos]] = d1[lane]
+        # Per lane the hardware writes offset0 then offset1, lanes in
+        # order -- interleave the two streams to keep that order for
+        # colliding addresses.
+        pair_idx = np.empty(2 * idx0.size, dtype=np.int64)
+        pair_idx[0::2] = idx0
+        pair_idx[1::2] = idx1
+        pair_vals = np.empty(2 * idx0.size, dtype=np.uint32)
+        pair_vals[0::2] = d0[active]
+        pair_vals[1::2] = d1[active]
+        uniq, vals = dedup_keep_last(pair_idx, pair_vals)
+        lds[uniq] = vals
         return AccessInfo(space="lds", counter="lgkm", is_write=True,
                           addrs=addrs0, transactions=2)
     raise SimulationError("unhandled DS op {}".format(name))

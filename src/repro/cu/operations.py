@@ -24,10 +24,21 @@ import numpy as np
 from ..errors import SimulationError
 from ..isa import registers as regs
 from ..isa.formats import Format
+from . import vector
 from .wavefront import MASK32, MASK64
 
-_LANES = np.arange(64, dtype=np.uint64)
-_POW2 = np.uint64(1) << _LANES
+# The wavefront-wide vector cores live in repro.cu.vector; the names
+# below are this module's historical spellings, kept because the
+# prepared-plan closures and superblock codegen resolve them here.
+VBIN_IMPL = vector.VBIN_IMPL
+VUN_IMPL = vector.VUN_IMPL
+VTRI_IMPL = vector.VTRI_IMPL
+_VCMP = vector.VCMP_IMPL
+_fv = vector._fv
+_sv = vector._sv
+_from_f = vector._from_f
+_mask_from_bools = vector.mask_from_bools
+_bools_from_mask = vector.bools_from_mask
 
 
 def _s32(x):
@@ -38,30 +49,6 @@ def _s32(x):
 
 def _u32(x):
     return int(x) & MASK32
-
-
-def _sv(a):
-    """Signed view of a uint32 vector."""
-    return a.view(np.int32)
-
-
-def _fv(a):
-    """Float32 view of a uint32 vector."""
-    return a.view(np.float32)
-
-
-def _from_f(f):
-    """Pack a float32 array back into uint32 bit patterns."""
-    return np.asarray(f, dtype=np.float32).view(np.uint32)
-
-
-def _mask_from_bools(bools, lane_mask):
-    """Build a 64-bit mask from per-lane booleans, zeroing inactive lanes."""
-    return int(_POW2[np.logical_and(bools, lane_mask)].sum())
-
-
-def _bools_from_mask(mask64):
-    return ((np.uint64(mask64) >> _LANES) & np.uint64(1)).astype(bool)
 
 
 # ---------------------------------------------------------------------------
@@ -304,173 +291,9 @@ def _exec_sopp(wf, inst):
 
 
 # ---------------------------------------------------------------------------
-# Vector ALU: VOP1 / VOP2 / VOPC / VOP3.
+# Vector ALU: VOP1 / VOP2 / VOPC / VOP3.  The array cores are in
+# repro.cu.vector; this section only routes operands and writebacks.
 # ---------------------------------------------------------------------------
-
-def _shift_amounts(a):
-    return (a & np.uint32(31)).astype(np.uint32)
-
-
-#: Two-source vector cores: name -> f(a, b) -> uint32 array.
-VBIN_IMPL = {
-    "v_add_f32": lambda a, b: _from_f(_fv(a) + _fv(b)),
-    "v_sub_f32": lambda a, b: _from_f(_fv(a) - _fv(b)),
-    "v_subrev_f32": lambda a, b: _from_f(_fv(b) - _fv(a)),
-    "v_mul_f32": lambda a, b: _from_f(_fv(a) * _fv(b)),
-    "v_min_f32": lambda a, b: _from_f(np.minimum(_fv(a), _fv(b))),
-    "v_max_f32": lambda a, b: _from_f(np.maximum(_fv(a), _fv(b))),
-    "v_mul_i32_i24": lambda a, b: (
-        (_sext24(a) * _sext24(b)) & np.int64(MASK32)).astype(np.uint32),
-    "v_min_i32": lambda a, b: np.minimum(_sv(a), _sv(b)).view(np.uint32),
-    "v_max_i32": lambda a, b: np.maximum(_sv(a), _sv(b)).view(np.uint32),
-    "v_min_u32": lambda a, b: np.minimum(a, b),
-    "v_max_u32": lambda a, b: np.maximum(a, b),
-    "v_lshr_b32": lambda a, b: a >> _shift_amounts(b),
-    "v_lshrrev_b32": lambda a, b: b >> _shift_amounts(a),
-    "v_ashr_i32": lambda a, b: (_sv(a) >> _shift_amounts(b).astype(np.int32))
-    .view(np.uint32),
-    "v_ashrrev_i32": lambda a, b: (_sv(b) >> _shift_amounts(a).astype(np.int32))
-    .view(np.uint32),
-    "v_lshl_b32": lambda a, b: a << _shift_amounts(b),
-    "v_lshlrev_b32": lambda a, b: b << _shift_amounts(a),
-    "v_and_b32": lambda a, b: a & b,
-    "v_or_b32": lambda a, b: a | b,
-    "v_xor_b32": lambda a, b: a ^ b,
-}
-
-
-def _sext24(a):
-    v = (a & np.uint32(0xFFFFFF)).astype(np.int64)
-    return np.where(v & 0x800000, v - 0x1000000, v)
-
-
-def _cvt_u32_f32(a):
-    f = _fv(a).astype(np.float64)
-    f = np.nan_to_num(f, nan=0.0)
-    return np.clip(np.trunc(f), 0, 4294967295).astype(np.uint32)
-
-
-def _cvt_i32_f32(a):
-    f = _fv(a).astype(np.float64)
-    f = np.nan_to_num(f, nan=0.0)
-    return np.clip(np.trunc(f), -2147483648, 2147483647) \
-        .astype(np.int32).view(np.uint32)
-
-
-def _rndne(a):
-    # IEEE round-to-nearest-even, which is what numpy's rint does.
-    return _from_f(np.rint(_fv(a)))
-
-
-def _safe_unary(fn):
-    """Wrap a transcendental so invalid inputs follow IEEE (inf/nan)."""
-    def wrapped(a):
-        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
-            return _from_f(fn(_fv(a).astype(np.float64)).astype(np.float32))
-    return wrapped
-
-
-#: One-source vector cores: name -> f(a) -> uint32 array.
-VUN_IMPL = {
-    "v_mov_b32": lambda a: a.copy(),
-    "v_not_b32": lambda a: ~a,
-    "v_bfrev_b32": lambda a: _bfrev_vec(a),
-    "v_cvt_f32_i32": lambda a: _from_f(_sv(a).astype(np.float32)),
-    "v_cvt_f32_u32": lambda a: _from_f(a.astype(np.float32)),
-    "v_cvt_u32_f32": _cvt_u32_f32,
-    "v_cvt_i32_f32": _cvt_i32_f32,
-    "v_fract_f32": lambda a: _from_f(_fv(a) - np.floor(_fv(a))),
-    "v_trunc_f32": lambda a: _from_f(np.trunc(_fv(a))),
-    "v_ceil_f32": lambda a: _from_f(np.ceil(_fv(a))),
-    "v_rndne_f32": _rndne,
-    "v_floor_f32": lambda a: _from_f(np.floor(_fv(a))),
-    "v_exp_f32": _safe_unary(np.exp2),
-    "v_log_f32": _safe_unary(np.log2),
-    "v_rcp_f32": _safe_unary(lambda x: 1.0 / x),
-    "v_rsq_f32": _safe_unary(lambda x: 1.0 / np.sqrt(x)),
-    "v_sqrt_f32": _safe_unary(np.sqrt),
-    "v_sin_f32": _safe_unary(np.sin),
-    "v_cos_f32": _safe_unary(np.cos),
-}
-
-
-def _bfrev_vec(a):
-    v = a.copy()
-    v = ((v >> np.uint32(1)) & np.uint32(0x55555555)) | \
-        ((v & np.uint32(0x55555555)) << np.uint32(1))
-    v = ((v >> np.uint32(2)) & np.uint32(0x33333333)) | \
-        ((v & np.uint32(0x33333333)) << np.uint32(2))
-    v = ((v >> np.uint32(4)) & np.uint32(0x0F0F0F0F)) | \
-        ((v & np.uint32(0x0F0F0F0F)) << np.uint32(4))
-    v = ((v >> np.uint32(8)) & np.uint32(0x00FF00FF)) | \
-        ((v & np.uint32(0x00FF00FF)) << np.uint32(8))
-    return (v >> np.uint32(16)) | (v << np.uint32(16))
-
-
-#: Three-source (VOP3-native) cores: name -> f(a, b, c) -> uint32 array.
-def _mul_hi_u32(a, b):
-    wide = a.astype(np.uint64) * b.astype(np.uint64)
-    return (wide >> np.uint64(32)).astype(np.uint32)
-
-
-def _mul_hi_i32(a, b):
-    wide = _sv(a).astype(np.int64) * _sv(b).astype(np.int64)
-    return ((wide >> np.int64(32)) & np.int64(MASK32)).astype(np.uint32)
-
-
-def _mul_lo(a, b):
-    wide = a.astype(np.uint64) * b.astype(np.uint64)
-    return (wide & np.uint64(MASK32)).astype(np.uint32)
-
-
-def _v_bfe_u32(a, b, c):
-    offset = (b & np.uint32(31)).astype(np.uint32)
-    width = (c & np.uint32(31)).astype(np.uint32)
-    mask = np.where(width == 0, np.uint32(0),
-                    ((np.uint64(1) << width.astype(np.uint64)) - np.uint64(1))
-                    .astype(np.uint32))
-    return (a >> offset) & mask
-
-
-def _v_bfe_i32(a, b, c):
-    u = _v_bfe_u32(a, b, c)
-    width = (c & np.uint32(31)).astype(np.uint32)
-    sign_bit = np.where(width == 0, np.uint32(0),
-                        np.uint32(1) << np.maximum(width, np.uint32(1)) - np.uint32(1))
-    extended = np.where((width != 0) & ((u & sign_bit) != 0),
-                        u | (~(sign_bit - np.uint32(1)) & ~sign_bit), u)
-    return extended
-
-
-def _v_alignbit(a, b, c):
-    wide = (a.astype(np.uint64) << np.uint64(32)) | b.astype(np.uint64)
-    return ((wide >> (c & np.uint32(31)).astype(np.uint64)) &
-            np.uint64(MASK32)).astype(np.uint32)
-
-
-VTRI_IMPL = {
-    "v_mad_f32": lambda a, b, c: _from_f(_fv(a) * _fv(b) + _fv(c)),
-    "v_fma_f32": lambda a, b, c: _from_f(
-        np.float32(1) * (_fv(a).astype(np.float64) * _fv(b).astype(np.float64)
-                         + _fv(c).astype(np.float64)).astype(np.float32)),
-    "v_mad_i32_i24": lambda a, b, c: (
-        (_sext24(a) * _sext24(b) + _sv(c).astype(np.int64)) & np.int64(MASK32)
-    ).astype(np.uint32),
-    "v_bfe_u32": _v_bfe_u32,
-    "v_bfe_i32": _v_bfe_i32,
-    "v_bfi_b32": lambda a, b, c: (a & b) | (~a & c),
-    "v_alignbit_b32": _v_alignbit,
-    "v_mul_lo_u32": _mul_lo,
-    "v_mul_hi_u32": _mul_hi_u32,
-    "v_mul_lo_i32": _mul_lo,  # low 32 bits are sign-agnostic
-    "v_mul_hi_i32": _mul_hi_i32,
-}
-
-#: Vector compare cores: comparison name -> predicate.
-_VCMP = {
-    "lt": np.less, "eq": np.equal, "le": np.less_equal,
-    "gt": np.greater, "lg": np.not_equal, "ge": np.greater_equal,
-}
 
 
 def _vector_sources(wf, inst):
@@ -525,29 +348,24 @@ def _exec_vector(wf, inst):
         wf.write_vgpr(f["vdst"], np.where(selector, b, a), lane_mask)
         return
 
-    if name in ("v_add_i32", "v_sub_i32", "v_subrev_i32",
-                "v_addc_u32", "v_subb_u32"):
-        a, b = srcs[0].astype(np.uint64), srcs[1].astype(np.uint64)
+    if name in vector.CARRY_OPS:
+        a, b = srcs[0], srcs[1]
         if name in ("v_addc_u32", "v_subb_u32"):
-            carry_src = f.get("sdst", regs.VCC_LO) if inst.fmt is Format.VOP3 \
-                else regs.VCC_LO
             cin = _bools_from_mask(
                 wf.read_scalar64(f["src2"]) if inst.fmt is Format.VOP3
-                else wf.vcc).astype(np.uint64)
+                else wf.vcc)
         else:
-            cin = np.zeros(64, dtype=np.uint64)
+            cin = None
         if name == "v_add_i32":
-            wide = a + b
+            result, carry = vector.add_with_carry(a, b)
         elif name == "v_addc_u32":
-            wide = a + b + cin
+            result, carry = vector.add_with_carry(a, b, cin)
         elif name == "v_sub_i32":
-            wide = a - b
+            result, carry = vector.sub_with_borrow(a, b)
         elif name == "v_subrev_i32":
-            wide = b - a
+            result, carry = vector.sub_with_borrow(b, a)
         else:  # v_subb_u32
-            wide = a - b - cin
-        result = (wide & np.uint64(MASK32)).astype(np.uint32)
-        carry = (wide >> np.uint64(32)) != 0  # carry or borrow (wraps)
+            result, carry = vector.sub_with_borrow(a, b, cin)
         carry_mask = _mask_from_bools(carry, lane_mask)
         sdst = f.get("sdst", regs.VCC_LO) if inst.fmt is Format.VOP3 else regs.VCC_LO
         if sdst == regs.VCC_LO:

@@ -40,7 +40,7 @@ import numpy as np
 from ..isa import registers as regs
 from ..isa.formats import Format
 from ..mem.global_memory import _BYTE_OFFSETS, dedup_keep_last
-from . import lsu, operations
+from . import lsu, operations, vector
 from .timing import DEFAULT_TIMING, frontend_cost, unit_occupancy
 from .wavefront import MASK32, MASK64
 
@@ -91,7 +91,7 @@ class InstPlan:
             # count at issue time, like the reference path.
             self.occupancy = timing.lsu_cycles
             if inst.fmt is Format.SMRD:
-                self.mem_fn = lsu._exec_smrd
+                self.mem_fn = _build_smrd(inst) or lsu._exec_smrd
             elif inst.fmt in (Format.MUBUF, Format.MTBUF):
                 self.mem_fn = _build_buffer(inst) or lsu._exec_buffer
             else:
@@ -418,28 +418,29 @@ def _build_vector(inst):
         is_vop3 = fmt is Format.VOP3
         sdst = f.get("sdst", regs.VCC_LO) if is_vop3 else regs.VCC_LO
         cin_code = f["src2"] if (has_cin and is_vop3) else None
-        wide_fn = {
-            "v_add_i32": lambda a, b, c: a + b,
-            "v_addc_u32": lambda a, b, c: a + b + c,
-            "v_sub_i32": lambda a, b, c: a - b,
-            "v_subrev_i32": lambda a, b, c: b - a,
-            "v_subb_u32": lambda a, b, c: a - b - c,
+        # Widening-free carry arithmetic (see repro.cu.vector): the
+        # uint64 temporaries this closure used to allocate dominated
+        # carry-heavy kernels.
+        core = {
+            "v_add_i32": lambda a, b, c: vector.add_with_carry(a, b),
+            "v_addc_u32": lambda a, b, c: vector.add_with_carry(a, b, c),
+            "v_sub_i32": lambda a, b, c: vector.sub_with_borrow(a, b),
+            "v_subrev_i32": lambda a, b, c: vector.sub_with_borrow(b, a),
+            "v_subb_u32": lambda a, b, c: vector.sub_with_borrow(a, b, c),
         }[name]
 
         def fn(wf):
-            a = read_0(wf).astype(np.uint64)
-            b = read_1(wf).astype(np.uint64)
+            a = read_0(wf)
+            b = read_1(wf)
             if has_cin:
-                cin = operations._bools_from_mask(
+                cin = vector.bools_from_mask(
                     wf.read_scalar64(cin_code) if cin_code is not None
-                    else wf.vcc).astype(np.uint64)
+                    else wf.vcc)
             else:
                 cin = None
-            wide = wide_fn(a, b, cin)
+            result, carry = core(a, b, cin)
             lane_mask = wf.active_lane_mask()
-            result = (wide & np.uint64(MASK32)).astype(np.uint32)
-            carry_mask = operations._mask_from_bools(
-                (wide >> np.uint64(32)) != 0, lane_mask)
+            carry_mask = vector.mask_from_bools(carry, lane_mask)
             if sdst == regs.VCC_LO:
                 wf.vcc = carry_mask
             else:
@@ -501,11 +502,54 @@ def _build_vector(inst):
 _FUSED_BUFFER_OPS = frozenset((
     "buffer_load_dword", "buffer_store_dword",
     "tbuffer_load_format_x", "tbuffer_store_format_x",
+    "tbuffer_load_format_xy", "tbuffer_store_format_xy",
+    "buffer_load_ubyte", "buffer_load_sbyte", "buffer_store_byte",
 ))
 
 
+def _build_smrd(inst):
+    """Fused executor for SMRD loads.
+
+    The generic path calls ``GlobalMemory.read_u32`` once per dword —
+    bounds check, slice, view, int conversion each time.  When the
+    whole ``count``-dword window is in range, this executor reads it
+    with one slice-view into the SGPR file.  Destinations or descriptor
+    bases that reach past the plain SGPR file (special registers,
+    IndexError territory) keep the generic path and its exact errors.
+    """
+    f, name = inst.fields, inst.spec.name
+    count = {"dword": 1, "dwordx2": 2,
+             "dwordx4": 4}.get(name.rsplit("_", 1)[-1])
+    if count is None:
+        return None
+    base_reg = f["sbase"] << 1
+    need = base_reg + (3 if "buffer" in name else 1)
+    if need > regs.NUM_SGPRS:
+        return None
+    sdst = f["sdst"]
+    if not (regs.SGPR_FIRST <= sdst and sdst + count - 1 <= regs.SGPR_LAST):
+        return None
+    imm, offset = f["imm"], f["offset"]
+    read_offset = None if imm else _scalar_reader(offset, None)
+
+    def fn(wf, inst, memory):
+        sgprs = wf.sgprs
+        base = int(sgprs[base_reg])
+        addr = base + (4 * offset if imm else read_offset(wf))
+        gm = memory.global_mem
+        end = addr + 4 * count
+        if 0 <= addr and end <= gm.size:
+            sgprs[sdst:sdst + count] = gm._bytes[addr:end].view(np.uint32)
+        else:
+            for i in range(count):
+                wf.write_scalar(sdst + i, gm.read_u32(addr + 4 * i))
+        return lsu.AccessInfo(space="global", counter="lgkm", is_write=False,
+                              addrs=addr, transactions=count)
+    return fn
+
+
 def _build_buffer(inst):
-    """Fused executor for single-dword MUBUF/MTBUF accesses.
+    """Fused executor for the common MUBUF/MTBUF accesses.
 
     The generic path derives the active-lane footprint three times per
     access (records check, functional gather/scatter, prefetch
@@ -513,7 +557,10 @@ def _build_buffer(inst):
     to the timing query through ``AccessInfo.span``.  Register effects,
     memory effects, error messages and raise points are identical to
     :func:`lsu._exec_buffer` -- any encoding outside the proven subset
-    returns None and keeps the generic executor.
+    returns None and keeps the generic executor, and a multi-dword
+    access that cannot be proven safe up front replays the generic
+    executor wholesale (before mutating anything) so partial-effect
+    raise points stay exact.
     """
     from ..errors import SimulationError
 
@@ -531,6 +578,9 @@ def _build_buffer(inst):
     except KeyError:
         return None
     is_write = "store" in name
+    byte_op = name in lsu._BYTE_OPS
+    signed = name == "buffer_load_sbyte"
+    dwords = lsu._BUFFER_DWORDS.get(name, 1)
 
     def fn(wf, inst, memory):
         sgprs = wf.sgprs
@@ -555,25 +605,45 @@ def _build_buffer(inst):
                 raise SimulationError(
                     "{}: access at 0x{:x} beyond buffer records "
                     "[0x{:x}, 0x{:x})".format(name, hi, base, base + size))
+            if byte_op:
+                # gather_u8/scatter_u8 are already wavefront-wide and
+                # range-check (without mutating) before moving data.
+                if is_write:
+                    gm.scatter_u8(addrs, wf.vgprs[vdata], lane_mask)
+                else:
+                    wf.write_vgpr(vdata, gm.gather_u8(addrs, lane_mask, signed),
+                                  lane_mask)
+                span = (n_active, lo, hi)
+                return lsu.AccessInfo(space="global", counter="vm",
+                                      is_write=is_write, addrs=addrs,
+                                      lane_mask=lane_mask, span=span)
             if lo < 0 or hi + 4 > gm.size:
                 raise SimulationError(
                     "global memory access out of range: "
                     "0x{:x}..0x{:x} (size 0x{:x})".format(lo, hi + 4, gm.size))
-            if not (sel & 3).any():
+            aligned = not (sel & 3).any()
+            if dwords > 1 and not (aligned and hi + 4 * dwords <= gm.size):
+                # Unprovable multi-dword access: the per-dword generic
+                # loop owns the (possibly partial) effects and raises.
+                return lsu._exec_buffer(wf, inst, memory)
+            if aligned:
                 words = gm._bytes.view(np.uint32)
+                word_idx = sel >> 2
                 if is_write:
                     # Colliding lane addresses must resolve to
                     # last-active-lane-wins, like the reference loop;
                     # raw fancy assignment leaves that unspecified.
-                    idx, vals = dedup_keep_last(sel >> 2,
-                                                wf.vgprs[vdata][active])
-                    words[idx] = vals
-                    if hi + 4 > gm.dirty_hi:
-                        gm.dirty_hi = hi + 4
+                    for i in range(dwords):
+                        idx, vals = dedup_keep_last(
+                            word_idx + i, wf.vgprs[vdata + i][active])
+                        words[idx] = vals
+                    if hi + 4 * dwords > gm.dirty_hi:
+                        gm.dirty_hi = hi + 4 * dwords
                 else:
-                    out = np.zeros(64, dtype=np.uint32)
-                    out[active] = words[sel >> 2]
-                    wf.write_vgpr(vdata, out, lane_mask)
+                    for i in range(dwords):
+                        out = np.zeros(64, dtype=np.uint32)
+                        out[active] = words[word_idx + i]
+                        wf.write_vgpr(vdata + i, out, lane_mask)
             elif is_write:
                 byte_idx = (sel[:, None] + _BYTE_OFFSETS).ravel()
                 byte_vals = np.ascontiguousarray(
@@ -590,12 +660,15 @@ def _build_buffer(inst):
                 wf.write_vgpr(vdata, out, lane_mask)
             span = (n_active, lo, hi)
         else:
-            if not is_write:
-                wf.write_vgpr(vdata, np.zeros(64, dtype=np.uint32), lane_mask)
+            if not is_write and not byte_op:
+                for i in range(dwords):
+                    wf.write_vgpr(vdata + i, np.zeros(64, dtype=np.uint32),
+                                  lane_mask)
             span = (0, 0, 0)
         return lsu.AccessInfo(space="global", counter="vm",
                               is_write=is_write, addrs=addrs,
-                              lane_mask=lane_mask, span=span)
+                              lane_mask=lane_mask, span=span,
+                              transactions=dwords)
     return fn
 
 

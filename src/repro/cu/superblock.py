@@ -70,9 +70,9 @@ import numpy as np
 from ..isa import registers as regs
 from ..isa.categories import FunctionalUnit
 from ..isa.formats import Format
-from . import operations
+from . import operations, vector
 from .prepared import _BRANCH_TAKEN, _inline_constant, KIND_ALU
-from .wavefront import MASK32
+from .wavefront import FULL_EXEC, MASK32, MASK64
 
 #: Minimum run length worth fusing: a one-instruction block would just
 #: replace one closure call with another.
@@ -119,7 +119,15 @@ class Superblock:
 # ---------------------------------------------------------------------------
 
 def _wv(row, values, mask):
-    """Masked VGPR write -- exactly :meth:`Wavefront.write_vgpr`."""
+    """Masked VGPR write -- exactly :meth:`Wavefront.write_vgpr`.
+
+    ``mask is None`` means "EXEC was full at block entry" (EXEC cannot
+    change inside a block), mirroring the full-EXEC fast path of
+    :meth:`Wavefront.write_vgpr`.
+    """
+    if mask is None:
+        row[...] = np.asarray(values, dtype=np.uint32)
+        return
     np.copyto(row, np.asarray(values, dtype=np.uint32), where=mask)
 
 
@@ -212,6 +220,43 @@ def _scalar_src(code, literal):
     constant = _inline_constant(code)
     if constant is not None:
         return str(constant), False
+    return None
+
+
+def _scalar64_src(code, uses):
+    """Inline expression for a 64-bit scalar source, or None.
+
+    Mirrors :meth:`Wavefront.read_scalar64`'s provable cases only --
+    the raising cases fall back to the per-instruction closure so the
+    error surfaces at its exact issue slot.
+    """
+    if code == regs.VCC_LO:
+        return "wf.vcc"
+    if code == regs.EXEC_LO:
+        return "wf.exec_mask"
+    if regs.SGPR_FIRST <= code <= regs.SGPR_LAST - 1:
+        uses.add("s")
+        return "(int(s[%d]) | (int(s[%d]) << 32))" % (code, code + 1)
+    if code == regs.CONST_ZERO:
+        return "0"
+    if regs.INT_POS_FIRST <= code <= regs.INT_NEG_LAST:
+        return str(regs.inline_value(code) & MASK64)
+    return None
+
+
+def _mask_dst_lines(sdst, uses):
+    """Source lines storing a 64-bit lane mask ``_m``, or None.
+
+    ``sdst is None`` (VOP2/VOPC encodings) and ``VCC_LO`` both target
+    VCC; an in-file SGPR pair is written exactly like
+    :meth:`Wavefront.write_scalar64`.
+    """
+    if sdst is None or sdst == regs.VCC_LO:
+        return ["wf.vcc = _m"]
+    if regs.SGPR_FIRST <= sdst <= regs.SGPR_LAST - 1:
+        uses.add("s")
+        return ["s[%d] = _m & %s" % (sdst, _M32),
+                "s[%d] = _m >> 32" % (sdst + 1)]
     return None
 
 
@@ -325,22 +370,18 @@ def _emit_salu(plan, k, ns, uses):
     return None
 
 
-#: Vector names whose specialization is not the plain VBIN/VUN/VTRI
-#: masked-write pattern (carry chains, cndmask, compares, mac) -- they
-#: stay as closure calls inside a block.
-_VECTOR_SPECIAL = frozenset((
-    "v_cndmask_b32", "v_mac_f32",
-    "v_add_i32", "v_sub_i32", "v_subrev_i32", "v_addc_u32", "v_subb_u32",
-))
-
-
 def _emit_vector(plan, k, ns, uses):
-    """Inline source lines for a vector-ALU plan, or None."""
+    """Inline source lines for a vector-ALU plan, or None.
+
+    Every vectorized class is emitted in array form -- plain
+    VBIN/VUN/VTRI cores, compares, cndmask, mac and the carry chains
+    (:data:`repro.cu.vector.CARRY_OPS`) -- one NumPy expression per
+    instruction.  Unprovable operand shapes fall back to the plan's
+    bound closure.
+    """
     inst = plan.inst
     sp, f, fmt = inst.spec, inst.fields, inst.fmt
     name = sp.name
-    if name in _VECTOR_SPECIAL or name.startswith("v_cmp_"):
-        return None
 
     def src(code, tag):
         got = _vector_src(code, inst.literal, ns, tag)
@@ -361,6 +402,70 @@ def _emit_vector(plan, k, ns, uses):
         b = src(f["src1"], "_c%db" % k)
     else:
         b = None
+
+    if name.startswith("v_cmp_"):
+        if b is None:
+            return None
+        ty = name.rsplit("_", 1)[1]
+        cmp_fn = vector.VCMP_IMPL.get(name.split("_")[2])
+        if cmp_fn is None:
+            return None
+        dst = _mask_dst_lines(
+            f.get("sdst") if fmt is Format.VOP3 else None, uses)
+        if dst is None:
+            return None
+        if ty == "f32":
+            a, b = "_fv(%s)" % a, "_fv(%s)" % b
+        elif ty == "i32":
+            a, b = "_sv(%s)" % a, "_sv(%s)" % b
+        ns["_p%d" % k] = cmp_fn
+        uses.add("lm")
+        return ["_m = _mfb(_p%d(%s, %s), lm)" % (k, a, b)] + dst
+
+    if name == "v_cndmask_b32":
+        if b is None:
+            return None
+        sel = ("wf.vcc" if fmt is not Format.VOP3
+               else _scalar64_src(f["src2"], uses))
+        if sel is None:
+            return None
+        uses.add("v")
+        uses.add("lm")
+        return ["_wv(v[%d], _where(_bfm(%s), %s, %s), lm)"
+                % (f["vdst"], sel, b, a)]
+
+    if name in vector.CARRY_OPS:
+        if b is None:
+            return None
+        if name in ("v_addc_u32", "v_subb_u32"):
+            cin = ("wf.vcc" if fmt is not Format.VOP3
+                   else _scalar64_src(f["src2"], uses))
+            if cin is None:
+                return None
+            args = "%s, %s, _bfm(%s)" % (a, b, cin)
+        elif name == "v_subrev_i32":
+            args = "%s, %s" % (b, a)
+        else:
+            args = "%s, %s" % (a, b)
+        core = "_awc" if name in ("v_add_i32", "v_addc_u32") else "_swb"
+        dst = _mask_dst_lines(
+            f.get("sdst") if fmt is Format.VOP3 else None, uses)
+        if dst is None:
+            return None
+        uses.add("v")
+        uses.add("lm")
+        return (["_r, _cb = %s(%s)" % (core, args),
+                 "_m = _mfb(_cb, lm)"]
+                + dst
+                + ["_wv(v[%d], _r, lm)" % f["vdst"]])
+
+    if name == "v_mac_f32":
+        if b is None:
+            return None
+        uses.add("v")
+        uses.add("lm")
+        return ["_wv(v[%d], _from_f(_fv(%s) * _fv(%s) + _fv(v[%d])), lm)"
+                % (f["vdst"], a, b, f["vdst"])]
 
     impl = operations.VBIN_IMPL.get(name)
     if impl is not None:
@@ -405,6 +510,10 @@ def _compile_block(run, num_simd, num_simf):
     ns = {
         "_wv": _wv, "_acq": _acq, "_full": np.full, "_u32d": np.uint32,
         "_s32": operations._s32, "_add32": operations._add_i32,
+        "_FE": FULL_EXEC, "_where": np.where,
+        "_fv": vector._fv, "_sv": vector._sv, "_from_f": vector._from_f,
+        "_mfb": vector.mask_from_bools, "_bfm": vector.bools_from_mask,
+        "_awc": vector.add_with_carry, "_swb": vector.sub_with_borrow,
     }
     counts = {FunctionalUnit.SALU: 1, FunctionalUnit.BRANCH: 1,
               FunctionalUnit.SIMD: num_simd, FunctionalUnit.SIMF: num_simf}
@@ -453,7 +562,10 @@ def _compile_block(run, num_simd, num_simf):
     if "v" in uses:
         prelude.append("v = wf.vgprs")
     if "lm" in uses:
-        prelude.append("lm = wf.active_lane_mask()")
+        # EXEC cannot change inside a block; None means "all lanes"
+        # to both _wv and the mask builders, skipping the unpack.
+        prelude.append(
+            "lm = None if wf.exec_mask == _FE else wf.active_lane_mask()")
 
     head = run[0].address
     src = (

@@ -65,16 +65,17 @@ class Wavefront:
 
     @exec_mask.setter
     def exec_mask(self, value):
-        self._exec_mask = value & MASK64
+        self._exec_mask = int(value) & MASK64
         self._lane_mask_cache = None
         self._lane_idx_cache = None
 
     def active_lane_mask(self):
         """Boolean (64,) array of lanes enabled by EXEC (cached)."""
         if self._lane_mask_cache is None:
-            bits = np.uint64(self._exec_mask)
-            lanes = np.arange(64, dtype=np.uint64)
-            self._lane_mask_cache = ((bits >> lanes) & np.uint64(1)).astype(bool)
+            packed = np.frombuffer(
+                self._exec_mask.to_bytes(8, "little"), dtype=np.uint8)
+            self._lane_mask_cache = np.unpackbits(
+                packed, bitorder="little").view(np.bool_)
         return self._lane_mask_cache
 
     def active_lanes(self):
@@ -193,9 +194,13 @@ class Wavefront:
 
     def write_vgpr(self, index, values, lane_mask=None):
         """Write a VGPR row, honouring EXEC (or an explicit lane mask)."""
+        row = self.vgprs[index]
+        if self._exec_mask == FULL_EXEC and (
+                lane_mask is None or lane_mask is self._lane_mask_cache):
+            row[...] = np.asarray(values, dtype=np.uint32)
+            return
         if lane_mask is None:
             lane_mask = self.active_lane_mask()
-        row = self.vgprs[index]
         np.copyto(row, np.asarray(values, dtype=np.uint32), where=lane_mask)
 
     # ------------------------------------------------------------------

@@ -78,6 +78,19 @@ _VOP2_FLOAT = ("v_add_f32", "v_sub_f32", "v_subrev_f32", "v_mul_f32",
 _VOP1_FLOAT = ("v_floor_f32", "v_ceil_f32", "v_trunc_f32", "v_fract_f32",
                "v_rndne_f32", "v_sqrt_f32", "v_rcp_f32")
 _FLOAT_INLINE = ("0.5", "1.0", "2.0", "4.0", "-1.0", "-2.0")
+#: Float bit patterns that stress the exact-semantics claims: quiet
+#: NaNs with distinct payloads (both signs), infinities, signed zeros,
+#: denormals and FLT_MAX.  Fed as raw literals so the simulator's
+#: reinterpret-cast views see them bit-exactly.
+_FLOAT_SPECIAL_BITS = (
+    0x7FC00001, 0xFFC00123,   # quiet NaNs with payloads
+    0x7F800000, 0xFF800000,   # +/- infinity
+    0x00000000, 0x80000000,   # +/- zero
+    0x00000001, 0x807FFFFF,   # smallest / largest-magnitude denormal
+    0x7F7FFFFF,               # FLT_MAX
+)
+_VOPC_FLOAT = ("v_cmp_lt_f32", "v_cmp_eq_f32", "v_cmp_le_f32",
+               "v_cmp_gt_f32", "v_cmp_lg_f32", "v_cmp_ge_f32")
 _SOP2 = ("s_add_u32", "s_sub_u32", "s_add_i32", "s_sub_i32", "s_and_b32",
          "s_or_b32", "s_xor_b32", "s_mul_i32", "s_min_i32", "s_min_u32",
          "s_max_i32", "s_max_u32", "s_lshl_b32", "s_lshr_b32", "s_ashr_i32")
@@ -259,6 +272,31 @@ class KernelGenerator:
             self.emit("{} {}, {}".format(
                 r.choice(("v_cvt_u32_f32", "v_cvt_i32_f32")),
                 self._v(), self._v()))
+
+    def seg_float_special(self):
+        """Float traffic seeded with NaN payloads, infs and denormals.
+
+        NaN payloads must propagate bit-exactly through every engine
+        (the scalar interpreter, the array path and the lanewise
+        golden model share numpy's IEEE machinery), and compares on
+        NaN operands must produce identical VCC masks.
+        """
+        r = self.rng
+        self.emit("v_mov_b32 {}, 0x{:08x}".format(
+            self._v(), r.choice(_FLOAT_SPECIAL_BITS)))
+        for _ in range(r.randint(1, 3)):
+            src0 = ("0x{:08x}".format(r.choice(_FLOAT_SPECIAL_BITS))
+                    if r.random() < 0.5 else self._v())
+            self.emit("{} {}, {}, {}".format(
+                r.choice(_VOP2_FLOAT), self._v(), src0, self._v()))
+        if r.random() < 0.5:
+            self.emit("{} {}, {}".format(
+                r.choice(_VOP1_FLOAT), self._v(), self._v()))
+        if r.random() < 0.5:
+            self.emit("{} vcc, {}, {}".format(
+                r.choice(_VOPC_FLOAT), self._v(), self._v()))
+            self.emit("v_cndmask_b32 {}, {}, {}, vcc".format(
+                self._v(), self._v(), self._v()))
 
     def seg_vcmp(self):
         r = self.rng
@@ -448,6 +486,7 @@ class KernelGenerator:
         r = self.rng
         choices = [
             (self.seg_valu, 30), (self.seg_salu, 22), (self.seg_float, 8),
+            (self.seg_float_special, 6),
             (self.seg_vcmp, 10), (self.seg_global_load, 10),
             (self.seg_smrd, 8), (self.seg_store, 6),
             (self.seg_colliding_store, 6),

@@ -44,6 +44,11 @@ bit of disagreement in final state is a simulator bug:
                    pool** (cross-board migration) -- matches the
                    run-to-completion bit-for-bit: memory, registers,
                    instruction count **and cycle count**.
+``vector``         the reference run with the NumPy array VALU
+                   semantics (:mod:`repro.cu.vector`) swapped for a
+                   per-lane scalar golden model matches bit-for-bit:
+                   memory, registers, instruction count **and cycle
+                   count** -- the lane-vectorization equivalence claim.
 =================  ====================================================
 
 ``run_case`` executes one configuration and captures an
@@ -63,6 +68,7 @@ from ..asm.disassembler import disassemble
 from ..core.config import ArchConfig
 from ..core.trimmer import TrimmingTool
 from ..errors import ReproError
+from ..cu.vector import lanewise_execution
 from ..exec import (STATUS_PREEMPTED, BoardPool, ExecutionRequest, Executor,
                     PreemptedResult, ProgramWorkload, default_executor)
 from ..obs import Observer
@@ -81,7 +87,7 @@ FUZZ_MAX_INSTRUCTIONS = 50_000
 
 ORACLE_NAMES = ("roundtrip", "invariants", "observer-detached", "trimmed",
                 "multi-cu", "prefetch-off", "fast-vs-reference",
-                "superblock", "warm-lease", "checkpoint")
+                "superblock", "warm-lease", "checkpoint", "vector")
 
 
 @dataclass(frozen=True)
@@ -468,6 +474,25 @@ def check_case(case, multi_cus=2, oracles=None):
     # the straight-through reference run, cycles included.  (Cases
     # whose budget exceeds the run simply never preempt; the oracle
     # then degenerates to another fast-vs-reference check.)
+    # The lane-vectorization equivalence claim: every VALU opcode's
+    # NumPy array semantics (:mod:`repro.cu.vector`) must match a
+    # per-lane scalar golden model -- python-int arithmetic for the
+    # integer ops, numpy float32 scalar arithmetic for the float ops
+    # (same IEEE machinery, one lane at a time).  The reference engine
+    # re-runs with the VALU dispatcher swapped; memory, registers,
+    # instructions and cycles must all be bit-identical.
+    if want("vector"):
+        try:
+            with lanewise_execution():
+                lanewise = run_case(case, baseline,
+                                    label="baseline-lanewise",
+                                    observed=True, engine="reference")
+            _compare("vector", ref, lanewise, failures,
+                     cycles=True, registers=True)
+        except ReproError as exc:
+            failures.append(OracleFailure(
+                "vector", "lanewise run died: {!r}".format(exc)))
+
     if want("checkpoint"):
         import random
 

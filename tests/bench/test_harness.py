@@ -4,6 +4,8 @@ import pytest
 
 from repro.bench import (
     REGRESSION_THRESHOLD,
+    SUPERBLOCK_FLOOR,
+    check_invariants,
     compare_reports,
     load_baseline,
     measure,
@@ -133,6 +135,61 @@ class TestCompareReports:
 
     def test_default_threshold_is_20_percent(self):
         assert REGRESSION_THRESHOLD == 0.20
+
+
+class TestCheckInvariants:
+    def test_healthy_payload_is_clean(self):
+        payload = {"kernels": {"k": {"speedup_vs_reference": 2.0,
+                                     "speedup_superblock_vs_reference": 1.95}}}
+        assert check_invariants(payload) == []
+
+    def test_superblock_below_floor_flagged(self):
+        payload = {"kernels": {"k": {"speedup_vs_reference": 2.0,
+                                     "speedup_superblock_vs_reference": 1.5}}}
+        problems = check_invariants(payload)
+        assert len(problems) == 1
+        assert "kernels.k" in problems[0]
+        assert "0.750" in problems[0]
+
+    def test_best_of_samples_preferred_over_median(self):
+        # Median says the superblock engine lost 25%; best-of says a
+        # contention spike hit one superblock sample.  Best-of wins.
+        payload = {"kernels": {"k": {
+            "speedup_vs_reference": 2.0,
+            "speedup_superblock_vs_reference": 1.5,
+            "wall_fast": {"best_s": 1.0},
+            "wall_superblock": {"best_s": 1.01}}}}
+        assert check_invariants(payload) == []
+
+    def test_best_of_samples_below_floor_flagged(self):
+        payload = {"kernels": {"k": {
+            "wall_fast": {"best_s": 1.0},
+            "wall_superblock": {"best_s": 1.5}}}}
+        problems = check_invariants(payload)
+        assert len(problems) == 1
+        assert "best-of" in problems[0]
+
+    def test_floor_is_inclusive(self):
+        payload = {"kernels": {"k": {
+            "speedup_vs_reference": 2.0,
+            "speedup_superblock_vs_reference": SUPERBLOCK_FLOOR * 2.0}}}
+        assert check_invariants(payload) == []
+
+    def test_missing_metrics_tolerated(self):
+        # Smoke payloads and hand-edited baselines may omit metrics.
+        assert check_invariants({"kernels": {"k": {}}}) == []
+        assert check_invariants({"kernels": {}}) == []
+        assert check_invariants({}) == []
+        assert check_invariants(None) == []
+
+    def test_checked_in_baseline_passes(self):
+        import os
+
+        root = os.path.join(os.path.dirname(__file__), "..", "..")
+        baseline = load_baseline(os.path.join(root, "BENCH_simulator.json"))
+        if baseline is None:
+            pytest.skip("no checked-in simulator baseline")
+        assert check_invariants(baseline) == []
 
 
 class TestBaselineFiles:

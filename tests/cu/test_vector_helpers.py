@@ -1,0 +1,118 @@
+"""Property tests for the vector-lane primitives.
+
+Hypothesis-driven proofs of the two load-bearing contracts behind the
+vectorized VALU path:
+
+* carry/borrow helpers match the 64-bit-widened arithmetic reference
+  bit-for-bit, carry-in included;
+* masked writeback (``mask_from_bools`` packing and
+  ``Wavefront.write_vgpr``) provably never touches inactive lanes.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.asm import assemble
+from repro.cu.vector import (add_with_carry, bools_from_mask,
+                             mask_from_bools, sub_with_borrow)
+from repro.cu.wavefront import FULL_EXEC, MASK32, MASK64, Wavefront
+
+lanes_u32 = hnp.arrays(np.uint32, 64, elements=st.integers(0, MASK32))
+lanes_bool = hnp.arrays(np.bool_, 64)
+mask64 = st.integers(0, MASK64)
+
+
+class TestMaskPacking:
+    @given(mask=mask64)
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip(self, mask):
+        assert mask_from_bools(bools_from_mask(mask)) == mask
+
+    @given(mask=mask64)
+    @settings(max_examples=60, deadline=None)
+    def test_unpack_matches_bit_shifts(self, mask):
+        bools = bools_from_mask(mask)
+        for lane in range(64):
+            assert bool(bools[lane]) == bool(mask >> lane & 1)
+
+    @given(bools=lanes_bool, lane_mask=lanes_bool)
+    @settings(max_examples=60, deadline=None)
+    def test_pack_zeroes_inactive_lanes(self, bools, lane_mask):
+        packed = mask_from_bools(bools, lane_mask)
+        reference = sum(1 << lane for lane in range(64)
+                        if bools[lane] and lane_mask[lane])
+        assert packed == reference
+
+    @given(bools=lanes_bool)
+    @settings(max_examples=60, deadline=None)
+    def test_pack_none_means_all_active(self, bools):
+        assert (mask_from_bools(bools, None)
+                == mask_from_bools(bools, np.ones(64, dtype=np.bool_)))
+
+
+class TestCarryChain:
+    @given(a=lanes_u32, b=lanes_u32, cin=lanes_bool,
+           with_cin=st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_add_matches_widened_reference(self, a, b, cin, with_cin):
+        result, carry = add_with_carry(a, b, cin if with_cin else None)
+        wide = (a.astype(np.uint64) + b.astype(np.uint64)
+                + (cin.astype(np.uint64) if with_cin else 0))
+        assert (result == (wide & MASK32).astype(np.uint32)).all()
+        assert (carry == (wide >> 32).astype(np.bool_)).all()
+
+    @given(a=lanes_u32, b=lanes_u32, cin=lanes_bool,
+           with_cin=st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_sub_matches_widened_reference(self, a, b, cin, with_cin):
+        result, borrow = sub_with_borrow(a, b, cin if with_cin else None)
+        wide = (a.astype(np.int64) - b.astype(np.int64)
+                - (cin.astype(np.int64) if with_cin else 0))
+        assert (result == (wide & MASK32).astype(np.uint32)).all()
+        assert (borrow == (wide < 0)).all()
+
+    @given(a=lanes_u32, b=lanes_u32)
+    @settings(max_examples=30, deadline=None)
+    def test_carry_boundary_saturation(self, a, b):
+        """cin=1 on an all-ones addend adds exactly 2**32: the result
+        is ``a`` unchanged and the carry is always set -- the case
+        where the two wrap conditions of the OR trade off exactly
+        (first add wraps iff a != 0, the +1 wraps iff a == 0)."""
+        ones = np.full(64, MASK32, dtype=np.uint32)
+        cin = np.ones(64, dtype=np.bool_)
+        result, carry = add_with_carry(a, ones, cin)
+        assert (result == a).all()
+        assert carry.all()
+
+
+class TestMaskedWriteback:
+    @given(initial=lanes_u32, values=lanes_u32, mask=mask64)
+    @settings(max_examples=60, deadline=None)
+    def test_inactive_lanes_untouched(self, initial, values, mask):
+        program = assemble("  s_endpgm")
+        wf = Wavefront(0, program)
+        wf.exec_mask = FULL_EXEC
+        wf.write_vgpr(0, initial)
+        wf.exec_mask = mask
+        wf.write_vgpr(0, values)
+        row = wf.read_vgpr(0)
+        for lane in range(64):
+            expected = values[lane] if mask >> lane & 1 else initial[lane]
+            assert row[lane] == expected
+
+    @given(initial=lanes_u32, values=lanes_u32,
+           mask=mask64, lane_mask=lanes_bool)
+    @settings(max_examples=60, deadline=None)
+    def test_explicit_lane_mask_overrides_exec(self, initial, values,
+                                               mask, lane_mask):
+        program = assemble("  s_endpgm")
+        wf = Wavefront(0, program)
+        wf.exec_mask = FULL_EXEC
+        wf.write_vgpr(0, initial)
+        wf.exec_mask = mask
+        wf.write_vgpr(0, values, lane_mask)
+        row = wf.read_vgpr(0)
+        for lane in range(64):
+            expected = values[lane] if lane_mask[lane] else initial[lane]
+            assert row[lane] == expected

@@ -1,0 +1,63 @@
+; verify-case seed=9003 local=64 groups=1 inp=64
+; hand-minimised vector-oracle reproducer: divergence-heavy EXEC
+; masks.  Carry chains, compares and cndmask execute under an
+; alternating-lane mask, a nested single-lane mask and a fully empty
+; mask -- the array VALU path must leave inactive lanes untouched,
+; clamp VCC/SGPR-pair compare masks to EXEC, and keep carry-in reads
+; ahead of carry-out writes, exactly like the per-lane golden model
+; (vector oracle) and the scalar interpreter.
+.kernel fuzz_s9003
+.arg inp buffer
+.arg out buffer
+  s_buffer_load_dword s19, s[8:11], 3
+  s_buffer_load_dword s20, s[12:15], 0
+  s_buffer_load_dword s21, s[12:15], 1
+  s_waitcnt lgkmcnt(0)
+  s_mul_i32 s1, s16, s19
+  v_add_i32 v3, vcc, s1, v0
+  v_lshlrev_b32 v4, 2, v3
+  v_add_i32 v4, vcc, s21, v4
+  v_and_b32 v12, 63, v3
+  v_lshlrev_b32 v12, 2, v12
+  v_add_i32 v12, vcc, s20, v12
+  buffer_load_dword v5, v12, s[4:7], 0 offen
+  s_waitcnt vmcnt(0)
+  v_mov_b32 v6, v3
+  v_not_b32 v7, v3
+  v_mov_b32 v8, 21
+  s_movk_i32 s22, 77
+  s_movk_i32 s23, -3
+; alternating lanes (odd lanes active)
+  v_and_b32 v9, 1, v0
+  v_cmp_eq_u32 vcc, 1, v9
+  s_and_saveexec_b64 s[30:31], vcc
+  v_add_i32 v6, vcc, v5, v6
+  v_addc_u32 v7, vcc, v6, v7, vcc
+  v_sub_i32 v8, vcc, v6, v8
+  v_cmp_lg_i32 s[28:29], v8, v7
+  s_and_b32 s22, s28, s23
+; nested single-lane divergence (only lane 0 of the odd set survives
+; the AND -- i.e. nobody; the inner region runs with EXEC == 0)
+  v_cmp_gt_u32 vcc, 1, v0
+  s_and_saveexec_b64 s[32:33], vcc
+  v_mov_b32 v6, 0xdeadbeef
+  v_add_i32 v6, vcc, v6, v6
+  s_mov_b64 exec, s[32:33]
+  v_cndmask_b32 v9, v6, v7, vcc
+  s_mov_b64 exec, s[30:31]
+; single-lane region (lane 0 only)
+  v_cmp_gt_u32 vcc, 1, v0
+  s_and_saveexec_b64 s[30:31], vcc
+  v_subrev_i32 v7, vcc, v7, v6
+  v_subb_u32 v8, vcc, v8, v5, vcc
+  v_max_i32 v9, v8, v9
+  s_mov_b64 exec, s[30:31]
+; fold every partially-written register into the output
+  v_xor_b32 v5, v5, v6
+  v_xor_b32 v5, v5, v7
+  v_xor_b32 v5, v5, v8
+  v_xor_b32 v5, v5, v9
+  v_add_i32 v5, vcc, v5, v3
+  buffer_store_dword v5, v4, s[4:7], 0 offen
+  s_waitcnt vmcnt(0)
+  s_endpgm

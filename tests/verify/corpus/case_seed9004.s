@@ -1,0 +1,65 @@
+; verify-case seed=9004 local=64 groups=1 inp=64
+; hand-minimised vector-oracle reproducer: NaN-payload propagation.
+; v_mac_f32 with an invalid product (inf * -0.0) accumulating onto a
+; payload-carrying NaN is the exact case where NumPy scalar float math
+; picks the other operand's payload than the elementwise ufunc loops
+; do -- the architectural contract is the array cores' behavior, and
+; the per-lane golden model (vector oracle) must reproduce it through
+; 1-element-array evaluation.  Also covers two-NaN binary ops, NaN
+; compares (unordered lg), denormals and NaN->int conversions.
+.kernel fuzz_s9004
+.arg inp buffer
+.arg out buffer
+  s_buffer_load_dword s19, s[8:11], 3
+  s_buffer_load_dword s20, s[12:15], 0
+  s_buffer_load_dword s21, s[12:15], 1
+  s_waitcnt lgkmcnt(0)
+  s_mul_i32 s1, s16, s19
+  v_add_i32 v3, vcc, s1, v0
+  v_lshlrev_b32 v4, 2, v3
+  v_add_i32 v4, vcc, s21, v4
+  v_and_b32 v12, 63, v3
+  v_lshlrev_b32 v12, 2, v12
+  v_add_i32 v12, vcc, s20, v12
+  buffer_load_dword v5, v12, s[4:7], 0 offen
+  s_waitcnt vmcnt(0)
+; seed the special bit patterns
+  v_mov_b32 v6, 0x7f800000
+  v_mov_b32 v7, 0x80000000
+  v_mov_b32 v8, 0x7fc00001
+  v_mov_b32 v9, 0xffc00123
+  v_mov_b32 v10, 0x00000001
+; the mac regression: acc = NaN(0x123), product = inf * -0.0
+  v_mov_b32 v13, 0xffc00123
+  v_mac_f32 v13, v6, v7
+; two-NaN binary ops: payload selection is operand-order dependent
+  v_add_f32 v8, v8, v9
+  v_min_f32 v9, v9, v8
+  v_mul_f32 v8, 0xffc00123, v8
+; inf - inf generates the default quiet NaN
+  v_sub_f32 v6, v6, v6
+; denormal arithmetic (no FTZ: must stay denormal)
+  v_add_f32 v10, v10, v10
+  v_mul_f32 v10, 0x807fffff, v10
+; unordered compares on NaN operands drive a cndmask
+  v_cmp_lg_f32 vcc, v8, v8
+  v_cndmask_b32 v7, v6, v13, vcc
+  v_cmp_lt_f32 vcc, v9, v8
+  v_cndmask_b32 v9, v9, v10, vcc
+; NaN -> int conversions clamp to zero
+  v_cvt_u32_f32 v6, v8
+  v_cvt_i32_f32 v13, v13
+; NaN through unary float ops keeps its payload
+  v_fract_f32 v10, v8
+  v_sqrt_f32 v8, v9
+; fold all the NaN bit patterns into the output
+  v_xor_b32 v5, v5, v6
+  v_xor_b32 v5, v5, v7
+  v_xor_b32 v5, v5, v8
+  v_xor_b32 v5, v5, v9
+  v_xor_b32 v5, v5, v10
+  v_xor_b32 v5, v5, v13
+  v_add_i32 v5, vcc, v5, v3
+  buffer_store_dword v5, v4, s[4:7], 0 offen
+  s_waitcnt vmcnt(0)
+  s_endpgm

@@ -44,7 +44,8 @@ class TestCheckCase:
         assert ORACLE_NAMES == ("roundtrip", "invariants",
                                 "observer-detached", "trimmed", "multi-cu",
                                 "prefetch-off", "fast-vs-reference",
-                                "superblock", "warm-lease", "checkpoint")
+                                "superblock", "warm-lease", "checkpoint",
+                                "vector")
 
     def test_warm_lease_oracle_runs_warm(self):
         """The warm-lease subset alone passes, and really leases warm:
