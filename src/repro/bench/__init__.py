@@ -22,6 +22,7 @@ from .baselines import (
     REGRESSION_THRESHOLD,
     SUPERBLOCK_FLOOR,
     Regression,
+    check_cpi,
     check_invariants,
     compare_reports,
     load_baseline,
@@ -36,6 +37,7 @@ from .simulator import (
     SMOKE_KERNELS,
     bench_kernel,
     bench_simulator,
+    cpi_table,
 )
 
 __all__ = [
@@ -44,6 +46,6 @@ __all__ = [
     "SIMULATOR_BASELINE_FILE", "SMOKE_KERNELS", "SUPERBLOCK_FLOOR",
     "bench_dse",
     "bench_kernel", "bench_preemption", "bench_service", "bench_simulator",
-    "check_invariants", "compare_reports",
+    "check_cpi", "check_invariants", "compare_reports", "cpi_table",
     "load_baseline", "measure", "percentile", "write_baseline",
 ]

@@ -35,6 +35,7 @@ _METRICS = {
     "store_hit_rate": (True, True),
     "inst_per_s": (True, False),
     "inst_per_s_superblock": (True, False),
+    "speedup_fused_vs_unfused": (True, False),
     "jobs_per_second": (True, False),
     "points_per_second": (True, False),
     "resume_speedup": (True, False),
@@ -42,6 +43,7 @@ _METRICS = {
     "wall_reference_s": (False, False),
     "wall_fast_s": (False, False),
     "wall_superblock_s": (False, False),
+    "wall_superblock_unfused_s": (False, False),
     "latency_p50_s": (False, False),
     "latency_p95_s": (False, False),
 }
@@ -155,6 +157,35 @@ def check_invariants(payload):
                 "kernels.{}: superblock holds {:.3f} of the fast "
                 "engine's speedup, floor is {:.2f} ({})"
                 .format(name, ratio, SUPERBLOCK_FLOOR, detail))
+    return problems
+
+
+def check_cpi(baseline, current):
+    """Exact comparison of the per-class CPI tables.
+
+    CPI values are simulated, not measured, so any difference at all
+    is a timing-model change: either an intended one (refresh the
+    baseline) or a regression.  Compared exactly, no threshold.  Only
+    classes present in both payloads are checked, so adding a CPI
+    kernel does not fail against an older baseline; a missing table on
+    either side is skipped entirely (pre-schema-4 baselines).
+    """
+    problems = []
+    base_table = (baseline or {}).get("cpi")
+    cur_table = (current or {}).get("cpi")
+    if not isinstance(base_table, dict) or not isinstance(cur_table, dict):
+        return problems
+    for name, base_entry in sorted(base_table.items()):
+        cur_entry = cur_table.get(name)
+        if not isinstance(base_entry, dict) or not isinstance(cur_entry, dict):
+            continue
+        for field in ("instructions", "cu_cycles", "cpi"):
+            if field in base_entry and field in cur_entry \
+                    and base_entry[field] != cur_entry[field]:
+                problems.append(
+                    "cpi.{}.{}: {!r} -> {!r} (timing model changed; "
+                    "CPI table is compared exactly)".format(
+                        name, field, base_entry[field], cur_entry[field]))
     return problems
 
 

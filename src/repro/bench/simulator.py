@@ -14,9 +14,17 @@ like production callers -- once per engine:
 Reported per kernel: simulated instructions, simulated seconds
 (deterministic -- a change here is a model change, not a perf
 regression), wall-clock medians per engine, simulated-instructions-
-per-second on the fast and superblock engines, and the
+per-second on the fast and superblock engines, the
 ``speedup_vs_reference`` / ``speedup_superblock_vs_reference``
-machine-independent ratios CI enforces.
+machine-independent ratios CI enforces, and the report-only
+``speedup_fused_vs_unfused`` ratio (the superblock engine with
+closed-form block timing vs. the same engine stepping the per-step
+table).
+
+The payload also carries the ``cpi`` table: deterministic
+cycles-per-instruction for each :data:`repro.kernels.cpi.CPI_SUITE`
+class, compared *exactly* against the baseline -- a timing-model
+tripwire, not a perf metric (see docs/benchmarking.md).
 """
 
 from __future__ import annotations
@@ -111,7 +119,17 @@ def bench_kernel(name, repeat=3, warmup=1):
     reference = measure(batched("reference"), repeat=repeat, warmup=warmup)
     fast = measure(batched("fast"), repeat=repeat, warmup=warmup)
     superblock = measure(batched("superblock"), repeat=repeat, warmup=warmup)
-    for m in (reference, fast, superblock):
+    # Same engine, closed-form block timing swapped for the per-step
+    # table walk: isolates what fusion itself buys (report-only).
+    from ..cu.timing import set_timing_fusion
+
+    previous = set_timing_fusion(False)
+    try:
+        unfused = measure(batched("superblock"), repeat=repeat,
+                          warmup=warmup)
+    finally:
+        set_timing_fusion(previous)
+    for m in (reference, fast, superblock, unfused):
         m.samples = [s / inner for s in m.samples]
         m.warmup_samples = [s / inner for s in m.warmup_samples]
     return {
@@ -132,7 +150,33 @@ def bench_kernel(name, repeat=3, warmup=1):
         "speedup_superblock_vs_reference": (
             reference.median / superblock.median
             if superblock.median else 0.0),
+        "wall_superblock_unfused_s": unfused.median,
+        "speedup_fused_vs_unfused": (unfused.median / superblock.median
+                                     if superblock.median else 0.0),
     }
+
+
+def cpi_table(log=None):
+    """Deterministic cycles-per-instruction per CPI microbenchmark.
+
+    Each :data:`repro.kernels.cpi.CPI_SUITE` kernel runs once,
+    verified, on the superblock engine; the ratio of simulated CU
+    cycles to executed instructions is exact and machine-independent,
+    so the baseline comparison is equality, not a threshold.
+    """
+    log = log or (lambda message: None)
+    from ..kernels.cpi import CPI_SUITE
+
+    table = {}
+    for cls in CPI_SUITE:
+        log("cpi {} ...".format(cls.name))
+        result = _run_once(cls.name, "superblock", verify=True)
+        table[cls.name] = {
+            "instructions": result.instructions,
+            "cu_cycles": result.cu_cycles,
+            "cpi": result.cu_cycles / result.instructions,
+        }
+    return table
 
 
 def bench_simulator(kernels=None, repeat=3, warmup=1, log=None):
@@ -144,9 +188,10 @@ def bench_simulator(kernels=None, repeat=3, warmup=1, log=None):
         log("bench {} ...".format(name))
         entries[name] = bench_kernel(name, repeat=repeat, warmup=warmup)
     payload = {
-        "schema": 3,
+        "schema": 4,
         "repeat": repeat,
         "kernels": entries,
+        "cpi": cpi_table(log=log),
     }
     # Totals are only comparable between runs of the same kernel set;
     # a subset run (--smoke, --kernels) omits them so a regression
@@ -200,4 +245,13 @@ def render_simulator(payload):
         lines.append(_row(name, entry))
     totals = payload.get("totals") or _totals(payload["kernels"])
     lines.append(_row("TOTAL", totals))
+    cpi = payload.get("cpi")
+    if cpi:
+        lines.append("")
+        lines.append("{:<24} {:>12} {:>12} {:>8}".format(
+            "cpi kernel", "sim inst", "cu cycles", "cpi"))
+        for name, entry in cpi.items():
+            lines.append("{:<24} {:>12} {:>12.1f} {:>8.3f}".format(
+                name, entry["instructions"], entry["cu_cycles"],
+                entry["cpi"]))
     return "\n".join(lines)

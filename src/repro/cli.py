@@ -293,6 +293,7 @@ def cmd_bench(args):
         bench_dse,
         bench_service,
         bench_simulator,
+        check_cpi,
         check_invariants,
         compare_reports,
         load_baseline,
@@ -318,6 +319,7 @@ def cmd_bench(args):
 
     regressions = []
     invariant_problems = []
+    cpi_problems = []
     if args.check:
         # Baseline-free self-consistency first: the superblock engine
         # must hold >= SUPERBLOCK_FLOOR of the fast engine's speedup
@@ -337,6 +339,10 @@ def cmd_bench(args):
                 log("no baseline at {}; skipping check".format(path))
                 continue
             regressions.extend(compare_reports(baseline, payload))
+            if payload is simulator:
+                # The CPI table is deterministic (simulated cycles),
+                # so it is compared exactly -- even on subset runs.
+                cpi_problems = check_cpi(baseline, simulator)
 
     wrote = []
     if args.json or args.update:
@@ -368,6 +374,10 @@ def cmd_bench(args):
             len(invariant_problems)))
         for problem in invariant_problems:
             print("  {}".format(problem))
+    if cpi_problems:
+        print("\n{} CPI table mismatch(es):".format(len(cpi_problems)))
+        for problem in cpi_problems:
+            print("  {}".format(problem))
     if regressions:
         print("\n{} regression(s) beyond {:.0%}:".format(
             len(regressions), REGRESSION_THRESHOLD))
@@ -379,7 +389,7 @@ def cmd_bench(args):
         if regressions and not enforced:
             log("absolute-metric regressions are report-only "
                 "(machine-dependent)")
-    if invariant_problems and not args.report_only:
+    if (invariant_problems or cpi_problems) and not args.report_only:
         return 1
     return 0
 

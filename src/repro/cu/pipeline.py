@@ -24,9 +24,10 @@ from ..isa.categories import FunctionalUnit
 from ..isa.registers import MAX_WAVEFRONTS
 from ..obs.events import InstructionIssue, Span, Stall, WavefrontStep
 from . import lsu, operations
-from .prepared import (KIND_ALU, KIND_ENDPGM, KIND_MEMORY, KIND_WAITCNT,
-                       get_prepared)
-from .timing import DEFAULT_TIMING, frontend_cost, unit_occupancy
+from .prepared import get_prepared
+from .timing import (KIND_ALU, KIND_ENDPGM, KIND_MEMORY, KIND_WAITCNT,
+                     DEFAULT_TIMING, UnitPool, acquire_slot,
+                     get_timing_table, step_advance, timing_fusion_enabled)
 
 _WAITCNT_VM_MASK = 0xF
 _WAITCNT_LGKM_SHIFT = 8
@@ -61,33 +62,6 @@ class CuRunStats:
             self.per_name[key] = self.per_name.get(key, 0) + value
 
 
-class _UnitPool:
-    """N interchangeable instances of one functional-unit type."""
-
-    def __init__(self, count):
-        self.busy_until = [0.0] * max(0, count)
-        self.busy_cycles = 0.0
-
-    def reset(self):
-        self.busy_until = [0.0] * len(self.busy_until)
-        self.busy_cycles = 0.0
-
-    @property
-    def count(self):
-        return len(self.busy_until)
-
-    def acquire(self, now, occupancy):
-        """Schedule on the earliest-free instance; returns completion."""
-        if not self.busy_until:
-            raise SimulationError("no instance of this functional unit exists")
-        idx = min(range(len(self.busy_until)), key=self.busy_until.__getitem__)
-        start = max(now, self.busy_until[idx])
-        done = start + occupancy
-        self.busy_until[idx] = done
-        self.busy_cycles += occupancy
-        return done
-
-
 class ComputeUnit:
     """One MIAOW2.0 compute unit.
 
@@ -119,11 +93,11 @@ class ComputeUnit:
         self.max_wavefronts = max_wavefronts
         self.max_instructions = max_instructions
         self.pools = {
-            FunctionalUnit.SALU: _UnitPool(1),
-            FunctionalUnit.BRANCH: _UnitPool(1),
-            FunctionalUnit.SIMD: _UnitPool(num_simd),
-            FunctionalUnit.SIMF: _UnitPool(num_simf),
-            FunctionalUnit.LSU: _UnitPool(1),
+            FunctionalUnit.SALU: UnitPool(1),
+            FunctionalUnit.BRANCH: UnitPool(1),
+            FunctionalUnit.SIMD: UnitPool(num_simd),
+            FunctionalUnit.SIMF: UnitPool(num_simf),
+            FunctionalUnit.LSU: UnitPool(1),
         }
         self.num_simd = num_simd
         self.num_simf = num_simf
@@ -224,9 +198,17 @@ class ComputeUnit:
     def _run_reference(self, workgroup, start_time, wavefronts):
         stats = CuRunStats(wavefronts=len(wavefronts))
         obs = self.obs
+        # Static cost columns, one table per distinct program (the
+        # reference loop, unlike the fast loops, allows mixed-program
+        # wavefronts).  The rows are exactly frontend_cost /
+        # unit_occupancy per instruction, so timing is unchanged.
+        tables = {}
         for wf in wavefronts:
             wf.ready_at = start_time
             wf.stall_cause = "operand-dep"
+            if id(wf.program) not in tables:
+                tables[id(wf.program)] = get_timing_table(
+                    wf.program, self.timing)
         decode_free = start_time
         finish_time = start_time
         barrier_waiters = []
@@ -251,7 +233,9 @@ class ComputeUnit:
             rr += 1
             wf = best
 
-            inst = wf.program.instructions[wf.program.index_of_address(wf.pc)]
+            table = tables[id(wf.program)]
+            index = wf.program.index_of_address(wf.pc)
+            inst = wf.program.instructions[index]
             self._check_supported(inst)
 
             issued += 1
@@ -260,7 +244,7 @@ class ComputeUnit:
                     "instruction budget exceeded (kernel stuck in a loop?)"
                 )
             start = max(wf.ready_at, decode_free)
-            fe_cost = frontend_cost(inst, self.timing)
+            fe_cost = table.fe_costs[index]
             if obs is not None:
                 # The issue slot idled for (start - decode_free) cycles
                 # waiting on this wavefront; attribute the gap to
@@ -328,8 +312,13 @@ class ComputeUnit:
             if inst.spec.is_memory:
                 pool = self.pools[FunctionalUnit.LSU]
                 info = lsu.execute_memory(wf, inst, self.memory)
-                setattr(inst, "transactions", info.transactions)
-                occupancy = unit_occupancy(inst, self.timing)
+                # Dynamic LSU pricing: the table row holds the base
+                # (single-transaction) occupancy; coalescing width is
+                # an explicit multiplier, not an attribute stashed on
+                # the instruction.
+                transactions = info.transactions
+                occupancy = table.occupancies[index] * (
+                    transactions if transactions > 1 else 1)
                 lsu_done = pool.acquire(fe_done, occupancy)
                 if info.space == "lds":
                     complete = self.memory.lds_access_time(
@@ -354,7 +343,7 @@ class ComputeUnit:
 
             # ALU / branch path.
             pool = self.pools[inst.spec.unit]
-            occupancy = unit_occupancy(inst, self.timing)
+            occupancy = table.occupancies[index]
             done = pool.acquire(fe_done, occupancy)
             operations.execute(wf, inst)
             wf.ready_at = done
@@ -395,8 +384,11 @@ class ComputeUnit:
         ``fast-vs-reference`` oracle hunts for).
 
         With ``superblock=True``, straight-line ALU runs compiled by
-        :mod:`repro.cu.superblock` execute as single fused calls --
-        only when the picked wavefront is the sole schedulable
+        :mod:`repro.cu.superblock` execute fused -- one closed-form
+        timing advance from the block's static cost table (or the
+        per-step ``step_advance`` fallback when fusion is disabled or
+        a used pool has several instances) plus one batched semantics
+        call -- only when the picked wavefront is the sole schedulable
         candidate (so no interleaving decision is skipped) and the
         whole block fits the instruction budget (so budget errors raise
         at the exact per-instruction point).  Blocks are disabled
@@ -436,7 +428,9 @@ class ComputeUnit:
             busy_simf = pools[FunctionalUnit.SIMF].busy_until
             simd_multi = len(busy_simd) > 1
             simf_multi = len(busy_simf) > 1
-            from .superblock import _acq as _gang_acq
+            busy_lists = (busy_salu, busy_branch, busy_simd, busy_simf)
+            fuse = timing_fusion_enabled()
+            _gang_acq = acquire_slot
 
         live = list(wavefronts)
         while live:
@@ -473,8 +467,16 @@ class ComputeUnit:
                     # cursor once per pick.
                     ready = wf.ready_at
                     start = ready if ready > decode_free else decode_free
-                    fe_done, done = blk.fn(wf, start, busy_salu, busy_branch,
-                                           busy_simd, busy_simf)
+                    fused = blk.fused
+                    if fuse and fused is not None:
+                        # Closed-form timing from the block's static
+                        # cost table -- bit-identical to the per-step
+                        # recurrence (see FusedBlockTiming).
+                        fe_done, done = fused.advance(start, busy_lists)
+                    else:
+                        fe_done, done = step_advance(blk.steps, start,
+                                                     busy_lists)
+                    blk.sem_all(wf)
                     decode_free = fe_done
                     wf.pc = blk.end_pc
                     wf.instructions_executed += blk.count

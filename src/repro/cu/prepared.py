@@ -41,31 +41,35 @@ from ..isa import registers as regs
 from ..isa.formats import Format
 from ..mem.global_memory import _BYTE_OFFSETS, dedup_keep_last
 from . import lsu, operations, vector
-from .timing import DEFAULT_TIMING, frontend_cost, unit_occupancy
+from .timing import (KIND_ALU, KIND_BARRIER, KIND_ENDPGM,  # noqa: F401
+                     KIND_MEMORY, KIND_WAITCNT, DEFAULT_TIMING,
+                     frontend_cost, get_timing_table, unit_occupancy)
 from .wavefront import MASK32, MASK64
-
-KIND_ALU = 0
-KIND_MEMORY = 1
-KIND_ENDPGM = 2
-KIND_BARRIER = 3
-KIND_WAITCNT = 4
 
 
 class InstPlan:
-    """Per-instruction precomputation consumed by the fast issue loop."""
+    """Per-instruction precomputation consumed by the fast issue loop.
+
+    Kind, front-end cost and static occupancy are read straight out of
+    the program's :class:`~repro.cu.timing.TimingTable` row (built from
+    :func:`frontend_cost` / :func:`unit_occupancy` once per content
+    key); the plan adds what the table cannot hold -- the bound
+    executor closures.
+    """
 
     __slots__ = ("index", "address", "name", "unit", "unit_name", "kind",
                  "fe_cost", "occupancy", "pc_step", "simm16", "exec_fn",
                  "mem_fn", "inst", "specialized")
 
-    def __init__(self, inst, index, timing):
+    def __init__(self, inst, index, timing, table=None):
         sp = inst.spec
         self.index = index
         self.address = inst.address
         self.name = sp.name
         self.unit = sp.unit
         self.unit_name = sp.unit.value
-        self.fe_cost = frontend_cost(inst, timing)
+        self.fe_cost = (table.fe_costs[index] if table is not None
+                        else frontend_cost(inst, timing))
         self.pc_step = inst.words * 4
         self.simm16 = 0
         self.exec_fn = None
@@ -87,9 +91,10 @@ class InstPlan:
             self.simm16 = inst.fields["simm16"]
         elif sp.is_memory:
             self.kind = KIND_MEMORY
-            # Base LSU occupancy; scaled by the access's transaction
-            # count at issue time, like the reference path.
-            self.occupancy = timing.lsu_cycles
+            # Base LSU occupancy; scaled by the access's explicit
+            # transaction count at issue time, like the reference path.
+            self.occupancy = (table.occupancies[index] if table is not None
+                              else timing.lsu_cycles)
             if inst.fmt is Format.SMRD:
                 self.mem_fn = _build_smrd(inst) or lsu._exec_smrd
             elif inst.fmt in (Format.MUBUF, Format.MTBUF):
@@ -98,7 +103,8 @@ class InstPlan:
                 self.mem_fn = lsu._exec_ds
         else:
             self.kind = KIND_ALU
-            self.occupancy = unit_occupancy(inst, timing)
+            self.occupancy = (table.occupancies[index] if table is not None
+                              else unit_occupancy(inst, timing))
             self.exec_fn, self.specialized = _build_exec(inst)
 
 
@@ -708,15 +714,21 @@ def _build_exec(inst):
 # ---------------------------------------------------------------------------
 
 class PreparedProgram:
-    """Execution plans for one (program, timing) pair."""
+    """Execution plans for one (program, timing) pair.
 
-    __slots__ = ("program", "timing", "plans", "by_address", "_restrictions",
-                 "_superblocks", "_sb_lock")
+    Carries the program's :class:`~repro.cu.timing.TimingTable` (the
+    static cost columns, shared through its own content-keyed LRU) next
+    to the plans that bind executors to those rows.
+    """
+
+    __slots__ = ("program", "timing", "table", "plans", "by_address",
+                 "_restrictions", "_superblocks", "_sb_lock")
 
     def __init__(self, program, timing):
         self.program = program
         self.timing = timing
-        self.plans = [InstPlan(inst, i, timing)
+        self.table = get_timing_table(program, timing)
+        self.plans = [InstPlan(inst, i, timing, self.table)
                       for i, inst in enumerate(program.instructions)]
         self.by_address = {plan.address: plan for plan in self.plans}
         self._restrictions = {}

@@ -8,14 +8,23 @@ microseconds.
 
 This module partitions a prepared program into **superblocks**:
 maximal straight-line runs of *specialized* ALU plans that cannot
-change the wavefront scheduler's state.  Each run is fused into one
-generated-and-``exec()``'d Python function that performs, per
-instruction and in program order, exactly the arithmetic the fast
-loop's issue path performs (front-end cost, unit-pool occupancy) plus
-exactly the register effects of the plan's bound executor, inlined
-where the operand shapes are provably reproducible (scalar ALU as pure
-Python ints, VALU through the same ``VBIN/VUN/VTRI`` cores and the
-same masked ``np.copyto`` write) and a direct closure call otherwise.
+change the wavefront scheduler's state.  Each run compiles into two
+halves that the engine recombines:
+
+* **semantics** -- one generated-and-``exec()``'d Python function
+  (``sem_all``, plus the range-guarded ``sem`` for partial gang
+  flushes) performing exactly the register effects of each plan's
+  bound executor in program order, inlined where the operand shapes
+  are provably reproducible (scalar ALU as pure Python ints, VALU
+  through the same ``VBIN/VUN/VTRI`` cores and the same masked
+  ``np.copyto`` write) and a direct closure call otherwise;
+* **timing** -- the block's static ``steps`` rows, advanced either in
+  closed form (``fused``, a
+  :class:`~repro.cu.timing.FusedBlockTiming` -- O(pools) per block)
+  or step by step (:func:`~repro.cu.timing.step_advance`, the
+  fallback when a used pool has several instances or fusion is
+  disabled).  Block timing is data-independent, so the two halves
+  commute.
 
 Block-formation rules (also documented in ``docs/execution.md``):
 
@@ -34,8 +43,11 @@ Exactness: a fused block runs in two regimes.  When the picked
 wavefront is the *sole schedulable candidate*, no other wavefront can
 interleave; within the block nothing changes liveness, barrier state
 or EXEC, so the per-instruction issue chain collapses to
-``start_{i+1} = done_i`` and one call to the block's fused function
-(``fn``) replays it.  When *several* candidates all sit at block
+``start_{i+1} = done_i`` -- one ``sem_all`` call replays the register
+effects while the block's static timing advances in closed form
+(``fused``) or per step (``steps``), bit-identically (see
+:class:`repro.cu.timing.FusedBlockTiming` for the exactness
+argument).  When *several* candidates all sit at block
 heads, the fast loop enters a **gang**: it replays the scheduler's
 per-instruction picks (same rotation cursor, same strict-less-than
 earliest-ready comparison) over each block's static cost triples
@@ -68,10 +80,10 @@ import os
 import numpy as np
 
 from ..isa import registers as regs
-from ..isa.categories import FunctionalUnit
 from ..isa.formats import Format
 from . import operations, vector
 from .prepared import _BRANCH_TAKEN, _inline_constant, KIND_ALU
+from .timing import UNIT_POOL_ID, FusedBlockTiming
 from .wavefront import FULL_EXEC, MASK32, MASK64
 
 #: Minimum run length worth fusing: a one-instruction block would just
@@ -84,31 +96,38 @@ _DUMP_ENV = "REPRO_SUPERBLOCK_DUMP"
 class Superblock:
     """One compiled straight-line run.
 
-    ``fn`` is the fused timing+semantics function used on the
-    sole-candidate path; ``sem`` is the range-guarded semantics-only
-    function used to flush gang progress; ``steps`` holds the static
-    ``(frontend_cost, occupancy, pool_id)`` triple per instruction for
-    the gang timing loop (pool ids: 0 SALU, 1 BRANCH, 2 SIMD, 3 SIMF);
-    ``addrs[k]`` is the address of instruction ``k`` (``addrs[count]``
-    is ``end_pc``); ``cum_busy`` maps each functional unit to its
-    cumulative occupancy prefix sums for partial-progress accounting.
+    ``sem_all`` replays the whole block's register effects (the
+    sole-candidate path); ``sem`` is its range-guarded variant used to
+    flush partial gang progress; ``steps`` holds the static
+    ``(frontend_cost, occupancy, pool_id)`` triple per instruction
+    (pool ids from :data:`repro.cu.timing.UNIT_POOL_ID`: 0 SALU,
+    1 BRANCH, 2 SIMD, 3 SIMF) consumed by both
+    :func:`~repro.cu.timing.step_advance` and the gang timing loop;
+    ``fused`` is the closed-form
+    :class:`~repro.cu.timing.FusedBlockTiming` over those steps, or
+    ``None`` when a used pool has several instances; ``addrs[k]`` is
+    the address of instruction ``k`` (``addrs[count]`` is ``end_pc``);
+    ``cum_busy`` maps each functional unit to its cumulative occupancy
+    prefix sums for partial-progress accounting.
     """
 
     __slots__ = ("head", "end_pc", "count", "indices", "last_occ",
-                 "busy_totals", "fn", "sem", "steps", "addrs", "cum_busy",
-                 "source")
+                 "busy_totals", "sem_all", "sem", "steps", "fused",
+                 "addrs", "cum_busy", "source")
 
     def __init__(self, head, end_pc, count, indices, last_occ,
-                 busy_totals, fn, sem, steps, addrs, cum_busy, source):
+                 busy_totals, sem_all, sem, steps, fused, addrs, cum_busy,
+                 source):
         self.head = head
         self.end_pc = end_pc
         self.count = count
         self.indices = indices
         self.last_occ = last_occ
         self.busy_totals = busy_totals
-        self.fn = fn
+        self.sem_all = sem_all
         self.sem = sem
         self.steps = steps
+        self.fused = fused
         self.addrs = addrs
         self.cum_busy = cum_busy
         self.source = source
@@ -129,20 +148,6 @@ def _wv(row, values, mask):
         row[...] = np.asarray(values, dtype=np.uint32)
         return
     np.copyto(row, np.asarray(values, dtype=np.uint32), where=mask)
-
-
-def _acq(busy, now, occ):
-    """Multi-instance pool issue -- exactly :meth:`_UnitPool.acquire`
-    minus the ``busy_cycles`` bookkeeping, which the fast loop folds in
-    per block (integer occupancies, so the sum is order-independent).
-    """
-    idx = min(range(len(busy)), key=busy.__getitem__)
-    start = busy[idx]
-    if now > start:
-        start = now
-    done = start + occ
-    busy[idx] = done
-    return done
 
 
 # ---------------------------------------------------------------------------
@@ -497,45 +502,31 @@ _SCALAR_FMTS = (Format.SOP2, Format.SOPK, Format.SOP1, Format.SOPC,
                 Format.SOPP)
 _VECTOR_FMTS = (Format.VOP1, Format.VOP2, Format.VOPC, Format.VOP3)
 
-_POOL_ARG = {
-    FunctionalUnit.SALU: "bS",
-    FunctionalUnit.BRANCH: "bB",
-    FunctionalUnit.SIMD: "bD",
-    FunctionalUnit.SIMF: "bF",
-}
-
-
 def _compile_block(run, num_simd, num_simf):
-    """Emit, compile and wrap one run into a :class:`Superblock`."""
+    """Emit, compile and wrap one run into a :class:`Superblock`.
+
+    The generated source is semantics-only (timing advances through
+    the block's static ``steps`` / ``fused`` structures, shared with
+    the engine); ``_superblock_sem_all`` replays the whole block and
+    ``_superblock_sem`` the gang's ``[k0, k1)`` sub-range.
+    """
     ns = {
-        "_wv": _wv, "_acq": _acq, "_full": np.full, "_u32d": np.uint32,
+        "_wv": _wv, "_full": np.full, "_u32d": np.uint32,
         "_s32": operations._s32, "_add32": operations._add_i32,
         "_FE": FULL_EXEC, "_where": np.where,
         "_fv": vector._fv, "_sv": vector._sv, "_from_f": vector._from_f,
         "_mfb": vector.mask_from_bools, "_bfm": vector.bools_from_mask,
         "_awc": vector.add_with_carry, "_swb": vector.sub_with_borrow,
     }
-    counts = {FunctionalUnit.SALU: 1, FunctionalUnit.BRANCH: 1,
-              FunctionalUnit.SIMD: num_simd, FunctionalUnit.SIMF: num_simf}
-    pool_ids = {FunctionalUnit.SALU: 0, FunctionalUnit.BRANCH: 1,
-                FunctionalUnit.SIMD: 2, FunctionalUnit.SIMF: 3}
     uses = set()
     body = []
     sem_body = []
     busy_totals = {}
     steps = []
     for k, plan in enumerate(run):
-        pool_arg = _POOL_ARG[plan.unit]
         occ = plan.occupancy
         busy_totals[plan.unit] = busy_totals.get(plan.unit, 0) + occ
-        steps.append((plan.fe_cost, occ, pool_ids[plan.unit]))
-        body.append("_fd = t + %d" % plan.fe_cost)
-        if counts[plan.unit] == 1:
-            body.append("_b = %s[0]" % pool_arg)
-            body.append("t = (_fd if _fd > _b else _b) + %d" % occ)
-            body.append("%s[0] = t" % pool_arg)
-        else:
-            body.append("t = _acq(%s, _fd, %d)" % (pool_arg, occ))
+        steps.append((plan.fe_cost, occ, UNIT_POOL_ID[plan.unit]))
         try:
             if plan.inst.fmt in _SCALAR_FMTS:
                 sem = _emit_salu(plan, k, ns, uses)
@@ -552,7 +543,8 @@ def _compile_block(run, num_simd, num_simf):
         if sem:
             sem_body.append("if k0 <= %d < k1:" % k)
             sem_body.extend("    %s" % line for line in sem)
-    body.append("return _fd, t")
+    if not body:
+        body.append("pass")
     if not sem_body:
         sem_body.append("pass")
 
@@ -569,7 +561,7 @@ def _compile_block(run, num_simd, num_simf):
 
     head = run[0].address
     src = (
-        "def _superblock(wf, t, bS, bB, bD, bF):\n"
+        "def _superblock_sem_all(wf):\n"
         + "".join("    %s\n" % line for line in prelude + body)
         + "\n"
         + "def _superblock_sem(wf, k0, k1):\n"
@@ -586,6 +578,7 @@ def _compile_block(run, num_simd, num_simf):
                 running += plan.occupancy
             cum.append(running)
         cum_busy.append((unit, tuple(cum)))
+    steps = tuple(steps)
     return Superblock(
         head=head,
         end_pc=last.address + last.pc_step,
@@ -594,9 +587,10 @@ def _compile_block(run, num_simd, num_simf):
         last_occ=last.occupancy,
         busy_totals=tuple(sorted(busy_totals.items(),
                                  key=lambda kv: kv[0].value)),
-        fn=ns["_superblock"],
+        sem_all=ns["_superblock_sem_all"],
         sem=ns["_superblock_sem"],
-        steps=tuple(steps),
+        steps=steps,
+        fused=FusedBlockTiming.build(steps, (1, 1, num_simd, num_simf)),
         addrs=tuple(plan.address for plan in run)
         + (last.address + last.pc_step,),
         cum_busy=tuple(cum_busy),

@@ -23,12 +23,35 @@ The numbers here are per-instruction *occupancy* (initiation-to-free)
 of the relevant unit, not end-to-end latency of the 7-stage pipe; the
 pipeline depth itself only adds a constant epilogue per wavefront and
 is irrelevant to the relative results the paper reports.
+
+Beyond the per-instruction pricing functions, this module is the
+**compiled timing layer** shared by every launch engine:
+
+* :class:`TimingTable` -- per-program arrays of front-end cost, unit
+  occupancy, pool id, kind and scheduler flags, computed once per
+  ``(content_key, CuTimingParams)`` pair and cached in an LRU, so no
+  engine re-derives costs per dynamic instruction;
+* :class:`UnitPool` / :func:`acquire_slot` -- the one occupancy-pool
+  scheduler primitive (previously duplicated between the pipeline and
+  the superblock compiler);
+* :func:`step_advance` / :class:`FusedBlockTiming` -- per-step and
+  closed-form advancement of ``(t, busy)`` over a superblock's static
+  step rows.  The closed form is bit-exact (see the class docstring)
+  and is what makes the sole-candidate superblock path O(pools)
+  instead of O(instructions) in Python arithmetic.
 """
 
 from __future__ import annotations
 
+import os
+import threading
+from bisect import bisect_right
+from collections import OrderedDict
 from dataclasses import dataclass
 
+import numpy as np
+
+from ..errors import SimulationError
 from ..isa.categories import FunctionalUnit, OpCategory
 
 #: Work-items per wavefront / physical SIMD lanes per VALU block.
@@ -78,15 +101,22 @@ def frontend_cost(inst, params=DEFAULT_TIMING):
     return cost
 
 
-def unit_occupancy(inst, params=DEFAULT_TIMING):
-    """Occupancy, in cycles, of the instruction's execution unit."""
+def unit_occupancy(inst, params=DEFAULT_TIMING, transactions=1):
+    """Occupancy, in cycles, of the instruction's execution unit.
+
+    ``transactions`` is the access's dynamic memory-transaction count
+    (SMRD dwordx2/x4, multi-dword MUBUF): the LSU stays occupied one
+    base period per transaction.  It is an explicit argument -- the
+    static :class:`TimingTable` stores the base occupancy and every
+    issue path applies the multiplier per step.
+    """
     unit = inst.spec.unit
     if unit is FunctionalUnit.SALU:
         return params.salu_cycles
     if unit is FunctionalUnit.BRANCH:
         return params.branch_cycles
     if unit is FunctionalUnit.LSU:
-        return params.lsu_cycles * max(1, getattr(inst, "transactions", 1))
+        return params.lsu_cycles * max(1, transactions)
     spec = inst.spec
     if spec.dtype.is_float:
         per_pass = (params.fp_mul_pass_cycles
@@ -100,3 +130,374 @@ def unit_occupancy(inst, params=DEFAULT_TIMING):
     if spec.trans_rate:
         cycles *= params.trans_multiplier
     return cycles
+
+
+# ---------------------------------------------------------------------------
+# Instruction kinds and unit pools.
+# ---------------------------------------------------------------------------
+
+#: Scheduler-relevant instruction classes (shared with
+#: :mod:`repro.cu.prepared`, which re-exports them).
+KIND_ALU = 0
+KIND_MEMORY = 1
+KIND_ENDPGM = 2
+KIND_BARRIER = 3
+KIND_WAITCNT = 4
+
+#: Unit-pool ids used by every compiled timing structure (superblock
+#: ``steps`` rows, :class:`TimingTable` ``pool`` column).
+POOL_SALU = 0
+POOL_BRANCH = 1
+POOL_SIMD = 2
+POOL_SIMF = 3
+POOL_LSU = 4
+
+UNIT_POOL_ID = {
+    FunctionalUnit.SALU: POOL_SALU,
+    FunctionalUnit.BRANCH: POOL_BRANCH,
+    FunctionalUnit.SIMD: POOL_SIMD,
+    FunctionalUnit.SIMF: POOL_SIMF,
+    FunctionalUnit.LSU: POOL_LSU,
+}
+
+#: Scheduler flags in :attr:`TimingTable.flags`.
+FLAG_BRANCH = 1
+FLAG_BARRIER = 2
+FLAG_WAITCNT = 4
+FLAG_ENDPGM = 8
+FLAG_MEMORY = 16
+
+
+class UnitPool:
+    """N interchangeable instances of one functional-unit type.
+
+    The single occupancy-scheduler primitive of the simulator: the
+    pipeline's pool dict holds these, and every compiled path operates
+    directly on :attr:`busy_until` (through :func:`acquire_slot` or the
+    inlined single-instance arithmetic), folding ``busy_cycles`` in per
+    block.
+    """
+
+    def __init__(self, count):
+        self.busy_until = [0.0] * max(0, count)
+        self.busy_cycles = 0.0
+
+    def reset(self):
+        self.busy_until = [0.0] * len(self.busy_until)
+        self.busy_cycles = 0.0
+
+    @property
+    def count(self):
+        return len(self.busy_until)
+
+    def acquire(self, now, occupancy):
+        """Schedule on the earliest-free instance; returns completion."""
+        if not self.busy_until:
+            raise SimulationError("no instance of this functional unit exists")
+        idx = min(range(len(self.busy_until)), key=self.busy_until.__getitem__)
+        start = max(now, self.busy_until[idx])
+        done = start + occupancy
+        self.busy_until[idx] = done
+        self.busy_cycles += occupancy
+        return done
+
+
+def acquire_slot(busy, now, occ):
+    """Multi-instance pool issue on a raw ``busy_until`` list.
+
+    Exactly :meth:`UnitPool.acquire` minus the ``busy_cycles``
+    bookkeeping, which the compiled paths fold in per block (integer
+    occupancies, so the deferred sum is order-independent).
+    """
+    idx = min(range(len(busy)), key=busy.__getitem__)
+    start = busy[idx]
+    if now > start:
+        start = now
+    done = start + occ
+    busy[idx] = done
+    return done
+
+
+# ---------------------------------------------------------------------------
+# Per-program timing tables.
+# ---------------------------------------------------------------------------
+
+class TimingTable:
+    """Static per-program timing columns, one row per instruction.
+
+    NumPy arrays are the canonical storage (``frontend``,
+    ``occupancy``, ``pool``, ``kind``, ``flags``); the matching
+    ``fe_costs`` / ``occupancies`` / ``kinds`` tuples hold the same
+    rows as plain Python ints for the hot issue loops, where indexing a
+    tuple is cheaper than unboxing ``np.int32`` (and cannot leak NumPy
+    scalars into cycle arithmetic or JSON payloads).
+
+    ``occupancy`` is the *static* occupancy: the full unit occupancy
+    for ALU/branch rows and the base (single-transaction) LSU period
+    for memory rows -- the dynamic transaction count multiplies it at
+    issue time, explicitly.  Rows for ``s_endpgm`` / ``s_barrier`` /
+    ``s_waitcnt`` carry occupancy 0: they never touch a unit pool.
+    """
+
+    __slots__ = ("params", "frontend", "occupancy", "pool", "kind",
+                 "flags", "fe_costs", "occupancies", "kinds")
+
+    def __init__(self, program, params):
+        self.params = params
+        instructions = program.instructions
+        n = len(instructions)
+        frontend = np.zeros(n, dtype=np.int32)
+        occupancy = np.zeros(n, dtype=np.int32)
+        pool = np.zeros(n, dtype=np.int8)
+        kind = np.zeros(n, dtype=np.int8)
+        flags = np.zeros(n, dtype=np.uint8)
+        for i, inst in enumerate(instructions):
+            sp = inst.spec
+            frontend[i] = frontend_cost(inst, params)
+            pool[i] = UNIT_POOL_ID[sp.unit]
+            name = sp.name
+            if name == "s_endpgm":
+                kind[i] = KIND_ENDPGM
+                flags[i] = FLAG_ENDPGM
+            elif name == "s_barrier":
+                kind[i] = KIND_BARRIER
+                flags[i] = FLAG_BARRIER
+            elif name == "s_waitcnt":
+                kind[i] = KIND_WAITCNT
+                flags[i] = FLAG_WAITCNT
+            elif sp.is_memory:
+                kind[i] = KIND_MEMORY
+                flags[i] = FLAG_MEMORY
+                occupancy[i] = params.lsu_cycles
+            else:
+                kind[i] = KIND_ALU
+                occupancy[i] = unit_occupancy(inst, params)
+                if sp.unit is FunctionalUnit.BRANCH:
+                    flags[i] = FLAG_BRANCH
+        for arr in (frontend, occupancy, pool, kind, flags):
+            arr.setflags(write=False)
+        self.frontend = frontend
+        self.occupancy = occupancy
+        self.pool = pool
+        self.kind = kind
+        self.flags = flags
+        self.fe_costs = tuple(int(c) for c in frontend)
+        self.occupancies = tuple(int(c) for c in occupancy)
+        self.kinds = tuple(int(c) for c in kind)
+
+    def __len__(self):
+        return len(self.fe_costs)
+
+
+TIMING_TABLE_CACHE_CAPACITY = 128
+
+_table_lock = threading.Lock()
+_tables = OrderedDict()
+_table_hits = 0
+_table_misses = 0
+
+
+def lookup_timing_table(program, params=DEFAULT_TIMING):
+    """Return ``(TimingTable, hit)`` for a program/params pair.
+
+    Keyed ``(content_key, CuTimingParams)`` exactly like the prepared-
+    program LRU it sits alongside (``PreparedProgram`` construction
+    pulls its plan costs from here, so a service-warmed program shares
+    one table across every worker).  Programs without a
+    :meth:`content_key` (ad-hoc stand-ins in tests) are built uncached.
+    """
+    global _table_hits, _table_misses
+    key_fn = getattr(program, "content_key", None)
+    if key_fn is None:
+        return TimingTable(program, params), False
+    key = (key_fn(), params)
+    with _table_lock:
+        table = _tables.get(key)
+        if table is not None:
+            _tables.move_to_end(key)
+            _table_hits += 1
+            return table, True
+        _table_misses += 1
+    table = TimingTable(program, params)
+    with _table_lock:
+        existing = _tables.get(key)
+        if existing is not None:
+            _tables.move_to_end(key)
+            return existing, True
+        _tables[key] = table
+        while len(_tables) > TIMING_TABLE_CACHE_CAPACITY:
+            _tables.popitem(last=False)
+    return table, False
+
+
+def get_timing_table(program, params=DEFAULT_TIMING):
+    """The cached :class:`TimingTable` for a program/params pair."""
+    return lookup_timing_table(program, params)[0]
+
+
+def timing_table_cache_stats():
+    with _table_lock:
+        return {"hits": _table_hits, "misses": _table_misses,
+                "size": len(_tables),
+                "capacity": TIMING_TABLE_CACHE_CAPACITY}
+
+
+def clear_timing_table_cache():
+    global _table_hits, _table_misses
+    with _table_lock:
+        _tables.clear()
+        _table_hits = 0
+        _table_misses = 0
+
+
+# ---------------------------------------------------------------------------
+# Fused block timing.
+# ---------------------------------------------------------------------------
+
+#: Environment knob for the fused closed-form advance: ``0`` disables
+#: it (every superblock falls back to :func:`step_advance`), anything
+#: else leaves it on.  The bench harness toggles it per measurement via
+#: :func:`set_timing_fusion` for the fused-vs-unfused metric.
+FUSION_ENV = "REPRO_TIMING_FUSION"
+
+_fusion_enabled = os.environ.get(FUSION_ENV, "1") != "0"
+
+
+def timing_fusion_enabled():
+    """Whether sole-candidate superblocks use the closed-form advance."""
+    return _fusion_enabled
+
+
+def set_timing_fusion(enabled):
+    """Toggle timing fusion; returns the previous setting."""
+    global _fusion_enabled
+    previous = _fusion_enabled
+    _fusion_enabled = bool(enabled)
+    return previous
+
+
+def step_advance(steps, start, busy_lists):
+    """Advance ``(fe_done, t)`` over static step rows, one per step.
+
+    ``steps`` holds ``(frontend_cost, occupancy, pool_id)`` rows;
+    ``busy_lists`` the four ALU-pool ``busy_until`` lists indexed by
+    pool id.  This is the per-instruction issue arithmetic of the fast
+    loop verbatim (single-instance inline, multi-instance through
+    :func:`acquire_slot`) -- the fallback when a block is ineligible
+    for the closed form, and the ground truth the property tests hold
+    :meth:`FusedBlockTiming.advance` to.
+    """
+    t = start
+    fd = start
+    for fe, occ, pid in steps:
+        fd = t + fe
+        busy = busy_lists[pid]
+        if len(busy) == 1:
+            b = busy[0]
+            t = (fd if fd > b else b) + occ
+            busy[0] = t
+        else:
+            t = acquire_slot(busy, fd, occ)
+    return fd, t
+
+
+class FusedBlockTiming:
+    """Closed-form ``(t, busy)`` advance over one superblock's steps.
+
+    Per step the sole-candidate recurrence is::
+
+        fd_i      = t_{i-1} + fe_i
+        t_i       = max(fd_i, busy[p_i]) + occ_i
+        busy[p_i] = t_i
+
+    Within a straight-line block only the **first** use of each pool
+    can stall on residue left by other wavefronts: after step ``j``
+    uses pool ``p``, ``busy[p] = t_j <= t_{i-1} <= fd_i`` for every
+    later step ``i`` (``t`` is non-decreasing and front-end costs are
+    non-negative), so the max resolves to ``fd_i``.  With the prefix
+    sums ``S_k = sum_{j<k}(fe_j + occ_j)`` and, per pool ``p`` first
+    used at step ``i_p``, ``A_p = S_{i_p} + fe_{i_p}``, induction gives
+
+        t_k = S_{k+1} + max(start, max_{p: i_p <= k}(busy0[p] - A_p))
+
+    so the whole block needs one running max over at most four pool
+    residues instead of per-instruction arithmetic.  The final
+    ``fe_done``, ``t`` and each pool's ``busy_until`` come from the
+    same expression evaluated at the right steps.
+
+    Bit-exactness: every board-timeline value is a multiple of the CU
+    clock granularity (0.25 cycles at the 1:4 memory clock ratio) far
+    below 2**50, so adding the integer prefix sums to such doubles and
+    subtracting ``A_p`` are exact float operations, and ``max`` is
+    always exact -- the reassociated closed form therefore produces
+    the *identical* doubles the sequential recurrence produces, which
+    the superblock/fuzz oracles and the Hypothesis property tests
+    enforce.
+
+    Eligibility: exact only when every pool the block uses has a
+    single instance (multi-instance ``acquire_slot`` picks the
+    earliest-free instance per step, which is stateful); ``build``
+    returns ``None`` otherwise and the engine falls back to
+    :func:`step_advance`.
+    """
+
+    __slots__ = ("order", "total", "fe_tail", "tail_pools", "updates")
+
+    def __init__(self, order, total, fe_tail, tail_pools, updates):
+        #: ``(pool_id, A_p)`` per used pool, in first-use order.
+        self.order = order
+        #: ``S_n``: the block's total front-end + occupancy sum.
+        self.total = total
+        #: ``S_{n-1} + fe_{n-1}``: fe_done's static component.
+        self.fe_tail = fe_tail
+        #: Number of pools first used before the last step.
+        self.tail_pools = tail_pools
+        #: ``(pool_id, S_{j_p+1}, m_p)`` per used pool: the static
+        #: component of its final busy time and the number of pools
+        #: first used by its last-use step ``j_p``.
+        self.updates = updates
+
+    @staticmethod
+    def build(steps, pool_counts):
+        """Compile steps into a fused advance, or None if ineligible.
+
+        ``pool_counts`` maps pool id -> instance count for the four
+        ALU pools (index 0..3).
+        """
+        first, last = {}, {}
+        prefix = [0]
+        for k, (fe, occ, pid) in enumerate(steps):
+            if pool_counts[pid] != 1:
+                return None
+            first.setdefault(pid, k)
+            last[pid] = k
+            prefix.append(prefix[-1] + fe + occ)
+        n = len(steps)
+        order = sorted(first, key=first.get)
+        firsts = sorted(first.values())
+        return FusedBlockTiming(
+            order=tuple((pid, prefix[first[pid]] + steps[first[pid]][0])
+                        for pid in order),
+            total=prefix[n],
+            fe_tail=prefix[n - 1] + steps[n - 1][0],
+            tail_pools=bisect_right(firsts, n - 2),
+            updates=tuple((pid, prefix[last[pid] + 1],
+                           bisect_right(firsts, last[pid]))
+                          for pid in order),
+        )
+
+    def advance(self, start, busy_lists):
+        """One fused block issue; returns ``(fe_done, t)``.
+
+        Mutates ``busy_lists`` exactly like :func:`step_advance`.
+        """
+        r = start
+        rs = [start]
+        for pid, offset in self.order:
+            d = busy_lists[pid][0] - offset
+            if d > r:
+                r = d
+            rs.append(r)
+        for pid, static_busy, m in self.updates:
+            busy_lists[pid][0] = static_busy + rs[m]
+        return self.fe_tail + rs[self.tail_pools], self.total + rs[-1]

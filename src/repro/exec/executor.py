@@ -5,7 +5,10 @@ sample, a fuzz-oracle configuration, a profiled kernel -- goes
 through :meth:`Executor.execute`:
 
 1. lease a board from the :class:`~repro.exec.lease.BoardPool`
-   (warm if the pool holds one with the same content key),
+   (warm if the pool holds one with the same content key; prepared
+   plans and per-program timing tables are cached process-wide under
+   the same ``content_key x timing-params`` space, so they survive
+   lease churn regardless),
 2. apply the request's launch policy (engine, workgroup sampling),
 3. attach the requested observers (profile counters, Chrome trace,
    caller-supplied),

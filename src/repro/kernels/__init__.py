@@ -57,11 +57,16 @@ def get(name, **params):
 
 from . import appsdk_int, appsdk_fp  # noqa: E402  (registers APPSDK_SUITE)
 from .appsdk import APPSDK_SUITE  # noqa: E402
+from .cpi import CPI_SUITE  # noqa: E402
 
 KERNELS.update({cls.name: cls for cls in APPSDK_SUITE})
+#: Timing-model tripwires, not evaluation workloads: the per-class CPI
+#: microbenchmarks publish a deterministic cycles-per-instruction table.
+KERNELS.update({cls.name: cls for cls in CPI_SUITE})
 
 __all__ = [
-    "Benchmark", "build", "EVALUATION_SUITE", "APPSDK_SUITE", "KERNELS", "get",
+    "Benchmark", "build", "EVALUATION_SUITE", "APPSDK_SUITE", "CPI_SUITE",
+    "KERNELS", "get",
     "KMeansF32", "GaussianEliminationF32", "MatrixAddI32", "MatrixAddF32",
     "MatrixMulI32", "MatrixMulF32", "Conv2DI32", "Conv2DF32",
     "BitonicSortI32", "MatrixTransposeI32", "MaxPoolingI32",

@@ -1,0 +1,212 @@
+"""Per-instruction-class CPI microbenchmarks (aboutSHW style).
+
+Each kernel is a single 64-thread workgroup spinning a counted loop
+whose body is a 16x-unrolled stream of ONE instruction class --
+scalar/vector MOV, ADD, MUL, a SIMF MAC, plus LDS and global
+round-trips.  The interesting output is not the buffer contents (they
+verify against a NumPy reference like every other benchmark) but the
+deterministic ``cu_cycles / instructions`` ratio: the bench harness
+publishes these as the ``cpi`` table in ``BENCH_simulator.json``, a
+timing-model regression tripwire.  Any change to frontend costs, unit
+occupancies, SIMD pass counts or LSU transaction pricing moves at
+least one class's CPI, and the table is compared exactly (the values
+are simulated, not measured, so there is no run-to-run noise).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Benchmark, build
+
+#: Loop scaffolding shared by every CPI kernel.  The body dominates:
+#: 16 unrolled payload instructions against 3 loop-control ones.
+_HEAD = """\
+.kernel {name}
+{directives}  s_buffer_load_dword s20, s[12:15], 0    ; out
+  s_buffer_load_dword s21, s[12:15], 1    ; iters
+{extra_args}  s_waitcnt lgkmcnt(0)
+{init}  s_mov_b32 s2, 0
+cpi_loop:
+{body}  s_add_u32 s2, s2, 1
+  s_cmp_lt_u32 s2, s21
+  s_cbranch_scc1 cpi_loop
+{writeback}  v_lshlrev_b32 v1, 2, v0
+  v_add_i32 v1, vcc, s20, v1
+  tbuffer_store_format_x v2, v1, s[4:7], 0 offen
+  s_endpgm
+"""
+
+_LANES = 64
+
+
+def _src(name, body_line, unroll=16, init="", writeback="",
+         directives="", extra_args=""):
+    body = "".join("  {}\n".format(line) for line in
+                   ([body_line] * unroll if isinstance(body_line, str)
+                    else body_line))
+    return _HEAD.format(name=name, directives=directives,
+                        extra_args=extra_args, init=init,
+                        writeback=writeback, body=body)
+
+
+class CpiBenchmark(Benchmark):
+    """Shared scaffolding: one workgroup, out buffer, iters argument."""
+
+    defaults = {"iters": 32}
+    #: Payload instructions per loop trip (the unroll factor times the
+    #: per-slot count); used by subclasses' references.
+    unroll = 16
+
+    def programs(self):
+        return [build(self._SRC)]
+
+    def prepare(self, device):
+        return {"out": device.alloc("out", _LANES * 4)}
+
+    def execute(self, device, ctx):
+        device.run(self.programs()[0], (_LANES,), (_LANES,),
+                   args=[ctx["out"], self.iters])
+
+    def _expected(self):
+        raise NotImplementedError
+
+    def reference(self, ctx):
+        return {"out": self._expected()}
+
+
+class CpiScalarMov(CpiBenchmark):
+    name = "cpi_s_mov"
+    _SRC = _src("cpi_s_mov", "s_mov_b32 s3, s2",
+                writeback="  v_mov_b32 v2, s3\n")
+
+    def _expected(self):
+        # s3 snapshots the trip counter at the top of the last trip.
+        return np.full(_LANES, self.iters - 1, dtype=np.uint32)
+
+
+class CpiScalarAdd(CpiBenchmark):
+    name = "cpi_s_add"
+    _SRC = _src("cpi_s_add", "s_add_u32 s3, s3, 1",
+                init="  s_mov_b32 s3, 0\n",
+                writeback="  v_mov_b32 v2, s3\n")
+
+    def _expected(self):
+        return np.full(_LANES, 16 * self.iters, dtype=np.uint32)
+
+
+class CpiScalarMul(CpiBenchmark):
+    name = "cpi_s_mul"
+    _SRC = _src("cpi_s_mul", "s_mul_i32 s3, s3, 3",
+                init="  s_mov_b32 s3, 1\n",
+                writeback="  v_mov_b32 v2, s3\n")
+
+    def _expected(self):
+        value = pow(3, 16 * self.iters, 1 << 32)
+        return np.full(_LANES, value, dtype=np.uint32)
+
+
+class CpiVectorMov(CpiBenchmark):
+    name = "cpi_v_mov"
+    _SRC = _src("cpi_v_mov", ["v_mov_b32 v5, v4", "v_mov_b32 v4, v5"] * 8,
+                init="  v_mov_b32 v4, v0\n",
+                writeback="  v_mov_b32 v2, v4\n")
+
+    def _expected(self):
+        return np.arange(_LANES, dtype=np.uint32)
+
+
+class CpiVectorAdd(CpiBenchmark):
+    name = "cpi_v_add"
+    _SRC = _src("cpi_v_add", "v_add_i32 v4, vcc, 1, v4",
+                init="  v_mov_b32 v4, 0\n",
+                writeback="  v_mov_b32 v2, v4\n")
+
+    def _expected(self):
+        return np.full(_LANES, 16 * self.iters, dtype=np.uint32)
+
+
+class CpiVectorMul(CpiBenchmark):
+    name = "cpi_v_mul"
+    _SRC = _src("cpi_v_mul", "v_mul_lo_u32 v4, v4, 3",
+                init="  v_add_i32 v4, vcc, 1, v0\n",
+                writeback="  v_mov_b32 v2, v4\n")
+
+    def _expected(self):
+        scale = pow(3, 16 * self.iters, 1 << 32)
+        lanes = np.arange(1, _LANES + 1, dtype=np.uint64)
+        return (lanes * scale & 0xFFFFFFFF).astype(np.uint32)
+
+
+class CpiVectorMacF32(CpiBenchmark):
+    name = "cpi_v_mac_f32"
+    uses_float = True
+    _SRC = _src("cpi_v_mac_f32", "v_mac_f32 v4, v5, v6",
+                init=("  v_mov_b32 v4, 0\n"
+                      "  v_mov_b32 v5, 0x3f800000\n"       # 1.0f
+                      "  v_mov_b32 v6, 0x3f000000\n"),     # 0.5f
+                writeback="  v_mov_b32 v2, v4\n")
+
+    def _expected(self):
+        total = np.float32(16 * self.iters) * np.float32(0.5)
+        return np.full(_LANES, total, dtype=np.float32)
+
+
+class CpiLds(CpiBenchmark):
+    """LDS round-trip: write, read back, bump -- 4 slots per trip."""
+
+    name = "cpi_lds"
+    unroll = 4 * 5  # 4 unrolled (write, wait, read, wait, add) slots
+    _SRC = _src("cpi_lds",
+                ["ds_write_b32 v5, v4",
+                 "s_waitcnt lgkmcnt(0)",
+                 "ds_read_b32 v6, v5",
+                 "s_waitcnt lgkmcnt(0)",
+                 "v_add_i32 v4, vcc, 1, v6"] * 4,
+                init=("  v_lshlrev_b32 v5, 2, v0\n"
+                      "  v_mov_b32 v4, 0\n"),
+                writeback="  v_mov_b32 v2, v4\n",
+                directives=".lds 256\n")
+
+    def _expected(self):
+        return np.full(_LANES, 4 * self.iters, dtype=np.uint32)
+
+
+class CpiGlobal(CpiBenchmark):
+    """Global-memory loads: 4 prefetch-hit lane loads per trip."""
+
+    name = "cpi_global"
+    unroll = 4 * 3  # 4 unrolled (load, wait, add) slots
+    _SRC = _src("cpi_global",
+                ["tbuffer_load_format_x v6, v5, s[4:7], 0 offen",
+                 "s_waitcnt vmcnt(0)",
+                 "v_add_i32 v4, vcc, v6, v4"] * 4,
+                init=("  v_lshlrev_b32 v5, 2, v0\n"
+                      "  v_add_i32 v5, vcc, s22, v5\n"
+                      "  v_mov_b32 v4, 0\n"),
+                writeback="  v_mov_b32 v2, v4\n",
+                extra_args="  s_buffer_load_dword s22, s[12:15], 2\n")
+
+    def prepare(self, device):
+        data = np.arange(_LANES, dtype=np.uint32)
+        return {
+            "out": device.alloc("out", _LANES * 4),
+            "inp": device.upload("inp", data),
+        }
+
+    def execute(self, device, ctx):
+        device.run(self.programs()[0], (_LANES,), (_LANES,),
+                   args=[ctx["out"], self.iters, ctx["inp"]])
+
+    def _expected(self):
+        lanes = np.arange(_LANES, dtype=np.uint64)
+        total = lanes * (4 * self.iters)
+        return (total & 0xFFFFFFFF).astype(np.uint32)
+
+
+#: The CPI table rows, in publication order.
+CPI_SUITE = [
+    CpiScalarMov, CpiScalarAdd, CpiScalarMul,
+    CpiVectorMov, CpiVectorAdd, CpiVectorMul, CpiVectorMacF32,
+    CpiLds, CpiGlobal,
+]

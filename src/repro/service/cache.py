@@ -168,14 +168,20 @@ class ArtifactCache:
         Backed by the simulator's global prepared-program cache (keyed
         by ``binary_key`` x timing parameters), so warming a kernel
         here makes every worker's subsequent launch of the same binary
-        skip decode and plan construction entirely.  Records a
-        ``prepare`` hit/miss in :attr:`stats`.
+        skip decode and plan construction entirely.  The per-program
+        timing table shares the same key space and is warmed alongside
+        (plan construction reads its rows).  Records ``prepare`` and
+        ``timing-table`` hits/misses in :attr:`stats`.
         """
         from ..cu.prepared import DEFAULT_TIMING, lookup_prepared
+        from ..cu.timing import lookup_timing_table
 
-        prepared, hit = lookup_prepared(program, timing or DEFAULT_TIMING)
+        timing = timing or DEFAULT_TIMING
+        _, table_hit = lookup_timing_table(program, timing)
+        prepared, hit = lookup_prepared(program, timing)
         with self._lock:
             self.stats.record("prepare", hit)
+            self.stats.record("timing-table", table_hit)
         return prepared
 
     # -- synthesis ---------------------------------------------------------

@@ -53,10 +53,14 @@ PRELOAD_MB_CYCLES_PER_WORD = 2.0
 #: speed and observability:
 #:
 #: ``reference``   the original serial interpreter loop; the only
-#:                 engine that emits observation events.
+#:                 engine that emits observation events (per-issue
+#:                 stall attribution), with frontend/occupancy costs
+#:                 read from the shared per-program TimingTable.
 #: ``fast``        serial dispatch with the prepared-plan issue loop.
 #: ``superblock``  the fast loop with straight-line ALU runs fused
-#:                 into compiled superblocks (repro.cu.superblock);
+#:                 into compiled superblocks (repro.cu.superblock):
+#:                 batched semantics plus closed-form block timing
+#:                 from the static cost table (repro.cu.timing);
 #:                 the fastest serial engine and the ``auto`` default.
 #: ``parallel``    measure-then-schedule: workgroups execute
 #:                 round-robin on per-CU threads at local time zero

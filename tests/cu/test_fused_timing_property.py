@@ -1,0 +1,129 @@
+"""Property tests for the compiled timing layer.
+
+Two invariants hold the closed form to the per-step ground truth:
+
+* :meth:`FusedBlockTiming.advance` returns the identical ``(fe_done,
+  t)`` pair and leaves the identical pool state as
+  :func:`step_advance`, for arbitrary non-negative step rows and
+  arbitrary quarter-cycle board times (every board-timeline value is a
+  multiple of 0.25, so the comparison is exact equality, not
+  approximate);
+* :class:`TimingTable` rows equal ``frontend_cost`` /
+  ``unit_occupancy`` computed per instruction, for every checked-in
+  fuzz-corpus program.
+"""
+
+import glob
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asm import assemble
+from repro.cu.timing import (
+    DEFAULT_TIMING,
+    KIND_ALU,
+    KIND_MEMORY,
+    FusedBlockTiming,
+    frontend_cost,
+    get_timing_table,
+    step_advance,
+    unit_occupancy,
+)
+
+CORPUS = os.path.join(os.path.dirname(__file__), os.pardir, "verify",
+                      "corpus")
+
+#: Board times are multiples of the 0.25-cycle CU clock granularity.
+quarter_times = st.integers(min_value=0, max_value=4000).map(
+    lambda i: i / 4.0)
+
+#: (frontend, occupancy, pool) rows like the superblock compiler emits.
+step_rows = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 16), st.integers(0, 3)),
+    min_size=1, max_size=40)
+
+
+@st.composite
+def timing_cases(draw, max_width=1):
+    steps = draw(step_rows)
+    widths = [draw(st.integers(1, max_width)) for _ in range(4)]
+    busy = [[draw(quarter_times) for _ in range(w)] for w in widths]
+    start = draw(quarter_times)
+    return steps, busy, start
+
+
+class TestFusedAdvanceEqualsStepAdvance:
+    @given(case=timing_cases(max_width=1))
+    @settings(max_examples=300, deadline=None)
+    def test_single_instance_pools_always_fuse_exactly(self, case):
+        steps, busy, start = case
+        fused = FusedBlockTiming.build(
+            steps, tuple(len(b) for b in busy))
+        assert fused is not None
+        busy_step = [list(b) for b in busy]
+        busy_fused = [list(b) for b in busy]
+        expected = step_advance(steps, start, busy_step)
+        actual = fused.advance(start, busy_fused)
+        assert actual == expected
+        assert busy_fused == busy_step
+
+    @given(case=timing_cases(max_width=3))
+    @settings(max_examples=300, deadline=None)
+    def test_random_pool_widths(self, case):
+        steps, busy, start = case
+        fused = FusedBlockTiming.build(
+            steps, tuple(len(b) for b in busy))
+        used = {pid for _, _, pid in steps}
+        if fused is None:
+            # Ineligible exactly when a *used* pool is multi-instance.
+            assert any(len(busy[pid]) != 1 for pid in used)
+            return
+        assert all(len(busy[pid]) == 1 for pid in used)
+        busy_step = [list(b) for b in busy]
+        busy_fused = [list(b) for b in busy]
+        expected = step_advance(steps, start, busy_step)
+        actual = fused.advance(start, busy_fused)
+        assert actual == expected
+        assert busy_fused == busy_step
+
+    @given(case=timing_cases(max_width=1), repeats=st.integers(2, 5))
+    @settings(max_examples=100, deadline=None)
+    def test_chained_blocks_stay_exact(self, case, repeats):
+        """Residue from a previous fused block is just another busy
+        state; chaining must stay bit-identical too."""
+        steps, busy, start = case
+        fused = FusedBlockTiming.build(steps, tuple(len(b) for b in busy))
+        busy_step = [list(b) for b in busy]
+        busy_fused = [list(b) for b in busy]
+        t_step = t_fused = start
+        for _ in range(repeats):
+            _, t_step = step_advance(steps, t_step, busy_step)
+            _, t_fused = fused.advance(t_fused, busy_fused)
+        assert t_fused == t_step
+        assert busy_fused == busy_step
+
+
+class TestTableRowsMatchCorpus:
+    @pytest.mark.parametrize("path", sorted(
+        glob.glob(os.path.join(CORPUS, "*.s"))),
+        ids=lambda p: os.path.basename(p))
+    def test_corpus_program_rows(self, path):
+        with open(path) as handle:
+            program = assemble(handle.read())
+        table = get_timing_table(program)
+        assert len(table) == len(program.instructions)
+        for i, inst in enumerate(program.instructions):
+            assert table.fe_costs[i] == frontend_cost(inst, DEFAULT_TIMING)
+            kind = table.kinds[i]
+            if kind == KIND_ALU:
+                assert table.occupancies[i] == \
+                    unit_occupancy(inst, DEFAULT_TIMING)
+            elif kind == KIND_MEMORY:
+                assert inst.spec.is_memory
+                assert table.occupancies[i] == DEFAULT_TIMING.lsu_cycles
+            else:
+                assert inst.spec.name in ("s_endpgm", "s_barrier",
+                                          "s_waitcnt")
+                assert table.occupancies[i] == 0

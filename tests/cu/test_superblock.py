@@ -176,7 +176,7 @@ class TestCompilationCache:
         files = sorted(tmp_path.glob("*.py"))
         assert len(files) == len(_head_counts(blocks))
         text = files[0].read_text()
-        assert "def _superblock(" in text
+        assert "def _superblock_sem_all(" in text
         assert "def _superblock_sem(" in text
 
 

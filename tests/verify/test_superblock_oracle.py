@@ -47,18 +47,17 @@ class TestOracleCatchesDivergence:
 
         def skewed(run, num_simd, num_simf):
             blk = real_compile(run, num_simd, num_simf)
-            real_fn, real_sem = blk.fn, blk.sem
+            real_sem_all, real_sem = blk.sem_all, blk.sem
 
-            def wrong_fn(wf, t, bS, bB, bD, bF):
-                out = real_fn(wf, t, bS, bB, bD, bF)
+            def wrong_sem_all(wf):
+                real_sem_all(wf)
                 wf.scc = (wf.scc or 0) ^ 1
-                return out
 
             def wrong_sem(wf, k0, k1):
                 real_sem(wf, k0, k1)
                 wf.scc = (wf.scc or 0) ^ 1
 
-            blk.fn, blk.sem = wrong_fn, wrong_sem
+            blk.sem_all, blk.sem = wrong_sem_all, wrong_sem
             return blk
 
         monkeypatch.setattr(superblock, "_compile_block", skewed)

@@ -1,0 +1,110 @@
+"""Timing fusion on/off equivalence under the superblock oracle.
+
+The closed-form :class:`FusedBlockTiming` advance and the per-step
+``step_advance`` fallback must be interchangeable: same cycles, same
+state, on single- and multi-wavefront workloads.  CI runs this with
+fusion force-enabled as the fixed-seed fuzz smoke.
+"""
+
+import glob
+import os
+
+import numpy as np
+import pytest
+
+from repro.asm import assemble
+from repro.core.config import ArchConfig
+from repro.cu.timing import set_timing_fusion, timing_fusion_enabled
+from repro.runtime.device import SoftGpu
+from repro.verify.fuzz import run_corpus_file
+from repro.verify.generator import generate_case
+from repro.verify.oracles import check_case
+
+CORPUS = os.path.join(os.path.dirname(__file__), "corpus")
+
+#: Multi-wavefront straight-line-heavy kernel: three wavefronts per
+#: workgroup, an ALU run long enough to compile into superblocks.
+LOOPY = """
+.kernel fusion_loopy
+  s_buffer_load_dword s19, s[8:11], 3
+  s_buffer_load_dword s20, s[12:15], 0
+  s_buffer_load_dword s21, s[12:15], 1
+  s_waitcnt lgkmcnt(0)
+  s_mul_i32 s1, s16, s19
+  v_add_i32 v3, vcc, s1, v0
+  v_lshlrev_b32 v4, 2, v3
+  v_add_i32 v4, vcc, s20, v4
+  tbuffer_load_format_x v5, v4, s[4:7], 0 offen
+  s_waitcnt vmcnt(0)
+  v_mov_b32 v6, 0
+  s_mov_b32 s2, 0
+loop:
+  v_mul_lo_u32 v7, v5, v5
+  v_add_i32 v6, vcc, v7, v6
+  v_add_i32 v5, vcc, 1, v5
+  s_add_u32 s2, s2, 1
+  s_cmp_lt_u32 s2, 5
+  s_cbranch_scc1 loop
+  v_lshlrev_b32 v8, 2, v3
+  v_add_i32 v8, vcc, s21, v8
+  tbuffer_store_format_x v6, v8, s[4:7], 0 offen
+  s_endpgm
+"""
+
+
+@pytest.fixture
+def fusion_state():
+    previous = timing_fusion_enabled()
+    yield
+    set_timing_fusion(previous)
+
+
+def _run_superblock(n=192, local=192):
+    device = SoftGpu(ArchConfig.baseline())
+    inp = device.upload("inp", np.arange(n, dtype=np.uint32) * 3 + 1)
+    out = device.alloc("out", 4 * n)
+    device.preload_all()
+    result = device.run(assemble(LOOPY), (n,), (local,),
+                        args=[inp, out], engine="superblock")
+    return result, device.read(out)
+
+
+class TestFusionToggle:
+    def test_env_default_is_enabled(self):
+        assert timing_fusion_enabled()
+
+    def test_set_returns_previous(self, fusion_state):
+        previous = set_timing_fusion(False)
+        assert previous is True
+        assert not timing_fusion_enabled()
+        assert set_timing_fusion(True) is False
+
+
+class TestFusedEqualsUnfused:
+    def test_multi_wavefront_bit_identical(self, fusion_state):
+        set_timing_fusion(True)
+        fused_result, fused_out = _run_superblock()
+        set_timing_fusion(False)
+        unfused_result, unfused_out = _run_superblock()
+        assert fused_result.engine == unfused_result.engine == "superblock"
+        assert fused_result.cu_cycles == unfused_result.cu_cycles
+        assert fused_result.instructions == unfused_result.instructions
+        assert np.array_equal(fused_out, unfused_out)
+
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    def test_generated_multi_wavefront_cases_force_enabled(
+            self, seed, fusion_state):
+        """The fixed-seed fuzz smoke CI runs: the superblock oracle
+        (fast vs superblock vs reference, bit-identical) with timing
+        fusion force-enabled."""
+        set_timing_fusion(True)
+        case = generate_case(seed)
+        failures = check_case(case, oracles=("superblock",))
+        assert failures == [], "\n".join(str(f) for f in failures)
+
+    def test_corpus_passes_with_fusion_disabled(self, fusion_state):
+        """The step_advance fallback is oracle-exact too."""
+        set_timing_fusion(False)
+        path = sorted(glob.glob(os.path.join(CORPUS, "*.s")))[0]
+        _, failures = run_corpus_file(path, oracles=("superblock",))
+        assert failures == [], "\n".join(str(f) for f in failures)
